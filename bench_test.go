@@ -1,0 +1,496 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation (the per-experiment index in DESIGN.md §2 maps ids to these).
+// Each benchmark measures the figure's headline operation at a fixed,
+// representative parameter point; the full parameter sweeps live in
+// cmd/polyfit-experiments.
+package polyfit_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/artree"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fitingtree"
+	"repro/internal/hist"
+	"repro/internal/minimax"
+	"repro/internal/nn"
+	"repro/internal/rmi"
+	"repro/internal/sampling"
+	"repro/internal/segment"
+)
+
+const (
+	benchTweetN = 100_000
+	benchHKIN   = 100_000
+	benchOSMN   = 60_000
+)
+
+var fixtures struct {
+	once      sync.Once
+	tweetKeys []float64
+	hkiKeys   []float64
+	hkiVals   []float64
+	osmXs     []float64
+	osmYs     []float64
+	qs1D      []data.RangeQuery
+	qsHKI     []data.RangeQuery
+	qsRect    []data.RectQuery
+}
+
+func fx() *struct {
+	once      sync.Once
+	tweetKeys []float64
+	hkiKeys   []float64
+	hkiVals   []float64
+	osmXs     []float64
+	osmYs     []float64
+	qs1D      []data.RangeQuery
+	qsHKI     []data.RangeQuery
+	qsRect    []data.RectQuery
+} {
+	fixtures.once.Do(func() {
+		fixtures.tweetKeys = data.GenTweet(benchTweetN, 1)
+		fixtures.hkiKeys, fixtures.hkiVals = data.GenHKI(benchHKIN, 2)
+		fixtures.osmXs, fixtures.osmYs = data.GenOSM(benchOSMN, 3)
+		fixtures.qs1D = data.RangeQueriesFromKeys(fixtures.tweetKeys, 1024, 4)
+		fixtures.qsHKI = data.RangeQueriesFromKeys(fixtures.hkiKeys, 1024, 5)
+		fixtures.qsRect = data.UniformRects(-180, 180, -90, 90, 1024, 6)
+	})
+	return &fixtures
+}
+
+// --- Figure 5 ---------------------------------------------------------------
+
+func BenchmarkFig5Fitting(b *testing.B) {
+	f := fx()
+	stride := len(f.hkiKeys) / 90
+	var xs, ys []float64
+	for i := 0; i < len(f.hkiKeys) && len(xs) < 90; i += stride {
+		xs = append(xs, f.hkiKeys[i])
+		ys = append(ys, f.hkiVals[i])
+	}
+	b.Run("deg1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minimax.FitPoly(xs, ys, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deg4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := minimax.FitPoly(xs, ys, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure 14: degree sweeps ------------------------------------------------
+
+func BenchmarkFig14aDegree(b *testing.B) {
+	f := fx()
+	for _, deg := range []int{1, 2, 3} {
+		ix, err := core.BuildCount(f.tweetKeys, core.Options{Degree: deg, Delta: 50, NoFallback: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{1: "PolyFit-1", 2: "PolyFit-2", 3: "PolyFit-3"}[deg], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := f.qs1D[i&1023]
+				ix.RangeSum(q.L, q.U) //nolint:errcheck
+			}
+		})
+	}
+}
+
+func BenchmarkFig14bDegreeMax(b *testing.B) {
+	f := fx()
+	for _, deg := range []int{1, 2} {
+		ix, err := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: deg, Delta: 100, NoFallback: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{1: "PolyFit-1", 2: "PolyFit-2"}[deg], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := f.qsHKI[i&1023]
+				ix.RangeExtremum(q.L, q.U) //nolint:errcheck
+			}
+		})
+	}
+}
+
+func BenchmarkFig14cConstruction(b *testing.B) {
+	keys := data.GenTweet(20_000, 7)
+	for deg, name := range map[int]string{1: "PolyFit-1", 2: "PolyFit-2", 3: "PolyFit-3"} {
+		deg := deg
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildCount(keys, core.Options{Degree: deg, Delta: 50, NoFallback: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table V ------------------------------------------------------------------
+
+func BenchmarkTable5_Count1Key(b *testing.B) {
+	f := fx()
+	s2, _ := sampling.NewS2(f.tweetKeys, 0.9, 8)
+	rmiIx, err := rmi.BuildCountWithGuarantee(f.tweetKeys, 50, 1<<18, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit, _ := fitingtree.BuildCount(f.tweetKeys, 50, true)
+	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50})
+	b.Run("S2_abs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			s2.CountAbs(q.L, q.U, 100)
+		}
+	})
+	b.Run("RMI_abs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			rmiIx.RangeSum(q.L, q.U)
+		}
+	})
+	b.Run("FITingTree_abs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			fit.RangeSum(q.L, q.U)
+		}
+	})
+	b.Run("PolyFit_abs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			pf.RangeSum(q.L, q.U) //nolint:errcheck
+		}
+	})
+	b.Run("RMI_rel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			rmiIx.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+		}
+	})
+	b.Run("FITingTree_rel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			fit.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+		}
+	})
+	b.Run("PolyFit_rel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			pf.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+		}
+	})
+}
+
+func BenchmarkTable5_Max1Key(b *testing.B) {
+	f := fx()
+	tree, _ := artree.NewMaxTree(f.hkiKeys, f.hkiVals, artree.Max)
+	pfAbs, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
+	pfRel, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 50})
+	b.Run("aRtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsHKI[i&1023]
+			tree.Query(q.L, q.U)
+		}
+	})
+	b.Run("PolyFit_abs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsHKI[i&1023]
+			pfAbs.RangeExtremum(q.L, q.U) //nolint:errcheck
+		}
+	})
+	b.Run("PolyFit_rel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsHKI[i&1023]
+			pfRel.RangeExtremumRel(q.L, q.U, 0.01) //nolint:errcheck
+		}
+	})
+}
+
+func BenchmarkTable5_Count2Keys(b *testing.B) {
+	f := fx()
+	rt, _ := artree.NewRTree(f.osmXs, f.osmYs, 0, 0)
+	pfAbs, err := core.BuildCount2D(f.osmXs, f.osmYs, core.Options2D{Degree: 2, Delta: 250, NoFallback: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pfRel, err := core.BuildCount2D(f.osmXs, f.osmYs, core.Options2D{Degree: 2, Delta: 250})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("aRtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsRect[i&1023]
+			rt.CountRect(artree.Rect{
+				XLo: math.Nextafter(q.XLo, math.Inf(1)), XHi: q.XHi,
+				YLo: math.Nextafter(q.YLo, math.Inf(1)), YHi: q.YHi,
+			})
+		}
+	})
+	b.Run("PolyFit_abs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsRect[i&1023]
+			pfAbs.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		}
+	})
+	b.Run("PolyFit_rel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsRect[i&1023]
+			pfRel.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, 0.01) //nolint:errcheck
+		}
+	})
+}
+
+// --- Figures 15–18: method comparisons ----------------------------------------
+
+func BenchmarkFig15aCountAbs(b *testing.B) {
+	f := fx()
+	rmiIx, err := rmi.BuildCountWithGuarantee(f.tweetKeys, 50, 1<<18, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit, _ := fitingtree.BuildCount(f.tweetKeys, 50, false)
+	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50, NoFallback: true})
+	b.Run("RMI", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			rmiIx.RangeSum(q.L, q.U)
+		}
+	})
+	b.Run("FITingTree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			fit.RangeSum(q.L, q.U)
+		}
+	})
+	b.Run("PolyFit2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			pf.RangeSum(q.L, q.U) //nolint:errcheck
+		}
+	})
+}
+
+func BenchmarkFig15bCount2DAbs(b *testing.B) {
+	f := fx()
+	rt, _ := artree.NewRTree(f.osmXs, f.osmYs, 0, 0)
+	pf, err := core.BuildCount2D(f.osmXs, f.osmYs, core.Options2D{Degree: 2, Delta: 250, NoFallback: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("aRtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsRect[i&1023]
+			rt.CountRect(artree.Rect{XLo: q.XLo, XHi: q.XHi, YLo: q.YLo, YHi: q.YHi})
+		}
+	})
+	b.Run("PolyFit2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qsRect[i&1023]
+			pf.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		}
+	})
+}
+
+func BenchmarkFig16aCountRel(b *testing.B) {
+	f := fx()
+	rmiIx, err := rmi.BuildCountWithGuarantee(f.tweetKeys, 50, 1<<18, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit, _ := fitingtree.BuildCount(f.tweetKeys, 50, true)
+	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50})
+	for _, m := range []struct {
+		name string
+		op   func(l, u float64)
+	}{
+		{"RMI", func(l, u float64) { rmiIx.RangeSumRel(l, u, 0.01) }},      //nolint:errcheck
+		{"FITingTree", func(l, u float64) { fit.RangeSumRel(l, u, 0.01) }}, //nolint:errcheck
+		{"PolyFit2", func(l, u float64) { pf.RangeSumRel(l, u, 0.01) }},    //nolint:errcheck
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := f.qs1D[i&1023]
+				m.op(q.L, q.U)
+			}
+		})
+	}
+}
+
+func BenchmarkFig16bCount2DRel(b *testing.B) {
+	f := fx()
+	pf, err := core.BuildCount2D(f.osmXs, f.osmYs, core.Options2D{Degree: 2, Delta: 250})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		q := f.qsRect[i&1023]
+		pf.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, 0.01) //nolint:errcheck
+	}
+}
+
+func BenchmarkFig17aMaxAbs(b *testing.B) {
+	f := fx()
+	pf, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
+	for i := 0; i < b.N; i++ {
+		q := f.qsHKI[i&1023]
+		pf.RangeExtremum(q.L, q.U) //nolint:errcheck
+	}
+}
+
+func BenchmarkFig17bMaxRel(b *testing.B) {
+	f := fx()
+	pf, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 50})
+	for i := 0; i < b.N; i++ {
+		q := f.qsHKI[i&1023]
+		pf.RangeExtremumRel(q.L, q.U, 0.01) //nolint:errcheck
+	}
+}
+
+func BenchmarkFig18Scalability(b *testing.B) {
+	for _, n := range []int{25_000, 100_000, 400_000} {
+		keys := data.GenOSMLatKeys(n, 9)
+		qs := data.RangeQueriesFromKeys(keys, 1024, 10)
+		pf, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{25_000: "n25k", 100_000: "n100k", 400_000: "n400k"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := qs[i&1023]
+				pf.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+			}
+		})
+	}
+}
+
+// --- Figure 19: index size (reported as metrics, not time) --------------------
+
+func BenchmarkFig19IndexSize(b *testing.B) {
+	f := fx()
+	for i := 0; i < b.N; i++ {
+		pf, err := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50, NoFallback: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fit, _ := fitingtree.BuildCount(f.tweetKeys, 50, false)
+			rmiIx, _ := rmi.BuildCountWithGuarantee(f.tweetKeys, 50, 1<<18, false)
+			b.ReportMetric(float64(pf.SizeBytes())/1024, "polyfit-KB")
+			b.ReportMetric(float64(fit.SizeBytes())/1024, "fitingtree-KB")
+			b.ReportMetric(float64(rmiIx.SizeBytes())/1024, "rmi-KB")
+		}
+	}
+}
+
+// --- Figure 20: heuristics -----------------------------------------------------
+
+func BenchmarkFig20Heuristics(b *testing.B) {
+	f := fx()
+	h, _ := hist.New(f.tweetKeys, 1024)
+	st, _ := sampling.NewSTree(f.tweetKeys, len(f.tweetKeys)/10, 11)
+	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50, NoFallback: true})
+	b.Run("Hist1024", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			h.EstimateCount(q.L, q.U)
+		}
+	})
+	b.Run("STree10pct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			st.EstimateCount(q.L, q.U)
+		}
+	})
+	b.Run("PolyFit2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.qs1D[i&1023]
+			pf.RangeSum(q.L, q.U) //nolint:errcheck
+		}
+	})
+}
+
+// --- Table VI: model prediction latency -----------------------------------------
+
+func BenchmarkTable6Models(b *testing.B) {
+	f := fx()
+	xs := make([]float64, 0, 2000)
+	ys := make([]float64, 0, 2000)
+	stride := len(f.tweetKeys) / 2000
+	for i := 0; i < len(f.tweetKeys); i += stride {
+		xs = append(xs, f.tweetKeys[i])
+		ys = append(ys, float64(i+1))
+	}
+	lr, _ := rmi.BuildCount(f.tweetKeys, []int{1}, false)
+	b.Run("LR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lr.CF(f.tweetKeys[i%len(f.tweetKeys)])
+		}
+	})
+	for _, arch := range [][]int{{1, 8, 1}, {1, 8, 8, 1}, {1, 16, 16, 1}} {
+		m, _ := nn.New(arch, 12)
+		_ = m.Fit(xs, ys, nn.Config{Epochs: 10, Seed: 12})
+		pred := m.Predictor()
+		b.Run("NN"+m.Arch(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pred(f.tweetKeys[i%len(f.tweetKeys)])
+			}
+		})
+	}
+}
+
+// --- Ablations -------------------------------------------------------------------
+
+func BenchmarkAblationSegmentation(b *testing.B) {
+	keys := data.GenTweet(20_000, 13)
+	cf := make([]float64, len(keys))
+	for i := range cf {
+		cf[i] = float64(i + 1)
+	}
+	for _, v := range []struct {
+		name string
+		cfg  segment.Config
+	}{
+		{"ExpSearchExchange", segment.Config{Degree: 2, Delta: 50}},
+		{"LinearScan", segment.Config{Degree: 2, Delta: 50, NoExpSearch: true}},
+		{"ExpSearchDualLP", segment.Config{Degree: 2, Delta: 50, Backend: segment.DualLP}},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := segment.Greedy(keys, cf, v.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationMaxBoundaryWork(b *testing.B) {
+	// Isolates the cost of the two boundary-segment polynomial
+	// maximisations vs the O(1) RMQ middle (whole-domain queries hit only
+	// the RMQ; narrow queries hit only the boundary path).
+	f := fx()
+	pf, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
+	lo, hi := f.hkiKeys[0], f.hkiKeys[len(f.hkiKeys)-1]
+	b.Run("WholeDomainRMQ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pf.RangeExtremum(lo, hi) //nolint:errcheck
+		}
+	})
+	b.Run("NarrowBoundary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := f.hkiKeys[i%(len(f.hkiKeys)-100)]
+			pf.RangeExtremum(q, q+50) //nolint:errcheck
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Command polyfit-cli builds, inspects and queries PolyFit indexes over CSV
+// data from the command line.
+//
+// Usage:
+//
+//	polyfit-cli build  -in data.csv -agg count -eps 100 -out idx.pfi
+//	polyfit-cli stats  -index idx.pfi
+//	polyfit-cli query  -index idx.pfi -l 10.5 -u 99.25
+//	polyfit-cli query  -in data.csv -agg max -eps 50 -l 10 -u 99   # ad hoc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	polyfit "repro"
+	"repro/internal/data"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `polyfit-cli <build|stats|query> [flags]
+  build: -in data.csv -agg count|sum|min|max -eps E [-degree D] -out idx.pfi
+  stats: -index idx.pfi
+  query: -index idx.pfi -l L -u U  (or ad hoc: -in data.csv -agg A -eps E -l L -u U)`)
+}
+
+func buildIndex(in, agg string, eps float64, degree int) (*polyfit.Index, error) {
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys, measures, err := data.ReadCSV1D(f)
+	if err != nil {
+		return nil, err
+	}
+	opt := polyfit.Options{EpsAbs: eps, Degree: degree, DisableFallback: true}
+	switch agg {
+	case "count":
+		return polyfit.NewCountIndex(keys, opt)
+	case "sum":
+		return polyfit.NewSumIndex(keys, measures, opt)
+	case "min":
+		return polyfit.NewMinIndex(keys, measures, opt)
+	case "max":
+		return polyfit.NewMaxIndex(keys, measures, opt)
+	default:
+		return nil, fmt.Errorf("unknown aggregate %q", agg)
+	}
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV (key,measure)")
+	agg := fs.String("agg", "count", "count | sum | min | max")
+	eps := fs.Float64("eps", 100, "absolute error guarantee εabs")
+	degree := fs.Int("degree", 2, "polynomial degree")
+	out := fs.String("out", "index.pfi", "output index file")
+	_ = fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("build: -in is required")
+	}
+	ix, err := buildIndex(*in, *agg, *eps, *degree)
+	if err != nil {
+		return err
+	}
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("built %s (%d bytes): %s\n", *out, len(blob), ix.Stats())
+	return nil
+}
+
+func loadIndex(path string) (*polyfit.Index, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ix polyfit.Index
+	if err := ix.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return &ix, nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	index := fs.String("index", "", "index file")
+	_ = fs.Parse(args)
+	if *index == "" {
+		return fmt.Errorf("stats: -index is required")
+	}
+	ix, err := loadIndex(*index)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ix.Stats())
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	index := fs.String("index", "", "index file (or use -in for ad hoc)")
+	in := fs.String("in", "", "CSV for ad hoc build")
+	agg := fs.String("agg", "count", "aggregate for ad hoc build")
+	eps := fs.Float64("eps", 100, "εabs for ad hoc build")
+	degree := fs.Int("degree", 2, "degree for ad hoc build")
+	l := fs.Float64("l", 0, "range lower bound")
+	u := fs.Float64("u", 0, "range upper bound")
+	_ = fs.Parse(args)
+
+	var ix *polyfit.Index
+	var err error
+	switch {
+	case *index != "":
+		ix, err = loadIndex(*index)
+	case *in != "":
+		ix, err = buildIndex(*in, *agg, *eps, *degree)
+	default:
+		return fmt.Errorf("query: need -index or -in")
+	}
+	if err != nil {
+		return err
+	}
+	v, found, err := ix.Query(*l, *u)
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Println("no records in range")
+		return nil
+	}
+	st := ix.Stats()
+	fmt.Printf("%v over (%g, %g] ≈ %g (εabs guarantee from δ=%g)\n", st.Aggregate, *l, *u, v, st.Delta)
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command polyfit-datagen writes the synthetic stand-in datasets (DESIGN.md
+// §1.5) to CSV so they can be inspected or fed to polyfit-cli.
+//
+// Usage:
+//
+//	polyfit-datagen -dataset hki   -n 900000 -out hki.csv
+//	polyfit-datagen -dataset tweet -n 1000000 -out tweet.csv
+//	polyfit-datagen -dataset osm   -n 2000000 -out osm.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/data"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tweet", "hki | tweet | osm")
+		n       = flag.Int("n", 100_000, "number of records")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch *dataset {
+	case "hki":
+		keys, measures := data.GenHKI(*n, *seed)
+		err = data.WriteCSV1D(w, keys, measures)
+	case "tweet":
+		keys := data.GenTweet(*n, *seed)
+		ones := make([]float64, len(keys))
+		for i := range ones {
+			ones[i] = 1
+		}
+		err = data.WriteCSV1D(w, keys, ones)
+	case "osm":
+		xs, ys := data.GenOSM(*n, *seed)
+		err = data.WriteCSV2D(w, xs, ys)
+	default:
+		err = fmt.Errorf("unknown dataset %q (want hki, tweet or osm)", *dataset)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

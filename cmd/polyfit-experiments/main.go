@@ -1,0 +1,80 @@
+// Command polyfit-experiments regenerates the paper's evaluation tables and
+// figures (Section VII + appendix) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	polyfit-experiments                  # run everything at default scale
+//	polyfit-experiments -run table5      # one experiment
+//	polyfit-experiments -markdown        # emit EXPERIMENTS.md-ready markdown
+//	polyfit-experiments -tweet 1000000   # paper-scale TWEET dataset
+//	polyfit-experiments -fast            # trimmed sweeps (CI-sized)
+//	polyfit-experiments -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "run a single experiment id (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		markdown = flag.Bool("markdown", false, "render tables as markdown")
+		fast     = flag.Bool("fast", false, "trimmed parameter sweeps")
+		hkiN     = flag.Int("hki", 0, "HKI dataset size (default 150000; paper 0.9M)")
+		tweetN   = flag.Int("tweet", 0, "TWEET dataset size (default 200000; paper 1M)")
+		osmN     = flag.Int("osm", 0, "OSM dataset size (default 120000; paper 100M)")
+		queries  = flag.Int("queries", 0, "queries per workload (default 1000)")
+		seed     = flag.Int64("seed", 0, "workload/dataset seed (default 42)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		HKISize:   *hkiN,
+		TweetSize: *tweetN,
+		OSMSize:   *osmN,
+		Queries:   *queries,
+		Seed:      *seed,
+		Fast:      *fast,
+	}
+
+	render := func(t *experiments.Table) {
+		if *markdown {
+			t.RenderMarkdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	start := time.Now()
+	if *runID != "" {
+		t, err := experiments.Run(*runID, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		render(t)
+		return
+	}
+	for _, id := range experiments.IDs() {
+		t, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error in %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		render(t)
+	}
+	fmt.Fprintf(os.Stderr, "all experiments completed in %v\n", time.Since(start).Round(time.Second))
+}

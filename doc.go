@@ -1,0 +1,53 @@
+// Package polyfit is a from-scratch Go implementation of PolyFit, the
+// polynomial-based learned index for fast approximate range aggregate
+// queries (Li, Chan, Yiu, Jensen — EDBT 2021, arXiv:2003.08031).
+//
+// A PolyFit index replaces the n keys of a traditional aggregate index with
+// h ≪ n polynomial segments fitted to the key-cumulative function (for
+// COUNT/SUM) or the key-measure function (for MIN/MAX) under a bounded
+// maximum-error constraint. Range aggregates are then answered from the
+// polynomials alone — two evaluations for COUNT/SUM, two constrained
+// maximisations plus an O(1) lookup for MIN/MAX — with provable absolute or
+// relative error guarantees.
+//
+// # Quick start
+//
+//	keys := []float64{ /* sorted, distinct */ }
+//	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 100})
+//	if err != nil { ... }
+//	approx, _ := ix.Query(lo, hi)            // |approx − exact| ≤ 100
+//	res, _ := ix.QueryRel(lo, hi, 0.01)      // ≤1% error, exact fallback
+//
+// # Guarantees
+//
+//   - Query on a COUNT/SUM index built with EpsAbs = ε satisfies
+//     |A − R| ≤ ε for query endpoints drawn from the key set (the paper's
+//     workload; arbitrary endpoints inside fitted segments carry a small
+//     documented slack, see DESIGN.md §3).
+//   - QueryRel answers within the requested relative error; when the
+//     Lemma 3/5/7 gate cannot certify the bound the exact fallback structure
+//     (a key-cumulative array or aggregate tree) answers instead, so the
+//     result is always within the requested relative error.
+//
+// # Two keys
+//
+// NewCount2DIndex builds the Section VI variant: a quadtree of bivariate
+// polynomial surfaces over the cumulative count surface, answering
+// rectangle COUNT queries with four surface evaluations.
+//
+// # Persistence
+//
+// Index and Index2D implement encoding.BinaryMarshaler/Unmarshaler. The
+// compact polynomial structure round-trips; exact fallbacks (which are
+// O(n)) are not serialised, so loaded indexes serve absolute-guarantee
+// queries and return ErrNoFallback for relative ones.
+//
+// Everything in this module — the minimax fitting stack (exchange algorithm
+// and a revised dual simplex over LP (9)), greedy segmentation with
+// exponential search, the exact baselines (prefix arrays, aggregate trees,
+// an STR-packed aR-tree, a bulk-loaded B+-tree), the learned baselines (RMI,
+// FITing-tree), the sampling and histogram heuristics, and the experiment
+// harness reproducing every table and figure of the paper — is implemented
+// in this repository with the Go standard library only. See DESIGN.md for
+// the full inventory and EXPERIMENTS.md for paper-vs-measured results.
+package polyfit

@@ -1,0 +1,90 @@
+package polyfit
+
+import (
+	"repro/internal/core"
+)
+
+// DynamicIndex is an insert-supporting PolyFit index — the paper's stated
+// future work, implemented as a delta buffer over the static index (see
+// internal/core.Dynamic1D). Inserts are aggregated exactly, so the static
+// index's absolute guarantee carries over unchanged; deletions are not
+// supported.
+type DynamicIndex struct {
+	inner *core.Dynamic1D
+}
+
+// NewDynamicCountIndex builds an insertable COUNT index.
+func NewDynamicCountIndex(keys []float64, opt Options) (*DynamicIndex, error) {
+	return newDynamic(Count, keys, make([]float64, len(keys)), opt)
+}
+
+// NewDynamicSumIndex builds an insertable SUM index.
+func NewDynamicSumIndex(keys, measures []float64, opt Options) (*DynamicIndex, error) {
+	return newDynamic(Sum, keys, measures, opt)
+}
+
+// NewDynamicMaxIndex builds an insertable MAX index.
+func NewDynamicMaxIndex(keys, measures []float64, opt Options) (*DynamicIndex, error) {
+	return newDynamic(Max, keys, measures, opt)
+}
+
+// NewDynamicMinIndex builds an insertable MIN index.
+func NewDynamicMinIndex(keys, measures []float64, opt Options) (*DynamicIndex, error) {
+	return newDynamic(Min, keys, measures, opt)
+}
+
+func newDynamic(agg Agg, keys, measures []float64, opt Options) (*DynamicIndex, error) {
+	d, err := opt.delta(agg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewDynamic(agg, keys, measures, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{inner: inner}, nil
+}
+
+// Insert adds a (key, measure) record; duplicate keys are rejected. COUNT
+// indexes ignore the measure. A merge-rebuild runs automatically when the
+// delta buffer outgrows an eighth of the base.
+func (d *DynamicIndex) Insert(key, measure float64) error {
+	return d.inner.Insert(key, measure)
+}
+
+// Query answers the approximate aggregate with the build-time εabs
+// guarantee (buffer contributions are exact).
+func (d *DynamicIndex) Query(lq, uq float64) (value float64, found bool, err error) {
+	switch d.inner.Base().Aggregate() {
+	case Count, Sum:
+		v, err := d.inner.RangeSum(lq, uq)
+		return v, true, err
+	default:
+		return d.inner.RangeExtremum(lq, uq)
+	}
+}
+
+// Rebuild forces an immediate merge of the delta buffer into the base.
+func (d *DynamicIndex) Rebuild() error { return d.inner.Rebuild() }
+
+// Len returns the total record count (base + buffer).
+func (d *DynamicIndex) Len() int { return d.inner.Len() }
+
+// BufferLen returns the number of not-yet-merged inserts.
+func (d *DynamicIndex) BufferLen() int { return d.inner.BufferLen() }
+
+// Stats reports the current base index structure.
+func (d *DynamicIndex) Stats() Stats {
+	base := d.inner.Base()
+	return Stats{
+		Aggregate:     base.Aggregate(),
+		Records:       d.inner.Len(),
+		Segments:      base.NumSegments(),
+		Degree:        base.Degree(),
+		Delta:         base.Delta(),
+		IndexBytes:    base.SizeBytes() + 16*d.inner.BufferLen(),
+		FallbackBytes: base.FallbackSizeBytes(),
+	}
+}

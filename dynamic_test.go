@@ -1,0 +1,89 @@
+package polyfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestDynamicCountEndToEnd(t *testing.T) {
+	keys := data.GenTweet(3000, 61)
+	const eps = 40.0
+	d, err := NewDynamicCountIndex(keys, Options{EpsAbs: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append([]float64(nil), keys...)
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 800; i++ {
+		k := -60 + rng.Float64()*135
+		if err := d.Insert(k, 1); err == nil {
+			all = append(all, k)
+		}
+	}
+	if d.Len() != len(all) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(all))
+	}
+	for q := 0; q < 200; q++ {
+		l := all[rng.Intn(len(all))]
+		u := all[rng.Intn(len(all))]
+		if l > u {
+			l, u = u, l
+		}
+		got, _, err := d.Query(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, k := range all {
+			if k > l && k <= u {
+				want++
+			}
+		}
+		if math.Abs(got-want) > eps+1e-6 {
+			t.Fatalf("|%g − %g| > εabs", got, want)
+		}
+	}
+	st := d.Stats()
+	if st.Records != len(all) || st.Segments < 1 {
+		t.Errorf("bad stats %+v", st)
+	}
+}
+
+func TestDynamicMaxEndToEnd(t *testing.T) {
+	keys, measures := data.GenHKI(2000, 63)
+	d, err := NewDynamicMaxIndex(keys, measures, Options{EpsAbs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a new global peak past the end of the series.
+	peakKey := keys[len(keys)-1] + 100
+	if err := d.Insert(peakKey, 99999); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := d.Query(keys[0], peakKey+1)
+	if err != nil || !found {
+		t.Fatalf("query: %v %v", err, found)
+	}
+	if v < 99999-100 {
+		t.Errorf("inserted peak lost: %g", v)
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.BufferLen() != 0 {
+		t.Error("buffer survived rebuild")
+	}
+	v, _, _ = d.Query(keys[0], peakKey+1)
+	if v < 99999-100 {
+		t.Errorf("peak lost after rebuild: %g", v)
+	}
+}
+
+func TestDynamicOptionsValidation(t *testing.T) {
+	if _, err := NewDynamicCountIndex(data.GenTweet(100, 64), Options{}); err != ErrBadOptions {
+		t.Errorf("want ErrBadOptions, got %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package polyfit_test
+
+import (
+	"fmt"
+
+	polyfit "repro"
+)
+
+// ExampleNewCountIndex builds a COUNT index over a small sorted key set and
+// answers a range count within the requested absolute error.
+func ExampleNewCountIndex() {
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i) * 1.5 // sorted, distinct
+	}
+	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 4})
+	if err != nil {
+		panic(err)
+	}
+	// Count keys in (150, 300]: exactly 100 of them (151.5, 153, ..., 300).
+	v, _, _ := ix.Query(150, 300)
+	fmt.Printf("count ≈ %.0f (exact 100, guarantee ±4)\n", v)
+	// Output: count ≈ 100 (exact 100, guarantee ±4)
+}
+
+// ExampleIndex_QueryRel shows the certified relative-error path: the result
+// is within 1% whether the approximate gate passed or the exact fallback
+// answered.
+func ExampleIndex_QueryRel() {
+	keys := make([]float64, 5000)
+	for i := range keys {
+		keys[i] = float64(i * i) // quadratic spacing → curved CDF
+	}
+	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{Delta: 10})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ix.QueryRel(keys[100], keys[4900], 0.01)
+	if err != nil {
+		panic(err)
+	}
+	const exact = 4800.0
+	relErr := (res.Value - exact) / exact
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	fmt.Printf("within 1%%: %v (exact path used: %v)\n", relErr <= 0.01, res.Exact)
+	// Output: within 1%: true (exact path used: false)
+}
+
+// ExampleNewMaxIndex answers a range MAX from the polynomial segments plus
+// the per-segment exact maxima.
+func ExampleNewMaxIndex() {
+	keys := make([]float64, 0, 100)
+	vals := make([]float64, 0, 100)
+	for i := 0; i < 100; i++ {
+		keys = append(keys, float64(i))
+		vals = append(vals, float64(50-absInt(i-50))) // tent: peak 50 at i=50
+	}
+	ix, err := polyfit.NewMaxIndex(keys, vals, polyfit.Options{EpsAbs: 1})
+	if err != nil {
+		panic(err)
+	}
+	v, found, _ := ix.Query(10, 90)
+	fmt.Printf("max ≈ %.0f found=%v (exact 50, guarantee ±1)\n", v, found)
+	// Output: max ≈ 50 found=true (exact 50, guarantee ±1)
+}
+
+// ExampleDynamicIndex demonstrates the insert-supporting variant: the delta
+// buffer is aggregated exactly, so the guarantee survives updates.
+func ExampleDynamicIndex() {
+	keys := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	d, err := polyfit.NewDynamicCountIndex(keys, polyfit.Options{EpsAbs: 2})
+	if err != nil {
+		panic(err)
+	}
+	_ = d.Insert(2.5, 1)
+	_ = d.Insert(3.5, 1)
+	v, _, _ := d.Query(2, 4) // keys in (2,4]: {2.5, 3, 3.5, 4}
+	fmt.Printf("count ≈ %.0f of 4 (buffer %d)\n", v, d.BufferLen())
+	// Output: count ≈ 4 of 4 (buffer 2)
+}
+
+// ExampleIndex_marshal round-trips an index through its binary encoding.
+func ExampleIndex_marshal() {
+	keys := make([]float64, 200)
+	for i := range keys {
+		keys[i] = float64(i)
+	}
+	ix, _ := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 2})
+	blob, _ := ix.MarshalBinary()
+	var loaded polyfit.Index
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		panic(err)
+	}
+	a, _, _ := ix.Query(50, 150)
+	b, _, _ := loaded.Query(50, 150)
+	fmt.Printf("same answer after round-trip: %v\n", a == b)
+	// Output: same answer after round-trip: true
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a PolyFit COUNT index over a million keys, query it in
+// nanoseconds, and verify the absolute error guarantee against brute force.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	polyfit "repro"
+	"repro/internal/data"
+)
+
+func main() {
+	// 1. A synthetic latitude dataset (stand-in for the paper's TWEET data).
+	keys := data.GenTweet(200_000, 1)
+	fmt.Printf("dataset: %d sorted keys in [%.2f, %.2f]\n",
+		len(keys), keys[0], keys[len(keys)-1])
+
+	// 2. Build the index with an absolute error guarantee of ±100.
+	start := time.Now()
+	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 100})
+	if err != nil {
+		panic(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("built in %v: %s\n", time.Since(start).Round(time.Millisecond), st)
+	fmt.Printf("compression: %d keys (%d KB raw) -> %d polynomial segments (%d KB)\n\n",
+		st.Records, 8*st.Records/1024, st.Segments, st.IndexBytes/1024)
+
+	// 3. Query: how many tweets between latitudes 30 and 50?
+	approx, _, _ := ix.Query(30, 50)
+	exact := bruteCount(keys, 30, 50)
+	fmt.Printf("COUNT (30, 50]   approx=%.0f  exact=%.0f  error=%.0f (guarantee ±100)\n",
+		approx, exact, math.Abs(approx-exact))
+
+	// 4. Relative-error query: certified within 1%, exact fallback if the
+	// approximate gate cannot certify it.
+	res, _ := ix.QueryRel(30, 50, 0.01)
+	fmt.Printf("COUNT (30, 50]   within 1%%: %.0f (exact fallback used: %v)\n\n", res.Value, res.Exact)
+
+	// 5. Throughput check on the paper's workload.
+	qs := data.RangeQueriesFromKeys(keys, 1000, 2)
+	start = time.Now()
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		for _, q := range qs {
+			ix.Query(q.L, q.U) //nolint:errcheck
+		}
+	}
+	perQuery := time.Since(start) / (reps * time.Duration(len(qs)))
+	fmt.Printf("throughput: %v per query over %d random range queries\n", perQuery, len(qs))
+
+	// 6. The guarantee, verified over the whole workload.
+	worst := 0.0
+	for _, q := range qs {
+		a, _, _ := ix.Query(q.L, q.U)
+		if e := math.Abs(a - bruteCount(keys, q.L, q.U)); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("worst observed error over %d queries: %.1f (εabs = 100)\n", len(qs), worst)
+}
+
+func bruteCount(keys []float64, l, u float64) float64 {
+	c := 0.0
+	for _, k := range keys {
+		if k > l && k <= u {
+			c++
+		}
+	}
+	return c
+}

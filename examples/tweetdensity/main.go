@@ -1,0 +1,83 @@
+// Tweet density: 1D COUNT queries over tweet latitudes — the paper's TWEET
+// workload. Renders an ASCII latitude histogram from the index alone (no
+// scan of the raw data) and compares the time/accuracy trade-off across
+// error guarantees.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	polyfit "repro"
+	"repro/internal/data"
+)
+
+func main() {
+	keys := data.GenTweet(500_000, 3)
+	fmt.Printf("tweet latitudes: %d records in [%.1f, %.1f]\n\n", len(keys), keys[0], keys[len(keys)-1])
+
+	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 200})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n\n", ix.Stats())
+
+	// Latitude density profile straight from the index: 30 bands of 4.5°.
+	fmt.Println("latitude density (each row is one 4.5° band, bars from index estimates):")
+	const bands = 30
+	lo, hi := -60.0, 75.0
+	width := (hi - lo) / bands
+	maxCount := 0.0
+	counts := make([]float64, bands)
+	for b := 0; b < bands; b++ {
+		v, _, _ := ix.Query(lo+float64(b)*width, lo+float64(b+1)*width)
+		counts[b] = v
+		if v > maxCount {
+			maxCount = v
+		}
+	}
+	for b := bands - 1; b >= 0; b-- {
+		bar := int(50 * counts[b] / maxCount)
+		fmt.Printf("  %+6.1f° %s %0.f\n", lo+(float64(b)+0.5)*width, strings.Repeat("#", bar), counts[b])
+	}
+
+	// Error-guarantee ladder: tighter εabs → more segments → same speed class.
+	fmt.Println("\nguarantee ladder (εabs → index size and per-query latency):")
+	qs := data.RangeQueriesFromKeys(keys, 1000, 4)
+	for _, eps := range []float64{1000, 200, 50} {
+		ladder, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: eps, DisableFallback: true})
+		if err != nil {
+			panic(err)
+		}
+		st := ladder.Stats()
+		start := time.Now()
+		const reps = 50
+		for r := 0; r < reps; r++ {
+			for _, q := range qs {
+				ladder.Query(q.L, q.U) //nolint:errcheck
+			}
+		}
+		per := time.Since(start) / time.Duration(reps*len(qs))
+		worst := 0.0
+		for _, q := range qs[:200] {
+			a, _, _ := ladder.Query(q.L, q.U)
+			if e := math.Abs(a - brute(keys, q.L, q.U)); e > worst {
+				worst = e
+			}
+		}
+		fmt.Printf("  εabs=%5.0f: %5d segments, %5.1f KB, %v/query, worst observed error %.0f\n",
+			eps, st.Segments, float64(st.IndexBytes)/1024, per, worst)
+	}
+}
+
+func brute(keys []float64, l, u float64) float64 {
+	c := 0.0
+	for _, k := range keys {
+		if k > l && k <= u {
+			c++
+		}
+	}
+	return c
+}

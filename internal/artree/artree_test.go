@@ -1,0 +1,282 @@
+package artree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func genSorted(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	set := map[float64]bool{}
+	for len(set) < n {
+		set[math.Round(rng.Float64()*1e7)/100] = true
+	}
+	keys = make([]float64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	measures = make([]float64, n)
+	for i := range measures {
+		measures[i] = rng.Float64() * 1000
+	}
+	return keys, measures
+}
+
+func bruteMax(keys, measures []float64, l, u float64, agg Agg) (float64, bool) {
+	best := math.Inf(-1)
+	if agg == Min {
+		best = math.Inf(1)
+	}
+	found := false
+	for i, k := range keys {
+		if k >= l && k <= u {
+			found = true
+			best = combine(agg, best, measures[i])
+		}
+	}
+	return best, found
+}
+
+func TestMaxTreeValidation(t *testing.T) {
+	if _, err := NewMaxTree(nil, nil, Max); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := NewMaxTree([]float64{1, 2}, []float64{1}, Max); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewMaxTree([]float64{2, 1}, []float64{1, 1}, Max); err == nil {
+		t.Error("unsorted keys should error")
+	}
+}
+
+func TestMaxTreeSmallKnown(t *testing.T) {
+	keys := []float64{1, 2, 3, 4, 5}
+	vals := []float64{10, 50, 20, 40, 30}
+	tr, err := NewMaxTree(keys, vals, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		l, u, want float64
+		ok         bool
+	}{
+		{1, 5, 50, true},
+		{3, 5, 40, true},
+		{3, 3, 20, true},
+		{2.5, 4.5, 40, true},
+		{6, 9, 0, false},
+		{0, 0.5, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Query(c.l, c.u)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Query(%g,%g) = (%g,%v), want (%g,%v)", c.l, c.u, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMaxTreeAgainstBruteForce(t *testing.T) {
+	keys, measures := genSorted(700, 3)
+	for _, agg := range []Agg{Max, Min} {
+		tr, err := NewMaxTree(keys, measures, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for iter := 0; iter < 500; iter++ {
+			l := keys[rng.Intn(len(keys))]
+			u := keys[rng.Intn(len(keys))]
+			if l > u {
+				l, u = u, l
+			}
+			want, wantOK := bruteMax(keys, measures, l, u, agg)
+			got, ok := tr.Query(l, u)
+			if ok != wantOK || (ok && math.Abs(got-want) > 1e-9) {
+				t.Fatalf("agg %v Query(%g,%g) = (%g,%v), want (%g,%v)", agg, l, u, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestMaxTreeNonKeyEndpoints(t *testing.T) {
+	keys, measures := genSorted(300, 5)
+	tr, _ := NewMaxTree(keys, measures, Max)
+	rng := rand.New(rand.NewSource(6))
+	lo, hi := keys[0], keys[len(keys)-1]
+	for iter := 0; iter < 300; iter++ {
+		l := lo - 5 + rng.Float64()*(hi-lo+10)
+		u := l + rng.Float64()*(hi-lo)
+		want, wantOK := bruteMax(keys, measures, l, u, Max)
+		got, ok := tr.Query(l, u)
+		if ok != wantOK || (ok && math.Abs(got-want) > 1e-9) {
+			t.Fatalf("Query(%g,%g) = (%g,%v), want (%g,%v)", l, u, got, ok, want, wantOK)
+		}
+	}
+}
+
+func TestMaxTreeSingleElement(t *testing.T) {
+	tr, err := NewMaxTree([]float64{7}, []float64{42}, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Query(7, 7); !ok || v != 42 {
+		t.Errorf("Query(7,7) = (%g,%v), want (42,true)", v, ok)
+	}
+	if _, ok := tr.Query(8, 9); ok {
+		t.Error("out-of-range query should report ok=false")
+	}
+}
+
+// --- R-tree ---------------------------------------------------------------
+
+func genPoints(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Clustered + background mix to stress MBR overlap handling.
+		if rng.Float64() < 0.7 {
+			cx := float64(rng.Intn(5)*20) - 40
+			cy := float64(rng.Intn(3)*30) - 30
+			xs[i] = cx + rng.NormFloat64()*3
+			ys[i] = cy + rng.NormFloat64()*3
+		} else {
+			xs[i] = -180 + rng.Float64()*360
+			ys[i] = -90 + rng.Float64()*180
+		}
+	}
+	return xs, ys
+}
+
+func bruteCount(xs, ys []float64, q Rect) int {
+	c := 0
+	for i := range xs {
+		if q.ContainsPoint(xs[i], ys[i]) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestRTreeValidation(t *testing.T) {
+	if _, err := NewRTree(nil, nil, 0, 0); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := NewRTree([]float64{1}, []float64{1, 2}, 0, 0); err == nil {
+		t.Error("mismatch should error")
+	}
+}
+
+func TestRTreeCountAgainstBruteForce(t *testing.T) {
+	xs, ys := genPoints(5000, 17)
+	tr, err := NewRTree(xs, ys, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(18))
+	for iter := 0; iter < 300; iter++ {
+		x1 := -200 + rng.Float64()*400
+		x2 := -200 + rng.Float64()*400
+		y1 := -100 + rng.Float64()*200
+		y2 := -100 + rng.Float64()*200
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		q := Rect{x1, x2, y1, y2}
+		if got, want := tr.CountRect(q), bruteCount(xs, ys, q); got != want {
+			t.Fatalf("CountRect(%+v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestRTreeWholeDomainAndEmpty(t *testing.T) {
+	xs, ys := genPoints(1000, 21)
+	tr, _ := NewRTree(xs, ys, 8, 32)
+	if got := tr.CountRect(Rect{-1e9, 1e9, -1e9, 1e9}); got != 1000 {
+		t.Errorf("whole-domain count = %d, want 1000", got)
+	}
+	if got := tr.CountRect(Rect{1e6, 2e6, 1e6, 2e6}); got != 0 {
+		t.Errorf("empty-region count = %d, want 0", got)
+	}
+}
+
+func TestRTreeDegenerateRect(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 2, 3}
+	tr, _ := NewRTree(xs, ys, 0, 0)
+	// A point query rectangle hitting exactly one point.
+	if got := tr.CountRect(Rect{2, 2, 2, 2}); got != 1 {
+		t.Errorf("point rect count = %d, want 1", got)
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a := Rect{0, 10, 0, 10}
+	b := Rect{2, 5, 3, 7}
+	if !a.Contains(b) || b.Contains(a) {
+		t.Error("Contains wrong")
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("Intersects wrong")
+	}
+	c := Rect{11, 12, 0, 10}
+	if a.Intersects(c) {
+		t.Error("disjoint rects must not intersect")
+	}
+	if !a.ContainsPoint(10, 10) || a.ContainsPoint(10.1, 5) {
+		t.Error("ContainsPoint boundary wrong")
+	}
+}
+
+func TestRTreeSizeBytesPositive(t *testing.T) {
+	xs, ys := genPoints(500, 30)
+	tr, _ := NewRTree(xs, ys, 0, 0)
+	if tr.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func BenchmarkMaxTreeQuery(b *testing.B) {
+	keys, measures := genSorted(100000, 1)
+	tr, _ := NewMaxTree(keys, measures, Max)
+	rng := rand.New(rand.NewSource(2))
+	qs := make([][2]float64, 1024)
+	for i := range qs {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		qs[i] = [2]float64{l, u}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i&1023]
+		tr.Query(q[0], q[1])
+	}
+}
+
+func BenchmarkRTreeCount(b *testing.B) {
+	xs, ys := genPoints(100000, 1)
+	tr, _ := NewRTree(xs, ys, 0, 0)
+	rng := rand.New(rand.NewSource(2))
+	qs := make([]Rect, 1024)
+	for i := range qs {
+		x := -180 + rng.Float64()*300
+		y := -90 + rng.Float64()*150
+		qs[i] = Rect{x, x + 30, y, y + 20}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CountRect(qs[i&1023])
+	}
+}

@@ -1,0 +1,110 @@
+// Package artree implements the exact aggregate-tree baselines of the paper:
+// the 1D aggregate MAX tree of Section III-B2 / Figure 4 (also usable for
+// MIN), and the 2D aggregate R-tree (aR-tree [46]) used for exact COUNT over
+// rectangles in Section VII.
+package artree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Agg selects which extremum a MaxTree maintains.
+type Agg int
+
+// Supported tree aggregates.
+const (
+	Max Agg = iota
+	Min
+)
+
+// MaxTree is a static implicit segment tree over a key-sorted dataset that
+// answers exact range MAX (or MIN) queries in O(log n): the traversal visits
+// at most two branches per level exactly as described in Section III-B2.
+type MaxTree struct {
+	agg  Agg
+	keys []float64
+	// tree is a 1-indexed implicit binary heap layout over size leaves;
+	// leaves [size, size+n) hold measures, internals hold child aggregates.
+	tree []float64
+	size int
+	n    int
+}
+
+// NewMaxTree builds an aggregate tree over keys (sorted strictly ascending)
+// and their measures.
+func NewMaxTree(keys, measures []float64, agg Agg) (*MaxTree, error) {
+	n := len(keys)
+	if n == 0 || n != len(measures) {
+		return nil, fmt.Errorf("artree: %d keys, %d measures", n, len(measures))
+	}
+	for i := 1; i < n; i++ {
+		if keys[i] <= keys[i-1] {
+			return nil, fmt.Errorf("artree: keys not strictly increasing at %d", i)
+		}
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	neutral := math.Inf(-1)
+	if agg == Min {
+		neutral = math.Inf(1)
+	}
+	tree := make([]float64, 2*size)
+	for i := range tree {
+		tree[i] = neutral
+	}
+	copy(tree[size:size+n], measures)
+	for i := size - 1; i >= 1; i-- {
+		tree[i] = combine(agg, tree[2*i], tree[2*i+1])
+	}
+	return &MaxTree{agg: agg, keys: keys, tree: tree, size: size, n: n}, nil
+}
+
+func combine(agg Agg, a, b float64) float64 {
+	if agg == Max {
+		return math.Max(a, b)
+	}
+	return math.Min(a, b)
+}
+
+// Query answers the exact Rmax/Rmin over the closed key range [l, u].
+// ok is false when no record falls inside the range.
+func (t *MaxTree) Query(l, u float64) (val float64, ok bool) {
+	lo := sort.SearchFloat64s(t.keys, l)                                  // first index with key ≥ l
+	hi := sort.SearchFloat64s(t.keys, math.Nextafter(u, math.Inf(1))) - 1 // last index with key ≤ u
+	if lo > hi || lo >= t.n {
+		return 0, false
+	}
+	return t.queryIdx(lo, hi), true
+}
+
+// queryIdx aggregates over the index range [lo, hi] (inclusive).
+func (t *MaxTree) queryIdx(lo, hi int) float64 {
+	res := math.Inf(-1)
+	if t.agg == Min {
+		res = math.Inf(1)
+	}
+	l, r := lo+t.size, hi+t.size+1
+	for l < r {
+		if l&1 == 1 {
+			res = combine(t.agg, res, t.tree[l])
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			res = combine(t.agg, res, t.tree[r])
+		}
+		l >>= 1
+		r >>= 1
+	}
+	return res
+}
+
+// Len returns the number of records.
+func (t *MaxTree) Len() int { return t.n }
+
+// SizeBytes reports the in-memory footprint.
+func (t *MaxTree) SizeBytes() int { return 8*len(t.tree) + 8*len(t.keys) }

@@ -1,0 +1,249 @@
+package artree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle with inclusive bounds.
+type Rect struct {
+	XLo, XHi, YLo, YHi float64
+}
+
+// Contains reports whether the rectangle fully contains other.
+func (r Rect) Contains(other Rect) bool {
+	return r.XLo <= other.XLo && other.XHi <= r.XHi &&
+		r.YLo <= other.YLo && other.YHi <= r.YHi
+}
+
+// Intersects reports whether the rectangles overlap.
+func (r Rect) Intersects(other Rect) bool {
+	return r.XLo <= other.XHi && other.XLo <= r.XHi &&
+		r.YLo <= other.YHi && other.YLo <= r.YHi
+}
+
+// ContainsPoint reports whether (x, y) lies inside the rectangle.
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return r.XLo <= x && x <= r.XHi && r.YLo <= y && y <= r.YHi
+}
+
+// RTree is a static STR-bulk-loaded aggregate R-tree over 2D points with a
+// COUNT aggregate per node (aR-tree [46]): the exact baseline for 2D range
+// COUNT queries. Fully-covered nodes contribute their stored count without
+// descending, exactly like the MAX-tree traversal of Section III-B2.
+type RTree struct {
+	root    *rnode
+	n       int
+	fanout  int
+	leafCap int
+}
+
+type rnode struct {
+	mbr      Rect
+	count    int
+	sum      float64   // aggregate of point weights (== count for unit weights)
+	children []*rnode  // nil for leaves
+	px, py   []float64 // leaf points
+	pw       []float64 // leaf point weights
+}
+
+// NewRTree bulk-loads an aggregate R-tree from points using the
+// Sort-Tile-Recursive packing. fanout and leafCap default to 16 and 64
+// when ≤ 0 (typical page-friendly values).
+func NewRTree(xs, ys []float64, fanout, leafCap int) (*RTree, error) {
+	return NewRTreeWeighted(xs, ys, nil, fanout, leafCap)
+}
+
+// NewRTreeWeighted bulk-loads an aggregate R-tree carrying a per-node SUM of
+// point weights in addition to the COUNT, enabling exact 2D range SUM
+// queries. ws == nil means unit weights.
+func NewRTreeWeighted(xs, ys, ws []float64, fanout, leafCap int) (*RTree, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("artree: %d xs, %d ys", len(xs), len(ys))
+	}
+	if ws != nil && len(ws) != len(xs) {
+		return nil, fmt.Errorf("artree: %d xs, %d weights", len(xs), len(ws))
+	}
+	if fanout <= 1 {
+		fanout = 16
+	}
+	if leafCap <= 0 {
+		leafCap = 64
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	leaves := strPack(xs, ys, ws, idx, leafCap)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = packLevel(nodes, fanout)
+	}
+	return &RTree{root: nodes[0], n: len(xs), fanout: fanout, leafCap: leafCap}, nil
+}
+
+// strPack tiles points into leaves: sort by x, slice into vertical strips of
+// ~√(n/leafCap) runs, sort each strip by y, emit leaves of ≤ leafCap points.
+func strPack(xs, ys, ws []float64, idx []int, leafCap int) []*rnode {
+	n := len(idx)
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	numLeaves := (n + leafCap - 1) / leafCap
+	stripCount := int(math.Ceil(math.Sqrt(float64(numLeaves))))
+	if stripCount < 1 {
+		stripCount = 1
+	}
+	stripSize := (n + stripCount - 1) / stripCount
+	var leaves []*rnode
+	for s := 0; s < n; s += stripSize {
+		e := s + stripSize
+		if e > n {
+			e = n
+		}
+		strip := idx[s:e]
+		sort.Slice(strip, func(a, b int) bool { return ys[strip[a]] < ys[strip[b]] })
+		for ls := 0; ls < len(strip); ls += leafCap {
+			le := ls + leafCap
+			if le > len(strip) {
+				le = len(strip)
+			}
+			leaf := &rnode{count: le - ls}
+			leaf.px = make([]float64, 0, le-ls)
+			leaf.py = make([]float64, 0, le-ls)
+			leaf.pw = make([]float64, 0, le-ls)
+			leaf.mbr = Rect{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)}
+			for _, id := range strip[ls:le] {
+				x, y := xs[id], ys[id]
+				w := 1.0
+				if ws != nil {
+					w = ws[id]
+				}
+				leaf.px = append(leaf.px, x)
+				leaf.py = append(leaf.py, y)
+				leaf.pw = append(leaf.pw, w)
+				leaf.sum += w
+				leaf.mbr.XLo = math.Min(leaf.mbr.XLo, x)
+				leaf.mbr.XHi = math.Max(leaf.mbr.XHi, x)
+				leaf.mbr.YLo = math.Min(leaf.mbr.YLo, y)
+				leaf.mbr.YHi = math.Max(leaf.mbr.YHi, y)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packLevel(nodes []*rnode, fanout int) []*rnode {
+	sort.Slice(nodes, func(a, b int) bool {
+		ca := nodes[a].mbr.XLo + nodes[a].mbr.XHi
+		cb := nodes[b].mbr.XLo + nodes[b].mbr.XHi
+		return ca < cb
+	})
+	var out []*rnode
+	for s := 0; s < len(nodes); s += fanout {
+		e := s + fanout
+		if e > len(nodes) {
+			e = len(nodes)
+		}
+		parent := &rnode{
+			children: append([]*rnode(nil), nodes[s:e]...),
+			mbr:      Rect{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)},
+		}
+		for _, c := range parent.children {
+			parent.count += c.count
+			parent.sum += c.sum
+			parent.mbr.XLo = math.Min(parent.mbr.XLo, c.mbr.XLo)
+			parent.mbr.XHi = math.Max(parent.mbr.XHi, c.mbr.XHi)
+			parent.mbr.YLo = math.Min(parent.mbr.YLo, c.mbr.YLo)
+			parent.mbr.YHi = math.Max(parent.mbr.YHi, c.mbr.YHi)
+		}
+		out = append(out, parent)
+	}
+	return out
+}
+
+// CountRect answers the exact COUNT of points inside the query rectangle
+// (inclusive bounds, matching Definition 4).
+func (t *RTree) CountRect(q Rect) int {
+	if t.root == nil {
+		return 0
+	}
+	return countNode(t.root, q)
+}
+
+// SumRect answers the exact SUM of point weights inside the query rectangle
+// (inclusive bounds).
+func (t *RTree) SumRect(q Rect) float64 {
+	if t.root == nil {
+		return 0
+	}
+	return sumNode(t.root, q)
+}
+
+func sumNode(n *rnode, q Rect) float64 {
+	if !q.Intersects(n.mbr) {
+		return 0
+	}
+	if q.Contains(n.mbr) {
+		return n.sum
+	}
+	if n.children == nil {
+		s := 0.0
+		for i := range n.px {
+			if q.ContainsPoint(n.px[i], n.py[i]) {
+				s += n.pw[i]
+			}
+		}
+		return s
+	}
+	s := 0.0
+	for _, ch := range n.children {
+		s += sumNode(ch, q)
+	}
+	return s
+}
+
+func countNode(n *rnode, q Rect) int {
+	if !q.Intersects(n.mbr) {
+		return 0
+	}
+	if q.Contains(n.mbr) {
+		return n.count
+	}
+	if n.children == nil {
+		c := 0
+		for i := range n.px {
+			if q.ContainsPoint(n.px[i], n.py[i]) {
+				c++
+			}
+		}
+		return c
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += countNode(ch, q)
+	}
+	return c
+}
+
+// Len returns the number of indexed points.
+func (t *RTree) Len() int { return t.n }
+
+// SizeBytes estimates the in-memory footprint.
+func (t *RTree) SizeBytes() int {
+	total := 0
+	var walk func(*rnode)
+	walk = func(n *rnode) {
+		total += 48 + 16 // mbr + count/meta
+		if n.children == nil {
+			total += 16 * len(n.px)
+			return
+		}
+		total += 8 * len(n.children)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return total
+}

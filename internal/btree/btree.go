@@ -1,0 +1,239 @@
+// Package btree implements a static, bulk-loaded in-memory B+-tree over
+// float64 keys in the style of the STX B+-tree [2] that the paper's S-tree
+// baseline is built on. Internal nodes route searches; leaves store sorted
+// key runs plus their global start rank, so rank (number of keys ≤ k) and
+// range-count queries run in O(log n) with cache-friendly node scans.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultFanout is the default number of router keys per internal node and
+// keys per leaf, sized to keep nodes around a cache line multiple.
+const DefaultFanout = 64
+
+// Tree is an immutable bulk-loaded B+-tree.
+type Tree struct {
+	root   node
+	n      int
+	fanout int
+	height int
+}
+
+type node interface{}
+
+type leaf struct {
+	keys      []float64
+	startRank int // number of keys in leaves to the left
+	next      *leaf
+}
+
+type inner struct {
+	// routers[i] is the max key in children[i]; len(children) == len(routers).
+	routers  []float64
+	children []node
+}
+
+// New bulk-loads a tree from keys sorted ascending (duplicates allowed).
+// fanout ≤ 1 selects DefaultFanout.
+func New(keys []float64, fanout int) (*Tree, error) {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("btree: keys not sorted at %d", i)
+		}
+	}
+	t := &Tree{n: len(keys), fanout: fanout}
+	if len(keys) == 0 {
+		return t, nil
+	}
+	// Build leaves.
+	var leaves []node
+	var prev *leaf
+	for s := 0; s < len(keys); s += fanout {
+		e := s + fanout
+		if e > len(keys) {
+			e = len(keys)
+		}
+		lf := &leaf{keys: keys[s:e:e], startRank: s}
+		if prev != nil {
+			prev.next = lf
+		}
+		prev = lf
+		leaves = append(leaves, lf)
+	}
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		var up []node
+		for s := 0; s < len(level); s += fanout {
+			e := s + fanout
+			if e > len(level) {
+				e = len(level)
+			}
+			in := &inner{children: append([]node(nil), level[s:e]...)}
+			for _, c := range in.children {
+				in.routers = append(in.routers, maxKey(c))
+			}
+			up = append(up, in)
+		}
+		level = up
+		t.height++
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func maxKey(n node) float64 {
+	switch v := n.(type) {
+	case *leaf:
+		return v.keys[len(v.keys)-1]
+	case *inner:
+		return v.routers[len(v.routers)-1]
+	}
+	panic("btree: unknown node type")
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the number of levels (1 for a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Rank returns the number of keys ≤ k.
+func (t *Tree) Rank(k float64) int {
+	if t.n == 0 {
+		return 0
+	}
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			// First child that can hold a key > k (duplicates may spill
+			// across siblings, so routers equal to k must be skipped);
+			// if none, the last child.
+			i := sort.Search(len(v.routers), func(j int) bool { return v.routers[j] > k })
+			if i == len(v.routers) {
+				i = len(v.routers) - 1
+			}
+			n = v.children[i]
+		case *leaf:
+			// Upper bound within the leaf.
+			i := sort.Search(len(v.keys), func(j int) bool { return v.keys[j] > k })
+			return v.startRank + i
+		}
+	}
+}
+
+// Contains reports whether k is present.
+func (t *Tree) Contains(k float64) bool {
+	if t.n == 0 {
+		return false
+	}
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			i := sort.SearchFloat64s(v.routers, k)
+			if i == len(v.routers) {
+				return false
+			}
+			n = v.children[i]
+		case *leaf:
+			i := sort.SearchFloat64s(v.keys, k)
+			return i < len(v.keys) && v.keys[i] == k
+		}
+	}
+}
+
+// CountRange returns the number of keys in the closed interval [l, u].
+func (t *Tree) CountRange(l, u float64) int {
+	if t.n == 0 || u < l {
+		return 0
+	}
+	// Rank(u) − (number of keys < l).
+	return t.Rank(u) - t.rankExclusive(l)
+}
+
+// rankExclusive returns the number of keys strictly < k.
+func (t *Tree) rankExclusive(k float64) int {
+	if t.n == 0 {
+		return 0
+	}
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			i := sort.Search(len(v.routers), func(j int) bool { return v.routers[j] >= k })
+			if i == len(v.routers) {
+				i = len(v.routers) - 1
+			}
+			n = v.children[i]
+		case *leaf:
+			i := sort.Search(len(v.keys), func(j int) bool { return v.keys[j] >= k })
+			return v.startRank + i
+		}
+	}
+}
+
+// Scan calls fn for every key in [l, u] in ascending order until fn returns
+// false. It walks the leaf chain like a real B+-tree range scan.
+func (t *Tree) Scan(l, u float64, fn func(k float64) bool) {
+	if t.n == 0 || u < l {
+		return
+	}
+	n := t.root
+	var lf *leaf
+	for lf == nil {
+		switch v := n.(type) {
+		case *inner:
+			i := sort.Search(len(v.routers), func(j int) bool { return v.routers[j] >= l })
+			if i == len(v.routers) {
+				i = len(v.routers) - 1
+			}
+			n = v.children[i]
+		case *leaf:
+			lf = v
+		}
+	}
+	for lf != nil {
+		for _, k := range lf.keys {
+			if k < l {
+				continue
+			}
+			if k > u {
+				return
+			}
+			if !fn(k) {
+				return
+			}
+		}
+		lf = lf.next
+	}
+}
+
+// SizeBytes estimates the in-memory footprint of the tree.
+func (t *Tree) SizeBytes() int {
+	if t.n == 0 {
+		return 0
+	}
+	total := 0
+	var walk func(node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *leaf:
+			total += 8*len(v.keys) + 24
+		case *inner:
+			total += 16*len(v.children) + 24
+			for _, c := range v.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return total
+}

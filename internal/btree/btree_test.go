@@ -1,0 +1,181 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func genKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = math.Round(rng.Float64()*1e6) / 10
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func bruteRank(keys []float64, k float64) int {
+	c := 0
+	for _, x := range keys {
+		if x <= k {
+			c++
+		}
+	}
+	return c
+}
+
+func bruteCountRange(keys []float64, l, u float64) int {
+	c := 0
+	for _, x := range keys {
+		if x >= l && x <= u {
+			c++
+		}
+	}
+	return c
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := New(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Rank(5) != 0 || tr.CountRange(0, 10) != 0 || tr.Contains(1) {
+		t.Error("empty tree misbehaves")
+	}
+}
+
+func TestUnsortedRejected(t *testing.T) {
+	if _, err := New([]float64{3, 1, 2}, 0); err == nil {
+		t.Error("unsorted keys should error")
+	}
+}
+
+func TestRankAgainstBruteForce(t *testing.T) {
+	keys := genKeys(2000, 1)
+	for _, fanout := range []int{2, 3, 8, 64} {
+		tr, err := New(keys, fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for iter := 0; iter < 400; iter++ {
+			var k float64
+			if iter%2 == 0 {
+				k = keys[rng.Intn(len(keys))]
+			} else {
+				k = rng.Float64() * 1e5
+			}
+			if got, want := tr.Rank(k), bruteRank(keys, k); got != want {
+				t.Fatalf("fanout %d Rank(%g) = %d, want %d", fanout, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCountRangeAgainstBruteForce(t *testing.T) {
+	keys := genKeys(1500, 3)
+	tr, _ := New(keys, 32)
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 400; iter++ {
+		l := rng.Float64() * 1.1e5
+		u := l + rng.Float64()*5e4
+		if got, want := tr.CountRange(l, u), bruteCountRange(keys, l, u); got != want {
+			t.Fatalf("CountRange(%g,%g) = %d, want %d", l, u, got, want)
+		}
+	}
+	if got := tr.CountRange(10, 5); got != 0 {
+		t.Errorf("inverted range = %d, want 0", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	keys := []float64{1, 2, 2, 2, 3, 3, 7}
+	tr, err := New(keys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Rank(2); got != 4 {
+		t.Errorf("Rank(2) = %d, want 4", got)
+	}
+	if got := tr.CountRange(2, 3); got != 5 {
+		t.Errorf("CountRange(2,3) = %d, want 5", got)
+	}
+	if !tr.Contains(7) || tr.Contains(5) {
+		t.Error("Contains wrong with duplicates")
+	}
+}
+
+func TestContains(t *testing.T) {
+	keys := genKeys(500, 5)
+	tr, _ := New(keys, 16)
+	for _, k := range keys[:50] {
+		if !tr.Contains(k) {
+			t.Fatalf("Contains(%g) = false for stored key", k)
+		}
+	}
+	if tr.Contains(-1) || tr.Contains(1e9) {
+		t.Error("Contains true for absent key")
+	}
+}
+
+func TestScan(t *testing.T) {
+	keys := genKeys(800, 7)
+	tr, _ := New(keys, 16)
+	l, u := keys[100], keys[500]
+	var got []float64
+	tr.Scan(l, u, func(k float64) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []float64
+	for _, k := range keys {
+		if k >= l && k <= u {
+			want = append(want, k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(l, u, func(k float64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early-stop scan visited %d keys, want 5", count)
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr, _ := New(genKeys(10000, 9), 8)
+	// 10000 keys at fanout 8: height ≈ log8(10000/8)+1 ∈ [4, 6].
+	if tr.Height() < 4 || tr.Height() > 6 {
+		t.Errorf("unexpected height %d", tr.Height())
+	}
+	if tr.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	keys := genKeys(1_000_000, 1)
+	tr, _ := New(keys, 64)
+	rng := rand.New(rand.NewSource(2))
+	probes := make([]float64, 1024)
+	for i := range probes {
+		probes[i] = keys[rng.Intn(len(keys))]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Rank(probes[i&1023])
+	}
+}

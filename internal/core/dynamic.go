@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dynamic1D adds insert support to a PolyFit index — the paper's stated
+// future work ("we will further develop some efficient techniques ... for
+// handling the dynamic case"). The design is the standard delta-buffer
+// scheme: inserts land in a sorted in-memory buffer that queries consult
+// exactly, and once the buffer outgrows a fraction of the base the static
+// index is rebuilt over the merged data.
+//
+// Because the buffer is aggregated exactly, every guarantee of the static
+// index carries over unchanged: a COUNT/SUM answer is (static ± εabs) +
+// (buffer, exact) and MIN/MAX combines two values each within the bound.
+// Deletions are not supported (they would break the non-negative-measure
+// assumption behind the relative-error lemmas); distinct keys are enforced
+// exactly as in the static build.
+type Dynamic1D struct {
+	agg  Agg
+	opt  Options
+	base *Index1D
+
+	keys     []float64 // all base keys (kept for rebuilds)
+	measures []float64
+	bufKeys  []float64 // sorted insert buffer
+	bufVals  []float64
+
+	// RebuildFraction triggers a merge-rebuild when the buffer exceeds this
+	// fraction of the base size (default 1/8).
+	RebuildFraction float64
+	rebuilds        int
+}
+
+// NewDynamic builds a dynamic index of the given aggregate over the initial
+// dataset.
+func NewDynamic(agg Agg, keys, measures []float64, opt Options) (*Dynamic1D, error) {
+	d := &Dynamic1D{
+		agg:             agg,
+		opt:             opt,
+		keys:            append([]float64(nil), keys...),
+		measures:        append([]float64(nil), measures...),
+		RebuildFraction: 0.125,
+	}
+	if err := d.rebuild(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dynamic1D) rebuild() error {
+	if len(d.bufKeys) > 0 {
+		mergedK := make([]float64, 0, len(d.keys)+len(d.bufKeys))
+		mergedM := make([]float64, 0, len(d.keys)+len(d.bufKeys))
+		i, j := 0, 0
+		for i < len(d.keys) || j < len(d.bufKeys) {
+			if j == len(d.bufKeys) || (i < len(d.keys) && d.keys[i] < d.bufKeys[j]) {
+				mergedK = append(mergedK, d.keys[i])
+				mergedM = append(mergedM, d.measures[i])
+				i++
+			} else {
+				mergedK = append(mergedK, d.bufKeys[j])
+				mergedM = append(mergedM, d.bufVals[j])
+				j++
+			}
+		}
+		d.keys, d.measures = mergedK, mergedM
+		d.bufKeys, d.bufVals = nil, nil
+	}
+	var base *Index1D
+	var err error
+	switch d.agg {
+	case Count:
+		base, err = BuildCount(d.keys, d.opt)
+	case Sum:
+		base, err = BuildSum(d.keys, d.measures, d.opt)
+	case Max:
+		base, err = BuildMax(d.keys, d.measures, d.opt)
+	case Min:
+		base, err = BuildMin(d.keys, d.measures, d.opt)
+	default:
+		return fmt.Errorf("core: unknown aggregate %v", d.agg)
+	}
+	if err != nil {
+		return err
+	}
+	d.base = base
+	d.rebuilds++
+	return nil
+}
+
+// Insert adds a (key, measure) record. Duplicate keys (in the base or the
+// buffer) are rejected, preserving the paper's distinct-key assumption.
+// COUNT indexes ignore the measure.
+func (d *Dynamic1D) Insert(key, measure float64) error {
+	if d.agg == Count {
+		measure = 1
+	}
+	if i := sort.SearchFloat64s(d.keys, key); i < len(d.keys) && d.keys[i] == key {
+		return fmt.Errorf("core: duplicate key %g", key)
+	}
+	i := sort.SearchFloat64s(d.bufKeys, key)
+	if i < len(d.bufKeys) && d.bufKeys[i] == key {
+		return fmt.Errorf("core: duplicate key %g", key)
+	}
+	d.bufKeys = append(d.bufKeys, 0)
+	d.bufVals = append(d.bufVals, 0)
+	copy(d.bufKeys[i+1:], d.bufKeys[i:])
+	copy(d.bufVals[i+1:], d.bufVals[i:])
+	d.bufKeys[i] = key
+	d.bufVals[i] = measure
+	threshold := int(d.RebuildFraction * float64(len(d.keys)))
+	if threshold < 64 {
+		threshold = 64
+	}
+	if len(d.bufKeys) >= threshold {
+		return d.rebuild()
+	}
+	return nil
+}
+
+// bufferSum aggregates the buffer exactly over (lq, uq].
+func (d *Dynamic1D) bufferSum(lq, uq float64) float64 {
+	lo := sort.Search(len(d.bufKeys), func(i int) bool { return d.bufKeys[i] > lq })
+	s := 0.0
+	for i := lo; i < len(d.bufKeys) && d.bufKeys[i] <= uq; i++ {
+		s += d.bufVals[i]
+	}
+	return s
+}
+
+// bufferExtremum aggregates the buffer exactly over [lq, uq].
+func (d *Dynamic1D) bufferExtremum(lq, uq float64) (float64, bool) {
+	lo := sort.SearchFloat64s(d.bufKeys, lq)
+	best := math.Inf(-1)
+	if d.agg == Min {
+		best = math.Inf(1)
+	}
+	found := false
+	for i := lo; i < len(d.bufKeys) && d.bufKeys[i] <= uq; i++ {
+		found = true
+		if d.agg == Max && d.bufVals[i] > best || d.agg == Min && d.bufVals[i] < best {
+			best = d.bufVals[i]
+		}
+	}
+	return best, found
+}
+
+// RangeSum answers an approximate COUNT/SUM over (lq, uq]; the absolute
+// guarantee of the base index is preserved (the buffer part is exact).
+func (d *Dynamic1D) RangeSum(lq, uq float64) (float64, error) {
+	v, err := d.base.RangeSum(lq, uq)
+	if err != nil {
+		return 0, err
+	}
+	return v + d.bufferSum(lq, uq), nil
+}
+
+// RangeExtremum answers an approximate MIN/MAX over [lq, uq].
+func (d *Dynamic1D) RangeExtremum(lq, uq float64) (float64, bool, error) {
+	v, ok, err := d.base.RangeExtremum(lq, uq)
+	if err != nil {
+		return 0, false, err
+	}
+	bv, bok := d.bufferExtremum(lq, uq)
+	switch {
+	case !ok && !bok:
+		return 0, false, nil
+	case !ok:
+		return bv, true, nil
+	case !bok:
+		return v, true, nil
+	}
+	if d.agg == Max {
+		return math.Max(v, bv), true, nil
+	}
+	return math.Min(v, bv), true, nil
+}
+
+// Rebuild forces an immediate merge-rebuild.
+func (d *Dynamic1D) Rebuild() error { return d.rebuild() }
+
+// Len returns the total number of records (base + buffer).
+func (d *Dynamic1D) Len() int { return len(d.keys) + len(d.bufKeys) }
+
+// BufferLen returns the number of not-yet-merged inserts.
+func (d *Dynamic1D) BufferLen() int { return len(d.bufKeys) }
+
+// Rebuilds returns how many times the static index was (re)built, counting
+// the initial construction.
+func (d *Dynamic1D) Rebuilds() int { return d.rebuilds }
+
+// Base exposes the current static index (for stats/inspection).
+func (d *Dynamic1D) Base() *Index1D { return d.base }

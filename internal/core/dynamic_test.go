@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDynamicCountGuaranteeUnderInserts(t *testing.T) {
+	keys, _ := genDataset(2000, 51)
+	const epsAbs = 30.0
+	d, err := NewDynamic(Count, keys, make([]float64, len(keys)), Options{Delta: DeltaForAbs(Count, epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	all := append([]float64(nil), keys...)
+	// Interleave inserts and guarantee checks.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 150; i++ {
+			k := rng.NormFloat64()*9e4 + 17 // offset to dodge existing grid
+			if err := d.Insert(k, 1); err != nil {
+				continue // duplicate — fine
+			}
+			all = append(all, k)
+		}
+		for q := 0; q < 30; q++ {
+			l := all[rng.Intn(len(all))]
+			u := all[rng.Intn(len(all))]
+			if l > u {
+				l, u = u, l
+			}
+			got, err := d.RangeSum(l, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for _, k := range all {
+				if k > l && k <= u {
+					want++
+				}
+			}
+			if math.Abs(got-want) > epsAbs+1e-6 {
+				t.Fatalf("round %d: |%g − %g| > εabs after %d inserts", round, got, want, d.Len()-2000)
+			}
+		}
+	}
+	if d.Len() != len(all) {
+		t.Errorf("Len = %d, want %d", d.Len(), len(all))
+	}
+}
+
+func TestDynamicRebuildTriggers(t *testing.T) {
+	keys, _ := genDataset(1000, 53)
+	d, err := NewDynamic(Count, keys, make([]float64, len(keys)), Options{Delta: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rebuilds() != 1 {
+		t.Fatalf("initial Rebuilds = %d", d.Rebuilds())
+	}
+	// Default threshold: max(64, n/8) = 125.
+	rng := rand.New(rand.NewSource(54))
+	inserted := 0
+	for inserted < 200 {
+		if err := d.Insert(rng.Float64()*1e6+1e7, 1); err == nil {
+			inserted++
+		}
+	}
+	if d.Rebuilds() < 2 {
+		t.Errorf("rebuild did not trigger after %d inserts (buffer %d)", inserted, d.BufferLen())
+	}
+	if d.BufferLen() >= 125 {
+		t.Errorf("buffer %d was not flushed", d.BufferLen())
+	}
+	if d.Base().Len() <= 1000 {
+		t.Errorf("base was not merged: %d records", d.Base().Len())
+	}
+}
+
+func TestDynamicMaxCombinesBuffer(t *testing.T) {
+	keys := []float64{10, 20, 30, 40}
+	vals := []float64{5, 7, 6, 4}
+	d, err := NewDynamic(Max, keys, vals, Options{Degree: 1, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New global maximum lands in the buffer.
+	if err := d.Insert(25, 100); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := d.RangeExtremum(0, 50)
+	if err != nil || !ok {
+		t.Fatalf("query failed: %v %v", err, ok)
+	}
+	if v < 100-0.5 {
+		t.Errorf("buffered max lost: %g", v)
+	}
+	// Buffer-only range.
+	v, ok, _ = d.RangeExtremum(22, 28)
+	if !ok || v < 100-0.5 {
+		t.Errorf("buffer-only range = (%g,%v)", v, ok)
+	}
+	// Base-only range still works.
+	v, ok, _ = d.RangeExtremum(10, 20)
+	if !ok || math.Abs(v-7) > 0.5+1e-9 {
+		t.Errorf("base-only range = (%g,%v), want ≈7", v, ok)
+	}
+}
+
+func TestDynamicMinViaNegation(t *testing.T) {
+	keys := []float64{1, 2, 3}
+	vals := []float64{9, 8, 7}
+	d, err := NewDynamic(Min, keys, vals, Options{Degree: 1, Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(2.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := d.RangeExtremum(0, 5)
+	if !ok || v > 1+0.1+1e-9 {
+		t.Errorf("dynamic MIN = (%g,%v), want ≈1", v, ok)
+	}
+}
+
+func TestDynamicDuplicateRejected(t *testing.T) {
+	keys := []float64{1, 2, 3}
+	d, err := NewDynamic(Count, keys, []float64{1, 1, 1}, Options{Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(2, 1); err == nil {
+		t.Error("duplicate base key accepted")
+	}
+	if err := d.Insert(9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(9, 1); err == nil {
+		t.Error("duplicate buffered key accepted")
+	}
+}
+
+func TestDynamicForcedRebuildKeepsAnswers(t *testing.T) {
+	keys, measures := genDataset(1500, 55)
+	d, err := NewDynamic(Sum, keys, measures, Options{Delta: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(56))
+	for i := 0; i < 50; i++ {
+		d.Insert(rng.Float64()*1e6+2e7, rng.Float64()*10) //nolint:errcheck
+	}
+	before, _ := d.RangeSum(keys[10], keys[1400])
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := d.RangeSum(keys[10], keys[1400])
+	if math.Abs(before-after) > 2*500+1e-6 {
+		t.Errorf("rebuild moved the answer too far: %g vs %g", before, after)
+	}
+	if d.BufferLen() != 0 {
+		t.Errorf("buffer not flushed by forced rebuild")
+	}
+}

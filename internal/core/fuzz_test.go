@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUnmarshal1D hardens the 1D decoder: arbitrary bytes must either fail
+// cleanly or produce an index whose queries do not panic and stay finite.
+func FuzzUnmarshal1D(f *testing.F) {
+	keys, measures := genDataset(200, 91)
+	ix, _ := BuildCount(keys, Options{Delta: 10})
+	blob, _ := ix.MarshalBinary()
+	f.Add(blob)
+	mx, _ := BuildMax(keys, measures, Options{Delta: 10})
+	blobMax, _ := mx.MarshalBinary()
+	f.Add(blobMax)
+	f.Add([]byte{})
+	f.Add(blob[:16])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var loaded Index1D
+		if err := loaded.UnmarshalBinary(data); err != nil {
+			return // clean rejection
+		}
+		// Whatever decoded must be queryable without panicking (NaN values
+		// are legitimate when the fuzzer writes NaN coefficient bits).
+		switch loaded.Aggregate() {
+		case Count, Sum:
+			loaded.RangeSum(-1e9, 1e9) //nolint:errcheck
+		case Min, Max:
+			loaded.RangeExtremum(-1e9, 1e9) //nolint:errcheck
+		}
+		_ = loaded.SizeBytes()
+		_ = loaded.NumSegments()
+	})
+}
+
+// FuzzUnmarshal2D hardens the recursive quadtree decoder against crafted
+// blobs (depth bombs, truncations, type confusion with 1D blobs).
+func FuzzUnmarshal2D(f *testing.F) {
+	xs, ys := gen2D(300, 93)
+	ix, _ := BuildCount2D(xs, ys, Options2D{Delta: 30})
+	blob, _ := ix.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(blob[:12])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var loaded Index2D
+		if err := loaded.UnmarshalBinary(data); err != nil {
+			return
+		}
+		_ = loaded.RangeCount(-200, 200, -100, 100)
+		_ = loaded.SizeBytes()
+	})
+}
+
+// FuzzRangeSumInvariants checks structural invariants of COUNT queries under
+// arbitrary float inputs (including NaN/Inf endpoints).
+func FuzzRangeSumInvariants(f *testing.F) {
+	keys, _ := genDataset(500, 95)
+	ix, err := BuildCount(keys, Options{Delta: 15})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(1.0, 2.0)
+	f.Add(-1e308, 1e308)
+	f.Add(math.Inf(-1), math.Inf(1))
+	f.Fuzz(func(t *testing.T, l, u float64) {
+		if math.IsNaN(l) || math.IsNaN(u) {
+			return
+		}
+		v, err := ix.RangeSum(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < l && v != 0 {
+			t.Fatalf("inverted range returned %g", v)
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("NaN from finite query [%g,%g]", l, u)
+		}
+		// Telescoping identity must hold exactly.
+		if l <= u {
+			mid := l + (u-l)/2
+			if !math.IsInf(mid, 0) {
+				a, _ := ix.RangeSum(l, mid)
+				b, _ := ix.RangeSum(mid, u)
+				if math.Abs((a+b)-v) > 1e-6*(1+math.Abs(v)) {
+					t.Fatalf("additivity broken: %g + %g != %g", a, b, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,537 @@
+// Package core implements the PolyFit index — the paper's primary
+// contribution. A PolyFit index replaces the n keys of a traditional index
+// with h ≪ n fitted polynomial segments (Section IV, Figure 6), each
+// satisfying the bounded δ-error constraint (Definition 3), and answers
+// approximate range aggregate queries with the absolute/relative guarantees
+// of Section V:
+//
+//   - COUNT/SUM: A = P_Iu(uq) − P_Il(lq); δ = εabs/2 gives |A − R| ≤ εabs
+//     (Lemma 2), and Lemma 3 gates the relative guarantee with an exact
+//     fallback.
+//   - MIN/MAX: exact per-segment extrema cover fully-included segments
+//     (the internal nodes of Figure 4 — realised here as an O(1) sparse-table
+//     RMQ over segment extrema) while the two boundary segments are resolved
+//     by maximising the fitted polynomial over the clipped interval
+//     (Eq. 17); δ = εabs gives Lemma 4, Lemma 5 gates the relative case.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/artree"
+	"repro/internal/kca"
+	"repro/internal/poly"
+	"repro/internal/segment"
+)
+
+// Agg identifies the aggregate function of a range aggregate query.
+type Agg int
+
+// Supported aggregates (Definition 1).
+const (
+	Count Agg = iota
+	Sum
+	Min
+	Max
+)
+
+func (a Agg) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Options configures an index build.
+type Options struct {
+	// Degree of the fitted polynomials; the paper's default is 2 (§VII-B).
+	Degree int
+	// Delta is the bounded fitting error δ of Definition 3. For an absolute
+	// guarantee εabs use δ = εabs/2 for COUNT/SUM (Lemma 2) and δ = εabs for
+	// MIN/MAX (Lemma 4) — DeltaForAbs does this.
+	Delta float64
+	// Backend selects the minimax solver (exchange by default).
+	Backend segment.Backend
+	// NoExpSearch grows segments one key at a time (ablation only).
+	NoExpSearch bool
+	// NoFallback skips building the exact structures used by relative-error
+	// queries (Problem 2). Absolute-error queries never need them.
+	NoFallback bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Degree == 0 {
+		o.Degree = 2
+	}
+	return o
+}
+
+// DeltaForAbs returns the build δ that guarantees the absolute error εabs
+// for the given aggregate (Lemmas 2 and 4).
+func DeltaForAbs(agg Agg, epsAbs float64) float64 {
+	switch agg {
+	case Count, Sum:
+		return epsAbs / 2
+	default:
+		return epsAbs
+	}
+}
+
+// Errors returned by build and query entry points.
+var (
+	ErrEmptyDataset = errors.New("core: empty dataset")
+	ErrWrongAgg     = errors.New("core: query does not match index aggregate")
+	ErrNoFallback   = errors.New("core: relative query needs exact fallback (built with NoFallback)")
+)
+
+// Index1D is a PolyFit index over a single key (Sections IV–V).
+type Index1D struct {
+	agg    Agg
+	degree int
+	delta  float64
+	neg    bool // MIN is implemented as MAX over negated measures
+
+	// Fitted segments, struct-of-arrays for cache-friendly binary search.
+	segLo  []float64
+	segHi  []float64
+	frames []poly.Frame
+	polys  []poly.Poly
+
+	// MAX/MIN only: exact extremum of each segment + sparse-table RMQ over
+	// them (plays the role of the aggregate tree's internal nodes).
+	segExt []float64
+	rmq    [][]float64
+
+	// Exact fallbacks for Problem 2 (nil when Options.NoFallback).
+	exactCF  *kca.Array
+	exactExt *artree.MaxTree
+
+	n          int
+	keyLo      float64
+	keyHi      float64
+	total      float64 // CF(+∞) for SUM/COUNT
+	buildsFits int     // total solver iterations spent during construction
+}
+
+// BuildCount constructs a PolyFit index for range COUNT queries: the fitted
+// function is the key-cumulative function with unit measures.
+func BuildCount(keys []float64, opt Options) (*Index1D, error) {
+	ones := make([]float64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	ix, err := buildCumulative(keys, ones, opt)
+	if err != nil {
+		return nil, err
+	}
+	ix.agg = Count
+	return ix, nil
+}
+
+// BuildSum constructs a PolyFit index for range SUM queries over CFsum
+// (Equation 4). Measures must be non-negative for the relative-error
+// guarantee (the absolute guarantee holds regardless).
+func BuildSum(keys, measures []float64, opt Options) (*Index1D, error) {
+	ix, err := buildCumulative(keys, measures, opt)
+	if err != nil {
+		return nil, err
+	}
+	ix.agg = Sum
+	return ix, nil
+}
+
+// BuildMax constructs a PolyFit index for range MAX queries over the
+// key-measure function DFmax (Equation 6).
+func BuildMax(keys, measures []float64, opt Options) (*Index1D, error) {
+	return buildExtremum(keys, measures, opt, false)
+}
+
+// BuildMin constructs a PolyFit index for range MIN queries. Internally it
+// is BuildMax over negated measures — the "simple extension" the paper
+// refers to.
+func BuildMin(keys, measures []float64, opt Options) (*Index1D, error) {
+	negated := make([]float64, len(measures))
+	for i, m := range measures {
+		negated[i] = -m
+	}
+	ix, err := buildExtremum(keys, negated, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func validateKeys(keys, measures []float64) error {
+	if len(keys) == 0 {
+		return ErrEmptyDataset
+	}
+	if len(keys) != len(measures) {
+		return fmt.Errorf("core: %d keys, %d measures", len(keys), len(measures))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return fmt.Errorf("core: keys must be strictly increasing (violated at %d)", i)
+		}
+	}
+	return nil
+}
+
+func buildCumulative(keys, measures []float64, opt Options) (*Index1D, error) {
+	opt = opt.withDefaults()
+	if err := validateKeys(keys, measures); err != nil {
+		return nil, err
+	}
+	cf := make([]float64, len(keys))
+	run := 0.0
+	for i, m := range measures {
+		run += m
+		cf[i] = run
+	}
+	segs, err := segment.Greedy(keys, cf, segment.Config{
+		Degree: opt.Degree, Delta: opt.Delta,
+		Backend: opt.Backend, NoExpSearch: opt.NoExpSearch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index1D{
+		degree: opt.Degree,
+		delta:  opt.Delta,
+		n:      len(keys),
+		keyLo:  keys[0],
+		keyHi:  keys[len(keys)-1],
+		total:  run,
+	}
+	ix.adoptSegments(segs)
+	if !opt.NoFallback {
+		arr, err := kca.New(keys, measures)
+		if err != nil {
+			return nil, err
+		}
+		ix.exactCF = arr
+	}
+	return ix, nil
+}
+
+func buildExtremum(keys, measures []float64, opt Options, negated bool) (*Index1D, error) {
+	opt = opt.withDefaults()
+	if err := validateKeys(keys, measures); err != nil {
+		return nil, err
+	}
+	segs, err := segment.Greedy(keys, measures, segment.Config{
+		Degree: opt.Degree, Delta: opt.Delta,
+		Backend: opt.Backend, NoExpSearch: opt.NoExpSearch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index1D{
+		agg:    Max,
+		degree: opt.Degree,
+		delta:  opt.Delta,
+		neg:    negated,
+		n:      len(keys),
+		keyLo:  keys[0],
+		keyHi:  keys[len(keys)-1],
+	}
+	if negated {
+		ix.agg = Min
+	}
+	ix.adoptSegments(segs)
+	// Exact per-segment maxima (over the internally stored, possibly
+	// negated, measures).
+	ix.segExt = make([]float64, len(segs))
+	for i, s := range segs {
+		best := math.Inf(-1)
+		for j := s.First; j <= s.Last; j++ {
+			if measures[j] > best {
+				best = measures[j]
+			}
+		}
+		ix.segExt[i] = best
+	}
+	ix.rmq = buildSparseTable(ix.segExt)
+	if !opt.NoFallback {
+		tree, err := artree.NewMaxTree(keys, measures, artree.Max)
+		if err != nil {
+			return nil, err
+		}
+		ix.exactExt = tree
+	}
+	return ix, nil
+}
+
+func (ix *Index1D) adoptSegments(segs []segment.Segment) {
+	h := len(segs)
+	ix.segLo = make([]float64, h)
+	ix.segHi = make([]float64, h)
+	ix.frames = make([]poly.Frame, h)
+	ix.polys = make([]poly.Poly, h)
+	fits := 0
+	for i, s := range segs {
+		ix.segLo[i] = s.Lo
+		ix.segHi[i] = s.Hi
+		ix.frames[i] = s.Fit.P.F
+		ix.polys[i] = s.Fit.P.P
+		fits += s.Fit.Iters
+	}
+	ix.buildsFits = fits
+}
+
+// buildSparseTable precomputes an O(1) range-max structure over vals.
+func buildSparseTable(vals []float64) [][]float64 {
+	n := len(vals)
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n)) // log2(n)+1
+	}
+	table := make([][]float64, levels)
+	table[0] = vals
+	for k := 1; k < levels; k++ {
+		span := 1 << k
+		row := make([]float64, n-span+1)
+		prev := table[k-1]
+		half := span >> 1
+		for i := range row {
+			row[i] = math.Max(prev[i], prev[i+half])
+		}
+		table[k] = row
+	}
+	return table
+}
+
+// rangeMaxIdx returns max(vals[a..b]) via the sparse table; a ≤ b required.
+func (ix *Index1D) rangeMaxIdx(a, b int) float64 {
+	k := bits.Len(uint(b-a+1)) - 1
+	row := ix.rmq[k]
+	return math.Max(row[a], row[b-(1<<k)+1])
+}
+
+// locate returns the index of the segment responsible for key k: the last
+// segment whose Lo ≤ k, clamped to [0, h−1]. Keys in inter-segment gaps
+// resolve to the segment on their left (the cumulative function is constant
+// across gaps).
+func (ix *Index1D) locate(k float64) int {
+	i := sort.SearchFloat64s(ix.segLo, k)
+	// SearchFloat64s finds the first Lo ≥ k.
+	if i < len(ix.segLo) && ix.segLo[i] == k {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// CF evaluates the approximate key-cumulative function at k. Evaluation is
+// clamped into the located segment's key range: CF is constant across
+// inter-segment gaps and beyond the domain, so clamping preserves the
+// δ-error bound there instead of extrapolating the polynomial.
+func (ix *Index1D) CF(k float64) float64 {
+	if k < ix.keyLo {
+		return 0
+	}
+	i := ix.locate(k)
+	if k > ix.segHi[i] {
+		k = ix.segHi[i]
+	}
+	return ix.polys[i].Eval(ix.frames[i].Normalize(k))
+}
+
+// RangeSum answers an approximate range SUM/COUNT query over (lq, uq]
+// (Equation 5 semantics). Built with δ = εabs/2, the result satisfies
+// |A − R| ≤ εabs at workload endpoints (Lemma 2).
+func (ix *Index1D) RangeSum(lq, uq float64) (float64, error) {
+	if ix.agg != Sum && ix.agg != Count {
+		return 0, ErrWrongAgg
+	}
+	if uq < lq {
+		return 0, nil
+	}
+	return ix.CF(uq) - ix.CF(lq), nil
+}
+
+// RangeSumRel answers a range SUM/COUNT query with the relative guarantee
+// εrel (Problem 2). When the Lemma 3 test A ≥ 2δ(1 + 1/εrel) fails the
+// exact method answers instead (usedExact reports which path ran).
+func (ix *Index1D) RangeSumRel(lq, uq, epsRel float64) (val float64, usedExact bool, err error) {
+	if ix.agg != Sum && ix.agg != Count {
+		return 0, false, ErrWrongAgg
+	}
+	if epsRel <= 0 {
+		return 0, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+	}
+	if uq < lq {
+		return 0, false, nil
+	}
+	a := ix.CF(uq) - ix.CF(lq)
+	if a >= 2*ix.delta*(1+1/epsRel) {
+		return a, false, nil
+	}
+	if ix.exactCF == nil {
+		return 0, false, ErrNoFallback
+	}
+	return ix.exactCF.RangeSum(lq, uq), true, nil
+}
+
+// RangeExtremum answers an approximate range MAX (or MIN) query over the
+// closed interval [lq, uq]. ok is false when no segment overlaps the range.
+// Built with δ = εabs, the result satisfies |A − R| ≤ εabs (Lemma 4).
+func (ix *Index1D) RangeExtremum(lq, uq float64) (val float64, ok bool, err error) {
+	if ix.agg != Max && ix.agg != Min {
+		return 0, false, ErrWrongAgg
+	}
+	v, ok := ix.maxInternal(lq, uq)
+	if !ok {
+		return 0, false, nil
+	}
+	if ix.neg {
+		v = -v
+	}
+	return v, true, nil
+}
+
+// maxInternal runs the Figure 10/11 traversal in the internal (possibly
+// negated) measure space.
+func (ix *Index1D) maxInternal(lq, uq float64) (float64, bool) {
+	if uq < lq || uq < ix.keyLo || lq > ix.keyHi {
+		return 0, false
+	}
+	h := len(ix.segLo)
+	// First segment with Hi ≥ lq.
+	a := sort.SearchFloat64s(ix.segHi, lq)
+	// Last segment with Lo ≤ uq.
+	b := sort.Search(h, func(i int) bool { return ix.segLo[i] > uq }) - 1
+	if a > b || a >= h || b < 0 {
+		return 0, false
+	}
+	best := math.Inf(-1)
+	fullLo, fullHi := a, b // range of fully covered segments
+	if lq > ix.segLo[a] || uq < ix.segHi[a] {
+		best = math.Max(best, ix.segPolyMax(a, lq, uq))
+		fullLo = a + 1
+	}
+	if b != a && (lq > ix.segLo[b] || uq < ix.segHi[b]) {
+		best = math.Max(best, ix.segPolyMax(b, lq, uq))
+		fullHi = b - 1
+	}
+	if fullLo <= fullHi {
+		best = math.Max(best, ix.rangeMaxIdx(fullLo, fullHi))
+	}
+	return best, true
+}
+
+// segPolyMax maximises segment i's polynomial over the clipped interval
+// (Eq. 17), bounding the result by the segment's exact maximum + δ so a
+// between-sample bulge of the fit cannot push the answer above the
+// guarantee envelope.
+func (ix *Index1D) segPolyMax(i int, lq, uq float64) float64 {
+	lo := math.Max(lq, ix.segLo[i])
+	hi := math.Min(uq, ix.segHi[i])
+	if hi < lo {
+		return math.Inf(-1)
+	}
+	fp := poly.FramedPoly{F: ix.frames[i], P: ix.polys[i]}
+	v, _ := fp.MaxOnInterval(lo, hi)
+	if bound := ix.segExt[i] + ix.delta; v > bound {
+		v = bound
+	}
+	return v
+}
+
+// RangeExtremumRel answers a range MAX/MIN query with the relative
+// guarantee εrel (Lemma 5: pass requires A ≥ δ(1 + 1/εrel), applied to the
+// un-negated estimate so MIN over non-negative measures is gated correctly);
+// on failure the exact aggregate tree answers.
+func (ix *Index1D) RangeExtremumRel(lq, uq, epsRel float64) (val float64, usedExact, ok bool, err error) {
+	if ix.agg != Max && ix.agg != Min {
+		return 0, false, false, ErrWrongAgg
+	}
+	if epsRel <= 0 {
+		return 0, false, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+	}
+	v, got := ix.maxInternal(lq, uq)
+	if ix.neg {
+		v = -v
+	}
+	// |A − R| ≤ δ gives R ≥ A − δ for both MAX and MIN, so the same
+	// Lemma 5 condition applies to the final estimate.
+	if got && v >= ix.delta*(1+1/epsRel) {
+		return v, false, true, nil
+	}
+	if ix.exactExt == nil {
+		return 0, false, false, ErrNoFallback
+	}
+	ev, eok := ix.exactExt.Query(lq, uq)
+	if !eok {
+		return 0, true, false, nil
+	}
+	if ix.neg {
+		ev = -ev
+	}
+	return ev, true, true, nil
+}
+
+// --- introspection ---------------------------------------------------------
+
+// Aggregate returns the aggregate the index was built for.
+func (ix *Index1D) Aggregate() Agg { return ix.agg }
+
+// Degree returns the polynomial degree.
+func (ix *Index1D) Degree() int { return ix.degree }
+
+// Delta returns the build δ.
+func (ix *Index1D) Delta() float64 { return ix.delta }
+
+// NumSegments returns h, the number of fitted polynomials.
+func (ix *Index1D) NumSegments() int { return len(ix.segLo) }
+
+// Len returns the number of indexed records.
+func (ix *Index1D) Len() int { return ix.n }
+
+// KeyRange returns the smallest and largest indexed key.
+func (ix *Index1D) KeyRange() (lo, hi float64) { return ix.keyLo, ix.keyHi }
+
+// Total returns CF(+∞) for SUM/COUNT indexes.
+func (ix *Index1D) Total() float64 { return ix.total }
+
+// SizeBytes reports the memory footprint of the PolyFit structure itself:
+// segment boundaries, frames, coefficients, and (for MIN/MAX) the segment
+// extrema and RMQ table. Exact-fallback structures are reported separately
+// by FallbackSizeBytes since Problem-1 configurations do not carry them.
+func (ix *Index1D) SizeBytes() int {
+	sz := 0
+	for i := range ix.polys {
+		sz += 16 /*lo,hi*/ + 16 /*frame*/ + 8*len(ix.polys[i])
+	}
+	sz += 8 * len(ix.segExt)
+	for _, row := range ix.rmq {
+		sz += 8 * len(row)
+	}
+	return sz
+}
+
+// FallbackSizeBytes reports the memory of the exact structures used for
+// Problem-2 fallbacks, if built.
+func (ix *Index1D) FallbackSizeBytes() int {
+	sz := 0
+	if ix.exactCF != nil {
+		sz += ix.exactCF.SizeBytes()
+	}
+	if ix.exactExt != nil {
+		sz += ix.exactExt.SizeBytes()
+	}
+	return sz
+}

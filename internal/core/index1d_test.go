@@ -1,0 +1,518 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/segment"
+)
+
+// genDataset builds n records with strictly increasing float keys and
+// non-negative measures from a skewed multimodal distribution.
+func genDataset(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[float64]bool, n)
+	for len(set) < n {
+		set[math.Round(rng.NormFloat64()*1e5*(1+rng.Float64()))/8] = true
+	}
+	keys = make([]float64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	measures = make([]float64, n)
+	for i := range measures {
+		// Smooth-ish measure series with regime switches, similar to a
+		// stock index: this is what DFmax looks like.
+		measures[i] = 500 + 400*math.Sin(float64(i)/40) + 100*math.Sin(float64(i)/7) + rng.Float64()*20
+	}
+	return keys, measures
+}
+
+func exactSumHalfOpen(keys, measures []float64, l, u float64) float64 {
+	s := 0.0
+	for i, k := range keys {
+		if k > l && k <= u {
+			s += measures[i]
+		}
+	}
+	return s
+}
+
+func exactMax(keys, measures []float64, l, u float64) (float64, bool) {
+	best, found := math.Inf(-1), false
+	for i, k := range keys {
+		if k >= l && k <= u {
+			found = true
+			if measures[i] > best {
+				best = measures[i]
+			}
+		}
+	}
+	return best, found
+}
+
+func exactMin(keys, measures []float64, l, u float64) (float64, bool) {
+	best, found := math.Inf(1), false
+	for i, k := range keys {
+		if k >= l && k <= u {
+			found = true
+			if measures[i] < best {
+				best = measures[i]
+			}
+		}
+	}
+	return best, found
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := BuildCount(nil, Options{Delta: 1}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := BuildSum([]float64{1, 2}, []float64{1}, Options{Delta: 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := BuildMax([]float64{2, 1}, []float64{1, 1}, Options{Delta: 1}); err == nil {
+		t.Error("unsorted keys should error")
+	}
+}
+
+func TestDeltaForAbs(t *testing.T) {
+	if got := DeltaForAbs(Count, 100); got != 50 {
+		t.Errorf("DeltaForAbs(Count,100) = %g, want 50 (Lemma 2)", got)
+	}
+	if got := DeltaForAbs(Sum, 100); got != 50 {
+		t.Errorf("DeltaForAbs(Sum,100) = %g, want 50", got)
+	}
+	if got := DeltaForAbs(Max, 100); got != 100 {
+		t.Errorf("DeltaForAbs(Max,100) = %g, want 100 (Lemma 4)", got)
+	}
+	if got := DeltaForAbs(Min, 100); got != 100 {
+		t.Errorf("DeltaForAbs(Min,100) = %g, want 100", got)
+	}
+}
+
+// TestCountAbsoluteGuarantee is the Lemma 2 property: with δ = εabs/2, the
+// approximate COUNT is within εabs of the exact count for queries whose
+// endpoints are dataset keys (the paper's workload).
+func TestCountAbsoluteGuarantee(t *testing.T) {
+	keys, _ := genDataset(4000, 1)
+	const epsAbs = 20.0
+	for _, deg := range []int{1, 2, 3} {
+		ix, err := BuildCount(keys, Options{Degree: deg, Delta: DeltaForAbs(Count, epsAbs)})
+		if err != nil {
+			t.Fatalf("deg %d: %v", deg, err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for q := 0; q < 800; q++ {
+			l := keys[rng.Intn(len(keys))]
+			u := keys[rng.Intn(len(keys))]
+			if l > u {
+				l, u = u, l
+			}
+			got, err := ix.RangeSum(l, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for _, k := range keys {
+				if k > l && k <= u {
+					want++
+				}
+			}
+			if math.Abs(got-want) > epsAbs+1e-6 {
+				t.Fatalf("deg %d: |%g - %g| > εabs=%g for [%g,%g]", deg, got, want, epsAbs, l, u)
+			}
+		}
+	}
+}
+
+// TestSumAbsoluteGuarantee: Lemma 2 for SUM with real-valued measures.
+func TestSumAbsoluteGuarantee(t *testing.T) {
+	keys, measures := genDataset(3000, 3)
+	const epsAbs = 5000.0
+	ix, err := BuildSum(keys, measures, Options{Delta: DeltaForAbs(Sum, epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 500; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got, err := ix.RangeSum(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactSumHalfOpen(keys, measures, l, u)
+		if math.Abs(got-want) > epsAbs+1e-6 {
+			t.Fatalf("|%g - %g| > εabs=%g for (%g,%g]", got, want, epsAbs, l, u)
+		}
+	}
+}
+
+// TestSumGapAndOutOfDomainEndpoints: clamped evaluation keeps the guarantee
+// for endpoints that fall between segments or outside the key domain.
+func TestSumGapAndOutOfDomainEndpoints(t *testing.T) {
+	keys, measures := genDataset(2000, 5)
+	const epsAbs = 4000.0
+	ix, err := BuildSum(keys, measures, Options{Delta: DeltaForAbs(Sum, epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ix.KeyRange()
+	// Below-domain and above-domain endpoints are exact CF values (0, total).
+	got, _ := ix.RangeSum(lo-1000, hi+1000)
+	want := exactSumHalfOpen(keys, measures, lo-1000, hi+1000)
+	if math.Abs(got-want) > epsAbs {
+		t.Fatalf("whole-domain query |%g-%g| > %g", got, want, epsAbs)
+	}
+	// Inverted and empty.
+	if v, _ := ix.RangeSum(10, 5); v != 0 {
+		t.Errorf("inverted range should be 0, got %g", v)
+	}
+}
+
+// TestMaxGuarantee is the Lemma 4 property. The lower side (A ≥ R − εabs)
+// is asserted strictly; the upper side carries the between-sample slack
+// documented in DESIGN.md §3.3 (the polynomial max over a continuous
+// interval can slightly exceed the sample-level bound).
+func TestMaxGuarantee(t *testing.T) {
+	keys, measures := genDataset(3000, 7)
+	const epsAbs = 60.0
+	ix, err := BuildMax(keys, measures, Options{Delta: DeltaForAbs(Max, epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	overshoot := 0
+	for q := 0; q < 600; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got, ok, err := ix.RangeExtremum(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := exactMax(keys, measures, l, u)
+		if !wantOK {
+			continue
+		}
+		if !ok {
+			t.Fatalf("query [%g,%g] found no result but exact max is %g", l, u, want)
+		}
+		if got < want-epsAbs-1e-6 {
+			t.Fatalf("lower-side violation: %g < %g − εabs=%g", got, want, epsAbs)
+		}
+		if got > want+epsAbs+1e-6 {
+			overshoot++
+			if got > want+2*epsAbs {
+				t.Fatalf("gross upper-side violation: %g > %g + 2εabs", got, want)
+			}
+		}
+	}
+	if overshoot > 600/20 {
+		t.Fatalf("upper-side overshoots on %d/600 queries (>5%%)", overshoot)
+	}
+}
+
+// TestMinGuarantee mirrors TestMaxGuarantee through the negation path.
+func TestMinGuarantee(t *testing.T) {
+	keys, measures := genDataset(2000, 9)
+	const epsAbs = 60.0
+	ix, err := BuildMin(keys, measures, Options{Delta: DeltaForAbs(Min, epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Aggregate() != Min {
+		t.Fatalf("aggregate = %v, want MIN", ix.Aggregate())
+	}
+	rng := rand.New(rand.NewSource(10))
+	for q := 0; q < 400; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got, ok, err := ix.RangeExtremum(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := exactMin(keys, measures, l, u)
+		if !wantOK {
+			continue
+		}
+		if !ok {
+			t.Fatalf("query [%g,%g] found no result but exact min is %g", l, u, want)
+		}
+		if got > want+epsAbs+1e-6 {
+			t.Fatalf("upper-side violation: %g > %g + εabs", got, want)
+		}
+		if got < want-2*epsAbs {
+			t.Fatalf("gross lower-side violation: %g < %g − 2εabs", got, want)
+		}
+	}
+}
+
+// TestRelativeGuaranteeCount is the Lemma 3 property: whenever the index
+// answers without the exact fallback, the relative error is within εrel.
+func TestRelativeGuaranteeCount(t *testing.T) {
+	keys, _ := genDataset(4000, 11)
+	ix, err := BuildCount(keys, Options{Delta: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	approxUsed := 0
+	for _, epsRel := range []float64{0.01, 0.05, 0.2} {
+		for q := 0; q < 300; q++ {
+			l := keys[rng.Intn(len(keys))]
+			u := keys[rng.Intn(len(keys))]
+			if l > u {
+				l, u = u, l
+			}
+			got, usedExact, err := ix.RangeSumRel(l, u, epsRel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for _, k := range keys {
+				if k > l && k <= u {
+					want++
+				}
+			}
+			if usedExact {
+				if got != want {
+					t.Fatalf("exact path returned %g, want %g", got, want)
+				}
+				continue
+			}
+			approxUsed++
+			if want == 0 {
+				t.Fatalf("approximate path used for empty result")
+			}
+			if math.Abs(got-want)/want > epsRel+1e-9 {
+				t.Fatalf("relative error %g > εrel=%g for [%g,%g]", math.Abs(got-want)/want, epsRel, l, u)
+			}
+		}
+	}
+	if approxUsed == 0 {
+		t.Fatal("approximate path never used — test not exercising Lemma 3")
+	}
+}
+
+// TestRelativeGuaranteeMax: Lemma 5 gating for MAX queries.
+func TestRelativeGuaranteeMax(t *testing.T) {
+	keys, measures := genDataset(2000, 13)
+	ix, err := BuildMax(keys, measures, Options{Delta: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	approxUsed := 0
+	for q := 0; q < 500; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got, usedExact, ok, err := ix.RangeExtremumRel(l, u, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantOK := exactMax(keys, measures, l, u)
+		if !wantOK {
+			if ok && !usedExact {
+				t.Fatalf("no records but approximate path answered %g", got)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("query lost a non-empty result")
+		}
+		if usedExact {
+			if got != want {
+				t.Fatalf("exact path returned %g, want %g", got, want)
+			}
+			continue
+		}
+		approxUsed++
+		if math.Abs(got-want)/want > 0.1+0.02 {
+			t.Fatalf("relative error %g too large for [%g,%g]", math.Abs(got-want)/want, l, u)
+		}
+	}
+	if approxUsed == 0 {
+		t.Fatal("approximate path never used")
+	}
+}
+
+func TestNoFallbackErrors(t *testing.T) {
+	keys, measures := genDataset(500, 15)
+	ix, err := BuildSum(keys, measures, Options{Delta: 100, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny εrel forces the fallback path, which is absent.
+	if _, _, err := ix.RangeSumRel(keys[0], keys[10], 1e-9); err != ErrNoFallback {
+		t.Errorf("expected ErrNoFallback, got %v", err)
+	}
+	mx, err := BuildMax(keys, measures, Options{Delta: 1e-9, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := mx.RangeExtremumRel(keys[0], keys[10], 1e-12); err != ErrNoFallback {
+		t.Errorf("expected ErrNoFallback for MAX, got %v", err)
+	}
+}
+
+func TestWrongAggregateQueries(t *testing.T) {
+	keys, measures := genDataset(200, 17)
+	cnt, _ := BuildCount(keys, Options{Delta: 10})
+	mx, _ := BuildMax(keys, measures, Options{Delta: 10})
+	if _, err := mx.RangeSum(1, 2); err != ErrWrongAgg {
+		t.Errorf("RangeSum on MAX index: %v, want ErrWrongAgg", err)
+	}
+	if _, _, err := cnt.RangeExtremum(1, 2); err != ErrWrongAgg {
+		t.Errorf("RangeExtremum on COUNT index: %v, want ErrWrongAgg", err)
+	}
+	if _, _, err := cnt.RangeSumRel(1, 2, -0.5); err == nil {
+		t.Error("non-positive εrel should error")
+	}
+}
+
+func TestMaxEmptyRangeAndGaps(t *testing.T) {
+	// Degree-2 fits interpolate each 3-point half exactly, but no single
+	// parabola covers all four of {1,5,3,9} within δ, so the segmentation
+	// breaks exactly at the large key gap (30, 100).
+	keys := []float64{10, 20, 30, 100, 110, 120}
+	vals := []float64{1, 5, 3, 9, 2, 4}
+	ix, err := BuildMax(keys, vals, Options{Degree: 2, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumSegments() != 2 {
+		t.Fatalf("expected 2 segments, got %d", ix.NumSegments())
+	}
+	// Range strictly inside the large key gap (30, 100): no records.
+	if _, ok, _ := ix.RangeExtremum(40, 90); ok {
+		t.Error("gap-only range should report ok=false")
+	}
+	if _, ok, _ := ix.RangeExtremum(-5, 5); ok {
+		t.Error("below-domain range should report ok=false")
+	}
+	if _, ok, _ := ix.RangeExtremum(130, 140); ok {
+		t.Error("above-domain range should report ok=false")
+	}
+	// Range covering everything.
+	if v, ok, _ := ix.RangeExtremum(0, 200); !ok || math.Abs(v-9) > 0.02+0.01 {
+		t.Errorf("whole-domain max = (%g,%v), want ≈9", v, ok)
+	}
+}
+
+func TestHigherDegreeFewerSegments(t *testing.T) {
+	keys, measures := genDataset(3000, 19)
+	prev := 1 << 30
+	for _, deg := range []int{1, 2, 3} {
+		ix, err := BuildSum(keys, measures, Options{Degree: deg, Delta: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.NumSegments() > prev {
+			t.Errorf("deg %d has %d segments, more than lower degree's %d", deg, ix.NumSegments(), prev)
+		}
+		prev = ix.NumSegments()
+		if ix.Degree() != deg || ix.Delta() != 500 {
+			t.Errorf("introspection mismatch")
+		}
+	}
+}
+
+func TestSmallerDeltaMoreSegments(t *testing.T) {
+	keys, _ := genDataset(3000, 21)
+	prev := 0
+	for _, delta := range []float64{200, 50, 10} {
+		ix, err := BuildCount(keys, Options{Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && ix.NumSegments() < prev {
+			t.Errorf("δ=%g gave %d segments, fewer than larger δ's %d", delta, ix.NumSegments(), prev)
+		}
+		prev = ix.NumSegments()
+	}
+}
+
+func TestIndexSmallerThanData(t *testing.T) {
+	keys, _ := genDataset(20000, 23)
+	ix, err := BuildCount(keys, Options{Delta: 50, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 8 * len(keys)
+	if ix.SizeBytes() >= raw/4 {
+		t.Errorf("PolyFit size %dB not ≪ raw key size %dB (h=%d)", ix.SizeBytes(), raw, ix.NumSegments())
+	}
+	if ix.FallbackSizeBytes() != 0 {
+		t.Errorf("NoFallback index reports fallback bytes %d", ix.FallbackSizeBytes())
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	keys, measures := genDataset(1500, 25)
+	a, _ := BuildSum(keys, measures, Options{Delta: 300})
+	b, _ := BuildSum(keys, measures, Options{Delta: 300})
+	if a.NumSegments() != b.NumSegments() {
+		t.Fatalf("non-deterministic build: %d vs %d segments", a.NumSegments(), b.NumSegments())
+	}
+	for i := range a.segLo {
+		if a.segLo[i] != b.segLo[i] || a.segHi[i] != b.segHi[i] {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	keys, measures := genDataset(800, 27)
+	a, err := BuildSum(keys, measures, Options{Delta: 300, Backend: segment.Exchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSum(keys, measures, Options{Delta: 300, Backend: segment.DualLP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSegments() != b.NumSegments() {
+		t.Errorf("backends disagree on segment count: %d vs %d", a.NumSegments(), b.NumSegments())
+	}
+}
+
+func TestSingleRecord(t *testing.T) {
+	ix, err := BuildCount([]float64{42}, Options{Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.RangeSum(0, 100); math.Abs(v-1) > 2+1e-9 {
+		t.Errorf("single-record count = %g", v)
+	}
+	mx, err := BuildMax([]float64{42}, []float64{7}, Options{Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := mx.RangeExtremum(42, 42); !ok || math.Abs(v-7) > 1+1e-9 {
+		t.Errorf("single-record max = (%g,%v)", v, ok)
+	}
+}
+
+func TestAggString(t *testing.T) {
+	for agg, want := range map[Agg]string{Count: "COUNT", Sum: "SUM", Min: "MIN", Max: "MAX"} {
+		if agg.String() != want {
+			t.Errorf("String(%d) = %q", int(agg), agg.String())
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func gen2D(n int, seed int64) (xs, ys []float64) {
+	return data.GenOSM(n, seed)
+}
+
+func exactCountHalfOpen(xs, ys []float64, xlo, xhi, ylo, yhi float64) float64 {
+	c := 0.0
+	for i := range xs {
+		if xs[i] > xlo && xs[i] <= xhi && ys[i] > ylo && ys[i] <= yhi {
+			c++
+		}
+	}
+	return c
+}
+
+func TestBuild2DValidation(t *testing.T) {
+	if _, err := BuildCount2D(nil, nil, Options2D{Delta: 10}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := BuildCount2D([]float64{1}, []float64{1, 2}, Options2D{Delta: 10}); err == nil {
+		t.Error("mismatched input should error")
+	}
+}
+
+// TestCount2DAbsoluteGuarantee is the Lemma 6 property: with δ = εabs/4 the
+// four-corner estimate is within εabs (plus the documented between-sample
+// slack) of the exact count for uniform random rectangles.
+func TestCount2DAbsoluteGuarantee(t *testing.T) {
+	xs, ys := gen2D(6000, 1)
+	const epsAbs = 240.0
+	ix, err := BuildCount2D(xs, ys, Options2D{Delta: Delta2DForAbs(epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.ForcedLeaves() != 0 {
+		t.Fatalf("%d forced leaves", ix.ForcedLeaves())
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 400, 2)
+	within, worst := 0, 0.0
+	for _, q := range qs {
+		got := ix.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		want := exactCountHalfOpen(xs, ys, q.XLo, q.XHi, q.YLo, q.YHi)
+		e := math.Abs(got - want)
+		if e <= epsAbs+1e-6 {
+			within++
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	if within < len(qs)*95/100 {
+		t.Errorf("only %d/%d queries within εabs=%g (worst %g)", within, len(qs), epsAbs, worst)
+	}
+	if worst > 2*epsAbs {
+		t.Errorf("worst error %g exceeds 2εabs", worst)
+	}
+}
+
+// TestCount2DRelativeGuarantee is the Lemma 7 property: approximate answers
+// respect εrel; fallback answers are exact.
+func TestCount2DRelativeGuarantee(t *testing.T) {
+	xs, ys := gen2D(6000, 3)
+	ix, err := BuildCount2D(xs, ys, Options2D{Delta: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 300, 4)
+	approxUsed := 0
+	for _, q := range qs {
+		got, usedExact, err := ix.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactCountHalfOpen(xs, ys, q.XLo, q.XHi, q.YLo, q.YHi)
+		if usedExact {
+			if got != want {
+				t.Fatalf("exact path returned %g, want %g", got, want)
+			}
+			continue
+		}
+		approxUsed++
+		if want == 0 {
+			t.Fatalf("approximate path used for empty result (got %g)", got)
+		}
+		if math.Abs(got-want)/want > 0.1+0.05 {
+			t.Fatalf("relative error %g too large (got %g want %g)", math.Abs(got-want)/want, got, want)
+		}
+	}
+	if approxUsed == 0 {
+		t.Fatal("approximate path never used")
+	}
+}
+
+func TestCount2DNoFallback(t *testing.T) {
+	xs, ys := gen2D(1500, 5)
+	ix, err := BuildCount2D(xs, ys, Options2D{Delta: 50, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.RangeCountRel(-10, 10, -10, 10, 1e-9); err != ErrNoFallback {
+		t.Errorf("expected ErrNoFallback, got %v", err)
+	}
+	if ix.ExactRangeCount(-10, 10, -10, 10) != -1 {
+		t.Error("ExactRangeCount without fallback should report -1")
+	}
+	if ix.FallbackSizeBytes() != 0 {
+		t.Error("no-fallback index reports fallback bytes")
+	}
+	if _, _, err := ix.RangeCountRel(0, 1, 0, 1, -2); err == nil {
+		t.Error("non-positive εrel should error")
+	}
+}
+
+func TestCount2DEdgeRects(t *testing.T) {
+	xs, ys := gen2D(2000, 7)
+	ix, err := BuildCount2D(xs, ys, Options2D{Delta: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.RangeCount(10, 5, 0, 1); got != 0 {
+		t.Errorf("inverted rect = %g, want 0", got)
+	}
+	// Whole domain: ≈ n.
+	got := ix.RangeCount(-181, 181, -91, 91)
+	if math.Abs(got-2000) > 4*25+1 {
+		t.Errorf("whole-domain count = %g, want ≈2000", got)
+	}
+	// Far outside: 0.
+	if got := ix.RangeCount(200, 300, 95, 99); got != 0 {
+		t.Errorf("outside-domain count = %g, want 0", got)
+	}
+	if got := ix.RangeCount(-300, -200, -99, -95); got != 0 {
+		t.Errorf("below-domain count = %g, want 0", got)
+	}
+}
+
+func TestCount2DIntrospection(t *testing.T) {
+	xs, ys := gen2D(2500, 9)
+	ix, err := BuildCount2D(xs, ys, Options2D{Degree: 2, Delta: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 2500 || ix.Delta() != 40 {
+		t.Error("Len/Delta wrong")
+	}
+	if ix.NumLeaves() < 1 || ix.Depth() < 1 {
+		t.Error("degenerate tree stats")
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+	xlo, xhi, ylo, yhi := ix.Bounds()
+	if xlo >= xhi || ylo >= yhi {
+		t.Error("degenerate bounds")
+	}
+	// PolyFit structure must be much smaller than raw points.
+	if ix.SizeBytes() >= 16*2500 {
+		t.Errorf("index size %dB not smaller than raw data %dB", ix.SizeBytes(), 16*2500)
+	}
+}
+
+func TestExactRangeCountMatchesBruteForce(t *testing.T) {
+	xs, ys := gen2D(3000, 11)
+	ix, err := BuildCount2D(xs, ys, Options2D{Delta: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		x1 := -180 + rng.Float64()*360
+		x2 := -180 + rng.Float64()*360
+		y1 := -90 + rng.Float64()*180
+		y2 := -90 + rng.Float64()*180
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		got := float64(ix.ExactRangeCount(x1, x2, y1, y2))
+		want := exactCountHalfOpen(xs, ys, x1, x2, y1, y2)
+		if got != want {
+			t.Fatalf("ExactRangeCount(%g,%g,%g,%g) = %g, want %g", x1, x2, y1, y2, got, want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRangeSumAdditivityProperty: because RangeSum(a,b) = CF(b) − CF(a),
+// the telescoping identity R(a,b) + R(b,c) = R(a,c) holds *exactly* for any
+// a ≤ b ≤ c — a structural invariant of the cumulative-function design.
+func TestRangeSumAdditivityProperty(t *testing.T) {
+	keys, measures := genDataset(1500, 71)
+	ix, err := BuildSum(keys, measures, Options{Delta: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ix.KeyRange()
+	span := hi - lo
+	err = quick.Check(func(u1, u2, u3 float64) bool {
+		pts := []float64{
+			lo + math.Mod(math.Abs(u1), 1)*span,
+			lo + math.Mod(math.Abs(u2), 1)*span,
+			lo + math.Mod(math.Abs(u3), 1)*span,
+		}
+		if math.IsNaN(pts[0]) || math.IsNaN(pts[1]) || math.IsNaN(pts[2]) {
+			return true
+		}
+		a, b, c := pts[0], pts[1], pts[2]
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ab, _ := ix.RangeSum(a, b)
+		bc, _ := ix.RangeSum(b, c)
+		ac, _ := ix.RangeSum(a, c)
+		return math.Abs((ab+bc)-ac) < 1e-6*(1+math.Abs(ac))
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCFWithinGlobalBoundsProperty: the approximate CF stays within δ of
+// the valid range [0, total] everywhere, including far outside the domain.
+func TestCFWithinGlobalBoundsProperty(t *testing.T) {
+	keys, _ := genDataset(2000, 73)
+	ix, err := BuildCount(keys, Options{Delta: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ix.Total()
+	err = quick.Check(func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := ix.CF(x)
+		return v >= -25-1e-9 && v <= total+25+1e-9
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxDominatedBySegmentEnvelopeProperty: a MAX answer can never exceed
+// the global maximum + δ (the clamp in segPolyMax enforces it per segment).
+func TestMaxEnvelopeProperty(t *testing.T) {
+	keys, measures := genDataset(1200, 75)
+	const delta = 40.0
+	ix, err := BuildMax(keys, measures, Options{Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalMax := math.Inf(-1)
+	for _, m := range measures {
+		globalMax = math.Max(globalMax, m)
+	}
+	lo, hi := ix.KeyRange()
+	span := hi - lo
+	err = quick.Check(func(u1, u2 float64) bool {
+		if math.IsNaN(u1) || math.IsNaN(u2) {
+			return true
+		}
+		a := lo + math.Mod(math.Abs(u1), 1)*span
+		b := lo + math.Mod(math.Abs(u2), 1)*span
+		if a > b {
+			a, b = b, a
+		}
+		v, ok, err := ix.RangeExtremum(a, b)
+		if err != nil {
+			return false
+		}
+		return !ok || v <= globalMax+delta+1e-9
+	}, &quick.Config{MaxCount: 400})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeSumShrinkageProperty: widening a query range never decreases a
+// COUNT answer by more than the approximation noise (2δ), for ranges
+// aligned on dataset keys where the guarantee is strict.
+func TestRangeSumShrinkageProperty(t *testing.T) {
+	keys, _ := genDataset(1500, 77)
+	const delta = 20.0
+	ix, err := BuildCount(keys, Options{Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(len(keys))
+		j := i + rng.Intn(len(keys)-i)
+		wideI := i - rng.Intn(i+1)
+		wideJ := j + rng.Intn(len(keys)-j)
+		inner, _ := ix.RangeSum(keys[i], keys[j])
+		outer, _ := ix.RangeSum(keys[wideI], keys[wideJ])
+		if outer < inner-4*delta-1e-9 {
+			t.Fatalf("widening shrank the count too much: inner %g outer %g", inner, outer)
+		}
+	}
+}
+
+// TestSerializeStableProperty: marshal → unmarshal → marshal is bytewise
+// stable (canonical encoding).
+func TestSerializeStableProperty(t *testing.T) {
+	keys, measures := genDataset(800, 79)
+	for _, build := range []func() (*Index1D, error){
+		func() (*Index1D, error) { return BuildCount(keys, Options{Delta: 30}) },
+		func() (*Index1D, error) { return BuildMax(keys, measures, Options{Delta: 30}) },
+	} {
+		ix, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob1, err := ix.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loaded Index1D
+		if err := loaded.UnmarshalBinary(blob1); err != nil {
+			t.Fatal(err)
+		}
+		blob2, err := loaded.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob1) != len(blob2) {
+			t.Fatalf("re-marshal changed length: %d vs %d", len(blob1), len(blob2))
+		}
+		for i := range blob1 {
+			if blob1[i] != blob2[i] {
+				t.Fatalf("re-marshal changed byte %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/poly"
+	"repro/internal/quadtree"
+)
+
+// Serialization encodes the compact PolyFit structure only — segments,
+// frames, coefficients and per-segment extrema. The exact fallback
+// structures are deliberately excluded: they are O(n) while the index is
+// O(h), and a deserialised index is expected to serve Problem-1 (absolute
+// guarantee) queries; relative-error queries on a loaded index return
+// ErrNoFallback unless the index is rebuilt from data.
+
+const (
+	magic1D   = uint32(0x504F4C31) // "POL1"
+	magic2D   = uint32(0x504F4C32) // "POL2"
+	formatVer = uint16(1)
+)
+
+// ErrBadFormat reports a corrupted or incompatible serialised index.
+var ErrBadFormat = errors.New("core: bad serialized index format")
+
+// MarshalBinary implements encoding.BinaryMarshaler for the 1D index.
+func (ix *Index1D) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(magic1D)
+	w(formatVer)
+	w(uint8(ix.agg))
+	w(uint8(btoi(ix.neg)))
+	w(uint32(ix.degree))
+	w(ix.delta)
+	w(uint64(ix.n))
+	w(ix.keyLo)
+	w(ix.keyHi)
+	w(ix.total)
+	h := len(ix.segLo)
+	w(uint32(h))
+	for i := 0; i < h; i++ {
+		w(ix.segLo[i])
+		w(ix.segHi[i])
+		w(ix.frames[i].Center)
+		w(ix.frames[i].HalfWidth)
+		w(uint16(len(ix.polys[i])))
+		for _, c := range ix.polys[i] {
+			w(c)
+		}
+	}
+	w(uint8(btoi(ix.segExt != nil)))
+	for _, v := range ix.segExt {
+		w(v)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler for the 1D index.
+// The loaded index has no exact fallback (see package comment above).
+func (ix *Index1D) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var m uint32
+	var ver uint16
+	if err := rd(&m); err != nil || m != magic1D {
+		return fmt.Errorf("%w: magic", ErrBadFormat)
+	}
+	if err := rd(&ver); err != nil || ver != formatVer {
+		return fmt.Errorf("%w: version", ErrBadFormat)
+	}
+	var agg, neg uint8
+	var degree uint32
+	var n uint64
+	if err := firstErr(rd(&agg), rd(&neg), rd(&degree), rd(&ix.delta), rd(&n),
+		rd(&ix.keyLo), rd(&ix.keyHi), rd(&ix.total)); err != nil {
+		return fmt.Errorf("%w: header", ErrBadFormat)
+	}
+	ix.agg = Agg(agg)
+	if ix.agg < Count || ix.agg > Max {
+		return fmt.Errorf("%w: aggregate %d", ErrBadFormat, agg)
+	}
+	ix.neg = neg != 0
+	ix.degree = int(degree)
+	ix.n = int(n)
+	var h uint32
+	if err := rd(&h); err != nil {
+		return fmt.Errorf("%w: segment count", ErrBadFormat)
+	}
+	// Each segment occupies at least 34 bytes (lo, hi, frame, coeff count);
+	// reject counts the blob cannot possibly hold before allocating.
+	if h == 0 || h > uint32(math.MaxInt32) || int64(h) > int64(len(data))/34+1 {
+		return fmt.Errorf("%w: %d segments", ErrBadFormat, h)
+	}
+	ix.segLo = make([]float64, h)
+	ix.segHi = make([]float64, h)
+	ix.frames = make([]poly.Frame, h)
+	ix.polys = make([]poly.Poly, h)
+	for i := uint32(0); i < h; i++ {
+		var nc uint16
+		if err := firstErr(rd(&ix.segLo[i]), rd(&ix.segHi[i]),
+			rd(&ix.frames[i].Center), rd(&ix.frames[i].HalfWidth), rd(&nc)); err != nil {
+			return fmt.Errorf("%w: segment %d", ErrBadFormat, i)
+		}
+		p := make(poly.Poly, nc)
+		for j := range p {
+			if err := rd(&p[j]); err != nil {
+				return fmt.Errorf("%w: coeffs of segment %d", ErrBadFormat, i)
+			}
+		}
+		ix.polys[i] = p
+	}
+	var hasExt uint8
+	if err := rd(&hasExt); err != nil {
+		return fmt.Errorf("%w: extrema flag", ErrBadFormat)
+	}
+	ix.segExt = nil
+	ix.rmq = nil
+	if hasExt != 0 {
+		ix.segExt = make([]float64, h)
+		for i := range ix.segExt {
+			if err := rd(&ix.segExt[i]); err != nil {
+				return fmt.Errorf("%w: extrema", ErrBadFormat)
+			}
+		}
+		ix.rmq = buildSparseTable(ix.segExt)
+	}
+	ix.exactCF = nil
+	ix.exactExt = nil
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for the 2D index.
+func (ix *Index2D) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(magic2D)
+	w(formatVer)
+	w(ix.delta)
+	w(uint64(ix.n))
+	w(ix.total)
+	var encode func(c *quadtree.Cell) error
+	encode = func(c *quadtree.Cell) error {
+		w(c.XLo)
+		w(c.XHi)
+		w(c.YLo)
+		w(c.YHi)
+		if c.IsLeaf() {
+			w(uint8(1))
+			w(uint16(c.Fit.P.Deg))
+			w(c.Fit.F.U.Center)
+			w(c.Fit.F.U.HalfWidth)
+			w(c.Fit.F.V.Center)
+			w(c.Fit.F.V.HalfWidth)
+			w(uint16(len(c.Fit.P.C)))
+			for _, v := range c.Fit.P.C {
+				w(v)
+			}
+			return nil
+		}
+		w(uint8(0))
+		for i := range c.Kids {
+			if err := encode(&c.Kids[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := encode(&ix.tree.Root); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary reconstructs a 2D index (without the exact fallback).
+func (ix *Index2D) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var m uint32
+	var ver uint16
+	if err := rd(&m); err != nil || m != magic2D {
+		return fmt.Errorf("%w: magic", ErrBadFormat)
+	}
+	if err := rd(&ver); err != nil || ver != formatVer {
+		return fmt.Errorf("%w: version", ErrBadFormat)
+	}
+	var n uint64
+	if err := firstErr(rd(&ix.delta), rd(&n), rd(&ix.total)); err != nil {
+		return fmt.Errorf("%w: header", ErrBadFormat)
+	}
+	ix.n = int(n)
+	tree := &quadtree.Tree{}
+	var decode func(c *quadtree.Cell, depth int) error
+	decode = func(c *quadtree.Cell, depth int) error {
+		if depth > 64 {
+			return fmt.Errorf("%w: tree too deep", ErrBadFormat)
+		}
+		if depth > tree.Depth {
+			tree.Depth = depth
+		}
+		if err := firstErr(rd(&c.XLo), rd(&c.XHi), rd(&c.YLo), rd(&c.YHi)); err != nil {
+			return fmt.Errorf("%w: cell bounds", ErrBadFormat)
+		}
+		var leaf uint8
+		if err := rd(&leaf); err != nil {
+			return fmt.Errorf("%w: cell flag", ErrBadFormat)
+		}
+		if leaf == 1 {
+			var deg, nc uint16
+			if err := firstErr(rd(&deg),
+				rd(&c.Fit.F.U.Center), rd(&c.Fit.F.U.HalfWidth),
+				rd(&c.Fit.F.V.Center), rd(&c.Fit.F.V.HalfWidth), rd(&nc)); err != nil {
+				return fmt.Errorf("%w: leaf header", ErrBadFormat)
+			}
+			c.Fit.P.Deg = int(deg)
+			c.Fit.P.C = make([]float64, nc)
+			for j := range c.Fit.P.C {
+				if err := rd(&c.Fit.P.C[j]); err != nil {
+					return fmt.Errorf("%w: leaf coeffs", ErrBadFormat)
+				}
+			}
+			tree.NumLeaves++
+			return nil
+		}
+		c.Kids = &[4]quadtree.Cell{}
+		for i := range c.Kids {
+			if err := decode(&c.Kids[i], depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := decode(&tree.Root, 1); err != nil {
+		return err
+	}
+	ix.tree = tree
+	ix.exact = nil
+	return nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip1DSum(t *testing.T) {
+	keys, measures := genDataset(2000, 31)
+	orig, err := BuildSum(keys, measures, Options{Delta: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Index1D
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Aggregate() != Sum || loaded.NumSegments() != orig.NumSegments() ||
+		loaded.Len() != orig.Len() || loaded.Delta() != orig.Delta() {
+		t.Fatal("metadata mismatch after round-trip")
+	}
+	rng := rand.New(rand.NewSource(32))
+	for q := 0; q < 300; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		a, _ := orig.RangeSum(l, u)
+		b, err := loaded.RangeSum(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("answers diverge after round-trip: %g vs %g", a, b)
+		}
+	}
+	// Relative queries on a loaded index have no fallback.
+	if _, _, err := loaded.RangeSumRel(keys[0], keys[1], 1e-12); err != ErrNoFallback {
+		t.Errorf("loaded index should report ErrNoFallback, got %v", err)
+	}
+}
+
+func TestRoundTrip1DMax(t *testing.T) {
+	keys, measures := genDataset(1500, 33)
+	orig, err := BuildMax(keys, measures, Options{Delta: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := orig.MarshalBinary()
+	var loaded Index1D
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(34))
+	for q := 0; q < 200; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		a, okA, _ := orig.RangeExtremum(l, u)
+		b, okB, err := loaded.RangeExtremum(l, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okA != okB || (okA && a != b) {
+			t.Fatalf("MAX answers diverge after round-trip: (%g,%v) vs (%g,%v)", a, okA, b, okB)
+		}
+	}
+}
+
+func TestRoundTrip1DMin(t *testing.T) {
+	keys, measures := genDataset(800, 35)
+	orig, err := BuildMin(keys, measures, Options{Delta: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := orig.MarshalBinary()
+	var loaded Index1D
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Aggregate() != Min {
+		t.Fatalf("aggregate lost: %v", loaded.Aggregate())
+	}
+	v1, ok1, _ := orig.RangeExtremum(keys[10], keys[700])
+	v2, ok2, _ := loaded.RangeExtremum(keys[10], keys[700])
+	if ok1 != ok2 || v1 != v2 {
+		t.Fatalf("MIN diverges: (%g,%v) vs (%g,%v)", v1, ok1, v2, ok2)
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	xs, ys := gen2D(3000, 37)
+	orig, err := BuildCount2D(xs, ys, Options2D{Delta: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Index2D
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumLeaves() != orig.NumLeaves() || loaded.Len() != orig.Len() {
+		t.Fatalf("metadata mismatch: %d/%d leaves, %d/%d len",
+			loaded.NumLeaves(), orig.NumLeaves(), loaded.Len(), orig.Len())
+	}
+	rng := rand.New(rand.NewSource(38))
+	for q := 0; q < 200; q++ {
+		x1 := -180 + rng.Float64()*360
+		x2 := -180 + rng.Float64()*360
+		y1 := -90 + rng.Float64()*180
+		y2 := -90 + rng.Float64()*180
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		if a, b := orig.RangeCount(x1, x2, y1, y2), loaded.RangeCount(x1, x2, y1, y2); a != b {
+			t.Fatalf("2D answers diverge: %g vs %g", a, b)
+		}
+	}
+	if _, _, err := loaded.RangeCountRel(0, 1, 0, 1, 1e-12); err != ErrNoFallback {
+		t.Errorf("loaded 2D index should report ErrNoFallback, got %v", err)
+	}
+}
+
+func TestUnmarshalCorrupted(t *testing.T) {
+	keys, _ := genDataset(300, 39)
+	ix, _ := BuildCount(keys, Options{Delta: 20})
+	blob, _ := ix.MarshalBinary()
+	var target Index1D
+	if err := target.UnmarshalBinary(nil); err == nil {
+		t.Error("nil blob should error")
+	}
+	if err := target.UnmarshalBinary(blob[:8]); err == nil {
+		t.Error("truncated blob should error")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if err := target.UnmarshalBinary(bad); err == nil {
+		t.Error("wrong magic should error")
+	}
+	var target2 Index2D
+	if err := target2.UnmarshalBinary(blob); err == nil {
+		t.Error("1D blob must not parse as 2D index")
+	}
+}
+
+func TestSerializedSizeTracksSegments(t *testing.T) {
+	keys, _ := genDataset(4000, 41)
+	small, _ := BuildCount(keys, Options{Delta: 500, NoFallback: true})
+	big, _ := BuildCount(keys, Options{Delta: 2, NoFallback: true})
+	sb, _ := small.MarshalBinary()
+	bb, _ := big.MarshalBinary()
+	if len(sb) >= len(bb) {
+		t.Errorf("larger δ should serialise smaller: %d vs %d bytes", len(sb), len(bb))
+	}
+	if math.Abs(float64(len(sb))) > float64(8*len(keys)) {
+		t.Errorf("serialised index bigger than raw keys")
+	}
+}

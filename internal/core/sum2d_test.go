@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func genWeighted2D(n int, seed int64) (xs, ys, ws []float64) {
+	xs, ys = data.GenOSM(n, seed)
+	rng := rand.New(rand.NewSource(seed + 1000))
+	ws = make([]float64, n)
+	for i := range ws {
+		ws[i] = rng.Float64() * 5
+	}
+	return
+}
+
+func exactSum2DHalfOpen(xs, ys, ws []float64, xlo, xhi, ylo, yhi float64) float64 {
+	s := 0.0
+	for i := range xs {
+		if xs[i] > xlo && xs[i] <= xhi && ys[i] > ylo && ys[i] <= yhi {
+			s += ws[i]
+		}
+	}
+	return s
+}
+
+func TestSum2DValidation(t *testing.T) {
+	xs, ys, _ := genWeighted2D(50, 1)
+	if _, err := BuildSum2D(xs, ys, []float64{1}, Options2D{Delta: 10}); err == nil {
+		t.Error("mismatched weights should error")
+	}
+}
+
+// TestSum2DAbsoluteGuarantee mirrors the Lemma 6 property for weighted sums.
+func TestSum2DAbsoluteGuarantee(t *testing.T) {
+	xs, ys, ws := genWeighted2D(5000, 2)
+	const epsAbs = 600.0
+	ix, err := BuildSum2D(xs, ys, ws, Options2D{Delta: Delta2DForAbs(epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 300, 3)
+	within, worst := 0, 0.0
+	for _, q := range qs {
+		got := ix.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		want := exactSum2DHalfOpen(xs, ys, ws, q.XLo, q.XHi, q.YLo, q.YHi)
+		e := math.Abs(got - want)
+		if e <= epsAbs+1e-6 {
+			within++
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	if within < len(qs)*95/100 {
+		t.Errorf("only %d/%d weighted-sum queries within εabs (worst %g)", within, len(qs), worst)
+	}
+	if worst > 2*epsAbs {
+		t.Errorf("worst error %g exceeds 2εabs", worst)
+	}
+}
+
+// TestSum2DRelativeUsesWeightedFallback: the exact path must return the
+// weighted sum, not the count.
+func TestSum2DRelativeUsesWeightedFallback(t *testing.T) {
+	xs, ys, ws := genWeighted2D(4000, 4)
+	ix, err := BuildSum2D(xs, ys, ws, Options2D{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 200, 5)
+	exactSeen, approxSeen := 0, 0
+	for _, q := range qs {
+		got, usedExact, err := ix.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactSum2DHalfOpen(xs, ys, ws, q.XLo, q.XHi, q.YLo, q.YHi)
+		if usedExact {
+			exactSeen++
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("exact weighted fallback returned %g, want %g", got, want)
+			}
+			continue
+		}
+		approxSeen++
+		if want == 0 || math.Abs(got-want)/want > 0.05+0.03 {
+			t.Fatalf("relative error violated: got %g want %g", got, want)
+		}
+	}
+	if exactSeen == 0 || approxSeen == 0 {
+		t.Fatalf("both paths should run (exact %d, approx %d)", exactSeen, approxSeen)
+	}
+}
+
+func TestSum2DUnitWeightsMatchCount(t *testing.T) {
+	xs, ys := data.GenOSM(2500, 6)
+	ones := make([]float64, len(xs))
+	for i := range ones {
+		ones[i] = 1
+	}
+	cnt, err := BuildCount2D(xs, ys, Options2D{Delta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := BuildSum2D(xs, ys, ones, Options2D{Delta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 150, 7)
+	for _, q := range qs {
+		a := cnt.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		b := sum.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		if a != b {
+			t.Fatalf("unit-weight SUM %g != COUNT %g", b, a)
+		}
+	}
+}
+
+func TestSum2DSerializeRoundTrip(t *testing.T) {
+	xs, ys, ws := genWeighted2D(2000, 8)
+	orig, err := BuildSum2D(xs, ys, ws, Options2D{Delta: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Index2D
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 100, 9)
+	for _, q := range qs {
+		a := orig.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		b := loaded.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		if a != b {
+			t.Fatalf("round-trip divergence %g vs %g (total clamp lost?)", a, b)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV1D writes (key, measure) records as a two-column CSV with header.
+func WriteCSV1D(w io.Writer, keys, measures []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("key,measure\n"); err != nil {
+		return err
+	}
+	for i := range keys {
+		if _, err := fmt.Fprintf(bw, "%v,%v\n", keys[i], measures[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV1D parses a two-column CSV (with or without a header row) into
+// parallel key/measure slices.
+func ReadCSV1D(r io.Reader) (keys, measures []float64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) < 2 {
+			return nil, nil, fmt.Errorf("data: line %d: want 2 columns, got %d", line, len(parts))
+		}
+		k, errK := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		m, errM := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if errK != nil || errM != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, nil, fmt.Errorf("data: line %d: bad number", line)
+		}
+		keys = append(keys, k)
+		measures = append(measures, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return keys, measures, nil
+}
+
+// WriteCSV2D writes (x, y) points as CSV.
+func WriteCSV2D(w io.Writer, xs, ys []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("x,y\n"); err != nil {
+		return err
+	}
+	for i := range xs {
+		if _, err := fmt.Fprintf(bw, "%v,%v\n", xs[i], ys[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV2D parses a two-column CSV of points.
+func ReadCSV2D(r io.Reader) (xs, ys []float64, err error) {
+	return ReadCSV1D(r) // identical format, different column meaning
+}

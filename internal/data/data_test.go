@@ -1,0 +1,273 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenHKIShape(t *testing.T) {
+	keys, measures := GenHKI(50000, 1)
+	if len(keys) != 50000 || len(measures) != 50000 {
+		t.Fatalf("wrong sizes %d/%d", len(keys), len(measures))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("timestamps not strictly increasing at %d", i)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range measures {
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	if lo < 20000 || hi > 38000 {
+		t.Errorf("index values outside plausible band: [%g, %g]", lo, hi)
+	}
+	if hi-lo < 500 {
+		t.Errorf("index values suspiciously flat: [%g, %g]", lo, hi)
+	}
+}
+
+func TestGenHKIDeterministic(t *testing.T) {
+	k1, m1 := GenHKI(1000, 42)
+	k2, m2 := GenHKI(1000, 42)
+	for i := range k1 {
+		if k1[i] != k2[i] || m1[i] != m2[i] {
+			t.Fatalf("GenHKI not deterministic at %d", i)
+		}
+	}
+	k3, _ := GenHKI(1000, 43)
+	same := 0
+	for i := range k1 {
+		if k1[i] == k3[i] {
+			same++
+		}
+	}
+	if same == len(k1) {
+		t.Error("different seeds gave identical keys")
+	}
+}
+
+func TestGenTweetShape(t *testing.T) {
+	keys := GenTweet(30000, 2)
+	if len(keys) != 30000 {
+		t.Fatalf("wrong size %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("latitudes not strictly increasing at %d", i)
+		}
+	}
+	if keys[0] < -60 || keys[len(keys)-1] > 75 {
+		t.Errorf("latitudes outside habitable band: [%g, %g]", keys[0], keys[len(keys)-1])
+	}
+	// The latitude CDF must be strongly non-uniform (multi-modal): compare
+	// the densest decile with the sparsest.
+	counts := make([]int, 10)
+	for _, k := range keys {
+		b := int((k + 60) / 13.5)
+		if b > 9 {
+			b = 9
+		}
+		counts[b]++
+	}
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi < 3*lo {
+		t.Errorf("latitude histogram too uniform: min %d max %d", lo, hi)
+	}
+}
+
+func TestGenOSMShape(t *testing.T) {
+	xs, ys := GenOSM(20000, 3)
+	if len(xs) != 20000 || len(ys) != 20000 {
+		t.Fatal("wrong sizes")
+	}
+	for i := range xs {
+		if xs[i] < -180 || xs[i] > 180 || ys[i] < -90 || ys[i] > 90 {
+			t.Fatalf("point %d outside domain: (%g, %g)", i, xs[i], ys[i])
+		}
+	}
+	// Cluster check: a city box must be far denser than uniform.
+	inNY := 0
+	for i := range xs {
+		if math.Abs(xs[i]+74) < 3 && math.Abs(ys[i]-40.7) < 3 {
+			inNY++
+		}
+	}
+	uniformExpect := float64(len(xs)) * (6.0 * 6.0) / (360 * 180)
+	if float64(inNY) < 5*uniformExpect {
+		t.Errorf("NY box holds %d points, expected clustering ≫ uniform %g", inNY, uniformExpect)
+	}
+}
+
+func TestGenOSMLatKeys(t *testing.T) {
+	keys := GenOSMLatKeys(5000, 4)
+	if len(keys) == 0 {
+		t.Fatal("no keys")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestRangeQueriesFromKeys(t *testing.T) {
+	keys := GenTweet(1000, 5)
+	qs := RangeQueriesFromKeys(keys, 200, 6)
+	if len(qs) != 200 {
+		t.Fatalf("want 200 queries, got %d", len(qs))
+	}
+	keySet := make(map[float64]bool, len(keys))
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	for _, q := range qs {
+		if q.L > q.U {
+			t.Fatalf("inverted query %+v", q)
+		}
+		if !keySet[q.L] || !keySet[q.U] {
+			t.Fatalf("query endpoints must be dataset keys: %+v", q)
+		}
+	}
+}
+
+func TestUniformRects(t *testing.T) {
+	qs := UniformRects(-180, 180, -90, 90, 300, 7)
+	for _, q := range qs {
+		if q.XLo > q.XHi || q.YLo > q.YHi {
+			t.Fatalf("malformed rect %+v", q)
+		}
+		if q.XLo < -180 || q.XHi > 180 || q.YLo < -90 || q.YHi > 90 {
+			t.Fatalf("rect outside domain %+v", q)
+		}
+	}
+}
+
+func bruteDominance(xs, ys []float64, qx, qy float64) float64 {
+	c := 0.0
+	for i := range xs {
+		if xs[i] <= qx && ys[i] <= qy {
+			c++
+		}
+	}
+	return c
+}
+
+func TestDominanceCounterAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 3000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+		ys[i] = rng.NormFloat64() * 10
+	}
+	// Inject duplicates to stress rank compression.
+	for i := 0; i < 100; i++ {
+		xs[i] = xs[i+100]
+		ys[i] = ys[i+200]
+	}
+	dc := NewDominanceCounter(xs, ys)
+	if dc.Len() != n {
+		t.Fatalf("Len = %d", dc.Len())
+	}
+	q := 400
+	qx := make([]float64, q)
+	qy := make([]float64, q)
+	for i := range qx {
+		if i%3 == 0 { // exact data coordinates
+			j := rng.Intn(n)
+			qx[i], qy[i] = xs[j], ys[j]
+		} else {
+			qx[i] = rng.NormFloat64() * 12
+			qy[i] = rng.NormFloat64() * 12
+		}
+	}
+	got := dc.Count(qx, qy)
+	for i := range qx {
+		want := bruteDominance(xs, ys, qx[i], qy[i])
+		if got[i] != want {
+			t.Fatalf("CF(%g,%g) = %g, want %g", qx[i], qy[i], got[i], want)
+		}
+	}
+}
+
+func TestDominanceCounterExtremes(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{3, 2, 1}
+	dc := NewDominanceCounter(xs, ys)
+	if got := dc.CountOne(0, 0); got != 0 {
+		t.Errorf("below-all = %g, want 0", got)
+	}
+	if got := dc.CountOne(10, 10); got != 3 {
+		t.Errorf("above-all = %g, want 3", got)
+	}
+	if got := dc.CountOne(2, 2); got != 1 {
+		t.Errorf("CF(2,2) = %g, want 1", got)
+	}
+	xlo, xhi, ylo, yhi := dc.Bounds()
+	if xlo != 1 || xhi != 3 || ylo != 1 || yhi != 3 {
+		t.Errorf("Bounds = (%g,%g,%g,%g)", xlo, xhi, ylo, yhi)
+	}
+}
+
+func TestCSV1DRoundTrip(t *testing.T) {
+	keys := []float64{1.5, 2.25, 99}
+	measures := []float64{10, 20, 30}
+	var buf bytes.Buffer
+	if err := WriteCSV1D(&buf, keys, measures); err != nil {
+		t.Fatal(err)
+	}
+	k2, m2, err := ReadCSV1D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k2) != 3 {
+		t.Fatalf("got %d rows", len(k2))
+	}
+	for i := range keys {
+		if k2[i] != keys[i] || m2[i] != measures[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVHeaderlessAndErrors(t *testing.T) {
+	k, m, err := ReadCSV1D(bytes.NewBufferString("1,2\n3,4\n"))
+	if err != nil || len(k) != 2 || m[1] != 4 {
+		t.Fatalf("headerless parse failed: %v %v %v", k, m, err)
+	}
+	if _, _, err := ReadCSV1D(bytes.NewBufferString("key,measure\n1\n")); err == nil {
+		t.Error("short row should error")
+	}
+	if _, _, err := ReadCSV1D(bytes.NewBufferString("1,2\nx,y\n")); err == nil {
+		t.Error("bad number after first line should error")
+	}
+}
+
+func BenchmarkDominanceBatch(b *testing.B) {
+	xs, ys := GenOSM(100000, 1)
+	dc := NewDominanceCounter(xs, ys)
+	qx := make([]float64, 10000)
+	qy := make([]float64, 10000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range qx {
+		qx[i] = -180 + rng.Float64()*360
+		qy[i] = -90 + rng.Float64()*180
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc.Count(qx, qy)
+	}
+}

@@ -1,0 +1,117 @@
+package data
+
+import "sort"
+
+// DominanceCounter answers batched 2D dominance queries
+// CF(u, v) = Σ { w_i : xs[i] ≤ u ∧ ys[i] ≤ v } — the two-key cumulative
+// function of Definition 5 (unit weights give the COUNT surface, arbitrary
+// non-negative weights give the SUM surface) — with an offline plane sweep
+// over a Fenwick tree: O((n + q) log n) for q queries. The quadtree build
+// issues one batch per level, so construction of the 2D PolyFit index needs
+// only a handful of sweeps over the data.
+type DominanceCounter struct {
+	// points sorted by x
+	px, py, pw []float64
+	// sorted distinct y values for rank compression
+	yrank []float64
+}
+
+// NewDominanceCounter prepares the sweep structures for unit weights
+// (the COUNT surface); xs/ys are copied.
+func NewDominanceCounter(xs, ys []float64) *DominanceCounter {
+	return NewWeightedDominanceCounter(xs, ys, nil)
+}
+
+// NewWeightedDominanceCounter prepares the sweep structures with per-point
+// weights (the SUM surface). ws == nil means unit weights.
+func NewWeightedDominanceCounter(xs, ys, ws []float64) *DominanceCounter {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	px := make([]float64, n)
+	py := make([]float64, n)
+	pw := make([]float64, n)
+	for i, id := range idx {
+		px[i] = xs[id]
+		py[i] = ys[id]
+		if ws == nil {
+			pw[i] = 1
+		} else {
+			pw[i] = ws[id]
+		}
+	}
+	yr := append([]float64(nil), ys...)
+	sort.Float64s(yr)
+	// dedupe
+	out := yr[:0]
+	for i, v := range yr {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return &DominanceCounter{px: px, py: py, pw: pw, yrank: out}
+}
+
+// Count evaluates CF at every query point. The result is exact.
+func (d *DominanceCounter) Count(qx, qy []float64) []float64 {
+	q := len(qx)
+	order := make([]int, q)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qx[order[a]] < qx[order[b]] })
+	res := make([]float64, q)
+	fen := make([]float64, len(d.yrank)+1)
+	add := func(pos int, w float64) {
+		for i := pos + 1; i <= len(d.yrank); i += i & (-i) {
+			fen[i] += w
+		}
+	}
+	prefix := func(pos int) float64 { // weight of inserted y with rank ≤ pos
+		s := 0.0
+		for i := pos + 1; i > 0; i -= i & (-i) {
+			s += fen[i]
+		}
+		return s
+	}
+	pi := 0
+	for _, qi := range order {
+		for pi < len(d.px) && d.px[pi] <= qx[qi] {
+			// rank of this y value
+			r := sort.SearchFloat64s(d.yrank, d.py[pi])
+			add(r, d.pw[pi])
+			pi++
+		}
+		// weight of inserted points with y ≤ qy
+		r := sort.SearchFloat64s(d.yrank, qy[qi])
+		if r == len(d.yrank) || d.yrank[r] != qy[qi] {
+			r-- // strictly smaller rank; -1 means none
+		}
+		if r >= 0 {
+			res[qi] = prefix(r)
+		}
+	}
+	return res
+}
+
+// CountOne evaluates CF at a single point (convenience; prefer Count for
+// batches).
+func (d *DominanceCounter) CountOne(x, y float64) float64 {
+	return d.Count([]float64{x}, []float64{y})[0]
+}
+
+// Len returns the number of points.
+func (d *DominanceCounter) Len() int { return len(d.px) }
+
+// Bounds returns the data bounding box (xlo, xhi, ylo, yhi).
+func (d *DominanceCounter) Bounds() (xlo, xhi, ylo, yhi float64) {
+	if len(d.px) == 0 {
+		return 0, 0, 0, 0
+	}
+	xlo, xhi = d.px[0], d.px[len(d.px)-1]
+	ylo, yhi = d.yrank[0], d.yrank[len(d.yrank)-1]
+	return
+}

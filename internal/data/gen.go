@@ -1,0 +1,203 @@
+// Package data provides the synthetic stand-ins for the paper's three real
+// datasets (Table III), deterministic query-workload generators matching
+// Section VII-A, the offline dominance counter used to evaluate the 2D
+// cumulative function during index construction, and CSV import/export for
+// the command-line tools.
+//
+// The real HKI / TWEET / OSM datasets are not redistributable, so each
+// generator reproduces the statistical property the corresponding experiment
+// exercises; DESIGN.md §1.5 documents the substitutions.
+package data
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Record1D is a (key, measure) pair — the paper's 1D data model (§III-A).
+type Record1D struct {
+	Key     float64
+	Measure float64
+}
+
+// Point2D is a (key1, key2) pair for the two-key setting of Section VI.
+type Point2D struct {
+	X, Y float64
+}
+
+// GenHKI synthesises a stock-index tick series: strictly increasing
+// timestamps and an index level made of multi-frequency macro swings (the
+// smooth year-scale shape visible in the paper's Figure 5) plus a Brownian
+// tick texture whose total volatility is fixed — per-tick σ scales as 1/√n,
+// exactly how real intraday samples of a yearly series behave. The series
+// stays in the Hang-Seng-like 25000–33000 band. Stand-in for the HKI
+// dataset (0.9M records, key=timestamp, measure=index value; MAX queries).
+func GenHKI(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys = make([]float64, n)
+	measures = make([]float64, n)
+	// Macro components: amplitudes/frequencies chosen so a year view shows
+	// two to three major swings with finer ripples.
+	type wave struct{ amp, freq, phase float64 }
+	waves := []wave{
+		{2200, 1.0 + rng.Float64()*0.4, rng.Float64() * 2 * math.Pi},
+		{500, 2.0 + rng.Float64()*0.6, rng.Float64() * 2 * math.Pi},
+		{120, 6.0 + rng.Float64()*2.0, rng.Float64() * 2 * math.Pi},
+	}
+	const yearVol = 400.0
+	tickSigma := yearVol / math.Sqrt(float64(n))
+	ts := 0.0
+	walk := 0.0
+	for i := 0; i < n; i++ {
+		ts += 1 + rng.Float64()*2 // irregular tick spacing
+		keys[i] = ts
+		u := float64(i) / float64(n)
+		level := 29000.0
+		for _, w := range waves {
+			level += w.amp * math.Sin(2*math.Pi*w.freq*u+w.phase)
+		}
+		walk += rng.NormFloat64() * tickSigma
+		// Soft reflection keeps the walk component bounded.
+		if walk > 1000 {
+			walk = 1000 - (walk-1000)*0.5
+		}
+		if walk < -1000 {
+			walk = -1000 + (-1000-walk)*0.5
+		}
+		// Non-accumulating microstructure noise (bid-ask bounce): this is
+		// what makes per-tick DFmax genuinely hard to fit (Figure 14b's
+		// segment counts) without disturbing the smooth year-scale shape.
+		micro := rng.NormFloat64() * 25
+		measures[i] = level + walk + micro
+	}
+	return keys, measures
+}
+
+// GenTweet synthesises tweet latitudes: a population-weighted mixture of
+// Gaussians centred at major population-belt latitudes plus uniform noise,
+// deduplicated to strictly increasing keys. It stands in for the TWEET
+// dataset (1M records, key=latitude) used for 1D COUNT queries.
+func GenTweet(n int, seed int64) (keys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []struct{ lat, weight, sd float64 }{
+		{40.7, 0.16, 2.5},  // NE US
+		{34.0, 0.12, 2.0},  // southern US
+		{51.5, 0.10, 1.5},  // UK / NW Europe
+		{48.8, 0.08, 2.0},  // central Europe
+		{35.7, 0.10, 1.8},  // Japan
+		{22.3, 0.07, 1.5},  // HK / S China
+		{28.6, 0.08, 3.0},  // N India
+		{-23.5, 0.07, 2.2}, // Brazil
+		{-33.9, 0.05, 1.8}, // Argentina / S Africa
+		{19.4, 0.06, 1.6},  // Mexico
+		{1.35, 0.04, 1.0},  // Singapore / equator belt
+		{-37.8, 0.04, 1.2}, // SE Australia
+	}
+	totalW := 0.0
+	for _, c := range centers {
+		totalW += c.weight
+	}
+	uniformW := 1 - totalW
+	set := make(map[float64]bool, n)
+	for len(set) < n {
+		u := rng.Float64()
+		var lat float64
+		if u < uniformW {
+			lat = -60 + rng.Float64()*135 // habitable band
+		} else {
+			u -= uniformW
+			for _, c := range centers {
+				if u < c.weight {
+					lat = c.lat + rng.NormFloat64()*c.sd
+					break
+				}
+				u -= c.weight
+			}
+		}
+		if lat < -60 || lat > 75 {
+			continue
+		}
+		// Quantise to ~1e-5 degrees, then force uniqueness.
+		lat = math.Round(lat*1e5) / 1e5
+		set[lat] = true
+	}
+	keys = make([]float64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+// GenOSM synthesises OpenStreetMap-like coordinates: clustered city hotspots
+// over a uniform background across the whole lon/lat domain. It stands in
+// for the OSM dataset (100M records; our default scale is set by the
+// harness) used for 2D COUNT queries. Points are not deduplicated — the 2D
+// cumulative function tolerates ties.
+func GenOSM(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	type city struct{ lon, lat, sd, weight float64 }
+	cities := []city{
+		{-74.0, 40.7, 1.2, 0.07}, {-0.1, 51.5, 1.0, 0.06},
+		{2.35, 48.85, 1.0, 0.05}, {139.7, 35.7, 1.1, 0.06},
+		{114.2, 22.3, 0.8, 0.04}, {77.2, 28.6, 1.5, 0.05},
+		{-43.2, -22.9, 1.0, 0.04}, {151.2, -33.9, 0.9, 0.03},
+		{-99.1, 19.4, 1.2, 0.04}, {37.6, 55.75, 1.3, 0.04},
+		{-122.4, 37.8, 1.0, 0.04}, {103.8, 1.35, 0.7, 0.03},
+		{13.4, 52.5, 0.9, 0.03}, {28.0, -26.2, 1.1, 0.02},
+	}
+	totalW := 0.0
+	for _, c := range cities {
+		totalW += c.weight
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		if u >= totalW { // uniform background
+			xs[i] = -180 + rng.Float64()*360
+			ys[i] = -90 + rng.Float64()*180
+			continue
+		}
+		for _, c := range cities {
+			if u < c.weight {
+				xs[i] = clamp(c.lon+rng.NormFloat64()*c.sd, -180, 180)
+				ys[i] = clamp(c.lat+rng.NormFloat64()*c.sd, -90, 90)
+				break
+			}
+			u -= c.weight
+		}
+	}
+	return xs, ys
+}
+
+// GenOSMLatKeys extracts a strictly-increasing latitude key set of size ≤ n
+// from GenOSM output, matching the paper's Figure 18 setup ("using latitude
+// attribute as single key").
+func GenOSMLatKeys(n int, seed int64) []float64 {
+	_, ys := GenOSM(n+n/4, seed)
+	set := make(map[float64]bool, n)
+	for _, y := range ys {
+		set[math.Round(y*1e7)/1e7] = true
+		if len(set) == n {
+			break
+		}
+	}
+	keys := make([]float64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

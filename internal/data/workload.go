@@ -1,0 +1,51 @@
+package data
+
+import "math/rand"
+
+// RangeQuery is a 1D key interval.
+type RangeQuery struct {
+	L, U float64
+}
+
+// RectQuery is a 2D query rectangle (two key ranges, Definition 4).
+type RectQuery struct {
+	XLo, XHi, YLo, YHi float64
+}
+
+// RangeQueriesFromKeys reproduces the paper's 1D workload (§VII-A): "we
+// randomly choose two keys in the datasets as the start and end points of
+// each query interval".
+func RangeQueriesFromKeys(keys []float64, count int, seed int64) []RangeQuery {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]RangeQuery, count)
+	for i := range qs {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		qs[i] = RangeQuery{L: l, U: u}
+	}
+	return qs
+}
+
+// UniformRects reproduces the paper's 2D workload: "we randomly sample the
+// rectangles, based on the uniform distribution" over the given domain.
+func UniformRects(xlo, xhi, ylo, yhi float64, count int, seed int64) []RectQuery {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]RectQuery, count)
+	for i := range qs {
+		x1 := xlo + rng.Float64()*(xhi-xlo)
+		x2 := xlo + rng.Float64()*(xhi-xlo)
+		y1 := ylo + rng.Float64()*(yhi-ylo)
+		y2 := ylo + rng.Float64()*(yhi-ylo)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		qs[i] = RectQuery{XLo: x1, XHi: x2, YLo: y1, YHi: y2}
+	}
+	return qs
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+)
+
+// Dataset construction is deterministic but not free, so generated datasets
+// are cached per (kind, size, seed) for the lifetime of the process; the
+// full suite reuses them across experiments.
+var dsCache sync.Map
+
+func cacheKey(kind string, n int, seed int64) string {
+	return fmt.Sprintf("%s/%d/%d", kind, n, seed)
+}
+
+type hkiData struct{ keys, measures []float64 }
+
+func hki(cfg Config) hkiData {
+	k := cacheKey("hki", cfg.HKISize, cfg.Seed)
+	if v, ok := dsCache.Load(k); ok {
+		return v.(hkiData)
+	}
+	keys, measures := data.GenHKI(cfg.HKISize, cfg.Seed)
+	d := hkiData{keys: keys, measures: measures}
+	dsCache.Store(k, d)
+	return d
+}
+
+func tweetKeys(cfg Config) []float64 {
+	k := cacheKey("tweet", cfg.TweetSize, cfg.Seed)
+	if v, ok := dsCache.Load(k); ok {
+		return v.([]float64)
+	}
+	keys := data.GenTweet(cfg.TweetSize, cfg.Seed)
+	dsCache.Store(k, keys)
+	return keys
+}
+
+type osmData struct{ xs, ys []float64 }
+
+func osm(cfg Config) osmData {
+	k := cacheKey("osm", cfg.OSMSize, cfg.Seed)
+	if v, ok := dsCache.Load(k); ok {
+		return v.(osmData)
+	}
+	xs, ys := data.GenOSM(cfg.OSMSize, cfg.Seed)
+	d := osmData{xs: xs, ys: ys}
+	dsCache.Store(k, d)
+	return d
+}
+
+func osmLatKeys(cfg Config, n int) []float64 {
+	k := cacheKey("osmlat", n, cfg.Seed)
+	if v, ok := dsCache.Load(k); ok {
+		return v.([]float64)
+	}
+	keys := data.GenOSMLatKeys(n, cfg.Seed)
+	dsCache.Store(k, keys)
+	return keys
+}

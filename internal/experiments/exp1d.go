@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/artree"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fitingtree"
+	"repro/internal/hist"
+	"repro/internal/minimax"
+	"repro/internal/rmi"
+	"repro/internal/sampling"
+)
+
+func init() {
+	register("fig5", runFig5)
+	register("fig14a", runFig14a)
+	register("fig14b", runFig14b)
+	register("fig14c", runFig14c)
+	register("fig15a", runFig15a)
+	register("fig16a", runFig16a)
+	register("fig17a", runFig17a)
+	register("fig17b", runFig17b)
+	register("fig18", runFig18)
+	register("fig19", runFig19)
+	register("fig20", runFig20)
+}
+
+func absSweep(cfg Config) []float64 {
+	if cfg.Fast {
+		return []float64{100, 1000}
+	}
+	return []float64{50, 100, 200, 500, 1000}
+}
+
+func relSweep(cfg Config) []float64 {
+	if cfg.Fast {
+		return []float64{0.01, 0.1}
+	}
+	return []float64{0.005, 0.01, 0.05, 0.1, 0.2}
+}
+
+// runFig5 reproduces Figure 5: fitting DFmax of a ~90-point stock window
+// with linear regression, an optimal linear segment, and a degree-4
+// polynomial. The polynomial's max error must be far below both linear fits.
+func runFig5(cfg Config) (*Table, error) {
+	d := hki(cfg)
+	// A "2018 daily view": ~90 evenly spaced samples of the series.
+	const window = 90
+	stride := len(d.keys) / window
+	if stride < 1 {
+		stride = 1
+	}
+	var xs, ys []float64
+	for i := 0; i < len(d.keys) && len(xs) < window; i += stride {
+		xs = append(xs, d.keys[i])
+		ys = append(ys, d.measures[i])
+	}
+	// LR(k): least squares line.
+	lrA, lrB := leastSquares(xs, ys)
+	lrErr := 0.0
+	for i := range xs {
+		if e := abs(ys[i] - (lrA + lrB*xs[i])); e > lrErr {
+			lrErr = e
+		}
+	}
+	// FIT(k): best single linear segment (minimax degree 1 — the strongest
+	// possible member of the FITing-tree family on this window).
+	fit1, err := minimax.FitPoly(xs, ys, 1)
+	if err != nil {
+		return nil, err
+	}
+	// P(k): degree-4 minimax polynomial.
+	fit4, err := minimax.FitPoly(xs, ys, 4)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "max fitting error on a 90-sample HKI window (DFmax)",
+		Headers: []string{"model", "max abs error", "vs degree-4"},
+	}
+	t.AddRow("LR(k) least squares", fmt.Sprintf("%.1f", lrErr), fmt.Sprintf("%.1fx", lrErr/fit4.MaxErr))
+	t.AddRow("FIT(k) linear segment", fmt.Sprintf("%.1f", fit1.MaxErr), fmt.Sprintf("%.1fx", fit1.MaxErr/fit4.MaxErr))
+	t.AddRow("P(k) degree-4 minimax", fmt.Sprintf("%.1f", fit4.MaxErr), "1.0x")
+	t.Notes = "paper: the degree-4 polynomial tracks DFmax far better than any linear model"
+	return t, nil
+}
+
+func leastSquares(xs, ys []float64) (a, b float64) {
+	var sx, sy, sxx, sxy, n float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		n++
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / det
+	return (sy - b*sx) / n, b
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// runFig14a: COUNT query response time vs εabs for PolyFit degrees 1–3.
+func runFig14a(cfg Config) (*Table, error) {
+	keys := tweetKeys(cfg)
+	qs := data.RangeQueriesFromKeys(keys, cfg.Queries, cfg.Seed+1)
+	t := &Table{
+		ID:      "fig14a",
+		Title:   fmt.Sprintf("COUNT query time vs εabs, TWEET n=%d (PolyFit degree sweep)", len(keys)),
+		Headers: []string{"εabs", "PolyFit-1", "PolyFit-2", "PolyFit-3", "h1", "h2", "h3"},
+	}
+	for _, eps := range absSweep(cfg) {
+		row := []string{fmt.Sprintf("%.0f", eps)}
+		var segs []string
+		for _, deg := range []int{1, 2, 3} {
+			ix, err := core.BuildCount(keys, core.Options{
+				Degree: deg, Delta: core.DeltaForAbs(core.Count, eps), NoFallback: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ns := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+				q := qs[i%len(qs)]
+				ix.RangeSum(q.L, q.U) //nolint:errcheck
+			})
+			row = append(row, fmtNs(ns))
+			segs = append(segs, fmt.Sprintf("%d", ix.NumSegments()))
+		}
+		row = append(row, segs...)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper Fig.14a: PolyFit-2 beats PolyFit-1; PolyFit-3 adds little (hN = segment counts)"
+	return t, nil
+}
+
+// runFig14b: MAX query response time vs εabs for PolyFit degrees 1–2.
+func runFig14b(cfg Config) (*Table, error) {
+	d := hki(cfg)
+	qs := data.RangeQueriesFromKeys(d.keys, cfg.Queries, cfg.Seed+2)
+	t := &Table{
+		ID:      "fig14b",
+		Title:   fmt.Sprintf("MAX query time vs εabs, HKI n=%d (PolyFit degree sweep)", len(d.keys)),
+		Headers: []string{"εabs", "PolyFit-1", "PolyFit-2", "h1", "h2"},
+	}
+	for _, eps := range absSweep(cfg) {
+		row := []string{fmt.Sprintf("%.0f", eps)}
+		var segs []string
+		for _, deg := range []int{1, 2} {
+			ix, err := core.BuildMax(d.keys, d.measures, core.Options{
+				Degree: deg, Delta: core.DeltaForAbs(core.Max, eps), NoFallback: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ns := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+				q := qs[i%len(qs)]
+				ix.RangeExtremum(q.L, q.U) //nolint:errcheck
+			})
+			row = append(row, fmtNs(ns))
+			segs = append(segs, fmt.Sprintf("%d", ix.NumSegments()))
+		}
+		row = append(row, segs...)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper Fig.14b: PolyFit-2 clearly faster than PolyFit-1 at low εabs"
+	return t, nil
+}
+
+// runFig14c: index construction time vs εabs for PolyFit degrees 1–3.
+func runFig14c(cfg Config) (*Table, error) {
+	keys := tweetKeys(cfg)
+	if cfg.Fast && len(keys) > 50_000 {
+		keys = keys[:50_000]
+	}
+	t := &Table{
+		ID:      "fig14c",
+		Title:   fmt.Sprintf("COUNT index construction time vs εabs, TWEET n=%d", len(keys)),
+		Headers: []string{"εabs", "PolyFit-1", "PolyFit-2", "PolyFit-3"},
+	}
+	for _, eps := range absSweep(cfg) {
+		row := []string{fmt.Sprintf("%.0f", eps)}
+		for _, deg := range []int{1, 2, 3} {
+			start := time.Now()
+			if _, err := core.BuildCount(keys, core.Options{
+				Degree: deg, Delta: core.DeltaForAbs(core.Count, eps), NoFallback: true,
+			}); err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2fs", time.Since(start).Seconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper Fig.14c: higher degree costs more per fit; our exponential search flattens the εabs trend"
+	return t, nil
+}
+
+// runFig15a: COUNT (single key) response time vs εabs across learned
+// methods.
+func runFig15a(cfg Config) (*Table, error) {
+	keys := tweetKeys(cfg)
+	qs := data.RangeQueriesFromKeys(keys, cfg.Queries, cfg.Seed+3)
+	t := &Table{
+		ID:      "fig15a",
+		Title:   fmt.Sprintf("COUNT (single key) query time vs εabs, TWEET n=%d", len(keys)),
+		Headers: []string{"εabs", "RMI", "FITing-tree", "PolyFit-2"},
+	}
+	for _, eps := range absSweep(cfg) {
+		delta := eps / 2
+		rmiIx, err := rmi.BuildCountWithGuarantee(keys, delta, 1<<18, false)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := fitingtree.BuildCount(keys, delta, false)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: delta, NoFallback: true})
+		if err != nil {
+			return nil, err
+		}
+		rmiNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			rmiIx.RangeSum(q.L, q.U)
+		})
+		fitNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			fit.RangeSum(q.L, q.U)
+		})
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeSum(q.L, q.U) //nolint:errcheck
+		})
+		t.AddRow(fmt.Sprintf("%.0f", eps), fmtNs(rmiNs), fmtNs(fitNs), fmtNs(pfNs))
+	}
+	t.Notes = "paper Fig.15a: PolyFit ~1.5–6x faster than RMI / FITing-tree"
+	return t, nil
+}
+
+// runFig16a: COUNT (single key) response time vs εrel with exact fallback.
+func runFig16a(cfg Config) (*Table, error) {
+	keys := tweetKeys(cfg)
+	qs := data.RangeQueriesFromKeys(keys, cfg.Queries, cfg.Seed+4)
+	const delta = 50.0 // the paper's Problem-2 build (δ=50)
+	rmiIx, err := rmi.BuildCountWithGuarantee(keys, delta, 1<<18, true)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := fitingtree.BuildCount(keys, delta, true)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: delta})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig16a",
+		Title:   fmt.Sprintf("COUNT (single key) query time vs εrel, TWEET n=%d, δ=50", len(keys)),
+		Headers: []string{"εrel", "RMI", "FITing-tree", "PolyFit-2", "PolyFit fallback%"},
+	}
+	for _, eps := range relSweep(cfg) {
+		rmiNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			rmiIx.RangeSumRel(q.L, q.U, eps) //nolint:errcheck
+		})
+		fitNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			fit.RangeSumRel(q.L, q.U, eps) //nolint:errcheck
+		})
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeSumRel(q.L, q.U, eps) //nolint:errcheck
+		})
+		exactUsed := 0
+		for _, q := range qs {
+			if _, usedExact, _ := pf.RangeSumRel(q.L, q.U, eps); usedExact {
+				exactUsed++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.3f", eps), fmtNs(rmiNs), fmtNs(fitNs), fmtNs(pfNs),
+			fmt.Sprintf("%.0f%%", 100*float64(exactUsed)/float64(len(qs))))
+	}
+	t.Notes = "paper Fig.16a: PolyFit fastest; small εrel forces more exact fallbacks for every method"
+	return t, nil
+}
+
+// runFig17a: MAX response time vs εabs — aR-tree vs PolyFit-2.
+func runFig17a(cfg Config) (*Table, error) {
+	d := hki(cfg)
+	qs := data.RangeQueriesFromKeys(d.keys, cfg.Queries, cfg.Seed+5)
+	tree, err := artree.NewMaxTree(d.keys, d.measures, artree.Max)
+	if err != nil {
+		return nil, err
+	}
+	arNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+		q := qs[i%len(qs)]
+		tree.Query(q.L, q.U)
+	})
+	t := &Table{
+		ID:      "fig17a",
+		Title:   fmt.Sprintf("MAX query time vs εabs, HKI n=%d", len(d.keys)),
+		Headers: []string{"εabs", "aR-tree (exact)", "PolyFit-2"},
+	}
+	for _, eps := range absSweep(cfg) {
+		pf, err := core.BuildMax(d.keys, d.measures, core.Options{
+			Degree: 2, Delta: core.DeltaForAbs(core.Max, eps), NoFallback: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeExtremum(q.L, q.U) //nolint:errcheck
+		})
+		t.AddRow(fmt.Sprintf("%.0f", eps), fmtNs(arNs), fmtNs(pfNs))
+	}
+	t.Notes = "paper Fig.17a: PolyFit an order of magnitude faster than the aR-tree"
+	return t, nil
+}
+
+// runFig17b: MAX response time vs εrel — aR-tree vs PolyFit-2 (δ=50).
+func runFig17b(cfg Config) (*Table, error) {
+	d := hki(cfg)
+	qs := data.RangeQueriesFromKeys(d.keys, cfg.Queries, cfg.Seed+6)
+	tree, err := artree.NewMaxTree(d.keys, d.measures, artree.Max)
+	if err != nil {
+		return nil, err
+	}
+	arNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+		q := qs[i%len(qs)]
+		tree.Query(q.L, q.U)
+	})
+	pf, err := core.BuildMax(d.keys, d.measures, core.Options{Degree: 2, Delta: 50})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig17b",
+		Title:   fmt.Sprintf("MAX query time vs εrel, HKI n=%d, δ=50", len(d.keys)),
+		Headers: []string{"εrel", "aR-tree (exact)", "PolyFit-2"},
+	}
+	for _, eps := range relSweep(cfg) {
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeExtremumRel(q.L, q.U, eps) //nolint:errcheck
+		})
+		t.AddRow(fmt.Sprintf("%.3f", eps), fmtNs(arNs), fmtNs(pfNs))
+	}
+	t.Notes = "paper Fig.17b: measure values ≫ δ(1+1/εrel), so the gate passes and PolyFit stays fast"
+	return t, nil
+}
+
+// runFig18: scalability — COUNT (εrel=0.01) query time vs dataset size.
+func runFig18(cfg Config) (*Table, error) {
+	sizes := []int{100_000, 250_000, 500_000, 1_000_000}
+	if cfg.Fast {
+		sizes = []int{50_000, 200_000}
+	}
+	t := &Table{
+		ID:      "fig18",
+		Title:   "COUNT (single key) query time vs dataset size, OSM latitude keys, εrel=0.01, δ=50",
+		Headers: []string{"n", "RMI", "FITing-tree", "PolyFit-2"},
+	}
+	for _, n := range sizes {
+		keys := osmLatKeys(cfg, n)
+		qs := data.RangeQueriesFromKeys(keys, cfg.Queries, cfg.Seed+7)
+		rmiIx, err := rmi.BuildCountWithGuarantee(keys, 50, 1<<18, true)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := fitingtree.BuildCount(keys, 50, true)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: 50})
+		if err != nil {
+			return nil, err
+		}
+		rmiNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			rmiIx.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+		})
+		fitNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			fit.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+		})
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
+		})
+		t.AddRow(fmt.Sprintf("%d", len(keys)), fmtNs(rmiNs), fmtNs(fitNs), fmtNs(pfNs))
+	}
+	t.Notes = "paper Fig.18: all methods insensitive to dataset size (log-time lookups)"
+	return t, nil
+}
+
+// runFig19: index memory vs εabs.
+func runFig19(cfg Config) (*Table, error) {
+	keys := tweetKeys(cfg)
+	t := &Table{
+		ID:      "fig19",
+		Title:   fmt.Sprintf("index size (KB) vs εabs for COUNT (single key), TWEET n=%d", len(keys)),
+		Headers: []string{"εabs", "RMI KB", "FITing-tree KB", "PolyFit-2 KB", "PolyFit segments"},
+	}
+	for _, eps := range absSweep(cfg) {
+		delta := eps / 2
+		rmiIx, err := rmi.BuildCountWithGuarantee(keys, delta, 1<<18, false)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := fitingtree.BuildCount(keys, delta, false)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: delta, NoFallback: true})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f", eps),
+			fmtBytesKB(rmiIx.SizeBytes()), fmtBytesKB(fit.SizeBytes()),
+			fmtBytesKB(pf.SizeBytes()), fmt.Sprintf("%d", pf.NumSegments()))
+	}
+	t.Notes = "paper Fig.19: PolyFit smallest across the εabs range (minimum-cardinality segments)"
+	return t, nil
+}
+
+// runFig20: heuristic methods — response time vs measured relative error.
+func runFig20(cfg Config) (*Table, error) {
+	keys := tweetKeys(cfg)
+	qs := data.RangeQueriesFromKeys(keys, cfg.Queries, cfg.Seed+8)
+	exact, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: 1}) // exact via fallback KCA
+	if err != nil {
+		return nil, err
+	}
+	exactVals := make([]float64, len(qs))
+	for i, q := range qs {
+		v, _, err := exact.RangeSumRel(q.L, q.U, 1e-9) // forces exact path
+		if err != nil {
+			return nil, err
+		}
+		exactVals[i] = v
+	}
+	measure := func(f func(l, u float64) float64) (relPct float64, ns float64) {
+		sum, cnt := 0.0, 0
+		for i, q := range qs {
+			if exactVals[i] < 1 {
+				continue
+			}
+			sum += abs(f(q.L, q.U)-exactVals[i]) / exactVals[i]
+			cnt++
+		}
+		ns = nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			f(q.L, q.U)
+		})
+		return 100 * sum / float64(cnt), ns
+	}
+	t := &Table{
+		ID:      "fig20",
+		Title:   fmt.Sprintf("heuristics: time vs measured relative error, TWEET n=%d", len(keys)),
+		Headers: []string{"method", "param", "measured rel err %", "query time"},
+	}
+	histBins := []int{64, 256, 1024, 4096}
+	streeFracs := []float64{0.01, 0.05, 0.2}
+	pfDeltas := []float64{250, 50, 10}
+	if cfg.Fast {
+		histBins = []int{256}
+		streeFracs = []float64{0.05}
+		pfDeltas = []float64{50}
+	}
+	for _, bins := range histBins {
+		h, err := hist.New(keys, bins)
+		if err != nil {
+			return nil, err
+		}
+		rel, ns := measure(h.EstimateCount)
+		t.AddRow("Hist", fmt.Sprintf("%d bins", bins), fmt.Sprintf("%.3f", rel), fmtNs(ns))
+	}
+	for _, frac := range streeFracs {
+		st, err := sampling.NewSTree(keys, int(frac*float64(len(keys))), cfg.Seed+9)
+		if err != nil {
+			return nil, err
+		}
+		rel, ns := measure(st.EstimateCount)
+		t.AddRow("S-tree", fmt.Sprintf("%.0f%% sample", frac*100), fmt.Sprintf("%.3f", rel), fmtNs(ns))
+	}
+	for _, delta := range pfDeltas {
+		pf, err := core.BuildCount(keys, core.Options{Degree: 2, Delta: delta, NoFallback: true})
+		if err != nil {
+			return nil, err
+		}
+		rel, ns := measure(func(l, u float64) float64 {
+			v, _ := pf.RangeSum(l, u)
+			return v
+		})
+		t.AddRow("PolyFit-2", fmt.Sprintf("δ=%.0f", delta), fmt.Sprintf("%.3f", rel), fmtNs(ns))
+	}
+	t.Notes = "paper Fig.20: PolyFit gives a better time/error frontier than Hist and S-tree"
+	return t, nil
+}

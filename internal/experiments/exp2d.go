@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/artree"
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func init() {
+	register("fig15b", runFig15b)
+	register("fig16b", runFig16b)
+}
+
+func absSweep2D(cfg Config) []float64 {
+	if cfg.Fast {
+		return []float64{1000}
+	}
+	return []float64{500, 1000, 2000}
+}
+
+// exactRTree builds (and caches per config) the aR-tree over the OSM points.
+func exactRTree(cfg Config, d osmData) (*artree.RTree, error) {
+	k := cacheKey("osmrtree", cfg.OSMSize, cfg.Seed)
+	if v, ok := dsCache.Load(k); ok {
+		return v.(*artree.RTree), nil
+	}
+	rt, err := artree.NewRTree(d.xs, d.ys, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	dsCache.Store(k, rt)
+	return rt, nil
+}
+
+func rectQueries(cfg Config, shift int64) []data.RectQuery {
+	return data.UniformRects(-180, 180, -90, 90, cfg.Queries, cfg.Seed+shift)
+}
+
+// runFig15b: 2D COUNT query time vs εabs — aR-tree vs PolyFit-2.
+func runFig15b(cfg Config) (*Table, error) {
+	d := osm(cfg)
+	qs := rectQueries(cfg, 11)
+	rt, err := exactRTree(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	arNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+		q := qs[i%len(qs)]
+		rt.CountRect(artree.Rect{
+			XLo: math.Nextafter(q.XLo, math.Inf(1)), XHi: q.XHi,
+			YLo: math.Nextafter(q.YLo, math.Inf(1)), YHi: q.YHi,
+		})
+	})
+	t := &Table{
+		ID:      "fig15b",
+		Title:   fmt.Sprintf("COUNT (two keys) query time vs εabs, OSM n=%d", len(d.xs)),
+		Headers: []string{"εabs", "aR-tree (exact)", "PolyFit-2", "leaves"},
+	}
+	for _, eps := range absSweep2D(cfg) {
+		pf, err := core.BuildCount2D(d.xs, d.ys, core.Options2D{
+			Degree: 2, Delta: core.Delta2DForAbs(eps), NoFallback: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
+		})
+		t.AddRow(fmt.Sprintf("%.0f", eps), fmtNs(arNs), fmtNs(pfNs), fmt.Sprintf("%d", pf.NumLeaves()))
+	}
+	t.Notes = "paper Fig.15b: PolyFit ≥ one order of magnitude faster than the aR-tree"
+	return t, nil
+}
+
+// runFig16b: 2D COUNT query time vs εrel — aR-tree vs PolyFit-2 (δ=250).
+func runFig16b(cfg Config) (*Table, error) {
+	d := osm(cfg)
+	qs := rectQueries(cfg, 12)
+	rt, err := exactRTree(cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	arNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+		q := qs[i%len(qs)]
+		rt.CountRect(artree.Rect{
+			XLo: math.Nextafter(q.XLo, math.Inf(1)), XHi: q.XHi,
+			YLo: math.Nextafter(q.YLo, math.Inf(1)), YHi: q.YHi,
+		})
+	})
+	pf, err := core.BuildCount2D(d.xs, d.ys, core.Options2D{Degree: 2, Delta: 250})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig16b",
+		Title:   fmt.Sprintf("COUNT (two keys) query time vs εrel, OSM n=%d, δ=250", len(d.xs)),
+		Headers: []string{"εrel", "aR-tree (exact)", "PolyFit-2", "fallback%"},
+	}
+	for _, eps := range relSweep(cfg) {
+		pfNs := nsPerOp(timingBudget, len(qs)/4, func(i int) {
+			q := qs[i%len(qs)]
+			pf.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, eps) //nolint:errcheck
+		})
+		exactUsed := 0
+		for _, q := range qs {
+			if _, used, _ := pf.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, eps); used {
+				exactUsed++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.3f", eps), fmtNs(arNs), fmtNs(pfNs),
+			fmt.Sprintf("%.0f%%", 100*float64(exactUsed)/float64(len(qs))))
+	}
+	t.Notes = "paper Fig.16b: PolyFit stays ahead of the aR-tree across the εrel range"
+	return t, nil
+}

@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII and the appendix) on the synthetic stand-in
+// datasets. Each experiment is a named runner returning a Table; the
+// cmd/polyfit-experiments binary renders them, and bench_test.go wraps each
+// one in a testing.B benchmark.
+//
+// Response-time numbers are wall-clock per-query averages over the paper's
+// workloads (1000 queries by default); absolute values depend on the host,
+// but the comparisons the paper reports — who wins and by roughly what
+// factor — are reproduced. See EXPERIMENTS.md for paper-vs-measured notes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config scales the experiment suite. Zero values take defaults sized so
+// the full suite runs in a few minutes on a laptop; the paper's full scale
+// (0.9M–100M records) is reachable by raising the sizes.
+type Config struct {
+	HKISize   int   // default 150_000 (paper: 0.9M)
+	TweetSize int   // default 200_000 (paper: 1M)
+	OSMSize   int   // default 120_000 (paper: 100M; see DESIGN.md §1.5)
+	Queries   int   // default 1000 (paper: 1000)
+	Seed      int64 // default 42
+	Fast      bool  // trims sweeps for bench runs
+}
+
+func (c Config) withDefaults() Config {
+	if c.HKISize == 0 {
+		c.HKISize = 150_000
+	}
+	if c.TweetSize == 0 {
+		c.TweetSize = 200_000
+	}
+	if c.OSMSize == 0 {
+		c.OSMSize = 120_000
+	}
+	if c.Queries == 0 {
+		c.Queries = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Table is one reproduced table or figure, as printable rows.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned plain-text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMarkdown writes the table as GitHub-flavoured markdown.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "\n*%s*\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner produces one experiment table.
+type Runner func(Config) (*Table, error)
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// IDs lists all experiment ids in registration (paper) order.
+func IDs() []string { return append([]string(nil), registryOrder...) }
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return r(cfg.withDefaults())
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, id := range registryOrder {
+		t, err := registry[id](cfg.withDefaults())
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// --- timing helpers ---------------------------------------------------------
+
+// nsPerOp measures the average wall time of op by looping it until minDur
+// has elapsed (with one untimed warm-up pass of warmup calls).
+func nsPerOp(minDur time.Duration, warmup int, op func(i int)) float64 {
+	for i := 0; i < warmup; i++ {
+		op(i)
+	}
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		op(iters)
+		iters++
+	}
+	elapsed := time.Since(start)
+	if iters == 0 {
+		return 0
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters)
+}
+
+const timingBudget = 40 * time.Millisecond
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e4:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtBytesKB(b int) string { return fmt.Sprintf("%.1f", float64(b)/1024) }
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

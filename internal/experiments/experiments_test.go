@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastCfg() Config {
+	return Config{
+		HKISize:   15_000,
+		TweetSize: 15_000,
+		OSMSize:   10_000,
+		Queries:   100,
+		Seed:      7,
+		Fast:      true,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig5", "fig14a", "fig14b", "fig14c", "fig15a", "fig15b",
+		"fig16a", "fig16b", "fig17a", "fig17b", "fig18", "fig19", "fig20",
+		"table5", "table6", "ablation",
+	}
+	got := map[string]bool{}
+	for _, id := range IDs() {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", fastCfg()); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// TestEveryExperimentRuns executes the full registry at toy scale and checks
+// each table renders with rows.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	cfg := fastCfg()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			start := time.Now()
+			tab, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if tab.ID != id {
+				t.Errorf("table id %q", tab.ID)
+			}
+			if len(tab.Rows) == 0 || len(tab.Headers) == 0 {
+				t.Fatalf("empty table")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Headers) {
+					t.Fatalf("row width %d != header width %d (%v)", len(row), len(tab.Headers), row)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), id) {
+				t.Error("render missing id")
+			}
+			var md bytes.Buffer
+			tab.RenderMarkdown(&md)
+			if !strings.Contains(md.String(), "|") {
+				t.Error("markdown render empty")
+			}
+			t.Logf("%s ok in %v (%d rows)", id, time.Since(start).Round(time.Millisecond), len(tab.Rows))
+		})
+	}
+}
+
+func TestNsPerOpMeasuresSomething(t *testing.T) {
+	x := 0
+	ns := nsPerOp(5*time.Millisecond, 10, func(i int) { x += i })
+	if ns <= 0 {
+		t.Errorf("nsPerOp = %g", ns)
+	}
+	_ = x
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtNs(500) != "500ns" {
+		t.Errorf("fmtNs(500) = %q", fmtNs(500))
+	}
+	if !strings.HasSuffix(fmtNs(5e4), "µs") {
+		t.Errorf("fmtNs(5e4) = %q", fmtNs(5e4))
+	}
+	if !strings.HasSuffix(fmtNs(5e7), "ms") {
+		t.Errorf("fmtNs(5e7) = %q", fmtNs(5e7))
+	}
+	if fmtBytesKB(2048) != "2.0" {
+		t.Errorf("fmtBytesKB = %q", fmtBytesKB(2048))
+	}
+}

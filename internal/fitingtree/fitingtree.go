@@ -1,0 +1,185 @@
+// Package fitingtree implements the FITing-tree [20] baseline adapted to
+// approximate range aggregate queries as described in Appendix A of the
+// paper: the one-pass shrinking-cone algorithm segments the key-cumulative
+// (or key-measure) function into maximal linear segments with per-point
+// error ≤ δ, and the querying lemmas of Section V are applied on top.
+package fitingtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/kca"
+)
+
+// Segment is one linear piece: value(k) ≈ StartVal + Slope·(k − StartKey)
+// for k ∈ [StartKey, EndKey].
+type Segment struct {
+	StartKey float64
+	EndKey   float64
+	StartVal float64
+	Slope    float64
+}
+
+// Tree is a FITing-tree over a cumulative function, answering approximate
+// SUM/COUNT range aggregates with the same guarantees (and gating rules) as
+// PolyFit, but with linear segments.
+type Tree struct {
+	segs     []Segment
+	startKey []float64 // parallel array for binary search
+	delta    float64
+	total    float64
+	keyLo    float64
+	keyHi    float64
+	exact    *kca.Array // Problem-2 fallback (nil if disabled)
+}
+
+// ErrNoFallback mirrors core.ErrNoFallback for the relative-error path.
+var ErrNoFallback = errors.New("fitingtree: relative query needs exact fallback")
+
+// BuildSum fits CFsum of (keys, measures) with error δ per point.
+// withFallback controls whether the exact KCA for Problem 2 is attached.
+func BuildSum(keys, measures []float64, delta float64, withFallback bool) (*Tree, error) {
+	if len(keys) == 0 || len(keys) != len(measures) {
+		return nil, fmt.Errorf("fitingtree: %d keys, %d measures", len(keys), len(measures))
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("fitingtree: negative delta")
+	}
+	cf := make([]float64, len(keys))
+	run := 0.0
+	for i, m := range measures {
+		run += m
+		cf[i] = run
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return nil, fmt.Errorf("fitingtree: keys not strictly increasing at %d", i)
+		}
+	}
+	t := &Tree{
+		segs:  shrinkingCone(keys, cf, delta),
+		delta: delta,
+		total: run,
+		keyLo: keys[0],
+		keyHi: keys[len(keys)-1],
+	}
+	t.startKey = make([]float64, len(t.segs))
+	for i, s := range t.segs {
+		t.startKey[i] = s.StartKey
+	}
+	if withFallback {
+		arr, err := kca.New(keys, measures)
+		if err != nil {
+			return nil, err
+		}
+		t.exact = arr
+	}
+	return t, nil
+}
+
+// BuildCount is BuildSum with unit measures.
+func BuildCount(keys []float64, delta float64, withFallback bool) (*Tree, error) {
+	ones := make([]float64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return BuildSum(keys, ones, delta, withFallback)
+}
+
+// shrinkingCone is the FITing-tree segmentation: maintain the cone of
+// feasible slopes [slLow, slHigh] through the segment origin; a point whose
+// exact slope falls outside the cone closes the segment.
+func shrinkingCone(keys, vals []float64, delta float64) []Segment {
+	var segs []Segment
+	n := len(keys)
+	i := 0
+	for i < n {
+		originK, originV := keys[i], vals[i]
+		slLow, slHigh := -1e308, 1e308
+		j := i + 1
+		last := i
+		for ; j < n; j++ {
+			dx := keys[j] - originK
+			sl := (vals[j] - originV) / dx
+			if sl > slHigh || sl < slLow {
+				break
+			}
+			// Shrink the cone so every earlier point stays within δ.
+			if hi := (vals[j] + delta - originV) / dx; hi < slHigh {
+				slHigh = hi
+			}
+			if lo := (vals[j] - delta - originV) / dx; lo > slLow {
+				slLow = lo
+			}
+			last = j
+		}
+		slope := 0.0
+		if last > i {
+			slope = 0.5 * (slLow + slHigh)
+		}
+		segs = append(segs, Segment{
+			StartKey: originK,
+			EndKey:   keys[last],
+			StartVal: originV,
+			Slope:    slope,
+		})
+		i = last + 1
+	}
+	return segs
+}
+
+// CF evaluates the approximate cumulative function (clamped into the
+// located segment, like PolyFit's evaluation).
+func (t *Tree) CF(k float64) float64 {
+	if k < t.keyLo {
+		return 0
+	}
+	i := sort.SearchFloat64s(t.startKey, k)
+	if i == len(t.startKey) || t.startKey[i] != k {
+		if i == 0 {
+			return 0
+		}
+		i--
+	}
+	s := t.segs[i]
+	if k > s.EndKey {
+		k = s.EndKey
+	}
+	return s.StartVal + s.Slope*(k-s.StartKey)
+}
+
+// RangeSum answers the approximate SUM/COUNT over (lq, uq]; with build δ,
+// |A − R| ≤ 2δ at workload endpoints (Lemma 2 applied to linear segments).
+func (t *Tree) RangeSum(lq, uq float64) float64 {
+	if uq < lq {
+		return 0
+	}
+	return t.CF(uq) - t.CF(lq)
+}
+
+// RangeSumRel applies the Lemma 3 gate with exact fallback.
+func (t *Tree) RangeSumRel(lq, uq, epsRel float64) (val float64, usedExact bool, err error) {
+	if epsRel <= 0 {
+		return 0, false, fmt.Errorf("fitingtree: non-positive relative error %g", epsRel)
+	}
+	a := t.RangeSum(lq, uq)
+	if a >= 2*t.delta*(1+1/epsRel) {
+		return a, false, nil
+	}
+	if t.exact == nil {
+		return 0, false, ErrNoFallback
+	}
+	return t.exact.RangeSum(lq, uq), true, nil
+}
+
+// NumSegments returns the number of linear segments.
+func (t *Tree) NumSegments() int { return len(t.segs) }
+
+// Delta returns the build δ.
+func (t *Tree) Delta() float64 { return t.delta }
+
+// SizeBytes reports the structure footprint (4 float64 per segment plus the
+// search array).
+func (t *Tree) SizeBytes() int { return 32*len(t.segs) + 8*len(t.startKey) }

@@ -1,0 +1,217 @@
+package fitingtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func genKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[float64]bool, n)
+	for len(set) < n {
+		set[math.Round(rng.NormFloat64()*1e5)/4] = true
+	}
+	keys := make([]float64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := BuildCount(nil, 1, false); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := BuildSum([]float64{1, 2}, []float64{1}, 1, false); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := BuildSum([]float64{2, 1}, []float64{1, 1}, 1, false); err == nil {
+		t.Error("unsorted keys should error")
+	}
+	if _, err := BuildCount([]float64{1, 2}, -1, false); err == nil {
+		t.Error("negative delta should error")
+	}
+}
+
+// TestConeRespectsDelta: every point must be within δ of its segment line.
+func TestConeRespectsDelta(t *testing.T) {
+	keys := genKeys(3000, 1)
+	const delta = 8.0
+	tr, err := BuildCount(keys, delta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := 0.0
+	for _, k := range keys {
+		cf++
+		if e := math.Abs(tr.CF(k) - cf); e > delta+1e-9 {
+			t.Fatalf("CF(%g) error %g > δ=%g", k, e, delta)
+		}
+	}
+}
+
+// TestAbsoluteGuarantee: |A − R| ≤ 2δ at workload endpoints (Lemma 2 logic
+// applied to the linear baseline).
+func TestAbsoluteGuarantee(t *testing.T) {
+	keys := genKeys(3000, 2)
+	const delta = 10.0
+	tr, err := BuildCount(keys, delta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 500; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got := tr.RangeSum(l, u)
+		want := 0.0
+		for _, k := range keys {
+			if k > l && k <= u {
+				want++
+			}
+		}
+		if math.Abs(got-want) > 2*delta+1e-9 {
+			t.Fatalf("|%g − %g| > 2δ", got, want)
+		}
+	}
+}
+
+func TestRelativeGuarantee(t *testing.T) {
+	keys := genKeys(4000, 4)
+	tr, err := BuildCount(keys, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	approx := 0
+	for q := 0; q < 400; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got, usedExact, err := tr.RangeSumRel(l, u, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, k := range keys {
+			if k > l && k <= u {
+				want++
+			}
+		}
+		if usedExact {
+			if got != want {
+				t.Fatalf("exact path wrong: %g vs %g", got, want)
+			}
+			continue
+		}
+		approx++
+		if want == 0 || math.Abs(got-want)/want > 0.05+1e-9 {
+			t.Fatalf("relative error violated: got %g want %g", got, want)
+		}
+	}
+	if approx == 0 {
+		t.Fatal("approximate path never used")
+	}
+	// Without fallback the gate must error out instead.
+	nofb, _ := BuildCount(keys, 15, false)
+	if _, _, err := nofb.RangeSumRel(keys[0], keys[1], 1e-9); err != ErrNoFallback {
+		t.Errorf("expected ErrNoFallback, got %v", err)
+	}
+	if _, _, err := tr.RangeSumRel(keys[0], keys[1], -1); err == nil {
+		t.Error("non-positive εrel should error")
+	}
+}
+
+// TestLinearDataOneSegment: perfectly uniform keys give a near-linear CDF.
+func TestLinearDataOneSegment(t *testing.T) {
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i) * 3
+	}
+	tr, err := BuildCount(keys, 1.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSegments() != 1 {
+		t.Errorf("uniform keys should need 1 segment, got %d", tr.NumSegments())
+	}
+}
+
+// TestMoreSegmentsThanPolyFitStyleQuadratic: a quadratic CDF needs many
+// linear segments at small δ.
+func TestQuadraticNeedsManySegments(t *testing.T) {
+	keys := make([]float64, 2000)
+	for i := range keys {
+		keys[i] = float64(i) * float64(i) / 100 // quadratic spacing
+	}
+	tr, err := BuildCount(keys, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSegments() < 10 {
+		t.Errorf("quadratic CDF with tight δ should need many segments, got %d", tr.NumSegments())
+	}
+	if tr.Delta() != 2 {
+		t.Errorf("Delta() = %g", tr.Delta())
+	}
+	if tr.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestLargerDeltaFewerSegments(t *testing.T) {
+	keys := genKeys(2000, 6)
+	prev := -1
+	for _, delta := range []float64{2, 10, 50} {
+		tr, err := BuildCount(keys, delta, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && tr.NumSegments() > prev {
+			t.Errorf("δ=%g produced more segments (%d) than smaller δ (%d)", delta, tr.NumSegments(), prev)
+		}
+		prev = tr.NumSegments()
+	}
+}
+
+func TestCFOutOfDomain(t *testing.T) {
+	keys := []float64{10, 20, 30}
+	tr, _ := BuildCount(keys, 1, false)
+	if got := tr.CF(5); got != 0 {
+		t.Errorf("CF below domain = %g, want 0", got)
+	}
+	if got := tr.CF(100); math.Abs(got-3) > 1+1e-9 {
+		t.Errorf("CF above domain = %g, want ≈3", got)
+	}
+	if got := tr.RangeSum(30, 10); got != 0 {
+		t.Errorf("inverted range = %g, want 0", got)
+	}
+}
+
+func BenchmarkRangeSum(b *testing.B) {
+	keys := genKeys(200000, 7)
+	tr, _ := BuildCount(keys, 50, false)
+	rng := rand.New(rand.NewSource(8))
+	qs := make([][2]float64, 1024)
+	for i := range qs {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		qs[i] = [2]float64{l, u}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i&1023]
+		tr.RangeSum(q[0], q[1])
+	}
+}

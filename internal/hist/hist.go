@@ -1,0 +1,116 @@
+// Package hist implements the entropy-based histogram baseline (Hist [52],
+// §VII-E): a heuristic COUNT estimator with no error guarantee. Bucket
+// probabilities maximise entropy when they are equal, so the max-entropy
+// histogram over key frequencies is the equi-depth histogram; counts inside
+// partially covered buckets are interpolated under the uniform assumption.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is an equi-depth (max-entropy) histogram over a sorted key set.
+type Histogram struct {
+	// bounds[i] .. bounds[i+1] delimits bucket i; len(bounds) = buckets+1.
+	// Boundary values are bucket maxima taken from the data.
+	bounds []float64
+	// counts[i] is the exact number of keys in bucket i.
+	counts []float64
+	// cum[i] = Σ counts[0..i-1]; len(cum) = len(counts)+1.
+	cum []float64
+	n   int
+}
+
+// New builds a histogram with the given bucket count from keys sorted
+// ascending.
+func New(keys []float64, buckets int) (*Histogram, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("hist: empty key set")
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("hist: need ≥ 1 bucket")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("hist: keys not sorted at %d", i)
+		}
+	}
+	if buckets > len(keys) {
+		buckets = len(keys)
+	}
+	n := len(keys)
+	h := &Histogram{n: n}
+	h.bounds = append(h.bounds, keys[0])
+	prev := 0
+	for b := 1; b <= buckets; b++ {
+		end := n * b / buckets // exclusive index
+		if end <= prev {
+			continue
+		}
+		h.bounds = append(h.bounds, keys[end-1])
+		h.counts = append(h.counts, float64(end-prev))
+		prev = end
+	}
+	h.cum = make([]float64, len(h.counts)+1)
+	for i, c := range h.counts {
+		h.cum[i+1] = h.cum[i] + c
+	}
+	return h, nil
+}
+
+// EstimateCount estimates |{k : lq < k ≤ uq}| under the uniform-in-bucket
+// assumption.
+func (h *Histogram) EstimateCount(lq, uq float64) float64 {
+	if uq < lq {
+		return 0
+	}
+	return h.cdf(uq) - h.cdf(lq)
+}
+
+// cdf estimates |{key ≤ k}|.
+func (h *Histogram) cdf(k float64) float64 {
+	if k < h.bounds[0] {
+		return 0
+	}
+	last := len(h.bounds) - 1
+	if k >= h.bounds[last] {
+		return float64(h.n)
+	}
+	i := sort.SearchFloat64s(h.bounds, k)
+	if i < len(h.bounds) && h.bounds[i] == k {
+		// Exactly at a boundary: boundary values are bucket maxima, so the
+		// cumulative count through bucket i−1 is exact.
+		return h.cum[i]
+	}
+	i--
+	lo, hi := h.bounds[i], h.bounds[i+1]
+	frac := 0.0
+	if hi > lo {
+		frac = (k - lo) / (hi - lo)
+	}
+	return h.cum[i] + frac*h.counts[i]
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Entropy returns the Shannon entropy of the bucket distribution (maximal
+// when buckets are equi-depth — the property the baseline is named for).
+func (h *Histogram) Entropy() float64 {
+	e := 0.0
+	for _, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		p := c / float64(h.n)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// SizeBytes reports the structure footprint.
+func (h *Histogram) SizeBytes() int {
+	return 8 * (len(h.bounds) + len(h.counts) + len(h.cum))
+}

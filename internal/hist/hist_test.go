@@ -1,0 +1,152 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func genKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.NormFloat64() * 50
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 10); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := New([]float64{1, 2}, 0); err == nil {
+		t.Error("zero buckets should error")
+	}
+	if _, err := New([]float64{2, 1}, 2); err == nil {
+		t.Error("unsorted keys should error")
+	}
+}
+
+func TestWholeDomainExact(t *testing.T) {
+	keys := genKeys(1000, 1)
+	h, err := New(keys, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := h.EstimateCount(keys[0]-1, keys[len(keys)-1]+1)
+	if got != 1000 {
+		t.Errorf("whole-domain estimate = %g, want 1000", got)
+	}
+	if got := h.EstimateCount(5, 1); got != 0 {
+		t.Errorf("inverted range = %g, want 0", got)
+	}
+}
+
+func TestBoundaryQueriesExact(t *testing.T) {
+	// Queries whose endpoints are bucket boundaries are answered exactly.
+	keys := genKeys(2048, 2)
+	h, err := New(keys, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries are keys[n*b/64 - 1].
+	for b := 1; b < 64; b += 7 {
+		lq := keys[2048*b/64-1]
+		uq := keys[2048*(b+1)/64-1]
+		got := h.EstimateCount(lq, uq)
+		want := 0.0
+		for _, k := range keys {
+			if k > lq && k <= uq {
+				want++
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("boundary query (%g,%g] = %g, want %g", lq, uq, got, want)
+		}
+	}
+}
+
+func TestEstimateAccuracyImprovesWithBuckets(t *testing.T) {
+	keys := genKeys(20000, 3)
+	rng := rand.New(rand.NewSource(4))
+	type q struct{ l, u float64 }
+	qs := make([]q, 200)
+	for i := range qs {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		qs[i] = q{l, u}
+	}
+	exact := func(l, u float64) float64 {
+		c := 0.0
+		for _, k := range keys {
+			if k > l && k <= u {
+				c++
+			}
+		}
+		return c
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, buckets := range []int{8, 64, 512} {
+		h, err := New(keys, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, qq := range qs {
+			sum += math.Abs(h.EstimateCount(qq.l, qq.u) - exact(qq.l, qq.u))
+		}
+		mean := sum / float64(len(qs))
+		if mean > prevErr*1.2 {
+			t.Errorf("%d buckets: mean error %g did not improve on %g", buckets, mean, prevErr)
+		}
+		prevErr = mean
+	}
+}
+
+func TestEntropyNearMaximal(t *testing.T) {
+	keys := genKeys(4096, 5)
+	h, err := New(keys, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxEntropy := math.Log2(64)
+	if h.Entropy() < maxEntropy-0.01 {
+		t.Errorf("equi-depth entropy %g should be ≈ max %g", h.Entropy(), maxEntropy)
+	}
+	if h.Buckets() != 64 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+	if h.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestMoreBucketsThanKeys(t *testing.T) {
+	keys := []float64{1, 2, 3}
+	h, err := New(keys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() > 3 {
+		t.Errorf("bucket count %d should clamp to key count", h.Buckets())
+	}
+	if got := h.EstimateCount(0, 10); got != 3 {
+		t.Errorf("estimate = %g, want 3", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	keys := []float64{1, 1, 1, 2, 2, 3, 3, 3, 3, 5}
+	h, err := New(keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EstimateCount(0, 10); got != 10 {
+		t.Errorf("whole-range = %g, want 10", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package kca implements the key-cumulative array of Section III-B1: the
+// exact O(log n) method for range SUM/COUNT queries over float keys, and the
+// exact fallback used when a relative-error query fails the Lemma 3 check.
+//
+// Unlike a plain prefix-sum array the KCA supports arbitrary floating-point
+// search keys: CF(k) is resolved with a binary search for the greatest key
+// ≤ k (the key-cumulative function is a right-continuous step function).
+package kca
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Array is an immutable key-cumulative array over a dataset sorted by key.
+type Array struct {
+	keys []float64
+	cum  []float64 // cum[i] = Σ measures of keys[0..i]
+}
+
+// New builds a KCA from keys sorted strictly ascending and their measures.
+// Measures must be non-negative for the paper's guarantees to apply, but the
+// structure itself does not require it.
+func New(keys, measures []float64) (*Array, error) {
+	if len(keys) == 0 || len(keys) != len(measures) {
+		return nil, fmt.Errorf("kca: %d keys, %d measures", len(keys), len(measures))
+	}
+	cum := make([]float64, len(keys))
+	run := 0.0
+	for i, k := range keys {
+		if i > 0 && k <= keys[i-1] {
+			return nil, fmt.Errorf("kca: keys not strictly increasing at %d", i)
+		}
+		run += measures[i]
+		cum[i] = run
+	}
+	return &Array{keys: keys, cum: cum}, nil
+}
+
+// NewCount builds a KCA whose measure is the constant 1, turning RangeSum
+// into an exact range COUNT.
+func NewCount(keys []float64) (*Array, error) {
+	ones := make([]float64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return New(keys, ones)
+}
+
+// Len returns the number of records.
+func (a *Array) Len() int { return len(a.keys) }
+
+// Total returns CF(+∞), the sum of all measures.
+func (a *Array) Total() float64 {
+	if len(a.cum) == 0 {
+		return 0
+	}
+	return a.cum[len(a.cum)-1]
+}
+
+// CF evaluates the key-cumulative function CFsum(k) = Rsum(D, [-∞, k])
+// (Equation 4) for an arbitrary float key.
+func (a *Array) CF(k float64) float64 {
+	// Greatest index with keys[i] ≤ k.
+	i := sort.SearchFloat64s(a.keys, k)
+	if i < len(a.keys) && a.keys[i] == k {
+		return a.cum[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return a.cum[i-1]
+}
+
+// RangeSum answers Rsum(D, (l, u]) = CF(u) − CF(l), the paper's Equation 5
+// semantics.
+func (a *Array) RangeSum(l, u float64) float64 {
+	if u < l {
+		return 0
+	}
+	return a.CF(u) - a.CF(l)
+}
+
+// RangeSumClosed answers the closed-interval variant Rsum(D, [l, u]).
+func (a *Array) RangeSumClosed(l, u float64) float64 {
+	if u < l {
+		return 0
+	}
+	lo := a.CF(l)
+	// Subtract l's own measure back in if l is a key.
+	i := sort.SearchFloat64s(a.keys, l)
+	if i < len(a.keys) && a.keys[i] == l {
+		if i == 0 {
+			lo = 0
+		} else {
+			lo = a.cum[i-1]
+		}
+	}
+	return a.CF(u) - lo
+}
+
+// Keys exposes the sorted key slice (shared, not copied).
+func (a *Array) Keys() []float64 { return a.keys }
+
+// SizeBytes reports the in-memory footprint of the structure.
+func (a *Array) SizeBytes() int { return 16 * len(a.keys) }

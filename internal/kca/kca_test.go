@@ -1,0 +1,160 @@
+package kca
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildRandom(n int, seed int64) (keys, measures []float64, a *Array) {
+	rng := rand.New(rand.NewSource(seed))
+	keySet := map[float64]bool{}
+	for len(keySet) < n {
+		keySet[math.Round(rng.Float64()*1e6)/10] = true
+	}
+	keys = make([]float64, 0, n)
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	measures = make([]float64, n)
+	for i := range measures {
+		measures[i] = rng.Float64() * 10
+	}
+	a, err := New(keys, measures)
+	if err != nil {
+		panic(err)
+	}
+	return keys, measures, a
+}
+
+// bruteSum computes Σ measures over keys in (l, u].
+func bruteSum(keys, measures []float64, l, u float64) float64 {
+	s := 0.0
+	for i, k := range keys {
+		if k > l && k <= u {
+			s += measures[i]
+		}
+	}
+	return s
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := New([]float64{2, 1}, []float64{1, 1}); err == nil {
+		t.Error("unsorted keys should error")
+	}
+	if _, err := New([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("duplicate keys should error")
+	}
+}
+
+func TestCFStepSemantics(t *testing.T) {
+	a, err := New([]float64{1, 3, 5}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ k, want float64 }{
+		{0.5, 0}, {1, 10}, {2, 10}, {3, 30}, {4, 30}, {5, 60}, {100, 60},
+	}
+	for _, c := range cases {
+		if got := a.CF(c.k); got != c.want {
+			t.Errorf("CF(%g) = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if a.Total() != 60 {
+		t.Errorf("Total = %g, want 60", a.Total())
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d, want 3", a.Len())
+	}
+}
+
+func TestRangeSumHalfOpen(t *testing.T) {
+	a, _ := New([]float64{1, 3, 5}, []float64{10, 20, 30})
+	// (1, 5] excludes key 1 per Equation 5.
+	if got := a.RangeSum(1, 5); got != 50 {
+		t.Errorf("RangeSum(1,5) = %g, want 50", got)
+	}
+	// [1, 5] includes it.
+	if got := a.RangeSumClosed(1, 5); got != 60 {
+		t.Errorf("RangeSumClosed(1,5) = %g, want 60", got)
+	}
+	if got := a.RangeSum(5, 1); got != 0 {
+		t.Errorf("inverted range should be 0, got %g", got)
+	}
+}
+
+func TestRangeSumMatchesBruteForce(t *testing.T) {
+	keys, measures, a := buildRandom(500, 7)
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 500; iter++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		want := bruteSum(keys, measures, l, u)
+		if got := a.RangeSum(l, u); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("RangeSum(%g,%g) = %g, want %g", l, u, got, want)
+		}
+	}
+}
+
+func TestRangeSumArbitraryFloatKeys(t *testing.T) {
+	keys, measures, a := buildRandom(300, 9)
+	rng := rand.New(rand.NewSource(10))
+	lo, hi := keys[0], keys[len(keys)-1]
+	for iter := 0; iter < 300; iter++ {
+		l := lo - 10 + rng.Float64()*(hi-lo+20)
+		u := l + rng.Float64()*(hi-lo)
+		want := bruteSum(keys, measures, l, u)
+		if got := a.RangeSum(l, u); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("RangeSum(%g,%g) = %g, want %g", l, u, got, want)
+		}
+	}
+}
+
+func TestNewCount(t *testing.T) {
+	a, err := NewCount([]float64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RangeSumClosed(4, 8); got != 3 {
+		t.Errorf("count [4,8] = %g, want 3", got)
+	}
+	if got := a.RangeSum(2, 8); got != 3 {
+		t.Errorf("count (2,8] = %g, want 3", got)
+	}
+}
+
+// Property: CF is monotone non-decreasing for non-negative measures.
+func TestCFMonotoneProperty(t *testing.T) {
+	_, _, a := buildRandom(200, 11)
+	err := quick.Check(func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return a.CF(x) <= a.CF(y)+1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	_, _, a := buildRandom(100, 13)
+	if got := a.SizeBytes(); got != 1600 {
+		t.Errorf("SizeBytes = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,369 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs. It exists to solve the paper's curve-fitting LP (9)
+// directly and to serve as an independent reference against which the
+// specialised minimax solvers (internal/minimax) are cross-checked in tests.
+//
+// The solver handles minimisation problems with ≤ / = / ≥ rows and a mix of
+// free and non-negative variables. It is a textbook tableau implementation
+// with Dantzig pricing and a Bland's-rule fallback for anti-cycling; it is
+// intended for problems with up to a few thousand constraints, which covers
+// every fit the paper performs.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the row sense of a constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // Σ a_j x_j ≤ b
+	GE                 // Σ a_j x_j ≥ b
+	EQ                 // Σ a_j x_j = b
+)
+
+// Status reports how the solve terminated.
+type Status int
+
+// Solver termination states.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a minimisation LP: minimise C·x subject to the rows of A with
+// senses Rel and right-hand sides B. Variables are non-negative unless the
+// corresponding Free entry is true.
+type Problem struct {
+	C    []float64
+	A    [][]float64
+	B    []float64
+	Rel  []Relation
+	Free []bool // nil means all variables ≥ 0
+}
+
+// Result carries the solution of a Problem.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Iters     int
+}
+
+// ErrDimension reports inconsistent problem dimensions.
+var ErrDimension = errors.New("lp: inconsistent problem dimensions")
+
+const (
+	pivotEps    = 1e-9
+	feasEps     = 1e-7
+	maxItersMul = 200 // iteration cap = maxItersMul * (rows + cols)
+)
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p Problem) (Result, error) {
+	m := len(p.A)
+	n := len(p.C)
+	if len(p.B) != m || len(p.Rel) != m {
+		return Result{}, ErrDimension
+	}
+	for _, row := range p.A {
+		if len(row) != n {
+			return Result{}, ErrDimension
+		}
+	}
+	if p.Free != nil && len(p.Free) != n {
+		return Result{}, ErrDimension
+	}
+
+	// --- Standard-form conversion -------------------------------------
+	// Column layout: for each original variable either one column (x ≥ 0)
+	// or two (x = x⁺ − x⁻); then slack/surplus columns; then artificials.
+	type colRef struct {
+		orig int     // original variable index, -1 for slack/artificial
+		sign float64 // +1 or −1 (for the split negative part)
+	}
+	var cols []colRef
+	colOf := make([][2]int, n) // (positive column, negative column or -1)
+	for j := 0; j < n; j++ {
+		colOf[j] = [2]int{len(cols), -1}
+		cols = append(cols, colRef{orig: j, sign: 1})
+		if p.Free != nil && p.Free[j] {
+			colOf[j][1] = len(cols)
+			cols = append(cols, colRef{orig: j, sign: -1})
+		}
+	}
+	slackStart := len(cols)
+	numSlacks := 0
+	for _, rel := range p.Rel {
+		if rel != EQ {
+			numSlacks++
+		}
+	}
+	for k := 0; k < numSlacks; k++ {
+		cols = append(cols, colRef{orig: -1})
+	}
+	artStart := len(cols)
+
+	// Build rows with b ≥ 0.
+	rowsA := make([][]float64, m)
+	rhs := make([]float64, m)
+	basis := make([]int, m)
+	numArts := 0
+	slackIdx := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, artStart) // artificials appended later
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		rel := p.Rel[i]
+		if sign < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for j := 0; j < n; j++ {
+			a := sign * p.A[i][j]
+			row[colOf[j][0]] = a
+			if colOf[j][1] >= 0 {
+				row[colOf[j][1]] = -a
+			}
+		}
+		rhs[i] = sign * p.B[i]
+		switch rel {
+		case LE:
+			row[slackStart+slackIdx] = 1
+			basis[i] = slackStart + slackIdx
+			slackIdx++
+		case GE:
+			row[slackStart+slackIdx] = -1
+			slackIdx++
+			basis[i] = -1 // artificial assigned below
+			numArts++
+		case EQ:
+			basis[i] = -1
+			numArts++
+		}
+		rowsA[i] = row
+	}
+	totalCols := artStart + numArts
+	artIdx := artStart
+	for i := 0; i < m; i++ {
+		grown := make([]float64, totalCols)
+		copy(grown, rowsA[i])
+		rowsA[i] = grown
+		if basis[i] == -1 {
+			rowsA[i][artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		}
+	}
+	for k := 0; k < numArts; k++ {
+		cols = append(cols, colRef{orig: -1})
+	}
+
+	// --- Tableau -------------------------------------------------------
+	// t[i][j] for i<m is the constraint rows; t[m] is the reduced-cost row;
+	// column totalCols is the rhs / negative objective.
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = append(rowsA[i], rhs[i])
+	}
+	t[m] = make([]float64, totalCols+1)
+
+	maxIters := maxItersMul * (m + totalCols)
+	totalIters := 0
+
+	installCosts := func(cost []float64) {
+		// Reduced-cost row = cost − Σ_i cost[basis[i]] * row_i.
+		z := t[m]
+		for j := 0; j <= totalCols; j++ {
+			if j < totalCols {
+				z[j] = cost[j]
+			} else {
+				z[j] = 0
+			}
+		}
+		for i := 0; i < m; i++ {
+			cb := cost[basis[i]]
+			if cb == 0 {
+				continue
+			}
+			ri := t[i]
+			for j := 0; j <= totalCols; j++ {
+				z[j] -= cb * ri[j]
+			}
+		}
+	}
+
+	pivot := func(r, c int) {
+		pr := t[r]
+		pv := pr[c]
+		inv := 1 / pv
+		for j := 0; j <= totalCols; j++ {
+			pr[j] *= inv
+		}
+		for i := 0; i <= m; i++ {
+			if i == r {
+				continue
+			}
+			f := t[i][c]
+			if f == 0 {
+				continue
+			}
+			ri := t[i]
+			for j := 0; j <= totalCols; j++ {
+				ri[j] -= f * pr[j]
+			}
+			ri[c] = 0
+		}
+		pr[c] = 1
+		basis[r] = c
+	}
+
+	// iterate runs simplex until optimal/unbounded with the current cost
+	// row. allowed[j]==false bars a column from entering (used to freeze
+	// artificials in phase 2).
+	iterate := func(allowed func(int) bool) Status {
+		useBland := false
+		for {
+			totalIters++
+			if totalIters > maxIters {
+				return IterLimit
+			}
+			// Entering column.
+			enter := -1
+			best := -pivotEps
+			for j := 0; j < totalCols; j++ {
+				if !allowed(j) {
+					continue
+				}
+				rc := t[m][j]
+				if useBland {
+					if rc < -pivotEps {
+						enter = j
+						break
+					}
+				} else if rc < best {
+					best = rc
+					enter = j
+				}
+			}
+			if enter == -1 {
+				return Optimal
+			}
+			// Ratio test (Bland ties on smallest basis index when active).
+			leave := -1
+			bestRatio := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := t[i][enter]
+				if a <= pivotEps {
+					continue
+				}
+				ratio := t[i][totalCols] / a
+				if ratio < bestRatio-1e-12 ||
+					(useBland && math.Abs(ratio-bestRatio) <= 1e-12 && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+			if leave == -1 {
+				return Unbounded
+			}
+			pivot(leave, enter)
+			// Degeneracy heuristic: after many iterations switch to Bland.
+			if totalIters > maxIters/2 {
+				useBland = true
+			}
+		}
+	}
+
+	// --- Phase 1 ---------------------------------------------------------
+	if numArts > 0 {
+		cost := make([]float64, totalCols)
+		for j := artStart; j < totalCols; j++ {
+			cost[j] = 1
+		}
+		installCosts(cost)
+		st := iterate(func(int) bool { return true })
+		if st == IterLimit {
+			return Result{Status: IterLimit, Iters: totalIters}, nil
+		}
+		phase1Obj := -t[m][totalCols]
+		if phase1Obj > feasEps {
+			return Result{Status: Infeasible, Iters: totalIters}, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] < artStart {
+				continue
+			}
+			moved := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t[i][j]) > pivotEps {
+					pivot(i, j)
+					moved = true
+					break
+				}
+			}
+			if !moved && math.Abs(t[i][totalCols]) > feasEps {
+				return Result{Status: Infeasible, Iters: totalIters}, nil
+			}
+		}
+	}
+
+	// --- Phase 2 ---------------------------------------------------------
+	cost := make([]float64, totalCols)
+	for j := 0; j < artStart; j++ {
+		ref := cols[j]
+		if ref.orig >= 0 {
+			cost[j] = ref.sign * p.C[ref.orig]
+		}
+	}
+	installCosts(cost)
+	st := iterate(func(j int) bool { return j < artStart })
+	if st == Unbounded {
+		return Result{Status: Unbounded, Iters: totalIters}, nil
+	}
+	if st == IterLimit {
+		return Result{Status: IterLimit, Iters: totalIters}, nil
+	}
+
+	// --- Extract solution -------------------------------------------------
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		ref := cols[basis[i]]
+		if ref.orig >= 0 {
+			x[ref.orig] += ref.sign * t[i][totalCols]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return Result{Status: Optimal, X: x, Objective: obj, Iters: totalIters}, nil
+}

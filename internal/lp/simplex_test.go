@@ -1,0 +1,255 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("Solve status = %v, want optimal", res.Status)
+	}
+	return res
+}
+
+func TestSimple2DMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+	// (classic example: optimum 36 at (2,6)) — minimise the negation.
+	p := Problem{
+		C:   []float64{-3, -5},
+		A:   [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B:   []float64{4, 12, 18},
+		Rel: []Relation{LE, LE, LE},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.Objective+36) > 1e-8 {
+		t.Errorf("objective = %g, want -36", res.Objective)
+	}
+	if math.Abs(res.X[0]-2) > 1e-8 || math.Abs(res.X[1]-6) > 1e-8 {
+		t.Errorf("x = %v, want (2,6)", res.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≥ 2, y ≥ 3  → x=7, y=3, obj=13
+	p := Problem{
+		C:   []float64{1, 2},
+		A:   [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		B:   []float64{10, 2, 3},
+		Rel: []Relation{EQ, GE, GE},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-13) > 1e-8 {
+		t.Errorf("objective = %g, want 13", res.Objective)
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// min t s.t. t ≥ 3 - a, t ≥ a - 3, a free, t ≥ 0.
+	// Optimal: a = 3, t = 0.
+	p := Problem{
+		C:    []float64{0, 1},
+		A:    [][]float64{{1, 1}, {-1, 1}},
+		B:    []float64{3, -3},
+		Rel:  []Relation{GE, GE},
+		Free: []bool{true, false},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.Objective) > 1e-8 {
+		t.Errorf("objective = %g, want 0", res.Objective)
+	}
+	if math.Abs(res.X[0]-3) > 1e-6 {
+		t.Errorf("a = %g, want 3", res.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≥ 5 and x ≤ 3 cannot hold.
+	p := Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		B:   []float64{5, 3},
+		Rel: []Relation{GE, LE},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x ≥ 1: x can grow forever.
+	p := Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{GE},
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -4 (i.e. x ≥ 4).
+	p := Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		B:   []float64{-4},
+		Rel: []Relation{LE},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-4) > 1e-8 {
+		t.Errorf("objective = %g, want 4", res.Objective)
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	bad := []Problem{
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Rel: []Relation{LE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Rel: []Relation{LE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Rel: []Relation{LE, GE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1}, Rel: []Relation{LE}, Free: []bool{true, false}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected dimension error", i)
+		}
+	}
+}
+
+// TestMinimaxFitLP solves the paper's LP (9) directly for a tiny instance with
+// a known answer: fitting a constant (deg=0) to {0, 1} gives t = 0.5, a0 = 0.5.
+func TestMinimaxFitLPDeg0(t *testing.T) {
+	// Variables: a0 (free), t. Constraints per point k:
+	//   a0 + t ≥ y   and   -a0 + t ≥ -y
+	p := Problem{
+		C: []float64{0, 1},
+		A: [][]float64{
+			{1, 1}, {-1, 1}, // point y=0
+			{1, 1}, {-1, 1}, // point y=1
+		},
+		B:    []float64{0, 0, 1, -1},
+		Rel:  []Relation{GE, GE, GE, GE},
+		Free: []bool{true, false},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-0.5) > 1e-8 {
+		t.Errorf("minimax error = %g, want 0.5", res.Objective)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-6 {
+		t.Errorf("a0 = %g, want 0.5", res.X[0])
+	}
+}
+
+// TestMinimaxLineExact: a perfectly linear dataset fits with zero error.
+func TestMinimaxLineExact(t *testing.T) {
+	xs := []float64{-1, -0.5, 0, 0.5, 1}
+	var a [][]float64
+	var b []float64
+	var rel []Relation
+	for _, x := range xs {
+		y := 2 + 3*x
+		a = append(a, []float64{1, x, 1}, []float64{-1, -x, 1})
+		b = append(b, y, -y)
+		rel = append(rel, GE, GE)
+	}
+	p := Problem{
+		C:    []float64{0, 0, 1},
+		A:    a,
+		B:    b,
+		Rel:  rel,
+		Free: []bool{true, true, false},
+	}
+	res := solveOK(t, p)
+	if res.Objective > 1e-8 {
+		t.Errorf("line should fit exactly, error %g", res.Objective)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 || math.Abs(res.X[1]-3) > 1e-6 {
+		t.Errorf("coeffs = %v, want (2,3)", res.X[:2])
+	}
+}
+
+// Property test: LP optimum for random minimax fits is never worse than the
+// least-squares fit error and never better than 0; and the solution is
+// feasible (all residuals ≤ t).
+func TestMinimaxFitRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		deg := rng.Intn(3)
+		npts := deg + 2 + rng.Intn(10)
+		xs := make([]float64, npts)
+		ys := make([]float64, npts)
+		for i := range xs {
+			xs[i] = -1 + 2*float64(i)/float64(npts-1)
+			ys[i] = rng.NormFloat64()
+		}
+		nv := deg + 2 // coeffs + t
+		var a [][]float64
+		var b []float64
+		var rel []Relation
+		for i, x := range xs {
+			row1 := make([]float64, nv)
+			row2 := make([]float64, nv)
+			xp := 1.0
+			for j := 0; j <= deg; j++ {
+				row1[j] = xp
+				row2[j] = -xp
+				xp *= x
+			}
+			row1[nv-1], row2[nv-1] = 1, 1
+			a = append(a, row1, row2)
+			b = append(b, ys[i], -ys[i])
+			rel = append(rel, GE, GE)
+		}
+		free := make([]bool, nv)
+		for j := 0; j <= deg; j++ {
+			free[j] = true
+		}
+		c := make([]float64, nv)
+		c[nv-1] = 1
+		res := solveOK(t, Problem{C: c, A: a, B: b, Rel: rel, Free: free})
+		// Feasibility: residuals within t (+tolerance).
+		for i, x := range xs {
+			pv := 0.0
+			xp := 1.0
+			for j := 0; j <= deg; j++ {
+				pv += res.X[j] * xp
+				xp *= x
+			}
+			if math.Abs(ys[i]-pv) > res.Objective+1e-6 {
+				t.Fatalf("iter %d: residual %g exceeds t=%g", iter, math.Abs(ys[i]-pv), res.Objective)
+			}
+		}
+		if res.Objective < -1e-9 {
+			t.Fatalf("iter %d: negative minimax error %g", iter, res.Objective)
+		}
+	}
+}
+
+func TestDegenerateManyTies(t *testing.T) {
+	// Heavily degenerate LP: several identical rows; should still terminate.
+	p := Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 0}},
+		B:   []float64{2, 2, 2, 1},
+		Rel: []Relation{GE, GE, GE, GE},
+	}
+	res := solveOK(t, p)
+	if math.Abs(res.Objective-2) > 1e-8 {
+		t.Errorf("objective = %g, want 2", res.Objective)
+	}
+}

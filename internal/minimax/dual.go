@@ -1,0 +1,332 @@
+package minimax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/poly"
+)
+
+// ErrNumeric reports that the dual simplex failed to converge; callers treat
+// the fit as "error > δ" (forcing a split) rather than crashing a build.
+var ErrNumeric = errors.New("minimax: dual simplex did not converge")
+
+// FitBasisLP solves the minimax fitting problem for an arbitrary basis:
+// given rows phi[i] (basis functions evaluated at point i) and values y[i],
+// it finds coefficients a minimising max_i |y_i − a·phi_i|.
+//
+// It runs a revised primal simplex on the DUAL of LP (9). The dual has only
+// m+1 rows (m = number of basis functions) and 2ℓ columns, so the basis
+// matrix stays (m+1)×(m+1) regardless of how many points are fitted — the
+// same observation that makes the exchange algorithm fast, generalised to
+// non-Haar bases such as the bivariate monomials of Section VI.
+//
+// Returned: coefficient vector, the achieved max error, iterations.
+func FitBasisLP(phi [][]float64, y []float64) ([]float64, float64, int, error) {
+	l := len(phi)
+	if l == 0 {
+		return nil, 0, 0, ErrTooFewPoints
+	}
+	if len(y) != l {
+		return nil, 0, 0, fmt.Errorf("minimax: %d rows, %d values", l, len(y))
+	}
+	m := len(phi[0])
+	for _, row := range phi {
+		if len(row) != m {
+			return nil, 0, 0, fmt.Errorf("minimax: ragged basis rows")
+		}
+	}
+	rows := m + 1 // basis-combination rows + the Σλ=1 row
+
+	// Value scaling for conditioning.
+	yscale := 0.0
+	for _, v := range y {
+		if a := math.Abs(v); a > yscale {
+			yscale = a
+		}
+	}
+	if yscale == 0 {
+		yscale = 1
+	}
+
+	// Column j ∈ [0, l):      λ⁺_j  → column ( φ_j, 1), objective +y_j
+	// Column j ∈ [l, 2l):     λ⁻_j  → column (−φ_j, 1), objective −y_j
+	// Column j ∈ [2l, 2l+rows): artificial e_{j−2l},     objective 0 (barred
+	// in phase 2, −1 in phase 1).
+	numCols := 2*l + rows
+	column := func(j int, dst []float64) {
+		switch {
+		case j < l:
+			copy(dst, phi[j])
+			dst[m] = 1
+		case j < 2*l:
+			for k, v := range phi[j-l] {
+				dst[k] = -v
+			}
+			dst[m] = 1
+		default:
+			for k := range dst {
+				dst[k] = 0
+			}
+			dst[j-2*l] = 1
+		}
+	}
+	objective := func(j int, phase1 bool) float64 {
+		switch {
+		case j < l:
+			if phase1 {
+				return 0
+			}
+			return y[j] / yscale
+		case j < 2*l:
+			if phase1 {
+				return 0
+			}
+			return -y[j-l] / yscale
+		default:
+			if phase1 {
+				return -1
+			}
+			return 0
+		}
+	}
+
+	// Basis bookkeeping: explicit inverse.
+	basis := make([]int, rows)
+	binv := make([][]float64, rows)
+	xb := make([]float64, rows) // current basic variable values
+	for i := 0; i < rows; i++ {
+		basis[i] = 2*l + i
+		binv[i] = make([]float64, rows)
+		binv[i][i] = 1
+	}
+	xb[rows-1] = 1 // RHS = e_{rows}
+
+	colBuf := make([]float64, rows)
+	w := make([]float64, rows)
+	u := make([]float64, rows)
+
+	multipliers := func(phase1 bool) {
+		// u = c_B · B⁻¹
+		for j := 0; j < rows; j++ {
+			s := 0.0
+			for i := 0; i < rows; i++ {
+				cb := objective(basis[i], phase1)
+				if cb != 0 {
+					s += cb * binv[i][j]
+				}
+			}
+			u[j] = s
+		}
+	}
+
+	const eps = 1e-9
+	maxIters := 400 * (rows + 10)
+	iters := 0
+
+	runPhase := func(phase1 bool) error {
+		useBland := false
+		for {
+			iters++
+			if iters > maxIters {
+				return ErrNumeric
+			}
+			multipliers(phase1)
+			// Price nonbasic columns; maximisation: enter on positive
+			// reduced cost.
+			enter := -1
+			best := eps
+			inBasis := make(map[int]bool, rows)
+			for _, b := range basis {
+				inBasis[b] = true
+			}
+			limit := numCols
+			if !phase1 {
+				limit = 2 * l // artificials barred
+			}
+			for j := 0; j < limit; j++ {
+				if inBasis[j] {
+					continue
+				}
+				column(j, colBuf)
+				rc := objective(j, phase1)
+				for k := 0; k < rows; k++ {
+					rc -= u[k] * colBuf[k]
+				}
+				if useBland {
+					if rc > eps {
+						enter = j
+						break
+					}
+				} else if rc > best {
+					best = rc
+					enter = j
+				}
+			}
+			if enter == -1 {
+				return nil
+			}
+			// Direction w = B⁻¹ A_enter.
+			column(enter, colBuf)
+			for i := 0; i < rows; i++ {
+				s := 0.0
+				for k := 0; k < rows; k++ {
+					s += binv[i][k] * colBuf[k]
+				}
+				w[i] = s
+			}
+			// Ratio test.
+			leave := -1
+			bestRatio := math.Inf(1)
+			for i := 0; i < rows; i++ {
+				if w[i] <= eps {
+					continue
+				}
+				r := xb[i] / w[i]
+				if r < bestRatio-1e-12 ||
+					(math.Abs(r-bestRatio) <= 1e-12 && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+			if leave == -1 {
+				// The dual is bounded by construction; numerical failure.
+				return ErrNumeric
+			}
+			// Pivot: update B⁻¹ and xb.
+			pw := w[leave]
+			for k := 0; k < rows; k++ {
+				binv[leave][k] /= pw
+			}
+			xb[leave] /= pw
+			for i := 0; i < rows; i++ {
+				if i == leave || w[i] == 0 {
+					continue
+				}
+				f := w[i]
+				for k := 0; k < rows; k++ {
+					binv[i][k] -= f * binv[leave][k]
+				}
+				xb[i] -= f * xb[leave]
+				if xb[i] < 0 && xb[i] > -1e-12 {
+					xb[i] = 0
+				}
+			}
+			basis[leave] = enter
+			if iters > maxIters/2 {
+				useBland = true
+			}
+		}
+	}
+
+	if err := runPhase(true); err != nil {
+		return nil, 0, iters, err
+	}
+	// Phase-1 objective must be ~0 (the dual is always feasible).
+	p1 := 0.0
+	for i, b := range basis {
+		if b >= 2*l {
+			p1 += xb[i]
+		}
+	}
+	if p1 > 1e-7 {
+		return nil, 0, iters, ErrNumeric
+	}
+	if err := runPhase(false); err != nil {
+		return nil, 0, iters, err
+	}
+
+	// Recover the primal solution from the simplex multipliers:
+	// u = (a, t*) in the scaled value space.
+	multipliers(false)
+	coeffs := make([]float64, m)
+	for k := 0; k < m; k++ {
+		coeffs[k] = u[k] * yscale
+	}
+	// Recompute the achieved error on the raw data — this is the value the
+	// δ-error constraint checks.
+	maxErr := 0.0
+	for i := 0; i < l; i++ {
+		pv := 0.0
+		for k := 0; k < m; k++ {
+			pv += coeffs[k] * phi[i][k]
+		}
+		if r := math.Abs(y[i] - pv); r > maxErr {
+			maxErr = r
+		}
+	}
+	return coeffs, maxErr, iters, nil
+}
+
+// FitPolyLP fits a univariate degree-deg polynomial via the dual simplex
+// backend. Functionally identical to FitPoly (cross-checked in tests);
+// kept as the independent reference implementation and for the ablation
+// benchmarks.
+func FitPolyLP(xs, ys []float64, deg int) (Fit1D, error) {
+	if len(xs) == 0 {
+		return Fit1D{}, ErrTooFewPoints
+	}
+	if len(xs) != len(ys) {
+		return Fit1D{}, fmt.Errorf("minimax: len(xs)=%d len(ys)=%d", len(xs), len(ys))
+	}
+	frame := poly.NewFrame(xs[0], xs[len(xs)-1])
+	phi := make([][]float64, len(xs))
+	for i, x := range xs {
+		t := frame.Normalize(x)
+		row := make([]float64, deg+1)
+		tp := 1.0
+		for k := 0; k <= deg; k++ {
+			row[k] = tp
+			tp *= t
+		}
+		phi[i] = row
+	}
+	coeffs, maxErr, iters, err := FitBasisLP(phi, ys)
+	if err != nil {
+		return Fit1D{}, err
+	}
+	return Fit1D{
+		P:      poly.FramedPoly{F: frame, P: poly.New(coeffs...)},
+		MaxErr: maxErr,
+		Iters:  iters,
+	}, nil
+}
+
+// Fit2D is the result of a bivariate minimax surface fit.
+type Fit2D struct {
+	P      poly.FramedPoly2D
+	MaxErr float64
+	Iters  int
+}
+
+// FitPoly2D fits the surface P(u,v) = Σ_{i+j≤deg} a_ij u^i v^j (Section VI)
+// to samples (xs[i], ys[i]) → zs[i], minimising the maximum absolute error.
+// The frame normalises the given rectangle onto [-1,1]²; pass the quadtree
+// cell bounds so evaluation inside the cell stays conditioned.
+func FitPoly2D(xs, ys, zs []float64, deg int, xlo, xhi, ylo, yhi float64) (Fit2D, error) {
+	l := len(xs)
+	if l == 0 {
+		return Fit2D{}, ErrTooFewPoints
+	}
+	if len(ys) != l || len(zs) != l {
+		return Fit2D{}, fmt.Errorf("minimax: mismatched 2D sample lengths %d/%d/%d", l, len(ys), len(zs))
+	}
+	frame := poly.NewFrame2D(xlo, xhi, ylo, yhi)
+	m := poly.NumTerms2D(deg)
+	phi := make([][]float64, l)
+	for i := 0; i < l; i++ {
+		row := make([]float64, m)
+		poly.Basis2D(deg, frame.U.Normalize(xs[i]), frame.V.Normalize(ys[i]), row)
+		phi[i] = row
+	}
+	coeffs, maxErr, iters, err := FitBasisLP(phi, zs)
+	if err != nil {
+		return Fit2D{}, err
+	}
+	return Fit2D{
+		P:      poly.FramedPoly2D{F: frame, P: poly.Poly2D{Deg: deg, C: coeffs}},
+		MaxErr: maxErr,
+		Iters:  iters,
+	}, nil
+}

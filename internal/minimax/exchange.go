@@ -1,0 +1,315 @@
+// Package minimax solves the paper's curve-fitting problem (Definition 2 /
+// LP (9)): given sample points of the key-cumulative or key-measure function,
+// find the degree-deg polynomial minimising the maximum absolute error.
+//
+// Two backends are provided and cross-checked against each other (and against
+// internal/lp) in tests:
+//
+//   - FitPoly: the exchange algorithm (Stiefel's discrete Remez iteration).
+//     Polynomials over distinct 1D points form a Haar system, so the best
+//     approximation equioscillates on a reference of deg+2 points and the
+//     single-point exchange converges to the exact optimum. This is the fast
+//     path used by greedy segmentation — typically a handful of (deg+2)²
+//     solves instead of a full LP.
+//
+//   - FitBasisLP / FitPoly2D: a revised dual simplex on LP (9). It works for
+//     any basis — in particular the bivariate monomials u^i v^j of Section VI,
+//     which are not a Haar system, where the exchange algorithm does not apply.
+//
+// All fitting happens in a normalised frame (keys mapped onto [-1,1], values
+// centred) so that the monomial basis stays well-conditioned; results are
+// returned as poly.FramedPoly / poly.FramedPoly2D carrying the frame.
+package minimax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/poly"
+)
+
+// Fit1D is the result of a univariate minimax fit.
+type Fit1D struct {
+	P      poly.FramedPoly
+	MaxErr float64 // max_i |y_i - P(x_i)| of the returned polynomial
+	Iters  int     // exchange or simplex iterations used
+}
+
+// ErrTooFewPoints is returned when a fit is requested on an empty point set.
+var ErrTooFewPoints = errors.New("minimax: need at least one point")
+
+// ErrDuplicateKeys is returned when two sample points share a key; the paper
+// assumes distinct keys (Section III-A) and the Haar property requires it.
+var ErrDuplicateKeys = errors.New("minimax: duplicate keys in sample")
+
+const (
+	// convergence slack for the exchange loop
+	relTol = 1e-9
+	absTol = 1e-12
+	// hard cap on exchange iterations; the loop converges monotonically so
+	// this is defensive only
+	maxExchangeIters = 300
+)
+
+// FitPoly computes the minimax degree-deg polynomial fit of ys over xs.
+// xs must be strictly increasing. For len(xs) ≤ deg+1 the data is
+// interpolated exactly (zero error).
+func FitPoly(xs, ys []float64, deg int) (Fit1D, error) {
+	if len(xs) == 0 {
+		return Fit1D{}, ErrTooFewPoints
+	}
+	if len(xs) != len(ys) {
+		return Fit1D{}, fmt.Errorf("minimax: len(xs)=%d len(ys)=%d", len(xs), len(ys))
+	}
+	if deg < 0 {
+		return Fit1D{}, fmt.Errorf("minimax: negative degree %d", deg)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return Fit1D{}, ErrDuplicateKeys
+		}
+	}
+	frame := poly.NewFrame(xs[0], xs[len(xs)-1])
+	ts := make([]float64, len(xs))
+	for i, x := range xs {
+		ts[i] = frame.Normalize(x)
+	}
+	// Value scaling: keep the Gaussian solves conditioned when cumulative
+	// values are ~1e6+. Errors scale back linearly.
+	yscale := 0.0
+	for _, y := range ys {
+		if a := math.Abs(y); a > yscale {
+			yscale = a
+		}
+	}
+	if yscale == 0 {
+		yscale = 1
+	}
+	ysn := make([]float64, len(ys))
+	for i, y := range ys {
+		ysn[i] = y / yscale
+	}
+
+	if len(xs) <= deg+1 {
+		p := interpolate(ts, ysn)
+		fp := poly.FramedPoly{F: frame, P: p.Scale(yscale)}
+		return Fit1D{P: fp, MaxErr: maxAbsResidual(fp, xs, ys)}, nil
+	}
+
+	p, _, iters := exchange(ts, ysn, deg)
+	fp := poly.FramedPoly{F: frame, P: p.Scale(yscale)}
+	return Fit1D{P: fp, MaxErr: maxAbsResidual(fp, xs, ys), Iters: iters}, nil
+}
+
+// maxAbsResidual reports the true max |y_i − P(x_i)| of a framed polynomial —
+// this is the value the bounded δ-error constraint (Definition 3) checks, so
+// it is always recomputed on the raw data rather than trusted from the solver.
+func maxAbsResidual(fp poly.FramedPoly, xs, ys []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if r := math.Abs(ys[i] - fp.Eval(x)); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// interpolate returns the polynomial through all (ts, ys) points (Newton's
+// divided differences, converted to the monomial basis).
+func interpolate(ts, ys []float64) poly.Poly {
+	n := len(ts)
+	coef := append([]float64(nil), ys...)
+	for j := 1; j < n; j++ {
+		for i := n - 1; i >= j; i-- {
+			coef[i] = (coef[i] - coef[i-1]) / (ts[i] - ts[i-j])
+		}
+	}
+	// Horner-style expansion of the Newton form.
+	p := poly.New(coef[n-1])
+	for i := n - 2; i >= 0; i-- {
+		p = p.Mul(poly.New(-ts[i], 1)).Add(poly.New(coef[i]))
+	}
+	return p
+}
+
+// exchange runs the discrete Remez single-exchange iteration on normalised
+// points ts (strictly increasing in [-1,1]) with values ys. It returns the
+// fitted polynomial (monomial basis over t), the levelled error |h| and the
+// iteration count.
+func exchange(ts, ys []float64, deg int) (poly.Poly, float64, int) {
+	n := len(ts)
+	m := deg + 2 // reference size
+
+	// Initial reference: Chebyshev-spaced indices, forced strictly increasing.
+	ref := make([]int, m)
+	for j := 0; j < m; j++ {
+		frac := 0.5 * (1 - math.Cos(math.Pi*float64(j)/float64(m-1)))
+		ref[j] = int(math.Round(frac * float64(n-1)))
+	}
+	for j := 1; j < m; j++ {
+		if ref[j] <= ref[j-1] {
+			ref[j] = ref[j-1] + 1
+		}
+	}
+	for j := m - 1; j > 0; j-- {
+		if ref[j] > n-1-(m-1-j) {
+			ref[j] = n - 1 - (m - 1 - j)
+		}
+		if j < m-1 && ref[j] >= ref[j+1] {
+			ref[j] = ref[j+1] - 1
+		}
+	}
+
+	cheb := chebPolys(deg)
+	resid := make([]float64, n)
+	var p poly.Poly
+	var h float64
+	iters := 0
+	for ; iters < maxExchangeIters; iters++ {
+		p, h = solveReference(ts, ys, ref, cheb)
+		// Residuals and the worst offender.
+		worst, worstAbs := -1, 0.0
+		for i := 0; i < n; i++ {
+			resid[i] = ys[i] - p.Eval(ts[i])
+			if a := math.Abs(resid[i]); a > worstAbs {
+				worstAbs = a
+				worst = i
+			}
+		}
+		habs := math.Abs(h)
+		if worst < 0 || worstAbs <= habs*(1+relTol)+absTol {
+			return p, habs, iters + 1
+		}
+		if !exchangePoint(ref, resid, worst) {
+			// worst already on reference (numerical tie) — done.
+			return p, habs, iters + 1
+		}
+	}
+	return p, math.Abs(h), iters
+}
+
+// chebPolys returns T_0..T_deg in the monomial basis.
+func chebPolys(deg int) []poly.Poly {
+	out := make([]poly.Poly, deg+1)
+	out[0] = poly.New(1)
+	if deg >= 1 {
+		out[1] = poly.New(0, 1)
+	}
+	for k := 2; k <= deg; k++ {
+		out[k] = out[k-1].Mul(poly.New(0, 2)).Add(out[k-2].Scale(-1))
+	}
+	return out
+}
+
+// solveReference solves the (deg+2)×(deg+2) levelled-error system
+// Σ_k c_k T_k(t_j) + (−1)^j h = y_j on the reference, returning the monomial
+// polynomial and h.
+func solveReference(ts, ys []float64, ref []int, cheb []poly.Poly) (poly.Poly, float64) {
+	m := len(ref)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	sign := 1.0
+	for j, idx := range ref {
+		row := make([]float64, m)
+		t := ts[idx]
+		for k := 0; k < m-1; k++ {
+			row[k] = cheb[k].Eval(t)
+		}
+		row[m-1] = sign
+		sign = -sign
+		a[j] = row
+		b[j] = ys[idx]
+	}
+	sol := gaussSolve(a, b)
+	p := poly.Poly{}
+	for k := 0; k < m-1; k++ {
+		p = p.Add(cheb[k].Scale(sol[k]))
+	}
+	return p, sol[m-1]
+}
+
+// gaussSolve solves a·x = b in place with partial pivoting. Singular systems
+// (impossible for distinct reference points, defensive otherwise) yield the
+// least-bad pivot rather than a panic.
+func gaussSolve(a [][]float64, b []float64) []float64 {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// partial pivot
+		best, bestAbs := col, math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if ab := math.Abs(a[r][col]); ab > bestAbs {
+				best, bestAbs = r, ab
+			}
+		}
+		a[col], a[best] = a[best], a[col]
+		b[col], b[best] = b[best], b[col]
+		pv := a[col][col]
+		if pv == 0 {
+			pv = 1e-300
+		}
+		inv := 1 / pv
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		pv := a[r][r]
+		if pv == 0 {
+			pv = 1e-300
+		}
+		x[r] = s / pv
+	}
+	return x
+}
+
+// exchangePoint inserts the worst offender w into the sorted reference,
+// preserving residual-sign alternation (classic single-point exchange).
+// Returns false if w is already a reference point.
+func exchangePoint(ref []int, resid []float64, w int) bool {
+	m := len(ref)
+	sgn := func(i int) bool { return resid[i] >= 0 }
+	for j, r := range ref {
+		if r == w {
+			return false
+		}
+		if w < r {
+			if j == 0 {
+				if sgn(w) == sgn(ref[0]) {
+					ref[0] = w
+				} else {
+					// prepend w, drop the far end
+					copy(ref[1:], ref[:m-1])
+					ref[0] = w
+				}
+			} else {
+				if sgn(w) == sgn(ref[j-1]) {
+					ref[j-1] = w
+				} else {
+					ref[j] = w
+				}
+			}
+			return true
+		}
+	}
+	// w beyond the last reference point
+	if sgn(w) == sgn(ref[m-1]) {
+		ref[m-1] = w
+	} else {
+		copy(ref[:m-1], ref[1:])
+		ref[m-1] = w
+	}
+	return true
+}

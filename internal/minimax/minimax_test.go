@@ -1,0 +1,440 @@
+package minimax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func TestFitExactPolynomialRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for deg := 0; deg <= 5; deg++ {
+		coeffs := make([]float64, deg+1)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = float64(i) * 2.5
+			x := xs[i]
+			v, xp := 0.0, 1.0
+			for _, c := range coeffs {
+				v += c * xp
+				xp *= x
+			}
+			ys[i] = v
+		}
+		fit, err := FitPoly(xs, ys, deg)
+		if err != nil {
+			t.Fatalf("deg %d: %v", deg, err)
+		}
+		scale := 0.0
+		for _, y := range ys {
+			if a := math.Abs(y); a > scale {
+				scale = a
+			}
+		}
+		if fit.MaxErr > 1e-8*(1+scale) {
+			t.Errorf("deg %d: exact polynomial not recovered, err %g", deg, fit.MaxErr)
+		}
+	}
+}
+
+func TestFitConstantToTwoValues(t *testing.T) {
+	// Degree-0 fit to {0, 1}: optimal constant 0.5 with error 0.5.
+	fit, err := FitPoly([]float64{0, 1}, []float64{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.MaxErr-0.5) > 1e-9 {
+		t.Errorf("MaxErr = %g, want 0.5", fit.MaxErr)
+	}
+	if got := fit.P.Eval(0.3); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("fitted constant = %g, want 0.5", got)
+	}
+}
+
+func TestFitLinearToSquare(t *testing.T) {
+	// Best degree-1 fit to x² on [-1,1] is the constant 1/2 with error 1/2
+	// (Chebyshev: x² = (T₂+T₀)/2). A dense grid approximates this.
+	n := 401
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = -1 + 2*float64(i)/float64(n-1)
+		ys[i] = xs[i] * xs[i]
+	}
+	fit, err := FitPoly(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.MaxErr-0.5) > 1e-3 {
+		t.Errorf("MaxErr = %g, want ≈0.5", fit.MaxErr)
+	}
+}
+
+func TestInterpolationWhenFewPoints(t *testing.T) {
+	xs := []float64{1, 2, 5}
+	ys := []float64{3, -1, 7}
+	fit, err := FitPoly(xs, ys, 4) // more coefficients than points
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.MaxErr > 1e-9 {
+		t.Errorf("interpolation should be exact, err %g", fit.MaxErr)
+	}
+	for i, x := range xs {
+		if got := fit.P.Eval(x); math.Abs(got-ys[i]) > 1e-8 {
+			t.Errorf("P(%g) = %g, want %g", x, got, ys[i])
+		}
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	fit, err := FitPoly([]float64{7}, []float64{42}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.MaxErr != 0 || math.Abs(fit.P.Eval(7)-42) > 1e-12 {
+		t.Errorf("single-point fit wrong: err %g, value %g", fit.MaxErr, fit.P.Eval(7))
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, err := FitPoly(nil, nil, 2); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitPoly([]float64{1, 1, 2}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("duplicate keys should error")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree should error")
+	}
+}
+
+// TestEquioscillation: the optimal residual attains ±MaxErr on at least
+// deg+2 points with alternating signs (Chebyshev's characterisation).
+func TestEquioscillation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 30; iter++ {
+		deg := rng.Intn(4)
+		n := deg + 5 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + 0.3*rng.Float64()
+			ys[i] = rng.NormFloat64() * 10
+		}
+		fit, err := FitPoly(xs, ys, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.MaxErr < 1e-12 {
+			continue // exactly fit by chance
+		}
+		alt := 0
+		prevSign := 0
+		for i := range xs {
+			r := ys[i] - fit.P.Eval(xs[i])
+			if math.Abs(r) >= fit.MaxErr*(1-1e-6) {
+				s := 1
+				if r < 0 {
+					s = -1
+				}
+				if s != prevSign {
+					alt++
+					prevSign = s
+				}
+			}
+		}
+		if alt < deg+2 {
+			t.Errorf("iter %d: only %d alternations, want ≥ %d (deg %d, n %d)", iter, alt, deg+2, deg, n)
+		}
+	}
+}
+
+// TestBackendsAgree cross-checks the exchange algorithm, the dual simplex
+// and the direct tableau LP on random instances: all three must report the
+// same optimal minimax error.
+func TestBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 40; iter++ {
+		deg := rng.Intn(4)
+		n := deg + 3 + rng.Intn(25)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x := 0.0
+		for i := range xs {
+			x += 0.1 + rng.Float64()
+			xs[i] = x
+			ys[i] = rng.NormFloat64() * 5
+		}
+		exFit, err := FitPoly(xs, ys, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpFit, err := FitPolyLP(xs, ys, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := directLP(t, xs, ys, deg)
+		tol := 1e-6 * (1 + exFit.MaxErr)
+		if math.Abs(exFit.MaxErr-lpFit.MaxErr) > tol {
+			t.Errorf("iter %d: exchange %.10g vs dual simplex %.10g", iter, exFit.MaxErr, lpFit.MaxErr)
+		}
+		if math.Abs(exFit.MaxErr-direct) > tol {
+			t.Errorf("iter %d: exchange %.10g vs direct LP %.10g", iter, exFit.MaxErr, direct)
+		}
+	}
+}
+
+// directLP solves LP (9) with the tableau solver in the same normalised
+// frame used by the fitting backends.
+func directLP(t *testing.T, xs, ys []float64, deg int) float64 {
+	t.Helper()
+	lo, hi := xs[0], xs[len(xs)-1]
+	c, h := 0.5*(lo+hi), 0.5*(hi-lo)
+	if h <= 0 {
+		h = 1
+	}
+	nv := deg + 2
+	var a [][]float64
+	var b []float64
+	var rel []lp.Relation
+	for i, x := range xs {
+		tn := (x - c) / h
+		row1 := make([]float64, nv)
+		row2 := make([]float64, nv)
+		tp := 1.0
+		for j := 0; j <= deg; j++ {
+			row1[j], row2[j] = tp, -tp
+			tp *= tn
+		}
+		row1[nv-1], row2[nv-1] = 1, 1
+		a = append(a, row1, row2)
+		b = append(b, ys[i], -ys[i])
+		rel = append(rel, lp.GE, lp.GE)
+	}
+	free := make([]bool, nv)
+	for j := 0; j <= deg; j++ {
+		free[j] = true
+	}
+	cost := make([]float64, nv)
+	cost[nv-1] = 1
+	res, err := lp.Solve(lp.Problem{C: cost, A: a, B: b, Rel: rel, Free: free})
+	if err != nil || res.Status != lp.Optimal {
+		t.Fatalf("direct LP failed: %v %v", err, res.Status)
+	}
+	return res.Objective
+}
+
+// TestMonotonicity verifies Lemma 1: adding points never decreases the
+// optimal fitting error. This property is what makes greedy segmentation
+// with exponential search sound.
+func TestMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 20; iter++ {
+		deg := 1 + rng.Intn(3)
+		n := 40
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x := 0.0
+		for i := range xs {
+			x += 0.5 + rng.Float64()
+			xs[i] = x
+			ys[i] = math.Sin(x) * 10
+		}
+		prev := -1.0
+		for l := deg + 2; l <= n; l += 4 {
+			fit, err := FitPoly(xs[:l], ys[:l], deg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fit.MaxErr < prev-1e-7*(1+prev) {
+				t.Errorf("iter %d: error decreased from %g to %g when adding points", iter, prev, fit.MaxErr)
+			}
+			prev = fit.MaxErr
+		}
+	}
+}
+
+// TestLargeScaleConditioning: keys at timestamp scale (~1e9) and cumulative
+// values at 1e6 scale must still fit cleanly thanks to frame normalisation.
+func TestLargeScaleConditioning(t *testing.T) {
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.5e9 + float64(i)*3600
+		u := float64(i) / float64(n-1)
+		ys[i] = 1e6 * (u + 0.2*u*u - 0.1*u*u*u)
+	}
+	fit, err := FitPoly(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.MaxErr > 1e-3 {
+		t.Errorf("cubic data at large scale should fit to ~0, err %g", fit.MaxErr)
+	}
+}
+
+func TestFitBasisLPPlaneExact(t *testing.T) {
+	// z = 1 + 2u + 3v fits exactly with the affine 2D basis.
+	var phi [][]float64
+	var z []float64
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			u, v := float64(i)/4, float64(j)/4
+			phi = append(phi, []float64{1, u, v})
+			z = append(z, 1+2*u+3*v)
+		}
+	}
+	coeffs, maxErr, _, err := FitBasisLP(phi, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 1e-8 {
+		t.Errorf("plane should fit exactly, err %g", maxErr)
+	}
+	want := []float64{1, 2, 3}
+	for k := range want {
+		if math.Abs(coeffs[k]-want[k]) > 1e-6 {
+			t.Errorf("coeff[%d] = %g, want %g", k, coeffs[k], want[k])
+		}
+	}
+}
+
+func TestFitPoly2DSaddleExact(t *testing.T) {
+	// z = u·v is a total-degree-2 surface: must fit exactly at deg 2 and
+	// have non-trivial error at deg 1.
+	var xs, ys, zs []float64
+	for i := 0; i <= 6; i++ {
+		for j := 0; j <= 6; j++ {
+			x := float64(i) / 3
+			y := float64(j) / 3
+			xs = append(xs, x)
+			ys = append(ys, y)
+			zs = append(zs, x*y)
+		}
+	}
+	fit2, err := FitPoly2D(xs, ys, zs, 2, 0, 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit2.MaxErr > 1e-7 {
+		t.Errorf("deg-2 saddle should be exact, err %g", fit2.MaxErr)
+	}
+	fit1, err := FitPoly2D(xs, ys, zs, 1, 0, 2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit1.MaxErr < 0.1 {
+		t.Errorf("deg-1 fit of saddle should have real error, got %g", fit1.MaxErr)
+	}
+	if fit1.MaxErr < fit2.MaxErr {
+		t.Errorf("higher degree must not fit worse")
+	}
+}
+
+// TestFitBasisLPOptimality cross-checks the dual simplex against the direct
+// tableau LP on random 2D instances.
+func TestFitBasisLPOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 20; iter++ {
+		m := 3 + rng.Intn(3) // number of basis functions
+		n := m + 2 + rng.Intn(15)
+		phi := make([][]float64, n)
+		z := make([]float64, n)
+		for i := range phi {
+			row := make([]float64, m)
+			row[0] = 1
+			for k := 1; k < m; k++ {
+				row[k] = rng.NormFloat64()
+			}
+			phi[i] = row
+			z[i] = rng.NormFloat64() * 3
+		}
+		coeffs, maxErr, _, err := FitBasisLP(phi, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = coeffs
+		// Direct LP on the same instance.
+		nv := m + 1
+		var a [][]float64
+		var b []float64
+		var rel []lp.Relation
+		for i := range phi {
+			r1 := make([]float64, nv)
+			r2 := make([]float64, nv)
+			copy(r1, phi[i])
+			for k, v := range phi[i] {
+				r2[k] = -v
+			}
+			r1[m], r2[m] = 1, 1
+			a = append(a, r1, r2)
+			b = append(b, z[i], -z[i])
+			rel = append(rel, lp.GE, lp.GE)
+		}
+		free := make([]bool, nv)
+		for k := 0; k < m; k++ {
+			free[k] = true
+		}
+		cost := make([]float64, nv)
+		cost[m] = 1
+		res, err := lp.Solve(lp.Problem{C: cost, A: a, B: b, Rel: rel, Free: free})
+		if err != nil || res.Status != lp.Optimal {
+			t.Fatalf("direct LP failed: %v %v", err, res.Status)
+		}
+		if math.Abs(maxErr-res.Objective) > 1e-6*(1+maxErr) {
+			t.Errorf("iter %d: dual simplex %.10g vs direct %.10g", iter, maxErr, res.Objective)
+		}
+	}
+}
+
+func TestFit2DErrorCases(t *testing.T) {
+	if _, err := FitPoly2D(nil, nil, nil, 2, 0, 1, 0, 1); err == nil {
+		t.Error("empty 2D input should error")
+	}
+	if _, err := FitPoly2D([]float64{1}, []float64{1, 2}, []float64{1}, 2, 0, 1, 0, 1); err == nil {
+		t.Error("mismatched 2D input should error")
+	}
+}
+
+func BenchmarkFitPolyDeg2N256(b *testing.B) {
+	n := 256
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = math.Sin(float64(i) / 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPoly(xs, ys, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitPolyLPDeg2N256(b *testing.B) {
+	n := 256
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = math.Sin(float64(i) / 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPolyLP(xs, ys, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package nn implements the small feed-forward networks of the paper's
+// appendix (Table VI): architectures 1:X:1 and 1:X:Y:1 with tanh hidden
+// units, trained with Adam on the normalised key-cumulative function. The
+// experiment reproduced with this package is model selection for RMI —
+// showing that NN leaves cost far more prediction time than linear
+// regression at this scale.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected network with tanh hidden activations and a
+// linear output.
+type MLP struct {
+	sizes   []int
+	weights [][]float64 // weights[l][i*in+j]: layer l maps in→out
+	biases  [][]float64
+	// input/output normalisation (fit at training time)
+	xMean, xScale float64
+	yMean, yScale float64
+}
+
+// Config controls training.
+type Config struct {
+	Epochs    int     // default 200
+	Batch     int     // default 64
+	LR        float64 // default 1e-3
+	Seed      int64   // weight init / shuffling seed
+	ClipNorm  float64 // gradient clip (default 5)
+	Verbosity int     // reserved; 0 = silent
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// New creates an MLP with the given layer sizes, e.g. [1, 8, 8, 1] for the
+// paper's 1:8:8:1.
+func New(sizes []int, seed int64) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("nn: need at least input and output layers")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("nn: invalid layer size %d", s)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{sizes: append([]int(nil), sizes...), xScale: 1, yScale: 1}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		limit := math.Sqrt(6.0 / float64(in+out)) // Xavier init
+		for i := range w {
+			w[i] = (2*rng.Float64() - 1) * limit
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m, nil
+}
+
+// Fit trains the network on (xs → ys) with Adam and MSE loss. Inputs and
+// targets are normalised internally.
+func (m *MLP) Fit(xs, ys []float64, cfg Config) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("nn: %d inputs, %d targets", len(xs), len(ys))
+	}
+	if m.sizes[0] != 1 || m.sizes[len(m.sizes)-1] != 1 {
+		return errors.New("nn: Fit supports scalar input/output networks")
+	}
+	cfg = cfg.withDefaults()
+	m.xMean, m.xScale = meanScale(xs)
+	m.yMean, m.yScale = meanScale(ys)
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Adam state.
+	mw, vw := zerosLike(m.weights), zerosLike(m.weights)
+	mb, vb := zerosLike(m.biases), zerosLike(m.biases)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	gradW := zerosLike(m.weights)
+	gradB := zerosLike(m.biases)
+	acts := make([][]float64, len(m.sizes))
+	deltas := make([][]float64, len(m.sizes))
+	for l, s := range m.sizes {
+		acts[l] = make([]float64, s)
+		deltas[l] = make([]float64, s)
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			zero(gradW)
+			zero(gradB)
+			for _, i := range idx[start:end] {
+				x := (xs[i] - m.xMean) / m.xScale
+				y := (ys[i] - m.yMean) / m.yScale
+				m.forward(x, acts)
+				// Backprop MSE.
+				out := len(m.sizes) - 1
+				deltas[out][0] = acts[out][0] - y
+				for l := out - 1; l >= 1; l-- {
+					in, outN := m.sizes[l], m.sizes[l+1]
+					w := m.weights[l]
+					for j := 0; j < in; j++ {
+						s := 0.0
+						for k := 0; k < outN; k++ {
+							s += w[k*in+j] * deltas[l+1][k]
+						}
+						a := acts[l][j]
+						deltas[l][j] = s * (1 - a*a) // tanh'
+					}
+				}
+				for l := 0; l < len(m.weights); l++ {
+					in, outN := m.sizes[l], m.sizes[l+1]
+					for k := 0; k < outN; k++ {
+						d := deltas[l+1][k]
+						gradB[l][k] += d
+						for j := 0; j < in; j++ {
+							gradW[l][k*in+j] += d * acts[l][j]
+						}
+					}
+				}
+			}
+			// Adam update with clipping.
+			bs := float64(end - start)
+			step++
+			c1 := 1 - math.Pow(beta1, float64(step))
+			c2 := 1 - math.Pow(beta2, float64(step))
+			norm := 0.0
+			for l := range gradW {
+				for i := range gradW[l] {
+					gradW[l][i] /= bs
+					norm += gradW[l][i] * gradW[l][i]
+				}
+				for i := range gradB[l] {
+					gradB[l][i] /= bs
+					norm += gradB[l][i] * gradB[l][i]
+				}
+			}
+			norm = math.Sqrt(norm)
+			clip := 1.0
+			if norm > cfg.ClipNorm {
+				clip = cfg.ClipNorm / norm
+			}
+			for l := range m.weights {
+				for i := range m.weights[l] {
+					g := gradW[l][i] * clip
+					mw[l][i] = beta1*mw[l][i] + (1-beta1)*g
+					vw[l][i] = beta2*vw[l][i] + (1-beta2)*g*g
+					m.weights[l][i] -= cfg.LR * (mw[l][i] / c1) / (math.Sqrt(vw[l][i]/c2) + eps)
+				}
+				for i := range m.biases[l] {
+					g := gradB[l][i] * clip
+					mb[l][i] = beta1*mb[l][i] + (1-beta1)*g
+					vb[l][i] = beta2*vb[l][i] + (1-beta2)*g*g
+					m.biases[l][i] -= cfg.LR * (mb[l][i] / c1) / (math.Sqrt(vb[l][i]/c2) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forward fills acts with layer activations for normalised input x.
+func (m *MLP) forward(x float64, acts [][]float64) {
+	acts[0][0] = x
+	last := len(m.sizes) - 1
+	for l := 0; l < last; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w := m.weights[l]
+		b := m.biases[l]
+		for k := 0; k < out; k++ {
+			s := b[k]
+			for j := 0; j < in; j++ {
+				s += w[k*in+j] * acts[l][j]
+			}
+			if l+1 == last {
+				acts[l+1][k] = s // linear output
+			} else {
+				acts[l+1][k] = math.Tanh(s)
+			}
+		}
+	}
+}
+
+// Predict evaluates the trained network at a raw input.
+func (m *MLP) Predict(x float64) float64 {
+	acts := make([][]float64, len(m.sizes))
+	for l, s := range m.sizes {
+		acts[l] = make([]float64, s)
+	}
+	m.forward((x-m.xMean)/m.xScale, acts)
+	return acts[len(acts)-1][0]*m.yScale + m.yMean
+}
+
+// Predictor returns an allocation-free closure for benchmarking prediction
+// latency (Table VI's "prediction time" column).
+func (m *MLP) Predictor() func(float64) float64 {
+	acts := make([][]float64, len(m.sizes))
+	for l, s := range m.sizes {
+		acts[l] = make([]float64, s)
+	}
+	return func(x float64) float64 {
+		m.forward((x-m.xMean)/m.xScale, acts)
+		return acts[len(acts)-1][0]*m.yScale + m.yMean
+	}
+}
+
+// NumParams returns the number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.weights {
+		n += len(m.weights[l]) + len(m.biases[l])
+	}
+	return n
+}
+
+// Arch renders the architecture in the appendix's 1:X:Y:1 notation.
+func (m *MLP) Arch() string {
+	s := ""
+	for i, v := range m.sizes {
+		if i > 0 {
+			s += ":"
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s
+}
+
+func meanScale(v []float64) (mean, scale float64) {
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		scale += (x - mean) * (x - mean)
+	}
+	scale = math.Sqrt(scale / float64(len(v)))
+	if scale == 0 {
+		scale = 1
+	}
+	return mean, scale
+}
+
+func zerosLike(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i := range src {
+		out[i] = make([]float64, len(src[i]))
+	}
+	return out
+}
+
+func zero(dst [][]float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] = 0
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New([]int{1}, 1); err == nil {
+		t.Error("single layer should error")
+	}
+	if _, err := New([]int{1, 0, 1}, 1); err == nil {
+		t.Error("zero-width layer should error")
+	}
+	m, _ := New([]int{1, 4, 1}, 1)
+	if err := m.Fit(nil, nil, Config{}); err == nil {
+		t.Error("empty training set should error")
+	}
+	if err := m.Fit([]float64{1}, []float64{1, 2}, Config{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	xs := make([]float64, 256)
+	ys := make([]float64, 256)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3*float64(i) + 10
+	}
+	m, err := New([]int{1, 4, 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(xs, ys, Config{Epochs: 300, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Normalised RMSE should be small.
+	sse, scale := 0.0, 0.0
+	for i := range xs {
+		d := m.Predict(xs[i]) - ys[i]
+		sse += d * d
+		scale += ys[i] * ys[i]
+	}
+	if math.Sqrt(sse/scale) > 0.05 {
+		t.Errorf("linear fit NRMSE %g too large", math.Sqrt(sse/scale))
+	}
+}
+
+func TestLearnsSmoothNonlinear(t *testing.T) {
+	xs := make([]float64, 512)
+	ys := make([]float64, 512)
+	for i := range xs {
+		x := float64(i) / 511 * 6
+		xs[i] = x
+		ys[i] = math.Sin(x) * 5
+	}
+	m, err := New([]int{1, 16, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(xs, ys, Config{Epochs: 600, Seed: 3, LR: 3e-3}); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range xs {
+		if d := math.Abs(m.Predict(xs[i]) - ys[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.5 { // amplitude is 5; a 16-unit net should get within 30%
+		t.Errorf("sin fit worst error %g too large", worst)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 4, 9, 16}
+	a, _ := New([]int{1, 8, 1}, 5)
+	b, _ := New([]int{1, 8, 1}, 5)
+	_ = a.Fit(xs, ys, Config{Epochs: 50, Seed: 9})
+	_ = b.Fit(xs, ys, Config{Epochs: 50, Seed: 9})
+	for _, x := range xs {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+}
+
+func TestPredictorMatchesPredict(t *testing.T) {
+	xs := make([]float64, 64)
+	ys := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	m, _ := New([]int{1, 8, 8, 1}, 11)
+	_ = m.Fit(xs, ys, Config{Epochs: 30, Seed: 11})
+	f := m.Predictor()
+	for _, x := range xs {
+		if f(x) != m.Predict(x) {
+			t.Fatal("Predictor disagrees with Predict")
+		}
+	}
+}
+
+func TestArchAndParams(t *testing.T) {
+	m, _ := New([]int{1, 8, 8, 1}, 1)
+	if m.Arch() != "1:8:8:1" {
+		t.Errorf("Arch = %q", m.Arch())
+	}
+	// params: 1*8+8 + 8*8+8 + 8*1+1 = 16 + 72 + 9 = 97
+	if m.NumParams() != 97 {
+		t.Errorf("NumParams = %d, want 97", m.NumParams())
+	}
+}
+
+func TestDeeperNetSlowerPrediction(t *testing.T) {
+	// Table VI's qualitative result: prediction cost grows with width/depth.
+	small, _ := New([]int{1, 4, 1}, 1)
+	big, _ := New([]int{1, 16, 16, 1}, 1)
+	if small.NumParams() >= big.NumParams() {
+		t.Error("parameter counts not ordered")
+	}
+}
+
+func BenchmarkPredict1_8_1(b *testing.B) {
+	m, _ := New([]int{1, 8, 1}, 1)
+	f := m.Predictor()
+	for i := 0; i < b.N; i++ {
+		f(0.5)
+	}
+}
+
+func BenchmarkPredict1_16_16_1(b *testing.B) {
+	m, _ := New([]int{1, 16, 16, 1}, 1)
+	f := m.Predictor()
+	for i := 0; i < b.N; i++ {
+		f(0.5)
+	}
+}

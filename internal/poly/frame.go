@@ -1,0 +1,56 @@
+package poly
+
+// Frame is an affine change of variable t = (x - Center) / HalfWidth mapping
+// a key interval [lo, hi] onto [-1, 1]. All minimax fits run in this frame:
+// raw keys (e.g. epoch timestamps ~1e9) make the monomial basis of LP (9)
+// catastrophically ill-conditioned at degree ≥ 3, while on [-1,1] monomials
+// up to degree ~8 are perfectly usable. The frame is stored alongside the
+// fitted coefficients and applied on every evaluation.
+type Frame struct {
+	Center    float64
+	HalfWidth float64
+}
+
+// NewFrame returns the frame mapping [lo, hi] onto [-1, 1]. Degenerate
+// intervals (lo == hi) map to a unit half-width so evaluation stays finite.
+func NewFrame(lo, hi float64) Frame {
+	c := 0.5 * (lo + hi)
+	h := 0.5 * (hi - lo)
+	if h <= 0 {
+		h = 1
+	}
+	return Frame{Center: c, HalfWidth: h}
+}
+
+// Normalize maps a raw key into the frame.
+func (f Frame) Normalize(x float64) float64 { return (x - f.Center) / f.HalfWidth }
+
+// Denormalize maps a frame coordinate back to a raw key.
+func (f Frame) Denormalize(t float64) float64 { return t*f.HalfWidth + f.Center }
+
+// FramedPoly is a univariate polynomial expressed in a normalised frame:
+// value(x) = P(f.Normalize(x)). This is the unit stored in PolyFit segments.
+type FramedPoly struct {
+	F Frame
+	P Poly
+}
+
+// Eval evaluates the framed polynomial at raw key x.
+func (fp FramedPoly) Eval(x float64) float64 { return fp.P.Eval(fp.F.Normalize(x)) }
+
+// MaxOnInterval returns the maximum of the framed polynomial over the raw-key
+// interval [lo, hi] and the raw key attaining it.
+func (fp FramedPoly) MaxOnInterval(lo, hi float64) (float64, float64) {
+	v, t := fp.P.MaxOnInterval(fp.F.Normalize(lo), fp.F.Normalize(hi))
+	return v, fp.F.Denormalize(t)
+}
+
+// MinOnInterval returns the minimum of the framed polynomial over the raw-key
+// interval [lo, hi] and the raw key attaining it.
+func (fp FramedPoly) MinOnInterval(lo, hi float64) (float64, float64) {
+	v, t := fp.P.MinOnInterval(fp.F.Normalize(lo), fp.F.Normalize(hi))
+	return v, fp.F.Denormalize(t)
+}
+
+// NumCoeffs returns the number of stored coefficients (degree + 1).
+func (fp FramedPoly) NumCoeffs() int { return len(fp.P) }

@@ -1,0 +1,490 @@
+// Package poly provides dense univariate and bivariate polynomial algebra:
+// Horner evaluation, differentiation, real-root isolation via Sturm chains,
+// and interval extrema. It is the numeric substrate for PolyFit segments
+// (evaluating fitted polynomials and maximising them over query sub-ranges,
+// cf. Eq. 17 of the paper).
+//
+// All polynomials are represented in the monomial basis with coefficients
+// ordered from the constant term upward: P(x) = c[0] + c[1]x + ... + c[d]x^d.
+// Fitting code is expected to work in a normalised frame (see Frame) so that
+// the monomial basis stays well conditioned.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a dense univariate polynomial; index i holds the coefficient of x^i.
+// The zero value is the zero polynomial.
+type Poly []float64
+
+// New returns a polynomial with the given coefficients (constant term first),
+// trimmed of trailing zero coefficients.
+func New(coeffs ...float64) Poly {
+	p := Poly(append([]float64(nil), coeffs...))
+	return p.Trim()
+}
+
+// Trim removes trailing zero coefficients and returns the result. The zero
+// polynomial trims to an empty slice.
+func (p Poly) Trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval evaluates p at x using Horner's scheme.
+func (p Poly) Eval(x float64) float64 {
+	var acc float64
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + p[i]
+	}
+	return acc
+}
+
+// Derivative returns dP/dx.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = float64(i) * p[i]
+	}
+	return d.Trim()
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	copy(out, p)
+	for i := range q {
+		out[i] += q[i]
+	}
+	return out.Trim()
+}
+
+// Scale returns s*p.
+func (p Poly) Scale(s float64) Poly {
+	out := make(Poly, len(p))
+	for i := range p {
+		out[i] = s * p[i]
+	}
+	return out.Trim()
+}
+
+// Mul returns p * q.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] += a * b
+		}
+	}
+	return out.Trim()
+}
+
+// Clone returns a deep copy of p.
+func (p Poly) Clone() Poly {
+	return append(Poly(nil), p...)
+}
+
+// String renders the polynomial in human-readable form, e.g.
+// "1.5 + 2x - 0.25x^3".
+func (p Poly) String() string {
+	t := p.Trim()
+	if len(t) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i, c := range t {
+		if c == 0 && len(t) > 1 {
+			continue
+		}
+		switch {
+		case first:
+			first = false
+			fmt.Fprintf(&b, "%g", c)
+		case c >= 0:
+			fmt.Fprintf(&b, " + %g", c)
+		default:
+			fmt.Fprintf(&b, " - %g", -c)
+		}
+		if i == 1 {
+			b.WriteString("x")
+		} else if i > 1 {
+			fmt.Fprintf(&b, "x^%d", i)
+		}
+	}
+	return b.String()
+}
+
+// quoRem computes polynomial division p = q*d + r with deg(r) < deg(d).
+// d must be non-zero.
+func quoRem(p, d Poly) (q, r Poly) {
+	p = p.Trim()
+	d = d.Trim()
+	if len(d) == 0 {
+		panic("poly: division by zero polynomial")
+	}
+	r = p.Clone()
+	if len(r) < len(d) {
+		return Poly{}, r
+	}
+	q = make(Poly, len(r)-len(d)+1)
+	lead := d[len(d)-1]
+	for len(r) >= len(d) {
+		k := len(r) - len(d)
+		f := r[len(r)-1] / lead
+		q[k] = f
+		for i := range d {
+			r[k+i] -= f * d[i]
+		}
+		// The leading term cancels by construction; force it to zero to
+		// keep rounding noise from stalling the loop.
+		r[len(r)-1] = 0
+		r = r.Trim()
+	}
+	return q, r.Trim()
+}
+
+// sturmChain builds the Sturm sequence of p: p0=p, p1=p', p_{i+1}=-rem(p_{i-1},p_i).
+func sturmChain(p Poly) []Poly {
+	p = p.Trim()
+	chain := []Poly{p}
+	d := p.Derivative()
+	if len(d) == 0 {
+		return chain
+	}
+	chain = append(chain, d)
+	for {
+		last := chain[len(chain)-1]
+		prev := chain[len(chain)-2]
+		_, r := quoRem(prev, last)
+		r = r.Trim()
+		if len(r) == 0 {
+			break
+		}
+		// Normalise the remainder to unit leading coefficient magnitude to
+		// stop coefficient blow-up over long chains; sign changes are
+		// preserved under positive scaling.
+		m := math.Abs(r[len(r)-1])
+		if m > 0 && (m > 1e8 || m < 1e-8) {
+			r = r.Scale(1 / m)
+		}
+		chain = append(chain, r.Scale(-1))
+		if len(chain) > len(p)+2 {
+			break // defensive: cannot exceed deg+1 entries
+		}
+	}
+	return chain
+}
+
+// signChanges counts sign alternations of the chain evaluated at x,
+// skipping zeros (standard Sturm convention).
+func signChanges(chain []Poly, x float64) int {
+	changes := 0
+	prev := 0
+	for _, q := range chain {
+		v := q.Eval(x)
+		s := 0
+		if v > 0 {
+			s = 1
+		} else if v < 0 {
+			s = -1
+		}
+		if s == 0 {
+			continue
+		}
+		if prev != 0 && s != prev {
+			changes++
+		}
+		prev = s
+	}
+	return changes
+}
+
+// RootsInInterval returns the distinct real roots of p inside [lo, hi],
+// in ascending order. Roots are isolated with a Sturm chain and refined by
+// bisection plus a final Newton polish. Multiple roots are reported once.
+// The zero polynomial returns nil (every point is a root; callers treat a
+// constant segment separately).
+func (p Poly) RootsInInterval(lo, hi float64) []float64 {
+	p = p.Trim()
+	if len(p) == 0 || lo > hi {
+		return nil
+	}
+	if len(p) == 1 {
+		return nil // non-zero constant: no roots
+	}
+	if len(p) == 2 {
+		r := -p[0] / p[1]
+		if r >= lo && r <= hi {
+			return []float64{r}
+		}
+		return nil
+	}
+	if len(p) == 3 {
+		// Closed-form quadratic: the hot path for range-MAX queries, where
+		// the derivative of the default degree-3 segment lands here.
+		return quadraticRoots(p[0], p[1], p[2], lo, hi)
+	}
+	// Square-free part: p / gcd(p, p') — Sturm counting assumes square-free.
+	sf := p.squareFree()
+	chain := sturmChain(sf)
+	var roots []float64
+	// Nudge the interval ends off exact roots so the Sturm count is clean;
+	// test the ends explicitly instead.
+	const endEps = 1e-13
+	span := hi - lo
+	if span == 0 {
+		if nearZero(p.Eval(lo), p, lo) {
+			return []float64{lo}
+		}
+		return nil
+	}
+	adj := endEps * (1 + math.Abs(lo) + math.Abs(hi))
+	a, b := lo, hi
+	if sf.Eval(a) == 0 {
+		roots = append(roots, a)
+		a += adj
+	}
+	if sf.Eval(b) == 0 {
+		b -= adj
+	}
+	var isolate func(a, b float64, na, nb int)
+	isolate = func(a, b float64, na, nb int) {
+		k := na - nb
+		if k <= 0 || b-a <= 0 {
+			return
+		}
+		if k == 1 || b-a < adj {
+			r := refineRoot(sf, a, b)
+			roots = append(roots, r)
+			return
+		}
+		m := 0.5 * (a + b)
+		if sf.Eval(m) == 0 {
+			roots = append(roots, m)
+			ml := m - adj
+			mr := m + adj
+			isolate(a, ml, na, signChanges(chain, ml))
+			isolate(mr, b, signChanges(chain, mr), nb)
+			return
+		}
+		nm := signChanges(chain, m)
+		isolate(a, m, na, nm)
+		isolate(m, b, nm, nb)
+	}
+	isolate(a, b, signChanges(chain, a), signChanges(chain, b))
+	if sfb := hi; sf.Eval(sfb) == 0 {
+		roots = append(roots, sfb)
+	}
+	// Sort (isolation emits in order except for the rare midpoint hits) and
+	// de-duplicate.
+	sortFloats(roots)
+	out := roots[:0]
+	for _, r := range roots {
+		if r < lo-adj || r > hi+adj {
+			continue
+		}
+		if r < lo {
+			r = lo
+		}
+		if r > hi {
+			r = hi
+		}
+		if len(out) == 0 || r-out[len(out)-1] > adj {
+			out = append(out, r)
+		}
+	}
+	return append([]float64(nil), out...)
+}
+
+// quadraticRoots returns the real roots of c + bx + ax² inside [lo, hi],
+// using the numerically stable citardauq form for the smaller root.
+func quadraticRoots(c, b, a, lo, hi float64) []float64 {
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	sq := math.Sqrt(disc)
+	// q = -(b + sign(b)·√disc)/2 avoids cancellation.
+	q := -0.5 * (b + math.Copysign(sq, b))
+	var r1, r2 float64
+	r1 = q / a
+	if q != 0 {
+		r2 = c / q
+	} else {
+		r2 = 0
+	}
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	var out []float64
+	if r1 >= lo && r1 <= hi {
+		out = append(out, r1)
+	}
+	if r2 >= lo && r2 <= hi && r2 != r1 {
+		out = append(out, r2)
+	}
+	return out
+}
+
+// squareFree returns p with repeated roots collapsed (p / gcd(p, p')).
+func (p Poly) squareFree() Poly {
+	d := p.Derivative()
+	g := gcd(p, d)
+	if g.Degree() <= 0 {
+		return p
+	}
+	q, _ := quoRem(p, g)
+	if q.Degree() < 1 {
+		return p
+	}
+	return q
+}
+
+func gcd(a, b Poly) Poly {
+	a, b = a.Trim(), b.Trim()
+	for len(b) > 0 {
+		_, r := quoRem(a, b)
+		// Normalise to keep magnitudes sane.
+		r = r.Trim()
+		if len(r) > 0 {
+			m := math.Abs(r[len(r)-1])
+			if m > 0 {
+				r = r.Scale(1 / m)
+			}
+		}
+		a, b = b, r
+		if a.Degree() <= 0 {
+			break
+		}
+	}
+	return a
+}
+
+// refineRoot narrows a bracketing interval with bisection, then polishes
+// with a few Newton steps. If the interval does not bracket a sign change
+// (possible for even-multiplicity roots of the original polynomial after
+// square-free reduction this cannot happen), it falls back to the midpoint.
+func refineRoot(p Poly, a, b float64) float64 {
+	fa, fb := p.Eval(a), p.Eval(b)
+	if fa == 0 {
+		return a
+	}
+	if fb == 0 {
+		return b
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0.5 * (a + b)
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		if m == a || m == b {
+			break
+		}
+		fm := p.Eval(m)
+		if fm == 0 {
+			return m
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = m, fm
+		} else {
+			b, fb = m, fm
+		}
+	}
+	r := 0.5 * (a + b)
+	d := p.Derivative()
+	for i := 0; i < 4; i++ {
+		dv := d.Eval(r)
+		if dv == 0 {
+			break
+		}
+		nr := r - p.Eval(r)/dv
+		if nr < a || nr > b {
+			break
+		}
+		r = nr
+	}
+	return r
+}
+
+func nearZero(v float64, p Poly, x float64) bool {
+	scale := 0.0
+	xp := 1.0
+	for _, c := range p {
+		scale += math.Abs(c) * math.Abs(xp)
+		xp *= x
+	}
+	return math.Abs(v) <= 1e-12*(1+scale)
+}
+
+func sortFloats(s []float64) {
+	// insertion sort: root lists are tiny (≤ degree).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MaxOnInterval returns the maximum value of p over [lo, hi] and a point
+// attaining it, found by evaluating the interval ends and the real critical
+// points of p inside the interval ("simple calculus operations", Eq. 17).
+func (p Poly) MaxOnInterval(lo, hi float64) (maxVal, argMax float64) {
+	return p.extremum(lo, hi, true)
+}
+
+// MinOnInterval is the MIN counterpart of MaxOnInterval.
+func (p Poly) MinOnInterval(lo, hi float64) (minVal, argMin float64) {
+	return p.extremum(lo, hi, false)
+}
+
+func (p Poly) extremum(lo, hi float64, wantMax bool) (float64, float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	best := p.Eval(lo)
+	arg := lo
+	consider := func(x float64) {
+		v := p.Eval(x)
+		if wantMax && v > best || !wantMax && v < best {
+			best, arg = v, x
+		}
+	}
+	consider(hi)
+	d := p.Derivative()
+	if d.Degree() >= 1 || (d.Degree() == 0 && d[0] == 0) {
+		for _, r := range d.RootsInInterval(lo, hi) {
+			consider(r)
+		}
+	}
+	return best, arg
+}

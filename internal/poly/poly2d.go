@@ -1,0 +1,101 @@
+package poly
+
+// Poly2D is a bivariate polynomial of total degree ≤ Deg:
+//
+//	P(u, v) = Σ_{i+j ≤ Deg} C[k] u^i v^j
+//
+// matching the surface form of Section VI of the paper. Terms are ordered by
+// total degree then by the power of u: (0,0), (1,0), (0,1), (2,0), (1,1),
+// (0,2), ... so that C has NumTerms2D(Deg) entries.
+type Poly2D struct {
+	Deg int
+	C   []float64
+}
+
+// NumTerms2D returns the number of monomials u^i v^j with i+j ≤ deg,
+// i.e. (deg+1)(deg+2)/2.
+func NumTerms2D(deg int) int { return (deg + 1) * (deg + 2) / 2 }
+
+// Terms2D enumerates the exponent pairs (i, j) in the canonical order used
+// by Poly2D.C.
+func Terms2D(deg int) [][2]int {
+	out := make([][2]int, 0, NumTerms2D(deg))
+	for d := 0; d <= deg; d++ {
+		for i := d; i >= 0; i-- {
+			out = append(out, [2]int{i, d - i})
+		}
+	}
+	return out
+}
+
+// NewPoly2D returns a zero bivariate polynomial of the given total degree.
+func NewPoly2D(deg int) Poly2D {
+	return Poly2D{Deg: deg, C: make([]float64, NumTerms2D(deg))}
+}
+
+// Eval evaluates the surface at (u, v). Powers are accumulated once per call;
+// cost is O(NumTerms2D(Deg)).
+func (p Poly2D) Eval(u, v float64) float64 {
+	// Precompute powers up to Deg.
+	var upow, vpow [16]float64 // Deg ≤ 15 is far beyond practical fits
+	up, vp := upow[:p.Deg+1], vpow[:p.Deg+1]
+	up[0], vp[0] = 1, 1
+	for i := 1; i <= p.Deg; i++ {
+		up[i] = up[i-1] * u
+		vp[i] = vp[i-1] * v
+	}
+	var acc float64
+	k := 0
+	for d := 0; d <= p.Deg; d++ {
+		for i := d; i >= 0; i-- {
+			acc += p.C[k] * up[i] * vp[d-i]
+			k++
+		}
+	}
+	return acc
+}
+
+// Basis2D fills dst with the monomial basis values (u^i v^j) in canonical
+// order for total degree deg. dst must have length NumTerms2D(deg).
+func Basis2D(deg int, u, v float64, dst []float64) {
+	var upow, vpow [16]float64
+	up, vp := upow[:deg+1], vpow[:deg+1]
+	up[0], vp[0] = 1, 1
+	for i := 1; i <= deg; i++ {
+		up[i] = up[i-1] * u
+		vp[i] = vp[i-1] * v
+	}
+	k := 0
+	for d := 0; d <= deg; d++ {
+		for i := d; i >= 0; i-- {
+			dst[k] = up[i] * vp[d-i]
+			k++
+		}
+	}
+}
+
+// Frame2D normalises a rectangle [xlo,xhi]×[ylo,yhi] onto [-1,1]².
+type Frame2D struct {
+	U Frame
+	V Frame
+}
+
+// NewFrame2D builds the frame for the given rectangle.
+func NewFrame2D(xlo, xhi, ylo, yhi float64) Frame2D {
+	return Frame2D{U: NewFrame(xlo, xhi), V: NewFrame(ylo, yhi)}
+}
+
+// FramedPoly2D is a bivariate polynomial evaluated in a normalised frame:
+// value(x, y) = P(U.Normalize(x), V.Normalize(y)).
+type FramedPoly2D struct {
+	F Frame2D
+	P Poly2D
+}
+
+// Eval evaluates the framed surface at raw coordinates (x, y).
+func (fp FramedPoly2D) Eval(x, y float64) float64 {
+	return fp.P.Eval(fp.F.U.Normalize(x), fp.F.V.Normalize(y))
+}
+
+// NumCoeffs returns the number of stored coefficients.
+func (fp FramedPoly2D) NumCoeffs() int { return len(fp.P.C) }

@@ -1,0 +1,387 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestEvalAgainstNaive(t *testing.T) {
+	p := New(3, -2, 0.5, 1.25)
+	for _, x := range []float64{-2, -1, 0, 0.5, 1, 3.25} {
+		naive := 3 - 2*x + 0.5*x*x + 1.25*x*x*x
+		if got := p.Eval(x); !almostEq(got, naive, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", x, got, naive)
+		}
+	}
+}
+
+func TestEvalZeroAndConstant(t *testing.T) {
+	if got := (Poly{}).Eval(42); got != 0 {
+		t.Errorf("zero poly Eval = %g, want 0", got)
+	}
+	if got := New(7).Eval(-3); got != 7 {
+		t.Errorf("constant Eval = %g, want 7", got)
+	}
+}
+
+func TestDegreeAndTrim(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want int
+	}{
+		{Poly{}, -1},
+		{Poly{0}, -1},
+		{Poly{5}, 0},
+		{Poly{0, 1}, 1},
+		{Poly{1, 2, 0, 0}, 1},
+		{Poly{0, 0, 3}, 2},
+	}
+	for _, c := range cases {
+		if got := c.p.Degree(); got != c.want {
+			t.Errorf("Degree(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := New(1, 2, 0, 0); len(got) != 2 {
+		t.Errorf("New should trim trailing zeros, got len %d", len(got))
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := New(5, 4, 3, 2) // 5 + 4x + 3x^2 + 2x^3
+	d := p.Derivative()  // 4 + 6x + 6x^2
+	want := New(4, 6, 6)
+	if len(d) != len(want) {
+		t.Fatalf("Derivative len = %d, want %d", len(d), len(want))
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("Derivative[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+	if got := New(7).Derivative(); len(got) != 0 {
+		t.Errorf("constant derivative should be zero poly")
+	}
+}
+
+func TestAddScaleMul(t *testing.T) {
+	p := New(1, 2)
+	q := New(0, 0, 3)
+	sum := p.Add(q)
+	for _, x := range []float64{-1, 0, 2} {
+		if !almostEq(sum.Eval(x), p.Eval(x)+q.Eval(x), 1e-12) {
+			t.Errorf("Add mismatch at %g", x)
+		}
+	}
+	sc := p.Scale(-2)
+	if !almostEq(sc.Eval(3), -2*p.Eval(3), 1e-12) {
+		t.Errorf("Scale mismatch")
+	}
+	prod := p.Mul(q)
+	for _, x := range []float64{-1.5, 0.25, 2} {
+		if !almostEq(prod.Eval(x), p.Eval(x)*q.Eval(x), 1e-12) {
+			t.Errorf("Mul mismatch at %g", x)
+		}
+	}
+}
+
+func TestQuoRem(t *testing.T) {
+	p := New(-6, 11, -6, 1) // (x-1)(x-2)(x-3)
+	d := New(-2, 1)         // x-2
+	q, r := quoRem(p, d)
+	if r.Degree() >= 0 {
+		t.Errorf("remainder should be zero, got %v", r)
+	}
+	// q should be (x-1)(x-3) = 3 -4x + x^2
+	want := New(3, -4, 1)
+	for i := range want {
+		if !almostEq(q[i], want[i], 1e-10) {
+			t.Errorf("q[%d] = %g, want %g", i, q[i], want[i])
+		}
+	}
+}
+
+func TestRootsCubicKnown(t *testing.T) {
+	p := New(-6, 11, -6, 1) // roots 1, 2, 3
+	roots := p.RootsInInterval(0, 4)
+	if len(roots) != 3 {
+		t.Fatalf("got %d roots (%v), want 3", len(roots), roots)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if !almostEq(roots[i], want, 1e-8) {
+			t.Errorf("root[%d] = %g, want %g", i, roots[i], want)
+		}
+	}
+}
+
+func TestRootsSubInterval(t *testing.T) {
+	p := New(-6, 11, -6, 1) // roots 1, 2, 3
+	roots := p.RootsInInterval(1.5, 2.5)
+	if len(roots) != 1 || !almostEq(roots[0], 2, 1e-8) {
+		t.Fatalf("got %v, want [2]", roots)
+	}
+	if got := p.RootsInInterval(3.5, 10); len(got) != 0 {
+		t.Fatalf("got %v, want none", got)
+	}
+}
+
+func TestRootsAtEndpoints(t *testing.T) {
+	p := New(-2, 1) // root at 2
+	if got := p.RootsInInterval(2, 5); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("endpoint root lost: %v", got)
+	}
+	if got := p.RootsInInterval(0, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("endpoint root lost: %v", got)
+	}
+}
+
+func TestRootsMultiple(t *testing.T) {
+	// (x-1)^2 (x+2): double root at 1 reported once.
+	p := New(-1, 1).Mul(New(-1, 1)).Mul(New(2, 1))
+	roots := p.RootsInInterval(-3, 3)
+	if len(roots) != 2 {
+		t.Fatalf("got %v, want two distinct roots", roots)
+	}
+	if !almostEq(roots[0], -2, 1e-7) || !almostEq(roots[1], 1, 1e-7) {
+		t.Fatalf("got %v, want [-2 1]", roots)
+	}
+}
+
+func TestRootsNoRealRoots(t *testing.T) {
+	p := New(1, 0, 1) // x^2+1
+	if got := p.RootsInInterval(-10, 10); len(got) != 0 {
+		t.Fatalf("x^2+1 has no real roots, got %v", got)
+	}
+}
+
+// Property: every reported root evaluates to ~0, and building a polynomial
+// from random roots recovers them.
+func TestRootsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.Intn(4)
+		roots := make([]float64, k)
+		p := New(1)
+		for i := range roots {
+			roots[i] = -1 + 2*rng.Float64()
+			p = p.Mul(New(-roots[i], 1))
+		}
+		got := p.RootsInInterval(-1.1, 1.1)
+		for _, r := range got {
+			if v := p.Eval(r); math.Abs(v) > 1e-6 {
+				t.Fatalf("iter %d: reported root %g has residual %g (p=%v)", iter, r, v, p)
+			}
+		}
+		// Every true root must be matched by a reported one.
+		for _, want := range roots {
+			found := false
+			for _, g := range got {
+				if math.Abs(g-want) < 1e-5 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("iter %d: root %g missed, got %v (true %v)", iter, want, got, roots)
+			}
+		}
+	}
+}
+
+func TestMaxOnInterval(t *testing.T) {
+	// -(x-1)^2 + 4 has max 4 at x=1.
+	p := New(3, 2, -1)
+	v, x := p.MaxOnInterval(-2, 4)
+	if !almostEq(v, 4, 1e-10) || !almostEq(x, 1, 1e-8) {
+		t.Fatalf("max = (%g at %g), want (4 at 1)", v, x)
+	}
+	// Restricted to [2,4] the max moves to the left endpoint.
+	v, x = p.MaxOnInterval(2, 4)
+	if !almostEq(v, p.Eval(2), 1e-12) || x != 2 {
+		t.Fatalf("restricted max = (%g at %g), want (%g at 2)", v, x, p.Eval(2))
+	}
+}
+
+func TestMinOnInterval(t *testing.T) {
+	p := New(3, 2, -1).Scale(-1)
+	v, x := p.MinOnInterval(-2, 4)
+	if !almostEq(v, -4, 1e-10) || !almostEq(x, 1, 1e-8) {
+		t.Fatalf("min = (%g at %g), want (-4 at 1)", v, x)
+	}
+}
+
+// Property: MaxOnInterval dominates a dense grid sample.
+func TestMaxDominatesGridProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		deg := 1 + rng.Intn(5)
+		c := make([]float64, deg+1)
+		for i := range c {
+			c[i] = -2 + 4*rng.Float64()
+		}
+		p := New(c...)
+		lo := -1 + rng.Float64()
+		hi := lo + 0.1 + rng.Float64()
+		v, arg := p.MaxOnInterval(lo, hi)
+		if arg < lo-1e-9 || arg > hi+1e-9 {
+			t.Fatalf("argmax %g outside [%g,%g]", arg, lo, hi)
+		}
+		for i := 0; i <= 400; i++ {
+			x := lo + (hi-lo)*float64(i)/400
+			if p.Eval(x) > v+1e-7*(1+math.Abs(v)) {
+				t.Fatalf("iter %d: grid point %g beats reported max (%g > %g), p=%v", iter, x, p.Eval(x), v, p)
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := NewFrame(100, 300)
+	if got := f.Normalize(100); got != -1 {
+		t.Errorf("Normalize(lo) = %g, want -1", got)
+	}
+	if got := f.Normalize(300); got != 1 {
+		t.Errorf("Normalize(hi) = %g, want 1", got)
+	}
+	err := quick.Check(func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return almostEq(f.Denormalize(f.Normalize(x)), x, 1e-12)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameDegenerate(t *testing.T) {
+	f := NewFrame(5, 5)
+	if f.HalfWidth <= 0 {
+		t.Fatalf("degenerate frame must have positive half-width")
+	}
+	if got := f.Normalize(5); got != 0 {
+		t.Errorf("Normalize(center) = %g, want 0", got)
+	}
+}
+
+func TestFramedPolyEval(t *testing.T) {
+	fp := FramedPoly{F: NewFrame(0, 10), P: New(1, 2, 3)}
+	// at x=10 → t=1 → 1+2+3 = 6
+	if got := fp.Eval(10); !almostEq(got, 6, 1e-12) {
+		t.Errorf("FramedPoly.Eval = %g, want 6", got)
+	}
+	v, x := fp.MaxOnInterval(0, 10)
+	if !almostEq(v, 6, 1e-12) || !almostEq(x, 10, 1e-9) {
+		t.Errorf("framed max = (%g at %g), want (6 at 10)", v, x)
+	}
+}
+
+func TestNumTerms2D(t *testing.T) {
+	want := []int{1, 3, 6, 10, 15}
+	for deg, w := range want {
+		if got := NumTerms2D(deg); got != w {
+			t.Errorf("NumTerms2D(%d) = %d, want %d", deg, got, w)
+		}
+		if got := len(Terms2D(deg)); got != w {
+			t.Errorf("len(Terms2D(%d)) = %d, want %d", deg, got, w)
+		}
+	}
+}
+
+func TestPoly2DEvalAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for deg := 0; deg <= 5; deg++ {
+		p := NewPoly2D(deg)
+		for i := range p.C {
+			p.C[i] = -1 + 2*rng.Float64()
+		}
+		terms := Terms2D(deg)
+		for iter := 0; iter < 50; iter++ {
+			u := -2 + 4*rng.Float64()
+			v := -2 + 4*rng.Float64()
+			naive := 0.0
+			for k, e := range terms {
+				naive += p.C[k] * math.Pow(u, float64(e[0])) * math.Pow(v, float64(e[1]))
+			}
+			if got := p.Eval(u, v); !almostEq(got, naive, 1e-9) {
+				t.Fatalf("deg %d: Eval(%g,%g) = %g, want %g", deg, u, v, got, naive)
+			}
+		}
+	}
+}
+
+func TestBasis2DMatchesEval(t *testing.T) {
+	deg := 3
+	p := NewPoly2D(deg)
+	for i := range p.C {
+		p.C[i] = float64(i + 1)
+	}
+	basis := make([]float64, NumTerms2D(deg))
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		u, v := rng.NormFloat64(), rng.NormFloat64()
+		Basis2D(deg, u, v, basis)
+		dot := 0.0
+		for k := range basis {
+			dot += p.C[k] * basis[k]
+		}
+		if !almostEq(dot, p.Eval(u, v), 1e-9) {
+			t.Fatalf("basis dot %g != eval %g", dot, p.Eval(u, v))
+		}
+	}
+}
+
+func TestFramedPoly2D(t *testing.T) {
+	fp := FramedPoly2D{
+		F: NewFrame2D(0, 2, 0, 4),
+		P: Poly2D{Deg: 1, C: []float64{1, 2, 3}}, // 1 + 2u + 3v
+	}
+	// (2,4) → (1,1) → 1+2+3 = 6
+	if got := fp.Eval(2, 4); !almostEq(got, 6, 1e-12) {
+		t.Errorf("FramedPoly2D.Eval = %g, want 6", got)
+	}
+	// (0,0) → (-1,-1) → 1-2-3 = -4
+	if got := fp.Eval(0, 0); !almostEq(got, -4, 1e-12) {
+		t.Errorf("FramedPoly2D.Eval = %g, want -4", got)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{Poly{}, "0"},
+		{New(1.5), "1.5"},
+		{New(0, 2), "2x"},
+		{New(1, -2, 0, 3), "1 - 2x + 3x^3"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func BenchmarkEvalDeg2(b *testing.B) {
+	p := New(1, 2, 3)
+	x := 0.37
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(x)
+	}
+}
+
+func BenchmarkEval2DDeg2(b *testing.B) {
+	p := NewPoly2D(2)
+	for i := range p.C {
+		p.C[i] = float64(i)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(0.3, -0.7)
+	}
+}

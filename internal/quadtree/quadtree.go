@@ -1,0 +1,310 @@
+// Package quadtree implements the quadtree-based segmentation of Section VI
+// (Figure 13): the key domain is recursively split into four rectangles
+// until every leaf's polynomial surface fit of the two-key cumulative
+// function satisfies the bounded δ-error constraint.
+//
+// The cumulative surface inside a cell depends on points *outside* the cell
+// (everything dominated to the lower-left), so fits are constrained on a
+// uniform sample grid spanning the cell in addition to the data points it
+// contains. CF values are obtained through a batched evaluator — one batch
+// per tree level — so construction performs O(depth) plane sweeps in total.
+package quadtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/minimax"
+	"repro/internal/poly"
+)
+
+// CFFunc evaluates the cumulative function at a batch of points; the core
+// package passes data.DominanceCounter.Count.
+type CFFunc func(qx, qy []float64) []float64
+
+// Config controls a build.
+type Config struct {
+	Degree int     // total degree of the fitted surfaces (default 2)
+	Delta  float64 // bounded δ-error constraint per leaf
+	// GridSize is the side of the CF sample lattice per cell (default 8,
+	// i.e. 64 grid constraints in addition to the data points).
+	GridSize int
+	// MaxDataSamples caps how many in-cell data points join the fit
+	// (default 256; a deterministic stride subsample is used beyond that).
+	MaxDataSamples int
+	// SplitThreshold skips fitting and splits immediately when a cell holds
+	// more points (default 8192) — a pure build-time heuristic; never
+	// affects the δ check of emitted leaves.
+	SplitThreshold int
+	// MaxDepth bounds recursion (default 30). Leaves forced at MaxDepth may
+	// violate δ; Tree.ForcedLeaves reports how many (0 in sane builds).
+	MaxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.GridSize <= 1 {
+		c.GridSize = 8
+	}
+	if c.MaxDataSamples <= 0 {
+		c.MaxDataSamples = 256
+	}
+	if c.SplitThreshold <= 0 {
+		c.SplitThreshold = 8192
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 30
+	}
+	return c
+}
+
+// Cell is one node of the segmentation; leaves carry the fitted surface.
+type Cell struct {
+	XLo, XHi, YLo, YHi float64
+	Fit                poly.FramedPoly2D
+	MaxErr             float64  // achieved fit error at the samples (leaves)
+	Kids               *[4]Cell // nil for leaves; order: SW, SE, NW, NE
+	NumPoints          int      // data points inside the cell
+}
+
+// IsLeaf reports whether the cell carries a fitted surface.
+func (c *Cell) IsLeaf() bool { return c.Kids == nil }
+
+// Tree is the built segmentation.
+type Tree struct {
+	Root         Cell
+	NumLeaves    int
+	Depth        int
+	ForcedLeaves int // leaves emitted at MaxDepth despite error > δ
+	cfg          Config
+}
+
+// ErrNoPoints reports an empty build input.
+var ErrNoPoints = errors.New("quadtree: no points")
+
+type pending struct {
+	cell  *Cell
+	idx   []int // indices of data points inside the cell
+	depth int
+}
+
+// Build constructs the segmentation for points (xs, ys) whose cumulative
+// function is evaluated by cf.
+func Build(xs, ys []float64, cf CFFunc, cfg Config) (*Tree, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrNoPoints, len(xs), len(ys))
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Delta < 0 {
+		return nil, fmt.Errorf("quadtree: negative delta")
+	}
+	xlo, xhi := xs[0], xs[0]
+	ylo, yhi := ys[0], ys[0]
+	for i := range xs {
+		xlo = math.Min(xlo, xs[i])
+		xhi = math.Max(xhi, xs[i])
+		ylo = math.Min(ylo, ys[i])
+		yhi = math.Max(yhi, ys[i])
+	}
+	t := &Tree{cfg: cfg}
+	t.Root = Cell{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi}
+	all := make([]int, len(xs))
+	for i := range all {
+		all[i] = i
+	}
+	level := []pending{{cell: &t.Root, idx: all, depth: 1}}
+	for len(level) > 0 {
+		if t.Depth < level[0].depth {
+			t.Depth = level[0].depth
+		}
+		// Assemble this level's CF sample batch.
+		var qx, qy []float64
+		offsets := make([]int, len(level)+1)
+		for i, p := range level {
+			cellQX, cellQY := sampleLocations(p, xs, ys, cfg)
+			qx = append(qx, cellQX...)
+			qy = append(qy, cellQY...)
+			offsets[i+1] = len(qx)
+		}
+		vals := cf(qx, qy)
+		var next []pending
+		for i, p := range level {
+			sx := qx[offsets[i]:offsets[i+1]]
+			sy := qy[offsets[i]:offsets[i+1]]
+			sv := vals[offsets[i]:offsets[i+1]]
+			t.decide(p, sx, sy, sv, xs, ys, &next)
+		}
+		level = next
+	}
+	return t, nil
+}
+
+// sampleLocations returns the fit-constraint locations for a cell: a
+// GridSize×GridSize lattice including the cell boundary, plus a stride
+// subsample of the data points inside the cell.
+func sampleLocations(p pending, xs, ys []float64, cfg Config) ([]float64, []float64) {
+	c := p.cell
+	g := cfg.GridSize
+	capHint := g*g + min(len(p.idx), cfg.MaxDataSamples)
+	qx := make([]float64, 0, capHint)
+	qy := make([]float64, 0, capHint)
+	for i := 0; i < g; i++ {
+		fx := float64(i) / float64(g-1)
+		x := c.XLo + fx*(c.XHi-c.XLo)
+		for j := 0; j < g; j++ {
+			fy := float64(j) / float64(g-1)
+			qx = append(qx, x)
+			qy = append(qy, c.YLo+fy*(c.YHi-c.YLo))
+		}
+	}
+	stride := 1
+	if len(p.idx) > cfg.MaxDataSamples {
+		stride = len(p.idx) / cfg.MaxDataSamples
+	}
+	for i := 0; i < len(p.idx); i += stride {
+		id := p.idx[i]
+		qx = append(qx, xs[id])
+		qy = append(qy, ys[id])
+	}
+	return qx, qy
+}
+
+// decide fits the cell on its samples and either finalises it as a leaf or
+// splits it, pushing the four children onto the next level.
+func (t *Tree) decide(p pending, sx, sy, sv, xs, ys []float64, next *[]pending) {
+	c := p.cell
+	c.NumPoints = len(p.idx)
+	cfg := t.cfg
+	degenerate := c.XHi <= c.XLo || c.YHi <= c.YLo
+	mustTry := len(p.idx) <= cfg.SplitThreshold || p.depth >= cfg.MaxDepth || degenerate
+	if mustTry {
+		fit, err := minimax.FitPoly2D(sx, sy, sv, cfg.Degree, c.XLo, c.XHi, c.YLo, c.YHi)
+		if err == nil && (fit.MaxErr <= cfg.Delta || p.depth >= cfg.MaxDepth || degenerate) {
+			c.Fit = fit.P
+			c.MaxErr = fit.MaxErr
+			t.NumLeaves++
+			if fit.MaxErr > cfg.Delta {
+				t.ForcedLeaves++
+			}
+			return
+		}
+		if err != nil && (p.depth >= cfg.MaxDepth || degenerate) {
+			// Numerical dead end on a minimal cell: emit a constant at the
+			// mean so queries stay defined; counted as forced.
+			c.Fit = constantFit(c, sv)
+			c.MaxErr = math.Inf(1)
+			t.NumLeaves++
+			t.ForcedLeaves++
+			return
+		}
+	}
+	// Split at the centre (Figure 13).
+	cx := 0.5 * (c.XLo + c.XHi)
+	cy := 0.5 * (c.YLo + c.YHi)
+	kids := &[4]Cell{
+		{XLo: c.XLo, XHi: cx, YLo: c.YLo, YHi: cy}, // SW
+		{XLo: cx, XHi: c.XHi, YLo: c.YLo, YHi: cy}, // SE
+		{XLo: c.XLo, XHi: cx, YLo: cy, YHi: c.YHi}, // NW
+		{XLo: cx, XHi: c.XHi, YLo: cy, YHi: c.YHi}, // NE
+	}
+	c.Kids = kids
+	parts := [4][]int{}
+	for _, id := range p.idx {
+		q := 0
+		if xs[id] > cx {
+			q = 1
+		}
+		if ys[id] > cy {
+			q += 2
+		}
+		parts[q] = append(parts[q], id)
+	}
+	for q := 0; q < 4; q++ {
+		*next = append(*next, pending{cell: &kids[q], idx: parts[q], depth: p.depth + 1})
+	}
+}
+
+func constantFit(c *Cell, sv []float64) poly.FramedPoly2D {
+	mean := 0.0
+	for _, v := range sv {
+		mean += v
+	}
+	if len(sv) > 0 {
+		mean /= float64(len(sv))
+	}
+	p := poly.NewPoly2D(0)
+	p.C[0] = mean
+	return poly.FramedPoly2D{
+		F: poly.NewFrame2D(c.XLo, c.XHi, c.YLo, c.YHi),
+		P: p,
+	}
+}
+
+// Locate returns the leaf cell responsible for (x, y); coordinates are
+// clamped into the root rectangle first.
+func (t *Tree) Locate(x, y float64) *Cell {
+	x = clamp(x, t.Root.XLo, t.Root.XHi)
+	y = clamp(y, t.Root.YLo, t.Root.YHi)
+	c := &t.Root
+	for !c.IsLeaf() {
+		cx := 0.5 * (c.XLo + c.XHi)
+		cy := 0.5 * (c.YLo + c.YHi)
+		q := 0
+		if x > cx {
+			q = 1
+		}
+		if y > cy {
+			q += 2
+		}
+		c = &c.Kids[q]
+	}
+	return c
+}
+
+// EvalCF evaluates the approximate cumulative function at (x, y): 0 below
+// the data domain, otherwise the located leaf's surface (clamped input).
+func (t *Tree) EvalCF(x, y float64) float64 {
+	if x < t.Root.XLo || y < t.Root.YLo {
+		return 0
+	}
+	c := t.Locate(x, y)
+	return c.Fit.Eval(clamp(x, c.XLo, c.XHi), clamp(y, c.YLo, c.YHi))
+}
+
+// Bounds returns the root rectangle.
+func (t *Tree) Bounds() (xlo, xhi, ylo, yhi float64) {
+	return t.Root.XLo, t.Root.XHi, t.Root.YLo, t.Root.YHi
+}
+
+// SizeBytes reports the memory footprint of the segmentation: rectangle
+// bounds plus coefficients per leaf, pointers per internal cell.
+func (t *Tree) SizeBytes() int {
+	total := 0
+	var walk func(*Cell)
+	walk = func(c *Cell) {
+		total += 32 // bounds
+		if c.IsLeaf() {
+			total += 32 /*frame*/ + 8*len(c.Fit.P.C)
+			return
+		}
+		total += 8
+		for i := range c.Kids {
+			walk(&c.Kids[i])
+		}
+	}
+	walk(&t.Root)
+	return total
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

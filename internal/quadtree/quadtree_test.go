@@ -1,0 +1,205 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func genClustered(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.6 {
+			xs[i] = 30 + rng.NormFloat64()*8
+			ys[i] = -20 + rng.NormFloat64()*5
+		} else {
+			xs[i] = -100 + rng.Float64()*200
+			ys[i] = -50 + rng.Float64()*100
+		}
+	}
+	return
+}
+
+func buildTree(t *testing.T, n int, seed int64, cfg Config) (*Tree, []float64, []float64, *data.DominanceCounter) {
+	t.Helper()
+	xs, ys := genClustered(n, seed)
+	dc := data.NewDominanceCounter(xs, ys)
+	tr, err := Build(xs, ys, dc.Count, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, xs, ys, dc
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, nil, nil, Config{Delta: 1}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Build([]float64{1}, []float64{1, 2}, nil, Config{Delta: 1}); err == nil {
+		t.Error("mismatched input should error")
+	}
+	xs := []float64{1, 2}
+	ys := []float64{1, 2}
+	dc := data.NewDominanceCounter(xs, ys)
+	if _, err := Build(xs, ys, dc.Count, Config{Delta: -5}); err == nil {
+		t.Error("negative delta should error")
+	}
+}
+
+func TestLeavesSatisfyDelta(t *testing.T) {
+	tr, _, _, _ := buildTree(t, 4000, 1, Config{Degree: 2, Delta: 30})
+	if tr.ForcedLeaves != 0 {
+		t.Errorf("%d forced leaves; want 0", tr.ForcedLeaves)
+	}
+	var walk func(*Cell)
+	leaves := 0
+	walk = func(c *Cell) {
+		if c.IsLeaf() {
+			leaves++
+			if c.MaxErr > 30+1e-9 {
+				t.Fatalf("leaf [%g,%g]x[%g,%g] has MaxErr %g > δ", c.XLo, c.XHi, c.YLo, c.YHi, c.MaxErr)
+			}
+			return
+		}
+		for i := range c.Kids {
+			walk(&c.Kids[i])
+		}
+	}
+	walk(&tr.Root)
+	if leaves != tr.NumLeaves {
+		t.Errorf("NumLeaves=%d but %d leaves found", tr.NumLeaves, leaves)
+	}
+}
+
+func TestEvalCFApproximatesTrueCF(t *testing.T) {
+	const delta = 25.0
+	tr, xs, ys, dc := buildTree(t, 5000, 2, Config{Degree: 2, Delta: delta})
+	rng := rand.New(rand.NewSource(3))
+	maxErr := 0.0
+	within := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		var x, y float64
+		if i%2 == 0 {
+			j := rng.Intn(len(xs))
+			x, y = xs[j], ys[j]
+		} else {
+			x = -100 + rng.Float64()*200
+			y = -50 + rng.Float64()*100
+		}
+		got := tr.EvalCF(x, y)
+		want := dc.CountOne(x, y)
+		e := math.Abs(got - want)
+		if e > maxErr {
+			maxErr = e
+		}
+		if e <= delta+1e-6 {
+			within++
+		}
+	}
+	// The δ constraint binds at fit samples; arbitrary locations carry the
+	// documented slack. Demand ≥95% within δ and nothing beyond 3δ.
+	if within < trials*95/100 {
+		t.Errorf("only %d/%d evaluations within δ", within, trials)
+	}
+	if maxErr > 3*delta {
+		t.Errorf("max CF error %g exceeds 3δ", maxErr)
+	}
+}
+
+func TestSmallerDeltaMoreLeaves(t *testing.T) {
+	prev := 0
+	for _, delta := range []float64{200, 50, 15} {
+		tr, _, _, _ := buildTree(t, 3000, 4, Config{Degree: 2, Delta: delta})
+		if prev > 0 && tr.NumLeaves < prev {
+			t.Errorf("δ=%g gave %d leaves, fewer than larger δ's %d", delta, tr.NumLeaves, prev)
+		}
+		prev = tr.NumLeaves
+	}
+}
+
+func TestLocateDescendsToContainingLeaf(t *testing.T) {
+	tr, _, _, _ := buildTree(t, 2000, 5, Config{Degree: 2, Delta: 20})
+	rng := rand.New(rand.NewSource(6))
+	xlo, xhi, ylo, yhi := tr.Bounds()
+	for i := 0; i < 300; i++ {
+		x := xlo + rng.Float64()*(xhi-xlo)
+		y := ylo + rng.Float64()*(yhi-ylo)
+		c := tr.Locate(x, y)
+		if !c.IsLeaf() {
+			t.Fatal("Locate returned internal cell")
+		}
+		if x < c.XLo-1e-9 || x > c.XHi+1e-9 || y < c.YLo-1e-9 || y > c.YHi+1e-9 {
+			t.Fatalf("point (%g,%g) outside located cell [%g,%g]x[%g,%g]", x, y, c.XLo, c.XHi, c.YLo, c.YHi)
+		}
+	}
+	// Out-of-domain coordinates clamp instead of escaping.
+	c := tr.Locate(xhi+100, yhi+100)
+	if !c.IsLeaf() {
+		t.Error("clamped locate must reach a leaf")
+	}
+}
+
+func TestEvalCFOutsideDomain(t *testing.T) {
+	tr, _, _, dc := buildTree(t, 1000, 7, Config{Degree: 2, Delta: 20})
+	xlo, _, ylo, _ := tr.Bounds()
+	if got := tr.EvalCF(xlo-10, ylo-10); got != 0 {
+		t.Errorf("below-domain CF = %g, want 0", got)
+	}
+	// Above domain: CF saturates at n (within δ slack).
+	got := tr.EvalCF(1e9, 1e9)
+	want := dc.CountOne(1e9, 1e9)
+	if math.Abs(got-want) > 3*20 {
+		t.Errorf("above-domain CF = %g, want ≈%g", got, want)
+	}
+}
+
+func TestUniformPointsFewLeaves(t *testing.T) {
+	// A uniform cloud has a smooth bilinear-ish CF: degree-2 surfaces with a
+	// generous δ should need very few leaves.
+	rng := rand.New(rand.NewSource(8))
+	n := 4000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+	}
+	dc := data.NewDominanceCounter(xs, ys)
+	tr, err := Build(xs, ys, dc.Count, Config{Degree: 3, Delta: float64(n) * 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves > 16 {
+		t.Errorf("uniform data needed %d leaves; expected a handful", tr.NumLeaves)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// All points identical: a degenerate single-cell domain.
+	xs := []float64{5, 5, 5, 5}
+	ys := []float64{7, 7, 7, 7}
+	dc := data.NewDominanceCounter(xs, ys)
+	tr, err := Build(xs, ys, dc.Count, Config{Degree: 2, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.EvalCF(5, 7); math.Abs(got-4) > 1.001 {
+		t.Errorf("CF at the point = %g, want ≈4", got)
+	}
+	if got := tr.EvalCF(4.9, 7); got != 0 {
+		t.Errorf("CF left of the point = %g, want 0", got)
+	}
+}
+
+func TestSizeBytesGrowsWithLeaves(t *testing.T) {
+	small, _, _, _ := buildTree(t, 3000, 9, Config{Degree: 2, Delta: 200})
+	big, _, _, _ := buildTree(t, 3000, 9, Config{Degree: 2, Delta: 10})
+	if small.SizeBytes() >= big.SizeBytes() {
+		t.Errorf("size %d (δ=200) should be < %d (δ=10)", small.SizeBytes(), big.SizeBytes())
+	}
+}

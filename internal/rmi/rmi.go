@@ -1,0 +1,303 @@
+// Package rmi implements the Recursive Model Index [33] baseline adapted to
+// approximate range aggregate queries (Appendix A/B of the paper): a staged
+// hierarchy of linear-regression models fits the key-cumulative function
+// directly; the leaf reached by routing predicts CF(k), and the per-leaf
+// maximum training error provides the δ used by the Section V lemmas.
+//
+// The appendix tunes the structure 1 → 10 → 100 → 1000 with linear models
+// (Table VI shows neural leaves are slower for no accuracy payoff at this
+// scale — reproduced by internal/nn). RMI has no build-time error knob, so
+// BuildWithGuarantee doubles the leaf-stage width until every leaf's error
+// is within the requested δ, which is what makes the Problem-1 comparison
+// fair.
+package rmi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kca"
+)
+
+// Model is one linear regression unit: pred(k) = A + B·k.
+type Model struct {
+	A, B float64
+}
+
+func (m Model) predict(k float64) float64 { return m.A + m.B*k }
+
+// Index is a trained RMI over a cumulative function.
+type Index struct {
+	stages  [][]Model
+	leafErr []float64 // max |CF − pred| per leaf model
+	delta   float64   // max over leafErr
+	total   float64
+	keyLo   float64
+	keyHi   float64
+	exact   *kca.Array
+}
+
+// ErrNoFallback mirrors core.ErrNoFallback.
+var ErrNoFallback = errors.New("rmi: relative query needs exact fallback")
+
+// DefaultStages is the appendix-tuned structure 1 → 10 → 100 → 1000.
+var DefaultStages = []int{1, 10, 100, 1000}
+
+// BuildSum trains an RMI on CFsum of (keys, measures) with the given stage
+// widths (nil selects DefaultStages).
+func BuildSum(keys, measures []float64, stages []int, withFallback bool) (*Index, error) {
+	if len(keys) == 0 || len(keys) != len(measures) {
+		return nil, fmt.Errorf("rmi: %d keys, %d measures", len(keys), len(measures))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return nil, fmt.Errorf("rmi: keys not strictly increasing at %d", i)
+		}
+	}
+	if stages == nil {
+		stages = DefaultStages
+	}
+	if len(stages) == 0 || stages[0] != 1 {
+		return nil, fmt.Errorf("rmi: stage widths must start with 1")
+	}
+	cf := make([]float64, len(keys))
+	run := 0.0
+	for i, m := range measures {
+		run += m
+		cf[i] = run
+	}
+	ix := &Index{
+		total: run,
+		keyLo: keys[0],
+		keyHi: keys[len(keys)-1],
+	}
+	ix.train(keys, cf, stages)
+	if withFallback {
+		arr, err := kca.New(keys, measures)
+		if err != nil {
+			return nil, err
+		}
+		ix.exact = arr
+	}
+	return ix, nil
+}
+
+// BuildCount is BuildSum with unit measures.
+func BuildCount(keys []float64, stages []int, withFallback bool) (*Index, error) {
+	ones := make([]float64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return BuildSum(keys, ones, stages, withFallback)
+}
+
+// BuildCountWithGuarantee doubles the leaf-stage width (starting from the
+// default structure) until every leaf error is ≤ delta, so Lemma 2 holds
+// with the requested δ. maxLeaves caps the search (default 1<<18).
+func BuildCountWithGuarantee(keys []float64, delta float64, maxLeaves int, withFallback bool) (*Index, error) {
+	ones := make([]float64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return BuildSumWithGuarantee(keys, ones, delta, maxLeaves, withFallback)
+}
+
+// BuildSumWithGuarantee is the SUM counterpart of BuildCountWithGuarantee.
+func BuildSumWithGuarantee(keys, measures []float64, delta float64, maxLeaves int, withFallback bool) (*Index, error) {
+	if maxLeaves <= 0 {
+		maxLeaves = 1 << 18
+	}
+	leaves := DefaultStages[len(DefaultStages)-1]
+	for {
+		stages := append(append([]int(nil), DefaultStages[:len(DefaultStages)-1]...), leaves)
+		ix, err := BuildSum(keys, measures, stages, withFallback)
+		if err != nil {
+			return nil, err
+		}
+		if ix.delta <= delta || leaves >= maxLeaves || leaves >= len(keys) {
+			return ix, nil
+		}
+		leaves *= 2
+	}
+}
+
+// train fits every stage. Routing during training matches routing at query
+// time: the model index at stage j+1 is the clamped scaled prediction of
+// the stage-j model that owns the key.
+func (ix *Index) train(keys, cf []float64, widths []int) {
+	n := len(keys)
+	numStages := len(widths)
+	ix.stages = make([][]Model, numStages)
+	// assignment[i] = model index of point i at the current stage.
+	assignment := make([]int, n)
+	global := fitLinear(keys, cf, nil)
+	for s := 0; s < numStages; s++ {
+		width := widths[s]
+		ix.stages[s] = make([]Model, width)
+		// Group points by assigned model.
+		buckets := make([][]int, width)
+		for i := 0; i < n; i++ {
+			m := assignment[i]
+			if m >= width {
+				m = width - 1
+			}
+			buckets[m] = append(buckets[m], i)
+		}
+		for m := 0; m < width; m++ {
+			if len(buckets[m]) == 0 {
+				// Empty model: inherit the global fit so routing through it
+				// stays sensible.
+				ix.stages[s][m] = global
+				continue
+			}
+			ix.stages[s][m] = fitLinear(keys, cf, buckets[m])
+		}
+		if s == numStages-1 {
+			// Leaf errors.
+			ix.leafErr = make([]float64, width)
+			for m := 0; m < width; m++ {
+				worst := 0.0
+				for _, i := range buckets[m] {
+					e := cf[i] - ix.stages[s][m].predict(keys[i])
+					if e < 0 {
+						e = -e
+					}
+					if e > worst {
+						worst = e
+					}
+				}
+				ix.leafErr[m] = worst
+				if worst > ix.delta {
+					ix.delta = worst
+				}
+			}
+			return
+		}
+		// Route to the next stage.
+		nextWidth := widths[s+1]
+		for i := 0; i < n; i++ {
+			m := assignment[i]
+			if m >= width {
+				m = width - 1
+			}
+			assignment[i] = ix.route(ix.stages[s][m].predict(keys[i]), nextWidth)
+		}
+	}
+}
+
+// route maps a CF prediction onto a model index of a stage with the given
+// width (Kraska et al.'s scaled prediction).
+func (ix *Index) route(pred float64, width int) int {
+	if ix.total <= 0 {
+		return 0
+	}
+	m := int(pred / ix.total * float64(width))
+	if m < 0 {
+		return 0
+	}
+	if m >= width {
+		return width - 1
+	}
+	return m
+}
+
+// fitLinear least-squares fits cf ~ a + b·key over the given subset
+// (nil = all points).
+func fitLinear(keys, cf []float64, subset []int) Model {
+	var sx, sy, sxx, sxy float64
+	var cnt float64
+	visit := func(i int) {
+		x, y := keys[i], cf[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		cnt++
+	}
+	if subset == nil {
+		for i := range keys {
+			visit(i)
+		}
+	} else {
+		for _, i := range subset {
+			visit(i)
+		}
+	}
+	if cnt == 0 {
+		return Model{}
+	}
+	det := cnt*sxx - sx*sx
+	if det == 0 {
+		return Model{A: sy / cnt}
+	}
+	b := (cnt*sxy - sx*sy) / det
+	a := (sy - b*sx) / cnt
+	return Model{A: a, B: b}
+}
+
+// CF evaluates the approximate cumulative function at k (clamped to
+// [0, total]).
+func (ix *Index) CF(k float64) float64 {
+	if k < ix.keyLo {
+		return 0
+	}
+	if k > ix.keyHi {
+		k = ix.keyHi
+	}
+	m := 0
+	last := len(ix.stages) - 1
+	for s := 0; s < last; s++ {
+		m = ix.route(ix.stages[s][m].predict(k), len(ix.stages[s+1]))
+	}
+	v := ix.stages[last][m].predict(k)
+	if v < 0 {
+		return 0
+	}
+	if v > ix.total {
+		return ix.total
+	}
+	return v
+}
+
+// RangeSum answers the approximate SUM/COUNT over (lq, uq].
+func (ix *Index) RangeSum(lq, uq float64) float64 {
+	if uq < lq {
+		return 0
+	}
+	return ix.CF(uq) - ix.CF(lq)
+}
+
+// RangeSumRel applies the Lemma 3 gate (with δ = the global max leaf error)
+// and falls back to the exact KCA.
+func (ix *Index) RangeSumRel(lq, uq, epsRel float64) (val float64, usedExact bool, err error) {
+	if epsRel <= 0 {
+		return 0, false, fmt.Errorf("rmi: non-positive relative error %g", epsRel)
+	}
+	a := ix.RangeSum(lq, uq)
+	if a >= 2*ix.delta*(1+1/epsRel) {
+		return a, false, nil
+	}
+	if ix.exact == nil {
+		return 0, false, ErrNoFallback
+	}
+	return ix.exact.RangeSum(lq, uq), true, nil
+}
+
+// Delta returns the achieved max leaf error (the effective δ).
+func (ix *Index) Delta() float64 { return ix.delta }
+
+// NumLeaves returns the leaf-stage width.
+func (ix *Index) NumLeaves() int { return len(ix.stages[len(ix.stages)-1]) }
+
+// NumStages returns the number of stages.
+func (ix *Index) NumStages() int { return len(ix.stages) }
+
+// SizeBytes reports the structure footprint: two float64 per model plus the
+// per-leaf error array.
+func (ix *Index) SizeBytes() int {
+	total := 0
+	for _, st := range ix.stages {
+		total += 16 * len(st)
+	}
+	return total + 8*len(ix.leafErr)
+}

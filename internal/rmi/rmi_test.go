@@ -1,0 +1,236 @@
+package rmi
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func genKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[float64]bool, n)
+	for len(set) < n {
+		// Bimodal to make CF non-linear.
+		var v float64
+		if rng.Float64() < 0.5 {
+			v = rng.NormFloat64()*100 - 500
+		} else {
+			v = rng.NormFloat64()*300 + 900
+		}
+		set[math.Round(v*100)/100] = true
+	}
+	keys := make([]float64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := BuildCount(nil, nil, false); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := BuildSum([]float64{1, 2}, []float64{1}, nil, false); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := BuildSum([]float64{2, 1}, []float64{1, 1}, nil, false); err == nil {
+		t.Error("unsorted keys should error")
+	}
+	if _, err := BuildCount([]float64{1, 2}, []int{5, 10}, false); err == nil {
+		t.Error("stage widths not starting at 1 should error")
+	}
+}
+
+func TestDeltaIsTrueMaxError(t *testing.T) {
+	keys := genKeys(5000, 1)
+	ix, err := BuildCount(keys, []int{1, 10, 100}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	cf := 0.0
+	for _, k := range keys {
+		cf++
+		if e := math.Abs(ix.CF(k) - cf); e > worst {
+			worst = e
+		}
+	}
+	if worst > ix.Delta()+1e-6 {
+		t.Errorf("observed error %g exceeds reported delta %g", worst, ix.Delta())
+	}
+}
+
+func TestGuaranteedBuildMeetsDelta(t *testing.T) {
+	keys := genKeys(8000, 2)
+	const target = 25.0
+	ix, err := BuildCountWithGuarantee(keys, target, 1<<16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Delta() > target {
+		t.Fatalf("guaranteed build delta %g > target %g (leaves %d)", ix.Delta(), target, ix.NumLeaves())
+	}
+	// Lemma 2 then holds with εabs = 2δ.
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 400; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got := ix.RangeSum(l, u)
+		want := 0.0
+		for _, k := range keys {
+			if k > l && k <= u {
+				want++
+			}
+		}
+		if math.Abs(got-want) > 2*target+1e-6 {
+			t.Fatalf("|%g − %g| > 2δ", got, want)
+		}
+	}
+}
+
+func TestRelativeGuarantee(t *testing.T) {
+	keys := genKeys(6000, 4)
+	ix, err := BuildCountWithGuarantee(keys, 30, 1<<16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	approx := 0
+	for q := 0; q < 300; q++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got, usedExact, err := ix.RangeSumRel(l, u, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, k := range keys {
+			if k > l && k <= u {
+				want++
+			}
+		}
+		if usedExact {
+			if got != want {
+				t.Fatalf("exact path wrong")
+			}
+			continue
+		}
+		approx++
+		if want == 0 || math.Abs(got-want)/want > 0.05+1e-9 {
+			t.Fatalf("relative error violated: got %g want %g", got, want)
+		}
+	}
+	if approx == 0 {
+		t.Fatal("approximate path never used")
+	}
+	nofb, _ := BuildCount(keys, nil, false)
+	if _, _, err := nofb.RangeSumRel(keys[0], keys[1], 1e-12); err != ErrNoFallback {
+		t.Errorf("expected ErrNoFallback, got %v", err)
+	}
+	if _, _, err := ix.RangeSumRel(keys[0], keys[1], 0); err == nil {
+		t.Error("non-positive εrel should error")
+	}
+}
+
+func TestMoreLeavesSmallerError(t *testing.T) {
+	keys := genKeys(8000, 6)
+	prev := math.Inf(1)
+	for _, leaves := range []int{10, 100, 1000} {
+		ix, err := BuildCount(keys, []int{1, 10, leaves}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Delta() > prev*1.5 {
+			t.Errorf("leaves=%d delta %g ≫ previous %g", leaves, ix.Delta(), prev)
+		}
+		prev = ix.Delta()
+	}
+}
+
+func TestStructureIntrospection(t *testing.T) {
+	keys := genKeys(2000, 7)
+	ix, err := BuildCount(keys, []int{1, 10, 50}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumStages() != 3 || ix.NumLeaves() != 50 {
+		t.Errorf("structure = %d stages / %d leaves", ix.NumStages(), ix.NumLeaves())
+	}
+	if ix.SizeBytes() != 16*(1+10+50)+8*50 {
+		t.Errorf("SizeBytes = %d", ix.SizeBytes())
+	}
+}
+
+func TestCFBoundaries(t *testing.T) {
+	keys := genKeys(1000, 8)
+	ix, _ := BuildCount(keys, nil, false)
+	if got := ix.CF(keys[0] - 100); got != 0 {
+		t.Errorf("CF below domain = %g", got)
+	}
+	top := ix.CF(keys[len(keys)-1] + 100)
+	if top < float64(len(keys))-ix.Delta()-1 || top > float64(len(keys))+1e-9 {
+		t.Errorf("CF above domain = %g, want ≈%d (clamped)", top, len(keys))
+	}
+	if got := ix.RangeSum(5, 1); got != 0 {
+		t.Errorf("inverted range = %g", got)
+	}
+}
+
+func TestSumWithMeasures(t *testing.T) {
+	keys := genKeys(2000, 9)
+	measures := make([]float64, len(keys))
+	rng := rand.New(rand.NewSource(10))
+	for i := range measures {
+		measures[i] = rng.Float64() * 10
+	}
+	ix, err := BuildSumWithGuarantee(keys, measures, 100, 1<<16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngQ := rand.New(rand.NewSource(11))
+	for q := 0; q < 200; q++ {
+		l := keys[rngQ.Intn(len(keys))]
+		u := keys[rngQ.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		got := ix.RangeSum(l, u)
+		want := 0.0
+		for i, k := range keys {
+			if k > l && k <= u {
+				want += measures[i]
+			}
+		}
+		if math.Abs(got-want) > 2*100+1e-6 {
+			t.Fatalf("SUM |%g − %g| > 2δ", got, want)
+		}
+	}
+}
+
+func BenchmarkRangeSum(b *testing.B) {
+	keys := genKeys(200000, 1)
+	ix, _ := BuildCount(keys, nil, false)
+	rng := rand.New(rand.NewSource(2))
+	qs := make([][2]float64, 1024)
+	for i := range qs {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		qs[i] = [2]float64{l, u}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i&1023]
+		ix.RangeSum(q[0], q[1])
+	}
+}

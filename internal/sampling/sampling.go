@@ -1,0 +1,198 @@
+// Package sampling implements the two sampling baselines of Section VII:
+//
+//   - STree: the S-tree heuristic — an STX-style B+-tree built over a uniform
+//     sample of the dataset; range COUNT estimates are scaled sample counts
+//     with no error guarantee (§VII-E).
+//   - S2: the sequential sampling estimator of Haas & Swami [26], which keeps
+//     drawing records until a CLT confidence interval meets the requested
+//     absolute or relative error at the requested confidence (probabilistic
+//     guarantee; the paper uses probability 0.9).
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/btree"
+)
+
+// STree estimates range COUNT from a B+-tree over a uniform key sample.
+type STree struct {
+	tree  *btree.Tree
+	n     int // full dataset cardinality
+	s     int // sample size
+	scale float64
+}
+
+// NewSTree samples sampleSize keys uniformly without replacement (by
+// shuffling) and bulk-loads the B+-tree.
+func NewSTree(keys []float64, sampleSize int, seed int64) (*STree, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("sampling: empty key set")
+	}
+	if sampleSize <= 0 {
+		return nil, fmt.Errorf("sampling: non-positive sample size")
+	}
+	if sampleSize > len(keys) {
+		sampleSize = len(keys)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(keys))[:sampleSize]
+	sample := make([]float64, sampleSize)
+	for i, p := range perm {
+		sample[i] = keys[p]
+	}
+	sort.Float64s(sample)
+	tr, err := btree.New(sample, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &STree{
+		tree:  tr,
+		n:     len(keys),
+		s:     sampleSize,
+		scale: float64(len(keys)) / float64(sampleSize),
+	}, nil
+}
+
+// EstimateCount estimates |{k : lq < k ≤ uq}| as the scaled sample count.
+func (t *STree) EstimateCount(lq, uq float64) float64 {
+	if uq < lq {
+		return 0
+	}
+	inSample := t.tree.Rank(uq) - t.tree.Rank(lq)
+	return float64(inSample) * t.scale
+}
+
+// SampleSize returns the number of sampled keys.
+func (t *STree) SampleSize() int { return t.s }
+
+// SizeBytes reports the B+-tree footprint.
+func (t *STree) SizeBytes() int { return t.tree.SizeBytes() }
+
+// --- S2: sequential sampling ------------------------------------------------
+
+// S2 draws records at query time until the confidence interval is tight
+// enough. It holds only a reference to the key array (it is a query-time
+// sampler, not an index).
+type S2 struct {
+	keys []float64
+	conf float64 // confidence level, e.g. 0.9
+	z    float64 // normal quantile for conf
+	rng  *rand.Rand
+	// MaxDraws caps a single query's sampling effort (defends against
+	// unbounded loops on empty ranges under relative guarantees).
+	MaxDraws int
+}
+
+// NewS2 creates a sampler at the given confidence (the paper's default 0.9).
+func NewS2(keys []float64, confidence float64, seed int64) (*S2, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("sampling: empty key set")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("sampling: confidence must be in (0,1)")
+	}
+	return &S2{
+		keys:     keys,
+		conf:     confidence,
+		z:        normalQuantile(0.5 + confidence/2),
+		rng:      rand.New(rand.NewSource(seed)),
+		MaxDraws: 50 * len(keys),
+	}, nil
+}
+
+// CountAbs estimates |{k : lq < k ≤ uq}| sampling until the CI half-width is
+// ≤ epsAbs with the configured confidence. draws reports the sampling effort.
+func (s *S2) CountAbs(lq, uq, epsAbs float64) (estimate float64, draws int) {
+	return s.run(lq, uq, func(est, half float64) bool { return half <= epsAbs })
+}
+
+// CountRel samples until the CI half-width is ≤ epsRel·estimate.
+func (s *S2) CountRel(lq, uq, epsRel float64) (estimate float64, draws int) {
+	return s.run(lq, uq, func(est, half float64) bool {
+		return est > 0 && half <= epsRel*est
+	})
+}
+
+func (s *S2) run(lq, uq float64, done func(est, half float64) bool) (float64, int) {
+	n := float64(len(s.keys))
+	if uq < lq {
+		return 0, 0
+	}
+	const batch = 64
+	hits := 0
+	m := 0
+	for m < s.MaxDraws {
+		for b := 0; b < batch; b++ {
+			k := s.keys[s.rng.Intn(len(s.keys))]
+			if k > lq && k <= uq {
+				hits++
+			}
+		}
+		m += batch
+		p := float64(hits) / float64(m)
+		est := n * p
+		half := s.z * n * math.Sqrt(p*(1-p)/float64(m))
+		if m >= 256 && done(est, half) {
+			return est, m
+		}
+	}
+	return n * float64(hits) / float64(m), m
+}
+
+// normalQuantile inverts the standard normal CDF (Acklam's rational
+// approximation; |relative error| < 1.15e-9 — far below sampling noise).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// Count2DAbs is the two-key variant over parallel coordinate slices.
+func (s *S2) Count2DAbs(xs, ys []float64, xlo, xhi, ylo, yhi, epsAbs float64) (float64, int) {
+	n := float64(len(xs))
+	const batch = 64
+	hits, m := 0, 0
+	for m < s.MaxDraws {
+		for b := 0; b < batch; b++ {
+			i := s.rng.Intn(len(xs))
+			if xs[i] > xlo && xs[i] <= xhi && ys[i] > ylo && ys[i] <= yhi {
+				hits++
+			}
+		}
+		m += batch
+		p := float64(hits) / float64(m)
+		half := s.z * n * math.Sqrt(p*(1-p)/float64(m))
+		if m >= 256 && half <= epsAbs {
+			return n * p, m
+		}
+	}
+	return n * float64(hits) / float64(m), m
+}

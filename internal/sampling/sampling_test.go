@@ -1,0 +1,213 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func genKeys(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.NormFloat64() * 100
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func exactCount(keys []float64, l, u float64) float64 {
+	c := 0.0
+	for _, k := range keys {
+		if k > l && k <= u {
+			c++
+		}
+	}
+	return c
+}
+
+func TestSTreeValidation(t *testing.T) {
+	if _, err := NewSTree(nil, 10, 1); err == nil {
+		t.Error("empty keys should error")
+	}
+	if _, err := NewSTree([]float64{1}, 0, 1); err == nil {
+		t.Error("non-positive sample should error")
+	}
+}
+
+func TestSTreeFullSampleIsExact(t *testing.T) {
+	keys := genKeys(2000, 1)
+	st, err := NewSTree(keys, len(keys)+10, 2) // clamps to full data
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampleSize() != len(keys) {
+		t.Fatalf("sample size %d", st.SampleSize())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		if got, want := st.EstimateCount(l, u), exactCount(keys, l, u); got != want {
+			t.Fatalf("full-sample estimate %g != exact %g", got, want)
+		}
+	}
+}
+
+func TestSTreeEstimateReasonable(t *testing.T) {
+	keys := genKeys(50000, 4)
+	st, err := NewSTree(keys, 5000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	// Mean relative error over selective queries should be modest (a 10%
+	// sample has ~1/√(p·s) noise).
+	sumRel, cnt := 0.0, 0
+	for i := 0; i < 100; i++ {
+		l := keys[rng.Intn(len(keys)/2)]
+		u := keys[len(keys)/2+rng.Intn(len(keys)/2)]
+		want := exactCount(keys, l, u)
+		if want < 1000 {
+			continue
+		}
+		sumRel += math.Abs(st.EstimateCount(l, u)-want) / want
+		cnt++
+	}
+	if cnt == 0 {
+		t.Fatal("no selective queries generated")
+	}
+	if mean := sumRel / float64(cnt); mean > 0.2 {
+		t.Errorf("mean relative error %g too large for 10%% sample", mean)
+	}
+	if st.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestSTreeDeterministicSeed(t *testing.T) {
+	keys := genKeys(1000, 7)
+	a, _ := NewSTree(keys, 100, 42)
+	b, _ := NewSTree(keys, 100, 42)
+	for i := 0; i < 50; i++ {
+		l, u := keys[i*3], keys[500+i*3]
+		if a.EstimateCount(l, u) != b.EstimateCount(l, u) {
+			t.Fatal("same seed, different estimates")
+		}
+	}
+}
+
+func TestS2Validation(t *testing.T) {
+	if _, err := NewS2(nil, 0.9, 1); err == nil {
+		t.Error("empty keys should error")
+	}
+	if _, err := NewS2([]float64{1}, 1.5, 1); err == nil {
+		t.Error("confidence outside (0,1) should error")
+	}
+}
+
+// TestS2AbsoluteCoverage: the probabilistic guarantee should hold on ≳90% of
+// queries (allowing test slack down to 80%).
+func TestS2AbsoluteCoverage(t *testing.T) {
+	keys := genKeys(20000, 8)
+	s2, err := NewS2(keys, 0.9, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epsAbs = 500.0
+	rng := rand.New(rand.NewSource(10))
+	hits, total := 0, 0
+	for i := 0; i < 60; i++ {
+		l := keys[rng.Intn(len(keys))]
+		u := keys[rng.Intn(len(keys))]
+		if l > u {
+			l, u = u, l
+		}
+		est, draws := s2.CountAbs(l, u, epsAbs)
+		if draws <= 0 {
+			t.Fatal("no draws recorded")
+		}
+		want := exactCount(keys, l, u)
+		total++
+		if math.Abs(est-want) <= epsAbs {
+			hits++
+		}
+	}
+	if hits*100 < total*80 {
+		t.Errorf("coverage %d/%d below expectation for 90%% confidence", hits, total)
+	}
+}
+
+func TestS2RelativeStops(t *testing.T) {
+	keys := genKeys(20000, 11)
+	s2, _ := NewS2(keys, 0.9, 12)
+	// A wide range: high selectivity makes the relative target easy.
+	est, draws := s2.CountRel(keys[100], keys[len(keys)-100], 0.05)
+	want := exactCount(keys, keys[100], keys[len(keys)-100])
+	if draws >= s2.MaxDraws {
+		t.Errorf("sampler failed to stop early on easy query (%d draws)", draws)
+	}
+	if math.Abs(est-want)/want > 0.2 {
+		t.Errorf("estimate %g too far from %g", est, want)
+	}
+}
+
+func TestS2EmptyRangeHitsCap(t *testing.T) {
+	keys := genKeys(5000, 13)
+	s2, _ := NewS2(keys, 0.9, 14)
+	s2.MaxDraws = 2048
+	est, draws := s2.CountRel(keys[10], keys[10], 0.01) // empty half-open range
+	if est != 0 {
+		t.Errorf("empty range estimate = %g", est)
+	}
+	if draws != 2048 {
+		t.Errorf("empty range should exhaust MaxDraws, used %d", draws)
+	}
+}
+
+func TestS2Count2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+	}
+	s2, _ := NewS2(xs, 0.9, 16)
+	est, draws := s2.Count2DAbs(xs, ys, 10, 60, 10, 60, 500)
+	want := 0.0
+	for i := range xs {
+		if xs[i] > 10 && xs[i] <= 60 && ys[i] > 10 && ys[i] <= 60 {
+			want++
+		}
+	}
+	if draws == 0 {
+		t.Fatal("no draws")
+	}
+	if math.Abs(est-want) > 3*500 {
+		t.Errorf("2D estimate %g too far from %g", est, want)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.95, 1.6449},
+		{0.975, 1.9600},
+		{0.05, -1.6449},
+		{0.999, 3.0902},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("normalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Error("quantile at 0/1 should be NaN")
+	}
+}

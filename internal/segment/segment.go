@@ -1,0 +1,235 @@
+// Package segment implements the index-size-minimising segmentations of
+// Section IV-D of the paper: the Greedy Segmentation method (GS, Algorithm 1)
+// accelerated with exponential search, the plain one-key-at-a-time GS used
+// for the ablation study, and the dynamic-programming optimal reference
+// against which GS optimality (Theorem 1) is property-tested.
+package segment
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/minimax"
+)
+
+// Segment is one fitted interval I = [Lo, Hi]: a polynomial satisfying the
+// bounded δ-error constraint (Definition 3) over the sample points with
+// indexes [First, Last] of the source arrays.
+type Segment struct {
+	First, Last int     // inclusive index range into xs/ys
+	Lo, Hi      float64 // key range: xs[First], xs[Last]
+	Fit         minimax.Fit1D
+}
+
+// Backend selects the minimax solver used for each curve fit.
+type Backend int
+
+// Fitting backends.
+const (
+	Exchange Backend = iota // discrete Remez exchange (default, fast)
+	DualLP                  // revised dual simplex on LP (9)
+)
+
+// Config controls a segmentation run.
+type Config struct {
+	Degree  int     // polynomial degree (the paper's deg; default 2 per §VII-B)
+	Delta   float64 // bounded error δ (Definition 3)
+	Backend Backend
+	// NoExpSearch disables the exponential+binary breakpoint search and
+	// grows segments one key at a time exactly as written in Algorithm 1.
+	// Kept for the ablation benchmarks; results are identical (Lemma 1).
+	NoExpSearch bool
+}
+
+// ErrBadInput reports invalid segmentation input.
+var ErrBadInput = errors.New("segment: invalid input")
+
+func (c Config) fit(xs, ys []float64) (minimax.Fit1D, error) {
+	if c.Backend == DualLP {
+		return minimax.FitPolyLP(xs, ys, c.Degree)
+	}
+	return minimax.FitPoly(xs, ys, c.Degree)
+}
+
+func validate(xs, ys []float64, cfg Config) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("%w: %d keys, %d values", ErrBadInput, len(xs), len(ys))
+	}
+	if cfg.Degree < 0 {
+		return fmt.Errorf("%w: negative degree", ErrBadInput)
+	}
+	if cfg.Delta < 0 {
+		return fmt.Errorf("%w: negative delta", ErrBadInput)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return fmt.Errorf("%w: keys not strictly increasing at %d", ErrBadInput, i)
+		}
+	}
+	return nil
+}
+
+// Greedy segments (xs, ys) into the minimum number of intervals whose
+// minimax fits satisfy E(I) ≤ δ (Theorem 1: greedy is optimal thanks to the
+// monotonicity of E under point insertion, Lemma 1).
+//
+// With exponential search the number of fits per segment is O(log L) instead
+// of O(L) for segment length L.
+func Greedy(xs, ys []float64, cfg Config) ([]Segment, error) {
+	if err := validate(xs, ys, cfg); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	var segs []Segment
+	l := 0
+	for l < n {
+		var last int
+		var fit minimax.Fit1D
+		var err error
+		if cfg.NoExpSearch {
+			last, fit, err = growLinear(xs, ys, l, cfg)
+		} else {
+			last, fit, err = growExponential(xs, ys, l, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, Segment{
+			First: l, Last: last,
+			Lo: xs[l], Hi: xs[last],
+			Fit: fit,
+		})
+		l = last + 1
+	}
+	return segs, nil
+}
+
+// growLinear is Algorithm 1 verbatim: extend the interval one key at a time
+// until the bounded δ-error constraint fails.
+func growLinear(xs, ys []float64, l int, cfg Config) (int, minimax.Fit1D, error) {
+	n := len(xs)
+	// A segment of ≤ deg+1 points interpolates exactly (error 0 ≤ δ), so the
+	// loop always makes progress.
+	last := min(l+cfg.Degree, n-1)
+	best, err := cfg.fit(xs[l:last+1], ys[l:last+1])
+	if err != nil {
+		return 0, minimax.Fit1D{}, err
+	}
+	for u := last + 1; u < n; u++ {
+		f, err := cfg.fit(xs[l:u+1], ys[l:u+1])
+		if err != nil {
+			return 0, minimax.Fit1D{}, err
+		}
+		if f.MaxErr > cfg.Delta {
+			return last, best, nil
+		}
+		last, best = u, f
+	}
+	return last, best, nil
+}
+
+// growExponential doubles the candidate segment length until the fit error
+// exceeds δ, then binary-searches the exact breakpoint. Soundness rests on
+// Lemma 1 (error is monotone in the point set).
+func growExponential(xs, ys []float64, l int, cfg Config) (int, minimax.Fit1D, error) {
+	n := len(xs)
+	// Initial guaranteed-feasible length: deg+1 points interpolate exactly.
+	lo := min(l+cfg.Degree, n-1) // highest index known to satisfy δ
+	bestFit, err := cfg.fit(xs[l:lo+1], ys[l:lo+1])
+	if err != nil {
+		return 0, minimax.Fit1D{}, err
+	}
+	if lo == n-1 {
+		return lo, bestFit, nil
+	}
+	// Exponential phase.
+	step := cfg.Degree + 2
+	hi := -1 // lowest index known to violate δ, -1 if none found yet
+	for {
+		cand := lo + step
+		if cand >= n {
+			cand = n - 1
+		}
+		f, err := cfg.fit(xs[l:cand+1], ys[l:cand+1])
+		if err != nil {
+			return 0, minimax.Fit1D{}, err
+		}
+		if f.MaxErr <= cfg.Delta {
+			lo, bestFit = cand, f
+			if cand == n-1 {
+				return lo, bestFit, nil
+			}
+			step *= 2
+		} else {
+			hi = cand
+			break
+		}
+	}
+	// Binary phase: invariant lo feasible, hi infeasible.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		f, err := cfg.fit(xs[l:mid+1], ys[l:mid+1])
+		if err != nil {
+			return 0, minimax.Fit1D{}, err
+		}
+		if f.MaxErr <= cfg.Delta {
+			lo, bestFit = mid, f
+		} else {
+			hi = mid
+		}
+	}
+	return lo, bestFit, nil
+}
+
+// DP computes the provably minimum-cardinality segmentation by dynamic
+// programming (the O(n²·ℓ^2.5) reference of Section IV-D). It exists to
+// cross-check GS optimality in tests; do not call it on large inputs.
+func DP(xs, ys []float64, cfg Config) ([]Segment, error) {
+	if err := validate(xs, ys, cfg); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	const inf = int(^uint(0) >> 1)
+	cost := make([]int, n+1) // cost[i] = min segments covering first i points
+	prev := make([]int, n+1)
+	fits := make([]minimax.Fit1D, n+1)
+	for i := 1; i <= n; i++ {
+		cost[i] = inf
+	}
+	for i := 1; i <= n; i++ {
+		// Try segments [j, i-1]; by Lemma 1 once a fit fails for some j the
+		// fits for all smaller j fail too, so scan j downward and stop at
+		// the first failure.
+		for j := i - 1; j >= 0; j-- {
+			f, err := cfg.fit(xs[j:i], ys[j:i])
+			if err != nil {
+				return nil, err
+			}
+			if f.MaxErr > cfg.Delta {
+				break
+			}
+			if cost[j] != inf && cost[j]+1 < cost[i] {
+				cost[i] = cost[j] + 1
+				prev[i] = j
+				fits[i] = f
+			}
+		}
+	}
+	if cost[n] == inf {
+		return nil, fmt.Errorf("segment: DP found no feasible segmentation")
+	}
+	var segs []Segment
+	for i := n; i > 0; i = prev[i] {
+		j := prev[i]
+		segs = append(segs, Segment{
+			First: j, Last: i - 1,
+			Lo: xs[j], Hi: xs[i-1],
+			Fit: fits[i],
+		})
+	}
+	// reverse
+	for a, b := 0, len(segs)-1; a < b; a, b = a+1, b-1 {
+		segs[a], segs[b] = segs[b], segs[a]
+	}
+	return segs, nil
+}

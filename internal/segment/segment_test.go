@@ -1,0 +1,267 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genSeries builds a strictly-increasing key series with a wavy value
+// function that forces multiple segments at small δ.
+func genSeries(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += 0.2 + rng.Float64()
+		xs[i] = x
+		ys[i] = 10*math.Sin(x/3) + 3*math.Cos(x) + rng.NormFloat64()*0.5
+	}
+	return xs, ys
+}
+
+// genCumulative builds a monotone series resembling a CDF (the COUNT/SUM use).
+func genCumulative(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	x, y := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x += 0.1 + rng.Float64()
+		y += rng.Float64() * 3
+		xs[i] = x
+		ys[i] = y
+	}
+	return xs, ys
+}
+
+func checkCoverage(t *testing.T, segs []Segment, n int) {
+	t.Helper()
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	if segs[0].First != 0 {
+		t.Errorf("first segment starts at %d, want 0", segs[0].First)
+	}
+	if segs[len(segs)-1].Last != n-1 {
+		t.Errorf("last segment ends at %d, want %d", segs[len(segs)-1].Last, n-1)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].First != segs[i-1].Last+1 {
+			t.Errorf("gap/overlap between segment %d and %d: %d..%d then %d..%d",
+				i-1, i, segs[i-1].First, segs[i-1].Last, segs[i].First, segs[i].Last)
+		}
+	}
+}
+
+func checkDelta(t *testing.T, segs []Segment, xs, ys []float64, delta float64) {
+	t.Helper()
+	for si, s := range segs {
+		for i := s.First; i <= s.Last; i++ {
+			if r := math.Abs(ys[i] - s.Fit.P.Eval(xs[i])); r > delta*(1+1e-9)+1e-12 {
+				t.Fatalf("segment %d violates δ at point %d: residual %g > δ=%g", si, i, r, delta)
+			}
+		}
+		if s.Fit.MaxErr > delta*(1+1e-9)+1e-12 {
+			t.Fatalf("segment %d reports MaxErr %g > δ=%g", si, s.Fit.MaxErr, delta)
+		}
+	}
+}
+
+func TestGreedyCoversAndRespectsDelta(t *testing.T) {
+	xs, ys := genSeries(500, 1)
+	for _, deg := range []int{1, 2, 3} {
+		segs, err := Greedy(xs, ys, Config{Degree: deg, Delta: 1.0})
+		if err != nil {
+			t.Fatalf("deg %d: %v", deg, err)
+		}
+		checkCoverage(t, segs, len(xs))
+		checkDelta(t, segs, xs, ys, 1.0)
+	}
+}
+
+func TestGreedySingleSegmentWhenEasy(t *testing.T) {
+	// A perfectly quadratic series fits in a single degree-2 segment.
+	n := 300
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2 + 3*float64(i) + 0.01*float64(i)*float64(i)
+	}
+	segs, err := Greedy(xs, ys, Config{Degree: 2, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("quadratic data should need 1 segment, got %d", len(segs))
+	}
+}
+
+func TestGreedyZeroDeltaStillProgresses(t *testing.T) {
+	xs, ys := genSeries(60, 3)
+	segs, err := Greedy(xs, ys, Config{Degree: 2, Delta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, segs, len(xs))
+	// With δ=0 each segment can hold at most deg+1 arbitrary points (exact
+	// interpolation), so there must be at least ceil(60/(deg+2)) segments.
+	if len(segs) < 60/4 {
+		t.Errorf("δ=0 segmentation suspiciously small: %d segments", len(segs))
+	}
+}
+
+// TestExpSearchMatchesLinear: the exponential-search variant must produce
+// exactly the same segmentation as the verbatim Algorithm 1 (Lemma 1 makes
+// the breakpoint unique).
+func TestExpSearchMatchesLinear(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		xs, ys := genSeries(250, seed)
+		for _, delta := range []float64{0.5, 2, 8} {
+			fast, err := Greedy(xs, ys, Config{Degree: 2, Delta: delta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := Greedy(xs, ys, Config{Degree: 2, Delta: delta, NoExpSearch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fast) != len(slow) {
+				t.Fatalf("seed %d δ=%g: exp-search %d segments, linear %d", seed, delta, len(fast), len(slow))
+			}
+			for i := range fast {
+				if fast[i].First != slow[i].First || fast[i].Last != slow[i].Last {
+					t.Fatalf("seed %d δ=%g: segment %d differs: [%d,%d] vs [%d,%d]",
+						seed, delta, i, fast[i].First, fast[i].Last, slow[i].First, slow[i].Last)
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyOptimalVsDP is the Theorem 1 property test: GS produces exactly
+// as many segments as the optimal DP on random instances.
+func TestGreedyOptimalVsDP(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		xs, ys := genSeries(60, seed+100)
+		for _, deg := range []int{1, 2} {
+			for _, delta := range []float64{0.5, 1.5, 5} {
+				gs, err := Greedy(xs, ys, Config{Degree: deg, Delta: delta})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dp, err := DP(xs, ys, Config{Degree: deg, Delta: delta})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gs) != len(dp) {
+					t.Errorf("seed %d deg %d δ=%g: GS %d segments, DP optimal %d",
+						seed, deg, delta, len(gs), len(dp))
+				}
+				checkCoverage(t, dp, len(xs))
+				checkDelta(t, dp, xs, ys, delta)
+			}
+		}
+	}
+}
+
+// TestMonotoneDeltaFewerSegments: larger δ must never need more segments.
+func TestMonotoneDeltaFewerSegments(t *testing.T) {
+	xs, ys := genCumulative(800, 5)
+	prev := -1
+	for _, delta := range []float64{0.1, 0.5, 2, 10, 50} {
+		segs, err := Greedy(xs, ys, Config{Degree: 2, Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && len(segs) > prev {
+			t.Errorf("δ=%g produced %d segments, more than smaller δ's %d", delta, len(segs), prev)
+		}
+		prev = len(segs)
+	}
+}
+
+// TestHigherDegreeNeverMoreSegments reproduces the paper's §IV-A claim:
+// higher-degree polynomials yield fewer (never more) segments at equal δ.
+func TestHigherDegreeNeverMoreSegments(t *testing.T) {
+	xs, ys := genCumulative(600, 9)
+	prev := -1
+	for _, deg := range []int{1, 2, 3} {
+		segs, err := Greedy(xs, ys, Config{Degree: deg, Delta: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && len(segs) > prev {
+			t.Errorf("deg %d produced %d segments > previous degree's %d", deg, len(segs), prev)
+		}
+		prev = len(segs)
+	}
+}
+
+func TestBackendsProduceSameSegmentCount(t *testing.T) {
+	xs, ys := genSeries(150, 12)
+	a, err := Greedy(xs, ys, Config{Degree: 2, Delta: 1, Backend: Exchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(xs, ys, Config{Degree: 2, Delta: 1, Backend: DualLP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("exchange backend: %d segments, dual LP: %d", len(a), len(b))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Greedy(nil, nil, Config{Degree: 2, Delta: 1}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Greedy([]float64{1, 2}, []float64{1}, Config{Degree: 2, Delta: 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Greedy([]float64{2, 1}, []float64{1, 2}, Config{Degree: 2, Delta: 1}); err == nil {
+		t.Error("unsorted keys should error")
+	}
+	if _, err := Greedy([]float64{1, 2}, []float64{1, 2}, Config{Degree: 2, Delta: -1}); err == nil {
+		t.Error("negative delta should error")
+	}
+	if _, err := Greedy([]float64{1, 2}, []float64{1, 2}, Config{Degree: -1, Delta: 1}); err == nil {
+		t.Error("negative degree should error")
+	}
+}
+
+func TestSingleKeyDataset(t *testing.T) {
+	segs, err := Greedy([]float64{5}, []float64{9}, Config{Degree: 2, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].First != 0 || segs[0].Last != 0 {
+		t.Fatalf("unexpected segmentation %+v", segs)
+	}
+	if got := segs[0].Fit.P.Eval(5); math.Abs(got-9) > 1e-9 {
+		t.Errorf("single-point segment evaluates to %g, want 9", got)
+	}
+}
+
+func BenchmarkGreedyExpSearch10k(b *testing.B) {
+	xs, ys := genCumulative(10000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(xs, ys, Config{Degree: 2, Delta: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyLinear10k(b *testing.B) {
+	xs, ys := genCumulative(10000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(xs, ys, Config{Degree: 2, Delta: 5, NoExpSearch: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

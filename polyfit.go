@@ -1,0 +1,204 @@
+package polyfit
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Agg identifies the aggregate function of an index.
+type Agg = core.Agg
+
+// Aggregate functions supported by PolyFit (Definition 1 of the paper).
+const (
+	Count = core.Count
+	Sum   = core.Sum
+	Min   = core.Min
+	Max   = core.Max
+)
+
+// Errors surfaced by the public API.
+var (
+	// ErrNoFallback is returned by relative-error queries when the index
+	// carries no exact fallback (built with DisableFallback, or loaded from
+	// a serialised blob).
+	ErrNoFallback = core.ErrNoFallback
+	// ErrBadOptions reports an invalid Options combination.
+	ErrBadOptions = errors.New("polyfit: either EpsAbs or Delta must be positive")
+)
+
+// Options configures index construction.
+type Options struct {
+	// EpsAbs is the absolute error guarantee εabs. The build derives the
+	// fitting tolerance δ per the paper's lemmas (εabs/2 for COUNT/SUM,
+	// εabs for MIN/MAX, εabs/4 for two-key COUNT).
+	EpsAbs float64
+	// Delta overrides the derived fitting tolerance δ directly (used when
+	// the index mainly serves relative-error queries, e.g. the paper uses
+	// δ=50 for 1D and δ=250 for 2D in Problem 2). Takes precedence over
+	// EpsAbs when positive.
+	Delta float64
+	// Degree of the fitted polynomials (default 2 — the paper's PolyFit-2).
+	Degree int
+	// DisableFallback skips building the exact structures used by QueryRel.
+	DisableFallback bool
+}
+
+func (o Options) delta(agg Agg) (float64, error) {
+	if o.Delta > 0 {
+		return o.Delta, nil
+	}
+	if o.EpsAbs > 0 {
+		return core.DeltaForAbs(agg, o.EpsAbs), nil
+	}
+	return 0, ErrBadOptions
+}
+
+// Index is a PolyFit index over one key.
+type Index struct {
+	inner *core.Index1D
+}
+
+// NewCountIndex builds an index answering approximate range COUNT queries
+// over the given keys (sorted, strictly increasing).
+func NewCountIndex(keys []float64, opt Options) (*Index, error) {
+	d, err := opt.delta(Count)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildCount(keys, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// NewSumIndex builds an index answering approximate range SUM queries over
+// (key, measure) records. Measures must be non-negative for the
+// relative-error guarantee.
+func NewSumIndex(keys, measures []float64, opt Options) (*Index, error) {
+	d, err := opt.delta(Sum)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildSum(keys, measures, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// NewMaxIndex builds an index answering approximate range MAX queries.
+func NewMaxIndex(keys, measures []float64, opt Options) (*Index, error) {
+	d, err := opt.delta(Max)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildMax(keys, measures, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// NewMinIndex builds an index answering approximate range MIN queries.
+func NewMinIndex(keys, measures []float64, opt Options) (*Index, error) {
+	d, err := opt.delta(Min)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildMin(keys, measures, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Query answers the approximate range aggregate over [lq, uq] (COUNT/SUM use
+// the half-open (lq, uq] semantics of the paper's Equation 5). For MIN/MAX
+// an empty range returns found=false; COUNT/SUM return 0 with found=true.
+func (ix *Index) Query(lq, uq float64) (value float64, found bool, err error) {
+	switch ix.inner.Aggregate() {
+	case Count, Sum:
+		v, err := ix.inner.RangeSum(lq, uq)
+		return v, true, err
+	default:
+		return ix.inner.RangeExtremum(lq, uq)
+	}
+}
+
+// Result carries a relative-error query answer.
+type Result struct {
+	Value float64
+	// Exact reports whether the exact fallback produced the value (the
+	// approximate gate of Lemma 3/5 failed).
+	Exact bool
+	// Found is false when a MIN/MAX range contains no records.
+	Found bool
+}
+
+// QueryRel answers within the relative error epsRel (Problem 2). The result
+// is certified: either the approximate gate passed, or the exact structure
+// answered.
+func (ix *Index) QueryRel(lq, uq, epsRel float64) (Result, error) {
+	switch ix.inner.Aggregate() {
+	case Count, Sum:
+		v, exact, err := ix.inner.RangeSumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: true}, err
+	default:
+		v, exact, ok, err := ix.inner.RangeExtremumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: ok}, err
+	}
+}
+
+// Stats summarises an index.
+type Stats struct {
+	Aggregate     Agg
+	Records       int
+	Segments      int
+	Degree        int
+	Delta         float64
+	IndexBytes    int // the compact PolyFit structure
+	FallbackBytes int // exact structures for QueryRel (0 if disabled)
+}
+
+// Stats returns structural information about the index.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Aggregate:     ix.inner.Aggregate(),
+		Records:       ix.inner.Len(),
+		Segments:      ix.inner.NumSegments(),
+		Degree:        ix.inner.Degree(),
+		Delta:         ix.inner.Delta(),
+		IndexBytes:    ix.inner.SizeBytes(),
+		FallbackBytes: ix.inner.FallbackSizeBytes(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%v index: %d records → %d deg-%d segments (δ=%g, %dB index, %dB fallback)",
+		s.Aggregate, s.Records, s.Segments, s.Degree, s.Delta, s.IndexBytes, s.FallbackBytes)
+}
+
+// MarshalBinary serialises the compact index structure (without exact
+// fallbacks — see the package documentation).
+func (ix *Index) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+// UnmarshalBinary loads a serialised index.
+func (ix *Index) UnmarshalBinary(data []byte) error {
+	inner := &core.Index1D{}
+	if err := inner.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	ix.inner = inner
+	return nil
+}

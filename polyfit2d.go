@@ -1,0 +1,115 @@
+package polyfit
+
+import (
+	"repro/internal/core"
+)
+
+// Index2D is a PolyFit index over two keys (Section VI of the paper),
+// answering approximate rectangle COUNT queries from a quadtree of fitted
+// cumulative surfaces.
+type Index2D struct {
+	inner *core.Index2D
+}
+
+// Options2D configures a two-key index build.
+type Options2D struct {
+	// EpsAbs is the absolute guarantee; the build uses δ = εabs/4 (Lemma 6).
+	EpsAbs float64
+	// Delta overrides δ directly (the paper uses δ=250 for Problem 2).
+	Delta float64
+	// Degree of the fitted surfaces (default 2).
+	Degree int
+	// DisableFallback skips the exact aR-tree used by QueryRel.
+	DisableFallback bool
+}
+
+// NewCount2DIndex builds a two-key COUNT index over points (xs[i], ys[i]).
+func NewCount2DIndex(xs, ys []float64, opt Options2D) (*Index2D, error) {
+	d, err := opt.delta()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildCount2D(xs, ys, core.Options2D{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index2D{inner: inner}, nil
+}
+
+// NewSum2DIndex builds a two-key SUM index over weighted points — the
+// Section VI extension to other aggregate types. Weights must be
+// non-negative for QueryRel's guarantee.
+func NewSum2DIndex(xs, ys, weights []float64, opt Options2D) (*Index2D, error) {
+	d, err := opt.delta()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildSum2D(xs, ys, weights, core.Options2D{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index2D{inner: inner}, nil
+}
+
+func (o Options2D) delta() (float64, error) {
+	if o.Delta > 0 {
+		return o.Delta, nil
+	}
+	if o.EpsAbs > 0 {
+		return core.Delta2DForAbs(o.EpsAbs), nil
+	}
+	return 0, ErrBadOptions
+}
+
+// Query answers the approximate COUNT over the half-open rectangle
+// (xlo, xhi] × (ylo, yhi].
+func (ix *Index2D) Query(xlo, xhi, ylo, yhi float64) float64 {
+	return ix.inner.RangeCount(xlo, xhi, ylo, yhi)
+}
+
+// QueryRel answers within relative error epsRel (Lemma 7 gate with exact
+// aR-tree fallback).
+func (ix *Index2D) QueryRel(xlo, xhi, ylo, yhi, epsRel float64) (Result, error) {
+	v, exact, err := ix.inner.RangeCountRel(xlo, xhi, ylo, yhi, epsRel)
+	return Result{Value: v, Exact: exact, Found: true}, err
+}
+
+// Stats2D summarises a two-key index.
+type Stats2D struct {
+	Records       int
+	Leaves        int
+	Depth         int
+	Delta         float64
+	IndexBytes    int
+	FallbackBytes int
+}
+
+// Stats returns structural information about the index.
+func (ix *Index2D) Stats() Stats2D {
+	return Stats2D{
+		Records:       ix.inner.Len(),
+		Leaves:        ix.inner.NumLeaves(),
+		Depth:         ix.inner.Depth(),
+		Delta:         ix.inner.Delta(),
+		IndexBytes:    ix.inner.SizeBytes(),
+		FallbackBytes: ix.inner.FallbackSizeBytes(),
+	}
+}
+
+// MarshalBinary serialises the quadtree structure (without the exact
+// fallback).
+func (ix *Index2D) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+// UnmarshalBinary loads a serialised two-key index.
+func (ix *Index2D) UnmarshalBinary(data []byte) error {
+	inner := &core.Index2D{}
+	if err := inner.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	ix.inner = inner
+	return nil
+}

@@ -1,0 +1,286 @@
+package polyfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	keys := data.GenTweet(500, 1)
+	if _, err := NewCountIndex(keys, Options{}); err != ErrBadOptions {
+		t.Errorf("zero options should yield ErrBadOptions, got %v", err)
+	}
+	if _, err := NewCountIndex(nil, Options{EpsAbs: 10}); err == nil {
+		t.Error("empty keys should error")
+	}
+}
+
+func TestCountIndexEndToEnd(t *testing.T) {
+	keys := data.GenTweet(5000, 2)
+	const eps = 50.0
+	ix, err := NewCountIndex(keys, Options{EpsAbs: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Aggregate != Count || st.Records != 5000 || st.Segments < 1 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("Stats.String empty")
+	}
+	qs := data.RangeQueriesFromKeys(keys, 400, 3)
+	for _, q := range qs {
+		got, found, err := ix.Query(q.L, q.U)
+		if err != nil || !found {
+			t.Fatalf("Query error: %v found=%v", err, found)
+		}
+		want := 0.0
+		for _, k := range keys {
+			if k > q.L && k <= q.U {
+				want++
+			}
+		}
+		if math.Abs(got-want) > eps+1e-9 {
+			t.Fatalf("|%g − %g| > εabs for %+v", got, want, q)
+		}
+	}
+}
+
+func TestSumIndexEndToEnd(t *testing.T) {
+	keys, measures := data.GenHKI(4000, 4)
+	ix, err := NewSumIndex(keys, measures, Options{EpsAbs: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.RangeQueriesFromKeys(keys, 200, 5)
+	for _, q := range qs {
+		got, _, err := ix.Query(q.L, q.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for i, k := range keys {
+			if k > q.L && k <= q.U {
+				want += measures[i]
+			}
+		}
+		if math.Abs(got-want) > 1e5+1e-6 {
+			t.Fatalf("SUM |%g − %g| > εabs", got, want)
+		}
+	}
+}
+
+func TestMaxMinIndexEndToEnd(t *testing.T) {
+	keys, measures := data.GenHKI(4000, 6)
+	mx, err := NewMaxIndex(keys, measures, Options{EpsAbs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := NewMinIndex(keys, measures, Options{EpsAbs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.RangeQueriesFromKeys(keys, 200, 7)
+	for _, q := range qs {
+		gotMax, foundMax, err := mx.Query(q.L, q.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMin, foundMin, err := mn.Query(q.L, q.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMax, wantMin := math.Inf(-1), math.Inf(1)
+		any := false
+		for i, k := range keys {
+			if k >= q.L && k <= q.U {
+				any = true
+				wantMax = math.Max(wantMax, measures[i])
+				wantMin = math.Min(wantMin, measures[i])
+			}
+		}
+		if !any {
+			continue
+		}
+		if !foundMax || !foundMin {
+			t.Fatalf("non-empty range reported empty")
+		}
+		if gotMax < wantMax-100-1e-6 || gotMax > wantMax+250 {
+			t.Fatalf("MAX %g vs %g outside envelope", gotMax, wantMax)
+		}
+		if gotMin > wantMin+100+1e-6 || gotMin < wantMin-250 {
+			t.Fatalf("MIN %g vs %g outside envelope", gotMin, wantMin)
+		}
+	}
+}
+
+func TestQueryRelCertified(t *testing.T) {
+	// δ=5 keeps the Lemma 3 gate 2δ(1+1/εrel) = 1010 well below the dataset
+	// cardinality so wide queries exercise the approximate path.
+	keys := data.GenTweet(6000, 8)
+	ix, err := NewCountIndex(keys, Options{Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := data.RangeQueriesFromKeys(keys, 300, 9)
+	approx := 0
+	for _, q := range qs {
+		res, err := ix.QueryRel(q.L, q.U, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, k := range keys {
+			if k > q.L && k <= q.U {
+				want++
+			}
+		}
+		if res.Exact {
+			if res.Value != want {
+				t.Fatalf("exact path wrong: %g vs %g", res.Value, want)
+			}
+			continue
+		}
+		approx++
+		if want == 0 || math.Abs(res.Value-want)/want > 0.01+1e-9 {
+			t.Fatalf("relative error violated: %g vs %g", res.Value, want)
+		}
+	}
+	if approx == 0 {
+		t.Fatal("approximate path never used")
+	}
+}
+
+func TestDisableFallback(t *testing.T) {
+	keys := data.GenTweet(1000, 10)
+	ix, err := NewCountIndex(keys, Options{EpsAbs: 20, DisableFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().FallbackBytes != 0 {
+		t.Error("fallback bytes should be 0")
+	}
+	if _, err := ix.QueryRel(keys[0], keys[1], 1e-12); err != ErrNoFallback {
+		t.Errorf("want ErrNoFallback, got %v", err)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	keys := data.GenTweet(3000, 11)
+	orig, err := NewCountIndex(keys, Options{EpsAbs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Index
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	qs := data.RangeQueriesFromKeys(keys, 100, 12)
+	for _, q := range qs {
+		a, _, _ := orig.Query(q.L, q.U)
+		b, _, err := loaded.Query(q.L, q.U)
+		if err != nil || a != b {
+			t.Fatalf("round-trip divergence: %g vs %g (%v)", a, b, err)
+		}
+	}
+}
+
+func TestIndex2DEndToEnd(t *testing.T) {
+	xs, ys := data.GenOSM(5000, 13)
+	ix, err := NewCount2DIndex(xs, ys, Options2D{EpsAbs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Records != 5000 || st.Leaves < 1 || st.Depth < 1 {
+		t.Fatalf("bad 2D stats: %+v", st)
+	}
+	qs := data.UniformRects(-180, 180, -90, 90, 200, 14)
+	bad := 0
+	for _, q := range qs {
+		got := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+		want := 0.0
+		for i := range xs {
+			if xs[i] > q.XLo && xs[i] <= q.XHi && ys[i] > q.YLo && ys[i] <= q.YHi {
+				want++
+			}
+		}
+		if math.Abs(got-want) > 200+1e-6 {
+			bad++
+		}
+	}
+	if bad > len(qs)/20 {
+		t.Fatalf("%d/%d 2D queries outside εabs", bad, len(qs))
+	}
+	// Relative path.
+	res, err := ix.QueryRel(-180, 180, -90, 90, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-5000) > 0.05*5000+1 {
+		t.Errorf("whole-domain relative query %g, want ≈5000", res.Value)
+	}
+	// Round-trip.
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Index2D
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs[:50] {
+		if a, b := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi), loaded.Query(q.XLo, q.XHi, q.YLo, q.YHi); a != b {
+			t.Fatalf("2D round-trip divergence: %g vs %g", a, b)
+		}
+	}
+}
+
+func TestIndex2DOptionsValidation(t *testing.T) {
+	xs, ys := data.GenOSM(100, 15)
+	if _, err := NewCount2DIndex(xs, ys, Options2D{}); err != ErrBadOptions {
+		t.Errorf("zero options should yield ErrBadOptions, got %v", err)
+	}
+	if _, err := NewCount2DIndex(nil, nil, Options2D{EpsAbs: 10}); err == nil {
+		t.Error("empty points should error")
+	}
+}
+
+func TestCompressionHeadline(t *testing.T) {
+	// The headline claim: the index is far smaller than the data.
+	keys := data.GenTweet(50000, 16)
+	ix, err := NewCountIndex(keys, Options{EpsAbs: 100, DisableFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	raw := 8 * len(keys)
+	if st.IndexBytes*10 > raw {
+		t.Errorf("index %dB not ≤ 10%% of raw %dB (segments=%d)", st.IndexBytes, raw, st.Segments)
+	}
+	t.Logf("compression: %d keys (%d B) → %d segments (%d B)", len(keys), raw, st.Segments, st.IndexBytes)
+}
+
+func BenchmarkPublicQueryCount(b *testing.B) {
+	keys := data.GenTweet(100000, 1)
+	ix, err := NewCountIndex(keys, Options{EpsAbs: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := data.RangeQueriesFromKeys(keys, 1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i&1023]
+		ix.Query(q.L, q.U) //nolint:errcheck
+	}
+}
+
+var sinkRand = rand.New(rand.NewSource(1)) // referenced to keep math/rand imported for future benches
