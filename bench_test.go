@@ -7,9 +7,12 @@ package polyfit_test
 
 import (
 	"math"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	polyfit "repro"
 	"repro/internal/artree"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -493,4 +496,134 @@ func BenchmarkAblationMaxBoundaryWork(b *testing.B) {
 			pf.RangeExtremum(q, q+50) //nolint:errcheck
 		}
 	})
+}
+
+// --- Serving layer: batched queries and concurrent throughput -----------------
+
+// BenchmarkQueryBatchVsSerial compares answering 1024 COUNT ranges one by
+// one against the QueryBatch hot path, for a random batch (the adaptive
+// gate falls back to direct evaluation — parity with serial, no sort tax)
+// and a sorted sliding-window batch (the forward-only cursor replaces
+// every binary search).
+func BenchmarkQueryBatchVsSerial(b *testing.B) {
+	f := fx()
+	random := make([]core.Range, len(f.qs1D))
+	for i, q := range f.qs1D {
+		random[i] = core.Range{Lo: q.L, Hi: q.U}
+	}
+	lo, hi := f.tweetKeys[0], f.tweetKeys[len(f.tweetKeys)-1]
+	sorted := make([]core.Range, 1024)
+	for i := range sorted {
+		a := lo + float64(i)*(hi-lo)/1024
+		sorted[i] = core.Range{Lo: a, Hi: a + (hi-lo)/1200}
+	}
+	// Coarse: the paper's δ=50 point, 24 segments — everything cache-hot.
+	// Fine: δ=0.5, ~15k segments — per-query binary searches cache-miss.
+	for _, cfg := range []struct {
+		name  string
+		delta float64
+	}{{"Coarse", 50}, {"Fine", 0.5}} {
+		pf, err := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: cfg.delta, NoFallback: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []struct {
+			name   string
+			ranges []core.Range
+		}{{"Random", random}, {"SortedWindows", sorted}} {
+			b.Run(cfg.name+"/"+w.name+"/Serial", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, r := range w.ranges {
+						pf.RangeSum(r.Lo, r.Hi) //nolint:errcheck
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(w.ranges)), "ns/query")
+			})
+			b.Run(cfg.name+"/"+w.name+"/Batched", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pf.QueryBatch(w.ranges); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(w.ranges)), "ns/query")
+			})
+		}
+	}
+}
+
+// BenchmarkQueryBatchVsSerialMax is the MIN/MAX variant: the batch path
+// replaces the two per-query binary searches with a monotone cursor plus a
+// short gallop.
+func BenchmarkQueryBatchVsSerialMax(b *testing.B) {
+	f := fx()
+	pf, err := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranges := make([]core.Range, len(f.qsHKI))
+	for i, q := range f.qsHKI {
+		ranges[i] = core.Range{Lo: q.L, Hi: q.U}
+	}
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range ranges {
+				pf.RangeExtremum(r.Lo, r.Hi) //nolint:errcheck
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pf.QueryBatch(ranges); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDynamicConcurrentThroughput measures query throughput on a
+// dynamic index while a background writer streams inserts (triggering
+// periodic merge-rebuilds). Queries are lock-free snapshot reads, so
+// GOMAXPROCS-many readers scale without contending with the writer.
+func BenchmarkDynamicConcurrentThroughput(b *testing.B) {
+	f := fx()
+	for _, writers := range []int{0, 1} {
+		name := map[int]string{0: "ReadOnly", 1: "WithInserts"}[writers]
+		b.Run(name, func(b *testing.B) {
+			d, err := polyfit.NewDynamicCountIndex(f.tweetKeys, polyfit.Options{EpsAbs: 100, DisableFallback: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							d.Insert(rng.Float64()*4e8, 1) //nolint:errcheck
+						}
+					}
+				}(int64(41 + w))
+			}
+			var qi atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := f.qs1D[int(qi.Add(1))&1023]
+					if _, _, err := d.Query(q.L, q.U); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
 }

@@ -1,0 +1,91 @@
+// polyfit-serve runs the PolyFit query service: an HTTP JSON API over a
+// registry of named range-aggregate indexes (see internal/server for the
+// endpoint reference). Static indexes are immutable and lock-free; dynamic
+// indexes accept concurrent inserts while queries keep answering from
+// lock-free snapshots.
+//
+// Usage:
+//
+//	polyfit-serve [-addr :8080] [-demo 200000]
+//
+// With -demo N the server starts with two preloaded indexes built over N
+// synthetic records each — "tweet" (dynamic COUNT over latitudes, εabs=100)
+// and "hki" (dynamic MAX over a stock-like series, εabs=100) — so it can be
+// queried immediately:
+//
+//	curl -s localhost:8080/v1/indexes
+//	curl -s -X POST localhost:8080/v1/indexes/tweet/query -d '{"lo":30,"hi":50}'
+//	curl -s -X POST localhost:8080/v1/indexes/tweet/batch \
+//	    -d '{"ranges":[{"lo":0,"hi":10},{"lo":-20,"hi":20}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Int("demo", 0, "preload demo indexes over this many synthetic records (0 = none)")
+	flag.Parse()
+
+	srv := server.New()
+	if *demo > 0 {
+		if err := preload(srv, *demo); err != nil {
+			log.Fatalf("preload demo indexes: %v", err)
+		}
+		log.Printf("preloaded demo indexes %q and %q over %d records each", "tweet", "hki", *demo)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		log.Printf("polyfit-serve listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// preload registers the demo indexes over synthetic datasets.
+func preload(srv *server.Server, n int) error {
+	tweet := server.CreateRequest{
+		Name: "tweet", Agg: "count", Dynamic: true,
+		Keys: data.GenTweet(n, 1), EpsAbs: 100,
+	}
+	keys, vals := data.GenHKI(n, 2)
+	hki := server.CreateRequest{
+		Name: "hki", Agg: "max", Dynamic: true,
+		Keys: keys, Measures: vals, EpsAbs: 100,
+	}
+	for _, req := range []server.CreateRequest{tweet, hki} {
+		if _, err := srv.Create(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}

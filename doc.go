@@ -29,6 +29,40 @@
 //     (a key-cumulative array or aggregate tree) answers instead, so the
 //     result is always within the requested relative error.
 //
+// # Dynamic indexes and concurrency
+//
+// DynamicIndex (NewDynamicCountIndex and friends) supports inserts via a
+// sorted delta buffer over the static index; the buffer is aggregated
+// exactly, so every guarantee above carries over unchanged. It is safe
+// for concurrent use by multiple goroutines with the following contract:
+//
+//   - Queries (Query, QueryRel, QueryBatch, Stats, Len, BufferLen) are
+//     lock-free: they read one immutable snapshot through an atomic
+//     pointer and never block — not even while a merge-rebuild is running,
+//     because the new base index is constructed off to the side and
+//     published with a single pointer swap.
+//   - Each query sees one consistent snapshot: a concurrent Insert either
+//     precedes all of a QueryBatch's answers or none of them.
+//   - Insert and Rebuild serialise on an internal lock; an Insert that
+//     triggers a merge-rebuild blocks other writers (not readers) until
+//     the rebuild completes.
+//   - Monotonicity: once an Insert returns, every subsequent query
+//     observes that record.
+//
+// Static Index values are immutable after construction and therefore
+// trivially safe for concurrent readers.
+//
+// # Batched queries
+//
+// Index.QueryBatch and DynamicIndex.QueryBatch answer many ranges per
+// call. Batches of ascending non-overlapping windows (tiled scans,
+// time-bucketed dashboards) are answered with a forward-only segment
+// cursor instead of per-query binary searches; other batches fall back to
+// direct evaluation unless the segment array is so much larger than the
+// batch that sorting pays. The serving layer (internal/server, cmd/polyfit-serve)
+// exposes this as a batched HTTP endpoint answering many ranges per round
+// trip.
+//
 // # Two keys
 //
 // NewCount2DIndex builds the Section VI variant: a quadtree of bivariate

@@ -9,6 +9,11 @@ import (
 // internal/core.Dynamic1D). Inserts are aggregated exactly, so the static
 // index's absolute guarantee carries over unchanged; deletions are not
 // supported.
+//
+// DynamicIndex is safe for concurrent use by multiple goroutines: queries
+// are lock-free reads of an immutable snapshot and never block, not even
+// while a merge-rebuild is in flight; Insert and Rebuild serialise on an
+// internal lock. See the package documentation for the full guarantees.
 type DynamicIndex struct {
 	inner *core.Dynamic1D
 }
@@ -39,7 +44,7 @@ func newDynamic(agg Agg, keys, measures []float64, opt Options) (*DynamicIndex, 
 		return nil, err
 	}
 	inner, err := core.NewDynamic(agg, keys, measures, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: true,
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
 	})
 	if err != nil {
 		return nil, err
@@ -57,16 +62,45 @@ func (d *DynamicIndex) Insert(key, measure float64) error {
 // Query answers the approximate aggregate with the build-time εabs
 // guarantee (buffer contributions are exact).
 func (d *DynamicIndex) Query(lq, uq float64) (value float64, found bool, err error) {
-	switch d.inner.Base().Aggregate() {
+	switch d.inner.Aggregate() {
 	case Count, Sum:
 		v, err := d.inner.RangeSum(lq, uq)
-		return v, true, err
+		if err != nil {
+			return 0, false, err
+		}
+		return v, true, nil
 	default:
 		return d.inner.RangeExtremum(lq, uq)
 	}
 }
 
+// QueryRel answers within the relative error epsRel (Problem 2), exactly
+// like Index.QueryRel; buffered inserts participate exactly in both the
+// certification gate and the fallback. Indexes built with DisableFallback
+// return ErrNoFallback whenever the approximate gate cannot certify the
+// bound.
+func (d *DynamicIndex) QueryRel(lq, uq, epsRel float64) (Result, error) {
+	switch d.inner.Aggregate() {
+	case Count, Sum:
+		v, exact, err := d.inner.RangeSumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: true}, err
+	default:
+		v, exact, ok, err := d.inner.RangeExtremumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: ok}, err
+	}
+}
+
+// QueryBatch answers many ranges in one call (see Index.QueryBatch); each
+// answer folds in the exact delta-buffer aggregate. The whole batch reads
+// one consistent snapshot: a concurrent Insert either precedes every
+// answer of the batch or none.
+func (d *DynamicIndex) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	return d.inner.QueryBatch(ranges)
+}
+
 // Rebuild forces an immediate merge of the delta buffer into the base.
+// Concurrent queries keep answering from the previous snapshot until the
+// merged index is published.
 func (d *DynamicIndex) Rebuild() error { return d.inner.Rebuild() }
 
 // Len returns the total record count (base + buffer).
@@ -75,16 +109,27 @@ func (d *DynamicIndex) Len() int { return d.inner.Len() }
 // BufferLen returns the number of not-yet-merged inserts.
 func (d *DynamicIndex) BufferLen() int { return d.inner.BufferLen() }
 
-// Stats reports the current base index structure.
+// Stats reports the current index structure from one consistent snapshot.
+// IndexBytes includes the full delta-buffer footprint (keys, measures, and
+// prefix aggregates); BufferLen counts the not-yet-merged inserts.
 func (d *DynamicIndex) Stats() Stats {
-	base := d.inner.Base()
+	v := d.inner.View()
 	return Stats{
-		Aggregate:     base.Aggregate(),
-		Records:       d.inner.Len(),
-		Segments:      base.NumSegments(),
-		Degree:        base.Degree(),
-		Delta:         base.Delta(),
-		IndexBytes:    base.SizeBytes() + 16*d.inner.BufferLen(),
-		FallbackBytes: base.FallbackSizeBytes(),
+		Aggregate:     v.Base.Aggregate(),
+		Records:       v.Records,
+		Segments:      v.Base.NumSegments(),
+		Degree:        v.Base.Degree(),
+		Delta:         v.Base.Delta(),
+		IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
+		FallbackBytes: v.Base.FallbackSizeBytes(),
+		BufferLen:     v.BufferLen,
 	}
 }
+
+// MarshalBinary serialises the index in the same format as
+// Index.MarshalBinary, with the delta buffer merged in so no insert is
+// lost. The merge happens on a private copy of the current snapshot: the
+// index itself is not rebuilt, concurrent writers are never blocked, and
+// the buffer stays in place. As with the static index, exact fallbacks
+// are not serialised.
+func (d *DynamicIndex) MarshalBinary() ([]byte, error) { return d.inner.MarshalBinary() }

@@ -3,6 +3,8 @@ package polyfit
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/data"
@@ -85,5 +87,251 @@ func TestDynamicMaxEndToEnd(t *testing.T) {
 func TestDynamicOptionsValidation(t *testing.T) {
 	if _, err := NewDynamicCountIndex(data.GenTweet(100, 64), Options{}); err != ErrBadOptions {
 		t.Errorf("want ErrBadOptions, got %v", err)
+	}
+}
+
+func TestDynamicQueryRel(t *testing.T) {
+	keys := data.GenTweet(3000, 65)
+	d, err := NewDynamicCountIndex(keys, Options{Delta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append([]float64(nil), keys...)
+	rng := rand.New(rand.NewSource(66))
+	for i := 0; i < 300; i++ {
+		k := -60 + rng.Float64()*135
+		if err := d.Insert(k, 1); err == nil {
+			all = append(all, k)
+		}
+	}
+	const epsRel = 0.01
+	for q := 0; q < 150; q++ {
+		l := all[rng.Intn(len(all))]
+		u := all[rng.Intn(len(all))]
+		if l > u {
+			l, u = u, l
+		}
+		res, err := d.QueryRel(l, u, epsRel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, k := range all {
+			if k > l && k <= u {
+				want++
+			}
+		}
+		if math.Abs(res.Value-want) > epsRel*want+1e-6 {
+			t.Fatalf("|%g − %g| > %g·R (exact=%v)", res.Value, want, epsRel, res.Exact)
+		}
+	}
+}
+
+// DisableFallback is honored now instead of being silently forced on: a
+// fallback-free dynamic index answers absolute queries but returns
+// ErrNoFallback when the relative gate cannot certify the bound.
+func TestDynamicDisableFallbackHonored(t *testing.T) {
+	keys := data.GenTweet(2000, 67)
+	d, err := NewDynamicCountIndex(keys, Options{Delta: 50, DisableFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.FallbackBytes != 0 {
+		t.Errorf("DisableFallback ignored: %d fallback bytes", st.FallbackBytes)
+	}
+	if _, _, err := d.Query(10, 20); err != nil {
+		t.Errorf("absolute query: %v", err)
+	}
+	// An empty range can never pass the Lemma 3 gate.
+	if _, err := d.QueryRel(keys[0], keys[0], 0.01); err != ErrNoFallback {
+		t.Errorf("want ErrNoFallback, got %v", err)
+	}
+	// With the fallback built (the default), the same query succeeds.
+	df, err := NewDynamicCountIndex(keys, Options{Delta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.QueryRel(keys[0], keys[0], 0.01); err != nil {
+		t.Errorf("fallback path: %v", err)
+	}
+}
+
+// Stats must account for the real delta-buffer footprint: keys, measures,
+// and the prefix-aggregate array (24 B per buffered record), not 16 B.
+func TestDynamicStatsBufferAccounting(t *testing.T) {
+	keys := data.GenTweet(1500, 68)
+	d, err := NewDynamicCountIndex(keys, Options{EpsAbs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := d.Insert(1e6+float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := d.Stats()
+	if got, want := after.IndexBytes-before.IndexBytes, 24*n; got != want {
+		t.Errorf("buffer accounted as %d bytes for %d inserts, want %d", got, n, want)
+	}
+}
+
+func TestDynamicQueryBatchMatchesSerial(t *testing.T) {
+	keys, measures := data.GenHKI(4000, 69)
+	d, err := NewDynamicMaxIndex(keys, measures, Options{EpsAbs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(70))
+	for i := 0; i < 50; i++ {
+		d.Insert(keys[len(keys)-1]+1+rng.Float64()*1000, rng.Float64()*500) //nolint:errcheck
+	}
+	ranges := make([]Range, 400)
+	lo, hi := keys[0], keys[len(keys)-1]+1001
+	for i := range ranges {
+		a, b := lo+rng.Float64()*(hi-lo), lo+rng.Float64()*(hi-lo)
+		if a > b {
+			a, b = b, a
+		}
+		ranges[i] = Range{Lo: a, Hi: b}
+	}
+	batch, err := d.QueryBatch(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranges {
+		want, ok, err := d.Query(r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Found != ok || (ok && batch[i].Value != want) {
+			t.Fatalf("range %d: batch (%g,%v), serial (%g,%v)",
+				i, batch[i].Value, batch[i].Found, want, ok)
+		}
+	}
+}
+
+func TestDynamicMarshalRoundTrip(t *testing.T) {
+	keys := data.GenTweet(2000, 71)
+	d, err := NewDynamicCountIndex(keys, Options{EpsAbs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Insert(1e6+float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BufferLen() != 10 {
+		t.Errorf("MarshalBinary disturbed the buffer: %d", d.BufferLen())
+	}
+	loaded := &Index{}
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Stats().Records, d.Len(); got != want {
+		t.Errorf("loaded index has %d records, want %d (buffer merged into blob)", got, want)
+	}
+	want, _, _ := d.Query(10, 1e7)
+	got, _, err := loaded.Query(10, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded index re-fits the merged data, so answers agree within the
+	// shared εabs bound rather than bit-for-bit.
+	if math.Abs(got-want) > 2*50+1e-6 {
+		t.Errorf("loaded index answers %g, want %g ± 2ε", got, want)
+	}
+}
+
+// TestDynamicConcurrentUse is the public-API race stress test: concurrent
+// Insert, Query, QueryBatch, QueryRel, Stats, and Rebuild on one index.
+// Run with -race.
+func TestDynamicConcurrentUse(t *testing.T) {
+	keys := data.GenTweet(3000, 73)
+	const eps = 50.0
+	d, err := NewDynamicCountIndex(keys, Options{EpsAbs: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// attempted is bumped before Insert, inserted after it returns, so the
+	// live record count is always within [inserted, attempted].
+	var attempted, inserted atomic.Int64
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				attempted.Add(1)
+				if err := d.Insert(rng.Float64()*1e6+1e3, 1); err == nil {
+					inserted.Add(1)
+				} else {
+					attempted.Add(-1)
+				}
+			}
+		}(int64(500 + g))
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 4; i++ {
+			if err := d.Rebuild(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := float64(len(keys)) + float64(inserted.Load())
+				v, found, err := d.Query(-1e7, 1e7)
+				if err != nil || !found {
+					t.Errorf("query: %v %v", err, found)
+					return
+				}
+				ceil := float64(len(keys)) + float64(attempted.Load())
+				if v < floor-eps-1e-6 || v > ceil+eps+1e-6 {
+					t.Errorf("count %g outside [%g, %g] ± ε", v, floor, ceil)
+					return
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := d.QueryBatch([]Range{{Lo: -90, Hi: 90}, {Lo: 0, Hi: 1e6}}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := d.QueryRel(-90, 90, 0.01); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					d.Stats()
+				}
+			}
+		}(int64(600 + g))
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := d.Len(), len(keys)+int(inserted.Load()); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
 	}
 }

@@ -1,0 +1,121 @@
+// Serving quickstart: run the PolyFit query service in-process, build a
+// dynamic COUNT index over HTTP, stream inserts into it while querying,
+// and answer a 512-range batched request in one round trip.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/server"
+)
+
+func main() {
+	// 1. The service (in-process here; `polyfit-serve` runs the same
+	// handler as a standalone binary).
+	ts := httptest.NewServer(server.New())
+	defer ts.Close()
+	fmt.Printf("polyfit service at %s\n", ts.URL)
+
+	// 2. Build a dynamic COUNT index over 200k synthetic latitudes with an
+	// absolute error guarantee of ±100.
+	keys := data.GenTweet(200_000, 1)
+	st := must(postJSON[server.StatsResponse](ts.URL+"/v1/indexes", server.CreateRequest{
+		Name: "tweet", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+	}))
+	fmt.Printf("built %q: %d records -> %d segments (%d KB)\n",
+		st.Name, st.Records, st.Segments, st.IndexBytes/1024)
+
+	// 3. Queries and inserts from concurrent clients: queries read
+	// lock-free snapshots, so they never block behind inserts or the
+	// merge-rebuilds they trigger.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 20; i++ {
+			recs := make([]server.Record, 256)
+			for j := range recs {
+				recs[j] = server.Record{Key: 1000 + rng.Float64()*1e6}
+			}
+			must(postJSON[server.InsertResponse](ts.URL+"/v1/indexes/tweet/insert",
+				server.InsertRequest{Records: recs}))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			must(postJSON[server.QueryResponse](ts.URL+"/v1/indexes/tweet/query",
+				server.QueryRequest{Lo: 30, Hi: 50}))
+		}
+	}()
+	wg.Wait()
+	q := must(postJSON[server.QueryResponse](ts.URL+"/v1/indexes/tweet/query",
+		server.QueryRequest{Lo: 30, Hi: 50}))
+	fmt.Printf("COUNT (30, 50] = %.0f (±100) after 5120 concurrent inserts\n", q.Value)
+
+	// 4. A batched request: 512 ranges answered in one round trip through
+	// the sorted-sweep hot path.
+	rng := rand.New(rand.NewSource(3))
+	batch := server.BatchRequest{Ranges: make([]server.RangeJSON, 512)}
+	for i := range batch.Ranges {
+		a, b := -90+rng.Float64()*180, -90+rng.Float64()*180
+		if a > b {
+			a, b = b, a
+		}
+		batch.Ranges[i] = server.RangeJSON{Lo: a, Hi: b}
+	}
+	start := time.Now()
+	res := must(postJSON[server.BatchResponse](ts.URL+"/v1/indexes/tweet/batch", batch))
+	fmt.Printf("batched %d ranges in %v (round trip incl. JSON)\n",
+		len(res.Results), time.Since(start).Round(time.Microsecond))
+
+	// 5. Final stats.
+	resp, err := http.Get(ts.URL + "/v1/indexes/tweet")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var final server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		panic(err)
+	}
+	fmt.Printf("final: %d records, buffer %d, index %d KB\n",
+		final.Records, final.BufferLen, final.IndexBytes/1024)
+}
+
+func postJSON[T any](url string, body any) (T, error) {
+	var out T
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		return out, fmt.Errorf("%s: %s (%d)", url, e.Error, resp.StatusCode)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randRanges mixes narrow, wide, empty (Hi < Lo), and out-of-domain ranges.
+func randRanges(keys []float64, n int, seed int64) []Range {
+	rng := rand.New(rand.NewSource(seed))
+	lo, hi := keys[0], keys[len(keys)-1]
+	span := hi - lo
+	rs := make([]Range, n)
+	for i := range rs {
+		switch rng.Intn(8) {
+		case 0: // inverted (empty)
+			a := lo + rng.Float64()*span
+			rs[i] = Range{Lo: a + 1, Hi: a}
+		case 1: // fully below the domain
+			rs[i] = Range{Lo: lo - 3*span - 1, Hi: lo - span - 1}
+		case 2: // fully above the domain
+			rs[i] = Range{Lo: hi + span, Hi: hi + 2*span}
+		case 3: // whole domain and beyond
+			rs[i] = Range{Lo: lo - span, Hi: hi + span}
+		default: // random sub-range, endpoints often off-key
+			a := lo + rng.Float64()*span
+			b := lo + rng.Float64()*span
+			if a > b {
+				a, b = b, a
+			}
+			rs[i] = Range{Lo: a, Hi: b}
+		}
+	}
+	return rs
+}
+
+func TestQueryBatchMatchesSerialSum(t *testing.T) {
+	keys, measures := genDataset(5000, 81)
+	for _, agg := range []Agg{Count, Sum} {
+		var ix *Index1D
+		var err error
+		if agg == Count {
+			ix, err = BuildCount(keys, Options{Delta: 25, NoFallback: true})
+		} else {
+			ix, err = BuildSum(keys, measures, Options{Delta: 400, NoFallback: true})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges := randRanges(keys, 700, 82)
+		// Exercise both implementations regardless of the adaptive cutoff.
+		for _, impl := range []struct {
+			name string
+			run  func([]Range, []BatchResult)
+		}{
+			{"direct", ix.batchSumDirect},
+			{"sweep", func(r []Range, o []BatchResult) { ix.batchSumSweep(r, o, false) }},
+		} {
+			got := make([]BatchResult, len(ranges))
+			impl.run(ranges, got)
+			for i, r := range ranges {
+				want, err := ix.RangeSum(r.Lo, r.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got[i].Found {
+					t.Fatalf("%v/%s range %d: Found=false", agg, impl.name, i)
+				}
+				if math.Abs(got[i].Value-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%v/%s range %d (%g,%g]: batch %g, serial %g",
+						agg, impl.name, i, r.Lo, r.Hi, got[i].Value, want)
+				}
+			}
+		}
+		// And the public entry point.
+		got, err := ix.QueryBatch(ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range ranges {
+			want, _ := ix.RangeSum(r.Lo, r.Hi)
+			if math.Abs(got[i].Value-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("%v QueryBatch range %d: %g vs %g", agg, i, got[i].Value, want)
+			}
+		}
+	}
+}
+
+func TestQueryBatchMatchesSerialExtremum(t *testing.T) {
+	keys, measures := genDataset(5000, 83)
+	for _, agg := range []Agg{Max, Min} {
+		var ix *Index1D
+		var err error
+		if agg == Max {
+			ix, err = BuildMax(keys, measures, Options{Delta: 50, NoFallback: true})
+		} else {
+			ix, err = BuildMin(keys, measures, Options{Delta: 50, NoFallback: true})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges := randRanges(keys, 700, 84)
+		for _, impl := range []struct {
+			name string
+			run  func([]Range, []BatchResult)
+		}{
+			{"direct", ix.batchExtremumDirect},
+			{"sweep", func(r []Range, o []BatchResult) { ix.batchExtremumSweep(r, o, false) }},
+		} {
+			got := make([]BatchResult, len(ranges))
+			impl.run(ranges, got)
+			for i, r := range ranges {
+				want, ok, err := ix.RangeExtremum(r.Lo, r.Hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i].Found != ok {
+					t.Fatalf("%v/%s range %d [%g,%g]: batch found=%v, serial found=%v",
+						agg, impl.name, i, r.Lo, r.Hi, got[i].Found, ok)
+				}
+				if ok && got[i].Value != want {
+					t.Fatalf("%v/%s range %d [%g,%g]: batch %g, serial %g",
+						agg, impl.name, i, r.Lo, r.Hi, got[i].Value, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryBatchSortedWindows exercises the presorted fast path: ascending
+// non-overlapping windows (the sliding-dashboard shape) skip the sort and
+// ride the forward-only cursor.
+func TestQueryBatchSortedWindows(t *testing.T) {
+	keys, measures := genDataset(6000, 91)
+	lo, hi := keys[0], keys[len(keys)-1]
+	width := (hi - lo) / 600
+	sorted := make([]Range, 500)
+	for i := range sorted {
+		a := lo + float64(i)*(hi-lo)/500
+		sorted[i] = Range{Lo: a, Hi: a + width}
+	}
+	cnt, err := BuildCount(keys, Options{Delta: 25, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cnt.QueryBatch(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sorted {
+		want, _ := cnt.RangeSum(r.Lo, r.Hi)
+		if math.Abs(got[i].Value-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("sorted count window %d: %g vs %g", i, got[i].Value, want)
+		}
+	}
+	mx, err := BuildMax(keys, measures, Options{Delta: 50, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = mx.QueryBatch(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sorted {
+		want, ok, _ := mx.RangeExtremum(r.Lo, r.Hi)
+		if got[i].Found != ok || (ok && got[i].Value != want) {
+			t.Fatalf("sorted max window %d: (%g,%v) vs (%g,%v)",
+				i, got[i].Value, got[i].Found, want, ok)
+		}
+	}
+}
+
+func TestQueryBatchDynamicIncludesBuffer(t *testing.T) {
+	keys, measures := genDataset(2000, 85)
+	for _, agg := range []Agg{Count, Sum, Max, Min} {
+		d, err := NewDynamic(agg, keys, measures, Options{Delta: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(86))
+		for i := 0; i < 40; i++ {
+			d.Insert(rng.Float64()*2e6-5e5, rng.Float64()*100) //nolint:errcheck
+		}
+		if d.BufferLen() == 0 {
+			t.Fatal("no inserts landed in the buffer")
+		}
+		ranges := randRanges(keys, 300, 87)
+		got, err := d.QueryBatch(ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range ranges {
+			switch agg {
+			case Count, Sum:
+				want, _ := d.RangeSum(r.Lo, r.Hi)
+				if math.Abs(got[i].Value-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%v range %d: batch %g, serial %g", agg, i, got[i].Value, want)
+				}
+			default:
+				want, ok, _ := d.RangeExtremum(r.Lo, r.Hi)
+				if got[i].Found != ok || (ok && got[i].Value != want) {
+					t.Fatalf("%v range %d: batch (%g,%v), serial (%g,%v)",
+						agg, i, got[i].Value, got[i].Found, want, ok)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -138,6 +140,213 @@ func TestDynamicDuplicateRejected(t *testing.T) {
 	}
 	if err := d.Insert(9, 1); err == nil {
 		t.Error("duplicate buffered key accepted")
+	}
+}
+
+func TestDynamicRelativeQueries(t *testing.T) {
+	keys, measures := genDataset(3000, 57)
+	d, err := NewDynamic(Sum, keys, measures, Options{Delta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(58))
+	all := append([]float64(nil), keys...)
+	vals := append([]float64(nil), measures...)
+	for i := 0; i < 120; i++ {
+		k, m := rng.Float64()*2e6-5e5, rng.Float64()*100
+		if err := d.Insert(k, m); err == nil {
+			all = append(all, k)
+			vals = append(vals, m)
+		}
+	}
+	const epsRel = 0.01
+	for q := 0; q < 100; q++ {
+		l := all[rng.Intn(len(all))]
+		u := all[rng.Intn(len(all))]
+		if l > u {
+			l, u = u, l
+		}
+		got, _, err := d.RangeSumRel(l, u, epsRel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for i, k := range all {
+			if k > l && k <= u {
+				want += vals[i]
+			}
+		}
+		if math.Abs(got-want) > epsRel*want+1e-6 {
+			t.Fatalf("rel sum |%g − %g| > %g·R", got, want, epsRel)
+		}
+	}
+	// No fallback → ErrNoFallback on a range the gate cannot certify.
+	dn, err := NewDynamic(Sum, keys, measures, Options{Delta: 50, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dn.RangeSumRel(keys[0], keys[0], epsRel); err != ErrNoFallback {
+		t.Errorf("want ErrNoFallback, got %v", err)
+	}
+}
+
+func TestDynamicExtremumRel(t *testing.T) {
+	keys, measures := genDataset(2000, 59)
+	for i := range measures {
+		measures[i] = math.Abs(measures[i]) + 1 // rel guarantee needs positives
+	}
+	d, err := NewDynamic(Max, keys, measures, Options{Delta: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	all := append([]float64(nil), keys...)
+	vals := append([]float64(nil), measures...)
+	for i := 0; i < 100; i++ {
+		k, m := rng.Float64()*2e6-5e5, rng.Float64()*200+1
+		if err := d.Insert(k, m); err == nil {
+			all = append(all, k)
+			vals = append(vals, m)
+		}
+	}
+	const epsRel = 0.05
+	for q := 0; q < 100; q++ {
+		l := all[rng.Intn(len(all))]
+		u := all[rng.Intn(len(all))]
+		if l > u {
+			l, u = u, l
+		}
+		got, _, ok, err := d.RangeExtremumRel(l, u, epsRel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, found := math.Inf(-1), false
+		for i, k := range all {
+			if k >= l && k <= u && vals[i] > want {
+				want, found = vals[i], true
+			}
+		}
+		if ok != found {
+			t.Fatalf("found=%v, want %v for [%g,%g]", ok, found, l, u)
+		}
+		if found && math.Abs(got-want) > epsRel*want+1e-6 {
+			t.Fatalf("rel max |%g − %g| > %g·R", got, want, epsRel)
+		}
+	}
+}
+
+func TestDynamicBufferFootprint(t *testing.T) {
+	keys, _ := genDataset(1000, 65)
+	d, err := NewDynamic(Sum, keys, make([]float64, len(keys)), Options{Delta: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BufferSizeBytes() != 0 {
+		t.Errorf("fresh index buffer bytes = %d", d.BufferSizeBytes())
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Insert(2e7+float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// COUNT/SUM buffers store keys, measures, and prefix sums: 24 B/record.
+	if got, want := d.BufferSizeBytes(), 24*10; got != want {
+		t.Errorf("buffer bytes = %d, want %d", got, want)
+	}
+	v := d.View()
+	if v.BufferLen != 10 || v.BufferBytes != 240 || v.Records != 1010 || v.Base == nil {
+		t.Errorf("bad view %+v", v)
+	}
+}
+
+// TestDynamicConcurrentStress hammers one index from inserter, reader,
+// batch-reader, and rebuilder goroutines; run with -race. Readers assert
+// the absolute guarantee against the monotonically growing record count.
+func TestDynamicConcurrentStress(t *testing.T) {
+	keys, _ := genDataset(2000, 67)
+	const epsAbs = 30.0
+	d, err := NewDynamic(Count, keys, make([]float64, len(keys)), Options{Delta: DeltaForAbs(Count, epsAbs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window covering every base key and every possible inserted key.
+	lo, hi := math.Min(keys[0], -2e6)-1, math.Max(keys[len(keys)-1], 2e6)+1
+	// attempted is bumped before Insert, inserted after it returns, so at
+	// any instant the live record count is within [inserted, attempted] —
+	// sound bounds for readers even mid-publish.
+	var attempted, inserted atomic.Int64
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				attempted.Add(1)
+				if err := d.Insert(rng.Float64()*4e6-2e6, 1); err == nil {
+					inserted.Add(1)
+				} else {
+					attempted.Add(-1)
+				}
+			}
+		}(int64(100 + g))
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 5; i++ {
+			if err := d.Rebuild(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Full-domain count must be within εabs of the live total,
+				// which only grows; a torn read would violate the bound.
+				floor := float64(2000 + inserted.Load())
+				got, err := d.RangeSum(lo, hi)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ceil := float64(2000 + attempted.Load())
+				if got < floor-epsAbs-1e-6 || got > ceil+epsAbs+1e-6 {
+					t.Errorf("concurrent count %g outside [%g, %g] ± εabs", got, floor, ceil)
+					return
+				}
+				if rng.Intn(4) == 0 {
+					if _, err := d.QueryBatch([]Range{{lo, hi}, {0, 1e5}}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(int64(200 + g))
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got, want := d.Len(), 2000+int(inserted.Load()); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	final, err := d.RangeSum(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(final-float64(d.Len())) > epsAbs+1e-6 {
+		t.Errorf("final count %g vs %d records", final, d.Len())
 	}
 }
 

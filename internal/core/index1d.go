@@ -417,6 +417,13 @@ func (ix *Index1D) maxInternal(lq, uq float64) (float64, bool) {
 	if a > b || a >= h || b < 0 {
 		return 0, false
 	}
+	return ix.maxOverSegs(a, b, lq, uq), true
+}
+
+// maxOverSegs maximises over the overlapping segment window [a, b]: exact
+// RMQ on the fully covered middle, polynomial maximisation on the (at most
+// two) boundary segments.
+func (ix *Index1D) maxOverSegs(a, b int, lq, uq float64) float64 {
 	best := math.Inf(-1)
 	fullLo, fullHi := a, b // range of fully covered segments
 	if lq > ix.segLo[a] || uq < ix.segHi[a] {
@@ -430,7 +437,7 @@ func (ix *Index1D) maxInternal(lq, uq float64) (float64, bool) {
 	if fullLo <= fullHi {
 		best = math.Max(best, ix.rangeMaxIdx(fullLo, fullHi))
 	}
-	return best, true
+	return best
 }
 
 // segPolyMax maximises segment i's polynomial over the clipped interval

@@ -1,0 +1,487 @@
+// Package server exposes a registry of PolyFit indexes over an HTTP JSON
+// API — the query-serving layer in front of the core index structures,
+// in the spirit of overlay aggregate-range services: clients build named
+// indexes (all four aggregates, static or dynamic), stream inserts into
+// dynamic ones, and answer single or batched range aggregate queries.
+//
+// The server is safe for heavy concurrent traffic: the registry is guarded
+// by an RWMutex, static indexes are immutable, and dynamic indexes are
+// internally synchronised (queries are lock-free snapshot reads that never
+// block behind inserts or merge-rebuilds).
+//
+// # Endpoints
+//
+//	GET    /healthz                       liveness probe
+//	POST   /v1/indexes                    build an index (data or blob)
+//	GET    /v1/indexes                    list all indexes with stats
+//	GET    /v1/indexes/{name}             stats for one index
+//	DELETE /v1/indexes/{name}             drop an index
+//	POST   /v1/indexes/{name}/query       one range: {lo, hi, eps_rel?}
+//	POST   /v1/indexes/{name}/batch       many ranges in one request
+//	POST   /v1/indexes/{name}/insert      append records (dynamic only)
+//	POST   /v1/indexes/{name}/rebuild     force a merge-rebuild (dynamic only)
+//	GET    /v1/indexes/{name}/marshal     serialised index (octet-stream)
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	polyfit "repro"
+)
+
+// maxBodyBytes caps request bodies (datasets of a few million float keys
+// fit comfortably; anything larger should be loaded server-side).
+const maxBodyBytes = 512 << 20
+
+// queryable is the surface shared by static and dynamic indexes.
+type queryable interface {
+	Query(lq, uq float64) (float64, bool, error)
+	QueryRel(lq, uq, epsRel float64) (polyfit.Result, error)
+	QueryBatch(ranges []polyfit.Range) ([]polyfit.BatchResult, error)
+	Stats() polyfit.Stats
+	MarshalBinary() ([]byte, error)
+}
+
+type entry struct {
+	ix  queryable
+	dyn *polyfit.DynamicIndex // nil for static indexes
+}
+
+// Server is an http.Handler serving a registry of named PolyFit indexes.
+type Server struct {
+	mu      sync.RWMutex
+	indexes map[string]*entry
+	mux     *http.ServeMux
+}
+
+// New returns a ready-to-serve Server with an empty registry.
+func New() *Server {
+	s := &Server{indexes: make(map[string]*entry), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /v1/indexes", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/indexes", s.handleList)
+	s.mux.HandleFunc("GET /v1/indexes/{name}", s.handleStats)
+	s.mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/indexes/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/indexes/{name}/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/indexes/{name}/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/indexes/{name}/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("GET /v1/indexes/{name}/marshal", s.handleMarshal)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- wire types -------------------------------------------------------------
+
+// CreateRequest builds a new named index, either from raw data (keys and,
+// for SUM/MIN/MAX, measures) or — static indexes only — from a previously
+// marshalled blob.
+type CreateRequest struct {
+	Name            string    `json:"name"`
+	Agg             string    `json:"agg"` // count | sum | min | max
+	Dynamic         bool      `json:"dynamic"`
+	Keys            []float64 `json:"keys,omitempty"`
+	Measures        []float64 `json:"measures,omitempty"`
+	EpsAbs          float64   `json:"eps_abs,omitempty"`
+	Delta           float64   `json:"delta,omitempty"`
+	Degree          int       `json:"degree,omitempty"`
+	DisableFallback bool      `json:"disable_fallback,omitempty"`
+	Blob            string    `json:"blob,omitempty"` // base64, from /marshal
+}
+
+// StatsResponse reports one index's structure.
+type StatsResponse struct {
+	Name          string  `json:"name"`
+	Aggregate     string  `json:"aggregate"`
+	Dynamic       bool    `json:"dynamic"`
+	Records       int     `json:"records"`
+	Segments      int     `json:"segments"`
+	Degree        int     `json:"degree"`
+	Delta         float64 `json:"delta"`
+	IndexBytes    int     `json:"index_bytes"`
+	FallbackBytes int     `json:"fallback_bytes"`
+	BufferLen     int     `json:"buffer_len,omitempty"`
+}
+
+// QueryRequest answers one range; EpsRel > 0 requests the relative-error
+// (Problem 2) path.
+type QueryRequest struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	EpsRel float64 `json:"eps_rel,omitempty"`
+}
+
+// QueryResponse is the answer to a QueryRequest.
+type QueryResponse struct {
+	Value float64 `json:"value"`
+	Found bool    `json:"found"`
+	Exact bool    `json:"exact,omitempty"` // relative path used the exact fallback
+}
+
+// BatchRequest answers many ranges in one round trip via the amortised
+// QueryBatch hot path.
+type BatchRequest struct {
+	Ranges []RangeJSON `json:"ranges"`
+}
+
+// RangeJSON is one interval of a batch.
+type RangeJSON struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// BatchResponse carries one result per requested range, in order.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// InsertRequest appends records to a dynamic index.
+type InsertRequest struct {
+	Records []Record `json:"records"`
+}
+
+// Record is one (key, measure) pair; COUNT indexes ignore the measure.
+type Record struct {
+	Key     float64 `json:"key"`
+	Measure float64 `json:"measure"`
+}
+
+// InsertResponse reports per-record outcomes: Inserted counts successes,
+// Errors holds the first few rejection messages (e.g. duplicate keys).
+type InsertResponse struct {
+	Inserted int      `json:"inserted"`
+	Rejected int      `json:"rejected"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
+// ErrExists reports a Create against a name already in the registry.
+var ErrExists = errors.New("server: index already exists")
+
+// Create builds an index from req and registers it under req.Name. It is
+// the programmatic equivalent of POST /v1/indexes (used by preloaders and
+// embedders).
+func (s *Server) Create(req CreateRequest) (StatsResponse, error) {
+	if req.Name == "" {
+		return StatsResponse{}, errors.New("name is required")
+	}
+	// Reject a taken name before paying for the build; the authoritative
+	// check below still guards against a concurrent Create racing this one.
+	s.mu.RLock()
+	_, exists := s.indexes[req.Name]
+	s.mu.RUnlock()
+	if exists {
+		return StatsResponse{}, fmt.Errorf("%w: %q", ErrExists, req.Name)
+	}
+	e, err := buildEntry(req)
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	s.mu.Lock()
+	if _, exists := s.indexes[req.Name]; exists {
+		s.mu.Unlock()
+		return StatsResponse{}, fmt.Errorf("%w: %q", ErrExists, req.Name)
+	}
+	s.indexes[req.Name] = e
+	s.mu.Unlock()
+	return statsOf(req.Name, e), nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	st, err := s.Create(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func buildEntry(req CreateRequest) (*entry, error) {
+	if req.Blob != "" {
+		if req.Dynamic {
+			return nil, errors.New("blob loading is supported for static indexes only")
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.Blob)
+		if err != nil {
+			return nil, fmt.Errorf("decode blob: %w", err)
+		}
+		ix := &polyfit.Index{}
+		if err := ix.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+		return &entry{ix: ix}, nil
+	}
+	opt := polyfit.Options{
+		EpsAbs: req.EpsAbs, Delta: req.Delta,
+		Degree: req.Degree, DisableFallback: req.DisableFallback,
+	}
+	if req.Dynamic {
+		var d *polyfit.DynamicIndex
+		var err error
+		switch req.Agg {
+		case "count":
+			d, err = polyfit.NewDynamicCountIndex(req.Keys, opt)
+		case "sum":
+			d, err = polyfit.NewDynamicSumIndex(req.Keys, req.Measures, opt)
+		case "min":
+			d, err = polyfit.NewDynamicMinIndex(req.Keys, req.Measures, opt)
+		case "max":
+			d, err = polyfit.NewDynamicMaxIndex(req.Keys, req.Measures, opt)
+		default:
+			return nil, fmt.Errorf("unknown aggregate %q (want count|sum|min|max)", req.Agg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &entry{ix: d, dyn: d}, nil
+	}
+	var ix *polyfit.Index
+	var err error
+	switch req.Agg {
+	case "count":
+		ix, err = polyfit.NewCountIndex(req.Keys, opt)
+	case "sum":
+		ix, err = polyfit.NewSumIndex(req.Keys, req.Measures, opt)
+	case "min":
+		ix, err = polyfit.NewMinIndex(req.Keys, req.Measures, opt)
+	case "max":
+		ix, err = polyfit.NewMaxIndex(req.Keys, req.Measures, opt)
+	default:
+		return nil, fmt.Errorf("unknown aggregate %q (want count|sum|min|max)", req.Agg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &entry{ix: ix}, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.indexes))
+	for name := range s.indexes {
+		names = append(names, name)
+	}
+	entries := make([]*entry, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		entries[i] = s.indexes[name]
+	}
+	s.mu.RUnlock()
+	out := make([]StatsResponse, len(names))
+	for i, name := range names {
+		out[i] = statsOf(name, entries[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, statsOf(name, e))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.indexes[name]
+	delete(s.indexes, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no index %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	_, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.EpsRel < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("non-positive relative error %g", req.EpsRel))
+		return
+	}
+	if req.EpsRel > 0 {
+		res, err := e.ix.QueryRel(req.Lo, req.Hi, req.EpsRel)
+		if err != nil {
+			writeError(w, queryErrStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact})
+		return
+	}
+	v, found, err := e.ix.Query(req.Lo, req.Hi)
+	if err != nil {
+		writeError(w, queryErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Value: v, Found: found})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	_, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	ranges := make([]polyfit.Range, len(req.Ranges))
+	for i, rr := range req.Ranges {
+		ranges[i] = polyfit.Range{Lo: rr.Lo, Hi: rr.Hi}
+	}
+	results, err := e.ix.QueryBatch(ranges)
+	if err != nil {
+		writeError(w, queryErrStatus(err), err)
+		return
+	}
+	out := BatchResponse{Results: make([]QueryResponse, len(results))}
+	for i, res := range results {
+		out.Results[i] = QueryResponse{Value: res.Value, Found: res.Found}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if e.dyn == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static; build it with dynamic=true to insert", name))
+		return
+	}
+	var req InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp := InsertResponse{}
+	for _, rec := range req.Records {
+		if err := e.dyn.Insert(rec.Key, rec.Measure); err != nil {
+			resp.Rejected++
+			if len(resp.Errors) < 8 {
+				resp.Errors = append(resp.Errors, err.Error())
+			}
+			continue
+		}
+		resp.Inserted++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	name, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if e.dyn == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static", name))
+		return
+	}
+	if err := e.dyn.Rebuild(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsOf(name, e))
+}
+
+func (s *Server) handleMarshal(w http.ResponseWriter, r *http.Request) {
+	_, e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	blob, err := e.ix.MarshalBinary()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob) //nolint:errcheck
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (string, *entry, bool) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	e, ok := s.indexes[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no index %q", name))
+		return name, nil, false
+	}
+	return name, e, true
+}
+
+func statsOf(name string, e *entry) StatsResponse {
+	// Stats() reads one consistent snapshot, so records/index_bytes/
+	// buffer_len agree even while a merge-rebuild races this request.
+	st := e.ix.Stats()
+	return StatsResponse{
+		Name:          name,
+		Aggregate:     st.Aggregate.String(),
+		Dynamic:       e.dyn != nil,
+		Records:       st.Records,
+		Segments:      st.Segments,
+		Degree:        st.Degree,
+		Delta:         st.Delta,
+		IndexBytes:    st.IndexBytes,
+		FallbackBytes: st.FallbackBytes,
+		BufferLen:     st.BufferLen,
+	}
+}
+
+func queryErrStatus(err error) int {
+	if errors.Is(err, polyfit.ErrNoFallback) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

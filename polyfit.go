@@ -130,10 +130,29 @@ func (ix *Index) Query(lq, uq float64) (value float64, found bool, err error) {
 	switch ix.inner.Aggregate() {
 	case Count, Sum:
 		v, err := ix.inner.RangeSum(lq, uq)
-		return v, true, err
+		if err != nil {
+			return 0, false, err
+		}
+		return v, true, nil
 	default:
 		return ix.inner.RangeExtremum(lq, uq)
 	}
+}
+
+// Range is one query interval of a batched request. COUNT/SUM indexes use
+// the half-open (Lo, Hi] semantics, MIN/MAX the closed [Lo, Hi].
+type Range = core.Range
+
+// BatchResult is the answer to one Range of a batch; Found mirrors Query's
+// found result.
+type BatchResult = core.BatchResult
+
+// QueryBatch answers many ranges in one call, equivalent to calling Query
+// per range but with the per-query segment binary search amortised across
+// the sorted batch — the hot path of the serving layer's batched endpoint.
+// Results are returned in input order.
+func (ix *Index) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	return ix.inner.QueryBatch(ranges)
 }
 
 // Result carries a relative-error query answer.
@@ -167,8 +186,9 @@ type Stats struct {
 	Segments      int
 	Degree        int
 	Delta         float64
-	IndexBytes    int // the compact PolyFit structure
+	IndexBytes    int // the compact PolyFit structure (plus delta buffer, if dynamic)
 	FallbackBytes int // exact structures for QueryRel (0 if disabled)
+	BufferLen     int // not-yet-merged inserts (always 0 for static indexes)
 }
 
 // Stats returns structural information about the index.
