@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: test race bench bench-smoke fmt vet
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark snapshot: runs the core performance probes and writes
+# BENCH_PR2.json (see cmd/polyfit-bench). Pass BASELINE=path to embed a
+# previous snapshot for a before/after pair.
+BENCH_OUT ?= BENCH_PR2.json
+BASELINE ?=
+bench:
+	$(GO) run ./cmd/polyfit-bench -out $(BENCH_OUT) $(if $(BASELINE),-baseline $(BASELINE))
+
+# One-iteration pass over every testing.B benchmark (what CI runs).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

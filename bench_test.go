@@ -6,6 +6,7 @@
 package polyfit_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -76,6 +77,7 @@ func BenchmarkFig5Fitting(b *testing.B) {
 		ys = append(ys, f.hkiVals[i])
 	}
 	b.Run("deg1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := minimax.FitPoly(xs, ys, 1); err != nil {
 				b.Fatal(err)
@@ -83,6 +85,7 @@ func BenchmarkFig5Fitting(b *testing.B) {
 		}
 	})
 	b.Run("deg4", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := minimax.FitPoly(xs, ys, 4); err != nil {
 				b.Fatal(err)
@@ -101,6 +104,7 @@ func BenchmarkFig14aDegree(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(map[int]string{1: "PolyFit-1", 2: "PolyFit-2", 3: "PolyFit-3"}[deg], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := f.qs1D[i&1023]
 				ix.RangeSum(q.L, q.U) //nolint:errcheck
@@ -117,6 +121,7 @@ func BenchmarkFig14bDegreeMax(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(map[int]string{1: "PolyFit-1", 2: "PolyFit-2"}[deg], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := f.qsHKI[i&1023]
 				ix.RangeExtremum(q.L, q.U) //nolint:errcheck
@@ -130,6 +135,7 @@ func BenchmarkFig14cConstruction(b *testing.B) {
 	for deg, name := range map[int]string{1: "PolyFit-1", 2: "PolyFit-2", 3: "PolyFit-3"} {
 		deg := deg
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuildCount(keys, core.Options{Degree: deg, Delta: 50, NoFallback: true}); err != nil {
 					b.Fatal(err)
@@ -151,42 +157,49 @@ func BenchmarkTable5_Count1Key(b *testing.B) {
 	fit, _ := fitingtree.BuildCount(f.tweetKeys, 50, true)
 	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50})
 	b.Run("S2_abs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			s2.CountAbs(q.L, q.U, 100)
 		}
 	})
 	b.Run("RMI_abs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			rmiIx.RangeSum(q.L, q.U)
 		}
 	})
 	b.Run("FITingTree_abs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			fit.RangeSum(q.L, q.U)
 		}
 	})
 	b.Run("PolyFit_abs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			pf.RangeSum(q.L, q.U) //nolint:errcheck
 		}
 	})
 	b.Run("RMI_rel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			rmiIx.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
 		}
 	})
 	b.Run("FITingTree_rel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			fit.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
 		}
 	})
 	b.Run("PolyFit_rel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			pf.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
@@ -200,18 +213,21 @@ func BenchmarkTable5_Max1Key(b *testing.B) {
 	pfAbs, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
 	pfRel, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 50})
 	b.Run("aRtree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsHKI[i&1023]
 			tree.Query(q.L, q.U)
 		}
 	})
 	b.Run("PolyFit_abs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsHKI[i&1023]
 			pfAbs.RangeExtremum(q.L, q.U) //nolint:errcheck
 		}
 	})
 	b.Run("PolyFit_rel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsHKI[i&1023]
 			pfRel.RangeExtremumRel(q.L, q.U, 0.01) //nolint:errcheck
@@ -231,6 +247,7 @@ func BenchmarkTable5_Count2Keys(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("aRtree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsRect[i&1023]
 			rt.CountRect(artree.Rect{
@@ -240,12 +257,14 @@ func BenchmarkTable5_Count2Keys(b *testing.B) {
 		}
 	})
 	b.Run("PolyFit_abs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsRect[i&1023]
 			pfAbs.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
 		}
 	})
 	b.Run("PolyFit_rel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsRect[i&1023]
 			pfRel.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, 0.01) //nolint:errcheck
@@ -264,18 +283,21 @@ func BenchmarkFig15aCountAbs(b *testing.B) {
 	fit, _ := fitingtree.BuildCount(f.tweetKeys, 50, false)
 	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50, NoFallback: true})
 	b.Run("RMI", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			rmiIx.RangeSum(q.L, q.U)
 		}
 	})
 	b.Run("FITingTree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			fit.RangeSum(q.L, q.U)
 		}
 	})
 	b.Run("PolyFit2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			pf.RangeSum(q.L, q.U) //nolint:errcheck
@@ -291,12 +313,14 @@ func BenchmarkFig15bCount2DAbs(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("aRtree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsRect[i&1023]
 			rt.CountRect(artree.Rect{XLo: q.XLo, XHi: q.XHi, YLo: q.YLo, YHi: q.YHi})
 		}
 	})
 	b.Run("PolyFit2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qsRect[i&1023]
 			pf.RangeCount(q.XLo, q.XHi, q.YLo, q.YHi)
@@ -321,6 +345,7 @@ func BenchmarkFig16aCountRel(b *testing.B) {
 		{"PolyFit2", func(l, u float64) { pf.RangeSumRel(l, u, 0.01) }},    //nolint:errcheck
 	} {
 		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := f.qs1D[i&1023]
 				m.op(q.L, q.U)
@@ -330,11 +355,13 @@ func BenchmarkFig16aCountRel(b *testing.B) {
 }
 
 func BenchmarkFig16bCount2DRel(b *testing.B) {
+	b.ReportAllocs()
 	f := fx()
 	pf, err := core.BuildCount2D(f.osmXs, f.osmYs, core.Options2D{Degree: 2, Delta: 250})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer() // exclude the one-time build from ns/op and allocs/op
 	for i := 0; i < b.N; i++ {
 		q := f.qsRect[i&1023]
 		pf.RangeCountRel(q.XLo, q.XHi, q.YLo, q.YHi, 0.01) //nolint:errcheck
@@ -342,8 +369,10 @@ func BenchmarkFig16bCount2DRel(b *testing.B) {
 }
 
 func BenchmarkFig17aMaxAbs(b *testing.B) {
+	b.ReportAllocs()
 	f := fx()
 	pf, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
+	b.ResetTimer() // exclude the one-time build from ns/op and allocs/op
 	for i := 0; i < b.N; i++ {
 		q := f.qsHKI[i&1023]
 		pf.RangeExtremum(q.L, q.U) //nolint:errcheck
@@ -351,8 +380,10 @@ func BenchmarkFig17aMaxAbs(b *testing.B) {
 }
 
 func BenchmarkFig17bMaxRel(b *testing.B) {
+	b.ReportAllocs()
 	f := fx()
 	pf, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 50})
+	b.ResetTimer() // exclude the one-time build from ns/op and allocs/op
 	for i := 0; i < b.N; i++ {
 		q := f.qsHKI[i&1023]
 		pf.RangeExtremumRel(q.L, q.U, 0.01) //nolint:errcheck
@@ -368,6 +399,7 @@ func BenchmarkFig18Scalability(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(map[int]string{25_000: "n25k", 100_000: "n100k", 400_000: "n400k"}[n], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := qs[i&1023]
 				pf.RangeSumRel(q.L, q.U, 0.01) //nolint:errcheck
@@ -403,18 +435,21 @@ func BenchmarkFig20Heuristics(b *testing.B) {
 	st, _ := sampling.NewSTree(f.tweetKeys, len(f.tweetKeys)/10, 11)
 	pf, _ := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: 50, NoFallback: true})
 	b.Run("Hist1024", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			h.EstimateCount(q.L, q.U)
 		}
 	})
 	b.Run("STree10pct", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			st.EstimateCount(q.L, q.U)
 		}
 	})
 	b.Run("PolyFit2", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.qs1D[i&1023]
 			pf.RangeSum(q.L, q.U) //nolint:errcheck
@@ -435,6 +470,7 @@ func BenchmarkTable6Models(b *testing.B) {
 	}
 	lr, _ := rmi.BuildCount(f.tweetKeys, []int{1}, false)
 	b.Run("LR", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			lr.CF(f.tweetKeys[i%len(f.tweetKeys)])
 		}
@@ -444,6 +480,7 @@ func BenchmarkTable6Models(b *testing.B) {
 		_ = m.Fit(xs, ys, nn.Config{Epochs: 10, Seed: 12})
 		pred := m.Predictor()
 		b.Run("NN"+m.Arch(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pred(f.tweetKeys[i%len(f.tweetKeys)])
 			}
@@ -469,6 +506,7 @@ func BenchmarkAblationSegmentation(b *testing.B) {
 	} {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := segment.Greedy(keys, cf, v.cfg); err != nil {
 					b.Fatal(err)
@@ -486,11 +524,13 @@ func BenchmarkAblationMaxBoundaryWork(b *testing.B) {
 	pf, _ := core.BuildMax(f.hkiKeys, f.hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
 	lo, hi := f.hkiKeys[0], f.hkiKeys[len(f.hkiKeys)-1]
 	b.Run("WholeDomainRMQ", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			pf.RangeExtremum(lo, hi) //nolint:errcheck
 		}
 	})
 	b.Run("NarrowBoundary", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.hkiKeys[i%(len(f.hkiKeys)-100)]
 			pf.RangeExtremum(q, q+50) //nolint:errcheck
@@ -532,6 +572,7 @@ func BenchmarkQueryBatchVsSerial(b *testing.B) {
 			ranges []core.Range
 		}{{"Random", random}, {"SortedWindows", sorted}} {
 			b.Run(cfg.name+"/"+w.name+"/Serial", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					for _, r := range w.ranges {
 						pf.RangeSum(r.Lo, r.Hi) //nolint:errcheck
@@ -540,6 +581,7 @@ func BenchmarkQueryBatchVsSerial(b *testing.B) {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(w.ranges)), "ns/query")
 			})
 			b.Run(cfg.name+"/"+w.name+"/Batched", func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := pf.QueryBatch(w.ranges); err != nil {
 						b.Fatal(err)
@@ -565,6 +607,7 @@ func BenchmarkQueryBatchVsSerialMax(b *testing.B) {
 		ranges[i] = core.Range{Lo: q.L, Hi: q.U}
 	}
 	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, r := range ranges {
 				pf.RangeExtremum(r.Lo, r.Hi) //nolint:errcheck
@@ -572,6 +615,7 @@ func BenchmarkQueryBatchVsSerialMax(b *testing.B) {
 		}
 	})
 	b.Run("Batched", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := pf.QueryBatch(ranges); err != nil {
 				b.Fatal(err)
@@ -589,6 +633,7 @@ func BenchmarkDynamicConcurrentThroughput(b *testing.B) {
 	for _, writers := range []int{0, 1} {
 		name := map[int]string{0: "ReadOnly", 1: "WithInserts"}[writers]
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			d, err := polyfit.NewDynamicCountIndex(f.tweetKeys, polyfit.Options{EpsAbs: 100, DisableFallback: true})
 			if err != nil {
 				b.Fatal(err)
@@ -625,5 +670,75 @@ func BenchmarkDynamicConcurrentThroughput(b *testing.B) {
 			close(stop)
 			wg.Wait()
 		})
+	}
+}
+
+// --- PR 2: construction and locate hot paths -----------------------------------
+
+// BenchmarkLocate isolates the per-query segment-location primitive: the
+// learned root (an O(1) interpolation table over the segment boundaries)
+// versus the binary search it replaced, on a coarse (cache-resident) and a
+// fine (cache-hostile) index.
+func BenchmarkLocate(b *testing.B) {
+	f := fx()
+	for _, cfg := range []struct {
+		name  string
+		delta float64
+	}{{"Coarse", 50}, {"Fine", 0.5}} {
+		pf, err := core.BuildCount(f.tweetKeys, core.Options{Degree: 2, Delta: cfg.delta, NoFallback: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes := make([]float64, 1024)
+		for i, q := range f.qs1D {
+			probes[i&1023] = q.U
+		}
+		b.Run(cfg.name+"/Root", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pf.Locate(probes[i&1023])
+			}
+		})
+		b.Run(cfg.name+"/Binary", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pf.LocateBinary(probes[i&1023])
+			}
+		})
+	}
+}
+
+// BenchmarkParallelBuild measures greedy-segmentation construction at
+// 1/2/4/8 workers, on the Fig. 14c dataset (20k keys, δ=50) and on the
+// fine-index configuration where construction cost actually dominates
+// (200k keys, δ=0.5, ~30k segments). The built index is byte-identical
+// across worker counts (tested in internal/segment and internal/core); only
+// the wall clock changes. Fine indexes resynchronise at chunk junctions
+// within a few segments, so they scale near-linearly with cores; ultra-
+// coarse smooth indexes (tens of segments) may never resynchronise, so the
+// first-segment probe in segment.Greedy keeps them serial (the Fig14c rows
+// measure that bail-out).
+func BenchmarkParallelBuild(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		n     int
+		delta float64
+	}{
+		{"Fig14c_n20k_d50", 20_000, 50},
+		{"Fine_n200k_d0.5", 200_000, 0.5},
+	} {
+		keys := data.GenTweet(cfg.n, 7)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers%d", cfg.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.BuildCount(keys, core.Options{
+						Degree: 2, Delta: cfg.delta, NoFallback: true, Parallelism: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

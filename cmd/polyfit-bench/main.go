@@ -1,0 +1,223 @@
+// polyfit-bench runs the repository's core performance probes — index
+// construction (serial and parallel), segment location, point queries, and
+// raw minimax fitting — through testing.Benchmark and writes the results as
+// a JSON snapshot. The committed snapshots (BENCH_PR2.json, ...) seed the
+// repo's performance trajectory: each perf-focused PR records before/after
+// numbers that later sessions can diff against.
+//
+// Usage:
+//
+//	go run ./cmd/polyfit-bench [-out BENCH.json] [-quick] [-baseline FILE]
+//
+// -quick shrinks the datasets for a fast smoke run (CI uses the go test
+// bench smoke instead; this flag is for local iteration). -baseline embeds
+// a previous snapshot's results under "baseline" so one file carries the
+// before/after pair.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/minimax"
+	"repro/internal/poly"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"` // iterations the measurement averaged over
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	Notes      string   `json:"notes,omitempty"`
+	Results    []Result `json:"results"`
+	Baseline   any      `json:"baseline,omitempty"`
+}
+
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+	fmt.Printf("%-40s %14.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.N)
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	quick := flag.Bool("quick", false, "shrink datasets for a fast smoke run")
+	baseline := flag.String("baseline", "", "previous snapshot to embed under \"baseline\"")
+	notes := flag.String("notes", "", "free-form notes recorded in the snapshot")
+	flag.Parse()
+
+	nBuild, nFine := 20_000, 200_000
+	if *quick {
+		nBuild, nFine = 2_000, 10_000
+	}
+	buildKeys := data.GenTweet(nBuild, 7)
+	fineKeys := data.GenTweet(nFine, 7)
+	hkiKeys, hkiVals := data.GenHKI(nBuild, 2)
+	queries := data.RangeQueriesFromKeys(fineKeys, 1024, 4)
+
+	var results []Result
+
+	// Construction: the Fig. 14c configuration (coarse) and the fine-index
+	// configuration where segmentation cost dominates, serial vs parallel.
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		results = append(results, measure(fmt.Sprintf("build/count_n%dk_d50/workers%d", nBuild/1000, w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildCount(buildKeys, core.Options{Degree: 2, Delta: 50, NoFallback: true, Parallelism: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		results = append(results, measure(fmt.Sprintf("build/count_n%dk_d0.5/workers%d", nFine/1000, w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildCount(fineKeys, core.Options{Degree: 2, Delta: 0.5, NoFallback: true, Parallelism: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	results = append(results, measure("build/max_hki_d100/workers1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildMax(hkiKeys, hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Locate: learned root vs binary search on a fine index.
+	fine, err := core.BuildCount(fineKeys, core.Options{Degree: 2, Delta: 0.5, NoFallback: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# fine index: %d segments, root %d KiB of %d KiB total\n",
+		fine.NumSegments(), fine.RootSizeBytes()/1024, fine.SizeBytes()/1024)
+	probes := make([]float64, 1024)
+	for i, q := range queries {
+		probes[i&1023] = q.U
+	}
+	results = append(results, measure("locate/root", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fine.Locate(probes[i&1023])
+		}
+	}))
+	results = append(results, measure("locate/binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fine.LocateBinary(probes[i&1023])
+		}
+	}))
+
+	// Point queries on the fine index (the Table V shape: locate-dominated).
+	results = append(results, measure("query/point_count_fine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i&1023]
+			if _, err := fine.RangeSum(q.L, q.U); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	maxIx, err := core.BuildMax(hkiKeys, hkiVals, core.Options{Degree: 2, Delta: 100, NoFallback: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qHKI := data.RangeQueriesFromKeys(hkiKeys, 1024, 5)
+	results = append(results, measure("query/point_max", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := qHKI[i&1023]
+			if _, _, err := maxIx.RangeExtremum(q.L, q.U); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Raw fitting: throwaway-Fitter wrapper vs reused Fitter on a
+	// segmentation-sized window.
+	winKeys := hkiKeys[:91]
+	winVals := hkiVals[:91]
+	results = append(results, measure("fit/fitpoly_deg2_n91", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := minimax.FitPoly(winKeys, winVals, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	results = append(results, measure("fit/fitter_deg2_n91", func(b *testing.B) {
+		b.ReportAllocs()
+		f := minimax.NewFitter()
+		var spare poly.Poly
+		for i := 0; i < b.N; i++ {
+			fit, err := f.Fit(winKeys, winVals, 2, -1, spare)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spare = fit.P.P
+		}
+	}))
+
+	snap := Snapshot{
+		Schema:     "polyfit-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Notes:      *notes,
+		Results:    results,
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("read baseline: %v", err)
+		}
+		var b any
+		if err := json.Unmarshal(raw, &b); err != nil {
+			log.Fatalf("parse baseline: %v", err)
+		}
+		snap.Baseline = b
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+}

@@ -63,6 +63,20 @@
 // exposes this as a batched HTTP endpoint answering many ranges per round
 // trip.
 //
+// # Construction performance
+//
+// Options.Parallelism builds the index with that many goroutines: greedy
+// segmentation runs per key-array chunk and junctions are re-grown over the
+// full array, so the produced index is byte-identical to a serial build for
+// every worker count. Dynamic indexes reuse the setting for merge-rebuilds.
+// Internally each construction worker owns a reusable minimax fitter
+// (internal/minimax.Fitter) holding all solver scratch; a Fitter is NOT
+// concurrency-safe and must stay confined to one goroutine — the public API
+// manages this automatically. Queries locate segments through a learned
+// root (a flat interpolation table over the segment boundaries) in O(1)
+// expected time with zero allocations; its size is reported in
+// Stats.RootBytes and included in Stats.IndexBytes.
+//
 // # Two keys
 //
 // NewCount2DIndex builds the Section VI variant: a quadtree of bivariate

@@ -45,6 +45,7 @@ func newDynamic(agg Agg, keys, measures []float64, opt Options) (*DynamicIndex, 
 	}
 	inner, err := core.NewDynamic(agg, keys, measures, core.Options{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -121,6 +122,7 @@ func (d *DynamicIndex) Stats() Stats {
 		Degree:        v.Base.Degree(),
 		Delta:         v.Base.Delta(),
 		IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
+		RootBytes:     v.Base.RootSizeBytes(),
 		FallbackBytes: v.Base.FallbackSizeBytes(),
 		BufferLen:     v.BufferLen,
 	}

@@ -124,15 +124,26 @@ func (ix *Index1D) batchExtremumDirect(ranges []Range, out []BatchResult) {
 	}
 }
 
+// farJumpStep bounds how far the sweep cursors gallop before handing the
+// re-seek to the learned root: a short hop stays in the gallop's cache-warm
+// window, a far jump resolves in O(1) through the root instead of finishing
+// the gallop's binary phase.
+const farJumpStep = 32
+
 // advanceLoLE returns the last index j ≥ cur with segLo[j] ≤ x, by
-// galloping right from cur. Requires segLo[cur] ≤ x.
-func advanceLoLE(segLo []float64, cur int, x float64) int {
+// galloping right from cur; far jumps resolve through the learned root.
+// Requires segLo[cur] ≤ x.
+func (ix *Index1D) advanceLoLE(cur int, x float64) int {
+	segLo := ix.segLo
 	h := len(segLo)
 	if cur+1 >= h || segLo[cur+1] > x {
 		return cur
 	}
 	step := 1
 	for cur+step < h && segLo[cur+step] <= x {
+		if step >= farJumpStep {
+			return ix.locateLE(x)
+		}
 		step <<= 1
 	}
 	winLo, winHi := cur+step>>1, cur+step
@@ -143,14 +154,19 @@ func advanceLoLE(segLo []float64, cur int, x float64) int {
 }
 
 // advanceHiGE returns the first index j ≥ cur with segHi[j] ≥ x, by
-// galloping right from cur (len(segHi) if none).
-func advanceHiGE(segHi []float64, cur int, x float64) int {
+// galloping right from cur (len(segHi) if none); far jumps resolve through
+// the learned root.
+func (ix *Index1D) advanceHiGE(cur int, x float64) int {
+	segHi := ix.segHi
 	h := len(segHi)
 	if cur >= h || segHi[cur] >= x {
 		return cur
 	}
 	step := 1
 	for cur+step < h && segHi[cur+step] < x {
+		if step >= farJumpStep {
+			return ix.firstHiGE(x)
+		}
 		step <<= 1
 	}
 	winLo, winHi := cur+step>>1, cur+step+1
@@ -186,7 +202,7 @@ func (ix *Index1D) batchSumSweep(ranges []Range, out []BatchResult, presorted bo
 			cf[e.id] = 0
 			continue
 		}
-		seg = advanceLoLE(ix.segLo, seg, x)
+		seg = ix.advanceLoLE(seg, x)
 		if x > ix.segHi[seg] {
 			x = ix.segHi[seg] // CF is constant across gaps and past the domain
 		}
@@ -222,11 +238,11 @@ func (ix *Index1D) batchExtremumSweep(ranges []Range, out []BatchResult, presort
 		if uq < lq || uq < ix.keyLo || lq > ix.keyHi {
 			continue // Found stays false
 		}
-		a = advanceHiGE(ix.segHi, a, lq)
+		a = ix.advanceHiGE(a, lq)
 		if a >= h || ix.segLo[a] > uq {
 			continue
 		}
-		b := advanceLoLE(ix.segLo, a, uq)
+		b := ix.advanceLoLE(a, uq)
 		v := ix.maxOverSegs(a, b, lq, uq)
 		if ix.neg {
 			v = -v

@@ -69,6 +69,10 @@ type Options struct {
 	// NoFallback skips building the exact structures used by relative-error
 	// queries (Problem 2). Absolute-error queries never need them.
 	NoFallback bool
+	// Parallelism is the number of goroutines used by greedy segmentation
+	// during construction; values ≤ 1 build serially. The produced index is
+	// identical for every worker count (see segment.Config.Parallelism).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +112,15 @@ type Index1D struct {
 	segHi  []float64
 	frames []poly.Frame
 	polys  []poly.Poly
+
+	// Learned root over segLo (an RMI-style flat interpolation table): for
+	// key k the answer to locate lies in
+	// [rootTable[b]−1, rootTable[b+1]−1] where b is k's bucket, so a point
+	// lookup costs O(1) expected instead of a binary search. Nil when the
+	// index has a single segment or a degenerate key span.
+	rootTable []int32 // rootTable[b] = #segments whose Lo falls in a bucket < b
+	rootLo    float64 // segLo[0]
+	rootScale float64 // buckets per key unit: (len(rootTable)−1) / span
 
 	// MAX/MIN only: exact extremum of each segment + sparse-table RMQ over
 	// them (plays the role of the aggregate tree's internal nodes).
@@ -202,6 +215,7 @@ func buildCumulative(keys, measures []float64, opt Options) (*Index1D, error) {
 	segs, err := segment.Greedy(keys, cf, segment.Config{
 		Degree: opt.Degree, Delta: opt.Delta,
 		Backend: opt.Backend, NoExpSearch: opt.NoExpSearch,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -233,6 +247,7 @@ func buildExtremum(keys, measures []float64, opt Options, negated bool) (*Index1
 	segs, err := segment.Greedy(keys, measures, segment.Config{
 		Degree: opt.Degree, Delta: opt.Delta,
 		Backend: opt.Backend, NoExpSearch: opt.NoExpSearch,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -288,6 +303,113 @@ func (ix *Index1D) adoptSegments(segs []segment.Segment) {
 		fits += s.Fit.Iters
 	}
 	ix.buildsFits = fits
+	ix.buildRoot()
+}
+
+// rootMaxLinear bounds the in-bucket linear scan of the learned root before
+// falling back to a windowed binary search — the escape hatch for
+// pathological key distributions that pile many segments into one bucket.
+const rootMaxLinear = 16
+
+// rootMaxBuckets caps the root table so its footprint stays a small multiple
+// of the segment array even for huge indexes (int32 buckets: 64 MiB here).
+const rootMaxBuckets = 1 << 24
+
+// buildRoot precomputes the learned root: a flat interpolation table over
+// segLo with ~2 buckets per segment, giving locate an O(1) expected path.
+func (ix *Index1D) buildRoot() {
+	h := len(ix.segLo)
+	ix.rootTable = nil
+	if h < 2 {
+		return
+	}
+	span := ix.segLo[h-1] - ix.segLo[0]
+	if !(span > 0) || math.IsInf(span, 0) {
+		return // degenerate or overflowing key span: binary search handles it
+	}
+	b := 1
+	for b < 2*h && b < rootMaxBuckets {
+		b <<= 1
+	}
+	ix.rootLo = ix.segLo[0]
+	ix.rootScale = float64(b) / span
+	table := make([]int32, b+1)
+	seg := 0
+	for t := 1; t <= b; t++ {
+		// Advance over segments whose Lo buckets below t. The bucket of a
+		// key is computed with exactly the query-time formula so float
+		// rounding can never disagree between build and lookup.
+		for seg < h && ix.rootBucketAt(ix.segLo[seg], b) < t {
+			seg++
+		}
+		table[t] = int32(seg)
+	}
+	ix.rootTable = table
+}
+
+// rootBucketAt maps a key (≥ rootLo) onto one of b buckets. Monotone
+// non-decreasing in k, which is all the correctness argument needs.
+func (ix *Index1D) rootBucketAt(k float64, b int) int {
+	bb := int((k - ix.rootLo) * ix.rootScale)
+	if bb < 0 {
+		return 0
+	}
+	if bb >= b {
+		return b - 1
+	}
+	return bb
+}
+
+// locateLE returns the last segment index whose Lo ≤ k, or −1 when k
+// precedes every segment. This is the primitive behind locate, maxInternal
+// and the batch sweeps; with the learned root it costs O(1) expected, with a
+// windowed binary-search fallback for over-full buckets.
+func (ix *Index1D) locateLE(k float64) int {
+	h := len(ix.segLo)
+	if k < ix.segLo[0] {
+		return -1
+	}
+	if k >= ix.segLo[h-1] {
+		return h - 1
+	}
+	table := ix.rootTable
+	if table == nil {
+		// Degenerate key span (no root built): plain binary search.
+		i := sort.SearchFloat64s(ix.segLo, k)
+		if i < h && ix.segLo[i] == k {
+			return i
+		}
+		return i - 1
+	}
+	bb := ix.rootBucketAt(k, len(table)-1)
+	lo := int(table[bb]) - 1
+	hi := int(table[bb+1]) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi-lo > rootMaxLinear {
+		// Pathological bucket: binary search the window (invariant:
+		// segLo[lo] ≤ k, and the answer is ≤ hi).
+		return lo + sort.Search(hi-lo, func(j int) bool { return ix.segLo[lo+1+j] > k })
+	}
+	for lo < hi && ix.segLo[lo+1] <= k {
+		lo++
+	}
+	return lo
+}
+
+// firstHiGE returns the first segment index whose Hi ≥ k (h when none).
+// Derived from locateLE: segments are disjoint and ordered, so the candidate
+// is the segment owning k or its right neighbour.
+func (ix *Index1D) firstHiGE(k float64) int {
+	j := ix.locateLE(k)
+	if j < 0 {
+		return 0
+	}
+	if ix.segHi[j] >= k {
+		return j
+	}
+	return j + 1
 }
 
 // buildSparseTable precomputes an O(1) range-max structure over vals.
@@ -322,8 +444,23 @@ func (ix *Index1D) rangeMaxIdx(a, b int) float64 {
 // locate returns the index of the segment responsible for key k: the last
 // segment whose Lo ≤ k, clamped to [0, h−1]. Keys in inter-segment gaps
 // resolve to the segment on their left (the cumulative function is constant
-// across gaps).
+// across gaps). Resolution goes through the learned root — O(1) expected —
+// instead of a binary search.
 func (ix *Index1D) locate(k float64) int {
+	if i := ix.locateLE(k); i >= 0 {
+		return i
+	}
+	return 0
+}
+
+// Locate exposes the segment-location primitive for benchmarks and
+// diagnostics: the index of the segment responsible for key k (see locate).
+func (ix *Index1D) Locate(k float64) int { return ix.locate(k) }
+
+// LocateBinary is the pre-learned-root reference implementation of Locate
+// (a binary search over the segment boundaries). Kept exported so
+// equivalence tests and the benchmark harness can compare the two paths.
+func (ix *Index1D) LocateBinary(k float64) int {
 	i := sort.SearchFloat64s(ix.segLo, k)
 	// SearchFloat64s finds the first Lo ≥ k.
 	if i < len(ix.segLo) && ix.segLo[i] == k {
@@ -410,10 +547,10 @@ func (ix *Index1D) maxInternal(lq, uq float64) (float64, bool) {
 		return 0, false
 	}
 	h := len(ix.segLo)
-	// First segment with Hi ≥ lq.
-	a := sort.SearchFloat64s(ix.segHi, lq)
-	// Last segment with Lo ≤ uq.
-	b := sort.Search(h, func(i int) bool { return ix.segLo[i] > uq }) - 1
+	// First segment with Hi ≥ lq and last segment with Lo ≤ uq, both via the
+	// learned root (one O(1) expected lookup each).
+	a := ix.firstHiGE(lq)
+	b := ix.locateLE(uq)
 	if a > b || a >= h || b < 0 {
 		return 0, false
 	}
@@ -515,9 +652,10 @@ func (ix *Index1D) KeyRange() (lo, hi float64) { return ix.keyLo, ix.keyHi }
 func (ix *Index1D) Total() float64 { return ix.total }
 
 // SizeBytes reports the memory footprint of the PolyFit structure itself:
-// segment boundaries, frames, coefficients, and (for MIN/MAX) the segment
-// extrema and RMQ table. Exact-fallback structures are reported separately
-// by FallbackSizeBytes since Problem-1 configurations do not carry them.
+// segment boundaries, frames, coefficients, the learned-root table, and
+// (for MIN/MAX) the segment extrema and RMQ table. Exact-fallback structures
+// are reported separately by FallbackSizeBytes since Problem-1
+// configurations do not carry them.
 func (ix *Index1D) SizeBytes() int {
 	sz := 0
 	for i := range ix.polys {
@@ -527,7 +665,18 @@ func (ix *Index1D) SizeBytes() int {
 	for _, row := range ix.rmq {
 		sz += 8 * len(row)
 	}
-	return sz
+	return sz + ix.RootSizeBytes()
+}
+
+// RootSizeBytes reports the footprint of the learned root that accelerates
+// segment location: the int32 bucket table plus its two float64 parameters.
+// Included in SizeBytes; broken out so size/accuracy trade-off reports stay
+// honest about where the bytes go.
+func (ix *Index1D) RootSizeBytes() int {
+	if ix.rootTable == nil {
+		return 0
+	}
+	return 4*len(ix.rootTable) + 16
 }
 
 // FallbackSizeBytes reports the memory of the exact structures used for

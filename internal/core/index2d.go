@@ -25,6 +25,10 @@ type Options2D struct {
 	MaxDepth       int
 	// NoFallback skips the exact aR-tree used by relative-error queries.
 	NoFallback bool
+	// Parallelism is the number of goroutines used for the per-cell surface
+	// fits during construction; values ≤ 1 build serially. The built tree is
+	// identical for every worker count.
+	Parallelism int
 }
 
 // Delta2DForAbs returns the build δ guaranteeing εabs for two-key COUNT
@@ -75,6 +79,7 @@ func buildWeighted2D(xs, ys, ws []float64, opt Options2D) (*Index2D, error) {
 		MaxDataSamples: opt.MaxDataSamples,
 		SplitThreshold: opt.SplitThreshold,
 		MaxDepth:       opt.MaxDepth,
+		Parallelism:    opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err

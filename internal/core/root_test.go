@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// buildCountOver is a test helper building a COUNT index over the keys.
+func buildCountOver(t *testing.T, keys []float64, opt Options) *Index1D {
+	t.Helper()
+	ix, err := BuildCount(keys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// rootKeysClustered piles almost all keys into a sliver of the domain with
+// one far outlier — the pathological distribution for an interpolation
+// table: nearly every segment boundary lands in a single bucket.
+func rootKeysClustered(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, 0, n)
+	k := 0.0
+	for len(keys) < n-1 {
+		k += rng.Float64() * 1e-4
+		keys = append(keys, k)
+	}
+	keys = append(keys, k+1e9) // outlier stretches the root's key span
+	return keys
+}
+
+// TestLocateMatchesBinary is the root's correctness property: the learned
+// root and the binary-search reference must agree on every probe, for
+// uniform, skewed, and pathological clustered key distributions.
+func TestLocateMatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	datasets := map[string][]float64{
+		"uniform":   nil,
+		"skewed":    nil,
+		"clustered": rootKeysClustered(4000, 8),
+	}
+	uniform := make([]float64, 4000)
+	k := 0.0
+	for i := range uniform {
+		k += 0.5 + rng.Float64()
+		uniform[i] = k
+	}
+	datasets["uniform"] = uniform
+	skewed := make([]float64, 4000)
+	k = 0.0
+	for i := range skewed {
+		k += math.Exp(rng.NormFloat64() * 3)
+		skewed[i] = k
+	}
+	datasets["skewed"] = skewed
+
+	for name, keys := range datasets {
+		for _, delta := range []float64{2, 20} {
+			ix := buildCountOver(t, keys, Options{Degree: 2, Delta: delta, NoFallback: true})
+			lo, hi := keys[0], keys[len(keys)-1]
+			span := hi - lo
+			probes := make([]float64, 0, 5000)
+			// Random interior probes, the keys themselves, every segment
+			// boundary (Lo and Hi), and out-of-domain probes on both sides.
+			for i := 0; i < 2000; i++ {
+				probes = append(probes, lo+rng.Float64()*span)
+			}
+			for _, x := range keys[:500] {
+				probes = append(probes, x)
+			}
+			for i := 0; i < ix.NumSegments(); i++ {
+				probes = append(probes, ix.segLo[i], ix.segHi[i])
+			}
+			probes = append(probes, lo-1, lo-span, hi+1, hi+span, lo, hi)
+			for _, p := range probes {
+				if got, want := ix.Locate(p), ix.LocateBinary(p); got != want {
+					t.Fatalf("%s δ=%g: Locate(%v) = %d, binary = %d", name, delta, p, got, want)
+				}
+				// locateLE against its own sort-based definition.
+				wantLE := sort.Search(ix.NumSegments(), func(i int) bool { return ix.segLo[i] > p }) - 1
+				if got := ix.locateLE(p); got != wantLE {
+					t.Fatalf("%s δ=%g: locateLE(%v) = %d, want %d", name, delta, p, got, wantLE)
+				}
+			}
+		}
+	}
+}
+
+// TestLocateEdgeCases pins the documented boundary behaviour: key below the
+// first segment, key equal to a segment boundary, key above the last
+// segment, and the single-segment index.
+func TestLocateEdgeCases(t *testing.T) {
+	// Multi-segment index with gaps between segments.
+	keys := make([]float64, 0, 600)
+	k := 0.0
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 600; i++ {
+		if i%200 == 199 {
+			k += 5000 // gap: next segment starts far away
+		}
+		k += rng.Float64() + 0.1
+		keys = append(keys, k)
+	}
+	ix := buildCountOver(t, keys, Options{Degree: 2, Delta: 2, NoFallback: true})
+	h := ix.NumSegments()
+	if h < 3 {
+		t.Fatalf("want a multi-segment index, got h=%d", h)
+	}
+
+	if got := ix.Locate(ix.segLo[0] - 123); got != 0 {
+		t.Fatalf("below first segment: Locate = %d, want 0 (clamped)", got)
+	}
+	if got := ix.locateLE(ix.segLo[0] - 123); got != -1 {
+		t.Fatalf("below first segment: locateLE = %d, want -1", got)
+	}
+	for i := 0; i < h; i++ {
+		if got := ix.Locate(ix.segLo[i]); got != i {
+			t.Fatalf("boundary key segLo[%d]: Locate = %d", i, got)
+		}
+	}
+	for i := 0; i < h-1; i++ {
+		// A key in the gap (or on the segment's Hi) belongs to segment i.
+		if got := ix.Locate(ix.segHi[i]); got != i {
+			t.Fatalf("boundary key segHi[%d]: Locate = %d", i, got)
+		}
+		mid := ix.segHi[i] + (ix.segLo[i+1]-ix.segHi[i])/2
+		if mid > ix.segHi[i] && mid < ix.segLo[i+1] {
+			if got := ix.Locate(mid); got != i {
+				t.Fatalf("gap key after segment %d: Locate = %d", i, got)
+			}
+		}
+	}
+	if got := ix.Locate(ix.segHi[h-1] + 1e6); got != h-1 {
+		t.Fatalf("above last segment: Locate = %d, want %d", got, h-1)
+	}
+
+	// Single-segment index: everything resolves to segment 0 and the root
+	// table is skipped.
+	one := buildCountOver(t, []float64{1, 2, 3, 4, 5}, Options{Degree: 2, Delta: 100, NoFallback: true})
+	if one.NumSegments() != 1 {
+		t.Fatalf("want single segment, got %d", one.NumSegments())
+	}
+	if one.RootSizeBytes() != 0 {
+		t.Fatalf("single-segment index should carry no root table, got %d bytes", one.RootSizeBytes())
+	}
+	for _, p := range []float64{-10, 1, 3, 5, 99} {
+		if got := one.Locate(p); got != 0 {
+			t.Fatalf("single segment: Locate(%v) = %d", p, got)
+		}
+	}
+}
+
+// TestFirstHiGEMatchesBinary pins the MIN/MAX traversal's derived bound to
+// the sort-based definition it replaced.
+func TestFirstHiGEMatchesBinary(t *testing.T) {
+	keys, vals := genDataset(3000, 11)
+	ix, err := BuildMax(keys, vals, Options{Degree: 2, Delta: 50, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	lo, hi := keys[0], keys[len(keys)-1]
+	for i := 0; i < 4000; i++ {
+		p := lo - 10 + rng.Float64()*(hi-lo+20)
+		want := sort.SearchFloat64s(ix.segHi, p)
+		if got := ix.firstHiGE(p); got != want {
+			t.Fatalf("firstHiGE(%v) = %d, want %d", p, got, want)
+		}
+	}
+	for i := 0; i < ix.NumSegments(); i++ {
+		for _, p := range []float64{ix.segLo[i], ix.segHi[i]} {
+			want := sort.SearchFloat64s(ix.segHi, p)
+			if got := ix.firstHiGE(p); got != want {
+				t.Fatalf("firstHiGE(boundary %v) = %d, want %d", p, got, want)
+			}
+		}
+	}
+}
+
+// TestRootSizeAccounting: the root bytes must be included in SizeBytes and
+// broken out by RootSizeBytes, and must survive a serialisation round trip
+// (the root is derived state, rebuilt on load).
+func TestRootSizeAccounting(t *testing.T) {
+	keys := make([]float64, 5000)
+	k := 0.0
+	rng := rand.New(rand.NewSource(13))
+	for i := range keys {
+		k += rng.Float64() + 0.01
+		keys[i] = k
+	}
+	ix := buildCountOver(t, keys, Options{Degree: 2, Delta: 1, NoFallback: true})
+	if ix.NumSegments() < 2 {
+		t.Fatalf("want multiple segments, got %d", ix.NumSegments())
+	}
+	rb := ix.RootSizeBytes()
+	if rb <= 0 {
+		t.Fatal("multi-segment index should carry a root table")
+	}
+	segOnly := 0
+	for i := range ix.polys {
+		segOnly += 32 + 8*len(ix.polys[i])
+	}
+	if got := ix.SizeBytes(); got != segOnly+rb {
+		t.Fatalf("SizeBytes = %d, want segments %d + root %d", got, segOnly, rb)
+	}
+
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Index1D
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.RootSizeBytes() != rb {
+		t.Fatalf("root bytes after round trip: %d, want %d", back.RootSizeBytes(), rb)
+	}
+	for i := 0; i < 1000; i++ {
+		p := keys[0] + rng.Float64()*(k-keys[0])
+		if back.Locate(p) != back.LocateBinary(p) {
+			t.Fatalf("round-tripped root disagrees with binary search at %v", p)
+		}
+	}
+}
+
+// TestParallelBuildEquivalentIndex: building through the core API with
+// Parallelism set must produce a byte-identical serialised index (and
+// identical query answers) to the serial build, for 1D COUNT and MAX.
+func TestParallelBuildEquivalentIndex(t *testing.T) {
+	keys, vals := genDataset(20000, 17)
+	for _, workers := range []int{2, 4, 8} {
+		serialC := buildCountOver(t, keys, Options{Degree: 2, Delta: 10, NoFallback: true})
+		parC := buildCountOver(t, keys, Options{Degree: 2, Delta: 10, NoFallback: true, Parallelism: workers})
+		sb, err := serialC.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := parC.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sb) != string(pb) {
+			t.Fatalf("COUNT: parallel build (workers=%d) is not byte-identical to serial", workers)
+		}
+
+		serialM, err := BuildMax(keys, vals, Options{Degree: 2, Delta: 50, NoFallback: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parM, err := BuildMax(keys, vals, Options{Degree: 2, Delta: 50, NoFallback: true, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err = serialM.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err = parM.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sb) != string(pb) {
+			t.Fatalf("MAX: parallel build (workers=%d) is not byte-identical to serial", workers)
+		}
+	}
+}
+
+// TestParallelBuild2DEquivalent: the quadtree build with parallel per-level
+// fits must serialise identically to the serial build.
+func TestParallelBuild2DEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 4000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*360 - 180
+		ys[i] = rng.Float64()*180 - 90
+	}
+	serial, err := BuildCount2D(xs, ys, Options2D{Degree: 2, Delta: 100, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildCount2D(xs, ys, Options2D{Degree: 2, Delta: 100, NoFallback: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := serial.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := par.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sb) != string(pb) {
+		t.Fatal("2D parallel build is not byte-identical to serial")
+	}
+}
+
+// BenchmarkLocateInternal compares the learned root against the binary
+// search it replaced, on a fine index where the boundary array spills out of
+// L1. (The public BenchmarkLocate in the repo root measures the end-to-end
+// point-query path.)
+func BenchmarkLocateInternal(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	keys := make([]float64, 200000)
+	k := 0.0
+	for i := range keys {
+		k += rng.Float64() + 0.01
+		keys[i] = k
+	}
+	ix, err := BuildCount(keys, Options{Degree: 2, Delta: 0.5, NoFallback: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := make([]float64, 1024)
+	for i := range probes {
+		probes[i] = keys[0] + rng.Float64()*(k-keys[0])
+	}
+	b.Logf("segments: %d, root KiB: %d", ix.NumSegments(), ix.RootSizeBytes()/1024)
+	b.Run("Root", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.Locate(probes[i&1023])
+		}
+	})
+	b.Run("Binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix.LocateBinary(probes[i&1023])
+		}
+	})
+}

@@ -114,6 +114,7 @@ func (ix *Index1D) UnmarshalBinary(data []byte) error {
 		}
 		ix.polys[i] = p
 	}
+	ix.buildRoot() // the learned root is derived state, rebuilt on load
 	var hasExt uint8
 	if err := rd(&hasExt); err != nil {
 		return fmt.Errorf("%w: extrema flag", ErrBadFormat)

@@ -5,12 +5,14 @@
 // Two backends are provided and cross-checked against each other (and against
 // internal/lp) in tests:
 //
-//   - FitPoly: the exchange algorithm (Stiefel's discrete Remez iteration).
-//     Polynomials over distinct 1D points form a Haar system, so the best
-//     approximation equioscillates on a reference of deg+2 points and the
-//     single-point exchange converges to the exact optimum. This is the fast
-//     path used by greedy segmentation — typically a handful of (deg+2)²
-//     solves instead of a full LP.
+//   - FitPoly / Fitter.Fit: the exchange algorithm (Stiefel's discrete Remez
+//     iteration). Polynomials over distinct 1D points form a Haar system, so
+//     the best approximation equioscillates on a reference of deg+2 points and
+//     the single-point exchange converges to the exact optimum. This is the
+//     fast path used by greedy segmentation — typically a handful of (deg+2)²
+//     solves instead of a full LP. Hot paths hold a Fitter (one per goroutine;
+//     it is not concurrency-safe) so repeated fits allocate nothing; FitPoly
+//     is the convenience wrapper building a throwaway Fitter per call.
 //
 //   - FitBasisLP / FitPoly2D: a revised dual simplex on LP (9). It works for
 //     any basis — in particular the bivariate monomials u^i v^j of Section VI,
@@ -23,7 +25,6 @@ package minimax
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/poly"
@@ -55,51 +56,13 @@ const (
 // FitPoly computes the minimax degree-deg polynomial fit of ys over xs.
 // xs must be strictly increasing. For len(xs) ≤ deg+1 the data is
 // interpolated exactly (zero error).
+//
+// FitPoly is a convenience wrapper that builds a throwaway Fitter per call;
+// construction hot paths (greedy segmentation) hold one Fitter per goroutine
+// instead, which eliminates every per-fit allocation.
 func FitPoly(xs, ys []float64, deg int) (Fit1D, error) {
-	if len(xs) == 0 {
-		return Fit1D{}, ErrTooFewPoints
-	}
-	if len(xs) != len(ys) {
-		return Fit1D{}, fmt.Errorf("minimax: len(xs)=%d len(ys)=%d", len(xs), len(ys))
-	}
-	if deg < 0 {
-		return Fit1D{}, fmt.Errorf("minimax: negative degree %d", deg)
-	}
-	for i := 1; i < len(xs); i++ {
-		if xs[i] <= xs[i-1] {
-			return Fit1D{}, ErrDuplicateKeys
-		}
-	}
-	frame := poly.NewFrame(xs[0], xs[len(xs)-1])
-	ts := make([]float64, len(xs))
-	for i, x := range xs {
-		ts[i] = frame.Normalize(x)
-	}
-	// Value scaling: keep the Gaussian solves conditioned when cumulative
-	// values are ~1e6+. Errors scale back linearly.
-	yscale := 0.0
-	for _, y := range ys {
-		if a := math.Abs(y); a > yscale {
-			yscale = a
-		}
-	}
-	if yscale == 0 {
-		yscale = 1
-	}
-	ysn := make([]float64, len(ys))
-	for i, y := range ys {
-		ysn[i] = y / yscale
-	}
-
-	if len(xs) <= deg+1 {
-		p := interpolate(ts, ysn)
-		fp := poly.FramedPoly{F: frame, P: p.Scale(yscale)}
-		return Fit1D{P: fp, MaxErr: maxAbsResidual(fp, xs, ys)}, nil
-	}
-
-	p, _, iters := exchange(ts, ysn, deg)
-	fp := poly.FramedPoly{F: frame, P: p.Scale(yscale)}
-	return Fit1D{P: fp, MaxErr: maxAbsResidual(fp, xs, ys), Iters: iters}, nil
+	var f Fitter
+	return f.Fit(xs, ys, deg, -1, nil)
 }
 
 // maxAbsResidual reports the true max |y_i − P(x_i)| of a framed polynomial —
@@ -115,80 +78,6 @@ func maxAbsResidual(fp poly.FramedPoly, xs, ys []float64) float64 {
 	return m
 }
 
-// interpolate returns the polynomial through all (ts, ys) points (Newton's
-// divided differences, converted to the monomial basis).
-func interpolate(ts, ys []float64) poly.Poly {
-	n := len(ts)
-	coef := append([]float64(nil), ys...)
-	for j := 1; j < n; j++ {
-		for i := n - 1; i >= j; i-- {
-			coef[i] = (coef[i] - coef[i-1]) / (ts[i] - ts[i-j])
-		}
-	}
-	// Horner-style expansion of the Newton form.
-	p := poly.New(coef[n-1])
-	for i := n - 2; i >= 0; i-- {
-		p = p.Mul(poly.New(-ts[i], 1)).Add(poly.New(coef[i]))
-	}
-	return p
-}
-
-// exchange runs the discrete Remez single-exchange iteration on normalised
-// points ts (strictly increasing in [-1,1]) with values ys. It returns the
-// fitted polynomial (monomial basis over t), the levelled error |h| and the
-// iteration count.
-func exchange(ts, ys []float64, deg int) (poly.Poly, float64, int) {
-	n := len(ts)
-	m := deg + 2 // reference size
-
-	// Initial reference: Chebyshev-spaced indices, forced strictly increasing.
-	ref := make([]int, m)
-	for j := 0; j < m; j++ {
-		frac := 0.5 * (1 - math.Cos(math.Pi*float64(j)/float64(m-1)))
-		ref[j] = int(math.Round(frac * float64(n-1)))
-	}
-	for j := 1; j < m; j++ {
-		if ref[j] <= ref[j-1] {
-			ref[j] = ref[j-1] + 1
-		}
-	}
-	for j := m - 1; j > 0; j-- {
-		if ref[j] > n-1-(m-1-j) {
-			ref[j] = n - 1 - (m - 1 - j)
-		}
-		if j < m-1 && ref[j] >= ref[j+1] {
-			ref[j] = ref[j+1] - 1
-		}
-	}
-
-	cheb := chebPolys(deg)
-	resid := make([]float64, n)
-	var p poly.Poly
-	var h float64
-	iters := 0
-	for ; iters < maxExchangeIters; iters++ {
-		p, h = solveReference(ts, ys, ref, cheb)
-		// Residuals and the worst offender.
-		worst, worstAbs := -1, 0.0
-		for i := 0; i < n; i++ {
-			resid[i] = ys[i] - p.Eval(ts[i])
-			if a := math.Abs(resid[i]); a > worstAbs {
-				worstAbs = a
-				worst = i
-			}
-		}
-		habs := math.Abs(h)
-		if worst < 0 || worstAbs <= habs*(1+relTol)+absTol {
-			return p, habs, iters + 1
-		}
-		if !exchangePoint(ref, resid, worst) {
-			// worst already on reference (numerical tie) — done.
-			return p, habs, iters + 1
-		}
-	}
-	return p, math.Abs(h), iters
-}
-
 // chebPolys returns T_0..T_deg in the monomial basis.
 func chebPolys(deg int) []poly.Poly {
 	out := make([]poly.Poly, deg+1)
@@ -202,37 +91,11 @@ func chebPolys(deg int) []poly.Poly {
 	return out
 }
 
-// solveReference solves the (deg+2)×(deg+2) levelled-error system
-// Σ_k c_k T_k(t_j) + (−1)^j h = y_j on the reference, returning the monomial
-// polynomial and h.
-func solveReference(ts, ys []float64, ref []int, cheb []poly.Poly) (poly.Poly, float64) {
-	m := len(ref)
-	a := make([][]float64, m)
-	b := make([]float64, m)
-	sign := 1.0
-	for j, idx := range ref {
-		row := make([]float64, m)
-		t := ts[idx]
-		for k := 0; k < m-1; k++ {
-			row[k] = cheb[k].Eval(t)
-		}
-		row[m-1] = sign
-		sign = -sign
-		a[j] = row
-		b[j] = ys[idx]
-	}
-	sol := gaussSolve(a, b)
-	p := poly.Poly{}
-	for k := 0; k < m-1; k++ {
-		p = p.Add(cheb[k].Scale(sol[k]))
-	}
-	return p, sol[m-1]
-}
-
-// gaussSolve solves a·x = b in place with partial pivoting. Singular systems
-// (impossible for distinct reference points, defensive otherwise) yield the
-// least-bad pivot rather than a panic.
-func gaussSolve(a [][]float64, b []float64) []float64 {
+// gaussSolveInto solves a·x = b in place with partial pivoting, writing the
+// solution into caller-provided x so the reusable Fitter can solve without
+// allocating. Singular systems (impossible for distinct reference points,
+// defensive otherwise) yield the least-bad pivot rather than a panic.
+func gaussSolveInto(a [][]float64, b, x []float64) {
 	n := len(a)
 	for col := 0; col < n; col++ {
 		// partial pivot
@@ -260,7 +123,6 @@ func gaussSolve(a [][]float64, b []float64) []float64 {
 			b[r] -= f * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for r := n - 1; r >= 0; r-- {
 		s := b[r]
 		for c := r + 1; c < n; c++ {
@@ -272,7 +134,6 @@ func gaussSolve(a [][]float64, b []float64) []float64 {
 		}
 		x[r] = s / pv
 	}
-	return x
 }
 
 // exchangePoint inserts the worst offender w into the sorted reference,

@@ -1,0 +1,262 @@
+package minimax
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/poly"
+)
+
+// Fitter is a reusable minimax solver. It owns every piece of scratch memory
+// a fit needs — normalised keys and values, the exchange reference, the
+// (deg+2)×(deg+2) levelled-error system, residuals, and the coefficient
+// accumulator — so repeated fits allocate nothing beyond the returned
+// coefficient slice (and not even that when the caller recycles one via the
+// reuse parameter). Greedy segmentation calls the solver O(h·log L) times per
+// build, which made the per-call allocations of the original FitPoly the
+// dominant construction cost.
+//
+// A Fitter is NOT safe for concurrent use: create one per goroutine (the
+// parallel segmentation workers each own one). The zero value is ready to
+// use; NewFitter exists for symmetry.
+type Fitter struct {
+	ts, ysn, resid []float64 // normalised keys/values, per-point residuals
+	ref            []int     // exchange reference (deg+2 point indices)
+
+	// Degree-tied scratch, rebuilt only when the requested degree changes.
+	chebDeg int
+	cheb    []poly.Poly // T_0..T_deg in the monomial basis
+	a       [][]float64 // reference system matrix
+	b, sol  []float64
+	newton  []float64 // divided-difference scratch (interpolation path)
+	acc     []float64 // monomial-coefficient accumulator
+}
+
+// NewFitter returns a ready-to-use Fitter. The zero value works too.
+func NewFitter() *Fitter { return &Fitter{} }
+
+// Fit computes the minimax degree-deg polynomial fit of ys over xs — the
+// same result as FitPoly — reusing the fitter's scratch buffers.
+//
+// yscale is an optional normalisation hint: pass max_i |ys[i]| when the
+// caller tracks it incrementally (greedy segmentation maintains a prefix
+// maximum while extending a segment), or any negative value to let the
+// fitter scan for it. Passing a value other than the exact maximum changes
+// only the internal conditioning, but callers that need results identical to
+// FitPoly must pass the exact maximum (or a negative value).
+//
+// reuse, when non-nil, donates its backing array for the returned
+// coefficient slice if the capacity suffices; callers recycle the
+// coefficients of fits they no longer keep to reach zero steady-state
+// allocations. The returned Fit1D never aliases the fitter's own scratch.
+func (f *Fitter) Fit(xs, ys []float64, deg int, yscale float64, reuse poly.Poly) (Fit1D, error) {
+	if len(xs) == 0 {
+		return Fit1D{}, ErrTooFewPoints
+	}
+	if len(xs) != len(ys) {
+		return Fit1D{}, fmt.Errorf("minimax: len(xs)=%d len(ys)=%d", len(xs), len(ys))
+	}
+	if deg < 0 {
+		return Fit1D{}, fmt.Errorf("minimax: negative degree %d", deg)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return Fit1D{}, ErrDuplicateKeys
+		}
+	}
+	n := len(xs)
+	frame := poly.NewFrame(xs[0], xs[n-1])
+	f.ts = growFloats(f.ts, n)
+	for i, x := range xs {
+		f.ts[i] = frame.Normalize(x)
+	}
+	// Value scaling: keep the Gaussian solves conditioned when cumulative
+	// values are ~1e6+. Errors scale back linearly.
+	if yscale < 0 {
+		yscale = 0
+		for _, y := range ys {
+			if a := math.Abs(y); a > yscale {
+				yscale = a
+			}
+		}
+	}
+	if yscale == 0 {
+		yscale = 1
+	}
+	f.ysn = growFloats(f.ysn, n)
+	for i, y := range ys {
+		f.ysn[i] = y / yscale
+	}
+
+	f.prepare(deg)
+
+	var nc, iters int
+	if n <= deg+1 {
+		nc = f.interpolateInto(n)
+	} else {
+		nc, iters = f.exchange(n, deg)
+	}
+	// Scale back into raw value space and trim trailing zeros, matching
+	// poly.Poly.Trim so coefficient counts stay compact and stable.
+	for j := 0; j < nc; j++ {
+		f.acc[j] *= yscale
+	}
+	for nc > 0 && f.acc[nc-1] == 0 {
+		nc--
+	}
+	var out poly.Poly
+	if cap(reuse) >= nc {
+		out = reuse[:nc]
+	} else {
+		// Full deg+1 capacity so a recycled buffer fits any later fit of the
+		// same degree even when this result trimmed shorter.
+		out = make(poly.Poly, nc, deg+1)
+	}
+	copy(out, f.acc[:nc])
+	fp := poly.FramedPoly{F: frame, P: out}
+	return Fit1D{P: fp, MaxErr: maxAbsResidual(fp, xs, ys), Iters: iters}, nil
+}
+
+// prepare (re)builds the degree-tied scratch. Cheap no-op when the degree
+// matches the previous call, which is the steady state inside a build.
+func (f *Fitter) prepare(deg int) {
+	if f.cheb != nil && f.chebDeg == deg {
+		return
+	}
+	f.chebDeg = deg
+	f.cheb = chebPolys(deg)
+	m := deg + 2
+	f.a = make([][]float64, m)
+	for i := range f.a {
+		f.a[i] = make([]float64, m)
+	}
+	f.b = make([]float64, m)
+	f.sol = make([]float64, m)
+	f.ref = make([]int, m)
+	f.acc = make([]float64, deg+1)
+	f.newton = make([]float64, deg+1)
+}
+
+// interpolateInto runs Newton divided differences over f.ts[:n]/f.ysn[:n]
+// (the ≤ deg+1 point case: exact interpolation, zero error) and expands the
+// Newton form into monomial coefficients in f.acc. Returns the coefficient
+// count.
+func (f *Fitter) interpolateInto(n int) int {
+	ts := f.ts[:n]
+	coef := f.newton[:n]
+	copy(coef, f.ysn[:n])
+	for j := 1; j < n; j++ {
+		for i := n - 1; i >= j; i-- {
+			coef[i] = (coef[i] - coef[i-1]) / (ts[i] - ts[i-j])
+		}
+	}
+	// Horner-style expansion of the Newton form, in place in f.acc.
+	r := f.acc[:1]
+	r[0] = coef[n-1]
+	for i := n - 2; i >= 0; i-- {
+		l := len(r)
+		r = f.acc[:l+1]
+		r[l] = r[l-1]
+		for j := l - 1; j >= 1; j-- {
+			r[j] = r[j-1] - ts[i]*r[j]
+		}
+		r[0] = coef[i] - ts[i]*r[0]
+	}
+	return len(r)
+}
+
+// exchange runs the discrete Remez single-exchange iteration over
+// f.ts[:n]/f.ysn[:n], leaving the monomial coefficients (in the normalised
+// value space) in f.acc. Returns the coefficient count and iterations used.
+func (f *Fitter) exchange(n, deg int) (int, int) {
+	m := deg + 2
+	ref := f.ref[:m]
+	// Initial reference: Chebyshev-spaced indices, forced strictly increasing.
+	for j := 0; j < m; j++ {
+		frac := 0.5 * (1 - math.Cos(math.Pi*float64(j)/float64(m-1)))
+		ref[j] = int(math.Round(frac * float64(n-1)))
+	}
+	for j := 1; j < m; j++ {
+		if ref[j] <= ref[j-1] {
+			ref[j] = ref[j-1] + 1
+		}
+	}
+	for j := m - 1; j > 0; j-- {
+		if ref[j] > n-1-(m-1-j) {
+			ref[j] = n - 1 - (m - 1 - j)
+		}
+		if j < m-1 && ref[j] >= ref[j+1] {
+			ref[j] = ref[j+1] - 1
+		}
+	}
+
+	f.resid = growFloats(f.resid, n)
+	resid := f.resid[:n]
+	ts, ys := f.ts[:n], f.ysn[:n]
+	nc := deg + 1
+	iters := 0
+	for ; iters < maxExchangeIters; iters++ {
+		h := f.solveReference(ts, ys, ref)
+		p := poly.Poly(f.acc[:nc])
+		worst, worstAbs := -1, 0.0
+		for i := 0; i < n; i++ {
+			resid[i] = ys[i] - p.Eval(ts[i])
+			if a := math.Abs(resid[i]); a > worstAbs {
+				worstAbs = a
+				worst = i
+			}
+		}
+		habs := math.Abs(h)
+		if worst < 0 || worstAbs <= habs*(1+relTol)+absTol {
+			return nc, iters + 1
+		}
+		if !exchangePoint(ref, resid, worst) {
+			// worst already on reference (numerical tie) — done.
+			return nc, iters + 1
+		}
+	}
+	return nc, iters
+}
+
+// solveReference solves the (deg+2)×(deg+2) levelled-error system
+// Σ_k c_k T_k(t_j) + (−1)^j h = y_j on the reference, accumulating the
+// monomial coefficients into f.acc and returning h.
+func (f *Fitter) solveReference(ts, ys []float64, ref []int) float64 {
+	m := len(ref)
+	a := f.a[:m]
+	b := f.b[:m]
+	sign := 1.0
+	for j, idx := range ref {
+		row := a[j]
+		t := ts[idx]
+		for k := 0; k < m-1; k++ {
+			row[k] = f.cheb[k].Eval(t)
+		}
+		row[m-1] = sign
+		sign = -sign
+		b[j] = ys[idx]
+	}
+	sol := f.sol[:m]
+	gaussSolveInto(a, b, sol)
+	acc := f.acc[:m-1]
+	for j := range acc {
+		acc[j] = 0
+	}
+	for k := 0; k < m-1; k++ {
+		ck := f.cheb[k]
+		s := sol[k]
+		for j := range ck {
+			acc[j] += ck[j] * s
+		}
+	}
+	return sol[m-1]
+}
+
+// growFloats returns s resized to n, reallocating only when capacity is
+// exceeded. Contents are not preserved across reallocation.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

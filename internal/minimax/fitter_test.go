@@ -1,0 +1,202 @@
+package minimax
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+// randSeries returns n strictly increasing keys and noisy values.
+func randSeries(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	k := 0.0
+	v := 1e6 * rng.Float64()
+	for i := 0; i < n; i++ {
+		k += 0.1 + rng.Float64()
+		v += rng.NormFloat64() * 100
+		xs[i] = k
+		ys[i] = v
+	}
+	return xs, ys
+}
+
+// TestFitterMatchesFitPoly pins Fitter.Fit to FitPoly exactly — same
+// coefficients, frame, max error and iteration count — across sizes
+// (including the ≤ deg+1 interpolation path), degrees, and repeated reuse of
+// one fitter instance.
+func TestFitterMatchesFitPoly(t *testing.T) {
+	f := NewFitter()
+	for _, deg := range []int{0, 1, 2, 3, 5} {
+		for _, n := range []int{1, 2, deg + 1, deg + 2, 10, 91, 500} {
+			if n < 1 {
+				continue
+			}
+			xs, ys := randSeries(n, int64(100*deg+n))
+			want, err := FitPoly(xs, ys, deg)
+			if err != nil {
+				t.Fatalf("FitPoly(n=%d,deg=%d): %v", n, deg, err)
+			}
+			got, err := f.Fit(xs, ys, deg, -1, nil)
+			if err != nil {
+				t.Fatalf("Fitter.Fit(n=%d,deg=%d): %v", n, deg, err)
+			}
+			if got.MaxErr != want.MaxErr || got.Iters != want.Iters || got.P.F != want.P.F {
+				t.Fatalf("n=%d deg=%d: meta differs: got (%g,%d,%+v) want (%g,%d,%+v)",
+					n, deg, got.MaxErr, got.Iters, got.P.F, want.MaxErr, want.Iters, want.P.F)
+			}
+			if len(got.P.P) != len(want.P.P) {
+				t.Fatalf("n=%d deg=%d: coeff count %d vs %d", n, deg, len(got.P.P), len(want.P.P))
+			}
+			for j := range got.P.P {
+				if got.P.P[j] != want.P.P[j] {
+					t.Fatalf("n=%d deg=%d: coeff %d: %v vs %v", n, deg, j, got.P.P[j], want.P.P[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFitterYScaleHint verifies that passing the exact max-abs value
+// reproduces the scan path bit for bit.
+func TestFitterYScaleHint(t *testing.T) {
+	xs, ys := randSeries(200, 9)
+	maxAbs := 0.0
+	for _, y := range ys {
+		a := y
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	var f Fitter
+	want, err := f.Fit(xs, ys, 2, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Fit(xs, ys, 2, maxAbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.P.P {
+		if got.P.P[j] != want.P.P[j] {
+			t.Fatalf("coeff %d differs with yscale hint: %v vs %v", j, got.P.P[j], want.P.P[j])
+		}
+	}
+	if got.MaxErr != want.MaxErr {
+		t.Fatalf("MaxErr differs with yscale hint: %v vs %v", got.MaxErr, want.MaxErr)
+	}
+}
+
+// TestFitterReuse checks the recycling contract: a donated buffer with
+// sufficient capacity backs the result, and the result never aliases the
+// fitter's own scratch (a second fit must not corrupt the first).
+func TestFitterReuse(t *testing.T) {
+	var f Fitter
+	xs1, ys1 := randSeries(80, 11)
+	xs2, ys2 := randSeries(80, 12)
+	fit1, err := f.Fit(xs1, ys1, 2, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append(poly.Poly(nil), fit1.P.P...)
+	if _, err := f.Fit(xs2, ys2, 2, -1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j := range saved {
+		if fit1.P.P[j] != saved[j] {
+			t.Fatalf("second fit corrupted the first result at coeff %d", j)
+		}
+	}
+	// Recycle fit1's buffer: fit3 must reuse its backing array.
+	buf := fit1.P.P
+	fit3, err := f.Fit(xs1, ys1, 2, -1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit3.P.P) > 0 && len(buf) > 0 && &fit3.P.P[0] != &buf[0] {
+		t.Fatal("fit did not reuse the donated coefficient buffer")
+	}
+	// And the recycled result still matches a fresh computation.
+	fresh, err := FitPoly(xs1, ys1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range fresh.P.P {
+		if fit3.P.P[j] != fresh.P.P[j] {
+			t.Fatalf("recycled-buffer fit differs at coeff %d", j)
+		}
+	}
+}
+
+// TestFitterErrors mirrors FitPoly's validation.
+func TestFitterErrors(t *testing.T) {
+	var f Fitter
+	if _, err := f.Fit(nil, nil, 2, -1, nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("empty input: got %v", err)
+	}
+	if _, err := f.Fit([]float64{1, 1}, []float64{2, 3}, 2, -1, nil); !errors.Is(err, ErrDuplicateKeys) {
+		t.Fatalf("duplicate keys: got %v", err)
+	}
+	if _, err := f.Fit([]float64{1, 2}, []float64{2}, 2, -1, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := f.Fit([]float64{1}, []float64{2}, -1, -1, nil); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+// TestFitterDegreeSwitch exercises the degree-tied scratch rebuild.
+func TestFitterDegreeSwitch(t *testing.T) {
+	var f Fitter
+	xs, ys := randSeries(60, 13)
+	for _, deg := range []int{3, 1, 4, 1, 0, 2} {
+		want, err := FitPoly(xs, ys, deg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Fit(xs, ys, deg, -1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MaxErr != want.MaxErr || len(got.P.P) != len(want.P.P) {
+			t.Fatalf("deg %d: mismatch after degree switch", deg)
+		}
+		for j := range got.P.P {
+			if got.P.P[j] != want.P.P[j] {
+				t.Fatalf("deg %d coeff %d: %v vs %v", deg, j, got.P.P[j], want.P.P[j])
+			}
+		}
+	}
+}
+
+// BenchmarkFitterVsFitPoly quantifies the allocation win of the reusable
+// fitter on a greedy-segmentation-sized window.
+func BenchmarkFitterVsFitPoly(b *testing.B) {
+	xs, ys := randSeries(91, 7)
+	b.Run("FitPoly", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := FitPoly(xs, ys, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fitter", func(b *testing.B) {
+		b.ReportAllocs()
+		f := NewFitter()
+		var spare poly.Poly
+		for i := 0; i < b.N; i++ {
+			fit, err := f.Fit(xs, ys, 2, -1, spare)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spare = fit.P.P
+		}
+	})
+}

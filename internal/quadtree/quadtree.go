@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/minimax"
 	"repro/internal/poly"
@@ -40,6 +42,10 @@ type Config struct {
 	// MaxDepth bounds recursion (default 30). Leaves forced at MaxDepth may
 	// violate δ; Tree.ForcedLeaves reports how many (0 in sane builds).
 	MaxDepth int
+	// Parallelism is the number of goroutines used to run the per-cell
+	// surface fits of each tree level; values ≤ 1 fit serially. Fits are
+	// independent, so the built tree is identical for every worker count.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,16 +136,77 @@ func Build(xs, ys []float64, cf CFFunc, cfg Config) (*Tree, error) {
 			offsets[i+1] = len(qx)
 		}
 		vals := cf(qx, qy)
+		fits := t.fitLevel(level, qx, qy, vals, offsets)
 		var next []pending
 		for i, p := range level {
-			sx := qx[offsets[i]:offsets[i+1]]
-			sy := qy[offsets[i]:offsets[i+1]]
 			sv := vals[offsets[i]:offsets[i+1]]
-			t.decide(p, sx, sy, sv, xs, ys, &next)
+			t.decide(p, sv, xs, ys, fits[i], &next)
 		}
 		level = next
 	}
 	return t, nil
+}
+
+// cellFit is the outcome of one cell's surface fit attempt.
+type cellFit struct {
+	fit   minimax.Fit2D
+	err   error
+	tried bool
+}
+
+// fitLevel runs the minimax surface fit for every cell of the level that
+// needs one (see mustTry), fanned out over cfg.Parallelism goroutines. The
+// fits are pure functions of their samples, so the parallel result — and
+// therefore the whole tree — is identical to the serial one.
+func (t *Tree) fitLevel(level []pending, qx, qy, vals []float64, offsets []int) []cellFit {
+	fits := make([]cellFit, len(level))
+	fitOne := func(i int) {
+		p := level[i]
+		if !t.mustTry(p) {
+			return
+		}
+		c := p.cell
+		sx := qx[offsets[i]:offsets[i+1]]
+		sy := qy[offsets[i]:offsets[i+1]]
+		sv := vals[offsets[i]:offsets[i+1]]
+		fit, err := minimax.FitPoly2D(sx, sy, sv, t.cfg.Degree, c.XLo, c.XHi, c.YLo, c.YHi)
+		fits[i] = cellFit{fit: fit, err: err, tried: true}
+	}
+	workers := t.cfg.Parallelism
+	if workers > len(level) {
+		workers = len(level)
+	}
+	if workers <= 1 {
+		for i := range level {
+			fitOne(i)
+		}
+		return fits
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(level) {
+					return
+				}
+				fitOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return fits
+}
+
+// mustTry reports whether a cell attempts a fit before splitting: small
+// enough, at the depth limit, or degenerate. Mirrors the decide logic.
+func (t *Tree) mustTry(p pending) bool {
+	c := p.cell
+	degenerate := c.XHi <= c.XLo || c.YHi <= c.YLo
+	return len(p.idx) <= t.cfg.SplitThreshold || p.depth >= t.cfg.MaxDepth || degenerate
 }
 
 // sampleLocations returns the fit-constraint locations for a cell: a
@@ -172,16 +239,16 @@ func sampleLocations(p pending, xs, ys []float64, cfg Config) ([]float64, []floa
 	return qx, qy
 }
 
-// decide fits the cell on its samples and either finalises it as a leaf or
-// splits it, pushing the four children onto the next level.
-func (t *Tree) decide(p pending, sx, sy, sv, xs, ys []float64, next *[]pending) {
+// decide consumes the cell's precomputed fit attempt (if any) and either
+// finalises it as a leaf or splits it, pushing the four children onto the
+// next level. Runs serially per level so tree bookkeeping needs no locks.
+func (t *Tree) decide(p pending, sv, xs, ys []float64, pre cellFit, next *[]pending) {
 	c := p.cell
 	c.NumPoints = len(p.idx)
 	cfg := t.cfg
 	degenerate := c.XHi <= c.XLo || c.YHi <= c.YLo
-	mustTry := len(p.idx) <= cfg.SplitThreshold || p.depth >= cfg.MaxDepth || degenerate
-	if mustTry {
-		fit, err := minimax.FitPoly2D(sx, sy, sv, cfg.Degree, c.XLo, c.XHi, c.YLo, c.YHi)
+	if pre.tried {
+		fit, err := pre.fit, pre.err
 		if err == nil && (fit.MaxErr <= cfg.Delta || p.depth >= cfg.MaxDepth || degenerate) {
 			c.Fit = fit.P
 			c.MaxErr = fit.MaxErr

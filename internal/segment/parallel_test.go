@@ -1,0 +1,202 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genKeysCF returns n strictly increasing keys with a skewed spacing
+// distribution plus their cumulative-count values — the shape greedy
+// segmentation sees from buildCumulative.
+func genKeysCF(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	k := 0.0
+	for i := 0; i < n; i++ {
+		// Mixture of dense runs and large jumps so segment lengths vary.
+		if rng.Float64() < 0.02 {
+			k += 50 + 1000*rng.Float64()
+		} else {
+			k += 0.01 + rng.Float64()
+		}
+		xs[i] = k
+		ys[i] = float64(i + 1)
+	}
+	return xs, ys
+}
+
+// genKeysMeasure returns keys with a noisy measure series (the MIN/MAX
+// key-measure shape).
+func genKeysMeasure(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	v := 100.0
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i) + rng.Float64()*0.5
+		v += rng.NormFloat64() * 5
+		ys[i] = v
+	}
+	return xs, ys
+}
+
+// sameSegs fails the test unless a and b are byte-identical segmentations:
+// same boundaries, frames, coefficients, errors and iteration counts.
+func sameSegs(t *testing.T, a, b []Segment) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("segment count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.First != y.First || x.Last != y.Last || x.Lo != y.Lo || x.Hi != y.Hi {
+			t.Fatalf("segment %d bounds differ: %+v vs %+v", i, x, y)
+		}
+		if x.Fit.MaxErr != y.Fit.MaxErr || x.Fit.Iters != y.Fit.Iters {
+			t.Fatalf("segment %d fit meta differs: (%g,%d) vs (%g,%d)",
+				i, x.Fit.MaxErr, x.Fit.Iters, y.Fit.MaxErr, y.Fit.Iters)
+		}
+		if x.Fit.P.F != y.Fit.P.F {
+			t.Fatalf("segment %d frame differs: %+v vs %+v", i, x.Fit.P.F, y.Fit.P.F)
+		}
+		if len(x.Fit.P.P) != len(y.Fit.P.P) {
+			t.Fatalf("segment %d coeff count differs: %d vs %d", i, len(x.Fit.P.P), len(y.Fit.P.P))
+		}
+		for j := range x.Fit.P.P {
+			if x.Fit.P.P[j] != y.Fit.P.P[j] {
+				t.Fatalf("segment %d coeff %d differs: %v vs %v", i, j, x.Fit.P.P[j], y.Fit.P.P[j])
+			}
+		}
+	}
+}
+
+// TestGreedyParallelEquivalence is the tentpole guarantee: parallel greedy
+// produces segmentations byte-identical to the serial result for every
+// worker count, across datasets, degrees and deltas.
+func TestGreedyParallelEquivalence(t *testing.T) {
+	type dataset struct {
+		name   string
+		xs, ys []float64
+	}
+	cfx, cfy := genKeysCF(6000, 1)
+	mx, my := genKeysMeasure(6000, 2)
+	datasets := []dataset{
+		{"cumulative", cfx, cfy},
+		{"measure", mx, my},
+	}
+	cfgs := []Config{
+		{Degree: 1, Delta: 10},
+		{Degree: 2, Delta: 25},
+		{Degree: 3, Delta: 5},
+		{Degree: 2, Delta: 25, NoExpSearch: true},
+	}
+	for _, ds := range datasets {
+		for _, base := range cfgs {
+			serial, err := Greedy(ds.xs, ds.ys, base)
+			if err != nil {
+				t.Fatalf("%s serial: %v", ds.name, err)
+			}
+			for _, workers := range []int{1, 2, 3, 4, 8} {
+				cfg := base
+				cfg.Parallelism = workers
+				par, err := Greedy(ds.xs, ds.ys, cfg)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", ds.name, workers, err)
+				}
+				sameSegs(t, serial, par)
+			}
+		}
+	}
+}
+
+// TestGreedyParallelDualLP covers the LP backend (worker-local fitters do
+// not apply, but chunking and stitching still must be identity-preserving).
+func TestGreedyParallelDualLP(t *testing.T) {
+	xs, ys := genKeysCF(1500, 3)
+	base := Config{Degree: 2, Delta: 40, Backend: DualLP}
+	serial, err := Greedy(xs, ys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Parallelism = 4
+	par, err := Greedy(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSegs(t, serial, par)
+}
+
+// TestGreedyParallelSpanningSegment exercises the stitching worst case: one
+// segment covering the entire array (every chunk's local work is discarded
+// and the whole result is re-grown at the first junction).
+func TestGreedyParallelSpanningSegment(t *testing.T) {
+	n := 4096
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3*float64(i) + 7 // exactly linear: one segment at any δ
+	}
+	serial, err := Greedy(xs, ys, Config{Degree: 1, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(serial))
+	}
+	par, err := Greedy(xs, ys, Config{Degree: 1, Delta: 0.5, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSegs(t, serial, par)
+}
+
+// TestGreedyParallelTinyInput verifies the worker clamp: parallelism on
+// inputs below minKeysPerWorker must quietly run serially and still succeed.
+func TestGreedyParallelTinyInput(t *testing.T) {
+	xs, ys := genKeysCF(64, 4)
+	serial, err := Greedy(xs, ys, Config{Degree: 2, Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Greedy(xs, ys, Config{Degree: 2, Delta: 5, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSegs(t, serial, par)
+}
+
+// TestGrowerYScaleMatchesScan pins the incremental normalisation to the
+// exact scan FitPoly performs, including the shrinking probes of the binary
+// phase.
+func TestGrowerYScaleMatchesScan(t *testing.T) {
+	xs, ys := genKeysMeasure(500, 5)
+	for i := range ys {
+		if i%7 == 0 {
+			ys[i] = -ys[i] // exercise the absolute value
+		}
+	}
+	g := newGrower(xs, ys, Config{Degree: 2, Delta: 10})
+	probe := func(l, u int) {
+		want := 0.0
+		for i := l; i <= u; i++ {
+			if a := math.Abs(ys[i]); a > want {
+				want = a
+			}
+		}
+		if got := g.yscale(l, u); got != want {
+			t.Fatalf("yscale(%d,%d) = %v, want %v", l, u, got, want)
+		}
+	}
+	// Growth, shrink-back (binary phase), and restart at a new l.
+	probe(0, 10)
+	probe(0, 100)
+	probe(0, 37)
+	probe(40, 41)
+	probe(40, 300)
+	probe(40, 60)
+	probe(0, 499)
+}

@@ -3,13 +3,23 @@
 // accelerated with exponential search, the plain one-key-at-a-time GS used
 // for the ablation study, and the dynamic-programming optimal reference
 // against which GS optimality (Theorem 1) is property-tested.
+//
+// Construction is the paper's own bottleneck (Fig. 14c), so the greedy path
+// is engineered for speed: every worker owns a reusable minimax.Fitter (zero
+// allocations per fit) and Config.Parallelism splits the key array across
+// goroutines, with chunk junctions re-grown over the full array so the
+// parallel result is byte-identical to the serial one.
 package segment
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/minimax"
+	"repro/internal/poly"
 )
 
 // Segment is one fitted interval I = [Lo, Hi]: a polynomial satisfying the
@@ -39,7 +49,19 @@ type Config struct {
 	// grows segments one key at a time exactly as written in Algorithm 1.
 	// Kept for the ablation benchmarks; results are identical (Lemma 1).
 	NoExpSearch bool
+	// Parallelism is the number of goroutines used to segment the key
+	// array; values ≤ 1 run serially. Workers segment equal chunks
+	// independently and the stitching pass re-grows each chunk-junction
+	// segment over the full array, so the output is identical to the serial
+	// result for every worker count (greedy's grow step is a pure function
+	// of its start index — Lemma 1 makes the breakpoint unique). Tiny
+	// inputs are segmented serially regardless.
+	Parallelism int
 }
+
+// minKeysPerWorker caps the worker count so chunks stay large enough for
+// the stitching overhead (one re-grown segment per junction) to vanish.
+const minKeysPerWorker = 256
 
 // ErrBadInput reports invalid segmentation input.
 var ErrBadInput = errors.New("segment: invalid input")
@@ -74,55 +96,264 @@ func validate(xs, ys []float64, cfg Config) error {
 // monotonicity of E under point insertion, Lemma 1).
 //
 // With exponential search the number of fits per segment is O(log L) instead
-// of O(L) for segment length L.
+// of O(L) for segment length L. With cfg.Parallelism > 1 chunks are
+// segmented concurrently; the result is identical for every worker count.
 func Greedy(xs, ys []float64, cfg Config) ([]Segment, error) {
 	if err := validate(xs, ys, cfg); err != nil {
 		return nil, err
 	}
 	n := len(xs)
-	var segs []Segment
-	l := 0
-	for l < n {
-		var last int
-		var fit minimax.Fit1D
-		var err error
-		if cfg.NoExpSearch {
-			last, fit, err = growLinear(xs, ys, l, cfg)
-		} else {
-			last, fit, err = growExponential(xs, ys, l, cfg)
-		}
+	p := cfg.workers(n)
+	g := newGrower(xs, ys, cfg)
+	if p <= 1 {
+		return g.runRange(0, n, nil)
+	}
+	// Probe the first few segments (work the serial path needs anyway): when
+	// segments are long relative to chunks — the coarse regime where the
+	// serial chain rarely re-aligns with chunk-local boundaries and the
+	// stitch would re-grow most of the array — parallel speculation is pure
+	// overhead, so continue serially from the probe instead. The probed
+	// prefix is reused either way it can be (serial), or costs a few
+	// redundant grows (parallel, where it is noise among thousands).
+	probed := make([]Segment, 0, probeSegments)
+	pos := 0
+	for len(probed) < probeSegments && pos < n {
+		seg, err := g.grow(pos, n)
 		if err != nil {
 			return nil, err
 		}
-		segs = append(segs, Segment{
-			First: l, Last: last,
-			Lo: xs[l], Hi: xs[last],
-			Fit: fit,
-		})
-		l = last + 1
+		probed = append(probed, seg)
+		pos = seg.Last + 1
+	}
+	avgLen := pos / len(probed)
+	if avgLen*minSegsPerChunk > n/p {
+		return g.runRange(pos, n, probed)
+	}
+	return greedyParallel(xs, ys, cfg, p)
+}
+
+// probeSegments is how many leading segments Greedy grows serially to
+// estimate the typical segment length before committing to parallelism.
+const probeSegments = 4
+
+// minSegsPerChunk is the adaptive bail-out threshold: a chunk must be
+// expected to hold at least this many segments (by the probe's average
+// length) for chunk-parallel speculation to beat serial growth. Junction
+// re-syncing needs a healthy number of segments per chunk, and early
+// segments tend to run shorter than later ones on real cumulative
+// functions, so this is deliberately conservative: fine indexes — the
+// expensive builds — sit orders of magnitude below it.
+const minSegsPerChunk = 64
+
+// workers clamps cfg.Parallelism to a worker count worth spawning for n keys.
+func (c Config) workers(n int) int {
+	p := c.Parallelism
+	if p <= 1 {
+		return 1
+	}
+	if maxP := n / minKeysPerWorker; p > maxP {
+		p = maxP
+	}
+	return p
+}
+
+// greedyParallel splits the key array into p chunks, segments each chunk
+// concurrently with a worker-local grower, and stitches at the junctions:
+// every chunk segment that starts exactly where the serial segmentation
+// would start one is adopted verbatim, and each chunk's final (possibly
+// end-truncated) segment is re-grown over the full array. Induction over the
+// adopted/re-grown starts makes the output byte-identical to the serial run.
+func greedyParallel(xs, ys []float64, cfg Config, p int) ([]Segment, error) {
+	n := len(xs)
+	bounds := make([]int, p+1)
+	for c := 1; c < p; c++ {
+		bounds[c] = c * n / p
+	}
+	bounds[p] = n
+
+	locals := make([][]Segment, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for c := 0; c < p; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g := newGrower(xs, ys, cfg)
+			locals[c], errs[c] = g.runRange(bounds[c], bounds[c+1], nil)
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := 0
+	for _, l := range locals {
+		total += len(l)
+	}
+	out := make([]Segment, 0, total)
+	g := newGrower(xs, ys, cfg) // junction re-grower
+	pos := 0
+	for pos < n {
+		// Chunk containing pos (bounds is tiny: linear scan).
+		c := 0
+		for bounds[c+1] <= pos {
+			c++
+		}
+		local := locals[c]
+		// Adoptable segments: those starting exactly at pos. A non-final
+		// chunk's last segment may be truncated by the chunk end, so it is
+		// always re-grown over the full array instead.
+		hi := len(local)
+		if c < p-1 {
+			hi--
+		}
+		j := sort.Search(len(local), func(i int) bool { return local[i].First >= pos })
+		if j < hi && local[j].First == pos {
+			out = append(out, local[j:hi]...)
+			pos = local[hi-1].Last + 1
+			continue
+		}
+		seg, err := g.grow(pos, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seg)
+		pos = seg.Last + 1
+	}
+	return out, nil
+}
+
+// grower carries the per-goroutine fitting state of a greedy run: the
+// reusable minimax.Fitter, the recycled coefficient buffer of discarded
+// fits, and the incremental value-normalisation prefix maxima. A grower is
+// not safe for concurrent use; parallel segmentation gives each worker its
+// own.
+type grower struct {
+	xs, ys []float64
+	cfg    Config
+	fitter *minimax.Fitter
+	spare  poly.Poly // recycled coefficient storage from discarded fits
+
+	// Prefix maxima of |ys[pmLo..]| so each fit's value normalisation is
+	// O(Δu) instead of O(L): pm[j] = max |ys[pmLo..pmLo+j]|, valid for
+	// j < pmN. Reset whenever a segment starts at a new index.
+	pm   []float64
+	pmLo int
+	pmN  int
+}
+
+func newGrower(xs, ys []float64, cfg Config) *grower {
+	return &grower{xs: xs, ys: ys, cfg: cfg, fitter: minimax.NewFitter()}
+}
+
+// runRange segments [lo, hi) exactly as serial greedy restricted to that
+// window, appending to segs.
+func (g *grower) runRange(lo, hi int, segs []Segment) ([]Segment, error) {
+	for l := lo; l < hi; {
+		seg, err := g.grow(l, hi)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+		l = seg.Last + 1
 	}
 	return segs, nil
 }
 
+// grow produces the maximal δ-feasible segment starting at l and bounded by
+// limit (exclusive) — Algorithm 1's inner step. It is a pure function of
+// (xs, ys, cfg, l, min(limit, len(xs))), which is what parallel stitching
+// relies on.
+func (g *grower) grow(l, limit int) (Segment, error) {
+	var last int
+	var fit minimax.Fit1D
+	var err error
+	if g.cfg.NoExpSearch {
+		last, fit, err = g.growLinear(l, limit)
+	} else {
+		last, fit, err = g.growExponential(l, limit)
+	}
+	if err != nil {
+		return Segment{}, err
+	}
+	return Segment{
+		First: l, Last: last,
+		Lo: g.xs[l], Hi: g.xs[last],
+		Fit: fit,
+	}, nil
+}
+
+// fitRange fits ys[l..u] (inclusive) with the worker's reusable fitter,
+// recycling the coefficient buffer of the most recently discarded fit.
+func (g *grower) fitRange(l, u int) (minimax.Fit1D, error) {
+	if g.cfg.Backend == DualLP {
+		return minimax.FitPolyLP(g.xs[l:u+1], g.ys[l:u+1], g.cfg.Degree)
+	}
+	f, err := g.fitter.Fit(g.xs[l:u+1], g.ys[l:u+1], g.cfg.Degree, g.yscale(l, u), g.spare)
+	g.spare = nil
+	return f, err
+}
+
+// discard recycles a fit that lost the grow race so its coefficient storage
+// backs the next fit — the ping-pong that makes steady-state fitting
+// allocation-free.
+func (g *grower) discard(f minimax.Fit1D) { g.spare = f.P.P }
+
+// yscale returns max |ys[l..u]| via the incrementally maintained prefix
+// maxima — identical to the scan FitPoly performs, amortised O(1) per probe
+// within one grow.
+func (g *grower) yscale(l, u int) float64 {
+	if g.pmLo != l || g.pmN == 0 {
+		g.pmLo = l
+		g.pmN = 0
+	}
+	need := u - l + 1
+	if g.pmN < need {
+		if cap(g.pm) < need {
+			np := make([]float64, need+need/2+8)
+			copy(np, g.pm[:g.pmN])
+			g.pm = np
+		} else {
+			g.pm = g.pm[:cap(g.pm)]
+		}
+		m := 0.0
+		if g.pmN > 0 {
+			m = g.pm[g.pmN-1]
+		}
+		for j := g.pmN; j < need; j++ {
+			if a := math.Abs(g.ys[l+j]); a > m {
+				m = a
+			}
+			g.pm[j] = m
+		}
+		g.pmN = need
+	}
+	return g.pm[u-l]
+}
+
 // growLinear is Algorithm 1 verbatim: extend the interval one key at a time
 // until the bounded δ-error constraint fails.
-func growLinear(xs, ys []float64, l int, cfg Config) (int, minimax.Fit1D, error) {
-	n := len(xs)
+func (g *grower) growLinear(l, limit int) (int, minimax.Fit1D, error) {
 	// A segment of ≤ deg+1 points interpolates exactly (error 0 ≤ δ), so the
 	// loop always makes progress.
-	last := min(l+cfg.Degree, n-1)
-	best, err := cfg.fit(xs[l:last+1], ys[l:last+1])
+	last := min(l+g.cfg.Degree, limit-1)
+	best, err := g.fitRange(l, last)
 	if err != nil {
 		return 0, minimax.Fit1D{}, err
 	}
-	for u := last + 1; u < n; u++ {
-		f, err := cfg.fit(xs[l:u+1], ys[l:u+1])
+	for u := last + 1; u < limit; u++ {
+		f, err := g.fitRange(l, u)
 		if err != nil {
 			return 0, minimax.Fit1D{}, err
 		}
-		if f.MaxErr > cfg.Delta {
+		if f.MaxErr > g.cfg.Delta {
+			g.discard(f)
 			return last, best, nil
 		}
+		g.discard(best)
 		last, best = u, f
 	}
 	return last, best, nil
@@ -131,36 +362,37 @@ func growLinear(xs, ys []float64, l int, cfg Config) (int, minimax.Fit1D, error)
 // growExponential doubles the candidate segment length until the fit error
 // exceeds δ, then binary-searches the exact breakpoint. Soundness rests on
 // Lemma 1 (error is monotone in the point set).
-func growExponential(xs, ys []float64, l int, cfg Config) (int, minimax.Fit1D, error) {
-	n := len(xs)
+func (g *grower) growExponential(l, limit int) (int, minimax.Fit1D, error) {
 	// Initial guaranteed-feasible length: deg+1 points interpolate exactly.
-	lo := min(l+cfg.Degree, n-1) // highest index known to satisfy δ
-	bestFit, err := cfg.fit(xs[l:lo+1], ys[l:lo+1])
+	lo := min(l+g.cfg.Degree, limit-1) // highest index known to satisfy δ
+	bestFit, err := g.fitRange(l, lo)
 	if err != nil {
 		return 0, minimax.Fit1D{}, err
 	}
-	if lo == n-1 {
+	if lo == limit-1 {
 		return lo, bestFit, nil
 	}
 	// Exponential phase.
-	step := cfg.Degree + 2
+	step := g.cfg.Degree + 2
 	hi := -1 // lowest index known to violate δ, -1 if none found yet
 	for {
 		cand := lo + step
-		if cand >= n {
-			cand = n - 1
+		if cand >= limit {
+			cand = limit - 1
 		}
-		f, err := cfg.fit(xs[l:cand+1], ys[l:cand+1])
+		f, err := g.fitRange(l, cand)
 		if err != nil {
 			return 0, minimax.Fit1D{}, err
 		}
-		if f.MaxErr <= cfg.Delta {
+		if f.MaxErr <= g.cfg.Delta {
+			g.discard(bestFit)
 			lo, bestFit = cand, f
-			if cand == n-1 {
+			if cand == limit-1 {
 				return lo, bestFit, nil
 			}
 			step *= 2
 		} else {
+			g.discard(f)
 			hi = cand
 			break
 		}
@@ -168,13 +400,15 @@ func growExponential(xs, ys []float64, l int, cfg Config) (int, minimax.Fit1D, e
 	// Binary phase: invariant lo feasible, hi infeasible.
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2
-		f, err := cfg.fit(xs[l:mid+1], ys[l:mid+1])
+		f, err := g.fitRange(l, mid)
 		if err != nil {
 			return 0, minimax.Fit1D{}, err
 		}
-		if f.MaxErr <= cfg.Delta {
+		if f.MaxErr <= g.cfg.Delta {
+			g.discard(bestFit)
 			lo, bestFit = mid, f
 		} else {
+			g.discard(f)
 			hi = mid
 		}
 	}

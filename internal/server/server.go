@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -98,7 +99,11 @@ type CreateRequest struct {
 	Delta           float64   `json:"delta,omitempty"`
 	Degree          int       `json:"degree,omitempty"`
 	DisableFallback bool      `json:"disable_fallback,omitempty"`
-	Blob            string    `json:"blob,omitempty"` // base64, from /marshal
+	// Parallelism is the goroutine count for the build (and for later
+	// merge-rebuilds of dynamic indexes, which inherit it). 0 selects
+	// GOMAXPROCS; the produced index is identical for every worker count.
+	Parallelism int    `json:"parallelism,omitempty"`
+	Blob        string `json:"blob,omitempty"` // base64, from /marshal
 }
 
 // StatsResponse reports one index's structure.
@@ -111,6 +116,7 @@ type StatsResponse struct {
 	Degree        int     `json:"degree"`
 	Delta         float64 `json:"delta"`
 	IndexBytes    int     `json:"index_bytes"`
+	RootBytes     int     `json:"root_bytes"` // learned-root table, included in index_bytes
 	FallbackBytes int     `json:"fallback_bytes"`
 	BufferLen     int     `json:"buffer_len,omitempty"`
 }
@@ -237,9 +243,17 @@ func buildEntry(req CreateRequest) (*entry, error) {
 		}
 		return &entry{ix: ix}, nil
 	}
+	par := req.Parallelism
+	if par == 0 {
+		// Build across every available core by default: the result is
+		// identical to a serial build, only the /build (and later rebuild)
+		// latency changes.
+		par = runtime.GOMAXPROCS(0)
+	}
 	opt := polyfit.Options{
 		EpsAbs: req.EpsAbs, Delta: req.Delta,
 		Degree: req.Degree, DisableFallback: req.DisableFallback,
+		Parallelism: par,
 	}
 	if req.Dynamic {
 		var d *polyfit.DynamicIndex
@@ -464,6 +478,7 @@ func statsOf(name string, e *entry) StatsResponse {
 		Degree:        st.Degree,
 		Delta:         st.Delta,
 		IndexBytes:    st.IndexBytes,
+		RootBytes:     st.RootBytes,
 		FallbackBytes: st.FallbackBytes,
 		BufferLen:     st.BufferLen,
 	}

@@ -321,3 +321,53 @@ func TestServeConcurrentTraffic(t *testing.T) {
 func encodeB64(b []byte) string {
 	return base64.StdEncoding.EncodeToString(b)
 }
+
+// TestServeParallelBuildAndRootBytes: an explicit parallelism request must
+// build the same index a serial build produces (same stats, same marshalled
+// bytes), and /stats must surface the learned-root footprint.
+func TestServeParallelBuildAndRootBytes(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+
+	keys := data.GenTweet(20_000, 33)
+	var serial, par StatsResponse
+	resp := post(t, ts, "/v1/indexes", CreateRequest{
+		Name: "serial", Agg: "count", Keys: keys, Delta: 25,
+		DisableFallback: true, Parallelism: 1,
+	}, &serial)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("serial create: status %d", resp.StatusCode)
+	}
+	resp = post(t, ts, "/v1/indexes", CreateRequest{
+		Name: "par", Agg: "count", Keys: keys, Delta: 25,
+		DisableFallback: true, Parallelism: 8,
+	}, &par)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("parallel create: status %d", resp.StatusCode)
+	}
+	if serial.Segments != par.Segments || serial.IndexBytes != par.IndexBytes || serial.RootBytes != par.RootBytes {
+		t.Fatalf("parallel build stats differ: serial %+v vs parallel %+v", serial, par)
+	}
+	if par.Segments > 1 && par.RootBytes <= 0 {
+		t.Fatalf("stats should surface the learned-root bytes, got %d", par.RootBytes)
+	}
+	if par.RootBytes >= par.IndexBytes {
+		t.Fatalf("root bytes (%d) must be a strict part of index bytes (%d)", par.RootBytes, par.IndexBytes)
+	}
+
+	blobOf := func(name string) []byte {
+		resp, err := ts.Client().Get(ts.URL + "/v1/indexes/" + name + "/marshal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if !bytes.Equal(blobOf("serial"), blobOf("par")) {
+		t.Fatal("parallel server build is not byte-identical to serial")
+	}
+}

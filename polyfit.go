@@ -43,6 +43,11 @@ type Options struct {
 	Degree int
 	// DisableFallback skips building the exact structures used by QueryRel.
 	DisableFallback bool
+	// Parallelism is the number of goroutines used by index construction
+	// (greedy segmentation, and merge-rebuilds of dynamic indexes); values
+	// ≤ 1 build serially. The produced index is identical for every worker
+	// count, so this is purely a build-latency knob.
+	Parallelism int
 }
 
 func (o Options) delta(agg Agg) (float64, error) {
@@ -69,6 +74,7 @@ func NewCountIndex(keys []float64, opt Options) (*Index, error) {
 	}
 	inner, err := core.BuildCount(keys, core.Options{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -86,6 +92,7 @@ func NewSumIndex(keys, measures []float64, opt Options) (*Index, error) {
 	}
 	inner, err := core.BuildSum(keys, measures, core.Options{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +108,7 @@ func NewMaxIndex(keys, measures []float64, opt Options) (*Index, error) {
 	}
 	inner, err := core.BuildMax(keys, measures, core.Options{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +124,7 @@ func NewMinIndex(keys, measures []float64, opt Options) (*Index, error) {
 	}
 	inner, err := core.BuildMin(keys, measures, core.Options{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -187,6 +196,7 @@ type Stats struct {
 	Degree        int
 	Delta         float64
 	IndexBytes    int // the compact PolyFit structure (plus delta buffer, if dynamic)
+	RootBytes     int // learned-root locate table, included in IndexBytes
 	FallbackBytes int // exact structures for QueryRel (0 if disabled)
 	BufferLen     int // not-yet-merged inserts (always 0 for static indexes)
 }
@@ -200,6 +210,7 @@ func (ix *Index) Stats() Stats {
 		Degree:        ix.inner.Degree(),
 		Delta:         ix.inner.Delta(),
 		IndexBytes:    ix.inner.SizeBytes(),
+		RootBytes:     ix.inner.RootSizeBytes(),
 		FallbackBytes: ix.inner.FallbackSizeBytes(),
 	}
 }

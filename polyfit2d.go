@@ -21,6 +21,10 @@ type Options2D struct {
 	Degree int
 	// DisableFallback skips the exact aR-tree used by QueryRel.
 	DisableFallback bool
+	// Parallelism is the number of goroutines used for the per-cell surface
+	// fits during construction; values ≤ 1 build serially. The built index
+	// is identical for every worker count.
+	Parallelism int
 }
 
 // NewCount2DIndex builds a two-key COUNT index over points (xs[i], ys[i]).
@@ -31,6 +35,7 @@ func NewCount2DIndex(xs, ys []float64, opt Options2D) (*Index2D, error) {
 	}
 	inner, err := core.BuildCount2D(xs, ys, core.Options2D{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -48,6 +53,7 @@ func NewSum2DIndex(xs, ys, weights []float64, opt Options2D) (*Index2D, error) {
 	}
 	inner, err := core.BuildSum2D(xs, ys, weights, core.Options2D{
 		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
 	})
 	if err != nil {
 		return nil, err
