@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke fmt vet
+.PHONY: test race bench bench-smoke crashtest fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -19,6 +19,12 @@ bench:
 # One-iteration pass over every testing.B benchmark (what CI runs).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# End-to-end crash-recovery check: build polyfit-serve, run it with a
+# -data-dir, acknowledge inserts, SIGKILL it mid-workload, restart, and
+# assert every acknowledged insert is still answered.
+crashtest:
+	$(GO) run ./cmd/polyfit-crashtest
 
 fmt:
 	gofmt -w .

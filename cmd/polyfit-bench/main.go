@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/minimax"
+	"repro/internal/persist"
 	"repro/internal/poly"
 )
 
@@ -188,6 +190,77 @@ func main() {
 				b.Fatal(err)
 			}
 			spare = fit.P.P
+		}
+	}))
+
+	// Durability: snapshot write (dynamic marshal + CRC envelope + fsync +
+	// rename) and full recovery (snapshot read + restore + WAL replay) for
+	// a dynamic index with a populated delta buffer — the costs behind the
+	// serving layer's background snapshotter and boot-time recovery.
+	persistDir, err := os.MkdirTemp("", "polyfit-bench-persist-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(persistDir)
+	dyn, err := core.NewDynamic(core.Count, fineKeys, make([]float64, len(fineKeys)),
+		core.Options{Degree: 2, Delta: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if err := dyn.Insert(1e9+float64(i), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, err := persist.Open(persistDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, measure(fmt.Sprintf("persist/snapshot_write_n%dk", nFine/1000), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			blob, err := dyn.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.WriteSnapshot("bench", blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	walRecs := make([]persist.Record, 512)
+	for i := range walRecs {
+		walRecs[i] = persist.Record{Key: 2e9 + float64(i), Measure: 1}
+	}
+	wal, _, _, err := persist.OpenWAL(filepath.Join(persistDir, "bench-wal.pf"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wal.Append(walRecs); err != nil {
+		log.Fatal(err)
+	}
+	wal.Close() //nolint:errcheck
+	results = append(results, measure(fmt.Sprintf("persist/recover_n%dk_wal512", nFine/1000), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			blob, err := store.ReadSnapshot("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			restored, err := core.RestoreDynamic(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, recs, _, err := persist.OpenWAL(filepath.Join(persistDir, "bench-wal.pf"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range recs {
+				if err := restored.Insert(r.Key, r.Measure); err != nil {
+					b.Fatal(err)
+				}
+			}
+			w.Close() //nolint:errcheck
 		}
 	}))
 

@@ -1,0 +1,205 @@
+// polyfit-crashtest is the end-to-end durability check behind `make
+// crashtest`: it builds polyfit-serve, runs it with a -data-dir, streams
+// acknowledged inserts at it, SIGKILLs the process mid-workload, restarts
+// it over the same directory, and asserts that every insert acknowledged
+// before the kill is reflected in query answers. It exercises the whole
+// stack the way a real crash does — no graceful shutdown, no flush hooks —
+// so it fails if any layer (WAL fsync ordering, snapshot atomicity,
+// recovery replay) regresses.
+//
+// Usage:
+//
+//	go run ./cmd/polyfit-crashtest [-n 400] [-keep] [-serve-bin PATH]
+//
+// Exit status 0 means every acknowledged insert survived.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+type record struct {
+	Key     float64 `json:"key"`
+	Measure float64 `json:"measure"`
+}
+
+type insertResponse struct {
+	Inserted int  `json:"inserted"`
+	Durable  bool `json:"durable"`
+}
+
+type queryResponse struct {
+	Value float64 `json:"value"`
+	Found bool    `json:"found"`
+	Exact bool    `json:"exact"`
+}
+
+func main() {
+	n := flag.Int("n", 400, "inserts to acknowledge before the kill")
+	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
+	serveBin := flag.String("serve-bin", "", "prebuilt polyfit-serve binary (default: build it)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	scratch, err := os.MkdirTemp("", "polyfit-crashtest-*")
+	must(err, "scratch dir")
+	if !*keep {
+		defer os.RemoveAll(scratch)
+	} else {
+		log.Printf("scratch dir: %s", scratch)
+	}
+	dataDir := filepath.Join(scratch, "data")
+
+	bin := *serveBin
+	if bin == "" {
+		bin = filepath.Join(scratch, "polyfit-serve")
+		log.Printf("building polyfit-serve...")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/polyfit-serve")
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		must(build.Run(), "build polyfit-serve")
+	}
+
+	addr := freeAddr()
+	base := "http://" + addr
+
+	// Phase 1: start, create a durable dynamic index, acknowledge inserts.
+	// A short snapshot interval makes snapshot+truncate cycles race the
+	// insert stream, which is exactly the window crash recovery must cover.
+	proc := start(bin, addr, dataDir)
+	waitHealthy(base)
+	post(base, "/v1/indexes", map[string]any{
+		"name": "crash", "agg": "count", "dynamic": true,
+		"keys": seq(0, 5000), "eps_abs": 100,
+	})
+
+	acked := make([]float64, 0, *n)
+	for i := 0; i < *n; i++ {
+		k := 1e7 + float64(i)
+		var resp insertResponse
+		postJSON(base, "/v1/indexes/crash/insert",
+			map[string]any{"records": []record{{Key: k, Measure: 1}}}, &resp)
+		if resp.Inserted != 1 || !resp.Durable {
+			log.Fatalf("insert %d not acknowledged durable: %+v", i, resp)
+		}
+		acked = append(acked, k)
+	}
+	log.Printf("acknowledged %d inserts; killing -9 mid-workload", len(acked))
+
+	// Phase 2: SIGKILL — no shutdown path runs.
+	must(proc.Process.Kill(), "kill")
+	proc.Wait() //nolint:errcheck
+
+	// Phase 3: restart over the same data dir and verify every insert.
+	proc2 := start(bin, addr, dataDir)
+	defer func() {
+		proc2.Process.Kill() //nolint:errcheck
+		proc2.Wait()         //nolint:errcheck
+	}()
+	waitHealthy(base)
+
+	lost := 0
+	for _, k := range acked {
+		// The width-0.5 window holds exactly this key; a tiny count fails
+		// the relative gate, so the exact fallback answers — 1 iff present.
+		var q queryResponse
+		postJSON(base, "/v1/indexes/crash/query",
+			map[string]any{"lo": k - 0.5, "hi": k, "eps_rel": 0.01}, &q)
+		if !q.Exact || q.Value != 1 {
+			lost++
+			if lost <= 5 {
+				log.Printf("LOST acknowledged insert %g (exact=%v value=%g)", k, q.Exact, q.Value)
+			}
+		}
+	}
+	var stats struct {
+		Records int `json:"records"`
+	}
+	getJSON(base+"/v1/indexes/crash", &stats)
+	if want := 5000 + len(acked); stats.Records != want {
+		log.Fatalf("FAIL: recovered %d records, want %d", stats.Records, want)
+	}
+	if lost > 0 {
+		log.Fatalf("FAIL: %d/%d acknowledged inserts lost after SIGKILL", lost, len(acked))
+	}
+	log.Printf("PASS: all %d acknowledged inserts survived SIGKILL + recovery (%d records)",
+		len(acked), stats.Records)
+}
+
+func start(bin, addr, dataDir string) *exec.Cmd {
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir, "-snapshot-interval", "150ms")
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	must(cmd.Start(), "start polyfit-serve")
+	return cmd
+}
+
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err, "probe free port")
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(base string) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	log.Fatalf("server at %s never became healthy", base)
+}
+
+func post(base, path string, body any) {
+	postJSON(base, path, body, nil)
+}
+
+func postJSON(base, path string, body, out any) {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	must(err, "POST "+path)
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %d %s", path, resp.StatusCode, payload)
+	}
+	if out != nil {
+		must(json.Unmarshal(payload, out), "decode "+path)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	must(err, "GET "+url)
+	defer resp.Body.Close()
+	must(json.NewDecoder(resp.Body).Decode(out), "decode "+url)
+}
+
+func seq(lo float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + float64(i)
+	}
+	return out
+}
+
+func must(err error, what string) {
+	if err != nil {
+		log.Fatalf("%s: %v", what, err)
+	}
+}

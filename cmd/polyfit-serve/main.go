@@ -6,12 +6,20 @@
 //
 // Usage:
 //
-//	polyfit-serve [-addr :8080] [-demo 200000]
+//	polyfit-serve [-addr :8080] [-demo 200000] [-data-dir DIR] [-snapshot-interval 15s]
+//
+// With -data-dir the server is durable: every index is snapshotted to DIR,
+// acknowledged inserts are fsynced to a per-index write-ahead log before
+// the response goes out, and on startup the registry is recovered from DIR
+// — so a crash (SIGKILL included) loses nothing that was acknowledged. The
+// background snapshotter folds the log into a fresh snapshot every
+// -snapshot-interval.
 //
 // With -demo N the server starts with two preloaded indexes built over N
 // synthetic records each — "tweet" (dynamic COUNT over latitudes, εabs=100)
 // and "hki" (dynamic MAX over a stock-like series, εabs=100) — so it can be
-// queried immediately:
+// queried immediately (indexes already recovered from -data-dir are kept,
+// not rebuilt):
 //
 //	curl -s localhost:8080/v1/indexes
 //	curl -s -X POST localhost:8080/v1/indexes/tweet/query -d '{"lo":30,"hi":50}'
@@ -37,14 +45,27 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.Int("demo", 0, "preload demo indexes over this many synthetic records (0 = none)")
+	dataDir := flag.String("data-dir", "", "directory for snapshots and insert WALs (empty = in-memory only)")
+	snapInterval := flag.Duration("snapshot-interval", 15*time.Second, "background snapshot period (requires -data-dir; <0 disables)")
 	flag.Parse()
 
-	srv := server.New()
+	srv, err := server.NewDurable(server.Config{
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapInterval,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("open data dir %q: %v", *dataDir, err)
+	}
+	if *dataDir != "" {
+		// The recovery log line: what came back, what was replayed, what was
+		// skipped as corrupt, and how long boot-time recovery took.
+		log.Printf("durable mode: data dir %s; %s", *dataDir, srv.Recovery())
+	}
 	if *demo > 0 {
 		if err := preload(srv, *demo); err != nil {
 			log.Fatalf("preload demo indexes: %v", err)
 		}
-		log.Printf("preloaded demo indexes %q and %q over %d records each", "tweet", "hki", *demo)
 	}
 
 	httpSrv := &http.Server{
@@ -69,9 +90,15 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	// Final snapshot + WAL handle release; recovery after a graceful stop
+	// then replays nothing.
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
 }
 
-// preload registers the demo indexes over synthetic datasets.
+// preload registers the demo indexes over synthetic datasets. Indexes that
+// already exist (recovered from -data-dir) are kept as-is.
 func preload(srv *server.Server, n int) error {
 	tweet := server.CreateRequest{
 		Name: "tweet", Agg: "count", Dynamic: true,
@@ -84,8 +111,13 @@ func preload(srv *server.Server, n int) error {
 	}
 	for _, req := range []server.CreateRequest{tweet, hki} {
 		if _, err := srv.Create(req); err != nil {
+			if errors.Is(err, server.ErrExists) {
+				log.Printf("demo index %q already present (recovered); keeping it", req.Name)
+				continue
+			}
 			return err
 		}
+		log.Printf("preloaded demo index %q over %d records", req.Name, n)
 	}
 	return nil
 }

@@ -85,10 +85,39 @@
 //
 // # Persistence
 //
-// Index and Index2D implement encoding.BinaryMarshaler/Unmarshaler. The
-// compact polynomial structure round-trips; exact fallbacks (which are
-// O(n)) are not serialised, so loaded indexes serve absolute-guarantee
-// queries and return ErrNoFallback for relative ones.
+// Index, Index2D, and DynamicIndex implement
+// encoding.BinaryMarshaler/Unmarshaler, and DetectBlob tells the three
+// formats apart from the magic bytes.
+//
+// Static indexes serialise the compact polynomial structure only; exact
+// fallbacks (which are O(n)) are not serialised, so loaded static indexes
+// serve absolute-guarantee queries and return ErrNoFallback for relative
+// ones.
+//
+// DynamicIndex uses a separate, versioned format that round-trips the
+// complete dynamic state: the build options (the fallback setting
+// included), the raw keys and measures, the delta buffer, and the fitted
+// base index. UnmarshalBinary therefore restores a fully operational
+// dynamic index — inserts, duplicate detection, merge-rebuilds, and
+// relative-error queries (fallbacks are reconstructed from the serialised
+// raw data when enabled) behave exactly as on the original, and every
+// query answers identically, bit for bit. Restoring never re-fits.
+// Corrupt or truncated blobs of either format are rejected with an error,
+// never a panic.
+//
+// # Durability contract (serving layer)
+//
+// The HTTP serving layer (internal/server, cmd/polyfit-serve -data-dir)
+// builds crash durability on top of that round-trip: each index gets an
+// atomically written, checksummed snapshot file plus a write-ahead log of
+// inserts. Once a data dir is configured, an acknowledged insert — an
+// HTTP 200 counting the record as inserted — has been fsynced to the WAL
+// before the response was sent and is therefore guaranteed to be
+// reflected in query answers after any subsequent crash and restart,
+// SIGKILL included. Recovery loads snapshots, replays WAL tails
+// idempotently (duplicate keys are rejected exactly, so a log overlapping
+// its snapshot re-applies nothing), truncates torn final records, and
+// skips — reports, never crashes on — corrupt files.
 //
 // Everything in this module — the minimax fitting stack (exchange algorithm
 // and a revised dual simplex over LP (9)), greedy segmentation with

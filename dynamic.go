@@ -128,10 +128,33 @@ func (d *DynamicIndex) Stats() Stats {
 	}
 }
 
-// MarshalBinary serialises the index in the same format as
-// Index.MarshalBinary, with the delta buffer merged in so no insert is
-// lost. The merge happens on a private copy of the current snapshot: the
-// index itself is not rebuilt, concurrent writers are never blocked, and
-// the buffer stays in place. As with the static index, exact fallbacks
-// are not serialised.
+// MarshalBinary serialises the complete dynamic state in the versioned
+// dynamic format: build options (the fallback setting included), the raw
+// keys and measures, the delta buffer, and the fitted base index. The blob
+// round-trips through UnmarshalBinary with identical query behaviour — no
+// insert is lost, the buffer stays a buffer, and fallback-enabled indexes
+// come back able to serve QueryRel. Marshalling reads one immutable
+// snapshot and never blocks concurrent writers.
+//
+// The dynamic format is distinct from Index.MarshalBinary's static format
+// (which has no room for the buffer or raw data); DetectBlob tells them
+// apart, and each Unmarshal reports a descriptive error when handed the
+// other's blob.
 func (d *DynamicIndex) MarshalBinary() ([]byte, error) { return d.inner.MarshalBinary() }
+
+// UnmarshalBinary restores a dynamic index from a MarshalBinary blob. The
+// restored index is fully operational — inserts, duplicate detection,
+// merge-rebuilds, and (when the marshalled index was built with fallbacks,
+// which are reconstructed from the serialised raw data) relative-error
+// queries all behave exactly as on the original. The base segments load
+// directly from the blob, so restoring costs a linear scan, not a re-fit.
+// Corrupt or truncated blobs are rejected with an error; UnmarshalBinary
+// never panics on garbage input.
+func (d *DynamicIndex) UnmarshalBinary(data []byte) error {
+	inner, err := core.RestoreDynamic(data)
+	if err != nil {
+		return err
+	}
+	d.inner = inner
+	return nil
+}

@@ -230,22 +230,66 @@ func TestDynamicMarshalRoundTrip(t *testing.T) {
 	if d.BufferLen() != 10 {
 		t.Errorf("MarshalBinary disturbed the buffer: %d", d.BufferLen())
 	}
-	loaded := &Index{}
+	if DetectBlob(blob) != BlobDynamic {
+		t.Errorf("dynamic blob detected as %v", DetectBlob(blob))
+	}
+	loaded := &DynamicIndex{}
 	if err := loaded.UnmarshalBinary(blob); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := loaded.Stats().Records, d.Len(); got != want {
-		t.Errorf("loaded index has %d records, want %d (buffer merged into blob)", got, want)
+	if got, want := loaded.Len(), d.Len(); got != want {
+		t.Errorf("loaded index has %d records, want %d", got, want)
 	}
-	want, _, _ := d.Query(10, 1e7)
-	got, _, err := loaded.Query(10, 1e7)
+	if got := loaded.BufferLen(); got != 10 {
+		t.Errorf("loaded buffer has %d inserts, want 10 (restore must keep the buffer a buffer)", got)
+	}
+	// Nothing is re-fitted on restore, so every answer agrees bit-for-bit.
+	for _, q := range [][2]float64{{10, 1e7}, {-90, 90}, {1e6 - 1, 1e6 + 4}, {5, 5}} {
+		want, _, _ := d.Query(q[0], q[1])
+		got, _, err := loaded.Query(q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Query(%g,%g): loaded answers %g, want %g", q[0], q[1], got, want)
+		}
+	}
+	// The fallback was enabled at build time, so the restored index must
+	// serve relative-error queries too (the old format lost this).
+	res, err := loaded.QueryRel(1e6-1, 1e6+4, 0.01)
+	if err != nil {
+		t.Fatalf("QueryRel on restored index: %v", err)
+	}
+	if res.Value != 5 {
+		t.Errorf("QueryRel counted %g buffered inserts, want 5", res.Value)
+	}
+	// A static index must refuse the dynamic blob with a useful error.
+	if err := (&Index{}).UnmarshalBinary(blob); err == nil {
+		t.Error("static UnmarshalBinary accepted a dynamic blob")
+	}
+}
+
+func TestDynamicMarshalPreservesDisabledFallback(t *testing.T) {
+	keys := data.GenTweet(1000, 72)
+	d, err := NewDynamicCountIndex(keys, Options{EpsAbs: 50, DisableFallback: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The loaded index re-fits the merged data, so answers agree within the
-	// shared εabs bound rather than bit-for-bit.
-	if math.Abs(got-want) > 2*50+1e-6 {
-		t.Errorf("loaded index answers %g, want %g ± 2ε", got, want)
+	blob, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &DynamicIndex{}
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny range cannot pass the Lemma 3 gate, so this must surface
+	// ErrNoFallback — the restored index honours DisableFallback.
+	if _, err := loaded.QueryRel(keys[0], keys[0], 0.01); err != ErrNoFallback {
+		t.Errorf("QueryRel on fallback-less restored index: %v, want ErrNoFallback", err)
+	}
+	if loaded.Stats().FallbackBytes != 0 {
+		t.Errorf("restored fallback-less index reports %d fallback bytes", loaded.Stats().FallbackBytes)
 	}
 }
 

@@ -32,7 +32,7 @@ func main() {
 	for lat := 90.0; lat > -90; lat -= 20 {
 		fmt.Print("  ")
 		for lon := -180.0; lon < 180; lon += 20 {
-			v := ix.Query(lon, lon+20, lat-20, lat)
+			v, _, _ := ix.Query(lon, lon+20, lat-20, lat)
 			switch {
 			case v >= 5000:
 				fmt.Print("#")
@@ -49,7 +49,7 @@ func main() {
 	qs := data.UniformRects(-180, 180, -90, 90, 500, 6)
 	worst, within := 0.0, 0
 	for _, q := range qs {
-		got := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+		got, _, _ := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
 		res, _ := ix.QueryRel(q.XLo, q.XHi, q.YLo, q.YHi, 1e-9) // forces exact fallback
 		e := math.Abs(got - res.Value)
 		if e <= 1000 {
@@ -66,7 +66,7 @@ func main() {
 	startA := time.Now()
 	for r := 0; r < 100; r++ {
 		for _, q := range qs {
-			ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+			ix.Query(q.XLo, q.XHi, q.YLo, q.YHi) //nolint:errcheck
 		}
 	}
 	approxPer := time.Since(startA) / time.Duration(100*len(qs))

@@ -65,7 +65,7 @@ type dynState struct {
 func NewDynamic(agg Agg, keys, measures []float64, opt Options) (*Dynamic1D, error) {
 	d := &Dynamic1D{
 		agg:             agg,
-		opt:             opt,
+		opt:             opt.withDefaults(), // concrete degree, so serialization round-trips it
 		RebuildFraction: 0.125,
 	}
 	st, err := d.buildState(
@@ -142,11 +142,23 @@ func (d *Dynamic1D) rebuildLocked(from *dynState) error {
 }
 
 // Insert adds a (key, measure) record. Duplicate keys (in the base or the
-// buffer) are rejected, preserving the paper's distinct-key assumption.
-// COUNT indexes ignore the measure. If the insert triggers a merge-rebuild
+// buffer) are rejected, preserving the paper's distinct-key assumption, and
+// so are NaN/±Inf keys and NaN measures, which would break the sorted-buffer
+// invariant. COUNT indexes ignore the measure. If the insert triggers a merge-rebuild
 // and the rebuild fails, the insert is dropped and the error returned —
 // the visible snapshot never holds a record the caller was told failed.
 func (d *Dynamic1D) Insert(key, measure float64) error {
+	// Non-finite keys would land at an arbitrary position in the sorted
+	// buffer (sort.SearchFloat64s treats NaN comparisons as false), silently
+	// corrupting every later answer; NaN measures poison the prefix sums and
+	// extrema the same way. Reject both up front, mirroring the strictly-
+	// increasing-finite-keys contract the static build enforces.
+	if math.IsNaN(key) || math.IsInf(key, 0) {
+		return fmt.Errorf("core: non-finite insert key %g (keys must be finite, as at build time)", key)
+	}
+	if math.IsNaN(measure) {
+		return fmt.Errorf("core: NaN measure for insert key %g", key)
+	}
 	if d.agg == Count {
 		measure = 1
 	}
@@ -154,11 +166,11 @@ func (d *Dynamic1D) Insert(key, measure float64) error {
 	defer d.mu.Unlock()
 	st := d.state.Load()
 	if i := sort.SearchFloat64s(st.keys, key); i < len(st.keys) && st.keys[i] == key {
-		return fmt.Errorf("core: duplicate key %g", key)
+		return fmt.Errorf("%w: %g", ErrDuplicateKey, key)
 	}
 	i := sort.SearchFloat64s(st.bufKeys, key)
 	if i < len(st.bufKeys) && st.bufKeys[i] == key {
-		return fmt.Errorf("core: duplicate key %g", key)
+		return fmt.Errorf("%w: %g", ErrDuplicateKey, key)
 	}
 	// Copy-on-write: concurrent queries may be reading the current slices,
 	// so each insert publishes fresh buffer arrays. This costs O(b) copies
@@ -357,26 +369,6 @@ func (d *Dynamic1D) QueryBatch(ranges []Range) ([]BatchResult, error) {
 		}
 	}
 	return out, nil
-}
-
-// MarshalBinary serialises the merged (base + buffer) index in the
-// Index1D format. The merge happens on a private copy built from the
-// current snapshot — nothing is published and no lock is taken, so
-// concurrent writers are never blocked and the delta buffer survives.
-// Exact fallbacks are excluded, as with Index1D serialization.
-func (d *Dynamic1D) MarshalBinary() ([]byte, error) {
-	st := d.state.Load()
-	if len(st.bufKeys) == 0 {
-		return st.base.MarshalBinary()
-	}
-	keys, measures := st.merge()
-	opt := d.opt
-	opt.NoFallback = true // serialization never includes fallbacks
-	merged, err := buildIndex(d.agg, keys, measures, opt)
-	if err != nil {
-		return nil, err
-	}
-	return merged.MarshalBinary()
 }
 
 // Rebuild forces an immediate merge-rebuild. Queries keep answering from

@@ -98,6 +98,10 @@ var (
 	ErrEmptyDataset = errors.New("core: empty dataset")
 	ErrWrongAgg     = errors.New("core: query does not match index aggregate")
 	ErrNoFallback   = errors.New("core: relative query needs exact fallback (built with NoFallback)")
+	// ErrDuplicateKey reports an Insert whose key is already present. WAL
+	// replay matches it to tell "already applied" (skip, idempotent) from a
+	// genuine replay failure (which must fail recovery, not lose data).
+	ErrDuplicateKey = errors.New("core: duplicate key")
 )
 
 // Index1D is a PolyFit index over a single key (Sections IV–V).

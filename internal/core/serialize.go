@@ -27,6 +27,36 @@ const (
 // ErrBadFormat reports a corrupted or incompatible serialised index.
 var ErrBadFormat = errors.New("core: bad serialized index format")
 
+// BlobKind identifies which index type produced a serialised blob.
+type BlobKind int
+
+// Blob kinds distinguishable from the leading magic bytes.
+const (
+	BlobUnknown  BlobKind = iota
+	BlobStatic1D          // Index1D.MarshalBinary ("POL1")
+	BlobStatic2D          // Index2D.MarshalBinary ("POL2")
+	BlobDynamic           // Dynamic1D.MarshalBinary ("POLD")
+)
+
+// DetectBlob sniffs the magic bytes of a serialised index so callers (the
+// serving layer's blob-loading paths) can dispatch to the right
+// unmarshaller without trial decoding.
+func DetectBlob(data []byte) BlobKind {
+	if len(data) < 4 {
+		return BlobUnknown
+	}
+	switch binary.LittleEndian.Uint32(data) {
+	case magic1D:
+		return BlobStatic1D
+	case magic2D:
+		return BlobStatic2D
+	case magicDyn:
+		return BlobDynamic
+	default:
+		return BlobUnknown
+	}
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler for the 1D index.
 func (ix *Index1D) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
@@ -68,6 +98,9 @@ func (ix *Index1D) UnmarshalBinary(data []byte) error {
 	var m uint32
 	var ver uint16
 	if err := rd(&m); err != nil || m != magic1D {
+		if m == magicDyn {
+			return fmt.Errorf("%w: dynamic index blob (use RestoreDynamic)", ErrBadFormat)
+		}
 		return fmt.Errorf("%w: magic", ErrBadFormat)
 	}
 	if err := rd(&ver); err != nil || ver != formatVer {

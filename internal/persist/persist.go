@@ -1,0 +1,238 @@
+// Package persist is the durability layer under the PolyFit serving stack:
+// per-index atomic snapshot files plus a write-ahead log of acknowledged
+// inserts. The design is the classic snapshot+WAL pair:
+//
+//   - A snapshot is one serialised index blob (static or dynamic — the
+//     blob's own magic says which) wrapped in a CRC-checked envelope and
+//     written atomically: temp file in the same directory, fsync, rename
+//     over the live name, fsync the directory. Readers therefore see either
+//     the old snapshot or the new one, never a torn mix, even across a
+//     crash mid-write.
+//
+//   - The WAL records every insert after it was applied in memory and
+//     before it is acknowledged to the client; each 20-byte record carries
+//     its own CRC. On recovery the snapshot is loaded and the WAL replayed
+//     on top; a torn final record (the normal crash artefact) truncates the
+//     tail, while a corrupt header rejects the whole file — reported to the
+//     caller, never a panic. Replay is idempotent because dynamic indexes
+//     reject duplicate keys exactly, so a WAL that overlaps its snapshot
+//     (crash between snapshot rename and log truncation) is harmless.
+//
+//   - After a snapshot the covered WAL prefix is dropped (TruncateTo) by
+//     atomically rewriting the file with only the uncovered tail, keeping
+//     log growth bounded by the insert rate between snapshots.
+//
+// Layout: one subdirectory per index under the data dir (directory names
+// encode the index name reversibly), holding "snapshot.pf" and "wal.pf".
+package persist
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	snapMagic   = uint32(0x5046534E) // "PFSN"
+	snapVersion = uint16(1)
+
+	// snapHeaderSize = magic(4) + version(2) + reserved(2) + payloadLen(8) +
+	// crc(4).
+	snapHeaderSize = 20
+
+	snapshotFile = "snapshot.pf"
+	walFile      = "wal.pf"
+)
+
+// ErrCorrupt reports a snapshot or WAL file that failed structural or
+// checksum validation. Callers are expected to treat it as "this file is
+// unusable", not as a crash.
+var ErrCorrupt = errors.New("persist: corrupt file")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Store manages the on-disk layout of one data directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty data dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open data dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the root data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// encodeName maps an index name onto a filesystem-safe directory name,
+// reversibly. Plain names keep a readable "i-" form; anything else is
+// base64-escaped under "e-". The prefixes keep the two spaces disjoint so
+// no two index names can collide on disk.
+func encodeName(name string) string {
+	if name != "" && len(name) <= 128 && strings.IndexFunc(name, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '.' || r == '_' || r == '-')
+	}) < 0 && name != "." && name != ".." {
+		return "i-" + name
+	}
+	return "e-" + base64.RawURLEncoding.EncodeToString([]byte(name))
+}
+
+func decodeName(dir string) (string, bool) {
+	switch {
+	case strings.HasPrefix(dir, "i-"):
+		return dir[2:], true
+	case strings.HasPrefix(dir, "e-"):
+		raw, err := base64.RawURLEncoding.DecodeString(dir[2:])
+		if err != nil {
+			return "", false
+		}
+		return string(raw), true
+	default:
+		return "", false
+	}
+}
+
+// IndexDir returns the directory holding the given index's files.
+func (s *Store) IndexDir(name string) string {
+	return filepath.Join(s.dir, encodeName(name))
+}
+
+// SnapshotPath returns the index's snapshot file path.
+func (s *Store) SnapshotPath(name string) string {
+	return filepath.Join(s.IndexDir(name), snapshotFile)
+}
+
+// WALPath returns the index's write-ahead-log file path.
+func (s *Store) WALPath(name string) string {
+	return filepath.Join(s.IndexDir(name), walFile)
+}
+
+// List returns the names of all indexes present in the store, in directory
+// order.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: list data dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if name, ok := decodeName(e.Name()); ok {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// Remove deletes every file of the given index.
+func (s *Store) Remove(name string) error {
+	if err := os.RemoveAll(s.IndexDir(name)); err != nil {
+		return fmt.Errorf("persist: remove %q: %w", name, err)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the index's snapshot with the given
+// blob. On return the snapshot is durable: the bytes and the rename are
+// both fsynced.
+func (s *Store) WriteSnapshot(name string, blob []byte) error {
+	dir := s.IndexDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: snapshot dir: %w", err)
+	}
+	header := make([]byte, snapHeaderSize)
+	binary.LittleEndian.PutUint32(header[0:], snapMagic)
+	binary.LittleEndian.PutUint16(header[4:], snapVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(blob)))
+	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(blob, crcTable))
+	return writeFileAtomic(filepath.Join(dir, snapshotFile), header, blob)
+}
+
+// ReadSnapshot loads and validates the index's snapshot, returning the
+// original blob. A missing snapshot reports os.ErrNotExist; a damaged one
+// reports ErrCorrupt with detail.
+func (s *Store) ReadSnapshot(name string) ([]byte, error) {
+	data, err := os.ReadFile(s.SnapshotPath(name))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < snapHeaderSize {
+		return nil, fmt.Errorf("%w: snapshot truncated at %d bytes", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != snapVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d", ErrCorrupt, v)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:])
+	if payloadLen != uint64(len(data)-snapHeaderSize) {
+		return nil, fmt.Errorf("%w: snapshot payload %d bytes, header says %d",
+			ErrCorrupt, len(data)-snapHeaderSize, payloadLen)
+	}
+	payload := data[snapHeaderSize:]
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(data[16:]) {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// writeFileAtomic writes the chunks to a temp file in path's directory,
+// fsyncs it, renames it over path, and fsyncs the directory so the rename
+// itself survives a crash.
+func writeFileAtomic(path string, chunks ...[]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	for _, c := range chunks {
+		if _, err := tmp.Write(c); err != nil {
+			return cleanup(fmt.Errorf("persist: write: %w", err))
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("persist: fsync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("persist: close: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("persist: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("polyfit index bytes, arbitrary payload \x00\x01\x02")
+	if err := s.WriteSnapshot("tweets", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadSnapshot("tweets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatalf("snapshot round-trip mangled the payload")
+	}
+	// Overwrite atomically with a different payload.
+	blob2 := []byte("generation two")
+	if err := s.WriteSnapshot("tweets", blob2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.ReadSnapshot("tweets"); string(got) != string(blob2) {
+		t.Fatalf("second write not visible")
+	}
+	// No temp litter left behind.
+	files, _ := os.ReadDir(s.IndexDir("tweets"))
+	for _, f := range files {
+		if f.Name() != "snapshot.pf" {
+			t.Errorf("unexpected file %q in index dir", f.Name())
+		}
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.ReadSnapshot("ghost"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing snapshot: %v, want ErrNotExist", err)
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	blob := make([]byte, 4096)
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	if err := s.WriteSnapshot("ix", blob); err != nil {
+		t.Fatal(err)
+	}
+	path := s.SnapshotPath("ix")
+	pristine, _ := os.ReadFile(path)
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ReadSnapshot("ix"); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+	corrupt("flipped payload byte", func(b []byte) []byte { b[snapHeaderSize+100] ^= 0x40; return b })
+	corrupt("flipped header magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("bad version", func(b []byte) []byte { b[4] = 0x7F; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("truncated into header", func(b []byte) []byte { return b[:10] })
+	corrupt("empty", func(b []byte) []byte { return nil })
+
+	// Restore the pristine bytes: must read clean again.
+	os.WriteFile(path, pristine, 0o644)
+	if _, err := s.ReadSnapshot("ix"); err != nil {
+		t.Fatalf("pristine reread: %v", err)
+	}
+}
+
+func TestStoreListAndNameEncoding(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	names := []string{"plain", "dots.and-dashes_ok", "we/ird na:me", "über", "..", ""}
+	for _, n := range names {
+		if err := s.WriteSnapshot(n, []byte("x")); err != nil {
+			t.Fatalf("write %q: %v", n, err)
+		}
+	}
+	got, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("List returned %d names (%q), want %d", len(got), got, len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		seen[n] = true
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Errorf("name %q did not round-trip through the directory encoding", n)
+		}
+	}
+	// Stray files and dirs are ignored.
+	os.WriteFile(filepath.Join(s.Dir(), "README"), []byte("hi"), 0o644)
+	os.Mkdir(filepath.Join(s.Dir(), "not-an-index"), 0o755)
+	got2, _ := s.List()
+	if len(got2) != len(names) {
+		t.Errorf("List picked up stray entries: %q", got2)
+	}
+	// Remove drops the files.
+	if err := s.Remove("plain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadSnapshot("plain"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("removed index still readable: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync"
+)
+
+// WAL record wire format, little endian:
+//
+//	key float64 | measure float64 | crc32c(key, measure) uint32
+//
+// preceded by an 8-byte file header (magic, version, reserved). The
+// per-record CRC turns the common crash artefact — a torn final record —
+// into a cleanly detectable log end instead of a garbage insert.
+const (
+	walMagic      = uint32(0x5046574C) // "PFWL"
+	walVersion    = uint16(1)
+	walHeaderSize = 8
+	walRecordSize = 20
+)
+
+// Record is one acknowledged insert.
+type Record struct {
+	Key     float64
+	Measure float64
+}
+
+// WAL is an append-only, fsync-on-append log of acknowledged inserts for
+// one index. It is safe for concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	size int64 // header + records, maintained to avoid a stat per append
+}
+
+// OpenWAL opens (creating if absent) the WAL at path and returns the valid
+// records already in it. A torn or checksum-failing tail is truncated away
+// so appends resume from the last clean record boundary; the number of
+// dropped bytes is returned for reporting. A corrupt header makes the whole
+// log unreadable and is reported as ErrCorrupt — the caller decides whether
+// to set the file aside and start fresh.
+func OpenWAL(path string) (w *WAL, recovered []Record, droppedBytes int, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		data = nil
+	} else if err != nil {
+		return nil, nil, 0, fmt.Errorf("persist: read wal: %w", err)
+	}
+	fresh := len(data) == 0
+	if !fresh {
+		if len(data) < walHeaderSize ||
+			binary.LittleEndian.Uint32(data[0:]) != walMagic {
+			return nil, nil, 0, fmt.Errorf("%w: wal header", ErrCorrupt)
+		}
+		if v := binary.LittleEndian.Uint16(data[4:]); v != walVersion {
+			return nil, nil, 0, fmt.Errorf("%w: wal version %d", ErrCorrupt, v)
+		}
+		body := data[walHeaderSize:]
+		valid := 0
+		for valid+walRecordSize <= len(body) {
+			rec := body[valid : valid+walRecordSize]
+			if crc32.Checksum(rec[:16], crcTable) != binary.LittleEndian.Uint32(rec[16:]) {
+				break
+			}
+			recovered = append(recovered, Record{
+				Key:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+				Measure: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+			})
+			valid += walRecordSize
+		}
+		droppedBytes = len(body) - valid
+		if droppedBytes > 0 {
+			if err := os.Truncate(path, int64(walHeaderSize+valid)); err != nil {
+				return nil, nil, 0, fmt.Errorf("persist: truncate torn wal tail: %w", err)
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("persist: open wal: %w", err)
+	}
+	w = &WAL{path: path, f: f, size: int64(walHeaderSize + len(recovered)*walRecordSize)}
+	if fresh {
+		header := make([]byte, walHeaderSize)
+		binary.LittleEndian.PutUint32(header[0:], walMagic)
+		binary.LittleEndian.PutUint16(header[4:], walVersion)
+		if _, err := f.Write(header); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("persist: write wal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("persist: fsync wal header: %w", err)
+		}
+	}
+	return w, recovered, droppedBytes, nil
+}
+
+// Append writes the records and fsyncs once. When Append returns nil the
+// records are durable — callers acknowledge the corresponding inserts only
+// after that.
+func (w *WAL) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	buf := make([]byte, len(recs)*walRecordSize)
+	for i, r := range recs {
+		b := buf[i*walRecordSize:]
+		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(r.Key))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.Measure))
+		binary.LittleEndian.PutUint32(b[16:], crc32.Checksum(b[:16], crcTable))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: wal %s is closed", w.path)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: wal fsync: %w", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// Size returns the current file size (header included). The value is a
+// valid TruncateTo cut point: every record below it is durable.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Records returns how many records the log currently holds.
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return (w.size - walHeaderSize) / walRecordSize
+}
+
+// TruncateTo drops the log prefix below the cut offset (a Size() observed
+// earlier, i.e. a record boundary), keeping records appended after it. It
+// is called after a snapshot covering that prefix has been made durable:
+// the file is atomically rewritten as header + uncovered tail, so a crash
+// during truncation leaves either the old log (fully replayable) or the new
+// one.
+func (w *WAL) TruncateTo(cut int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: wal %s is closed", w.path)
+	}
+	if cut < walHeaderSize || cut > w.size || (cut-walHeaderSize)%walRecordSize != 0 {
+		return fmt.Errorf("persist: bad wal cut %d (size %d)", cut, w.size)
+	}
+	if cut == walHeaderSize {
+		return nil // nothing covered; keep everything
+	}
+	tail := make([]byte, w.size-cut)
+	if len(tail) > 0 {
+		rf, err := os.Open(w.path)
+		if err != nil {
+			return fmt.Errorf("persist: reopen wal: %w", err)
+		}
+		_, err = rf.ReadAt(tail, cut)
+		rf.Close()
+		if err != nil {
+			return fmt.Errorf("persist: read wal tail: %w", err)
+		}
+	}
+	header := make([]byte, walHeaderSize)
+	binary.LittleEndian.PutUint32(header[0:], walMagic)
+	binary.LittleEndian.PutUint16(header[4:], walVersion)
+	if err := writeFileAtomic(w.path, header, tail); err != nil {
+		return err
+	}
+	// The old descriptor now points at the unlinked file; reopen the new one.
+	w.f.Close()
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.f = nil
+		return fmt.Errorf("persist: reopen wal after truncate: %w", err)
+	}
+	w.f = f
+	w.size = int64(walHeaderSize + len(tail))
+	return nil
+}
+
+// Close releases the file handle. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// SetAside renames a damaged WAL out of the way (wal.pf -> wal.pf.corrupt)
+// so a fresh log can be started while keeping the bytes for inspection.
+func SetAside(path string) error {
+	return os.Rename(path, path+".corrupt")
+}

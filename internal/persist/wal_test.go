@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openWAL(t *testing.T, path string) (*WAL, []Record, int) {
+	t.Helper()
+	w, recs, dropped, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, recs, dropped
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, recs, dropped := openWAL(t, path)
+	if len(recs) != 0 || dropped != 0 {
+		t.Fatalf("fresh wal recovered %d records, dropped %d", len(recs), dropped)
+	}
+	want := []Record{{1.5, 2}, {-3, 0.25}, {1e9, -1e-9}}
+	if err := w.Append(want[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(want[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Records(); n != 3 {
+		t.Fatalf("Records() = %d, want 3", n)
+	}
+	w.Close()
+
+	_, recs, dropped = openWAL(t, path)
+	if dropped != 0 {
+		t.Fatalf("clean wal dropped %d bytes", dropped)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	if err := w.Append([]Record{{1, 1}, {2, 2}, {3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Simulate a crash mid-append: chop the file inside the last record.
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, dropped := openWAL(t, path)
+	if len(recs) != 2 || dropped != walRecordSize-7 {
+		t.Fatalf("torn tail: replayed %d records, dropped %d bytes; want 2, %d",
+			len(recs), dropped, walRecordSize-7)
+	}
+	// The log must be usable again from the clean boundary.
+	if err := w2.Append([]Record{{4, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, recs, dropped = openWAL(t, path)
+	if len(recs) != 3 || dropped != 0 || recs[2] != (Record{4, 4}) {
+		t.Fatalf("after torn-tail recovery: %+v (dropped %d)", recs, dropped)
+	}
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}, {2, 2}, {3, 3}})
+	w.Close()
+	data, _ := os.ReadFile(path)
+	data[walHeaderSize+walRecordSize+5] ^= 0x10 // flip a bit in record 2
+	os.WriteFile(path, data, 0o644)
+	_, recs, dropped := openWAL(t, path)
+	if len(recs) != 1 || dropped != 2*walRecordSize {
+		t.Fatalf("corrupt middle record: replayed %d, dropped %d", len(recs), dropped)
+	}
+}
+
+func TestWALCorruptHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}})
+	w.Close()
+	data, _ := os.ReadFile(path)
+	data[0] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, _, _, err := OpenWAL(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt header: %v, want ErrCorrupt", err)
+	}
+	// SetAside moves it out of the way so a fresh log can start.
+	if err := SetAside(path); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, _ := openWAL(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh wal after SetAside replayed %d records", len(recs))
+	}
+	w2.Close()
+}
+
+func TestWALTruncateTo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}, {2, 2}})
+	cut := w.Size()
+	w.Append([]Record{{3, 3}, {4, 4}})
+	if err := w.TruncateTo(cut); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Records(); n != 2 {
+		t.Fatalf("after TruncateTo: %d records, want 2", n)
+	}
+	// Appends continue on the rewritten file.
+	if err := w.Append([]Record{{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs, _ := openWAL(t, path)
+	want := []Record{{3, 3}, {4, 4}, {5, 5}}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %+v, want %+v", recs, want)
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Fatalf("replayed %+v, want %+v", recs, want)
+		}
+	}
+}
+
+func TestWALTruncateToWholeLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}, {2, 2}})
+	if err := w.TruncateTo(w.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Records(); n != 0 {
+		t.Fatalf("after full truncate: %d records", n)
+	}
+	w.Append([]Record{{9, 9}})
+	w.Close()
+	_, recs, _ := openWAL(t, path)
+	if len(recs) != 1 || recs[0] != (Record{9, 9}) {
+		t.Fatalf("replayed %+v", recs)
+	}
+}
+
+func TestWALBadCutRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}})
+	for _, cut := range []int64{-1, 3, walHeaderSize + 1, w.Size() + walRecordSize} {
+		if err := w.TruncateTo(cut); err == nil {
+			t.Errorf("cut %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,514 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	polyfit "repro"
+	"repro/internal/persist"
+)
+
+// Durability wiring: the serving layer's registry can be backed by a data
+// directory (internal/persist). The contract, once a data dir is
+// configured:
+//
+//   - Create/restore writes a CRC-checked snapshot of the index before the
+//     request is acknowledged.
+//   - An acknowledged insert (HTTP 200 counting it in "inserted") has been
+//     fsynced to the index's write-ahead log before the response was sent,
+//     and therefore survives a crash — SIGKILL included.
+//   - On boot the registry is recovered: every snapshot is loaded (no
+//     re-fitting; dynamic blobs carry their fitted base) and the WAL is
+//     replayed on top. Corrupt or truncated files are reported and skipped
+//     — recovery never panics and never blocks the healthy indexes.
+//   - A background snapshotter periodically folds WAL-covered inserts into
+//     a fresh snapshot and drops the covered log prefix, bounding both
+//     recovery time and log growth. Forced rebuilds snapshot synchronously
+//     (PR 2's parallel construction keeps that cheap).
+//
+// WAL replay is idempotent: dynamic indexes reject duplicate keys exactly,
+// so a log that overlaps its snapshot (crash between snapshot rename and
+// log truncation) re-applies nothing.
+
+// Config configures a durable server. The zero value (no DataDir) is a
+// purely in-memory server identical to New().
+type Config struct {
+	// DataDir enables durability: snapshots and WALs live here, and the
+	// registry is recovered from it on startup.
+	DataDir string
+	// SnapshotInterval is the background snapshotter period (default 15s).
+	// Negative disables the background snapshotter (snapshots still happen
+	// on create, restore, rebuild, and Close).
+	SnapshotInterval time.Duration
+	// Logf receives recovery and snapshotter diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// RecoverySummary reports what a durable server found in its data dir at
+// boot.
+type RecoverySummary struct {
+	Indexes         int           // indexes restored into the registry
+	Static          int           // of which static
+	Dynamic         int           // of which dynamic
+	ReplayedInserts int64         // WAL records applied on top of snapshots
+	SkippedInserts  int64         // WAL records already covered by a snapshot
+	CorruptSkipped  int           // indexes skipped due to corrupt/unreadable files
+	TornWALBytes    int           // bytes dropped from torn WAL tails
+	Duration        time.Duration // wall-clock recovery time
+}
+
+func (r RecoverySummary) String() string {
+	return fmt.Sprintf("recovered %d indexes (%d static, %d dynamic), replayed %d WAL inserts (%d already in snapshots, %d torn bytes dropped), skipped %d corrupt, in %v",
+		r.Indexes, r.Static, r.Dynamic, r.ReplayedInserts, r.SkippedInserts,
+		r.TornWALBytes, r.CorruptSkipped, r.Duration.Round(time.Millisecond))
+}
+
+// NewDurable returns a Server backed by cfg.DataDir: existing indexes are
+// recovered before it returns, and new work is persisted per the
+// durability contract above. With an empty DataDir it behaves exactly like
+// New and never returns an error.
+func NewDurable(cfg Config) (*Server, error) {
+	s := newServer()
+	s.logf = cfg.Logf
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	store, err := persist.Open(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	interval := cfg.SnapshotInterval
+	if interval == 0 {
+		interval = 15 * time.Second
+	}
+	if interval > 0 {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.snapshotLoop(interval)
+	}
+	return s, nil
+}
+
+// Recovery returns the boot-time recovery summary (zero for in-memory
+// servers).
+func (s *Server) Recovery() RecoverySummary { return s.recovery }
+
+// Durable reports whether the server persists to a data dir.
+func (s *Server) Durable() bool { return s.store != nil }
+
+// recover loads every index found in the data dir: snapshot first, then
+// the WAL replayed on top. Damaged indexes are logged and skipped so one
+// bad file never takes the whole registry down.
+func (s *Server) recover() error {
+	start := time.Now()
+	names, err := s.store.List()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		e, replayed, skipped, torn, err := s.recoverIndex(name)
+		if err != nil {
+			s.recovery.CorruptSkipped++
+			s.logf("polyfit-serve: skipping index %q: %v", name, err)
+			continue
+		}
+		s.indexes[name] = e
+		s.recovery.Indexes++
+		if e.dyn != nil {
+			s.recovery.Dynamic++
+		} else {
+			s.recovery.Static++
+		}
+		s.recovery.ReplayedInserts += replayed
+		s.recovery.SkippedInserts += skipped
+		s.recovery.TornWALBytes += torn
+	}
+	s.recovery.Duration = time.Since(start)
+	if len(names) > 0 {
+		s.logf("polyfit-serve: %s", s.recovery)
+	}
+	return nil
+}
+
+func (s *Server) recoverIndex(name string) (e *entry, replayed, skipped int64, torn int, err error) {
+	blob, err := s.store.ReadSnapshot(name)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, 0, 0, fmt.Errorf("no snapshot: %w", err)
+		}
+		return nil, 0, 0, 0, err
+	}
+	e, err = entryFromBlob(blob)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("snapshot payload: %w", err)
+	}
+	if e.dyn == nil {
+		// Static indexes never log inserts; a WAL here would be a bug, not
+		// data, so just report it.
+		if _, statErr := os.Stat(s.store.WALPath(name)); statErr == nil {
+			s.logf("polyfit-serve: ignoring unexpected WAL for static index %q", name)
+		}
+		return e, 0, 0, 0, nil
+	}
+	wal, recs, dropped, err := persist.OpenWAL(s.store.WALPath(name))
+	if err != nil {
+		if errors.Is(err, persist.ErrCorrupt) {
+			// The log is unreadable; the snapshot is still consistent, so
+			// recover to it, set the bad log aside, and start a fresh one.
+			s.logf("polyfit-serve: WAL for %q is corrupt (%v); recovering to last snapshot", name, err)
+			if err := persist.SetAside(s.store.WALPath(name)); err != nil {
+				return nil, 0, 0, 0, err
+			}
+			if wal, recs, dropped, err = persist.OpenWAL(s.store.WALPath(name)); err != nil {
+				return nil, 0, 0, 0, err
+			}
+		} else {
+			return nil, 0, 0, 0, err
+		}
+	}
+	for _, r := range recs {
+		if insErr := e.dyn.Insert(r.Key, r.Measure); insErr != nil {
+			if errors.Is(insErr, polyfit.ErrDuplicateKey) {
+				// The snapshot already covers this acknowledged insert
+				// (crash raced snapshot and truncation). Idempotent skip.
+				skipped++
+				continue
+			}
+			// Any other failure would silently drop an acknowledged,
+			// fsynced insert — refuse to serve the index instead.
+			wal.Close() //nolint:errcheck
+			return nil, 0, 0, 0, fmt.Errorf("replay insert %g: %w", r.Key, insErr)
+		}
+		replayed++
+	}
+	e.wal = wal
+	e.replayed = replayed
+	return e, replayed, skipped, dropped, nil
+}
+
+// snapshotLoop periodically persists dirty dynamic indexes (those with WAL
+// records not yet folded into a snapshot).
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.snapshotDirty(); err != nil {
+				s.logf("polyfit-serve: background snapshot: %v", err)
+			}
+		}
+	}
+}
+
+func (s *Server) snapshotDirty() error {
+	s.mu.RLock()
+	dirty := make(map[string]*entry)
+	for name, e := range s.indexes {
+		if e.wal != nil && (e.wal.Records() > 0 || e.forceSnap.Load()) {
+			dirty[name] = e
+		}
+	}
+	s.mu.RUnlock()
+	var firstErr error
+	for name, e := range dirty {
+		if err := s.snapshotEntry(name, e); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SnapshotAll synchronously snapshots every dirty index. No-op for
+// in-memory servers.
+func (s *Server) SnapshotAll() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.snapshotDirty()
+}
+
+// snapshotEntry writes one index's snapshot and drops the WAL prefix it
+// covers. The WAL size is read BEFORE marshalling: every record below that
+// offset was applied to the in-memory index before it reached the log, so
+// the snapshot (taken after) is guaranteed to contain it — records that
+// race in later stay in the log and replay idempotently.
+func (s *Server) snapshotEntry(name string, e *entry) error {
+	if s.store == nil {
+		return nil
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	// Re-check registry membership under snapMu: a concurrent DELETE or
+	// restore may have retired this entry after it was collected, and
+	// writing its snapshot now would resurrect the index on the next boot
+	// (dropPersisted holds the same lock while removing the files).
+	s.mu.RLock()
+	current := s.indexes[name] == e
+	s.mu.RUnlock()
+	if !current {
+		return nil
+	}
+	// Clear the force flag before reading the cut: a failure signalled
+	// after this point re-sets it and the next cycle snapshots again.
+	e.forceSnap.Store(false)
+	var cut int64
+	if e.wal != nil {
+		cut = e.wal.Size()
+	}
+	blob, err := e.ix.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("marshal %q: %w", name, err)
+	}
+	if err := s.store.WriteSnapshot(name, blob); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		if err := e.wal.TruncateTo(cut); err != nil {
+			return err
+		}
+	}
+	e.snapshots.Add(1)
+	e.lastSnapUnix.Store(time.Now().Unix())
+	s.snapshotsWritten.Add(1)
+	return nil
+}
+
+// persistNew writes the initial durable state for a just-built entry:
+// snapshot, and (for dynamic indexes) an empty WAL. Called with adminMu
+// held, before the entry becomes visible in the registry.
+func (s *Server) persistNew(name string, e *entry) error {
+	if s.store == nil {
+		return nil
+	}
+	blob, err := e.ix.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := s.store.WriteSnapshot(name, blob); err != nil {
+		return err
+	}
+	if e.dyn != nil {
+		wal, _, _, err := persist.OpenWAL(s.store.WALPath(name))
+		if err != nil {
+			s.store.Remove(name) //nolint:errcheck
+			return err
+		}
+		e.wal = wal
+	}
+	e.snapshots.Add(1)
+	e.lastSnapUnix.Store(time.Now().Unix())
+	s.snapshotsWritten.Add(1)
+	return nil
+}
+
+// dropPersisted tears down an entry's durable state. Called with adminMu
+// held and the entry already removed from the registry; snapMu excludes an
+// in-flight background snapshot of the same entry, whose membership check
+// then fails, so the files cannot be re-created after removal.
+func (s *Server) dropPersisted(name string, e *entry) error {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if e.wal != nil {
+		e.wal.Close() //nolint:errcheck
+	}
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Remove(name)
+}
+
+// Close stops the background snapshotter, takes a final snapshot of every
+// dirty index, and releases WAL handles. The HTTP mux keeps answering
+// queries but durability guarantees end here; Close is for graceful
+// shutdown and tests. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+			<-s.done
+		}
+		err = s.SnapshotAll()
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for _, e := range s.indexes {
+			if e.wal != nil {
+				e.wal.Close() //nolint:errcheck
+			}
+		}
+	})
+	return err
+}
+
+// RestoreRequest carries a previously marshalled blob (GET /marshal, or
+// Index/DynamicIndex.MarshalBinary) to load under a name.
+type RestoreRequest struct {
+	Blob string `json:"blob"` // base64 (std encoding)
+}
+
+// handleRestore implements POST /v1/indexes/{name}/restore: register the
+// blob under the name, replacing any existing index. Dynamic blobs come
+// back dynamic — buffer, options, and fallback included. With a data dir
+// the blob is persisted (and any previous WAL dropped) before the request
+// is acknowledged.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("name is required"))
+		return
+	}
+	var req RestoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.Blob)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode blob: %w", err))
+		return
+	}
+	e, err := entryFromBlob(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	s.mu.RLock()
+	old := s.indexes[name]
+	s.mu.RUnlock()
+	if old != nil {
+		// Exclude an in-flight background snapshot of the entry being
+		// replaced, and hold the lock across the registry swap so no later
+		// one can overwrite the restored snapshot (its membership check
+		// fails once the swap is visible).
+		old.snapMu.Lock()
+		defer old.snapMu.Unlock()
+	}
+	if err := s.persistRestore(name, raw, e, old); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	s.indexes[name] = e
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.statsOf(name, e))
+}
+
+// persistRestore writes the durable state for a restore, new-state-first so
+// a failure at any point never destroys the previous index: (1) the raw
+// blob atomically replaces the snapshot — on error the old snapshot, WAL,
+// and registry entry are all untouched; (2) the old WAL (records of the
+// replaced index) is emptied and closed; (3) a fresh WAL is opened for a
+// dynamic replacement. A crash inside the sequence recovers to the restored
+// snapshot, replaying any stale WAL records as idempotent duplicate skips.
+func (s *Server) persistRestore(name string, raw []byte, e, old *entry) error {
+	if s.store == nil {
+		return nil
+	}
+	if err := s.store.WriteSnapshot(name, raw); err != nil {
+		return err
+	}
+	if old != nil && old.wal != nil {
+		if err := old.wal.TruncateTo(old.wal.Size()); err != nil {
+			return err
+		}
+		old.wal.Close() //nolint:errcheck
+	}
+	walPath := s.store.WALPath(name)
+	if e.dyn != nil {
+		wal, stale, _, err := persist.OpenWAL(walPath)
+		if err != nil {
+			return err
+		}
+		// Purge anything that slipped into the file between the truncate
+		// and the close above (or was left by an earlier same-named index):
+		// those records belong to the replaced index, not the restored one.
+		if len(stale) > 0 {
+			if err := wal.TruncateTo(wal.Size()); err != nil {
+				wal.Close() //nolint:errcheck
+				return err
+			}
+		}
+		e.wal = wal
+	} else if _, err := os.Stat(walPath); err == nil {
+		os.Remove(walPath) //nolint:errcheck
+	}
+	e.snapshots.Add(1)
+	e.lastSnapUnix.Store(time.Now().Unix())
+	s.snapshotsWritten.Add(1)
+	return nil
+}
+
+// ServerStats are the global durability counters exposed at GET /v1/stats.
+type ServerStats struct {
+	Indexes            int    `json:"indexes"`
+	Durable            bool   `json:"durable"`
+	DataDir            string `json:"data_dir,omitempty"`
+	SnapshotsWritten   int64  `json:"snapshots_written"`
+	WALAppendedRecords int64  `json:"wal_appended_records"`
+	RecoveredIndexes   int    `json:"recovered_indexes"`
+	ReplayedInserts    int64  `json:"replayed_inserts"`
+	CorruptSkipped     int    `json:"corrupt_skipped,omitempty"`
+	TornWALBytes       int    `json:"torn_wal_bytes,omitempty"`
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.indexes)
+	s.mu.RUnlock()
+	st := ServerStats{
+		Indexes:            n,
+		Durable:            s.store != nil,
+		SnapshotsWritten:   s.snapshotsWritten.Load(),
+		WALAppendedRecords: s.walAppended.Load(),
+		RecoveredIndexes:   s.recovery.Indexes,
+		ReplayedInserts:    s.recovery.ReplayedInserts,
+		CorruptSkipped:     s.recovery.CorruptSkipped,
+		TornWALBytes:       s.recovery.TornWALBytes,
+	}
+	if s.store != nil {
+		st.DataDir = s.store.Dir()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// entryFromBlob dispatches on the blob's magic: static blobs load as
+// immutable indexes, dynamic blobs come back insertable with their delta
+// buffer and options intact.
+func entryFromBlob(raw []byte) (*entry, error) {
+	switch polyfit.DetectBlob(raw) {
+	case polyfit.BlobDynamic:
+		d := &polyfit.DynamicIndex{}
+		if err := d.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+		return &entry{ix: d, dyn: d}, nil
+	case polyfit.BlobStatic1D:
+		ix := &polyfit.Index{}
+		if err := ix.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+		return &entry{ix: ix}, nil
+	case polyfit.BlobStatic2D:
+		return nil, errors.New("2D index blobs are not servable (no range endpoint)")
+	default:
+		return nil, errors.New("unrecognized index blob")
+	}
+}

@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// newDurable builds a durable server over dir with the background
+// snapshotter disabled, so tests control exactly when snapshots happen.
+func newDurable(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := NewDurable(Config{DataDir: dir, SnapshotInterval: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPost(t *testing.T, ts *httptest.Server, path string, body any, out any) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: %d %s", path, resp.StatusCode, payload)
+	}
+	if out != nil {
+		if err := json.Unmarshal(payload, out); err != nil {
+			t.Fatalf("POST %s: decode %q: %v", path, payload, err)
+		}
+	}
+}
+
+// exactCountAt asks the relative-error path for the count of the width-0.5
+// window ending at key k; tiny counts always fail the Lemma 3 gate, so the
+// answer comes from the exact fallback and equals the true count.
+func exactCountAt(t *testing.T, ts *httptest.Server, name string, k float64) float64 {
+	t.Helper()
+	var q QueryResponse
+	mustPost(t, ts, "/v1/indexes/"+name+"/query",
+		QueryRequest{Lo: k - 0.5, Hi: k, EpsRel: 0.01}, &q)
+	if !q.Exact {
+		t.Fatalf("probe at %g did not use the exact fallback", k)
+	}
+	return q.Value
+}
+
+func TestDurableServerRecoversAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(3000, 7)
+
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	var created StatsResponse
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "tweets", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+	}, &created)
+	if !created.Durable || created.Snapshots != 1 {
+		t.Fatalf("create not persisted: %+v", created)
+	}
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "static", Agg: "count", Keys: keys[:500], EpsAbs: 50,
+	}, nil)
+
+	// Acknowledged inserts at fresh out-of-band keys.
+	inserted := make([]float64, 0, 40)
+	var recs []Record
+	for i := 0; i < 40; i++ {
+		k := 1e7 + 3*float64(i)
+		recs = append(recs, Record{Key: k, Measure: 1})
+		inserted = append(inserted, k)
+	}
+	var ir InsertResponse
+	mustPost(t, ts1, "/v1/indexes/tweets/insert", InsertRequest{Records: recs}, &ir)
+	if ir.Inserted != len(recs) || !ir.Durable {
+		t.Fatalf("insert response %+v", ir)
+	}
+	ts1.Close()
+	// No s1.Close(): the process "crashed". Durability must not depend on
+	// a graceful shutdown.
+
+	s2 := newDurable(t, dir)
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer s2.Close()
+
+	rec := s2.Recovery()
+	if rec.Indexes != 2 || rec.Dynamic != 1 || rec.Static != 1 {
+		t.Fatalf("recovery summary %+v", rec)
+	}
+	if rec.ReplayedInserts != int64(len(recs)) {
+		t.Fatalf("replayed %d inserts, want %d", rec.ReplayedInserts, len(recs))
+	}
+	resp, err := ts2.Client().Get(ts2.URL + "/v1/indexes/tweets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	json.NewDecoder(resp.Body).Decode(&st) //nolint:errcheck
+	resp.Body.Close()
+	if st.Records != len(keys)+len(recs) {
+		t.Fatalf("recovered %d records, want %d", st.Records, len(keys)+len(recs))
+	}
+	if st.ReplayedInserts != int64(len(recs)) {
+		t.Fatalf("per-index replayed %d, want %d", st.ReplayedInserts, len(recs))
+	}
+	// Every acknowledged insert answers.
+	for _, k := range inserted {
+		if got := exactCountAt(t, ts2, "tweets", k); got != 1 {
+			t.Fatalf("acknowledged insert %g lost: exact count %g", k, got)
+		}
+	}
+	// The static index recovered too.
+	var q QueryResponse
+	mustPost(t, ts2, "/v1/indexes/static/query", QueryRequest{Lo: -90, Hi: 90}, &q)
+	if !q.Found || q.Value <= 0 {
+		t.Fatalf("static index lost: %+v", q)
+	}
+	// Global durability counters.
+	sresp, _ := ts2.Client().Get(ts2.URL + "/v1/stats")
+	var gs ServerStats
+	json.NewDecoder(sresp.Body).Decode(&gs) //nolint:errcheck
+	sresp.Body.Close()
+	if !gs.Durable || gs.RecoveredIndexes != 2 || gs.ReplayedInserts != int64(len(recs)) {
+		t.Fatalf("server stats %+v", gs)
+	}
+}
+
+func TestDurableSnapshotTruncatesWALAndSurvives(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(2000, 9)
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "ix", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+	}, nil)
+	preSnap := []Record{{Key: 2e7, Measure: 1}, {Key: 2e7 + 1, Measure: 1}}
+	mustPost(t, ts1, "/v1/indexes/ix/insert", InsertRequest{Records: preSnap}, nil)
+	if err := s1.SnapshotAll(); err != nil {
+		t.Fatal(err)
+	}
+	postSnap := []Record{{Key: 3e7, Measure: 1}}
+	mustPost(t, ts1, "/v1/indexes/ix/insert", InsertRequest{Records: postSnap}, nil)
+
+	resp, _ := ts1.Client().Get(ts1.URL + "/v1/indexes/ix")
+	var st StatsResponse
+	json.NewDecoder(resp.Body).Decode(&st) //nolint:errcheck
+	resp.Body.Close()
+	if st.WALRecords != 1 {
+		t.Fatalf("WAL holds %d records after snapshot, want 1 (prefix truncated)", st.WALRecords)
+	}
+	if st.Snapshots < 2 {
+		t.Fatalf("snapshots %d, want >= 2", st.Snapshots)
+	}
+	ts1.Close() // crash
+
+	s2 := newDurable(t, dir)
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer s2.Close()
+	for _, r := range append(preSnap, postSnap...) {
+		if got := exactCountAt(t, ts2, "ix", r.Key); got != 1 {
+			t.Fatalf("insert %g lost across snapshot+WAL recovery", r.Key)
+		}
+	}
+	if rec := s2.Recovery(); rec.ReplayedInserts != 1 {
+		t.Fatalf("replayed %d, want 1 (snapshot covers the rest)", rec.ReplayedInserts)
+	}
+}
+
+// TestDurableRebuildSnapshotsSynchronously: a forced merge-rebuild leaves a
+// fresh snapshot and an empty WAL behind.
+func TestDurableRebuildSnapshotsSynchronously(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(1500, 10)
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "ix", Agg: "sum", Dynamic: true, Keys: keys,
+		Measures: make([]float64, len(keys)), EpsAbs: 100,
+	}, nil)
+	mustPost(t, ts1, "/v1/indexes/ix/insert", InsertRequest{
+		Records: []Record{{Key: 5e7, Measure: 9}},
+	}, nil)
+	var st StatsResponse
+	mustPost(t, ts1, "/v1/indexes/ix/rebuild", struct{}{}, &st)
+	if st.WALRecords != 0 || st.BufferLen != 0 {
+		t.Fatalf("rebuild left wal_records=%d buffer_len=%d", st.WALRecords, st.BufferLen)
+	}
+	ts1.Close() // crash
+
+	s2 := newDurable(t, dir)
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer s2.Close()
+	var q QueryResponse
+	mustPost(t, ts2, "/v1/indexes/ix/query", QueryRequest{Lo: 5e7 - 0.5, Hi: 5e7, EpsRel: 0.01}, &q)
+	if q.Value != 9 {
+		t.Fatalf("merged insert lost: %+v", q)
+	}
+}
+
+func TestDurableServerSkipsCorruptFilesWithoutCrashing(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(1200, 11)
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	for _, name := range []string{"good", "bad"} {
+		mustPost(t, ts1, "/v1/indexes", CreateRequest{
+			Name: name, Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+		}, nil)
+	}
+	ts1.Close()
+
+	// Flip a payload byte in "bad"'s snapshot.
+	path := s1.store.SnapshotPath("bad")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newDurable(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Indexes != 1 || rec.CorruptSkipped != 1 {
+		t.Fatalf("recovery %+v, want 1 recovered + 1 skipped", rec)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	var q QueryResponse
+	mustPost(t, ts2, "/v1/indexes/good/query", QueryRequest{Lo: -90, Hi: 90}, &q)
+	if !q.Found {
+		t.Fatal("healthy index did not survive its corrupt sibling")
+	}
+	if resp, _ := ts2.Client().Get(ts2.URL + "/v1/indexes/bad"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt index served with status %d", resp.StatusCode)
+	}
+}
+
+func TestDurableServerCorruptWALRecoversToSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(1200, 12)
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "ix", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+	}, nil)
+	mustPost(t, ts1, "/v1/indexes/ix/insert", InsertRequest{
+		Records: []Record{{Key: 1e7, Measure: 1}},
+	}, nil)
+	ts1.Close()
+
+	// Destroy the WAL header: the log becomes unreadable, the snapshot wins.
+	walPath := s1.store.WALPath("ix")
+	raw, _ := os.ReadFile(walPath)
+	raw[0] ^= 0xFF
+	os.WriteFile(walPath, raw, 0o644) //nolint:errcheck
+
+	s2 := newDurable(t, dir)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Indexes != 1 {
+		t.Fatalf("recovery %+v, want the snapshot-backed index", rec)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	var q QueryResponse
+	mustPost(t, ts2, "/v1/indexes/ix/query", QueryRequest{Lo: -90, Hi: 90}, &q)
+	if !q.Found || q.Value <= 0 {
+		t.Fatalf("index lost with its WAL: %+v", q)
+	}
+	if _, err := os.Stat(walPath + ".corrupt"); err != nil {
+		t.Errorf("damaged WAL not set aside: %v", err)
+	}
+}
+
+func TestRestoreEndpointRoundTripsDynamicState(t *testing.T) {
+	keys := data.GenTweet(1500, 13)
+	src := New()
+	tsSrc := httptest.NewServer(src)
+	defer tsSrc.Close()
+	mustPost(t, tsSrc, "/v1/indexes", CreateRequest{
+		Name: "orig", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+	}, nil)
+	mustPost(t, tsSrc, "/v1/indexes/orig/insert", InsertRequest{
+		Records: []Record{{Key: 4e7, Measure: 1}, {Key: 4e7 + 2, Measure: 1}},
+	}, nil)
+	resp, err := tsSrc.Client().Get(tsSrc.URL + "/v1/indexes/orig/marshal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	dst := newDurable(t, t.TempDir())
+	defer dst.Close()
+	tsDst := httptest.NewServer(dst)
+	defer tsDst.Close()
+	var st StatsResponse
+	mustPost(t, tsDst, "/v1/indexes/copy/restore",
+		RestoreRequest{Blob: base64.StdEncoding.EncodeToString(blob)}, &st)
+	if !st.Dynamic || st.Records != len(keys)+2 || st.BufferLen != 2 {
+		t.Fatalf("restored stats %+v", st)
+	}
+	// The restored copy is live: it accepts inserts and serves QueryRel.
+	var ir InsertResponse
+	mustPost(t, tsDst, "/v1/indexes/copy/insert", InsertRequest{
+		Records: []Record{{Key: 5e7, Measure: 1}},
+	}, &ir)
+	if ir.Inserted != 1 {
+		t.Fatalf("restored index rejected an insert: %+v", ir)
+	}
+	if got := exactCountAt(t, tsDst, "copy", 4e7); got != 1 {
+		t.Fatalf("buffered insert lost in restore: %g", got)
+	}
+	// Restore over an existing name replaces it.
+	mustPost(t, tsDst, "/v1/indexes/copy/restore",
+		RestoreRequest{Blob: base64.StdEncoding.EncodeToString(blob)}, &st)
+	if st.Records != len(keys)+2 {
+		t.Fatalf("replace-restore stats %+v", st)
+	}
+	// Garbage blobs are rejected cleanly.
+	raw, _ := json.Marshal(RestoreRequest{Blob: base64.StdEncoding.EncodeToString([]byte("nope"))})
+	bad, err := tsDst.Client().Post(tsDst.URL+"/v1/indexes/junk/restore", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage restore: status %d", bad.StatusCode)
+	}
+}
+
+// TestDurableRestoreUnderConcurrentLoad is the -race crash-consistency
+// test: concurrent inserters, queriers, and snapshotters hammer a durable
+// server; the "process" then dies without cleanup and a fresh server
+// recovers the directory. Every acknowledged insert must be answered.
+func TestDurableRestoreUnderConcurrentLoad(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(4000, 15)
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "hot", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 100,
+	}, nil)
+
+	const (
+		inserters   = 4
+		perInserter = 60
+	)
+	var (
+		wg    sync.WaitGroup
+		ackMu sync.Mutex
+		acked []float64
+	)
+	stopSnap := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() { // concurrent snapshot+truncate cycles race the inserts
+		defer close(snapDone)
+		for {
+			select {
+			case <-stopSnap:
+				return
+			default:
+				if err := s1.SnapshotAll(); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < inserters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perInserter; i++ {
+				k := 1e7 + float64(g)*1e5 + float64(i)
+				raw, _ := json.Marshal(InsertRequest{Records: []Record{{Key: k, Measure: 1}}})
+				resp, err := ts1.Client().Post(ts1.URL+"/v1/indexes/hot/insert",
+					"application/json", bytes.NewReader(raw))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var ir InsertResponse
+				json.NewDecoder(resp.Body).Decode(&ir) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK && ir.Inserted == 1 {
+					ackMu.Lock()
+					acked = append(acked, k)
+					ackMu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // background read load
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			lo := rng.Float64()*180 - 90
+			raw, _ := json.Marshal(QueryRequest{Lo: lo, Hi: lo + 30})
+			resp, err := ts1.Client().Post(ts1.URL+"/v1/indexes/hot/query",
+				"application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+	// Stop the snapshot loop and wait out the cycle in flight.
+	close(stopSnap)
+	<-snapDone
+	ts1.Close() // crash: no s1.Close()
+
+	s2 := newDurable(t, dir)
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	if len(acked) != inserters*perInserter {
+		t.Fatalf("only %d/%d inserts acknowledged", len(acked), inserters*perInserter)
+	}
+	lost := 0
+	for _, k := range acked {
+		if got := exactCountAt(t, ts2, "hot", k); got != 1 {
+			lost++
+			if lost < 5 {
+				t.Errorf("acknowledged insert %g lost (exact count %g)", k, got)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d/%d acknowledged inserts lost after crash recovery", lost, len(acked))
+	}
+	var st StatsResponse
+	resp, _ := ts2.Client().Get(ts2.URL + "/v1/indexes/hot")
+	json.NewDecoder(resp.Body).Decode(&st) //nolint:errcheck
+	resp.Body.Close()
+	if st.Records != len(keys)+len(acked) {
+		t.Fatalf("recovered %d records, want %d", st.Records, len(keys)+len(acked))
+	}
+}
+
+func TestCreateFromDynamicBlob(t *testing.T) {
+	keys := data.GenTweet(1000, 17)
+	src := New()
+	tsSrc := httptest.NewServer(src)
+	defer tsSrc.Close()
+	mustPost(t, tsSrc, "/v1/indexes", CreateRequest{
+		Name: "a", Agg: "max", Dynamic: true, Keys: keys,
+		Measures: seqMeasures(len(keys)), EpsAbs: 100,
+	}, nil)
+	mustPost(t, tsSrc, "/v1/indexes/a/insert", InsertRequest{
+		Records: []Record{{Key: 1e7, Measure: 123456}},
+	}, nil)
+	resp, _ := tsSrc.Client().Get(tsSrc.URL + "/v1/indexes/a/marshal")
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	var st StatsResponse
+	mustPost(t, tsSrc, "/v1/indexes", CreateRequest{
+		Name: "b", Dynamic: true, Blob: base64.StdEncoding.EncodeToString(blob),
+	}, &st)
+	if !st.Dynamic || st.Records != len(keys)+1 || st.BufferLen != 1 {
+		t.Fatalf("blob-created dynamic index %+v", st)
+	}
+	var q QueryResponse
+	mustPost(t, tsSrc, "/v1/indexes/b/query", QueryRequest{Lo: 1e7 - 1, Hi: 1e7 + 1}, &q)
+	if !q.Found || q.Value != 123456 {
+		t.Fatalf("blob-created index lost the buffered max: %+v", q)
+	}
+}
+
+func seqMeasures(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i % 1000)
+	}
+	return out
+}

@@ -9,9 +9,15 @@
 // internally synchronised (queries are lock-free snapshot reads that never
 // block behind inserts or merge-rebuilds).
 //
+// Servers built with NewDurable and a data dir survive restarts: indexes
+// are snapshotted to disk, acknowledged inserts are fsynced to a
+// write-ahead log before the response goes out, and the registry is
+// recovered on boot (see durability.go for the full contract).
+//
 // # Endpoints
 //
 //	GET    /healthz                       liveness probe
+//	GET    /v1/stats                      global durability counters
 //	POST   /v1/indexes                    build an index (data or blob)
 //	GET    /v1/indexes                    list all indexes with stats
 //	GET    /v1/indexes/{name}             stats for one index
@@ -21,6 +27,7 @@
 //	POST   /v1/indexes/{name}/insert      append records (dynamic only)
 //	POST   /v1/indexes/{name}/rebuild     force a merge-rebuild (dynamic only)
 //	GET    /v1/indexes/{name}/marshal     serialised index (octet-stream)
+//	POST   /v1/indexes/{name}/restore     load a marshalled blob under name
 package server
 
 import (
@@ -32,8 +39,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	polyfit "repro"
+	"repro/internal/persist"
 )
 
 // maxBodyBytes caps request bodies (datasets of a few million float keys
@@ -52,6 +61,17 @@ type queryable interface {
 type entry struct {
 	ix  queryable
 	dyn *polyfit.DynamicIndex // nil for static indexes
+
+	// Durable state (nil/zero for in-memory servers and static indexes).
+	wal          *persist.WAL // acknowledged-insert log, dynamic only
+	snapMu       sync.Mutex   // serialises snapshot+truncate pairs and file teardown
+	snapshots    atomic.Int64 // snapshots written for this index
+	lastSnapUnix atomic.Int64
+	replayed     int64 // WAL inserts replayed at recovery (read-only after boot)
+	// forceSnap requests a snapshot even with an empty WAL — set when a WAL
+	// append failed, so records that are only in memory still reach disk on
+	// the next snapshotter cycle.
+	forceSnap atomic.Bool
 }
 
 // Server is an http.Handler serving a registry of named PolyFit indexes.
@@ -59,14 +79,37 @@ type Server struct {
 	mu      sync.RWMutex
 	indexes map[string]*entry
 	mux     *http.ServeMux
+
+	// adminMu serialises registry admin (create/delete/restore) with the
+	// persistence side effects those operations carry, so index files are
+	// never created and removed concurrently for the same name. Queries and
+	// inserts never touch it.
+	adminMu sync.Mutex
+
+	// Durability (nil/zero when no data dir is configured — see durability.go).
+	store            *persist.Store
+	logf             func(format string, args ...any)
+	stop             chan struct{}
+	done             chan struct{}
+	closeOnce        sync.Once
+	snapshotsWritten atomic.Int64
+	walAppended      atomic.Int64
+	recovery         RecoverySummary
 }
 
-// New returns a ready-to-serve Server with an empty registry.
+// New returns a ready-to-serve in-memory Server with an empty registry.
+// Use NewDurable to back the registry with a data directory.
 func New() *Server {
+	s, _ := NewDurable(Config{}) // no data dir: cannot fail
+	return s
+}
+
+func newServer() *Server {
 	s := &Server{indexes: make(map[string]*entry), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /v1/stats", s.handleServerStats)
 	s.mux.HandleFunc("POST /v1/indexes", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/indexes", s.handleList)
 	s.mux.HandleFunc("GET /v1/indexes/{name}", s.handleStats)
@@ -76,6 +119,7 @@ func New() *Server {
 	s.mux.HandleFunc("POST /v1/indexes/{name}/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/indexes/{name}/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("GET /v1/indexes/{name}/marshal", s.handleMarshal)
+	s.mux.HandleFunc("POST /v1/indexes/{name}/restore", s.handleRestore)
 	return s
 }
 
@@ -119,6 +163,14 @@ type StatsResponse struct {
 	RootBytes     int     `json:"root_bytes"` // learned-root table, included in index_bytes
 	FallbackBytes int     `json:"fallback_bytes"`
 	BufferLen     int     `json:"buffer_len,omitempty"`
+
+	// Durability counters (only on servers with a data dir).
+	Durable          bool  `json:"durable,omitempty"`
+	Snapshots        int64 `json:"snapshots,omitempty"`          // snapshots written for this index
+	LastSnapshotUnix int64 `json:"last_snapshot_unix,omitempty"` // seconds since epoch
+	WALRecords       int64 `json:"wal_records,omitempty"`        // acknowledged inserts not yet in a snapshot
+	WALBytes         int64 `json:"wal_bytes,omitempty"`
+	ReplayedInserts  int64 `json:"replayed_inserts,omitempty"` // WAL inserts replayed at boot
 }
 
 // QueryRequest answers one range; EpsRel > 0 requests the relative-error
@@ -166,9 +218,12 @@ type Record struct {
 
 // InsertResponse reports per-record outcomes: Inserted counts successes,
 // Errors holds the first few rejection messages (e.g. duplicate keys).
+// Durable is true when the inserted records were fsynced to the write-ahead
+// log before this response was sent.
 type InsertResponse struct {
 	Inserted int      `json:"inserted"`
 	Rejected int      `json:"rejected"`
+	Durable  bool     `json:"durable,omitempty"`
 	Errors   []string `json:"errors,omitempty"`
 }
 
@@ -183,7 +238,8 @@ var ErrExists = errors.New("server: index already exists")
 
 // Create builds an index from req and registers it under req.Name. It is
 // the programmatic equivalent of POST /v1/indexes (used by preloaders and
-// embedders).
+// embedders). On a durable server the initial snapshot (and, for dynamic
+// indexes, the WAL) is on disk before Create returns.
 func (s *Server) Create(req CreateRequest) (StatsResponse, error) {
 	if req.Name == "" {
 		return StatsResponse{}, errors.New("name is required")
@@ -200,14 +256,23 @@ func (s *Server) Create(req CreateRequest) (StatsResponse, error) {
 	if err != nil {
 		return StatsResponse{}, err
 	}
-	s.mu.Lock()
-	if _, exists := s.indexes[req.Name]; exists {
-		s.mu.Unlock()
+	// Admin section: persist first, then publish, so no handler ever sees a
+	// registered durable index without its files.
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	s.mu.RLock()
+	_, exists = s.indexes[req.Name]
+	s.mu.RUnlock()
+	if exists {
 		return StatsResponse{}, fmt.Errorf("%w: %q", ErrExists, req.Name)
 	}
+	if err := s.persistNew(req.Name, e); err != nil {
+		return StatsResponse{}, fmt.Errorf("persist %q: %w", req.Name, err)
+	}
+	s.mu.Lock()
 	s.indexes[req.Name] = e
 	s.mu.Unlock()
-	return statsOf(req.Name, e), nil
+	return s.statsOf(req.Name, e), nil
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -230,18 +295,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func buildEntry(req CreateRequest) (*entry, error) {
 	if req.Blob != "" {
-		if req.Dynamic {
-			return nil, errors.New("blob loading is supported for static indexes only")
-		}
 		raw, err := base64.StdEncoding.DecodeString(req.Blob)
 		if err != nil {
 			return nil, fmt.Errorf("decode blob: %w", err)
 		}
-		ix := &polyfit.Index{}
-		if err := ix.UnmarshalBinary(raw); err != nil {
+		e, err := entryFromBlob(raw)
+		if err != nil {
 			return nil, err
 		}
-		return &entry{ix: ix}, nil
+		if req.Dynamic && e.dyn == nil {
+			return nil, errors.New("dynamic=true but the blob is a static index (dynamic blobs come from DynamicIndex.MarshalBinary)")
+		}
+		return e, nil
 	}
 	par := req.Parallelism
 	if par == 0 {
@@ -309,7 +374,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	out := make([]StatsResponse, len(names))
 	for i, name := range names {
-		out[i] = statsOf(name, entries[i])
+		out[i] = s.statsOf(name, entries[i])
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -319,17 +384,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, statsOf(name, e))
+	writeJSON(w, http.StatusOK, s.statsOf(name, e))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	s.adminMu.Lock()
 	s.mu.Lock()
-	_, ok := s.indexes[name]
+	e, ok := s.indexes[name]
 	delete(s.indexes, name)
 	s.mu.Unlock()
+	var dropErr error
+	if ok {
+		dropErr = s.dropPersisted(name, e)
+	}
+	s.adminMu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no index %q", name))
+		return
+	}
+	if dropErr != nil {
+		writeError(w, http.StatusInternalServerError, dropErr)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -407,6 +482,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := InsertResponse{}
+	var accepted []persist.Record
 	for _, rec := range req.Records {
 		if err := e.dyn.Insert(rec.Key, rec.Measure); err != nil {
 			resp.Rejected++
@@ -416,6 +492,27 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Inserted++
+		if e.wal != nil {
+			accepted = append(accepted, persist.Record{Key: rec.Key, Measure: rec.Measure})
+		}
+	}
+	// Durability barrier: acknowledged inserts must be fsynced in the WAL
+	// before the 200 goes out. On a log failure the records are applied in
+	// memory but their durability cannot be promised — report the failure
+	// instead of acknowledging.
+	if len(accepted) > 0 {
+		if err := e.wal.Append(accepted); err != nil {
+			// The records are in memory but not on disk; flag the entry so
+			// the next snapshot cycle persists them even though the WAL has
+			// nothing new (a retried insert would be rejected as duplicate).
+			e.forceSnap.Store(true)
+			s.logf("polyfit-serve: WAL append for %q: %v", name, err)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("inserts applied but not durable: %w", err))
+			return
+		}
+		s.walAppended.Add(int64(len(accepted)))
+		resp.Durable = true
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -433,7 +530,15 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, statsOf(name, e))
+	// A rebuild folds the buffer into a fresh base; snapshot it right away
+	// (cheap — serialization, not re-fitting) and drop the covered WAL.
+	if s.store != nil {
+		if err := s.snapshotEntry(name, e); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.statsOf(name, e))
 }
 
 func (s *Server) handleMarshal(w http.ResponseWriter, r *http.Request) {
@@ -465,11 +570,11 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (string, *entry,
 	return name, e, true
 }
 
-func statsOf(name string, e *entry) StatsResponse {
+func (s *Server) statsOf(name string, e *entry) StatsResponse {
 	// Stats() reads one consistent snapshot, so records/index_bytes/
 	// buffer_len agree even while a merge-rebuild races this request.
 	st := e.ix.Stats()
-	return StatsResponse{
+	out := StatsResponse{
 		Name:          name,
 		Aggregate:     st.Aggregate.String(),
 		Dynamic:       e.dyn != nil,
@@ -482,6 +587,17 @@ func statsOf(name string, e *entry) StatsResponse {
 		FallbackBytes: st.FallbackBytes,
 		BufferLen:     st.BufferLen,
 	}
+	if s.store != nil {
+		out.Durable = true
+		out.Snapshots = e.snapshots.Load()
+		out.LastSnapshotUnix = e.lastSnapUnix.Load()
+		out.ReplayedInserts = e.replayed
+		if e.wal != nil {
+			out.WALRecords = e.wal.Records()
+			out.WALBytes = e.wal.Size()
+		}
+	}
+	return out
 }
 
 func queryErrStatus(err error) int {

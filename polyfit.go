@@ -24,6 +24,9 @@ var (
 	// carries no exact fallback (built with DisableFallback, or loaded from
 	// a serialised blob).
 	ErrNoFallback = core.ErrNoFallback
+	// ErrDuplicateKey is returned by DynamicIndex.Insert when the key is
+	// already present (in the base index or the delta buffer).
+	ErrDuplicateKey = core.ErrDuplicateKey
 	// ErrBadOptions reports an invalid Options combination.
 	ErrBadOptions = errors.New("polyfit: either EpsAbs or Delta must be positive")
 )
@@ -219,6 +222,21 @@ func (s Stats) String() string {
 	return fmt.Sprintf("%v index: %d records → %d deg-%d segments (δ=%g, %dB index, %dB fallback)",
 		s.Aggregate, s.Records, s.Segments, s.Degree, s.Delta, s.IndexBytes, s.FallbackBytes)
 }
+
+// BlobKind identifies which index type produced a serialised blob.
+type BlobKind = core.BlobKind
+
+// Blob kinds distinguishable from a serialised blob's magic bytes.
+const (
+	BlobUnknown  = core.BlobUnknown
+	BlobStatic1D = core.BlobStatic1D // Index.MarshalBinary
+	BlobStatic2D = core.BlobStatic2D // Index2D.MarshalBinary
+	BlobDynamic  = core.BlobDynamic  // DynamicIndex.MarshalBinary
+)
+
+// DetectBlob sniffs the magic bytes of a serialised index so callers can
+// dispatch to the matching Unmarshal without trial decoding.
+func DetectBlob(data []byte) BlobKind { return core.DetectBlob(data) }
 
 // MarshalBinary serialises the compact index structure (without exact
 // fallbacks — see the package documentation).

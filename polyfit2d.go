@@ -1,6 +1,9 @@
 package polyfit
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/core"
 )
 
@@ -71,17 +74,33 @@ func (o Options2D) delta() (float64, error) {
 	return 0, ErrBadOptions
 }
 
-// Query answers the approximate COUNT over the half-open rectangle
-// (xlo, xhi] × (ylo, yhi].
-func (ix *Index2D) Query(xlo, xhi, ylo, yhi float64) float64 {
-	return ix.inner.RangeCount(xlo, xhi, ylo, yhi)
+// Query answers the approximate COUNT/SUM over the half-open rectangle
+// (xlo, xhi] × (ylo, yhi], mirroring the 1D Query contract: an empty
+// (inverted) rectangle answers 0 with found=true, and rectangles with NaN
+// coordinates are rejected with an error — previously they silently
+// produced an arbitrary value.
+func (ix *Index2D) Query(xlo, xhi, ylo, yhi float64) (value float64, found bool, err error) {
+	if err := validateRect(xlo, xhi, ylo, yhi); err != nil {
+		return 0, false, err
+	}
+	return ix.inner.RangeCount(xlo, xhi, ylo, yhi), true, nil
 }
 
 // QueryRel answers within relative error epsRel (Lemma 7 gate with exact
-// aR-tree fallback).
+// aR-tree fallback). Rectangle validation matches Query.
 func (ix *Index2D) QueryRel(xlo, xhi, ylo, yhi, epsRel float64) (Result, error) {
+	if err := validateRect(xlo, xhi, ylo, yhi); err != nil {
+		return Result{}, err
+	}
 	v, exact, err := ix.inner.RangeCountRel(xlo, xhi, ylo, yhi, epsRel)
 	return Result{Value: v, Exact: exact, Found: true}, err
+}
+
+func validateRect(xlo, xhi, ylo, yhi float64) error {
+	if math.IsNaN(xlo) || math.IsNaN(xhi) || math.IsNaN(ylo) || math.IsNaN(yhi) {
+		return fmt.Errorf("polyfit: NaN rectangle coordinate (%g, %g, %g, %g)", xlo, xhi, ylo, yhi)
+	}
+	return nil
 }
 
 // Stats2D summarises a two-key index.

@@ -206,7 +206,10 @@ func TestIndex2DEndToEnd(t *testing.T) {
 	qs := data.UniformRects(-180, 180, -90, 90, 200, 14)
 	bad := 0
 	for _, q := range qs {
-		got := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+		got, found, err := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+		if err != nil || !found {
+			t.Fatalf("Query(%+v): found=%v err=%v", q, found, err)
+		}
 		want := 0.0
 		for i := range xs {
 			if xs[i] > q.XLo && xs[i] <= q.XHi && ys[i] > q.YLo && ys[i] <= q.YHi {
@@ -238,8 +241,32 @@ func TestIndex2DEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range qs[:50] {
-		if a, b := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi), loaded.Query(q.XLo, q.XHi, q.YLo, q.YHi); a != b {
+		a, _, _ := ix.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+		b, _, _ := loaded.Query(q.XLo, q.XHi, q.YLo, q.YHi)
+		if a != b {
 			t.Fatalf("2D round-trip divergence: %g vs %g", a, b)
+		}
+	}
+}
+
+func TestIndex2DQueryValidation(t *testing.T) {
+	xs, ys := data.GenOSM(2000, 16)
+	ix, err := NewCount2DIndex(xs, ys, Options2D{EpsAbs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverted rectangles are empty: 0 with found=true, like the 1D COUNT.
+	if v, found, err := ix.Query(10, -10, 0, 5); v != 0 || !found || err != nil {
+		t.Errorf("inverted rectangle: (%g, %v, %v), want (0, true, nil)", v, found, err)
+	}
+	// NaN coordinates are caller bugs; reject instead of answering garbage.
+	nan := math.NaN()
+	for _, r := range [][4]float64{{nan, 10, 0, 5}, {0, nan, 0, 5}, {0, 10, nan, 5}, {0, 10, 0, nan}} {
+		if _, found, err := ix.Query(r[0], r[1], r[2], r[3]); err == nil || found {
+			t.Errorf("Query(%v) accepted a NaN rectangle", r)
+		}
+		if _, err := ix.QueryRel(r[0], r[1], r[2], r[3], 0.05); err == nil {
+			t.Errorf("QueryRel(%v) accepted a NaN rectangle", r)
 		}
 	}
 }
