@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke crashtest fmt vet
+.PHONY: test race bench bench-smoke crashtest cover oracle fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -25,6 +25,17 @@ bench-smoke:
 # assert every acknowledged insert is still answered.
 crashtest:
 	$(GO) run ./cmd/polyfit-crashtest
+
+# Per-package coverage floor for the accuracy-critical packages
+# (internal/core, internal/segment, internal/server fail under 75%).
+cover:
+	./scripts/check-coverage.sh
+
+# Differential oracle harness: once with the fixed seed, once with a fresh
+# random seed (logged on failure so it can be replayed via ORACLE_SEED=<n>).
+oracle:
+	$(GO) test ./internal/oracle/ -count=1
+	ORACLE_SEED=random $(GO) test -v -run TestDifferential ./internal/oracle/ -count=1
 
 fmt:
 	gofmt -w .

@@ -168,6 +168,54 @@ func main() {
 		}
 	}))
 
+	// Sharding: scatter-gather vs unsharded on the fine index — build
+	// (K shards fit concurrently), a shard-spanning range, a shard-interior
+	// range (single-shard fast path), and the shard-routed batch path.
+	const benchShards = 4
+	results = append(results, measure(fmt.Sprintf("sharded/build_count_n%dk_d0.5_k%d", nFine/1000, benchShards), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildSharded(core.Count, fineKeys, nil, benchShards, core.Options{Degree: 2, Delta: 0.5, NoFallback: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	shardedFine, err := core.BuildSharded(core.Count, fineKeys, nil, benchShards, core.Options{Degree: 2, Delta: 0.5, NoFallback: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spanLo, spanHi := fineKeys[10], fineKeys[len(fineKeys)-10]
+	results = append(results, measure("sharded/query_span_all_shards", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := shardedFine.RangeSum(spanLo, spanHi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	inLo := fineKeys[len(fineKeys)/8]
+	inHi := fineKeys[len(fineKeys)/8+50]
+	results = append(results, measure("sharded/query_shard_interior", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := shardedFine.RangeSum(inLo, inHi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	batchRanges := make([]core.Range, len(queries))
+	for i, q := range queries {
+		batchRanges[i] = core.Range{Lo: q.L, Hi: q.U}
+	}
+	results = append(results, measure(fmt.Sprintf("sharded/query_batch_%d", len(batchRanges)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := shardedFine.QueryBatch(batchRanges); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	// Raw fitting: throwaway-Fitter wrapper vs reused Fitter on a
 	// segmentation-sized window.
 	winKeys := hkiKeys[:91]

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	polyfit-serve [-addr :8080] [-demo 200000] [-data-dir DIR] [-snapshot-interval 15s]
+//	polyfit-serve [-addr :8080] [-demo 200000] [-demo-shards K] [-data-dir DIR] [-snapshot-interval 15s]
 //
 // With -data-dir the server is durable: every index is snapshotted to DIR,
 // acknowledged inserts are fsynced to a per-index write-ahead log before
@@ -19,7 +19,9 @@
 // synthetic records each — "tweet" (dynamic COUNT over latitudes, εabs=100)
 // and "hki" (dynamic MAX over a stock-like series, εabs=100) — so it can be
 // queried immediately (indexes already recovered from -data-dir are kept,
-// not rebuilt):
+// not rebuilt). With -demo-shards K > 1 the demo indexes are built sharded:
+// K range partitions with scatter-gather queries, shard-local inserts, and
+// (with -data-dir) one snapshot+WAL pair per shard:
 //
 //	curl -s localhost:8080/v1/indexes
 //	curl -s -X POST localhost:8080/v1/indexes/tweet/query -d '{"lo":30,"hi":50}'
@@ -45,6 +47,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.Int("demo", 0, "preload demo indexes over this many synthetic records (0 = none)")
+	demoShards := flag.Int("demo-shards", 0, "build the demo indexes with this many range-partitioned shards (≤1 = unsharded)")
 	dataDir := flag.String("data-dir", "", "directory for snapshots and insert WALs (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 15*time.Second, "background snapshot period (requires -data-dir; <0 disables)")
 	flag.Parse()
@@ -63,7 +66,7 @@ func main() {
 		log.Printf("durable mode: data dir %s; %s", *dataDir, srv.Recovery())
 	}
 	if *demo > 0 {
-		if err := preload(srv, *demo); err != nil {
+		if err := preload(srv, *demo, *demoShards); err != nil {
 			log.Fatalf("preload demo indexes: %v", err)
 		}
 	}
@@ -98,16 +101,17 @@ func main() {
 }
 
 // preload registers the demo indexes over synthetic datasets. Indexes that
-// already exist (recovered from -data-dir) are kept as-is.
-func preload(srv *server.Server, n int) error {
+// already exist (recovered from -data-dir) are kept as-is. shards > 1
+// builds them range-partitioned.
+func preload(srv *server.Server, n, shards int) error {
 	tweet := server.CreateRequest{
 		Name: "tweet", Agg: "count", Dynamic: true,
-		Keys: data.GenTweet(n, 1), EpsAbs: 100,
+		Keys: data.GenTweet(n, 1), EpsAbs: 100, Shards: shards,
 	}
 	keys, vals := data.GenHKI(n, 2)
 	hki := server.CreateRequest{
 		Name: "hki", Agg: "max", Dynamic: true,
-		Keys: keys, Measures: vals, EpsAbs: 100,
+		Keys: keys, Measures: vals, EpsAbs: 100, Shards: shards,
 	}
 	for _, req := range []server.CreateRequest{tweet, hki} {
 		if _, err := srv.Create(req); err != nil {
@@ -117,7 +121,11 @@ func preload(srv *server.Server, n int) error {
 			}
 			return err
 		}
-		log.Printf("preloaded demo index %q over %d records", req.Name, n)
+		if shards > 1 {
+			log.Printf("preloaded demo index %q over %d records in %d shards", req.Name, n, shards)
+		} else {
+			log.Printf("preloaded demo index %q over %d records", req.Name, n)
+		}
 	}
 	return nil
 }

@@ -81,13 +81,15 @@ func (d *DynamicIndex) Query(lq, uq float64) (value float64, found bool, err err
 // return ErrNoFallback whenever the approximate gate cannot certify the
 // bound.
 func (d *DynamicIndex) QueryRel(lq, uq, epsRel float64) (Result, error) {
-	switch d.inner.Aggregate() {
+	agg := d.inner.Aggregate()
+	delta := d.inner.Base().Delta()
+	switch agg {
 	case Count, Sum:
 		v, exact, err := d.inner.RangeSumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: true}, err
+		return Result{Value: v, Exact: exact, Found: true, Bound: approxBound(agg, delta, exact)}, err
 	default:
 		v, exact, ok, err := d.inner.RangeExtremumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: ok}, err
+		return Result{Value: v, Exact: exact, Found: ok, Bound: approxBound(agg, delta, exact)}, err
 	}
 }
 
@@ -115,7 +117,10 @@ func (d *DynamicIndex) BufferLen() int { return d.inner.BufferLen() }
 // prefix aggregates); BufferLen counts the not-yet-merged inserts.
 func (d *DynamicIndex) Stats() Stats {
 	v := d.inner.View()
+	lo, hi := d.inner.KeyRange()
 	return Stats{
+		KeyLo:         lo,
+		KeyHi:         hi,
 		Aggregate:     v.Base.Aggregate(),
 		Records:       v.Records,
 		Segments:      v.Base.NumSegments(),

@@ -391,6 +391,18 @@ func (d *Dynamic1D) Len() int {
 // BufferLen returns the number of not-yet-merged inserts.
 func (d *Dynamic1D) BufferLen() int { return len(d.state.Load().bufKeys) }
 
+// KeyRange returns the smallest and largest key currently held, base and
+// delta buffer combined, from one consistent snapshot.
+func (d *Dynamic1D) KeyRange() (lo, hi float64) {
+	st := d.state.Load()
+	lo, hi = st.base.keyLo, st.base.keyHi
+	if n := len(st.bufKeys); n > 0 {
+		lo = math.Min(lo, st.bufKeys[0])
+		hi = math.Max(hi, st.bufKeys[n-1])
+	}
+	return lo, hi
+}
+
 // BufferSizeBytes returns the exact memory footprint of the insert buffer:
 // keys, measures, and (for COUNT/SUM) the prefix-aggregate array.
 func (d *Dynamic1D) BufferSizeBytes() int { return d.state.Load().bufferBytes() }

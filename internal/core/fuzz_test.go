@@ -54,6 +54,47 @@ func FuzzUnmarshal2D(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalSharded hardens the POLS container decoders (static and
+// dynamic kinds share the header and directory): corrupt shard
+// directories, truncated shards, and mismatched shard counts must error
+// cleanly — whatever decodes must answer queries without panicking.
+func FuzzUnmarshalSharded(f *testing.F) {
+	keys, measures := genDataset(240, 97)
+	s, _ := BuildSharded(Sum, keys, measures, 4, Options{Delta: 10, NoFallback: true})
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	sd, _ := NewShardedDynamic(Max, keys, measures, 3, Options{Delta: 10, NoFallback: true})
+	dynBlob, _ := sd.MarshalBinary()
+	f.Add(dynBlob)
+	// Seed the corruption classes the decoder must reject: truncated shard,
+	// mismatched shard count, and a scrambled directory entry.
+	f.Add(blob[:len(blob)-9])
+	countUp := append([]byte(nil), blob...)
+	countUp[8]++ // directory claims one more shard than present
+	f.Add(countUp)
+	dirBad := append([]byte(nil), dynBlob...)
+	for i := 12; i < 20 && i < len(dirBad); i++ {
+		dirBad[i] ^= 0xFF // mangle the first routing bound
+	}
+	f.Add(dirBad)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var loaded Sharded1D
+		if err := loaded.UnmarshalBinary(data); err == nil {
+			loaded.RangeSum(-1e9, 1e9)                                       //nolint:errcheck
+			loaded.RangeExtremum(-1e9, 1e9)                                  //nolint:errcheck
+			loaded.QueryBatch([]Range{{Lo: -1e9, Hi: 1e9}, {Lo: 1, Hi: -1}}) //nolint:errcheck
+			_ = loaded.SizeBytes()
+		}
+		if restored, err := RestoreShardedDynamic(data); err == nil {
+			restored.RangeSum(-1e9, 1e9)      //nolint:errcheck
+			restored.RangeExtremum(-1e9, 1e9) //nolint:errcheck
+			restored.Insert(math.Pi, 1)       //nolint:errcheck
+			_ = restored.Len()
+		}
+	})
+}
+
 // FuzzRangeSumInvariants checks structural invariants of COUNT queries under
 // arbitrary float inputs (including NaN/Inf endpoints).
 func FuzzRangeSumInvariants(f *testing.F) {

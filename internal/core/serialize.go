@@ -32,10 +32,12 @@ type BlobKind int
 
 // Blob kinds distinguishable from the leading magic bytes.
 const (
-	BlobUnknown  BlobKind = iota
-	BlobStatic1D          // Index1D.MarshalBinary ("POL1")
-	BlobStatic2D          // Index2D.MarshalBinary ("POL2")
-	BlobDynamic           // Dynamic1D.MarshalBinary ("POLD")
+	BlobUnknown        BlobKind = iota
+	BlobStatic1D                // Index1D.MarshalBinary ("POL1")
+	BlobStatic2D                // Index2D.MarshalBinary ("POL2")
+	BlobDynamic                 // Dynamic1D.MarshalBinary ("POLD")
+	BlobShardedStatic           // Sharded1D.MarshalBinary ("POLS", static kind)
+	BlobShardedDynamic          // ShardedDynamic1D.MarshalBinary ("POLS", dynamic kind)
 )
 
 // DetectBlob sniffs the magic bytes of a serialised index so callers (the
@@ -52,6 +54,12 @@ func DetectBlob(data []byte) BlobKind {
 		return BlobStatic2D
 	case magicDyn:
 		return BlobDynamic
+	case magicSharded:
+		// The kind byte sits right after magic (4) and version (2).
+		if len(data) >= 7 && data[6] == shardKindDynamic {
+			return BlobShardedDynamic
+		}
+		return BlobShardedStatic
 	default:
 		return BlobUnknown
 	}

@@ -1,0 +1,129 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Test-data distributions for the differential harness. Each generator
+// returns n strictly-increasing finite keys with non-negative measures,
+// deterministically from the seed. The four shapes stress different parts
+// of the fitting stack: Uniform is the easy case, Zipf piles most of the
+// mass into a tiny key prefix (long-tail gaps starve segments), Clustered
+// alternates dense blobs with voids (segment boundaries land in gaps), and
+// AdversarialDup quantises keys onto a coarse grid with duplicate-heavy
+// draws and step-function measures (plateaus and jumps that polynomial
+// fits overshoot).
+
+// dedupe sorts raw draws, drops duplicates, and tops the set back up to n
+// using the filler function.
+func dedupe(raw []float64, n int, fill func(i int) float64) []float64 {
+	set := make(map[float64]bool, n)
+	for _, k := range raw {
+		if !math.IsNaN(k) && !math.IsInf(k, 0) {
+			set[k] = true
+		}
+	}
+	for i := 0; len(set) < n; i++ {
+		set[fill(i)] = true
+	}
+	keys := make([]float64, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys[:n]
+}
+
+// Uniform draws keys uniformly over a wide interval with smooth noisy
+// measures.
+func Uniform(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = math.Round(rng.Float64()*1e8) / 100
+	}
+	keys = dedupe(raw, n, func(i int) float64 { return -float64(i+1) / 100 })
+	measures = make([]float64, n)
+	for i := range measures {
+		measures[i] = 200 + 150*math.Sin(float64(i)/60) + rng.Float64()*40
+	}
+	return keys, measures
+}
+
+// Zipf piles most keys into a tiny prefix of the domain with a long thin
+// tail, and gives the dense region spiky measures.
+func Zipf(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.4, 1, 1<<22)
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = float64(z.Uint64()) + math.Round(rng.Float64()*1e4)/1e4
+	}
+	keys = dedupe(raw, n, func(i int) float64 { return -1 - float64(i)/7 })
+	measures = make([]float64, n)
+	for i := range measures {
+		measures[i] = 50 + 30*math.Sin(float64(i)/9) + rng.Float64()*100
+	}
+	return keys, measures
+}
+
+// Clustered draws keys from a mixture of tight Gaussian blobs separated by
+// voids, with per-cluster measure levels.
+func Clustered(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []float64{-4000, -1200, 0, 900, 2500, 7800}
+	raw := make([]float64, n)
+	for i := range raw {
+		c := centers[rng.Intn(len(centers))]
+		raw[i] = math.Round((c+rng.NormFloat64()*30)*1e3) / 1e3
+	}
+	keys = dedupe(raw, n, func(i int) float64 { return 9000 + float64(i)/11 })
+	measures = make([]float64, n)
+	for i, k := range keys {
+		level := 100 + 40*math.Mod(math.Abs(k), 7)
+		measures[i] = level + rng.Float64()*15
+	}
+	return keys, measures
+}
+
+// AdversarialDup quantises heavy-tailed draws onto a coarse grid — most
+// raw draws are duplicates, so the surviving keys form dense evenly-spaced
+// runs split by large jumps — and pairs them with step-function measures
+// (long constant plateaus with abrupt 0↔big jumps).
+func AdversarialDup(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	raw := make([]float64, 4*n)
+	for i := range raw {
+		v := rng.NormFloat64() * 200
+		if rng.Intn(5) == 0 {
+			v *= 50 // heavy tail
+		}
+		raw[i] = math.Round(v*2) / 2 // 0.5 grid: duplicates galore
+	}
+	keys = dedupe(raw, n, func(i int) float64 { return 1e7 + float64(i)/2 })
+	measures = make([]float64, n)
+	plateau, left := 0.0, 0
+	for i := range measures {
+		if left == 0 {
+			plateau = float64(rng.Intn(3)) * 500 // 0, 500, or 1000
+			left = 1 + rng.Intn(40)
+		}
+		measures[i] = plateau
+		left--
+	}
+	return keys, measures
+}
+
+// Distributions enumerates the named generators the differential harness
+// sweeps.
+var Distributions = []struct {
+	Name string
+	Gen  func(n int, seed int64) (keys, measures []float64)
+}{
+	{"uniform", Uniform},
+	{"zipf", Zipf},
+	{"clustered", Clustered},
+	{"adversarial-dup", AdversarialDup},
+}

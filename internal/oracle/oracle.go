@@ -1,0 +1,171 @@
+// Package oracle is the differential-testing ground truth for PolyFit's
+// error guarantees. An Oracle holds the full dataset and answers every
+// range aggregate exactly: COUNT through the bulk-loaded B+-tree rank
+// structure (internal/btree — the same structure the paper's S-tree
+// baseline builds on), SUM/MAX/MIN by brute force over the sorted key
+// window. Tests build a PolyFit index and an Oracle over identical data
+// and assert the paper's bounds on every answer:
+//
+//   - COUNT/SUM over (lq, uq]: |est − exact| ≤ εabs (= 2δ per touched
+//     shard for sharded indexes).
+//   - MAX/MIN over [lq, uq]: est − δ ≤ exact ≤ est + δ (the sandwich form
+//     of Lemma 4).
+//
+// The Oracle is deliberately simple — no polynomials, no approximation, no
+// shared code with the structures under test — so a bug in PolyFit cannot
+// hide in the referee.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+)
+
+// Oracle answers range aggregate queries exactly over a (key, measure)
+// dataset. It is not safe for concurrent mutation; tests that interleave
+// inserts and queries must serialise them (the structures under test are
+// the concurrent ones, not the referee).
+type Oracle struct {
+	keys     []float64
+	measures []float64
+	tree     *btree.Tree // rank structure for COUNT; rebuilt lazily after inserts
+	dirty    bool
+}
+
+// New builds an oracle over keys sorted strictly ascending; measures may
+// be nil (all-zero, for COUNT-only use).
+func New(keys, measures []float64) (*Oracle, error) {
+	if measures == nil {
+		measures = make([]float64, len(keys))
+	}
+	if len(keys) != len(measures) {
+		return nil, fmt.Errorf("oracle: %d keys, %d measures", len(keys), len(measures))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return nil, fmt.Errorf("oracle: keys not strictly increasing at %d", i)
+		}
+	}
+	o := &Oracle{
+		keys:     append([]float64(nil), keys...),
+		measures: append([]float64(nil), measures...),
+	}
+	tree, err := btree.New(o.keys, 0)
+	if err != nil {
+		return nil, err
+	}
+	o.tree = tree
+	return o, nil
+}
+
+// Insert adds a record, mirroring an insert into the structure under test.
+// Duplicate keys error (as they do in the structures under test).
+func (o *Oracle) Insert(key, measure float64) error {
+	i := sort.SearchFloat64s(o.keys, key)
+	if i < len(o.keys) && o.keys[i] == key {
+		return fmt.Errorf("oracle: duplicate key %g", key)
+	}
+	o.keys = append(o.keys, 0)
+	o.measures = append(o.measures, 0)
+	copy(o.keys[i+1:], o.keys[i:])
+	copy(o.measures[i+1:], o.measures[i:])
+	o.keys[i] = key
+	o.measures[i] = measure
+	o.dirty = true
+	return nil
+}
+
+// rankTree returns the B+-tree over the current key set, rebuilding it
+// after inserts.
+func (o *Oracle) rankTree() *btree.Tree {
+	if o.dirty {
+		tree, err := btree.New(o.keys, 0)
+		if err != nil {
+			// Keys are maintained sorted by Insert; a build failure here is a
+			// bug in the oracle itself.
+			panic(err)
+		}
+		o.tree = tree
+		o.dirty = false
+	}
+	return o.tree
+}
+
+// Count returns the exact number of keys in (lq, uq], via B+-tree ranks.
+func (o *Oracle) Count(lq, uq float64) float64 {
+	if uq < lq {
+		return 0
+	}
+	t := o.rankTree()
+	return float64(t.Rank(uq) - t.Rank(lq))
+}
+
+// window returns the index range [a, b) of keys in the closed [lq, uq].
+func (o *Oracle) window(lq, uq float64) (int, int) {
+	a := sort.SearchFloat64s(o.keys, lq)
+	b := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] > uq })
+	return a, b
+}
+
+// Sum returns the exact measure sum over (lq, uq], by brute force.
+func (o *Oracle) Sum(lq, uq float64) float64 {
+	if uq < lq {
+		return 0
+	}
+	a := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] > lq })
+	s := 0.0
+	for i := a; i < len(o.keys) && o.keys[i] <= uq; i++ {
+		s += o.measures[i]
+	}
+	return s
+}
+
+// Max returns the exact measure maximum over [lq, uq], by brute force;
+// ok is false when the range holds no records.
+func (o *Oracle) Max(lq, uq float64) (float64, bool) {
+	if uq < lq {
+		return 0, false
+	}
+	a, b := o.window(lq, uq)
+	if a >= b {
+		return 0, false
+	}
+	best := math.Inf(-1)
+	for i := a; i < b; i++ {
+		if o.measures[i] > best {
+			best = o.measures[i]
+		}
+	}
+	return best, true
+}
+
+// Min returns the exact measure minimum over [lq, uq], by brute force.
+func (o *Oracle) Min(lq, uq float64) (float64, bool) {
+	if uq < lq {
+		return 0, false
+	}
+	a, b := o.window(lq, uq)
+	if a >= b {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for i := a; i < b; i++ {
+		if o.measures[i] < best {
+			best = o.measures[i]
+		}
+	}
+	return best, true
+}
+
+// Len returns the record count.
+func (o *Oracle) Len() int { return len(o.keys) }
+
+// Keys returns the oracle's key set (shared slice; callers must not
+// mutate) — the workload endpoints differential tests draw from.
+func (o *Oracle) Keys() []float64 { return o.keys }
+
+// Measures returns the oracle's measures, aligned with Keys.
+func (o *Oracle) Measures() []float64 { return o.measures }

@@ -1,0 +1,87 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOracleSelfConsistent cross-checks the B+-tree-backed Count against
+// naive loops (the referee must itself be trustworthy), plus Insert
+// maintenance.
+func TestOracleSelfConsistent(t *testing.T) {
+	keys, measures := Clustered(1200, 5)
+	o, err := New(keys, measures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	naiveCount := func(l, u float64) float64 {
+		c := 0.0
+		for _, k := range o.Keys() {
+			if k > l && k <= u {
+				c++
+			}
+		}
+		return c
+	}
+	check := func() {
+		for q := 0; q < 200; q++ {
+			l := keys[rng.Intn(len(keys))] - rng.Float64()*10
+			u := l + rng.Float64()*3000
+			if got, want := o.Count(l, u), naiveCount(l, u); got != want {
+				t.Fatalf("Count(%g,%g) = %g, naive %g", l, u, got, want)
+			}
+		}
+	}
+	check()
+	// Inserts keep the rank structure honest (lazy rebuild path).
+	for i := 0; i < 300; i++ {
+		if err := o.Insert(keys[rng.Intn(len(keys))]+0.0001+rng.Float64()/3, float64(i)); err != nil {
+			continue // collisions with earlier inserts are fine to skip
+		}
+	}
+	check()
+	if err := o.Insert(keys[0], 1); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	// Inverted and empty ranges.
+	if o.Count(5, -5) != 0 || o.Sum(5, -5) != 0 {
+		t.Fatal("inverted range not empty")
+	}
+	if _, ok := o.Max(5, -5); ok {
+		t.Fatal("inverted range found an extremum")
+	}
+}
+
+// TestDistributionsWellFormed asserts every generator yields strictly
+// increasing finite keys and finite non-negative measures at several
+// sizes — the contract the differential harness builds on.
+func TestDistributionsWellFormed(t *testing.T) {
+	for _, d := range Distributions {
+		for _, n := range []int{1, 17, 800} {
+			keys, measures := d.Gen(n, 42)
+			if len(keys) != n || len(measures) != n {
+				t.Fatalf("%s(%d): %d keys, %d measures", d.Name, n, len(keys), len(measures))
+			}
+			for i, k := range keys {
+				if math.IsNaN(k) || math.IsInf(k, 0) {
+					t.Fatalf("%s: non-finite key %g", d.Name, k)
+				}
+				if i > 0 && k <= keys[i-1] {
+					t.Fatalf("%s: keys not strictly increasing at %d", d.Name, i)
+				}
+				if math.IsNaN(measures[i]) || measures[i] < 0 {
+					t.Fatalf("%s: bad measure %g", d.Name, measures[i])
+				}
+			}
+			// Determinism: same seed, same data.
+			k2, m2 := d.Gen(n, 42)
+			for i := range keys {
+				if k2[i] != keys[i] || m2[i] != measures[i] {
+					t.Fatalf("%s: not deterministic at %d", d.Name, i)
+				}
+			}
+		}
+	}
+}

@@ -33,8 +33,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -48,6 +50,19 @@ const (
 
 	snapshotFile = "snapshot.pf"
 	walFile      = "wal.pf"
+
+	// Sharded dynamic indexes persist one snapshot+WAL pair per shard plus
+	// a manifest recording the shard layout; the manifest is the commit
+	// point of a sharded index (written last, checked first on recovery).
+	shardManifestFile = "shards.pf"
+
+	manifestMagic   = uint32(0x50465348) // "PFSH"
+	manifestVersion = uint16(1)
+
+	// maxManifestShards bounds the shard count a manifest may claim, so a
+	// corrupt count cannot drive recovery into allocating or probing
+	// millions of shard files. Mirrors the core build ceiling.
+	maxManifestShards = 1 << 12
 )
 
 // ErrCorrupt reports a snapshot or WAL file that failed structural or
@@ -167,7 +182,12 @@ func (s *Store) WriteSnapshot(name string, blob []byte) error {
 // original blob. A missing snapshot reports os.ErrNotExist; a damaged one
 // reports ErrCorrupt with detail.
 func (s *Store) ReadSnapshot(name string) ([]byte, error) {
-	data, err := os.ReadFile(s.SnapshotPath(name))
+	return readSnapshotFile(s.SnapshotPath(name))
+}
+
+// readSnapshotFile loads and validates one snapshot envelope.
+func readSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +210,198 @@ func (s *Store) ReadSnapshot(name string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 	return payload, nil
+}
+
+// --- sharded layout ---------------------------------------------------------
+
+// ShardManifest records the layout of a sharded dynamic index: the shard
+// count and the K−1 routing bounds that assign keys to shards. Its
+// presence marks the index directory as sharded; recovery reads it first
+// and then recovers each shard's snapshot+WAL pair independently.
+type ShardManifest struct {
+	Shards int
+	Bounds []float64
+}
+
+// ShardManifestPath returns the index's shard-manifest file path.
+func (s *Store) ShardManifestPath(name string) string {
+	return filepath.Join(s.IndexDir(name), shardManifestFile)
+}
+
+// shardSnapshotFile returns the file name of shard i's snapshot.
+func shardSnapshotFile(i int) string { return fmt.Sprintf("shard-%d.snapshot.pf", i) }
+
+// ShardSnapshotPath returns shard i's snapshot file path.
+func (s *Store) ShardSnapshotPath(name string, i int) string {
+	return filepath.Join(s.IndexDir(name), shardSnapshotFile(i))
+}
+
+// ShardWALPath returns shard i's write-ahead-log file path.
+func (s *Store) ShardWALPath(name string, i int) string {
+	return filepath.Join(s.IndexDir(name), fmt.Sprintf("shard-%d.wal.pf", i))
+}
+
+// WriteShardManifest atomically writes the index's shard manifest. Callers
+// write it AFTER the per-shard snapshots: the manifest is the commit point
+// that flips recovery onto the sharded path.
+func (s *Store) WriteShardManifest(name string, m ShardManifest) error {
+	if m.Shards < 1 || m.Shards > maxManifestShards {
+		return fmt.Errorf("persist: manifest shard count %d", m.Shards)
+	}
+	if len(m.Bounds) != m.Shards-1 {
+		return fmt.Errorf("persist: manifest has %d bounds for %d shards", len(m.Bounds), m.Shards)
+	}
+	dir := s.IndexDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: manifest dir: %w", err)
+	}
+	payload := make([]byte, 4+8*len(m.Bounds))
+	binary.LittleEndian.PutUint32(payload, uint32(m.Shards))
+	for i, b := range m.Bounds {
+		binary.LittleEndian.PutUint64(payload[4+8*i:], math.Float64bits(b))
+	}
+	header := make([]byte, snapHeaderSize)
+	binary.LittleEndian.PutUint32(header[0:], manifestMagic)
+	binary.LittleEndian.PutUint16(header[4:], manifestVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(payload, crcTable))
+	return writeFileAtomic(filepath.Join(dir, shardManifestFile), header, payload)
+}
+
+// ReadShardManifest loads and validates the index's shard manifest. A
+// missing manifest (the index is not sharded) reports os.ErrNotExist; a
+// damaged one reports ErrCorrupt.
+func (s *Store) ReadShardManifest(name string) (ShardManifest, error) {
+	data, err := os.ReadFile(s.ShardManifestPath(name))
+	if err != nil {
+		return ShardManifest{}, err
+	}
+	if len(data) < snapHeaderSize {
+		return ShardManifest{}, fmt.Errorf("%w: manifest truncated at %d bytes", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != manifestMagic {
+		return ShardManifest{}, fmt.Errorf("%w: manifest magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != manifestVersion {
+		return ShardManifest{}, fmt.Errorf("%w: manifest version %d", ErrCorrupt, v)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:])
+	if payloadLen != uint64(len(data)-snapHeaderSize) {
+		return ShardManifest{}, fmt.Errorf("%w: manifest payload %d bytes, header says %d",
+			ErrCorrupt, len(data)-snapHeaderSize, payloadLen)
+	}
+	payload := data[snapHeaderSize:]
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(data[16:]) {
+		return ShardManifest{}, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	if len(payload) < 4 {
+		return ShardManifest{}, fmt.Errorf("%w: manifest payload too short", ErrCorrupt)
+	}
+	k := binary.LittleEndian.Uint32(payload)
+	if k < 1 || k > maxManifestShards || len(payload) != 4+8*int(k-1) {
+		return ShardManifest{}, fmt.Errorf("%w: manifest claims %d shards with %d payload bytes",
+			ErrCorrupt, k, len(payload))
+	}
+	m := ShardManifest{Shards: int(k), Bounds: make([]float64, k-1)}
+	for i := range m.Bounds {
+		m.Bounds[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[4+8*i:]))
+		if math.IsNaN(m.Bounds[i]) || math.IsInf(m.Bounds[i], 0) {
+			return ShardManifest{}, fmt.Errorf("%w: non-finite manifest bound", ErrCorrupt)
+		}
+		if i > 0 && m.Bounds[i] <= m.Bounds[i-1] {
+			return ShardManifest{}, fmt.Errorf("%w: manifest bounds not strictly increasing", ErrCorrupt)
+		}
+	}
+	return m, nil
+}
+
+// WriteShardSnapshot atomically replaces shard i's snapshot (same
+// checksummed envelope as WriteSnapshot).
+func (s *Store) WriteShardSnapshot(name string, i int, blob []byte) error {
+	dir := s.IndexDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: shard snapshot dir: %w", err)
+	}
+	header := make([]byte, snapHeaderSize)
+	binary.LittleEndian.PutUint32(header[0:], snapMagic)
+	binary.LittleEndian.PutUint16(header[4:], snapVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(blob)))
+	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(blob, crcTable))
+	return writeFileAtomic(filepath.Join(dir, shardSnapshotFile(i)), header, blob)
+}
+
+// ReadShardSnapshot loads and validates shard i's snapshot.
+func (s *Store) ReadShardSnapshot(name string, i int) ([]byte, error) {
+	return readSnapshotFile(s.ShardSnapshotPath(name, i))
+}
+
+// RemoveShardFiles deletes the manifest and every per-shard file of the
+// index, manifest first: once it is gone, recovery falls back to the plain
+// snapshot, so a crash mid-removal cannot resurrect a half-deleted sharded
+// index. Used when a restore replaces a sharded index with a plain one.
+func (s *Store) RemoveShardFiles(name string) error {
+	return s.RemoveShardFilesFrom(name, 0)
+}
+
+// RemoveShardFilesFrom deletes the per-shard files whose shard index is ≥
+// from (and, when from is 0, the manifest too — removed first, see
+// RemoveShardFiles). A restore that shrinks the shard count uses from = K
+// to drop the stale higher-numbered shards, holes included: the directory
+// is listed, not probed.
+func (s *Store) RemoveShardFilesFrom(name string, from int) error {
+	if from <= 0 {
+		if err := os.Remove(s.ShardManifestPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("persist: remove manifest: %w", err)
+		}
+	}
+	entries, err := os.ReadDir(s.IndexDir(name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("persist: list index dir: %w", err)
+	}
+	for _, e := range entries {
+		rest, ok := strings.CutPrefix(e.Name(), "shard-")
+		if !ok || !strings.HasSuffix(e.Name(), ".pf") {
+			continue
+		}
+		idx, _, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(idx)
+		if err != nil || n < from {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.IndexDir(name), e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("persist: remove %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// RemoveShardWALFiles deletes every per-shard WAL file of the index,
+// leaving the manifest and snapshots in place. Restores call it (after
+// closing any open handles) to retire the replaced index's logs BEFORE
+// committing the new manifest, so no crash point can replay a dead
+// index's records into the restored one.
+func (s *Store) RemoveShardWALFiles(name string) error {
+	entries, err := os.ReadDir(s.IndexDir(name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("persist: list index dir: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-") && strings.HasSuffix(e.Name(), ".wal.pf") {
+			if err := os.Remove(filepath.Join(s.IndexDir(name), e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("persist: remove %s: %w", e.Name(), err)
+			}
+		}
+	}
+	return nil
 }
 
 // writeFileAtomic writes the chunks to a temp file in path's directory,

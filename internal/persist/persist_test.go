@@ -121,3 +121,133 @@ func TestStoreListAndNameEncoding(t *testing.T) {
 		t.Errorf("removed index still readable: %v", err)
 	}
 }
+
+func TestShardManifestRoundTrip(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	m := ShardManifest{Shards: 4, Bounds: []float64{-10, 0.5, 1e6}}
+	if err := s.WriteShardManifest("orders", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadShardManifest("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != m.Shards || len(got.Bounds) != len(m.Bounds) {
+		t.Fatalf("manifest %+v, want %+v", got, m)
+	}
+	for i := range m.Bounds {
+		if got.Bounds[i] != m.Bounds[i] {
+			t.Fatalf("bound %d: %g != %g", i, got.Bounds[i], m.Bounds[i])
+		}
+	}
+	// Single-shard manifest (no bounds) is legal.
+	if err := s.WriteShardManifest("solo", ShardManifest{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.ReadShardManifest("solo"); err != nil || got.Shards != 1 {
+		t.Fatalf("solo manifest %+v, %v", got, err)
+	}
+	// Invalid manifests refuse to write.
+	if err := s.WriteShardManifest("bad", ShardManifest{Shards: 0}); err == nil {
+		t.Fatal("zero-shard manifest accepted")
+	}
+	if err := s.WriteShardManifest("bad", ShardManifest{Shards: 3, Bounds: []float64{1}}); err == nil {
+		t.Fatal("bound/shard mismatch accepted")
+	}
+}
+
+func TestShardManifestCorruptionDetected(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if _, err := s.ReadShardManifest("ghost"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	if err := s.WriteShardManifest("orders", ShardManifest{Shards: 3, Bounds: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	path := s.ShardManifestPath("orders")
+	data, _ := os.ReadFile(path)
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)-3] },           // truncated payload
+		func(b []byte) []byte { b[21] ^= 0xFF; return b },       // flipped shard-count byte
+		func(b []byte) []byte { b[0] = 'X'; return b },          // magic
+		func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, // payload bit flip (CRC)
+	} {
+		bad := mutate(append([]byte(nil), data...))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ReadShardManifest("orders"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("corrupt manifest read: %v", err)
+		}
+	}
+}
+
+func TestShardSnapshotAndRemoval(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	if err := s.WriteSnapshot("mix", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.WriteShardSnapshot("mix", i, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteShardManifest("mix", ShardManifest{Shards: 3, Bounds: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := s.ReadShardSnapshot("mix", i)
+		if err != nil || string(got) != string([]byte{byte('a' + i)}) {
+			t.Fatalf("shard %d snapshot: %q, %v", i, got, err)
+		}
+	}
+	// RemoveShardFiles drops manifest + shard files but keeps the plain
+	// snapshot (the restore-to-plain path).
+	if err := s.RemoveShardFiles("mix"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadShardManifest("mix"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("manifest survived removal: %v", err)
+	}
+	if _, err := s.ReadShardSnapshot("mix", 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("shard snapshot survived removal: %v", err)
+	}
+	if got, err := s.ReadSnapshot("mix"); err != nil || string(got) != "plain" {
+		t.Fatalf("plain snapshot lost: %q, %v", got, err)
+	}
+	// Removing a never-sharded (or missing) index is a no-op.
+	if err := s.RemoveShardFiles("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveShardFilesFrom(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	// Shards 0..4 with a hole at 2 (e.g. an earlier partial removal).
+	for _, i := range []int{0, 1, 3, 4} {
+		if err := s.WriteShardSnapshot("mix", i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteShardManifest("mix", ShardManifest{Shards: 2, Bounds: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping from shard 2 removes the stale tail — hole included — and
+	// keeps the manifest and shards 0..1.
+	if err := s.RemoveShardFilesFrom("mix", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadShardManifest("mix"); err != nil {
+		t.Fatalf("manifest removed by from=2: %v", err)
+	}
+	for _, i := range []int{0, 1} {
+		if _, err := s.ReadShardSnapshot("mix", i); err != nil {
+			t.Fatalf("kept shard %d removed: %v", i, err)
+		}
+	}
+	for _, i := range []int{3, 4} {
+		if _, err := s.ReadShardSnapshot("mix", i); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stale shard %d survived: %v", i, err)
+		}
+	}
+}

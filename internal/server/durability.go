@@ -126,7 +126,7 @@ func (s *Server) recover() error {
 		}
 		s.indexes[name] = e
 		s.recovery.Indexes++
-		if e.dyn != nil {
+		if e.dyn != nil || e.shd != nil {
 			s.recovery.Dynamic++
 		} else {
 			s.recovery.Static++
@@ -143,6 +143,16 @@ func (s *Server) recover() error {
 }
 
 func (s *Server) recoverIndex(name string) (e *entry, replayed, skipped int64, torn int, err error) {
+	// A shard manifest marks the index as sharded: recover each shard's
+	// snapshot+WAL pair independently and reassemble. A corrupt manifest
+	// fails the whole index (the shard layout is unknowable without it).
+	man, merr := s.store.ReadShardManifest(name)
+	switch {
+	case merr == nil:
+		return s.recoverShardedIndex(name, man)
+	case !errors.Is(merr, os.ErrNotExist):
+		return nil, 0, 0, 0, fmt.Errorf("shard manifest: %w", merr)
+	}
 	blob, err := s.store.ReadSnapshot(name)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -198,6 +208,71 @@ func (s *Server) recoverIndex(name string) (e *entry, replayed, skipped int64, t
 	return e, replayed, skipped, dropped, nil
 }
 
+// recoverShardedIndex reconstitutes a sharded dynamic index: every shard's
+// snapshot is loaded, the shards are reassembled around the manifest's
+// routing bounds, and then each shard's WAL is replayed on top — records
+// route back to their owning shard, and duplicates (a crash between a
+// shard's snapshot and its log truncation) skip idempotently. Any
+// unrecoverable shard fails the whole index: serving a sharded index with
+// a hole in its key space would silently undercount.
+func (s *Server) recoverShardedIndex(name string, man persist.ShardManifest) (e *entry, replayed, skipped int64, torn int, err error) {
+	blobs := make([][]byte, man.Shards)
+	for i := range blobs {
+		if blobs[i], err = s.store.ReadShardSnapshot(name, i); err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("shard %d snapshot: %w", i, err)
+		}
+	}
+	sd, err := polyfit.AssembleShardedDynamic(man.Bounds, blobs)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("assemble shards: %w", err)
+	}
+	wals := make([]*persist.WAL, man.Shards)
+	closeAll := func() {
+		for _, w := range wals {
+			if w != nil {
+				w.Close() //nolint:errcheck
+			}
+		}
+	}
+	for i := range wals {
+		wal, recs, dropped, werr := persist.OpenWAL(s.store.ShardWALPath(name, i))
+		if werr != nil {
+			if !errors.Is(werr, persist.ErrCorrupt) {
+				closeAll()
+				return nil, 0, 0, 0, werr
+			}
+			// This shard's log is unreadable; its snapshot is still
+			// consistent, so recover the shard to it, set the bad log
+			// aside, and start a fresh one. The other shards' logs still
+			// replay — shard recovery is independent.
+			s.logf("polyfit-serve: WAL for %q shard %d is corrupt (%v); recovering shard to last snapshot", name, i, werr)
+			if err := persist.SetAside(s.store.ShardWALPath(name, i)); err != nil {
+				closeAll()
+				return nil, 0, 0, 0, err
+			}
+			if wal, recs, dropped, werr = persist.OpenWAL(s.store.ShardWALPath(name, i)); werr != nil {
+				closeAll()
+				return nil, 0, 0, 0, werr
+			}
+		}
+		wals[i] = wal
+		torn += dropped
+		for _, r := range recs {
+			if insErr := sd.Insert(r.Key, r.Measure); insErr != nil {
+				if errors.Is(insErr, polyfit.ErrDuplicateKey) {
+					skipped++
+					continue
+				}
+				closeAll()
+				return nil, 0, 0, 0, fmt.Errorf("shard %d replay insert %g: %w", i, r.Key, insErr)
+			}
+			replayed++
+		}
+	}
+	e = &entry{ix: sd, shd: sd, shardWALs: wals, replayed: replayed}
+	return e, replayed, skipped, torn, nil
+}
+
 // snapshotLoop periodically persists dirty dynamic indexes (those with WAL
 // records not yet folded into a snapshot).
 func (s *Server) snapshotLoop(interval time.Duration) {
@@ -216,11 +291,32 @@ func (s *Server) snapshotLoop(interval time.Duration) {
 	}
 }
 
+// entryDirty reports whether the entry has acknowledged inserts not yet
+// folded into a snapshot (in its WAL or any shard's WAL), or a forced
+// snapshot pending.
+func entryDirty(e *entry) bool {
+	if e.wal == nil && len(e.shardWALs) == 0 {
+		return false // static: never dirty
+	}
+	if e.forceSnap.Load() {
+		return true
+	}
+	if e.wal != nil && e.wal.Records() > 0 {
+		return true
+	}
+	for _, wal := range e.shardWALs {
+		if wal != nil && wal.Records() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) snapshotDirty() error {
 	s.mu.RLock()
 	dirty := make(map[string]*entry)
 	for name, e := range s.indexes {
-		if e.wal != nil && (e.wal.Records() > 0 || e.forceSnap.Load()) {
+		if entryDirty(e) {
 			dirty[name] = e
 		}
 	}
@@ -267,6 +363,33 @@ func (s *Server) snapshotEntry(name string, e *entry) error {
 	// Clear the force flag before reading the cut: a failure signalled
 	// after this point re-sets it and the next cycle snapshots again.
 	e.forceSnap.Store(false)
+	if e.shd != nil {
+		// Sharded: one snapshot + log-prefix drop per shard, each with its
+		// own cut taken before its shard is marshalled — the same "applied
+		// before logged, marshalled after" argument as below, per shard.
+		for i := 0; i < e.shd.NumShards(); i++ {
+			var cut int64
+			if i < len(e.shardWALs) && e.shardWALs[i] != nil {
+				cut = e.shardWALs[i].Size()
+			}
+			blob, err := e.shd.MarshalShard(i)
+			if err != nil {
+				return fmt.Errorf("marshal %q shard %d: %w", name, i, err)
+			}
+			if err := s.store.WriteShardSnapshot(name, i, blob); err != nil {
+				return err
+			}
+			if i < len(e.shardWALs) && e.shardWALs[i] != nil {
+				if err := e.shardWALs[i].TruncateTo(cut); err != nil {
+					return err
+				}
+			}
+		}
+		e.snapshots.Add(1)
+		e.lastSnapUnix.Store(time.Now().Unix())
+		s.snapshotsWritten.Add(1)
+		return nil
+	}
 	var cut int64
 	if e.wal != nil {
 		cut = e.wal.Size()
@@ -296,6 +419,47 @@ func (s *Server) persistNew(name string, e *entry) error {
 	if s.store == nil {
 		return nil
 	}
+	if e.shd != nil {
+		// Sharded dynamic: per-shard snapshots first, the manifest last (it
+		// is the commit point recovery keys off), then one WAL per shard. A
+		// crash before the manifest leaves orphan files that the next
+		// create overwrites; the index was never acknowledged.
+		k := e.shd.NumShards()
+		for i := 0; i < k; i++ {
+			blob, err := e.shd.MarshalShard(i)
+			if err != nil {
+				s.store.Remove(name) //nolint:errcheck
+				return err
+			}
+			if err := s.store.WriteShardSnapshot(name, i, blob); err != nil {
+				s.store.Remove(name) //nolint:errcheck
+				return err
+			}
+		}
+		if err := s.store.WriteShardManifest(name, persist.ShardManifest{Shards: k, Bounds: e.shd.Bounds()}); err != nil {
+			s.store.Remove(name) //nolint:errcheck
+			return err
+		}
+		wals := make([]*persist.WAL, k)
+		for i := range wals {
+			wal, err := openFreshWAL(s.store.ShardWALPath(name, i))
+			if err != nil {
+				for _, w := range wals {
+					if w != nil {
+						w.Close() //nolint:errcheck
+					}
+				}
+				s.store.Remove(name) //nolint:errcheck
+				return err
+			}
+			wals[i] = wal
+		}
+		e.shardWALs = wals
+		e.snapshots.Add(1)
+		e.lastSnapUnix.Store(time.Now().Unix())
+		s.snapshotsWritten.Add(1)
+		return nil
+	}
 	blob, err := e.ix.MarshalBinary()
 	if err != nil {
 		return err
@@ -304,7 +468,7 @@ func (s *Server) persistNew(name string, e *entry) error {
 		return err
 	}
 	if e.dyn != nil {
-		wal, _, _, err := persist.OpenWAL(s.store.WALPath(name))
+		wal, err := openFreshWAL(s.store.WALPath(name))
 		if err != nil {
 			s.store.Remove(name) //nolint:errcheck
 			return err
@@ -317,6 +481,25 @@ func (s *Server) persistNew(name string, e *entry) error {
 	return nil
 }
 
+// openFreshWAL opens a WAL for a brand-new (created or restored) index and
+// purges any records already sitting in the file: they belong to an
+// earlier same-named index (e.g. one whose recovery was skipped as corrupt
+// and whose name was then reused) and replaying them into the new index on
+// the next boot would insert records it never acknowledged.
+func openFreshWAL(path string) (*persist.WAL, error) {
+	wal, stale, _, err := persist.OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(stale) > 0 {
+		if err := wal.TruncateTo(wal.Size()); err != nil {
+			wal.Close() //nolint:errcheck
+			return nil, err
+		}
+	}
+	return wal, nil
+}
+
 // dropPersisted tears down an entry's durable state. Called with adminMu
 // held and the entry already removed from the registry; snapMu excludes an
 // in-flight background snapshot of the same entry, whose membership check
@@ -326,6 +509,11 @@ func (s *Server) dropPersisted(name string, e *entry) error {
 	defer e.snapMu.Unlock()
 	if e.wal != nil {
 		e.wal.Close() //nolint:errcheck
+	}
+	for _, wal := range e.shardWALs {
+		if wal != nil {
+			wal.Close() //nolint:errcheck
+		}
 	}
 	if s.store == nil {
 		return nil
@@ -350,6 +538,11 @@ func (s *Server) Close() error {
 		for _, e := range s.indexes {
 			if e.wal != nil {
 				e.wal.Close() //nolint:errcheck
+			}
+			for _, wal := range e.shardWALs {
+				if wal != nil {
+					wal.Close() //nolint:errcheck
+				}
 			}
 		}
 	})
@@ -412,43 +605,47 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 }
 
 // persistRestore writes the durable state for a restore, new-state-first so
-// a failure at any point never destroys the previous index: (1) the raw
-// blob atomically replaces the snapshot — on error the old snapshot, WAL,
-// and registry entry are all untouched; (2) the old WAL (records of the
-// replaced index) is emptied and closed; (3) a fresh WAL is opened for a
-// dynamic replacement. A crash inside the sequence recovers to the restored
-// snapshot, replaying any stale WAL records as idempotent duplicate skips.
+// a failure at any point never destroys the previous index: (1) the new
+// durable form is written — the raw blob atomically replacing the plain
+// snapshot, or (for a sharded dynamic restore) per-shard snapshots sealed
+// by the manifest, which is the commit point recovery keys off; (2) the
+// old logs (records of the replaced index) are emptied and closed, and
+// stale files of the other kind are retired — manifest first, so recovery
+// at any crash point sees either the complete old index or the complete
+// new one; (3) fresh WALs are opened for a dynamic replacement. A crash
+// inside the sequence recovers to whichever state's commit point is on
+// disk, replaying any stale WAL records as idempotent duplicate skips.
 func (s *Server) persistRestore(name string, raw []byte, e, old *entry) error {
 	if s.store == nil {
 		return nil
 	}
+	if e.shd != nil {
+		return s.persistRestoreSharded(name, e, old)
+	}
 	if err := s.store.WriteSnapshot(name, raw); err != nil {
 		return err
 	}
-	if old != nil && old.wal != nil {
-		if err := old.wal.TruncateTo(old.wal.Size()); err != nil {
-			return err
-		}
-		old.wal.Close() //nolint:errcheck
+	if err := retireOldLogs(old); err != nil {
+		return err
+	}
+	// Drop sharded remains of a previous same-named index (manifest first:
+	// once it is gone, recovery uses the plain snapshot just written).
+	if err := s.store.RemoveShardFiles(name); err != nil {
+		return err
 	}
 	walPath := s.store.WALPath(name)
 	if e.dyn != nil {
-		wal, stale, _, err := persist.OpenWAL(walPath)
+		// openFreshWAL purges anything that slipped into the file between
+		// the truncate and the close above (or was left by an earlier
+		// same-named index): those records belong to the replaced index,
+		// not the restored one.
+		wal, err := openFreshWAL(walPath)
 		if err != nil {
 			return err
 		}
-		// Purge anything that slipped into the file between the truncate
-		// and the close above (or was left by an earlier same-named index):
-		// those records belong to the replaced index, not the restored one.
-		if len(stale) > 0 {
-			if err := wal.TruncateTo(wal.Size()); err != nil {
-				wal.Close() //nolint:errcheck
-				return err
-			}
-		}
 		e.wal = wal
-	} else if _, err := os.Stat(walPath); err == nil {
-		os.Remove(walPath) //nolint:errcheck
+	} else if err := os.Remove(walPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
 	}
 	e.snapshots.Add(1)
 	e.lastSnapUnix.Store(time.Now().Unix())
@@ -456,9 +653,96 @@ func (s *Server) persistRestore(name string, raw []byte, e, old *entry) error {
 	return nil
 }
 
+// persistRestoreSharded is the sharded-dynamic arm of persistRestore. The
+// ordering matters: (1) new shard snapshots; (2) retire every log that
+// could replay stale records — the replaced entry's open handles, every
+// on-disk shard WAL (a skipped-as-corrupt predecessor may have left some
+// behind with no open handle), and the plain WAL; (3) only THEN the
+// manifest, the commit point — so at no crash point can recovery follow
+// the new manifest and find a dead index's records still in a log;
+// (4) cleanup of the other kind's snapshot and stale higher-numbered
+// shards; (5) fresh per-shard WALs.
+func (s *Server) persistRestoreSharded(name string, e, old *entry) error {
+	k := e.shd.NumShards()
+	for i := 0; i < k; i++ {
+		blob, err := e.shd.MarshalShard(i)
+		if err != nil {
+			return err
+		}
+		if err := s.store.WriteShardSnapshot(name, i, blob); err != nil {
+			return err
+		}
+	}
+	if err := retireOldLogs(old); err != nil {
+		return err
+	}
+	if err := s.store.RemoveShardWALFiles(name); err != nil {
+		return err
+	}
+	if err := os.Remove(s.store.WALPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if err := s.store.WriteShardManifest(name, persist.ShardManifest{Shards: k, Bounds: e.shd.Bounds()}); err != nil {
+		return err
+	}
+	// Recovery now follows the manifest: drop the plain snapshot and any
+	// shard snapshots beyond the new count.
+	if err := os.Remove(s.store.SnapshotPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	if err := s.store.RemoveShardFilesFrom(name, k); err != nil {
+		return err
+	}
+	wals := make([]*persist.WAL, k)
+	for i := range wals {
+		wal, err := openFreshWAL(s.store.ShardWALPath(name, i))
+		if err != nil {
+			for _, w := range wals {
+				if w != nil {
+					w.Close() //nolint:errcheck
+				}
+			}
+			return err
+		}
+		wals[i] = wal
+	}
+	e.shardWALs = wals
+	e.snapshots.Add(1)
+	e.lastSnapUnix.Store(time.Now().Unix())
+	s.snapshotsWritten.Add(1)
+	return nil
+}
+
+// retireOldLogs empties and closes the replaced entry's WAL handles (plain
+// and per-shard) so their records can never replay over the restored
+// state.
+func retireOldLogs(old *entry) error {
+	if old == nil {
+		return nil
+	}
+	if old.wal != nil {
+		if err := old.wal.TruncateTo(old.wal.Size()); err != nil {
+			return err
+		}
+		old.wal.Close() //nolint:errcheck
+	}
+	for _, wal := range old.shardWALs {
+		if wal == nil {
+			continue
+		}
+		if err := wal.TruncateTo(wal.Size()); err != nil {
+			return err
+		}
+		wal.Close() //nolint:errcheck
+	}
+	return nil
+}
+
 // ServerStats are the global durability counters exposed at GET /v1/stats.
 type ServerStats struct {
 	Indexes            int    `json:"indexes"`
+	ShardedIndexes     int    `json:"sharded_indexes,omitempty"`
+	TotalShards        int    `json:"total_shards,omitempty"` // across sharded indexes
 	Durable            bool   `json:"durable"`
 	DataDir            string `json:"data_dir,omitempty"`
 	SnapshotsWritten   int64  `json:"snapshots_written"`
@@ -467,11 +751,24 @@ type ServerStats struct {
 	ReplayedInserts    int64  `json:"replayed_inserts"`
 	CorruptSkipped     int    `json:"corrupt_skipped,omitempty"`
 	TornWALBytes       int    `json:"torn_wal_bytes,omitempty"`
+	// PerIndexShards maps each sharded index to its per-shard stats rows,
+	// so one /v1/stats round trip shows the whole shard fleet.
+	PerIndexShards map[string][]ShardStats `json:"per_index_shards,omitempty"`
 }
 
 func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.indexes)
+	type shardedIx struct {
+		name string
+		e    *entry
+	}
+	var sharded []shardedIx
+	for name, e := range s.indexes {
+		if _, ok := e.ix.(interface{ ShardStats() []polyfit.Stats }); ok {
+			sharded = append(sharded, shardedIx{name, e})
+		}
+	}
 	s.mu.RUnlock()
 	st := ServerStats{
 		Indexes:            n,
@@ -482,6 +779,15 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		ReplayedInserts:    s.recovery.ReplayedInserts,
 		CorruptSkipped:     s.recovery.CorruptSkipped,
 		TornWALBytes:       s.recovery.TornWALBytes,
+	}
+	for _, sx := range sharded {
+		rows := s.statsOf(sx.name, sx.e).ShardStats
+		st.ShardedIndexes++
+		st.TotalShards += len(rows)
+		if st.PerIndexShards == nil {
+			st.PerIndexShards = make(map[string][]ShardStats, len(sharded))
+		}
+		st.PerIndexShards[sx.name] = rows
 	}
 	if s.store != nil {
 		st.DataDir = s.store.Dir()
@@ -506,6 +812,18 @@ func entryFromBlob(raw []byte) (*entry, error) {
 			return nil, err
 		}
 		return &entry{ix: ix}, nil
+	case polyfit.BlobShardedDynamic:
+		sd := &polyfit.ShardedDynamic{}
+		if err := sd.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+		return &entry{ix: sd, shd: sd}, nil
+	case polyfit.BlobShardedStatic:
+		six := &polyfit.ShardedIndex{}
+		if err := six.UnmarshalBinary(raw); err != nil {
+			return nil, err
+		}
+		return &entry{ix: six}, nil
 	case polyfit.BlobStatic2D:
 		return nil, errors.New("2D index blobs are not servable (no range endpoint)")
 	default:

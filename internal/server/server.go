@@ -60,10 +60,14 @@ type queryable interface {
 
 type entry struct {
 	ix  queryable
-	dyn *polyfit.DynamicIndex // nil for static indexes
+	dyn *polyfit.DynamicIndex   // nil unless a plain dynamic index
+	shd *polyfit.ShardedDynamic // nil unless a sharded dynamic index
 
 	// Durable state (nil/zero for in-memory servers and static indexes).
+	// Plain dynamic indexes log to wal; sharded dynamic indexes log each
+	// insert to its owning shard's WAL in shardWALs.
 	wal          *persist.WAL // acknowledged-insert log, dynamic only
+	shardWALs    []*persist.WAL
 	snapMu       sync.Mutex   // serialises snapshot+truncate pairs and file teardown
 	snapshots    atomic.Int64 // snapshots written for this index
 	lastSnapUnix atomic.Int64
@@ -146,8 +150,13 @@ type CreateRequest struct {
 	// Parallelism is the goroutine count for the build (and for later
 	// merge-rebuilds of dynamic indexes, which inherit it). 0 selects
 	// GOMAXPROCS; the produced index is identical for every worker count.
-	Parallelism int    `json:"parallelism,omitempty"`
-	Blob        string `json:"blob,omitempty"` // base64, from /marshal
+	Parallelism int `json:"parallelism,omitempty"`
+	// Shards range-partitions the index into this many scatter-gather
+	// shards (values ≤ 1 build unsharded). Sharded dynamic indexes get
+	// shard-local inserts, per-shard merge-rebuilds, and — on durable
+	// servers — one snapshot+WAL pair per shard, recovered independently.
+	Shards int    `json:"shards,omitempty"`
+	Blob   string `json:"blob,omitempty"` // base64, from /marshal
 }
 
 // StatsResponse reports one index's structure.
@@ -164,6 +173,11 @@ type StatsResponse struct {
 	FallbackBytes int     `json:"fallback_bytes"`
 	BufferLen     int     `json:"buffer_len,omitempty"`
 
+	// Sharding (only for sharded indexes): the shard count and one stats
+	// row per shard.
+	Shards     int          `json:"shards,omitempty"`
+	ShardStats []ShardStats `json:"shard_stats,omitempty"`
+
 	// Durability counters (only on servers with a data dir).
 	Durable          bool  `json:"durable,omitempty"`
 	Snapshots        int64 `json:"snapshots,omitempty"`          // snapshots written for this index
@@ -171,6 +185,21 @@ type StatsResponse struct {
 	WALRecords       int64 `json:"wal_records,omitempty"`        // acknowledged inserts not yet in a snapshot
 	WALBytes         int64 `json:"wal_bytes,omitempty"`
 	ReplayedInserts  int64 `json:"replayed_inserts,omitempty"` // WAL inserts replayed at boot
+}
+
+// ShardStats is one shard's row in a sharded index's StatsResponse.
+type ShardStats struct {
+	Shard      int     `json:"shard"`
+	Records    int     `json:"records"`
+	Segments   int     `json:"segments"`
+	IndexBytes int     `json:"index_bytes"`
+	BufferLen  int     `json:"buffer_len,omitempty"`
+	KeyLo      float64 `json:"key_lo"`
+	KeyHi      float64 `json:"key_hi"`
+	// WALRecords/WALBytes cover this shard's own log (durable sharded
+	// dynamic indexes only).
+	WALRecords int64 `json:"wal_records,omitempty"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
 }
 
 // QueryRequest answers one range; EpsRel > 0 requests the relative-error
@@ -186,6 +215,10 @@ type QueryResponse struct {
 	Value float64 `json:"value"`
 	Found bool    `json:"found"`
 	Exact bool    `json:"exact,omitempty"` // relative path used the exact fallback
+	// Bound is the certified absolute error bound, reported by sharded
+	// indexes: the δ-derived guarantee composed across the shards the
+	// range touched (see polyfit.Result.Bound).
+	Bound float64 `json:"bound,omitempty"`
 }
 
 // BatchRequest answers many ranges in one round trip via the amortised
@@ -320,6 +353,25 @@ func buildEntry(req CreateRequest) (*entry, error) {
 		Degree: req.Degree, DisableFallback: req.DisableFallback,
 		Parallelism: par,
 	}
+	if req.Shards > 1 {
+		agg, err := aggFromString(req.Agg)
+		if err != nil {
+			return nil, err
+		}
+		sopt := polyfit.ShardOptions{Options: opt, Shards: req.Shards}
+		if req.Dynamic {
+			sd, err := polyfit.NewShardedDynamic(agg, req.Keys, req.Measures, sopt)
+			if err != nil {
+				return nil, err
+			}
+			return &entry{ix: sd, shd: sd}, nil
+		}
+		six, err := polyfit.NewSharded(agg, req.Keys, req.Measures, sopt)
+		if err != nil {
+			return nil, err
+		}
+		return &entry{ix: six}, nil
+	}
 	if req.Dynamic {
 		var d *polyfit.DynamicIndex
 		var err error
@@ -358,6 +410,22 @@ func buildEntry(req CreateRequest) (*entry, error) {
 		return nil, err
 	}
 	return &entry{ix: ix}, nil
+}
+
+// aggFromString parses the wire aggregate name.
+func aggFromString(s string) (polyfit.Agg, error) {
+	switch s {
+	case "count":
+		return polyfit.Count, nil
+	case "sum":
+		return polyfit.Sum, nil
+	case "min":
+		return polyfit.Min, nil
+	case "max":
+		return polyfit.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q (want count|sum|min|max)", s)
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -430,7 +498,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, queryErrStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact})
+		writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact, Bound: res.Bound})
+		return
+	}
+	// Sharded indexes report the composed absolute error bound for the
+	// shards the range actually touched.
+	if bq, ok := e.ix.(interface {
+		QueryWithBound(lq, uq float64) (polyfit.Result, error)
+	}); ok {
+		res, err := bq.QueryWithBound(req.Lo, req.Hi)
+		if err != nil {
+			writeError(w, queryErrStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Bound: res.Bound})
 		return
 	}
 	v, found, err := e.ix.Query(req.Lo, req.Hi)
@@ -472,7 +553,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if e.dyn == nil {
+	if e.dyn == nil && e.shd == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static; build it with dynamic=true to insert", name))
 		return
 	}
@@ -481,10 +562,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	insert := e.dyn.Insert
+	if e.shd != nil {
+		insert = e.shd.Insert
+	}
 	resp := InsertResponse{}
-	var accepted []persist.Record
+	var accepted []persist.Record          // plain dynamic: one log
+	var acceptedByShard [][]persist.Record // sharded: one log per owning shard
+	if len(e.shardWALs) > 0 {
+		acceptedByShard = make([][]persist.Record, len(e.shardWALs))
+	}
 	for _, rec := range req.Records {
-		if err := e.dyn.Insert(rec.Key, rec.Measure); err != nil {
+		if err := insert(rec.Key, rec.Measure); err != nil {
 			resp.Rejected++
 			if len(resp.Errors) < 8 {
 				resp.Errors = append(resp.Errors, err.Error())
@@ -492,26 +581,48 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Inserted++
-		if e.wal != nil {
+		switch {
+		case acceptedByShard != nil:
+			sh := e.shd.ShardOf(rec.Key)
+			acceptedByShard[sh] = append(acceptedByShard[sh], persist.Record{Key: rec.Key, Measure: rec.Measure})
+		case e.wal != nil:
 			accepted = append(accepted, persist.Record{Key: rec.Key, Measure: rec.Measure})
 		}
 	}
 	// Durability barrier: acknowledged inserts must be fsynced in the WAL
-	// before the 200 goes out. On a log failure the records are applied in
-	// memory but their durability cannot be promised — report the failure
-	// instead of acknowledging.
+	// (each shard's own WAL, for sharded indexes) before the 200 goes out.
+	// On a log failure the records are applied in memory but their
+	// durability cannot be promised — report the failure instead of
+	// acknowledging.
+	logged := int64(0)
+	logFailed := func(err error) {
+		// The records are in memory but not on disk; flag the entry so
+		// the next snapshot cycle persists them even though the WAL has
+		// nothing new (a retried insert would be rejected as duplicate).
+		e.forceSnap.Store(true)
+		s.logf("polyfit-serve: WAL append for %q: %v", name, err)
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("inserts applied but not durable: %w", err))
+	}
 	if len(accepted) > 0 {
 		if err := e.wal.Append(accepted); err != nil {
-			// The records are in memory but not on disk; flag the entry so
-			// the next snapshot cycle persists them even though the WAL has
-			// nothing new (a retried insert would be rejected as duplicate).
-			e.forceSnap.Store(true)
-			s.logf("polyfit-serve: WAL append for %q: %v", name, err)
-			writeError(w, http.StatusInternalServerError,
-				fmt.Errorf("inserts applied but not durable: %w", err))
+			logFailed(err)
 			return
 		}
-		s.walAppended.Add(int64(len(accepted)))
+		logged += int64(len(accepted))
+	}
+	for sh, recs := range acceptedByShard {
+		if len(recs) == 0 {
+			continue
+		}
+		if err := e.shardWALs[sh].Append(recs); err != nil {
+			logFailed(fmt.Errorf("shard %d: %w", sh, err))
+			return
+		}
+		logged += int64(len(recs))
+	}
+	if logged > 0 {
+		s.walAppended.Add(logged)
 		resp.Durable = true
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -522,11 +633,15 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if e.dyn == nil {
+	if e.dyn == nil && e.shd == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static", name))
 		return
 	}
-	if err := e.dyn.Rebuild(); err != nil {
+	rebuild := e.dyn.Rebuild
+	if e.shd != nil {
+		rebuild = e.shd.Rebuild
+	}
+	if err := rebuild(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -577,7 +692,7 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 	out := StatsResponse{
 		Name:          name,
 		Aggregate:     st.Aggregate.String(),
-		Dynamic:       e.dyn != nil,
+		Dynamic:       e.dyn != nil || e.shd != nil,
 		Records:       st.Records,
 		Segments:      st.Segments,
 		Degree:        st.Degree,
@@ -586,6 +701,25 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 		RootBytes:     st.RootBytes,
 		FallbackBytes: st.FallbackBytes,
 		BufferLen:     st.BufferLen,
+		Shards:        st.Shards,
+	}
+	if sh, ok := e.ix.(interface{ ShardStats() []polyfit.Stats }); ok {
+		for i, ss := range sh.ShardStats() {
+			row := ShardStats{
+				Shard:      i,
+				Records:    ss.Records,
+				Segments:   ss.Segments,
+				IndexBytes: ss.IndexBytes,
+				BufferLen:  ss.BufferLen,
+				KeyLo:      ss.KeyLo,
+				KeyHi:      ss.KeyHi,
+			}
+			if i < len(e.shardWALs) && e.shardWALs[i] != nil {
+				row.WALRecords = e.shardWALs[i].Records()
+				row.WALBytes = e.shardWALs[i].Size()
+			}
+			out.ShardStats = append(out.ShardStats, row)
+		}
 	}
 	if s.store != nil {
 		out.Durable = true
@@ -595,6 +729,12 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 		if e.wal != nil {
 			out.WALRecords = e.wal.Records()
 			out.WALBytes = e.wal.Size()
+		}
+		for _, wal := range e.shardWALs {
+			if wal != nil {
+				out.WALRecords += wal.Records()
+				out.WALBytes += wal.Size()
+			}
 		}
 	}
 	return out

@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/persist"
+)
+
+// mustGetRaw fetches a binary endpoint and returns the body.
+func mustGetRaw(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d, %v", path, resp.StatusCode, err)
+	}
+	return raw
+}
+
+func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+// TestShardedCreateQueryStats covers the in-memory sharded lifecycle over
+// HTTP: create with "shards", bound-reporting queries, batch routing,
+// insert routing, per-shard rows in stats, per-shard rebuild visibility.
+func TestShardedCreateQueryStats(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	keys := data.GenTweet(4000, 31)
+	var st StatsResponse
+	mustPost(t, ts, "/v1/indexes", CreateRequest{
+		Name: "geo", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 50, Shards: 4,
+	}, &st)
+	if st.Shards != 4 || len(st.ShardStats) != 4 {
+		t.Fatalf("create stats: shards=%d rows=%d", st.Shards, len(st.ShardStats))
+	}
+	if !st.Dynamic || st.Records != len(keys) {
+		t.Fatalf("create stats: %+v", st)
+	}
+	// Shard rows tile the key space in order.
+	for i := 1; i < 4; i++ {
+		if st.ShardStats[i].KeyLo <= st.ShardStats[i-1].KeyHi {
+			t.Fatalf("shard %d key range overlaps predecessor: %+v", i, st.ShardStats)
+		}
+	}
+
+	// Full-span query: composed bound 4·εabs, answer within it.
+	var q QueryResponse
+	mustPost(t, ts, "/v1/indexes/geo/query", QueryRequest{Lo: -90, Hi: 90}, &q)
+	if q.Bound != 4*50 {
+		t.Fatalf("full-span bound %g, want 200", q.Bound)
+	}
+	if math.Abs(q.Value-float64(len(keys))) > q.Bound {
+		t.Fatalf("full-span count %g ± %g, want %d", q.Value, q.Bound, len(keys))
+	}
+	// Interior query touches one shard.
+	lo, hi := st.ShardStats[1].KeyLo, st.ShardStats[1].KeyHi
+	mustPost(t, ts, "/v1/indexes/geo/query", QueryRequest{Lo: lo + 0.001, Hi: hi}, &q)
+	if q.Bound != 50 {
+		t.Fatalf("interior bound %g, want 50", q.Bound)
+	}
+
+	// Batch: results in order, spanning + interior + empty ranges.
+	var b BatchResponse
+	mustPost(t, ts, "/v1/indexes/geo/batch", BatchRequest{Ranges: []RangeJSON{
+		{Lo: -90, Hi: 90}, {Lo: lo + 0.001, Hi: hi}, {Lo: 10, Hi: -10},
+	}}, &b)
+	if len(b.Results) != 3 {
+		t.Fatalf("batch results: %+v", b)
+	}
+	if math.Abs(b.Results[0].Value-float64(len(keys))) > 200 {
+		t.Fatalf("batch full-span %g", b.Results[0].Value)
+	}
+	if b.Results[2].Value != 0 {
+		t.Fatalf("empty range value %g", b.Results[2].Value)
+	}
+
+	// Inserts route to owning shards and show up in per-shard buffers.
+	var ins InsertResponse
+	mustPost(t, ts, "/v1/indexes/geo/insert", InsertRequest{Records: []Record{
+		{Key: st.ShardStats[0].KeyLo - 5}, {Key: st.ShardStats[3].KeyHi + 5},
+	}}, &ins)
+	if ins.Inserted != 2 {
+		t.Fatalf("insert response %+v", ins)
+	}
+	get(t, ts, "/v1/indexes/geo", &st)
+	if st.ShardStats[0].BufferLen != 1 || st.ShardStats[3].BufferLen != 1 {
+		t.Fatalf("buffered inserts not shard-local: %+v", st.ShardStats)
+	}
+	if st.Records != len(keys)+2 {
+		t.Fatalf("records %d, want %d", st.Records, len(keys)+2)
+	}
+
+	// Rebuild folds every buffer (fresh response struct: zero-valued fields
+	// are omitted from the JSON and must not inherit stale values).
+	var rebuilt StatsResponse
+	mustPost(t, ts, "/v1/indexes/geo/rebuild", struct{}{}, &rebuilt)
+	if rebuilt.BufferLen != 0 || rebuilt.Records != len(keys)+2 {
+		t.Fatalf("after rebuild: %+v", rebuilt)
+	}
+
+	// /v1/stats reports the shard fleet.
+	var gs ServerStats
+	get(t, ts, "/v1/stats", &gs)
+	if gs.ShardedIndexes != 1 || gs.TotalShards != 4 || len(gs.PerIndexShards["geo"]) != 4 {
+		t.Fatalf("server stats: %+v", gs)
+	}
+}
+
+// TestShardedStaticCreateAndMarshalRoundTrip creates a static sharded
+// index, round-trips it through /marshal + /restore, and checks identical
+// answers.
+func TestShardedStaticCreateAndMarshalRoundTrip(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	keys := data.GenTweet(3000, 33)
+	var st StatsResponse
+	mustPost(t, ts, "/v1/indexes", CreateRequest{
+		Name: "snap", Agg: "count", Keys: keys, EpsAbs: 40, Shards: 3,
+	}, &st)
+	if st.Dynamic || st.Shards != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	var q1 QueryResponse
+	mustPost(t, ts, "/v1/indexes/snap/query", QueryRequest{Lo: 0, Hi: 40}, &q1)
+
+	blob := mustGetRaw(t, ts, "/v1/indexes/snap/marshal")
+	var restored StatsResponse
+	mustPost(t, ts, "/v1/indexes/copy/restore", RestoreRequest{Blob: b64(blob)}, &restored)
+	if restored.Shards != 3 {
+		t.Fatalf("restored stats %+v", restored)
+	}
+	var q2 QueryResponse
+	mustPost(t, ts, "/v1/indexes/copy/query", QueryRequest{Lo: 0, Hi: 40}, &q2)
+	if math.Float64bits(q1.Value) != math.Float64bits(q2.Value) || q1.Bound != q2.Bound {
+		t.Fatalf("restored drift: %+v vs %+v", q1, q2)
+	}
+	// Static sharded indexes reject inserts.
+	raw, _ := json.Marshal(InsertRequest{Records: []Record{{Key: 1}}})
+	resp, err := ts.Client().Post(ts.URL+"/v1/indexes/snap/insert", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Fatalf("insert into static sharded: %d", resp.StatusCode)
+	}
+}
+
+// TestShardedDurableRecovery is the per-shard durability contract: a
+// sharded dynamic index on a durable server writes one snapshot+WAL pair
+// per shard; after an unclean stop (no Close, like SIGKILL) every
+// acknowledged insert is answered again, per-shard WALs replay into their
+// own shards, and the manifest drives recovery.
+func TestShardedDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+
+	keys := data.GenTweet(3000, 35)
+	var st StatsResponse
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "geo", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 50, Shards: 4,
+	}, &st)
+	// Per-shard files exist after create.
+	store, _ := persist.Open(dir)
+	man, err := store.ReadShardManifest("geo")
+	if err != nil || man.Shards != 4 {
+		t.Fatalf("manifest after create: %+v, %v", man, err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := store.ReadShardSnapshot("geo", i); err != nil {
+			t.Fatalf("shard %d snapshot after create: %v", i, err)
+		}
+	}
+	// Acknowledged inserts, spread across shards.
+	recs := []Record{
+		{Key: st.ShardStats[0].KeyLo - 3}, {Key: st.ShardStats[1].KeyLo + 0.00017},
+		{Key: st.ShardStats[2].KeyLo + 0.00017}, {Key: st.ShardStats[3].KeyHi + 3},
+	}
+	var ins InsertResponse
+	mustPost(t, ts1, "/v1/indexes/geo/insert", InsertRequest{Records: recs}, &ins)
+	if ins.Inserted != 4 || !ins.Durable {
+		t.Fatalf("insert response %+v", ins)
+	}
+	var before QueryResponse
+	mustPost(t, ts1, "/v1/indexes/geo/query", QueryRequest{Lo: -200, Hi: 200}, &before)
+	ts1.Close() // unclean: no s1.Close(), WALs not folded into snapshots
+
+	s2 := newDurable(t, dir)
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer s2.Close()
+	if s2.Recovery().Indexes != 1 || s2.Recovery().ReplayedInserts != 4 {
+		t.Fatalf("recovery: %+v", s2.Recovery())
+	}
+	var after QueryResponse
+	mustPost(t, ts2, "/v1/indexes/geo/query", QueryRequest{Lo: -200, Hi: 200}, &after)
+	if math.Float64bits(before.Value) != math.Float64bits(after.Value) {
+		t.Fatalf("recovered answer %g, want %g", after.Value, before.Value)
+	}
+	get(t, ts2, "/v1/indexes/geo", &st)
+	if st.Shards != 4 || st.Records != len(keys)+4 {
+		t.Fatalf("recovered stats %+v", st)
+	}
+	// Each replayed insert landed back in its own shard's buffer.
+	for i, r := range recs {
+		sh := 0
+		for j := 1; j < 4; j++ {
+			if st.ShardStats[j].KeyLo <= r.Key {
+				sh = j
+			}
+		}
+		if st.ShardStats[sh].BufferLen == 0 {
+			t.Fatalf("insert %d (%g) not in shard %d buffer: %+v", i, r.Key, sh, st.ShardStats)
+		}
+	}
+	// A snapshot pass folds the WALs; recovery then replays nothing.
+	if err := s2.SnapshotAll(); err != nil {
+		t.Fatal(err)
+	}
+	ts2.Close()
+	s3 := newDurable(t, dir)
+	defer s3.Close()
+	if s3.Recovery().ReplayedInserts != 0 || s3.Recovery().SkippedInserts != 0 {
+		t.Fatalf("post-snapshot recovery replayed: %+v", s3.Recovery())
+	}
+}
+
+// TestShardedRecoveryShardFailures: a corrupt shard snapshot fails the
+// whole index (no silent key-space holes), while a corrupt shard WAL is
+// set aside and only that shard recovers to its snapshot.
+func TestShardedRecoveryShardFailures(t *testing.T) {
+	keys := data.GenTweet(2000, 37)
+
+	// Corrupt one shard's snapshot → index skipped entirely.
+	dir1 := t.TempDir()
+	s1 := newDurable(t, dir1)
+	ts1 := httptest.NewServer(s1)
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "geo", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 50, Shards: 3,
+	}, nil)
+	ts1.Close()
+	store1, _ := persist.Open(dir1)
+	path := store1.ShardSnapshotPath("geo", 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newDurable(t, dir1)
+	defer s2.Close()
+	if s2.Recovery().Indexes != 0 || s2.Recovery().CorruptSkipped != 1 {
+		t.Fatalf("corrupt shard snapshot recovery: %+v", s2.Recovery())
+	}
+
+	// Corrupt one shard's WAL header → that log is set aside, the index
+	// recovers, the other shards' WALs still replay.
+	dir2 := t.TempDir()
+	s3 := newDurable(t, dir2)
+	ts3 := httptest.NewServer(s3)
+	var st StatsResponse
+	mustPost(t, ts3, "/v1/indexes", CreateRequest{
+		Name: "geo", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 50, Shards: 3,
+	}, &st)
+	var ins InsertResponse
+	mustPost(t, ts3, "/v1/indexes/geo/insert", InsertRequest{Records: []Record{
+		{Key: st.ShardStats[0].KeyLo - 2}, {Key: st.ShardStats[2].KeyHi + 2},
+	}}, &ins)
+	if ins.Inserted != 2 {
+		t.Fatalf("insert %+v", ins)
+	}
+	ts3.Close() // unclean
+	store2, _ := persist.Open(dir2)
+	if err := os.WriteFile(store2.ShardWALPath("geo", 0), []byte("garbage header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4 := newDurable(t, dir2)
+	defer s4.Close()
+	rec := s4.Recovery()
+	if rec.Indexes != 1 {
+		t.Fatalf("recovery with corrupt shard WAL: %+v", rec)
+	}
+	// Shard 0's insert is lost with its log (recovered to snapshot); shard
+	// 2's insert survived via its own WAL.
+	if rec.ReplayedInserts != 1 {
+		t.Fatalf("replayed %d inserts, want 1 (shard 2 only): %+v", rec.ReplayedInserts, rec)
+	}
+}
+
+// TestRecreateAfterCorruptSkipNoPhantomReplay: when a sharded index is
+// skipped at boot (corrupt shard snapshot) its WAL files — holding the
+// dead index's acknowledged inserts — stay on disk. Re-creating the name
+// must purge them, or the NEXT boot would replay the dead index's records
+// into the new one.
+func TestRecreateAfterCorruptSkipNoPhantomReplay(t *testing.T) {
+	dir := t.TempDir()
+	keys := data.GenTweet(1200, 43)
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+	var st StatsResponse
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "geo", Agg: "count", Dynamic: true, Keys: keys[:600], EpsAbs: 50, Shards: 2,
+	}, &st)
+	var ins InsertResponse
+	mustPost(t, ts1, "/v1/indexes/geo/insert", InsertRequest{Records: []Record{
+		{Key: st.ShardStats[0].KeyLo - 1}, {Key: st.ShardStats[1].KeyHi + 1},
+	}}, &ins)
+	if ins.Inserted != 2 {
+		t.Fatalf("insert %+v", ins)
+	}
+	ts1.Close() // unclean: the 2 inserts live only in the shard WALs
+	store, _ := persist.Open(dir)
+	raw, err := os.ReadFile(store.ShardSnapshotPath("geo", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(store.ShardSnapshotPath("geo", 0), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newDurable(t, dir)
+	ts2 := httptest.NewServer(s2)
+	if s2.Recovery().CorruptSkipped != 1 {
+		t.Fatalf("recovery: %+v", s2.Recovery())
+	}
+	// Re-create the name over fresh data; the old WAL records must die here.
+	mustPost(t, ts2, "/v1/indexes", CreateRequest{
+		Name: "geo", Agg: "count", Dynamic: true, Keys: keys[600:], EpsAbs: 50, Shards: 2,
+	}, nil)
+	ts2.Close() // unclean again
+
+	s3 := newDurable(t, dir)
+	defer s3.Close()
+	ts3 := httptest.NewServer(s3)
+	defer ts3.Close()
+	if s3.Recovery().Indexes != 1 || s3.Recovery().ReplayedInserts != 0 {
+		t.Fatalf("phantom replay: %+v", s3.Recovery())
+	}
+	var got StatsResponse
+	get(t, ts3, "/v1/indexes/geo", &got)
+	if got.Records != 600 {
+		t.Fatalf("recovered %d records, want 600 (no phantoms from the dead index)", got.Records)
+	}
+}
+
+// TestRestoreSwitchesShardKinds: restoring a plain dynamic blob over a
+// sharded index (and vice versa) retires the other kind's durable state so
+// recovery follows the new shape.
+func TestRestoreSwitchesShardKinds(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newDurable(t, dir)
+	ts1 := httptest.NewServer(s1)
+
+	keys := data.GenTweet(1500, 39)
+	mustPost(t, ts1, "/v1/indexes", CreateRequest{
+		Name: "mut", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 50, Shards: 3,
+	}, nil)
+	// Build a PLAIN dynamic blob from a scratch server and restore it over
+	// the sharded index.
+	scratch := New()
+	tsScratch := httptest.NewServer(scratch)
+	mustPost(t, tsScratch, "/v1/indexes", CreateRequest{
+		Name: "tmp", Agg: "count", Dynamic: true, Keys: keys[:800], EpsAbs: 50,
+	}, nil)
+	plainBlob := mustGetRaw(t, tsScratch, "/v1/indexes/tmp/marshal")
+	tsScratch.Close()
+
+	var st StatsResponse
+	mustPost(t, ts1, "/v1/indexes/mut/restore", RestoreRequest{Blob: b64(plainBlob)}, &st)
+	if st.Shards != 0 || st.Records != 800 {
+		t.Fatalf("restored plain stats %+v", st)
+	}
+	store, _ := persist.Open(dir)
+	if _, err := store.ReadShardManifest("mut"); !os.IsNotExist(err) {
+		t.Fatalf("manifest survived plain restore: %v", err)
+	}
+	ts1.Close() // unclean
+	s2 := newDurable(t, dir)
+	ts2 := httptest.NewServer(s2)
+	if s2.Recovery().Indexes != 1 {
+		t.Fatalf("recovery after kind switch: %+v", s2.Recovery())
+	}
+	get(t, ts2, "/v1/indexes/mut", &st)
+	if st.Shards != 0 || st.Records != 800 {
+		t.Fatalf("recovered plain stats %+v", st)
+	}
+
+	// Now restore a SHARDED dynamic blob over the plain index.
+	scratch2 := New()
+	tsScratch2 := httptest.NewServer(scratch2)
+	mustPost(t, tsScratch2, "/v1/indexes", CreateRequest{
+		Name: "tmp", Agg: "count", Dynamic: true, Keys: keys, EpsAbs: 50, Shards: 4,
+	}, nil)
+	shardedBlob := mustGetRaw(t, tsScratch2, "/v1/indexes/tmp/marshal")
+	tsScratch2.Close()
+	mustPost(t, ts2, "/v1/indexes/mut/restore", RestoreRequest{Blob: b64(shardedBlob)}, &st)
+	if st.Shards != 4 || st.Records != len(keys) {
+		t.Fatalf("restored sharded stats %+v", st)
+	}
+	if _, err := os.Stat(store.SnapshotPath("mut")); !os.IsNotExist(err) {
+		t.Fatalf("plain snapshot survived sharded restore: %v", err)
+	}
+	ts2.Close() // unclean
+	s3 := newDurable(t, dir)
+	defer s3.Close()
+	ts3 := httptest.NewServer(s3)
+	defer ts3.Close()
+	get(t, ts3, "/v1/indexes/mut", &st)
+	if st.Shards != 4 || st.Records != len(keys) {
+		t.Fatalf("recovered sharded stats %+v", st)
+	}
+}

@@ -167,7 +167,7 @@ func (ix *Index) QueryBatch(ranges []Range) ([]BatchResult, error) {
 	return ix.inner.QueryBatch(ranges)
 }
 
-// Result carries a relative-error query answer.
+// Result carries a certified query answer.
 type Result struct {
 	Value float64
 	// Exact reports whether the exact fallback produced the value (the
@@ -175,6 +175,12 @@ type Result struct {
 	Exact bool
 	// Found is false when a MIN/MAX range contains no records.
 	Found bool
+	// Bound is the certified absolute error bound on Value, when the
+	// answering path computes one: 0 for exact answers, 2δ (COUNT/SUM) or δ
+	// (MIN/MAX) for plain approximate answers, and the additively composed
+	// 2δ·m for a sharded COUNT/SUM range touching m shards (sharded MIN/MAX
+	// stays δ — extremum error does not accumulate across shards).
+	Bound float64
 }
 
 // QueryRel answers within the relative error epsRel (Problem 2). The result
@@ -184,11 +190,24 @@ func (ix *Index) QueryRel(lq, uq, epsRel float64) (Result, error) {
 	switch ix.inner.Aggregate() {
 	case Count, Sum:
 		v, exact, err := ix.inner.RangeSumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: true}, err
+		return Result{Value: v, Exact: exact, Found: true, Bound: approxBound(ix.inner.Aggregate(), ix.inner.Delta(), exact)}, err
 	default:
 		v, exact, ok, err := ix.inner.RangeExtremumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: ok}, err
+		return Result{Value: v, Exact: exact, Found: ok, Bound: approxBound(ix.inner.Aggregate(), ix.inner.Delta(), exact)}, err
 	}
+}
+
+// approxBound is the absolute error bound of an unsharded approximate
+// answer: 2δ for COUNT/SUM (Lemma 2), δ for MIN/MAX (Lemma 4), 0 when the
+// exact fallback answered.
+func approxBound(agg Agg, delta float64, exact bool) float64 {
+	if exact {
+		return 0
+	}
+	if agg == Count || agg == Sum {
+		return 2 * delta
+	}
+	return delta
 }
 
 // Stats summarises an index.
@@ -202,11 +221,16 @@ type Stats struct {
 	RootBytes     int // learned-root locate table, included in IndexBytes
 	FallbackBytes int // exact structures for QueryRel (0 if disabled)
 	BufferLen     int // not-yet-merged inserts (always 0 for static indexes)
+	Shards        int // range partitions (0 for unsharded indexes)
+	KeyLo, KeyHi  float64
 }
 
 // Stats returns structural information about the index.
 func (ix *Index) Stats() Stats {
+	lo, hi := ix.inner.KeyRange()
 	return Stats{
+		KeyLo:         lo,
+		KeyHi:         hi,
 		Aggregate:     ix.inner.Aggregate(),
 		Records:       ix.inner.Len(),
 		Segments:      ix.inner.NumSegments(),
@@ -228,10 +252,12 @@ type BlobKind = core.BlobKind
 
 // Blob kinds distinguishable from a serialised blob's magic bytes.
 const (
-	BlobUnknown  = core.BlobUnknown
-	BlobStatic1D = core.BlobStatic1D // Index.MarshalBinary
-	BlobStatic2D = core.BlobStatic2D // Index2D.MarshalBinary
-	BlobDynamic  = core.BlobDynamic  // DynamicIndex.MarshalBinary
+	BlobUnknown        = core.BlobUnknown
+	BlobStatic1D       = core.BlobStatic1D       // Index.MarshalBinary
+	BlobStatic2D       = core.BlobStatic2D       // Index2D.MarshalBinary
+	BlobDynamic        = core.BlobDynamic        // DynamicIndex.MarshalBinary
+	BlobShardedStatic  = core.BlobShardedStatic  // ShardedIndex.MarshalBinary
+	BlobShardedDynamic = core.BlobShardedDynamic // ShardedDynamic.MarshalBinary
 )
 
 // DetectBlob sniffs the magic bytes of a serialised index so callers can

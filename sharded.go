@@ -1,0 +1,357 @@
+package polyfit
+
+import (
+	"repro/internal/core"
+)
+
+// ShardOptions configures a sharded index build: the usual build Options
+// plus the shard count.
+type ShardOptions struct {
+	Options
+	// Shards is the number of range partitions K. Keys are split into K
+	// contiguous chunks of near-equal count, one PolyFit index per chunk.
+	// Values ≤ 1 build a single shard; the count is clamped to the record
+	// count (and an internal ceiling of 4096).
+	Shards int
+}
+
+// ShardedIndex is a range-partitioned PolyFit index: K static shards over
+// disjoint key ranges, queried scatter-gather — a range is split at the
+// shard boundaries, the overlapping shards answer in parallel, and the
+// partial aggregates are merged (COUNT/SUM add, MIN/MAX combine).
+//
+// The absolute-error guarantee composes additively for COUNT/SUM: a range
+// touching m shards is answered within 2δ·m, and that composed bound is
+// reported in Result.Bound by QueryWithBound. MIN/MAX answers stay within
+// the single δ regardless of how many shards the range spans.
+//
+// ShardedIndex is immutable after construction and safe for concurrent
+// readers. See ShardedDynamic for the insertable variant.
+type ShardedIndex struct {
+	inner *core.Sharded1D
+}
+
+// NewSharded builds a sharded index of the given aggregate over (key,
+// measure) records (measures may be nil for Count). Shards build
+// concurrently; each shard is an ordinary PolyFit index over its chunk.
+func NewSharded(agg Agg, keys, measures []float64, opt ShardOptions) (*ShardedIndex, error) {
+	d, err := opt.delta(agg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.BuildSharded(agg, keys, measures, opt.Shards, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{inner: inner}, nil
+}
+
+// Query answers the approximate range aggregate (COUNT/SUM over (lq, uq],
+// MIN/MAX over [lq, uq]) with the same shape as Index.Query. Use
+// QueryWithBound to also receive the composed error bound.
+func (ix *ShardedIndex) Query(lq, uq float64) (value float64, found bool, err error) {
+	res, err := ix.QueryWithBound(lq, uq)
+	return res.Value, res.Found, err
+}
+
+// QueryWithBound answers the approximate range aggregate and reports the
+// certified absolute error bound in Result.Bound: 2δ·m for a COUNT/SUM
+// range touching m shards, δ for MIN/MAX.
+func (ix *ShardedIndex) QueryWithBound(lq, uq float64) (Result, error) {
+	switch ix.inner.Aggregate() {
+	case Count, Sum:
+		v, bound, err := ix.inner.RangeSum(lq, uq)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: true, Bound: bound}, nil
+	default:
+		v, bound, ok, err := ix.inner.RangeExtremum(lq, uq)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: ok, Bound: bound}, nil
+	}
+}
+
+// QueryRel answers within the relative error epsRel (Problem 2). The
+// certification gate runs against the composed bound; when it fails, the
+// per-shard exact fallbacks answer (every touched shard must carry one, so
+// indexes built with DisableFallback return ErrNoFallback).
+func (ix *ShardedIndex) QueryRel(lq, uq, epsRel float64) (Result, error) {
+	switch ix.inner.Aggregate() {
+	case Count, Sum:
+		v, bound, exact, err := ix.inner.RangeSumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: true, Bound: bound}, err
+	default:
+		v, bound, exact, ok, err := ix.inner.RangeExtremumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: ok, Bound: bound}, err
+	}
+}
+
+// QueryBatch answers many ranges in one call: each range is routed only to
+// the shards it overlaps and the per-shard sub-batches run in parallel
+// through the amortised batch path. Results are returned in input order.
+func (ix *ShardedIndex) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	return ix.inner.QueryBatch(ranges)
+}
+
+// NumShards returns the shard count K.
+func (ix *ShardedIndex) NumShards() int { return ix.inner.NumShards() }
+
+// Bounds returns a copy of the K−1 routing boundaries splitting the key
+// space between shards.
+func (ix *ShardedIndex) Bounds() []float64 { return ix.inner.Bounds() }
+
+// Stats summarises the whole sharded index; per-shard structure is
+// available from ShardStats.
+func (ix *ShardedIndex) Stats() Stats {
+	lo, hi := ix.inner.KeyRange()
+	return Stats{
+		Aggregate:     ix.inner.Aggregate(),
+		Records:       ix.inner.Len(),
+		Segments:      ix.inner.NumSegments(),
+		Degree:        ix.inner.Shard(0).Degree(),
+		Delta:         ix.inner.Delta(),
+		IndexBytes:    ix.inner.SizeBytes(),
+		RootBytes:     ix.inner.RootSizeBytes(),
+		FallbackBytes: ix.inner.FallbackSizeBytes(),
+		Shards:        ix.inner.NumShards(),
+		KeyLo:         lo,
+		KeyHi:         hi,
+	}
+}
+
+// ShardStats reports each shard's structure, in shard order.
+func (ix *ShardedIndex) ShardStats() []Stats {
+	out := make([]Stats, ix.inner.NumShards())
+	for i := range out {
+		sh := ix.inner.Shard(i)
+		lo, hi := sh.KeyRange()
+		out[i] = Stats{
+			Aggregate:     sh.Aggregate(),
+			Records:       sh.Len(),
+			Segments:      sh.NumSegments(),
+			Degree:        sh.Degree(),
+			Delta:         sh.Delta(),
+			IndexBytes:    sh.SizeBytes(),
+			RootBytes:     sh.RootSizeBytes(),
+			FallbackBytes: sh.FallbackSizeBytes(),
+			KeyLo:         lo,
+			KeyHi:         hi,
+		}
+	}
+	return out
+}
+
+// MarshalBinary serialises the sharded index as a container of static shard
+// blobs (fallbacks excluded, as for Index.MarshalBinary).
+func (ix *ShardedIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+// UnmarshalBinary loads a serialised sharded index. Corrupt containers —
+// truncated shards, tampered shard directories, mismatched shard counts —
+// are rejected with an error, never a panic.
+func (ix *ShardedIndex) UnmarshalBinary(data []byte) error {
+	inner := &core.Sharded1D{}
+	if err := inner.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	ix.inner = inner
+	return nil
+}
+
+// ShardedDynamic is the insertable sharded index: K DynamicIndex-style
+// shards over disjoint key ranges. Inserts route to the shard owning the
+// key and take only that shard's lock, so writers to different shards
+// never contend; a merge-rebuild re-fits one shard's chunk while queries
+// to every shard — including the rebuilding one — keep answering from
+// lock-free snapshots. The error guarantees and their composition are as
+// for ShardedIndex (delta-buffer contributions are exact).
+type ShardedDynamic struct {
+	inner *core.ShardedDynamic1D
+}
+
+// NewShardedDynamic builds an insertable sharded index of the given
+// aggregate (measures may be nil for Count).
+func NewShardedDynamic(agg Agg, keys, measures []float64, opt ShardOptions) (*ShardedDynamic, error) {
+	d, err := opt.delta(agg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewShardedDynamic(agg, keys, measures, opt.Shards, core.Options{
+		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
+		Parallelism: opt.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDynamic{inner: inner}, nil
+}
+
+// Insert adds a (key, measure) record to the shard owning the key;
+// duplicate keys are rejected. Only the owning shard's lock is taken.
+func (d *ShardedDynamic) Insert(key, measure float64) error { return d.inner.Insert(key, measure) }
+
+// Query answers the approximate aggregate (see ShardedIndex.Query).
+func (d *ShardedDynamic) Query(lq, uq float64) (value float64, found bool, err error) {
+	res, err := d.QueryWithBound(lq, uq)
+	return res.Value, res.Found, err
+}
+
+// QueryWithBound answers the approximate aggregate and reports the
+// composed absolute error bound in Result.Bound (see
+// ShardedIndex.QueryWithBound).
+func (d *ShardedDynamic) QueryWithBound(lq, uq float64) (Result, error) {
+	switch d.inner.Aggregate() {
+	case Count, Sum:
+		v, bound, err := d.inner.RangeSum(lq, uq)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: true, Bound: bound}, nil
+	default:
+		v, bound, ok, err := d.inner.RangeExtremum(lq, uq)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: ok, Bound: bound}, nil
+	}
+}
+
+// QueryRel answers within the relative error epsRel (see
+// ShardedIndex.QueryRel); buffered inserts participate exactly in both the
+// gate and the fallback.
+func (d *ShardedDynamic) QueryRel(lq, uq, epsRel float64) (Result, error) {
+	switch d.inner.Aggregate() {
+	case Count, Sum:
+		v, bound, exact, err := d.inner.RangeSumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: true, Bound: bound}, err
+	default:
+		v, bound, exact, ok, err := d.inner.RangeExtremumRel(lq, uq, epsRel)
+		return Result{Value: v, Exact: exact, Found: ok, Bound: bound}, err
+	}
+}
+
+// QueryBatch answers many ranges in one call, routing each range only to
+// the shards it overlaps; each shard's sub-batch reads one consistent
+// snapshot of that shard.
+func (d *ShardedDynamic) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	return d.inner.QueryBatch(ranges)
+}
+
+// Rebuild forces a merge-rebuild of every shard (concurrently); queries
+// keep answering throughout. RebuildShard rebuilds one shard only.
+func (d *ShardedDynamic) Rebuild() error { return d.inner.Rebuild() }
+
+// RebuildShard forces a merge-rebuild of shard i alone; the other shards'
+// queries and inserts proceed undisturbed.
+func (d *ShardedDynamic) RebuildShard(i int) error { return d.inner.RebuildShard(i) }
+
+// NumShards returns the shard count K.
+func (d *ShardedDynamic) NumShards() int { return d.inner.NumShards() }
+
+// ShardOf returns the shard index that owns key k — the shard an Insert of
+// k routes to.
+func (d *ShardedDynamic) ShardOf(k float64) int { return d.inner.ShardOf(k) }
+
+// Bounds returns a copy of the K−1 routing boundaries.
+func (d *ShardedDynamic) Bounds() []float64 { return d.inner.Bounds() }
+
+// Len returns the total record count across shards (bases + buffers).
+func (d *ShardedDynamic) Len() int { return d.inner.Len() }
+
+// BufferLen returns the total not-yet-merged insert count across shards.
+func (d *ShardedDynamic) BufferLen() int { return d.inner.BufferLen() }
+
+// Stats summarises the whole sharded index from per-shard snapshots.
+func (d *ShardedDynamic) Stats() Stats {
+	shards := d.ShardStats()
+	out := Stats{
+		Aggregate: d.inner.Aggregate(),
+		Delta:     d.inner.Delta(),
+		Degree:    shards[0].Degree,
+		Shards:    len(shards),
+		KeyLo:     shards[0].KeyLo,
+		KeyHi:     shards[len(shards)-1].KeyHi,
+	}
+	for _, s := range shards {
+		out.Records += s.Records
+		out.Segments += s.Segments
+		out.IndexBytes += s.IndexBytes
+		out.RootBytes += s.RootBytes
+		out.FallbackBytes += s.FallbackBytes
+		out.BufferLen += s.BufferLen
+	}
+	return out
+}
+
+// ShardStats reports each shard's structure, in shard order; each entry
+// reads one consistent snapshot of its shard.
+func (d *ShardedDynamic) ShardStats() []Stats {
+	out := make([]Stats, d.inner.NumShards())
+	for i := range out {
+		sh := d.inner.Shard(i)
+		v := sh.View()
+		lo, hi := sh.KeyRange()
+		out[i] = Stats{
+			Aggregate:     v.Base.Aggregate(),
+			Records:       v.Records,
+			Segments:      v.Base.NumSegments(),
+			Degree:        v.Base.Degree(),
+			Delta:         v.Base.Delta(),
+			IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
+			RootBytes:     v.Base.RootSizeBytes(),
+			FallbackBytes: v.Base.FallbackSizeBytes(),
+			BufferLen:     v.BufferLen,
+			KeyLo:         lo,
+			KeyHi:         hi,
+		}
+	}
+	return out
+}
+
+// MarshalBinary serialises the complete sharded dynamic state as a
+// container of dynamic shard blobs: each shard round-trips exactly as
+// DynamicIndex.MarshalBinary does (options, raw data, delta buffer,
+// fitted base). Marshalling never blocks concurrent writers.
+func (d *ShardedDynamic) MarshalBinary() ([]byte, error) { return d.inner.MarshalBinary() }
+
+// MarshalShard serialises shard i alone as a dynamic blob — the unit of
+// the serving layer's per-shard snapshots.
+func (d *ShardedDynamic) MarshalShard(i int) ([]byte, error) { return d.inner.MarshalShard(i) }
+
+// UnmarshalBinary restores a sharded dynamic index from a MarshalBinary
+// blob; every shard restores without re-fitting and the restored index is
+// fully operational. Corrupt containers are rejected with an error, never
+// a panic.
+func (d *ShardedDynamic) UnmarshalBinary(data []byte) error {
+	inner, err := core.RestoreShardedDynamic(data)
+	if err != nil {
+		return err
+	}
+	d.inner = inner
+	return nil
+}
+
+// AssembleShardedDynamic reconstitutes a sharded dynamic index from
+// independently recovered per-shard dynamic blobs and the routing bounds —
+// the serving layer's per-shard recovery path. The shards must agree on
+// aggregate and δ and hold key ranges consistent with the bounds.
+func AssembleShardedDynamic(bounds []float64, shardBlobs [][]byte) (*ShardedDynamic, error) {
+	shards := make([]*core.Dynamic1D, len(shardBlobs))
+	for i, blob := range shardBlobs {
+		sh, err := core.RestoreDynamic(blob)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+	}
+	inner, err := core.AssembleShardedDynamic(bounds, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDynamic{inner: inner}, nil
+}

@@ -1,0 +1,168 @@
+package polyfit_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	polyfit "repro"
+)
+
+func shardedDataset(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(map[float64]bool, n)
+	for len(set) < n {
+		set[math.Round(rng.NormFloat64()*5e4)/4] = true
+	}
+	keys = make([]float64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	measures = make([]float64, n)
+	for i := range measures {
+		measures[i] = 100 + 50*math.Sin(float64(i)/30) + rng.Float64()*10
+	}
+	return keys, measures
+}
+
+// TestShardedIndexPublic exercises the exported sharded surface: build,
+// bound-reporting queries, batch, round trip, stats.
+func TestShardedIndexPublic(t *testing.T) {
+	keys, measures := shardedDataset(2000, 1)
+	ix, err := polyfit.NewSharded(polyfit.Sum, keys, measures, polyfit.ShardOptions{
+		Options: polyfit.Options{EpsAbs: 40}, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", ix.NumShards())
+	}
+	st := ix.Stats()
+	if st.Shards != 4 || st.Records != len(keys) || st.KeyLo != keys[0] || st.KeyHi != keys[len(keys)-1] {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := len(ix.ShardStats()); got != 4 {
+		t.Fatalf("ShardStats len %d", got)
+	}
+	exact := func(l, u float64) float64 {
+		s := 0.0
+		for i, k := range keys {
+			if k > l && k <= u {
+				s += measures[i]
+			}
+		}
+		return s
+	}
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 200; q++ {
+		i, j := rng.Intn(len(keys)), rng.Intn(len(keys))
+		if i > j {
+			i, j = j, i
+		}
+		res, err := ix.QueryWithBound(keys[i], keys[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bound <= 0 || res.Bound > 4*40 {
+			t.Fatalf("bound %g out of range (0, 160]", res.Bound)
+		}
+		if e := exact(keys[i], keys[j]); math.Abs(res.Value-e) > res.Bound+1e-9*(1+e) {
+			t.Fatalf("(%g,%g]: est %g exact %g bound %g", keys[i], keys[j], res.Value, e, res.Bound)
+		}
+	}
+	// Round trip.
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polyfit.DetectBlob(blob) != polyfit.BlobShardedStatic {
+		t.Fatalf("DetectBlob = %v", polyfit.DetectBlob(blob))
+	}
+	var loaded polyfit.ShardedIndex
+	if err := loaded.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := ix.Query(keys[3], keys[len(keys)-3])
+	b, _, _ := loaded.Query(keys[3], keys[len(keys)-3])
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("round-trip drift: %g vs %g", a, b)
+	}
+}
+
+// TestShardedDynamicPublic exercises the insertable sharded surface,
+// including per-shard rebuilds and the dynamic round trip.
+func TestShardedDynamicPublic(t *testing.T) {
+	keys, _ := shardedDataset(2400, 3)
+	var base, ins []float64
+	for i, k := range keys {
+		if i%4 == 3 {
+			ins = append(ins, k)
+		} else {
+			base = append(base, k)
+		}
+	}
+	sd, err := polyfit.NewShardedDynamic(polyfit.Count, base, nil, polyfit.ShardOptions{
+		Options: polyfit.Options{EpsAbs: 30}, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ins {
+		if err := sd.Insert(k, 1); err != nil {
+			t.Fatalf("insert %g: %v", k, err)
+		}
+	}
+	if sd.Len() != len(keys) {
+		t.Fatalf("Len %d, want %d", sd.Len(), len(keys))
+	}
+	if err := sd.Insert(ins[0], 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	res, err := sd.QueryWithBound(keys[0]-1, keys[len(keys)-1]+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-float64(len(keys))) > res.Bound {
+		t.Fatalf("full-span count %g ± %g, want %d", res.Value, res.Bound, len(keys))
+	}
+	if err := sd.RebuildShard(2); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polyfit.DetectBlob(blob) != polyfit.BlobShardedDynamic {
+		t.Fatalf("DetectBlob = %v", polyfit.DetectBlob(blob))
+	}
+	var restored polyfit.ShardedDynamic
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != sd.Len() || restored.BufferLen() != sd.BufferLen() {
+		t.Fatalf("restored len %d/%d, want %d/%d", restored.Len(), restored.BufferLen(), sd.Len(), sd.BufferLen())
+	}
+	ra, _, _ := sd.Query(base[10], base[1500])
+	rb, _, _ := restored.Query(base[10], base[1500])
+	if math.Float64bits(ra) != math.Float64bits(rb) {
+		t.Fatalf("restored drift: %g vs %g", ra, rb)
+	}
+	// Per-shard marshal + assembly round trip (the recovery path).
+	blobs := make([][]byte, sd.NumShards())
+	for i := range blobs {
+		if blobs[i], err = sd.MarshalShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assembled, err := polyfit.AssembleShardedDynamic(sd.Bounds(), blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _, _ := assembled.Query(base[10], base[1500])
+	if math.Float64bits(ra) != math.Float64bits(rc) {
+		t.Fatalf("assembled drift: %g vs %g", ra, rc)
+	}
+}
