@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke crashtest cover oracle fmt vet
+.PHONY: test race bench bench-smoke crashtest cover oracle apicheck fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -36,6 +36,14 @@ cover:
 oracle:
 	$(GO) test ./internal/oracle/ -count=1
 	ORACLE_SEED=random $(GO) test -v -run TestDifferential ./internal/oracle/ -count=1
+
+# Public-API guard: every example must build against the current API, and
+# the golden-surface test pins every exported identifier of the root
+# package (testdata/api.txt; regenerate deliberately with
+# `go test -run TestAPISurface . -update`).
+apicheck:
+	$(GO) build ./examples/...
+	$(GO) test -run TestAPISurface . -count=1
 
 fmt:
 	gofmt -w .

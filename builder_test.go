@@ -1,0 +1,340 @@
+package polyfit_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	polyfit "repro"
+)
+
+// builderDataset builds n distinct, irregularly spaced keys with positive
+// measures (positive so the SUM relative-error lemma applies).
+func builderDataset(n int, seed int64) (keys, measures []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys = make([]float64, n)
+	measures = make([]float64, n)
+	k := 0.0
+	for i := range keys {
+		k += 0.25 + rng.Float64()*3
+		keys[i] = k
+		measures[i] = 1 + rng.Float64()*9
+	}
+	return keys, measures
+}
+
+func bruteSum(keys, measures []float64, lo, hi float64) float64 {
+	s := 0.0
+	for i, k := range keys {
+		if k > lo && k <= hi {
+			s += measures[i]
+		}
+	}
+	return s
+}
+
+func bruteMax(keys, measures []float64, lo, hi float64) (float64, bool) {
+	best, found := math.Inf(-1), false
+	for i, k := range keys {
+		if k >= lo && k <= hi && measures[i] > best {
+			best, found = measures[i], true
+		}
+	}
+	return best, found
+}
+
+// layoutOptions enumerates the four layouts the builder can produce.
+func layoutOptions() map[string][]polyfit.Option {
+	return map[string][]polyfit.Option{
+		"static":          nil,
+		"dynamic":         {polyfit.WithDynamic()},
+		"sharded":         {polyfit.WithShards(5)},
+		"sharded-dynamic": {polyfit.WithDynamic(), polyfit.WithShards(5)},
+	}
+}
+
+// TestBuilderBoundOracle is the oracle check behind the redesign's promise:
+// Result.Bound is populated on EVERY variant — static and dynamic included,
+// not just sharded — and the observed error never exceeds it, for Query,
+// QueryRel, and QueryBatch alike (SUM two-sided at workload endpoints; MAX
+// on the covering side, per DESIGN.md §3.3).
+func TestBuilderBoundOracle(t *testing.T) {
+	keys, measures := builderDataset(4000, 99)
+	rng := rand.New(rand.NewSource(100))
+	for layout, extra := range layoutOptions() {
+		sum, err := polyfit.New(polyfit.Spec{Agg: polyfit.Sum, Keys: keys, Measures: measures},
+			append([]polyfit.Option{polyfit.WithMaxError(50)}, extra...)...)
+		if err != nil {
+			t.Fatalf("%s sum: %v", layout, err)
+		}
+		mx, err := polyfit.New(polyfit.Spec{Agg: polyfit.Max, Keys: keys, Measures: measures},
+			append([]polyfit.Option{polyfit.WithMaxError(4)}, extra...)...)
+		if err != nil {
+			t.Fatalf("%s max: %v", layout, err)
+		}
+		var ranges []polyfit.Range
+		for q := 0; q < 300; q++ {
+			i, j := rng.Intn(len(keys)), rng.Intn(len(keys))
+			if i > j {
+				i, j = j, i
+			}
+			ranges = append(ranges, polyfit.Range{Lo: keys[i], Hi: keys[j]})
+		}
+		sumBatch, err := sum.QueryBatch(ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxBatch, err := mx.QueryBatch(ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, r := range ranges {
+			exact := bruteSum(keys, measures, r.Lo, r.Hi)
+			res, err := sum.Query(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bound <= 0 {
+				t.Fatalf("%s sum Query(%v): Bound %g not populated", layout, r, res.Bound)
+			}
+			tol := 1e-9 * (1 + math.Abs(exact))
+			if e := math.Abs(res.Value - exact); e > res.Bound+tol {
+				t.Fatalf("%s sum (%g,%g]: est %g exact %g exceeds bound %g", layout, r.Lo, r.Hi, res.Value, exact, res.Bound)
+			}
+			if b := sumBatch[qi]; b.Bound < res.Bound-tol || math.Abs(b.Value-exact) > b.Bound+tol {
+				t.Fatalf("%s sum batch (%g,%g]: %+v vs single %+v (exact %g)", layout, r.Lo, r.Hi, b, res, exact)
+			}
+			rel, err := sum.QueryRel(r, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Exact && rel.Bound != 0 {
+				t.Fatalf("%s sum QueryRel exact path: Bound %g, want 0", layout, rel.Bound)
+			}
+			if !rel.Exact && rel.Bound <= 0 {
+				t.Fatalf("%s sum QueryRel approx path: Bound %g not populated", layout, rel.Bound)
+			}
+			if math.Abs(rel.Value-exact) > rel.Bound+0.01*exact+tol {
+				t.Fatalf("%s sum QueryRel (%g,%g]: est %g exact %g bound %g", layout, r.Lo, r.Hi, rel.Value, exact, rel.Bound)
+			}
+
+			// MAX: covering side — the index must not miss the true extremum
+			// by more than the bound.
+			eMax, found := bruteMax(keys, measures, r.Lo, r.Hi)
+			mres, err := mx.Query(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mres.Bound <= 0 {
+				t.Fatalf("%s max Query(%v): Bound %g not populated", layout, r, mres.Bound)
+			}
+			if found && mres.Found && mres.Value < eMax-mres.Bound-tol {
+				t.Fatalf("%s max [%g,%g]: est %g misses exact %g beyond bound %g", layout, r.Lo, r.Hi, mres.Value, eMax, mres.Bound)
+			}
+			if mb := maxBatch[qi]; mb.Found && found && mb.Value < eMax-mb.Bound-tol {
+				t.Fatalf("%s max batch [%g,%g]: %+v misses exact %g", layout, r.Lo, r.Hi, mb, eMax)
+			}
+		}
+		// Empty COUNT/SUM ranges answer exactly 0 with Bound 0.
+		res, err := sum.Query(polyfit.Range{Lo: 10, Hi: 5})
+		if err != nil || res.Value != 0 || res.Bound != 0 {
+			t.Fatalf("%s sum empty range: %+v (%v), want value 0 bound 0", layout, res, err)
+		}
+	}
+}
+
+// TestQueryRelBoundSymmetry pins the satellite fix: static and dynamic
+// QueryRel populate Result.Bound exactly like the sharded variants — the
+// δ-derived guarantee on the approximate path, 0 on the exact path — on
+// both the v1 wrappers and the Index interface.
+func TestQueryRelBoundSymmetry(t *testing.T) {
+	keys, _ := builderDataset(3000, 7)
+	// Small enough that the Lemma 3 gate A ≥ 2δ(1+1/εrel) passes on the
+	// wide range below (A ≈ 2900 ≫ 8·101).
+	const eps = 8.0
+	st, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := polyfit.NewDynamicCountIndex(keys, polyfit.Options{EpsAbs: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := [2]float64{keys[10], keys[2900]} // approximate gate passes
+	tiny := [2]float64{keys[0] - 2, keys[0] - 1}
+	for name, q := range map[string]func(lo, hi, e float64) (polyfit.Result, error){
+		"static":  st.QueryRel,
+		"dynamic": dyn.QueryRel,
+	} {
+		res, err := q(wide[0], wide[1], 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exact {
+			t.Fatalf("%s: wide range unexpectedly took the exact path", name)
+		}
+		if res.Bound != eps { // 2δ = εabs for COUNT
+			t.Errorf("%s approximate QueryRel: Bound %g, want %g", name, res.Bound, eps)
+		}
+		res, err = q(tiny[0], tiny[1], 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatalf("%s: empty range did not take the exact path", name)
+		}
+		if res.Bound != 0 {
+			t.Errorf("%s exact QueryRel: Bound %g, want 0", name, res.Bound)
+		}
+	}
+}
+
+// TestSentinelErrors drives errors.Is for every sentinel from every
+// constructor and query path.
+func TestSentinelErrors(t *testing.T) {
+	keys, measures := builderDataset(500, 3)
+	spec := polyfit.Spec{Agg: polyfit.Sum, Keys: keys, Measures: measures}
+
+	for layout, extra := range layoutOptions() {
+		// ErrBadOptions: no error budget (identity-preserved for v1 callers).
+		if _, err := polyfit.New(spec, extra...); !errors.Is(err, polyfit.ErrBadOptions) {
+			t.Errorf("%s: no-eps build: got %v, want ErrBadOptions", layout, err)
+		}
+		opts := append([]polyfit.Option{polyfit.WithMaxError(10)}, extra...)
+		// ErrEmptyKeys.
+		if _, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count}, opts...); !errors.Is(err, polyfit.ErrEmptyKeys) {
+			t.Errorf("%s: empty build: got %v, want ErrEmptyKeys", layout, err)
+		}
+		// ErrUnsortedKeys.
+		bad := polyfit.Spec{Agg: polyfit.Count, Keys: []float64{3, 1, 2}}
+		if _, err := polyfit.New(bad, opts...); !errors.Is(err, polyfit.ErrUnsortedKeys) {
+			t.Errorf("%s: unsorted build: got %v, want ErrUnsortedKeys", layout, err)
+		}
+		ix, err := polyfit.New(spec, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ErrInvalidRange: NaN endpoints on every query entry point, and a
+		// non-positive relative error.
+		nan := polyfit.Range{Lo: math.NaN(), Hi: 10}
+		if _, err := ix.Query(nan); !errors.Is(err, polyfit.ErrInvalidRange) {
+			t.Errorf("%s: NaN Query: got %v, want ErrInvalidRange", layout, err)
+		}
+		if _, err := ix.QueryRel(nan, 0.01); !errors.Is(err, polyfit.ErrInvalidRange) {
+			t.Errorf("%s: NaN QueryRel: got %v, want ErrInvalidRange", layout, err)
+		}
+		if _, err := ix.QueryBatch([]polyfit.Range{{Lo: 1, Hi: 2}, nan}); !errors.Is(err, polyfit.ErrInvalidRange) {
+			t.Errorf("%s: NaN QueryBatch: got %v, want ErrInvalidRange", layout, err)
+		}
+		if _, err := ix.QueryRel(polyfit.Range{Lo: 1, Hi: 2}, 0); !errors.Is(err, polyfit.ErrInvalidRange) {
+			t.Errorf("%s: epsRel=0: got %v, want ErrInvalidRange", layout, err)
+		}
+		// ErrNoFallback: a fallback-free index whose gate cannot certify.
+		bare, err := polyfit.New(spec, append(opts, polyfit.WithFallback(false))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bare.QueryRel(polyfit.Range{Lo: keys[0] - 3, Hi: keys[0] - 2}, 0.01); !errors.Is(err, polyfit.ErrNoFallback) {
+			t.Errorf("%s: gate miss without fallback: got %v, want ErrNoFallback", layout, err)
+		}
+		// ErrDuplicateKey on insertable layouts.
+		if ins, ok := ix.(polyfit.Inserter); ok {
+			if err := ins.Insert(keys[5], 1); !errors.Is(err, polyfit.ErrDuplicateKey) {
+				t.Errorf("%s: duplicate insert: got %v, want ErrDuplicateKey", layout, err)
+			}
+		}
+	}
+
+	// The v1 wrappers share the adapters' NaN validation (same surface,
+	// same behavior) and WithDegree ignores non-positive values per the
+	// Option contract.
+	v1, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v1.Query(math.NaN(), 50); !errors.Is(err, polyfit.ErrInvalidRange) {
+		t.Errorf("v1 NaN Query: got %v, want ErrInvalidRange", err)
+	}
+	if _, err := v1.QueryBatch([]polyfit.Range{{Lo: math.NaN(), Hi: 1}}); !errors.Is(err, polyfit.ErrInvalidRange) {
+		t.Errorf("v1 NaN QueryBatch: got %v, want ErrInvalidRange", err)
+	}
+	sh1, err := polyfit.NewSharded(polyfit.Count, keys, nil, polyfit.ShardOptions{Options: polyfit.Options{EpsAbs: 10}, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh1.QueryWithBound(math.NaN(), 50); !errors.Is(err, polyfit.ErrInvalidRange) {
+		t.Errorf("v1 sharded NaN QueryWithBound: got %v, want ErrInvalidRange", err)
+	}
+	if _, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: keys},
+		polyfit.WithMaxError(10), polyfit.WithDegree(-3)); err != nil {
+		t.Errorf("WithDegree(-3) should be a no-op, got %v", err)
+	}
+
+	// ErrAggMismatch from an unknown aggregate in the spec.
+	if _, err := polyfit.New(polyfit.Spec{Agg: polyfit.Agg(9), Keys: keys}, polyfit.WithMaxError(1)); !errors.Is(err, polyfit.ErrAggMismatch) {
+		t.Errorf("unknown aggregate: got %v, want ErrAggMismatch", err)
+	}
+	// ErrBadOptions identity for v1 callers (compared with ==, not only Is).
+	if _, err := polyfit.NewCountIndex(keys, polyfit.Options{}); err != polyfit.ErrBadOptions {
+		t.Errorf("v1 no-eps build: got %v, want ErrBadOptions (identity)", err)
+	}
+	// 2D: NaN rectangles and non-positive epsRel wrap ErrInvalidRange; the
+	// bound mirrors Lemma 6 (4δ = εabs).
+	ix2, err := polyfit.NewCount2DIndex(keys, measures, polyfit.Options2D{EpsAbs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix2.Query(math.NaN(), 1, 0, 1); !errors.Is(err, polyfit.ErrInvalidRange) {
+		t.Errorf("2D NaN Query: got %v, want ErrInvalidRange", err)
+	}
+	if _, err := ix2.QueryRel(0, 1, 0, 1, -1); !errors.Is(err, polyfit.ErrInvalidRange) {
+		t.Errorf("2D epsRel<0: got %v, want ErrInvalidRange", err)
+	}
+	if res, err := ix2.QueryWithBound(keys[0], keys[400], measures[0]-1, measures[0]+100); err != nil || res.Bound != 40 {
+		t.Errorf("2D QueryWithBound: bound %g (%v), want 40 (= 4δ = εabs)", res.Bound, err)
+	}
+}
+
+// TestBuilderLayoutCapabilities pins which capabilities each layout
+// exposes, and that v1 constructors produce the same indexes as the builder
+// (delegation, not duplication).
+func TestBuilderLayoutCapabilities(t *testing.T) {
+	keys, measures := builderDataset(2000, 17)
+	ix, err := polyfit.New(polyfit.Spec{Agg: polyfit.Sum, Keys: keys, Measures: measures},
+		polyfit.WithMaxError(25), polyfit.WithDynamic(), polyfit.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := ix.(polyfit.ShardSnapshotter)
+	if !ok {
+		t.Fatal("sharded dynamic build lost ShardSnapshotter")
+	}
+	if sh.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sh.NumShards())
+	}
+	if got := len(sh.ShardStats()); got != 4 {
+		t.Fatalf("ShardStats rows = %d, want 4", got)
+	}
+	if st := ix.Stats(); st.Shards != 4 || st.Records != len(keys) {
+		t.Fatalf("Stats = %+v, want 4 shards over %d records", st, len(keys))
+	}
+	// The v1 wrapper and the builder must produce bitwise-identical answers
+	// for the same configuration (the wrapper delegates to the builder).
+	v1, err := polyfit.NewSumIndex(keys, measures, polyfit.Options{EpsAbs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := polyfit.New(polyfit.Spec{Agg: polyfit.Sum, Keys: keys, Measures: measures}, polyfit.WithMaxError(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		lo, hi := keys[q], keys[len(keys)-1-q]
+		a, _, _ := v1.Query(lo, hi)
+		b, err := v2.Query(polyfit.Range{Lo: lo, Hi: hi})
+		if err != nil || math.Float64bits(a) != math.Float64bits(b.Value) {
+			t.Fatalf("v1 vs builder divergence at (%g,%g]: %g vs %g (%v)", lo, hi, a, b.Value, err)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"testing"
 	"time"
 
+	polyfit "repro"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/minimax"
@@ -211,6 +212,33 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := shardedFine.QueryBatch(batchRanges); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Public builder API: the polyfit.New construction path and the
+	// Index-interface point query, pinning the (intended: negligible)
+	// overhead of the uniform Result contract over the raw core calls.
+	pub, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: fineKeys},
+		polyfit.WithDelta(0.5), polyfit.WithFallback(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, measure("public/build_count_via_new", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: buildKeys},
+				polyfit.WithDelta(50), polyfit.WithFallback(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	results = append(results, measure("public/query_point_count_fine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i&1023]
+			if _, err := pub.Query(polyfit.Range{Lo: q.L, Hi: q.U}); err != nil {
 				b.Fatal(err)
 			}
 		}

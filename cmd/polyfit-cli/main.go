@@ -1,9 +1,12 @@
 // Command polyfit-cli builds, inspects and queries PolyFit indexes over CSV
-// data from the command line.
+// data from the command line, through the unified builder API: one code
+// path constructs every aggregate and layout, and every query answer
+// carries its certified error bound.
 //
 // Usage:
 //
 //	polyfit-cli build  -in data.csv -agg count -eps 100 -out idx.pfi
+//	polyfit-cli build  -in data.csv -agg sum -eps 1000 -shards 8 -out idx.pfi
 //	polyfit-cli stats  -index idx.pfi
 //	polyfit-cli query  -index idx.pfi -l 10.5 -u 99.25
 //	polyfit-cli query  -in data.csv -agg max -eps 50 -l 10 -u 99   # ad hoc
@@ -43,12 +46,28 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `polyfit-cli <build|stats|query> [flags]
-  build: -in data.csv -agg count|sum|min|max -eps E [-degree D] -out idx.pfi
+  build: -in data.csv -agg count|sum|min|max -eps E [-degree D] [-shards K] -out idx.pfi
   stats: -index idx.pfi
   query: -index idx.pfi -l L -u U  (or ad hoc: -in data.csv -agg A -eps E -l L -u U)`)
 }
 
-func buildIndex(in, agg string, eps float64, degree int) (*polyfit.Index, error) {
+// aggOf parses the command-line aggregate name.
+func aggOf(agg string) (polyfit.Agg, error) {
+	switch agg {
+	case "count":
+		return polyfit.Count, nil
+	case "sum":
+		return polyfit.Sum, nil
+	case "min":
+		return polyfit.Min, nil
+	case "max":
+		return polyfit.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q (want count|sum|min|max)", agg)
+	}
+}
+
+func buildIndex(in, agg string, eps float64, degree, shards int) (polyfit.Index, error) {
 	f, err := os.Open(in)
 	if err != nil {
 		return nil, err
@@ -58,19 +77,20 @@ func buildIndex(in, agg string, eps float64, degree int) (*polyfit.Index, error)
 	if err != nil {
 		return nil, err
 	}
-	opt := polyfit.Options{EpsAbs: eps, Degree: degree, DisableFallback: true}
-	switch agg {
-	case "count":
-		return polyfit.NewCountIndex(keys, opt)
-	case "sum":
-		return polyfit.NewSumIndex(keys, measures, opt)
-	case "min":
-		return polyfit.NewMinIndex(keys, measures, opt)
-	case "max":
-		return polyfit.NewMaxIndex(keys, measures, opt)
-	default:
-		return nil, fmt.Errorf("unknown aggregate %q", agg)
+	a, err := aggOf(agg)
+	if err != nil {
+		return nil, err
 	}
+	if shards <= 1 {
+		shards = 0 // unsharded, as the -shards help promises (1 would build a 1-shard container)
+	}
+	opts := []polyfit.Option{
+		polyfit.WithMaxError(eps),
+		polyfit.WithDegree(degree),
+		polyfit.WithFallback(false),
+		polyfit.WithShards(shards),
+	}
+	return polyfit.New(polyfit.Spec{Agg: a, Keys: keys, Measures: measures}, opts...)
 }
 
 func runBuild(args []string) error {
@@ -79,12 +99,13 @@ func runBuild(args []string) error {
 	agg := fs.String("agg", "count", "count | sum | min | max")
 	eps := fs.Float64("eps", 100, "absolute error guarantee εabs")
 	degree := fs.Int("degree", 2, "polynomial degree")
+	shards := fs.Int("shards", 0, "range partitions (≤1 = unsharded)")
 	out := fs.String("out", "index.pfi", "output index file")
 	_ = fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("build: -in is required")
 	}
-	ix, err := buildIndex(*in, *agg, *eps, *degree)
+	ix, err := buildIndex(*in, *agg, *eps, *degree, *shards)
 	if err != nil {
 		return err
 	}
@@ -99,16 +120,12 @@ func runBuild(args []string) error {
 	return nil
 }
 
-func loadIndex(path string) (*polyfit.Index, error) {
+func loadIndex(path string) (polyfit.Index, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var ix polyfit.Index
-	if err := ix.UnmarshalBinary(blob); err != nil {
-		return nil, err
-	}
-	return &ix, nil
+	return polyfit.Open(blob)
 }
 
 func runStats(args []string) error {
@@ -122,7 +139,11 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(ix.Stats())
+	st := ix.Stats()
+	fmt.Println(st)
+	if sh, ok := ix.(polyfit.Sharder); ok {
+		fmt.Printf("sharded: %d range partitions\n", sh.NumShards())
+	}
 	return nil
 }
 
@@ -137,28 +158,28 @@ func runQuery(args []string) error {
 	u := fs.Float64("u", 0, "range upper bound")
 	_ = fs.Parse(args)
 
-	var ix *polyfit.Index
+	var ix polyfit.Index
 	var err error
 	switch {
 	case *index != "":
 		ix, err = loadIndex(*index)
 	case *in != "":
-		ix, err = buildIndex(*in, *agg, *eps, *degree)
+		ix, err = buildIndex(*in, *agg, *eps, *degree, 0)
 	default:
 		return fmt.Errorf("query: need -index or -in")
 	}
 	if err != nil {
 		return err
 	}
-	v, found, err := ix.Query(*l, *u)
+	res, err := ix.Query(polyfit.Range{Lo: *l, Hi: *u})
 	if err != nil {
 		return err
 	}
-	if !found {
+	if !res.Found {
 		fmt.Println("no records in range")
 		return nil
 	}
 	st := ix.Stats()
-	fmt.Printf("%v over (%g, %g] ≈ %g (εabs guarantee from δ=%g)\n", st.Aggregate, *l, *u, v, st.Delta)
+	fmt.Printf("%v over (%g, %g] ≈ %g ± %g (certified bound)\n", st.Aggregate, *l, *u, res.Value, res.Bound)
 	return nil
 }

@@ -1,8 +1,11 @@
 // polyfit-serve runs the PolyFit query service: an HTTP JSON API over a
 // registry of named range-aggregate indexes (see internal/server for the
-// endpoint reference). Static indexes are immutable and lock-free; dynamic
-// indexes accept concurrent inserts while queries keep answering from
-// lock-free snapshots.
+// endpoint reference). Every index — static, dynamic, or sharded — is
+// built through the unified polyfit.New builder and served behind the same
+// polyfit.Index contract, so every query and batch response carries the
+// certified absolute error bound in "bound". Static indexes are immutable
+// and lock-free; dynamic indexes accept concurrent inserts while queries
+// keep answering from lock-free snapshots.
 //
 // Usage:
 //

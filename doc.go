@@ -12,18 +12,79 @@
 //
 // # Quick start
 //
+// One builder constructs every index variant; the layout is configuration,
+// not a type:
+//
 //	keys := []float64{ /* sorted, distinct */ }
-//	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 100})
+//	ix, err := polyfit.New(
+//		polyfit.Spec{Agg: polyfit.Count, Keys: keys},
+//		polyfit.WithMaxError(100),
+//	)
 //	if err != nil { ... }
-//	approx, _ := ix.Query(lo, hi)            // |approx − exact| ≤ 100
-//	res, _ := ix.QueryRel(lo, hi, 0.01)      // ≤1% error, exact fallback
+//	res, _ := ix.Query(polyfit.Range{Lo: lo, Hi: hi})
+//	// res.Value within res.Bound (≤ 100) of the exact count
+//	rel, _ := ix.QueryRel(polyfit.Range{Lo: lo, Hi: hi}, 0.01) // ≤1% error
+//
+// Every index implements the Index interface — Query, QueryRel, QueryBatch,
+// Stats, MarshalBinary — and every answer is a Result carrying the
+// certified absolute error bound in Result.Bound, whatever the layout.
+// Functional options pick the layout and tuning:
+//
+//	polyfit.WithMaxError(eps)   // absolute guarantee εabs (or WithDelta(δ))
+//	polyfit.WithDegree(d)       // polynomial degree (default 2)
+//	polyfit.WithDynamic()       // insert support (Index also implements Inserter)
+//	polyfit.WithShards(k)       // k-way range partitioning (also Sharder)
+//	polyfit.WithParallelism(n)  // build with n goroutines (identical output)
+//	polyfit.WithFallback(false) // skip the exact structures behind QueryRel
+//
+// Capabilities beyond the uniform contract are discovered by assertion:
+//
+//	if ins, ok := ix.(polyfit.Inserter); ok { ins.Insert(k, v) }
+//	if sh, ok := ix.(polyfit.Sharder); ok { fmt.Println(sh.NumShards()) }
+//
+// polyfit.Open restores any serialised one-key index behind the same
+// interface, sniffing the blob kind (static, dynamic, sharded); Open2D
+// restores two-key indexes. Corrupt blobs are rejected with an error
+// wrapping ErrCorruptBlob — never a panic.
+//
+// # Errors
+//
+// All failures wrap the package's sentinel errors — ErrEmptyKeys,
+// ErrUnsortedKeys, ErrBadOptions, ErrAggMismatch, ErrInvalidRange,
+// ErrNoFallback, ErrDuplicateKey, ErrCorruptBlob — so callers classify
+// them with errors.Is instead of matching message text.
+//
+// # Migrating from the v1 API
+//
+// The v1 per-variant constructors and concrete types remain as thin
+// deprecated wrappers over the builder, so existing code compiles
+// unchanged. New code should use the builder:
+//
+//	v1                                          v2
+//	----------------------------------------    ------------------------------------------------
+//	NewCountIndex(keys, Options{EpsAbs: e})     New(Spec{Agg: Count, Keys: keys}, WithMaxError(e))
+//	NewSumIndex(k, m, opt)                      New(Spec{Agg: Sum, Keys: k, Measures: m}, ...)
+//	NewDynamicCountIndex(keys, opt)             New(spec, ..., WithDynamic())
+//	NewSharded(agg, k, m, ShardOptions{...})    New(spec, ..., WithShards(n))
+//	NewShardedDynamic(agg, k, m, sopt)          New(spec, ..., WithDynamic(), WithShards(n))
+//	ix.Query(lo, hi) (v, found, err)            ix.Query(Range{lo, hi}) (Result, err)
+//	sharded.QueryWithBound(lo, hi)              ix.Query(Range{lo, hi})   // Bound on every variant
+//	var ix Index; ix.UnmarshalBinary(blob)      ix, err := Open(blob)     // any blob kind
+//	AssembleShardedDynamic(bounds, blobs)       Assemble(bounds, blobs)
+//	dyn.Insert / dyn.Rebuild                    ix.(Inserter).Insert / Rebuild
+//	sharded.NumShards / Bounds / ShardStats     ix.(Sharder).NumShards / Bounds / ShardStats
+//
+// (The v1 static struct is now named StaticIndex; `polyfit.Index` is the
+// interface. Code that spelled the struct type explicitly is the one
+// intentional break.)
 //
 // # Guarantees
 //
-//   - Query on a COUNT/SUM index built with EpsAbs = ε satisfies
+//   - Query on a COUNT/SUM index built with WithMaxError(ε) satisfies
 //     |A − R| ≤ ε for query endpoints drawn from the key set (the paper's
 //     workload; arbitrary endpoints inside fitted segments carry a small
-//     documented slack, see DESIGN.md §3).
+//     documented slack, see DESIGN.md §3); the per-answer Result.Bound
+//     reports the certified bound, composed across shards when sharded.
 //   - QueryRel answers within the requested relative error; when the
 //     Lemma 3/5/7 gate cannot certify the bound the exact fallback structure
 //     (a key-cumulative array or aggregate tree) answers instead, so the
@@ -42,7 +103,9 @@
 //
 //   - COUNT/SUM: |A − R| ≤ εabs, two-sided and strict, at workload
 //     endpoints (dataset keys); for sharded indexes the bound composes to
-//     εabs per touched shard and is reported in Result.Bound.
+//     εabs per touched shard and is reported in Result.Bound — which the
+//     root-package bound oracle verifies on all four variants, batch paths
+//     included.
 //   - MIN/MAX: R ≤ A + εabs strictly (the index never misses the true
 //     extremum by more than the bound). The opposite side carries the
 //     between-sample slack documented in DESIGN.md §3.3 — maximising a
@@ -57,29 +120,29 @@
 //
 // # Sharding
 //
-// NewSharded and NewShardedDynamic range-partition the keys into K
-// contiguous shards, each an ordinary PolyFit index over its own chunk.
-// Queries split at the shard boundaries, the overlapping shards answer in
-// parallel, and the partials merge (COUNT/SUM add, MIN/MAX combine); the
-// composed absolute bound — 2δ per touched shard for COUNT/SUM, δ for
-// MIN/MAX — is reported in Result.Bound. Inserts into a ShardedDynamic
-// take only the owning shard's lock, and a merge-rebuild re-fits one
-// shard's chunk while queries to every shard keep answering from
-// lock-free snapshots. On a durable server each shard persists its own
-// snapshot+WAL pair, recovered independently under a manifest.
+// WithShards(k) range-partitions the keys into k contiguous shards, each an
+// ordinary PolyFit index over its own chunk. Queries split at the shard
+// boundaries, the overlapping shards answer in parallel, and the partials
+// merge (COUNT/SUM add, MIN/MAX combine); the composed absolute bound — 2δ
+// per touched shard for COUNT/SUM, δ for MIN/MAX — is reported in
+// Result.Bound. Inserts into a sharded dynamic index take only the owning
+// shard's lock, and a merge-rebuild re-fits one shard's chunk while queries
+// to every shard keep answering from lock-free snapshots. On a durable
+// server each shard persists its own snapshot+WAL pair, recovered
+// independently under a manifest (the ShardSnapshotter capability).
 //
 // # Dynamic indexes and concurrency
 //
-// DynamicIndex (NewDynamicCountIndex and friends) supports inserts via a
-// sorted delta buffer over the static index; the buffer is aggregated
-// exactly, so every guarantee above carries over unchanged. It is safe
-// for concurrent use by multiple goroutines with the following contract:
+// WithDynamic() adds insert support via a sorted delta buffer over the
+// static index; the buffer is aggregated exactly, so every guarantee above
+// carries over unchanged. Dynamic indexes are safe for concurrent use by
+// multiple goroutines with the following contract:
 //
-//   - Queries (Query, QueryRel, QueryBatch, Stats, Len, BufferLen) are
-//     lock-free: they read one immutable snapshot through an atomic
-//     pointer and never block — not even while a merge-rebuild is running,
-//     because the new base index is constructed off to the side and
-//     published with a single pointer swap.
+//   - Queries (Query, QueryRel, QueryBatch, Stats) are lock-free: they read
+//     one immutable snapshot through an atomic pointer and never block —
+//     not even while a merge-rebuild is running, because the new base index
+//     is constructed off to the side and published with a single pointer
+//     swap.
 //   - Each query sees one consistent snapshot: a concurrent Insert either
 //     precedes all of a QueryBatch's answers or none of them.
 //   - Insert and Rebuild serialise on an internal lock; an Insert that
@@ -88,23 +151,23 @@
 //   - Monotonicity: once an Insert returns, every subsequent query
 //     observes that record.
 //
-// Static Index values are immutable after construction and therefore
-// trivially safe for concurrent readers.
+// Static indexes are immutable after construction and therefore trivially
+// safe for concurrent readers.
 //
 // # Batched queries
 //
-// Index.QueryBatch and DynamicIndex.QueryBatch answer many ranges per
-// call. Batches of ascending non-overlapping windows (tiled scans,
+// Index.QueryBatch answers many ranges per call, each Result carrying its
+// own Bound. Batches of ascending non-overlapping windows (tiled scans,
 // time-bucketed dashboards) are answered with a forward-only segment
 // cursor instead of per-query binary searches; other batches fall back to
 // direct evaluation unless the segment array is so much larger than the
-// batch that sorting pays. The serving layer (internal/server, cmd/polyfit-serve)
-// exposes this as a batched HTTP endpoint answering many ranges per round
-// trip.
+// batch that sorting pays. The serving layer (internal/server,
+// cmd/polyfit-serve) exposes this as a batched HTTP endpoint answering
+// many ranges per round trip, with "bound" on every response.
 //
 // # Construction performance
 //
-// Options.Parallelism builds the index with that many goroutines: greedy
+// WithParallelism(n) builds the index with n goroutines: greedy
 // segmentation runs per key-array chunk and junctions are re-grown over the
 // full array, so the produced index is byte-identical to a serial build for
 // every worker count. Dynamic indexes reuse the setting for merge-rebuilds.
@@ -120,30 +183,34 @@
 //
 // NewCount2DIndex builds the Section VI variant: a quadtree of bivariate
 // polynomial surfaces over the cumulative count surface, answering
-// rectangle COUNT queries with four surface evaluations.
+// rectangle COUNT queries with four surface evaluations. Its contract
+// mirrors the 1D one adapted to rectangles: QueryWithBound and QueryRel
+// return the same Result with the certified 4δ bound (Lemma 6), NaN
+// rectangles are rejected with ErrInvalidRange, and Open2D restores
+// serialised blobs.
 //
 // # Persistence
 //
-// Index, Index2D, DynamicIndex, ShardedIndex, and ShardedDynamic implement
-// encoding.BinaryMarshaler/Unmarshaler, and DetectBlob tells the formats
-// apart from the magic bytes (sharded containers nest per-shard blobs
-// behind a shard directory).
+// Every variant implements encoding.BinaryMarshaler; polyfit.Open (one-key)
+// and polyfit.Open2D (two-key) restore blobs by sniffing their magic bytes,
+// and DetectBlob exposes the sniffing for callers that route blobs
+// themselves (sharded containers nest per-shard blobs behind a shard
+// directory).
 //
 // Static indexes serialise the compact polynomial structure only; exact
 // fallbacks (which are O(n)) are not serialised, so loaded static indexes
 // serve absolute-guarantee queries and return ErrNoFallback for relative
 // ones.
 //
-// DynamicIndex uses a separate, versioned format that round-trips the
+// Dynamic indexes use a separate, versioned format that round-trips the
 // complete dynamic state: the build options (the fallback setting
 // included), the raw keys and measures, the delta buffer, and the fitted
-// base index. UnmarshalBinary therefore restores a fully operational
-// dynamic index — inserts, duplicate detection, merge-rebuilds, and
-// relative-error queries (fallbacks are reconstructed from the serialised
-// raw data when enabled) behave exactly as on the original, and every
-// query answers identically, bit for bit. Restoring never re-fits.
-// Corrupt or truncated blobs of either format are rejected with an error,
-// never a panic.
+// base index. Open therefore restores a fully operational dynamic index —
+// inserts, duplicate detection, merge-rebuilds, and relative-error queries
+// (fallbacks are reconstructed from the serialised raw data when enabled)
+// behave exactly as on the original, and every query answers identically,
+// bit for bit. Restoring never re-fits. Corrupt or truncated blobs of any
+// format are rejected with an error wrapping ErrCorruptBlob, never a panic.
 //
 // # Durability contract (serving layer)
 //

@@ -14,43 +14,49 @@ import (
 // are lock-free reads of an immutable snapshot and never block, not even
 // while a merge-rebuild is in flight; Insert and Rebuild serialise on an
 // internal lock. See the package documentation for the full guarantees.
+//
+// Deprecated: build with polyfit.New(spec, polyfit.WithDynamic(), ...) and
+// use the Index interface plus the Inserter capability.
 type DynamicIndex struct {
 	inner *core.Dynamic1D
 }
 
 // NewDynamicCountIndex builds an insertable COUNT index.
+//
+// Deprecated: use polyfit.New with WithDynamic().
 func NewDynamicCountIndex(keys []float64, opt Options) (*DynamicIndex, error) {
-	return newDynamic(Count, keys, make([]float64, len(keys)), opt)
+	return newDynamicV1(Count, keys, nil, opt)
 }
 
 // NewDynamicSumIndex builds an insertable SUM index.
+//
+// Deprecated: use polyfit.New with WithDynamic().
 func NewDynamicSumIndex(keys, measures []float64, opt Options) (*DynamicIndex, error) {
-	return newDynamic(Sum, keys, measures, opt)
+	return newDynamicV1(Sum, keys, measures, opt)
 }
 
 // NewDynamicMaxIndex builds an insertable MAX index.
+//
+// Deprecated: use polyfit.New with WithDynamic().
 func NewDynamicMaxIndex(keys, measures []float64, opt Options) (*DynamicIndex, error) {
-	return newDynamic(Max, keys, measures, opt)
+	return newDynamicV1(Max, keys, measures, opt)
 }
 
 // NewDynamicMinIndex builds an insertable MIN index.
+//
+// Deprecated: use polyfit.New with WithDynamic().
 func NewDynamicMinIndex(keys, measures []float64, opt Options) (*DynamicIndex, error) {
-	return newDynamic(Min, keys, measures, opt)
+	return newDynamicV1(Min, keys, measures, opt)
 }
 
-func newDynamic(agg Agg, keys, measures []float64, opt Options) (*DynamicIndex, error) {
-	d, err := opt.delta(agg)
+// newDynamicV1 delegates a v1 dynamic build to the builder and unwraps the
+// concrete index.
+func newDynamicV1(agg Agg, keys, measures []float64, opt Options) (*DynamicIndex, error) {
+	ix, err := New(Spec{Agg: agg, Keys: keys, Measures: measures}, opt.options(WithDynamic())...)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewDynamic(agg, keys, measures, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &DynamicIndex{inner: inner}, nil
+	return &DynamicIndex{inner: ix.(*dynamicIndex).inner}, nil
 }
 
 // Insert adds a (key, measure) record; duplicate keys are rejected. COUNT
@@ -61,43 +67,30 @@ func (d *DynamicIndex) Insert(key, measure float64) error {
 }
 
 // Query answers the approximate aggregate with the build-time εabs
-// guarantee (buffer contributions are exact).
+// guarantee (buffer contributions are exact). NaN endpoints are rejected
+// with ErrInvalidRange, exactly as on the Index interface.
 func (d *DynamicIndex) Query(lq, uq float64) (value float64, found bool, err error) {
-	switch d.inner.Aggregate() {
-	case Count, Sum:
-		v, err := d.inner.RangeSum(lq, uq)
-		if err != nil {
-			return 0, false, err
-		}
-		return v, true, nil
-	default:
-		return d.inner.RangeExtremum(lq, uq)
-	}
+	res, err := (&dynamicIndex{inner: d.inner}).Query(Range{Lo: lq, Hi: uq})
+	return res.Value, res.Found, err
 }
 
 // QueryRel answers within the relative error epsRel (Problem 2), exactly
-// like Index.QueryRel; buffered inserts participate exactly in both the
-// certification gate and the fallback. Indexes built with DisableFallback
-// return ErrNoFallback whenever the approximate gate cannot certify the
-// bound.
+// like StaticIndex.QueryRel; buffered inserts participate exactly in both
+// the certification gate and the fallback. Indexes built with
+// DisableFallback return ErrNoFallback whenever the approximate gate cannot
+// certify the bound.
 func (d *DynamicIndex) QueryRel(lq, uq, epsRel float64) (Result, error) {
-	agg := d.inner.Aggregate()
-	delta := d.inner.Base().Delta()
-	switch agg {
-	case Count, Sum:
-		v, exact, err := d.inner.RangeSumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: true, Bound: approxBound(agg, delta, exact)}, err
-	default:
-		v, exact, ok, err := d.inner.RangeExtremumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: ok, Bound: approxBound(agg, delta, exact)}, err
-	}
+	return (&dynamicIndex{inner: d.inner}).QueryRel(Range{Lo: lq, Hi: uq}, epsRel)
 }
 
-// QueryBatch answers many ranges in one call (see Index.QueryBatch); each
-// answer folds in the exact delta-buffer aggregate. The whole batch reads
-// one consistent snapshot: a concurrent Insert either precedes every
+// QueryBatch answers many ranges in one call (see StaticIndex.QueryBatch);
+// each answer folds in the exact delta-buffer aggregate. The whole batch
+// reads one consistent snapshot: a concurrent Insert either precedes every
 // answer of the batch or none.
 func (d *DynamicIndex) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
 	return d.inner.QueryBatch(ranges)
 }
 
@@ -115,36 +108,20 @@ func (d *DynamicIndex) BufferLen() int { return d.inner.BufferLen() }
 // Stats reports the current index structure from one consistent snapshot.
 // IndexBytes includes the full delta-buffer footprint (keys, measures, and
 // prefix aggregates); BufferLen counts the not-yet-merged inserts.
-func (d *DynamicIndex) Stats() Stats {
-	v := d.inner.View()
-	lo, hi := d.inner.KeyRange()
-	return Stats{
-		KeyLo:         lo,
-		KeyHi:         hi,
-		Aggregate:     v.Base.Aggregate(),
-		Records:       v.Records,
-		Segments:      v.Base.NumSegments(),
-		Degree:        v.Base.Degree(),
-		Delta:         v.Base.Delta(),
-		IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
-		RootBytes:     v.Base.RootSizeBytes(),
-		FallbackBytes: v.Base.FallbackSizeBytes(),
-		BufferLen:     v.BufferLen,
-	}
-}
+func (d *DynamicIndex) Stats() Stats { return statsDynamic(d.inner) }
 
 // MarshalBinary serialises the complete dynamic state in the versioned
 // dynamic format: build options (the fallback setting included), the raw
 // keys and measures, the delta buffer, and the fitted base index. The blob
-// round-trips through UnmarshalBinary with identical query behaviour — no
-// insert is lost, the buffer stays a buffer, and fallback-enabled indexes
-// come back able to serve QueryRel. Marshalling reads one immutable
-// snapshot and never blocks concurrent writers.
+// round-trips through UnmarshalBinary (or polyfit.Open) with identical
+// query behaviour — no insert is lost, the buffer stays a buffer, and
+// fallback-enabled indexes come back able to serve QueryRel. Marshalling
+// reads one immutable snapshot and never blocks concurrent writers.
 //
-// The dynamic format is distinct from Index.MarshalBinary's static format
-// (which has no room for the buffer or raw data); DetectBlob tells them
-// apart, and each Unmarshal reports a descriptive error when handed the
-// other's blob.
+// The dynamic format is distinct from StaticIndex.MarshalBinary's static
+// format (which has no room for the buffer or raw data); DetectBlob tells
+// them apart, and each Unmarshal reports a descriptive error when handed
+// the other's blob.
 func (d *DynamicIndex) MarshalBinary() ([]byte, error) { return d.inner.MarshalBinary() }
 
 // UnmarshalBinary restores a dynamic index from a MarshalBinary blob. The
@@ -153,8 +130,10 @@ func (d *DynamicIndex) MarshalBinary() ([]byte, error) { return d.inner.MarshalB
 // which are reconstructed from the serialised raw data) relative-error
 // queries all behave exactly as on the original. The base segments load
 // directly from the blob, so restoring costs a linear scan, not a re-fit.
-// Corrupt or truncated blobs are rejected with an error; UnmarshalBinary
-// never panics on garbage input.
+// Corrupt or truncated blobs are rejected with an error wrapping
+// ErrCorruptBlob; UnmarshalBinary never panics on garbage input.
+//
+// Deprecated: use polyfit.Open.
 func (d *DynamicIndex) UnmarshalBinary(data []byte) error {
 	inner, err := core.RestoreDynamic(data)
 	if err != nil {

@@ -264,7 +264,7 @@ func TestDynamicMarshalRoundTrip(t *testing.T) {
 		t.Errorf("QueryRel counted %g buffered inserts, want 5", res.Value)
 	}
 	// A static index must refuse the dynamic blob with a useful error.
-	if err := (&Index{}).UnmarshalBinary(blob); err == nil {
+	if err := (&StaticIndex{}).UnmarshalBinary(blob); err == nil {
 		t.Error("static UnmarshalBinary accepted a dynamic blob")
 	}
 }

@@ -6,6 +6,53 @@ import (
 	polyfit "repro"
 )
 
+// ExampleNew builds an index through the unified builder and reads the
+// certified error bound off the answer; swapping WithDynamic()/WithShards(k)
+// into the option list changes the layout without changing any query code.
+func ExampleNew() {
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i) * 1.5 // sorted, distinct
+	}
+	ix, err := polyfit.New(
+		polyfit.Spec{Agg: polyfit.Count, Keys: keys},
+		polyfit.WithMaxError(4),
+	)
+	if err != nil {
+		panic(err)
+	}
+	// Count keys in (150, 300]: exactly 100 of them (151.5, 153, ..., 300).
+	res, _ := ix.Query(polyfit.Range{Lo: 150, Hi: 300})
+	fmt.Printf("count ≈ %.0f ± %.0f (exact 100)\n", res.Value, res.Bound)
+	// Output: count ≈ 100 ± 4 (exact 100)
+}
+
+// ExampleOpen round-trips an index of any layout through its binary
+// encoding: Open sniffs the blob kind and restores the matching variant
+// behind the same Index interface.
+func ExampleOpen() {
+	keys := make([]float64, 1000)
+	for i := range keys {
+		keys[i] = float64(i) * 1.5
+	}
+	ix, err := polyfit.New(
+		polyfit.Spec{Agg: polyfit.Count, Keys: keys},
+		polyfit.WithMaxError(4), polyfit.WithDynamic(), polyfit.WithShards(4),
+	)
+	if err != nil {
+		panic(err)
+	}
+	blob, _ := ix.MarshalBinary()
+	loaded, err := polyfit.Open(blob)
+	if err != nil {
+		panic(err)
+	}
+	_, insertable := loaded.(polyfit.Inserter)
+	sh, _ := loaded.(polyfit.Sharder)
+	fmt.Printf("restored: insertable=%v shards=%d\n", insertable, sh.NumShards())
+	// Output: restored: insertable=true shards=4
+}
+
 // ExampleNewCountIndex builds a COUNT index over a small sorted key set and
 // answers a range count within the requested absolute error.
 func ExampleNewCountIndex() {
@@ -89,13 +136,13 @@ func ExampleIndex_marshal() {
 	}
 	ix, _ := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 2})
 	blob, _ := ix.MarshalBinary()
-	var loaded polyfit.Index
-	if err := loaded.UnmarshalBinary(blob); err != nil {
+	loaded, err := polyfit.Open(blob)
+	if err != nil {
 		panic(err)
 	}
 	a, _, _ := ix.Query(50, 150)
-	b, _, _ := loaded.Query(50, 150)
-	fmt.Printf("same answer after round-trip: %v\n", a == b)
+	b, _ := loaded.Query(polyfit.Range{Lo: 50, Hi: 150})
+	fmt.Printf("same answer after round-trip: %v\n", a == b.Value)
 	// Output: same answer after round-trip: true
 }
 

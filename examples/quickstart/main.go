@@ -1,5 +1,7 @@
-// Quickstart: build a PolyFit COUNT index over a million keys, query it in
-// nanoseconds, and verify the absolute error guarantee against brute force.
+// Quickstart: build a PolyFit COUNT index over a few hundred thousand keys
+// with the unified builder, query it in nanoseconds, read the certified
+// error bound off every answer, and verify the absolute guarantee against
+// brute force.
 package main
 
 import (
@@ -17,9 +19,15 @@ func main() {
 	fmt.Printf("dataset: %d sorted keys in [%.2f, %.2f]\n",
 		len(keys), keys[0], keys[len(keys)-1])
 
-	// 2. Build the index with an absolute error guarantee of ±100.
+	// 2. One builder for every layout: polyfit.New constructs the index from
+	// a Spec (what to index) plus options (how). Swapping in
+	// polyfit.WithDynamic() or polyfit.WithShards(8) changes the layout,
+	// not the API.
 	start := time.Now()
-	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 100})
+	ix, err := polyfit.New(
+		polyfit.Spec{Agg: polyfit.Count, Keys: keys},
+		polyfit.WithMaxError(100), // absolute guarantee ±100
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -28,38 +36,52 @@ func main() {
 	fmt.Printf("compression: %d keys (%d KB raw) -> %d polynomial segments (%d KB)\n\n",
 		st.Records, 8*st.Records/1024, st.Segments, st.IndexBytes/1024)
 
-	// 3. Query: how many tweets between latitudes 30 and 50?
-	approx, _, _ := ix.Query(30, 50)
+	// 3. Query: how many tweets between latitudes 30 and 50? Every answer
+	// carries its certified absolute error bound.
+	res, _ := ix.Query(polyfit.Range{Lo: 30, Hi: 50})
 	exact := bruteCount(keys, 30, 50)
-	fmt.Printf("COUNT (30, 50]   approx=%.0f  exact=%.0f  error=%.0f (guarantee ±100)\n",
-		approx, exact, math.Abs(approx-exact))
+	fmt.Printf("COUNT (30, 50]   approx=%.0f ± %.0f (certified)  exact=%.0f  error=%.0f\n",
+		res.Value, res.Bound, exact, math.Abs(res.Value-exact))
 
 	// 4. Relative-error query: certified within 1%, exact fallback if the
-	// approximate gate cannot certify it.
-	res, _ := ix.QueryRel(30, 50, 0.01)
-	fmt.Printf("COUNT (30, 50]   within 1%%: %.0f (exact fallback used: %v)\n\n", res.Value, res.Exact)
+	// approximate gate cannot certify it (then Bound is 0).
+	rel, _ := ix.QueryRel(polyfit.Range{Lo: 30, Hi: 50}, 0.01)
+	fmt.Printf("COUNT (30, 50]   within 1%%: %.0f (exact fallback used: %v, bound %g)\n\n",
+		rel.Value, rel.Exact, rel.Bound)
 
-	// 5. Throughput check on the paper's workload.
+	// 5. Round-trip: any variant marshals to a blob that polyfit.Open
+	// restores behind the same Index interface.
+	blob, _ := ix.MarshalBinary()
+	loaded, err := polyfit.Open(blob)
+	if err != nil {
+		panic(err)
+	}
+	lres, _ := loaded.Query(polyfit.Range{Lo: 30, Hi: 50})
+	fmt.Printf("round-trip through %d-byte blob: same answer: %v\n\n", len(blob), lres.Value == res.Value)
+
+	// 6. Throughput check on the paper's workload.
 	qs := data.RangeQueriesFromKeys(keys, 1000, 2)
 	start = time.Now()
 	const reps = 200
 	for r := 0; r < reps; r++ {
 		for _, q := range qs {
-			ix.Query(q.L, q.U) //nolint:errcheck
+			ix.Query(polyfit.Range{Lo: q.L, Hi: q.U}) //nolint:errcheck
 		}
 	}
 	perQuery := time.Since(start) / (reps * time.Duration(len(qs)))
 	fmt.Printf("throughput: %v per query over %d random range queries\n", perQuery, len(qs))
 
-	// 6. The guarantee, verified over the whole workload.
-	worst := 0.0
+	// 7. The guarantee, verified over the whole workload: every observed
+	// error must stay within the per-answer certified bound.
+	worst, worstBound := 0.0, 0.0
 	for _, q := range qs {
-		a, _, _ := ix.Query(q.L, q.U)
-		if e := math.Abs(a - bruteCount(keys, q.L, q.U)); e > worst {
-			worst = e
+		r, _ := ix.Query(polyfit.Range{Lo: q.L, Hi: q.U})
+		if e := math.Abs(r.Value - bruteCount(keys, q.L, q.U)); e > worst {
+			worst, worstBound = e, r.Bound
 		}
 	}
-	fmt.Printf("worst observed error over %d queries: %.1f (εabs = 100)\n", len(qs), worst)
+	fmt.Printf("worst observed error over %d queries: %.1f (certified bound %.0f)\n",
+		len(qs), worst, worstBound)
 }
 
 func bruteCount(keys []float64, l, u float64) float64 {

@@ -60,7 +60,9 @@ func main() {
 	wg.Wait()
 	q := must(postJSON[server.QueryResponse](ts.URL+"/v1/indexes/tweet/query",
 		server.QueryRequest{Lo: 30, Hi: 50}))
-	fmt.Printf("COUNT (30, 50] = %.0f (±100) after 5120 concurrent inserts\n", q.Value)
+	// Every query response carries the certified absolute error bound,
+	// whatever the index layout (here: ±100, the build-time guarantee).
+	fmt.Printf("COUNT (30, 50] = %.0f ± %.0f (certified) after 5120 concurrent inserts\n", q.Value, q.Bound)
 
 	// 4. A batched request: 512 ranges answered in one round trip through
 	// the sorted-sweep hot path.

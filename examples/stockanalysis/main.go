@@ -1,6 +1,8 @@
 // Stock analysis: the paper's motivating example (Section I) — range MAX
 // and range SUM queries over a stock-index tick series, plus the Figure 5
 // fitting comparison showing why polynomials beat linear models on DFmax.
+// All three indexes come from the one polyfit.New builder; only the Spec
+// changes.
 package main
 
 import (
@@ -35,36 +37,40 @@ func main() {
 	fmt.Printf("  degree-4 polynomial: %8.1f  (%.1fx better)\n\n", quart.MaxErr, lin.MaxErr/quart.MaxErr)
 
 	// --- Range MAX queries ("peak index value in a period") --------------
-	mx, err := polyfit.NewMaxIndex(keys, measures, polyfit.Options{EpsAbs: 100})
+	mx, err := polyfit.New(polyfit.Spec{Agg: polyfit.Max, Keys: keys, Measures: measures},
+		polyfit.WithMaxError(100))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("MAX index: %s\n", mx.Stats())
 	lo, hi := keys[len(keys)/4], keys[3*len(keys)/4]
 	start := time.Now()
-	peak, found, _ := mx.Query(lo, hi)
+	peak, _ := mx.Query(polyfit.Range{Lo: lo, Hi: hi})
 	lat := time.Since(start)
-	fmt.Printf("  peak over the middle half of the series: %.0f (found=%v) in %v\n", peak, found, lat)
+	fmt.Printf("  peak over the middle half of the series: %.0f ± %.0f (found=%v) in %v\n",
+		peak.Value, peak.Bound, peak.Found, lat)
 	exactPeak := bruteMax(keys, measures, lo, hi)
-	fmt.Printf("  exact peak: %.0f — error %.1f (guarantee ±100)\n\n", exactPeak, math.Abs(peak-exactPeak))
+	fmt.Printf("  exact peak: %.0f — error %.1f (certified bound %g)\n\n",
+		exactPeak, math.Abs(peak.Value-exactPeak), peak.Bound)
 
 	// --- Range SUM queries ("average index value in a period") -----------
-	sum, err := polyfit.NewSumIndex(keys, measures, polyfit.Options{EpsAbs: 1e6})
+	sum, err := polyfit.New(polyfit.Spec{Agg: polyfit.Sum, Keys: keys, Measures: measures},
+		polyfit.WithMaxError(1e6))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("SUM index: %s\n", sum.Stats())
-	v, _, _ := sum.Query(lo, hi)
-	cnt, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 100})
+	v, _ := sum.Query(polyfit.Range{Lo: lo, Hi: hi})
+	cnt, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: keys}, polyfit.WithMaxError(100))
 	if err != nil {
 		panic(err)
 	}
-	c, _, _ := cnt.Query(lo, hi)
-	fmt.Printf("  average index value over the period: %.1f (from SUM/COUNT of two PolyFit indexes)\n", v/c)
+	c, _ := cnt.Query(polyfit.Range{Lo: lo, Hi: hi})
+	fmt.Printf("  average index value over the period: %.1f (from SUM/COUNT of two PolyFit indexes)\n", v.Value/c.Value)
 
 	// --- Relative-error mode ----------------------------------------------
-	res, _ := mx.QueryRel(lo, hi, 0.01)
-	fmt.Printf("  peak within 1%%: %.0f (exact fallback used: %v)\n", res.Value, res.Exact)
+	res, _ := mx.QueryRel(polyfit.Range{Lo: lo, Hi: hi}, 0.01)
+	fmt.Printf("  peak within 1%%: %.0f (exact fallback used: %v, bound %g)\n", res.Value, res.Exact, res.Bound)
 }
 
 func bruteMax(keys, measures []float64, l, u float64) float64 {

@@ -1,7 +1,7 @@
 // Tweet density: 1D COUNT queries over tweet latitudes — the paper's TWEET
 // workload. Renders an ASCII latitude histogram from the index alone (no
 // scan of the raw data) and compares the time/accuracy trade-off across
-// error guarantees.
+// error guarantees, all through the unified polyfit.New builder.
 package main
 
 import (
@@ -18,36 +18,43 @@ func main() {
 	keys := data.GenTweet(500_000, 3)
 	fmt.Printf("tweet latitudes: %d records in [%.1f, %.1f]\n\n", len(keys), keys[0], keys[len(keys)-1])
 
-	ix, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: 200})
+	ix, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: keys}, polyfit.WithMaxError(200))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("%s\n\n", ix.Stats())
 
-	// Latitude density profile straight from the index: 30 bands of 4.5°.
+	// Latitude density profile straight from the index: 30 bands of 4.5°,
+	// answered in one batched call through the sorted-sweep hot path.
 	fmt.Println("latitude density (each row is one 4.5° band, bars from index estimates):")
 	const bands = 30
 	lo, hi := -60.0, 75.0
 	width := (hi - lo) / bands
-	maxCount := 0.0
-	counts := make([]float64, bands)
+	ranges := make([]polyfit.Range, bands)
 	for b := 0; b < bands; b++ {
-		v, _, _ := ix.Query(lo+float64(b)*width, lo+float64(b+1)*width)
-		counts[b] = v
-		if v > maxCount {
-			maxCount = v
+		ranges[b] = polyfit.Range{Lo: lo + float64(b)*width, Hi: lo + float64(b+1)*width}
+	}
+	results, err := ix.QueryBatch(ranges)
+	if err != nil {
+		panic(err)
+	}
+	maxCount := 0.0
+	for _, r := range results {
+		if r.Value > maxCount {
+			maxCount = r.Value
 		}
 	}
 	for b := bands - 1; b >= 0; b-- {
-		bar := int(50 * counts[b] / maxCount)
-		fmt.Printf("  %+6.1f° %s %0.f\n", lo+(float64(b)+0.5)*width, strings.Repeat("#", bar), counts[b])
+		bar := int(50 * results[b].Value / maxCount)
+		fmt.Printf("  %+6.1f° %s %0.f\n", lo+(float64(b)+0.5)*width, strings.Repeat("#", bar), results[b].Value)
 	}
 
 	// Error-guarantee ladder: tighter εabs → more segments → same speed class.
 	fmt.Println("\nguarantee ladder (εabs → index size and per-query latency):")
 	qs := data.RangeQueriesFromKeys(keys, 1000, 4)
 	for _, eps := range []float64{1000, 200, 50} {
-		ladder, err := polyfit.NewCountIndex(keys, polyfit.Options{EpsAbs: eps, DisableFallback: true})
+		ladder, err := polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: keys},
+			polyfit.WithMaxError(eps), polyfit.WithFallback(false))
 		if err != nil {
 			panic(err)
 		}
@@ -56,14 +63,14 @@ func main() {
 		const reps = 50
 		for r := 0; r < reps; r++ {
 			for _, q := range qs {
-				ladder.Query(q.L, q.U) //nolint:errcheck
+				ladder.Query(polyfit.Range{Lo: q.L, Hi: q.U}) //nolint:errcheck
 			}
 		}
 		per := time.Since(start) / time.Duration(reps*len(qs))
 		worst := 0.0
 		for _, q := range qs[:200] {
-			a, _, _ := ladder.Query(q.L, q.U)
-			if e := math.Abs(a - brute(keys, q.L, q.U)); e > worst {
+			a, _ := ladder.Query(polyfit.Range{Lo: q.L, Hi: q.U})
+			if e := math.Abs(a.Value - brute(keys, q.L, q.U)); e > worst {
 				worst = e
 			}
 		}

@@ -1,0 +1,395 @@
+package polyfit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Range is one query interval. COUNT/SUM indexes use the paper's half-open
+// (Lo, Hi] semantics (Equation 5), MIN/MAX the closed [Lo, Hi].
+type Range = core.Range
+
+// Result carries a certified query answer. Every query path of every index
+// variant — static, dynamic, sharded, sharded dynamic, and two-key —
+// returns one, so the paper's headline deterministic error guarantee is
+// available uniformly, not only on particular layouts.
+type Result struct {
+	Value float64
+	// Exact reports whether the exact fallback produced the value (the
+	// approximate gate of Lemma 3/5/7 failed on a relative-error query).
+	Exact bool
+	// Found is false when a MIN/MAX range contains no records.
+	Found bool
+	// Bound is the certified absolute error bound on Value: 0 for exact
+	// answers (empty COUNT/SUM ranges included), 2δ for COUNT/SUM and δ for
+	// MIN/MAX approximate answers (Lemmas 2 and 4), the additively composed
+	// 2δ·m for a sharded COUNT/SUM range touching m shards (sharded MIN/MAX
+	// stays δ — extremum error does not accumulate across shards), and 4δ
+	// for two-key COUNT/SUM rectangles (Lemma 6).
+	Bound float64
+}
+
+// Index is the uniform contract of every one-key PolyFit index. polyfit.New
+// constructs all variants behind it — the layout (static, dynamic, sharded)
+// is configuration, not a type — and polyfit.Open restores any serialised
+// one. Additional capabilities are discoverable via type assertion:
+// insert-supporting variants implement Inserter, range-partitioned ones
+// Sharder, and sharded dynamic ones ShardSnapshotter.
+type Index interface {
+	// Query answers the approximate range aggregate with the build-time
+	// absolute guarantee, reported per answer in Result.Bound. NaN endpoints
+	// are rejected with ErrInvalidRange.
+	Query(r Range) (Result, error)
+	// QueryRel answers within the relative error epsRel (Problem 2): either
+	// the approximate gate certifies the bound, or the exact fallback
+	// answers (Result.Exact true, Result.Bound 0).
+	QueryRel(r Range, epsRel float64) (Result, error)
+	// QueryBatch answers many ranges in one call through the amortised batch
+	// path; results are returned in input order, each with its own Bound.
+	QueryBatch(ranges []Range) ([]Result, error)
+	// Stats returns structural information about the index.
+	Stats() Stats
+	// MarshalBinary serialises the index; polyfit.Open restores it.
+	MarshalBinary() ([]byte, error)
+}
+
+// Inserter is implemented by the insert-supporting (dynamic) variants.
+type Inserter interface {
+	// Insert adds a (key, measure) record; duplicate keys are rejected with
+	// ErrDuplicateKey. COUNT indexes ignore the measure.
+	Insert(key, measure float64) error
+	// Rebuild forces an immediate merge of the delta buffer into the base;
+	// concurrent queries keep answering from the previous snapshot.
+	Rebuild() error
+	// BufferLen returns the number of not-yet-merged inserts.
+	BufferLen() int
+}
+
+// Sharder is implemented by the range-partitioned variants.
+type Sharder interface {
+	// NumShards returns the shard count K.
+	NumShards() int
+	// ShardOf returns the shard index owning key k.
+	ShardOf(k float64) int
+	// Bounds returns a copy of the K−1 routing boundaries.
+	Bounds() []float64
+	// ShardStats reports each shard's structure, in shard order.
+	ShardStats() []Stats
+}
+
+// ShardSnapshotter is implemented by sharded dynamic indexes, whose shards
+// can be persisted and rebuilt independently — the unit of the serving
+// layer's per-shard durability.
+type ShardSnapshotter interface {
+	Sharder
+	// MarshalShard serialises shard i alone as a dynamic blob.
+	MarshalShard(i int) ([]byte, error)
+	// RebuildShard merge-rebuilds shard i alone; the other shards' queries
+	// and inserts proceed undisturbed.
+	RebuildShard(i int) error
+}
+
+// validateRanges rejects NaN endpoints up front: they would otherwise route
+// arbitrarily through the segment (and shard) search and silently produce a
+// garbage answer with a meaningless bound.
+func validateRanges(ranges ...Range) error {
+	for _, r := range ranges {
+		if math.IsNaN(r.Lo) || math.IsNaN(r.Hi) {
+			return fmt.Errorf("%w: NaN range endpoint (%g, %g)", ErrInvalidRange, r.Lo, r.Hi)
+		}
+	}
+	return nil
+}
+
+// sumBound is the absolute error bound of an unsharded approximate
+// COUNT/SUM answer over r: 2δ (Lemma 2), or 0 for an empty (inverted)
+// range, whose answer is exactly 0.
+func sumBound(delta float64, r Range) float64 {
+	if r.Hi < r.Lo {
+		return 0
+	}
+	return 2 * delta
+}
+
+// approxBound is the absolute error bound of an unsharded relative-error
+// answer: 2δ for COUNT/SUM, δ for MIN/MAX, 0 when the exact fallback
+// answered.
+func approxBound(agg Agg, delta float64, exact bool) float64 {
+	if exact {
+		return 0
+	}
+	if agg == Count || agg == Sum {
+		return 2 * delta
+	}
+	return delta
+}
+
+// batchResults lifts core batch answers into uniform Results. shardsOf, when
+// non-nil, reports how many shards a range touched (the m of the composed
+// COUNT/SUM bound); unsharded variants pass nil for m = 1.
+func batchResults(agg Agg, delta float64, ranges []Range, br []core.BatchResult, shardsOf func(Range) int) []Result {
+	out := make([]Result, len(br))
+	for i, b := range br {
+		res := Result{Value: b.Value, Found: b.Found}
+		switch agg {
+		case Count, Sum:
+			if ranges[i].Hi >= ranges[i].Lo {
+				m := 1
+				if shardsOf != nil {
+					m = shardsOf(ranges[i])
+				}
+				res.Bound = 2 * delta * float64(m)
+			}
+		default:
+			res.Bound = delta
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// --- static ----------------------------------------------------------------
+
+type staticIndex struct{ inner *core.Index1D }
+
+func (ix *staticIndex) Query(r Range) (Result, error) {
+	if err := validateRanges(r); err != nil {
+		return Result{}, err
+	}
+	switch ix.inner.Aggregate() {
+	case Count, Sum:
+		v, err := ix.inner.RangeSum(r.Lo, r.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: true, Bound: sumBound(ix.inner.Delta(), r)}, nil
+	default:
+		v, ok, err := ix.inner.RangeExtremum(r.Lo, r.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: ok, Bound: ix.inner.Delta()}, nil
+	}
+}
+
+func (ix *staticIndex) QueryRel(r Range, epsRel float64) (Result, error) {
+	if err := validateRanges(r); err != nil {
+		return Result{}, err
+	}
+	agg, delta := ix.inner.Aggregate(), ix.inner.Delta()
+	switch agg {
+	case Count, Sum:
+		v, exact, err := ix.inner.RangeSumRel(r.Lo, r.Hi, epsRel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Exact: exact, Found: true, Bound: approxBound(agg, delta, exact)}, nil
+	default:
+		v, exact, ok, err := ix.inner.RangeExtremumRel(r.Lo, r.Hi, epsRel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Exact: exact, Found: ok, Bound: approxBound(agg, delta, exact)}, nil
+	}
+}
+
+func (ix *staticIndex) QueryBatch(ranges []Range) ([]Result, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
+	br, err := ix.inner.QueryBatch(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return batchResults(ix.inner.Aggregate(), ix.inner.Delta(), ranges, br, nil), nil
+}
+
+func (ix *staticIndex) Stats() Stats                   { return stats1D(ix.inner) }
+func (ix *staticIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+// --- dynamic ---------------------------------------------------------------
+
+type dynamicIndex struct{ inner *core.Dynamic1D }
+
+func (ix *dynamicIndex) Query(r Range) (Result, error) {
+	if err := validateRanges(r); err != nil {
+		return Result{}, err
+	}
+	delta := ix.inner.Base().Delta()
+	switch ix.inner.Aggregate() {
+	case Count, Sum:
+		v, err := ix.inner.RangeSum(r.Lo, r.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: true, Bound: sumBound(delta, r)}, nil
+	default:
+		v, ok, err := ix.inner.RangeExtremum(r.Lo, r.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: ok, Bound: delta}, nil
+	}
+}
+
+func (ix *dynamicIndex) QueryRel(r Range, epsRel float64) (Result, error) {
+	if err := validateRanges(r); err != nil {
+		return Result{}, err
+	}
+	agg, delta := ix.inner.Aggregate(), ix.inner.Base().Delta()
+	switch agg {
+	case Count, Sum:
+		v, exact, err := ix.inner.RangeSumRel(r.Lo, r.Hi, epsRel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Exact: exact, Found: true, Bound: approxBound(agg, delta, exact)}, nil
+	default:
+		v, exact, ok, err := ix.inner.RangeExtremumRel(r.Lo, r.Hi, epsRel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Exact: exact, Found: ok, Bound: approxBound(agg, delta, exact)}, nil
+	}
+}
+
+func (ix *dynamicIndex) QueryBatch(ranges []Range) ([]Result, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
+	br, err := ix.inner.QueryBatch(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return batchResults(ix.inner.Aggregate(), ix.inner.Base().Delta(), ranges, br, nil), nil
+}
+
+func (ix *dynamicIndex) Stats() Stats                   { return statsDynamic(ix.inner) }
+func (ix *dynamicIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+func (ix *dynamicIndex) Insert(key, measure float64) error { return ix.inner.Insert(key, measure) }
+func (ix *dynamicIndex) Rebuild() error                    { return ix.inner.Rebuild() }
+func (ix *dynamicIndex) BufferLen() int                    { return ix.inner.BufferLen() }
+
+// --- sharded ---------------------------------------------------------------
+
+// shardedCore is the query surface the shared sharded adapter needs; both
+// *core.Sharded1D and *core.ShardedDynamic1D satisfy it (the methods come
+// from the one shardSet scatter-gather engine plus the per-type Rel paths).
+type shardedCore interface {
+	Aggregate() Agg
+	Delta() float64
+	RangeSum(lq, uq float64) (val, bound float64, err error)
+	RangeExtremum(lq, uq float64) (val, bound float64, ok bool, err error)
+	RangeSumRel(lq, uq, epsRel float64) (val, bound float64, usedExact bool, err error)
+	RangeExtremumRel(lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error)
+	QueryBatch(ranges []Range) ([]core.BatchResult, error)
+	ShardsTouched(lq, uq float64) int
+}
+
+// shardedQueries is the Query/QueryRel/QueryBatch adapter shared by the
+// static and dynamic sharded Index implementations, so a validation or
+// bound fix can never apply to one layout and silently miss the other.
+type shardedQueries struct{ c shardedCore }
+
+func (s shardedQueries) Query(r Range) (Result, error) {
+	if err := validateRanges(r); err != nil {
+		return Result{}, err
+	}
+	switch s.c.Aggregate() {
+	case Count, Sum:
+		// The core engine already answers inverted ranges as exactly 0 with
+		// bound 0, so the result passes through unadjusted.
+		v, bound, err := s.c.RangeSum(r.Lo, r.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: true, Bound: bound}, nil
+	default:
+		v, bound, ok, err := s.c.RangeExtremum(r.Lo, r.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Found: ok, Bound: bound}, nil
+	}
+}
+
+func (s shardedQueries) QueryRel(r Range, epsRel float64) (Result, error) {
+	if err := validateRanges(r); err != nil {
+		return Result{}, err
+	}
+	switch s.c.Aggregate() {
+	case Count, Sum:
+		v, bound, exact, err := s.c.RangeSumRel(r.Lo, r.Hi, epsRel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Exact: exact, Found: true, Bound: bound}, nil
+	default:
+		v, bound, exact, ok, err := s.c.RangeExtremumRel(r.Lo, r.Hi, epsRel)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Value: v, Exact: exact, Found: ok, Bound: bound}, nil
+	}
+}
+
+func (s shardedQueries) QueryBatch(ranges []Range) ([]Result, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
+	br, err := s.c.QueryBatch(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return batchResults(s.c.Aggregate(), s.c.Delta(), ranges, br, func(r Range) int {
+		return s.c.ShardsTouched(r.Lo, r.Hi)
+	}), nil
+}
+
+type shardedIndex struct {
+	shardedQueries
+	inner *core.Sharded1D
+}
+
+func newShardedIndex(inner *core.Sharded1D) *shardedIndex {
+	return &shardedIndex{shardedQueries: shardedQueries{c: inner}, inner: inner}
+}
+
+func (ix *shardedIndex) Stats() Stats                   { return statsSharded(ix.inner) }
+func (ix *shardedIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+func (ix *shardedIndex) NumShards() int        { return ix.inner.NumShards() }
+func (ix *shardedIndex) ShardOf(k float64) int { return ix.inner.ShardOf(k) }
+func (ix *shardedIndex) Bounds() []float64     { return ix.inner.Bounds() }
+func (ix *shardedIndex) ShardStats() []Stats   { return shardStatsStatic(ix.inner) }
+
+// --- sharded dynamic -------------------------------------------------------
+
+type shardedDynamicIndex struct {
+	shardedQueries
+	inner *core.ShardedDynamic1D
+}
+
+func newShardedDynamicIndex(inner *core.ShardedDynamic1D) *shardedDynamicIndex {
+	return &shardedDynamicIndex{shardedQueries: shardedQueries{c: inner}, inner: inner}
+}
+
+func (ix *shardedDynamicIndex) Stats() Stats                   { return statsShardedDynamic(ix.inner) }
+func (ix *shardedDynamicIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+
+func (ix *shardedDynamicIndex) Insert(key, measure float64) error {
+	return ix.inner.Insert(key, measure)
+}
+func (ix *shardedDynamicIndex) Rebuild() error { return ix.inner.Rebuild() }
+func (ix *shardedDynamicIndex) BufferLen() int { return ix.inner.BufferLen() }
+
+func (ix *shardedDynamicIndex) NumShards() int        { return ix.inner.NumShards() }
+func (ix *shardedDynamicIndex) ShardOf(k float64) int { return ix.inner.ShardOf(k) }
+func (ix *shardedDynamicIndex) Bounds() []float64     { return ix.inner.Bounds() }
+func (ix *shardedDynamicIndex) ShardStats() []Stats   { return shardStatsDynamic(ix.inner) }
+
+func (ix *shardedDynamicIndex) MarshalShard(i int) ([]byte, error) { return ix.inner.MarshalShard(i) }
+func (ix *shardedDynamicIndex) RebuildShard(i int) error           { return ix.inner.RebuildShard(i) }

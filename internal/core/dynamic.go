@@ -80,8 +80,11 @@ func NewDynamic(agg Agg, keys, measures []float64, opt Options) (*Dynamic1D, err
 	return d, nil
 }
 
-// buildIndex dispatches a static build for the given aggregate.
-func buildIndex(agg Agg, keys, measures []float64, opt Options) (*Index1D, error) {
+// Build dispatches a static build for the given aggregate — the single
+// construction entry point behind every public builder path (the per-agg
+// BuildCount/BuildSum/BuildMax/BuildMin remain for direct use). measures
+// may be nil for Count.
+func Build(agg Agg, keys, measures []float64, opt Options) (*Index1D, error) {
 	switch agg {
 	case Count:
 		return BuildCount(keys, opt)
@@ -92,14 +95,14 @@ func buildIndex(agg Agg, keys, measures []float64, opt Options) (*Index1D, error
 	case Min:
 		return BuildMin(keys, measures, opt)
 	default:
-		return nil, fmt.Errorf("core: unknown aggregate %v", agg)
+		return nil, fmt.Errorf("%w: unknown aggregate %v", ErrWrongAgg, agg)
 	}
 }
 
 // buildState constructs a fresh snapshot (empty buffer) over the given
 // arrays, which it takes ownership of.
 func (d *Dynamic1D) buildState(keys, measures []float64) (*dynState, error) {
-	base, err := buildIndex(d.agg, keys, measures, d.opt)
+	base, err := Build(d.agg, keys, measures, d.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +273,7 @@ func (d *Dynamic1D) RangeSumRel(lq, uq, epsRel float64) (val float64, usedExact 
 		return 0, false, ErrWrongAgg
 	}
 	if epsRel <= 0 {
-		return 0, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, false, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	if uq < lq {
 		return 0, false, nil
@@ -322,7 +325,7 @@ func (d *Dynamic1D) RangeExtremumRel(lq, uq, epsRel float64) (val float64, usedE
 		return 0, false, false, ErrWrongAgg
 	}
 	if epsRel <= 0 {
-		return 0, false, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, false, false, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	bv, bok := st.bufferExtremum(d.agg, lq, uq)
 	av, aok := base.maxInternal(lq, uq)

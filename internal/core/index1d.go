@@ -93,10 +93,18 @@ func DeltaForAbs(agg Agg, epsAbs float64) float64 {
 	}
 }
 
-// Errors returned by build and query entry points.
+// Errors returned by build and query entry points. Every failure path wraps
+// one of these with %w, so callers (and the public polyfit package, which
+// re-exports them as its sentinel set) can classify errors with errors.Is
+// without matching message text.
 var (
 	ErrEmptyDataset = errors.New("core: empty dataset")
+	ErrUnsortedKeys = errors.New("core: keys must be strictly increasing")
 	ErrWrongAgg     = errors.New("core: query does not match index aggregate")
+	// ErrInvalidRange reports a query argument the index cannot interpret:
+	// NaN range endpoints, NaN rectangle coordinates, or a non-positive
+	// relative error.
+	ErrInvalidRange = errors.New("core: invalid query range")
 	ErrNoFallback   = errors.New("core: relative query needs exact fallback (built with NoFallback)")
 	// ErrDuplicateKey reports an Insert whose key is already present. WAL
 	// replay matches it to tell "already applied" (skip, idempotent) from a
@@ -199,7 +207,7 @@ func validateKeys(keys, measures []float64) error {
 	}
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
-			return fmt.Errorf("core: keys must be strictly increasing (violated at %d)", i)
+			return fmt.Errorf("%w (violated at %d)", ErrUnsortedKeys, i)
 		}
 	}
 	return nil
@@ -512,7 +520,7 @@ func (ix *Index1D) RangeSumRel(lq, uq, epsRel float64) (val float64, usedExact b
 		return 0, false, ErrWrongAgg
 	}
 	if epsRel <= 0 {
-		return 0, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, false, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	if uq < lq {
 		return 0, false, nil
@@ -608,7 +616,7 @@ func (ix *Index1D) RangeExtremumRel(lq, uq, epsRel float64) (val float64, usedEx
 		return 0, false, false, ErrWrongAgg
 	}
 	if epsRel <= 0 {
-		return 0, false, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, false, false, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	v, got := ix.maxInternal(lq, uq)
 	if ix.neg {

@@ -139,7 +139,7 @@ func (ix *Index2D) RangeCount(xlo, xhi, ylo, yhi float64) float64 {
 // exact aR-tree.
 func (ix *Index2D) RangeCountRel(xlo, xhi, ylo, yhi, epsRel float64) (val float64, usedExact bool, err error) {
 	if epsRel <= 0 {
-		return 0, false, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, false, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	a := ix.RangeCount(xlo, xhi, ylo, yhi)
 	if a >= 4*ix.delta*(1+1/epsRel) {

@@ -206,7 +206,7 @@ func (s *shardSet) relGateSum(lq, uq, epsRel float64) (val, bound float64, pass,
 		return 0, 0, false, false, 0, 0, ErrWrongAgg
 	}
 	if epsRel <= 0 {
-		return 0, 0, false, false, 0, 0, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, 0, false, false, 0, 0, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	if uq < lq {
 		return 0, 0, false, true, 0, 0, nil
@@ -226,7 +226,7 @@ func (s *shardSet) relGateExtremum(lq, uq, epsRel float64) (val float64, pass, o
 		return 0, false, false, false, 0, 0, ErrWrongAgg
 	}
 	if epsRel <= 0 {
-		return 0, false, false, false, 0, 0, fmt.Errorf("core: non-positive relative error %g", epsRel)
+		return 0, false, false, false, 0, 0, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
 	v, _, got, err := s.RangeExtremum(lq, uq)
 	if err != nil {
@@ -327,6 +327,17 @@ func (s *shardSet) Bounds() []float64 { return append([]float64(nil), s.bounds..
 // ShardOf returns the index of the shard that owns key k.
 func (s *shardSet) ShardOf(k float64) int { return shardOf(s.bounds, k) }
 
+// ShardsTouched returns the number of shards a range query over [lq, uq]
+// scatters to — the m of the composed COUNT/SUM bound 2δ·m. Empty
+// (inverted) ranges touch no shard.
+func (s *shardSet) ShardsTouched(lq, uq float64) int {
+	if uq < lq {
+		return 0
+	}
+	a, b := shardSpan(s.bounds, lq, uq)
+	return b - a + 1
+}
+
 // --- construction -----------------------------------------------------------
 
 type chunk struct{ keys, measures []float64 }
@@ -350,7 +361,7 @@ func shardPlan(agg Agg, keys, measures []float64, shards int, opt Options) ([]ch
 	}
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
-			return nil, nil, opt, fmt.Errorf("core: keys must be strictly increasing (violated at %d)", i)
+			return nil, nil, opt, fmt.Errorf("%w (violated at %d)", ErrUnsortedKeys, i)
 		}
 	}
 	if shards < 1 {
@@ -409,7 +420,7 @@ func BuildSharded(agg Agg, keys, measures []float64, shards int, opt Options) (*
 		wg.Add(1)
 		go func(i int, c chunk) {
 			defer wg.Done()
-			built[i], errs[i] = buildIndex(agg, c.keys, c.measures, opt)
+			built[i], errs[i] = Build(agg, c.keys, c.measures, opt)
 		}(i, c)
 	}
 	wg.Wait()
@@ -582,34 +593,34 @@ func NewShardedDynamic(agg Agg, keys, measures []float64, shards int, opt Option
 // len(shards)−1.
 func AssembleShardedDynamic(bounds []float64, shards []*Dynamic1D) (*ShardedDynamic1D, error) {
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("core: assemble sharded: no shards")
+		return nil, fmt.Errorf("%w: assemble sharded: no shards", ErrBadFormat)
 	}
 	if len(bounds) != len(shards)-1 {
-		return nil, fmt.Errorf("core: assemble sharded: %d bounds for %d shards", len(bounds), len(shards))
+		return nil, fmt.Errorf("%w: assemble sharded: %d bounds for %d shards", ErrBadFormat, len(bounds), len(shards))
 	}
 	agg := shards[0].agg
 	delta := shards[0].state.Load().base.delta
 	for i, b := range bounds {
 		if math.IsNaN(b) || math.IsInf(b, 0) {
-			return nil, fmt.Errorf("core: assemble sharded: non-finite bound %g", b)
+			return nil, fmt.Errorf("%w: assemble sharded: non-finite bound %g", ErrBadFormat, b)
 		}
 		if i > 0 && b <= bounds[i-1] {
-			return nil, fmt.Errorf("core: assemble sharded: bounds not strictly increasing at %d", i)
+			return nil, fmt.Errorf("%w: assemble sharded: bounds not strictly increasing at %d", ErrBadFormat, i)
 		}
 	}
 	for i, sh := range shards {
 		if sh.agg != agg {
-			return nil, fmt.Errorf("core: assemble sharded: shard %d aggregate %v, want %v", i, sh.agg, agg)
+			return nil, fmt.Errorf("%w: assemble sharded: shard %d aggregate %v, want %v", ErrBadFormat, i, sh.agg, agg)
 		}
 		if d := sh.state.Load().base.delta; d != delta {
-			return nil, fmt.Errorf("core: assemble sharded: shard %d delta %g, want %g", i, d, delta)
+			return nil, fmt.Errorf("%w: assemble sharded: shard %d delta %g, want %g", ErrBadFormat, i, d, delta)
 		}
 		lo, hi := sh.KeyRange()
 		if i > 0 && lo < bounds[i-1] {
-			return nil, fmt.Errorf("core: assemble sharded: shard %d key %g below bound %g", i, lo, bounds[i-1])
+			return nil, fmt.Errorf("%w: assemble sharded: shard %d key %g below bound %g", ErrBadFormat, i, lo, bounds[i-1])
 		}
 		if i < len(bounds) && hi >= bounds[i] {
-			return nil, fmt.Errorf("core: assemble sharded: shard %d key %g at or above bound %g", i, hi, bounds[i])
+			return nil, fmt.Errorf("%w: assemble sharded: shard %d key %g at or above bound %g", ErrBadFormat, i, hi, bounds[i])
 		}
 	}
 	return &ShardedDynamic1D{

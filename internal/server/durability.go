@@ -126,7 +126,7 @@ func (s *Server) recover() error {
 		}
 		s.indexes[name] = e
 		s.recovery.Indexes++
-		if e.dyn != nil || e.shd != nil {
+		if e.ins != nil {
 			s.recovery.Dynamic++
 		} else {
 			s.recovery.Static++
@@ -164,7 +164,7 @@ func (s *Server) recoverIndex(name string) (e *entry, replayed, skipped int64, t
 	if err != nil {
 		return nil, 0, 0, 0, fmt.Errorf("snapshot payload: %w", err)
 	}
-	if e.dyn == nil {
+	if e.ins == nil {
 		// Static indexes never log inserts; a WAL here would be a bug, not
 		// data, so just report it.
 		if _, statErr := os.Stat(s.store.WALPath(name)); statErr == nil {
@@ -189,7 +189,7 @@ func (s *Server) recoverIndex(name string) (e *entry, replayed, skipped int64, t
 		}
 	}
 	for _, r := range recs {
-		if insErr := e.dyn.Insert(r.Key, r.Measure); insErr != nil {
+		if insErr := e.ins.Insert(r.Key, r.Measure); insErr != nil {
 			if errors.Is(insErr, polyfit.ErrDuplicateKey) {
 				// The snapshot already covers this acknowledged insert
 				// (crash raced snapshot and truncation). Idempotent skip.
@@ -222,9 +222,13 @@ func (s *Server) recoverShardedIndex(name string, man persist.ShardManifest) (e 
 			return nil, 0, 0, 0, fmt.Errorf("shard %d snapshot: %w", i, err)
 		}
 	}
-	sd, err := polyfit.AssembleShardedDynamic(man.Bounds, blobs)
+	sd, err := polyfit.Assemble(man.Bounds, blobs)
 	if err != nil {
 		return nil, 0, 0, 0, fmt.Errorf("assemble shards: %w", err)
+	}
+	ins, ok := sd.(polyfit.Inserter)
+	if !ok {
+		return nil, 0, 0, 0, fmt.Errorf("assemble shards: index is not insertable")
 	}
 	wals := make([]*persist.WAL, man.Shards)
 	closeAll := func() {
@@ -258,7 +262,7 @@ func (s *Server) recoverShardedIndex(name string, man persist.ShardManifest) (e 
 		wals[i] = wal
 		torn += dropped
 		for _, r := range recs {
-			if insErr := sd.Insert(r.Key, r.Measure); insErr != nil {
+			if insErr := ins.Insert(r.Key, r.Measure); insErr != nil {
 				if errors.Is(insErr, polyfit.ErrDuplicateKey) {
 					skipped++
 					continue
@@ -269,7 +273,9 @@ func (s *Server) recoverShardedIndex(name string, man persist.ShardManifest) (e 
 			replayed++
 		}
 	}
-	e = &entry{ix: sd, shd: sd, shardWALs: wals, replayed: replayed}
+	e = newEntry(sd)
+	e.shardWALs = wals
+	e.replayed = replayed
 	return e, replayed, skipped, torn, nil
 }
 
@@ -467,7 +473,7 @@ func (s *Server) persistNew(name string, e *entry) error {
 	if err := s.store.WriteSnapshot(name, blob); err != nil {
 		return err
 	}
-	if e.dyn != nil {
+	if e.ins != nil {
 		wal, err := openFreshWAL(s.store.WALPath(name))
 		if err != nil {
 			s.store.Remove(name) //nolint:errcheck
@@ -634,7 +640,7 @@ func (s *Server) persistRestore(name string, raw []byte, e, old *entry) error {
 		return err
 	}
 	walPath := s.store.WALPath(name)
-	if e.dyn != nil {
+	if e.ins != nil {
 		// openFreshWAL purges anything that slipped into the file between
 		// the truncate and the close above (or was left by an earlier
 		// same-named index): those records belong to the replaced index,
@@ -765,7 +771,7 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 	}
 	var sharded []shardedIx
 	for name, e := range s.indexes {
-		if _, ok := e.ix.(interface{ ShardStats() []polyfit.Stats }); ok {
+		if _, ok := e.ix.(polyfit.Sharder); ok {
 			sharded = append(sharded, shardedIx{name, e})
 		}
 	}
@@ -795,38 +801,17 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// entryFromBlob dispatches on the blob's magic: static blobs load as
-// immutable indexes, dynamic blobs come back insertable with their delta
-// buffer and options intact.
+// entryFromBlob restores a blob through polyfit.Open, which sniffs the
+// magic and returns the right variant behind the uniform Index interface —
+// dynamic blobs come back insertable with their delta buffer and options
+// intact, sharded ones with their per-shard capabilities.
 func entryFromBlob(raw []byte) (*entry, error) {
-	switch polyfit.DetectBlob(raw) {
-	case polyfit.BlobDynamic:
-		d := &polyfit.DynamicIndex{}
-		if err := d.UnmarshalBinary(raw); err != nil {
-			return nil, err
-		}
-		return &entry{ix: d, dyn: d}, nil
-	case polyfit.BlobStatic1D:
-		ix := &polyfit.Index{}
-		if err := ix.UnmarshalBinary(raw); err != nil {
-			return nil, err
-		}
-		return &entry{ix: ix}, nil
-	case polyfit.BlobShardedDynamic:
-		sd := &polyfit.ShardedDynamic{}
-		if err := sd.UnmarshalBinary(raw); err != nil {
-			return nil, err
-		}
-		return &entry{ix: sd, shd: sd}, nil
-	case polyfit.BlobShardedStatic:
-		six := &polyfit.ShardedIndex{}
-		if err := six.UnmarshalBinary(raw); err != nil {
-			return nil, err
-		}
-		return &entry{ix: six}, nil
-	case polyfit.BlobStatic2D:
+	if polyfit.DetectBlob(raw) == polyfit.BlobStatic2D {
 		return nil, errors.New("2D index blobs are not servable (no range endpoint)")
-	default:
-		return nil, errors.New("unrecognized index blob")
 	}
+	ix, err := polyfit.Open(raw)
+	if err != nil {
+		return nil, err
+	}
+	return newEntry(ix), nil
 }

@@ -49,19 +49,16 @@ import (
 // fit comfortably; anything larger should be loaded server-side).
 const maxBodyBytes = 512 << 20
 
-// queryable is the surface shared by static and dynamic indexes.
-type queryable interface {
-	Query(lq, uq float64) (float64, bool, error)
-	QueryRel(lq, uq, epsRel float64) (polyfit.Result, error)
-	QueryBatch(ranges []polyfit.Range) ([]polyfit.BatchResult, error)
-	Stats() polyfit.Stats
-	MarshalBinary() ([]byte, error)
-}
-
 type entry struct {
-	ix  queryable
-	dyn *polyfit.DynamicIndex   // nil unless a plain dynamic index
-	shd *polyfit.ShardedDynamic // nil unless a sharded dynamic index
+	// ix is the uniform query surface: every variant — static, dynamic,
+	// sharded, sharded dynamic — serves the same polyfit.Index contract, so
+	// the handlers never switch on concrete types.
+	ix polyfit.Index
+	// ins is ix's Inserter capability (nil for static indexes); shd its
+	// ShardSnapshotter capability (nil unless sharded dynamic), the unit of
+	// per-shard durability.
+	ins polyfit.Inserter
+	shd polyfit.ShardSnapshotter
 
 	// Durable state (nil/zero for in-memory servers and static indexes).
 	// Plain dynamic indexes log to wal; sharded dynamic indexes log each
@@ -76,6 +73,14 @@ type entry struct {
 	// append failed, so records that are only in memory still reach disk on
 	// the next snapshotter cycle.
 	forceSnap atomic.Bool
+}
+
+// newEntry wraps an index, discovering its optional capabilities once.
+func newEntry(ix polyfit.Index) *entry {
+	e := &entry{ix: ix}
+	e.ins, _ = ix.(polyfit.Inserter)
+	e.shd, _ = ix.(polyfit.ShardSnapshotter)
+	return e
 }
 
 // Server is an http.Handler serving a registry of named PolyFit indexes.
@@ -215,10 +220,11 @@ type QueryResponse struct {
 	Value float64 `json:"value"`
 	Found bool    `json:"found"`
 	Exact bool    `json:"exact,omitempty"` // relative path used the exact fallback
-	// Bound is the certified absolute error bound, reported by sharded
-	// indexes: the δ-derived guarantee composed across the shards the
-	// range touched (see polyfit.Result.Bound).
-	Bound float64 `json:"bound,omitempty"`
+	// Bound is the certified absolute error bound on value, present in
+	// every query and batch response regardless of index layout: 2δ/δ for
+	// unsharded answers, the composed 2δ·m for a sharded COUNT/SUM range
+	// touching m shards, 0 for exact answers (see polyfit.Result.Bound).
+	Bound float64 `json:"bound"`
 }
 
 // BatchRequest answers many ranges in one round trip via the amortised
@@ -336,10 +342,14 @@ func buildEntry(req CreateRequest) (*entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		if req.Dynamic && e.dyn == nil {
+		if req.Dynamic && e.ins == nil {
 			return nil, errors.New("dynamic=true but the blob is a static index (dynamic blobs come from DynamicIndex.MarshalBinary)")
 		}
 		return e, nil
+	}
+	agg, err := aggFromString(req.Agg)
+	if err != nil {
+		return nil, err
 	}
 	par := req.Parallelism
 	if par == 0 {
@@ -348,68 +358,27 @@ func buildEntry(req CreateRequest) (*entry, error) {
 		// latency changes.
 		par = runtime.GOMAXPROCS(0)
 	}
-	opt := polyfit.Options{
-		EpsAbs: req.EpsAbs, Delta: req.Delta,
-		Degree: req.Degree, DisableFallback: req.DisableFallback,
-		Parallelism: par,
-	}
-	if req.Shards > 1 {
-		agg, err := aggFromString(req.Agg)
-		if err != nil {
-			return nil, err
-		}
-		sopt := polyfit.ShardOptions{Options: opt, Shards: req.Shards}
-		if req.Dynamic {
-			sd, err := polyfit.NewShardedDynamic(agg, req.Keys, req.Measures, sopt)
-			if err != nil {
-				return nil, err
-			}
-			return &entry{ix: sd, shd: sd}, nil
-		}
-		six, err := polyfit.NewSharded(agg, req.Keys, req.Measures, sopt)
-		if err != nil {
-			return nil, err
-		}
-		return &entry{ix: six}, nil
+	// One spec-driven build for every variant: the request's layout fields
+	// lower directly onto builder options, and the returned polyfit.Index
+	// carries its capabilities (Inserter, ShardSnapshotter) itself.
+	opts := []polyfit.Option{
+		polyfit.WithMaxError(req.EpsAbs),
+		polyfit.WithDelta(req.Delta),
+		polyfit.WithDegree(req.Degree),
+		polyfit.WithFallback(!req.DisableFallback),
+		polyfit.WithParallelism(par),
 	}
 	if req.Dynamic {
-		var d *polyfit.DynamicIndex
-		var err error
-		switch req.Agg {
-		case "count":
-			d, err = polyfit.NewDynamicCountIndex(req.Keys, opt)
-		case "sum":
-			d, err = polyfit.NewDynamicSumIndex(req.Keys, req.Measures, opt)
-		case "min":
-			d, err = polyfit.NewDynamicMinIndex(req.Keys, req.Measures, opt)
-		case "max":
-			d, err = polyfit.NewDynamicMaxIndex(req.Keys, req.Measures, opt)
-		default:
-			return nil, fmt.Errorf("unknown aggregate %q (want count|sum|min|max)", req.Agg)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return &entry{ix: d, dyn: d}, nil
+		opts = append(opts, polyfit.WithDynamic())
 	}
-	var ix *polyfit.Index
-	var err error
-	switch req.Agg {
-	case "count":
-		ix, err = polyfit.NewCountIndex(req.Keys, opt)
-	case "sum":
-		ix, err = polyfit.NewSumIndex(req.Keys, req.Measures, opt)
-	case "min":
-		ix, err = polyfit.NewMinIndex(req.Keys, req.Measures, opt)
-	case "max":
-		ix, err = polyfit.NewMaxIndex(req.Keys, req.Measures, opt)
-	default:
-		return nil, fmt.Errorf("unknown aggregate %q (want count|sum|min|max)", req.Agg)
+	if req.Shards > 1 {
+		opts = append(opts, polyfit.WithShards(req.Shards))
 	}
+	ix, err := polyfit.New(polyfit.Spec{Agg: agg, Keys: req.Keys, Measures: req.Measures}, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &entry{ix: ix}, nil
+	return newEntry(ix), nil
 }
 
 // aggFromString parses the wire aggregate name.
@@ -492,34 +461,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("non-positive relative error %g", req.EpsRel))
 		return
 	}
+	r2 := polyfit.Range{Lo: req.Lo, Hi: req.Hi}
+	var res polyfit.Result
+	var err error
 	if req.EpsRel > 0 {
-		res, err := e.ix.QueryRel(req.Lo, req.Hi, req.EpsRel)
-		if err != nil {
-			writeError(w, queryErrStatus(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact, Bound: res.Bound})
-		return
+		res, err = e.ix.QueryRel(r2, req.EpsRel)
+	} else {
+		res, err = e.ix.Query(r2)
 	}
-	// Sharded indexes report the composed absolute error bound for the
-	// shards the range actually touched.
-	if bq, ok := e.ix.(interface {
-		QueryWithBound(lq, uq float64) (polyfit.Result, error)
-	}); ok {
-		res, err := bq.QueryWithBound(req.Lo, req.Hi)
-		if err != nil {
-			writeError(w, queryErrStatus(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Bound: res.Bound})
-		return
-	}
-	v, found, err := e.ix.Query(req.Lo, req.Hi)
 	if err != nil {
 		writeError(w, queryErrStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Value: v, Found: found})
+	writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact, Bound: res.Bound})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -543,7 +497,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := BatchResponse{Results: make([]QueryResponse, len(results))}
 	for i, res := range results {
-		out.Results[i] = QueryResponse{Value: res.Value, Found: res.Found}
+		out.Results[i] = QueryResponse{Value: res.Value, Found: res.Found, Bound: res.Bound}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -553,7 +507,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if e.dyn == nil && e.shd == nil {
+	if e.ins == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static; build it with dynamic=true to insert", name))
 		return
 	}
@@ -562,10 +516,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	insert := e.dyn.Insert
-	if e.shd != nil {
-		insert = e.shd.Insert
-	}
+	insert := e.ins.Insert
 	resp := InsertResponse{}
 	var accepted []persist.Record          // plain dynamic: one log
 	var acceptedByShard [][]persist.Record // sharded: one log per owning shard
@@ -633,15 +584,11 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if e.dyn == nil && e.shd == nil {
+	if e.ins == nil {
 		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static", name))
 		return
 	}
-	rebuild := e.dyn.Rebuild
-	if e.shd != nil {
-		rebuild = e.shd.Rebuild
-	}
-	if err := rebuild(); err != nil {
+	if err := e.ins.Rebuild(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -692,7 +639,7 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 	out := StatsResponse{
 		Name:          name,
 		Aggregate:     st.Aggregate.String(),
-		Dynamic:       e.dyn != nil || e.shd != nil,
+		Dynamic:       e.ins != nil,
 		Records:       st.Records,
 		Segments:      st.Segments,
 		Degree:        st.Degree,
@@ -703,7 +650,7 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 		BufferLen:     st.BufferLen,
 		Shards:        st.Shards,
 	}
-	if sh, ok := e.ix.(interface{ ShardStats() []polyfit.Stats }); ok {
+	if sh, ok := e.ix.(polyfit.Sharder); ok {
 		for i, ss := range sh.ShardStats() {
 			row := ShardStats{
 				Shard:      i,

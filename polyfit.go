@@ -1,9 +1,16 @@
 package polyfit
 
-import (
-	"errors"
-	"fmt"
+// This file holds the v1 public API: per-variant concrete types with
+// 4-per-aggregate constructors. It is kept as a thin, deprecated
+// compatibility layer — every constructor delegates to the polyfit.New
+// builder and every method to the same internals that back the Index
+// interface, so existing callers compile unchanged while new code uses
+// New/Open. The one intentional break: the v1 static struct is now named
+// StaticIndex, because polyfit.Index is the interface — code that spelled
+// `polyfit.Index` as a concrete type must rename or move to Open. See
+// doc.go for the migration table.
 
+import (
 	"repro/internal/core"
 )
 
@@ -18,20 +25,10 @@ const (
 	Max   = core.Max
 )
 
-// Errors surfaced by the public API.
-var (
-	// ErrNoFallback is returned by relative-error queries when the index
-	// carries no exact fallback (built with DisableFallback, or loaded from
-	// a serialised blob).
-	ErrNoFallback = core.ErrNoFallback
-	// ErrDuplicateKey is returned by DynamicIndex.Insert when the key is
-	// already present (in the base index or the delta buffer).
-	ErrDuplicateKey = core.ErrDuplicateKey
-	// ErrBadOptions reports an invalid Options combination.
-	ErrBadOptions = errors.New("polyfit: either EpsAbs or Delta must be positive")
-)
-
-// Options configures index construction.
+// Options configures index construction in the v1 API.
+//
+// Deprecated: use functional options with polyfit.New (WithMaxError,
+// WithDelta, WithDegree, WithFallback, WithParallelism).
 type Options struct {
 	// EpsAbs is the absolute error guarantee εabs. The build derives the
 	// fitting tolerance δ per the paper's lemmas (εabs/2 for COUNT/SUM,
@@ -53,223 +50,112 @@ type Options struct {
 	Parallelism int
 }
 
-func (o Options) delta(agg Agg) (float64, error) {
-	if o.Delta > 0 {
-		return o.Delta, nil
-	}
-	if o.EpsAbs > 0 {
-		return core.DeltaForAbs(agg, o.EpsAbs), nil
-	}
-	return 0, ErrBadOptions
+// options lowers the v1 struct onto the builder's functional options
+// (non-positive values are no-ops there, so zero fields mean "default").
+func (o Options) options(extra ...Option) []Option {
+	return append([]Option{
+		WithMaxError(o.EpsAbs),
+		WithDelta(o.Delta),
+		WithDegree(o.Degree),
+		WithFallback(!o.DisableFallback),
+		WithParallelism(o.Parallelism),
+	}, extra...)
 }
 
-// Index is a PolyFit index over one key.
-type Index struct {
+// StaticIndex is an immutable PolyFit index over one key — the v1 concrete
+// type behind polyfit.New's default (static, unsharded) layout.
+//
+// Deprecated: build with polyfit.New and query through the Index interface.
+type StaticIndex struct {
 	inner *core.Index1D
+}
+
+// newStatic delegates a v1 static build to the builder and unwraps the
+// concrete index.
+func newStatic(agg Agg, keys, measures []float64, opt Options) (*StaticIndex, error) {
+	ix, err := New(Spec{Agg: agg, Keys: keys, Measures: measures}, opt.options()...)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticIndex{inner: ix.(*staticIndex).inner}, nil
 }
 
 // NewCountIndex builds an index answering approximate range COUNT queries
 // over the given keys (sorted, strictly increasing).
-func NewCountIndex(keys []float64, opt Options) (*Index, error) {
-	d, err := opt.delta(Count)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := core.BuildCount(keys, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Index{inner: inner}, nil
+//
+// Deprecated: use polyfit.New(polyfit.Spec{Agg: polyfit.Count, Keys: keys}, ...).
+func NewCountIndex(keys []float64, opt Options) (*StaticIndex, error) {
+	return newStatic(Count, keys, nil, opt)
 }
 
 // NewSumIndex builds an index answering approximate range SUM queries over
 // (key, measure) records. Measures must be non-negative for the
 // relative-error guarantee.
-func NewSumIndex(keys, measures []float64, opt Options) (*Index, error) {
-	d, err := opt.delta(Sum)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := core.BuildSum(keys, measures, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Index{inner: inner}, nil
+//
+// Deprecated: use polyfit.New(polyfit.Spec{Agg: polyfit.Sum, ...}, ...).
+func NewSumIndex(keys, measures []float64, opt Options) (*StaticIndex, error) {
+	return newStatic(Sum, keys, measures, opt)
 }
 
 // NewMaxIndex builds an index answering approximate range MAX queries.
-func NewMaxIndex(keys, measures []float64, opt Options) (*Index, error) {
-	d, err := opt.delta(Max)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := core.BuildMax(keys, measures, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Index{inner: inner}, nil
+//
+// Deprecated: use polyfit.New(polyfit.Spec{Agg: polyfit.Max, ...}, ...).
+func NewMaxIndex(keys, measures []float64, opt Options) (*StaticIndex, error) {
+	return newStatic(Max, keys, measures, opt)
 }
 
 // NewMinIndex builds an index answering approximate range MIN queries.
-func NewMinIndex(keys, measures []float64, opt Options) (*Index, error) {
-	d, err := opt.delta(Min)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := core.BuildMin(keys, measures, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Index{inner: inner}, nil
+//
+// Deprecated: use polyfit.New(polyfit.Spec{Agg: polyfit.Min, ...}, ...).
+func NewMinIndex(keys, measures []float64, opt Options) (*StaticIndex, error) {
+	return newStatic(Min, keys, measures, opt)
 }
 
 // Query answers the approximate range aggregate over [lq, uq] (COUNT/SUM use
 // the half-open (lq, uq] semantics of the paper's Equation 5). For MIN/MAX
 // an empty range returns found=false; COUNT/SUM return 0 with found=true.
-func (ix *Index) Query(lq, uq float64) (value float64, found bool, err error) {
-	switch ix.inner.Aggregate() {
-	case Count, Sum:
-		v, err := ix.inner.RangeSum(lq, uq)
-		if err != nil {
-			return 0, false, err
-		}
-		return v, true, nil
-	default:
-		return ix.inner.RangeExtremum(lq, uq)
-	}
+// NaN endpoints are rejected with ErrInvalidRange, exactly as on the Index
+// interface (the wrapper delegates to the same adapter).
+func (ix *StaticIndex) Query(lq, uq float64) (value float64, found bool, err error) {
+	res, err := (&staticIndex{inner: ix.inner}).Query(Range{Lo: lq, Hi: uq})
+	return res.Value, res.Found, err
 }
 
-// Range is one query interval of a batched request. COUNT/SUM indexes use
-// the half-open (Lo, Hi] semantics, MIN/MAX the closed [Lo, Hi].
-type Range = core.Range
-
-// BatchResult is the answer to one Range of a batch; Found mirrors Query's
-// found result.
+// BatchResult is the answer to one Range of a v1 batch; Found mirrors
+// Query's found result. The Index interface's QueryBatch returns []Result
+// (with per-range error bounds) instead.
 type BatchResult = core.BatchResult
 
 // QueryBatch answers many ranges in one call, equivalent to calling Query
 // per range but with the per-query segment binary search amortised across
 // the sorted batch — the hot path of the serving layer's batched endpoint.
 // Results are returned in input order.
-func (ix *Index) QueryBatch(ranges []Range) ([]BatchResult, error) {
+func (ix *StaticIndex) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
 	return ix.inner.QueryBatch(ranges)
 }
 
-// Result carries a certified query answer.
-type Result struct {
-	Value float64
-	// Exact reports whether the exact fallback produced the value (the
-	// approximate gate of Lemma 3/5 failed).
-	Exact bool
-	// Found is false when a MIN/MAX range contains no records.
-	Found bool
-	// Bound is the certified absolute error bound on Value, when the
-	// answering path computes one: 0 for exact answers, 2δ (COUNT/SUM) or δ
-	// (MIN/MAX) for plain approximate answers, and the additively composed
-	// 2δ·m for a sharded COUNT/SUM range touching m shards (sharded MIN/MAX
-	// stays δ — extremum error does not accumulate across shards).
-	Bound float64
-}
-
 // QueryRel answers within the relative error epsRel (Problem 2). The result
-// is certified: either the approximate gate passed, or the exact structure
-// answered.
-func (ix *Index) QueryRel(lq, uq, epsRel float64) (Result, error) {
-	switch ix.inner.Aggregate() {
-	case Count, Sum:
-		v, exact, err := ix.inner.RangeSumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: true, Bound: approxBound(ix.inner.Aggregate(), ix.inner.Delta(), exact)}, err
-	default:
-		v, exact, ok, err := ix.inner.RangeExtremumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: ok, Bound: approxBound(ix.inner.Aggregate(), ix.inner.Delta(), exact)}, err
-	}
-}
-
-// approxBound is the absolute error bound of an unsharded approximate
-// answer: 2δ for COUNT/SUM (Lemma 2), δ for MIN/MAX (Lemma 4), 0 when the
-// exact fallback answered.
-func approxBound(agg Agg, delta float64, exact bool) float64 {
-	if exact {
-		return 0
-	}
-	if agg == Count || agg == Sum {
-		return 2 * delta
-	}
-	return delta
-}
-
-// Stats summarises an index.
-type Stats struct {
-	Aggregate     Agg
-	Records       int
-	Segments      int
-	Degree        int
-	Delta         float64
-	IndexBytes    int // the compact PolyFit structure (plus delta buffer, if dynamic)
-	RootBytes     int // learned-root locate table, included in IndexBytes
-	FallbackBytes int // exact structures for QueryRel (0 if disabled)
-	BufferLen     int // not-yet-merged inserts (always 0 for static indexes)
-	Shards        int // range partitions (0 for unsharded indexes)
-	KeyLo, KeyHi  float64
+// is certified: either the approximate gate passed (Result.Bound carries
+// the 2δ/δ guarantee), or the exact structure answered (Bound 0).
+func (ix *StaticIndex) QueryRel(lq, uq, epsRel float64) (Result, error) {
+	return (&staticIndex{inner: ix.inner}).QueryRel(Range{Lo: lq, Hi: uq}, epsRel)
 }
 
 // Stats returns structural information about the index.
-func (ix *Index) Stats() Stats {
-	lo, hi := ix.inner.KeyRange()
-	return Stats{
-		KeyLo:         lo,
-		KeyHi:         hi,
-		Aggregate:     ix.inner.Aggregate(),
-		Records:       ix.inner.Len(),
-		Segments:      ix.inner.NumSegments(),
-		Degree:        ix.inner.Degree(),
-		Delta:         ix.inner.Delta(),
-		IndexBytes:    ix.inner.SizeBytes(),
-		RootBytes:     ix.inner.RootSizeBytes(),
-		FallbackBytes: ix.inner.FallbackSizeBytes(),
-	}
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("%v index: %d records → %d deg-%d segments (δ=%g, %dB index, %dB fallback)",
-		s.Aggregate, s.Records, s.Segments, s.Degree, s.Delta, s.IndexBytes, s.FallbackBytes)
-}
-
-// BlobKind identifies which index type produced a serialised blob.
-type BlobKind = core.BlobKind
-
-// Blob kinds distinguishable from a serialised blob's magic bytes.
-const (
-	BlobUnknown        = core.BlobUnknown
-	BlobStatic1D       = core.BlobStatic1D       // Index.MarshalBinary
-	BlobStatic2D       = core.BlobStatic2D       // Index2D.MarshalBinary
-	BlobDynamic        = core.BlobDynamic        // DynamicIndex.MarshalBinary
-	BlobShardedStatic  = core.BlobShardedStatic  // ShardedIndex.MarshalBinary
-	BlobShardedDynamic = core.BlobShardedDynamic // ShardedDynamic.MarshalBinary
-)
-
-// DetectBlob sniffs the magic bytes of a serialised index so callers can
-// dispatch to the matching Unmarshal without trial decoding.
-func DetectBlob(data []byte) BlobKind { return core.DetectBlob(data) }
+func (ix *StaticIndex) Stats() Stats { return stats1D(ix.inner) }
 
 // MarshalBinary serialises the compact index structure (without exact
 // fallbacks — see the package documentation).
-func (ix *Index) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
+func (ix *StaticIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
 
 // UnmarshalBinary loads a serialised index.
-func (ix *Index) UnmarshalBinary(data []byte) error {
+//
+// Deprecated: use polyfit.Open, which sniffs the blob kind and restores any
+// index variant behind the Index interface.
+func (ix *StaticIndex) UnmarshalBinary(data []byte) error {
 	inner := &core.Index1D{}
 	if err := inner.UnmarshalBinary(data); err != nil {
 		return err

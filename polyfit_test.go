@@ -179,7 +179,7 @@ func TestIndexRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var loaded Index
+	var loaded StaticIndex
 	if err := loaded.UnmarshalBinary(blob); err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,10 @@ import (
 	"repro/internal/core"
 )
 
-// ShardOptions configures a sharded index build: the usual build Options
+// ShardOptions configures a v1 sharded index build: the usual build Options
 // plus the shard count.
+//
+// Deprecated: use polyfit.New with WithShards(k).
 type ShardOptions struct {
 	Options
 	// Shards is the number of range partitions K. Keys are split into K
@@ -27,6 +29,9 @@ type ShardOptions struct {
 //
 // ShardedIndex is immutable after construction and safe for concurrent
 // readers. See ShardedDynamic for the insertable variant.
+//
+// Deprecated: build with polyfit.New(spec, polyfit.WithShards(k)) and use
+// the Index interface plus the Sharder capability.
 type ShardedIndex struct {
 	inner *core.Sharded1D
 }
@@ -34,23 +39,19 @@ type ShardedIndex struct {
 // NewSharded builds a sharded index of the given aggregate over (key,
 // measure) records (measures may be nil for Count). Shards build
 // concurrently; each shard is an ordinary PolyFit index over its chunk.
+//
+// Deprecated: use polyfit.New with WithShards(k).
 func NewSharded(agg Agg, keys, measures []float64, opt ShardOptions) (*ShardedIndex, error) {
-	d, err := opt.delta(agg)
+	ix, err := New(Spec{Agg: agg, Keys: keys, Measures: measures},
+		opt.options(WithShards(max(opt.Shards, 1)))...)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.BuildSharded(agg, keys, measures, opt.Shards, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &ShardedIndex{inner: inner}, nil
+	return &ShardedIndex{inner: ix.(*shardedIndex).inner}, nil
 }
 
 // Query answers the approximate range aggregate (COUNT/SUM over (lq, uq],
-// MIN/MAX over [lq, uq]) with the same shape as Index.Query. Use
+// MIN/MAX over [lq, uq]) with the same shape as StaticIndex.Query. Use
 // QueryWithBound to also receive the composed error bound.
 func (ix *ShardedIndex) Query(lq, uq float64) (value float64, found bool, err error) {
 	res, err := ix.QueryWithBound(lq, uq)
@@ -59,22 +60,10 @@ func (ix *ShardedIndex) Query(lq, uq float64) (value float64, found bool, err er
 
 // QueryWithBound answers the approximate range aggregate and reports the
 // certified absolute error bound in Result.Bound: 2δ·m for a COUNT/SUM
-// range touching m shards, δ for MIN/MAX.
+// range touching m shards, δ for MIN/MAX. NaN endpoints are rejected with
+// ErrInvalidRange, exactly as on the Index interface.
 func (ix *ShardedIndex) QueryWithBound(lq, uq float64) (Result, error) {
-	switch ix.inner.Aggregate() {
-	case Count, Sum:
-		v, bound, err := ix.inner.RangeSum(lq, uq)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Value: v, Found: true, Bound: bound}, nil
-	default:
-		v, bound, ok, err := ix.inner.RangeExtremum(lq, uq)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Value: v, Found: ok, Bound: bound}, nil
-	}
+	return newShardedIndex(ix.inner).Query(Range{Lo: lq, Hi: uq})
 }
 
 // QueryRel answers within the relative error epsRel (Problem 2). The
@@ -82,20 +71,16 @@ func (ix *ShardedIndex) QueryWithBound(lq, uq float64) (Result, error) {
 // per-shard exact fallbacks answer (every touched shard must carry one, so
 // indexes built with DisableFallback return ErrNoFallback).
 func (ix *ShardedIndex) QueryRel(lq, uq, epsRel float64) (Result, error) {
-	switch ix.inner.Aggregate() {
-	case Count, Sum:
-		v, bound, exact, err := ix.inner.RangeSumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: true, Bound: bound}, err
-	default:
-		v, bound, exact, ok, err := ix.inner.RangeExtremumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: ok, Bound: bound}, err
-	}
+	return newShardedIndex(ix.inner).QueryRel(Range{Lo: lq, Hi: uq}, epsRel)
 }
 
 // QueryBatch answers many ranges in one call: each range is routed only to
 // the shards it overlaps and the per-shard sub-batches run in parallel
 // through the amortised batch path. Results are returned in input order.
 func (ix *ShardedIndex) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
 	return ix.inner.QueryBatch(ranges)
 }
 
@@ -108,52 +93,20 @@ func (ix *ShardedIndex) Bounds() []float64 { return ix.inner.Bounds() }
 
 // Stats summarises the whole sharded index; per-shard structure is
 // available from ShardStats.
-func (ix *ShardedIndex) Stats() Stats {
-	lo, hi := ix.inner.KeyRange()
-	return Stats{
-		Aggregate:     ix.inner.Aggregate(),
-		Records:       ix.inner.Len(),
-		Segments:      ix.inner.NumSegments(),
-		Degree:        ix.inner.Shard(0).Degree(),
-		Delta:         ix.inner.Delta(),
-		IndexBytes:    ix.inner.SizeBytes(),
-		RootBytes:     ix.inner.RootSizeBytes(),
-		FallbackBytes: ix.inner.FallbackSizeBytes(),
-		Shards:        ix.inner.NumShards(),
-		KeyLo:         lo,
-		KeyHi:         hi,
-	}
-}
+func (ix *ShardedIndex) Stats() Stats { return statsSharded(ix.inner) }
 
 // ShardStats reports each shard's structure, in shard order.
-func (ix *ShardedIndex) ShardStats() []Stats {
-	out := make([]Stats, ix.inner.NumShards())
-	for i := range out {
-		sh := ix.inner.Shard(i)
-		lo, hi := sh.KeyRange()
-		out[i] = Stats{
-			Aggregate:     sh.Aggregate(),
-			Records:       sh.Len(),
-			Segments:      sh.NumSegments(),
-			Degree:        sh.Degree(),
-			Delta:         sh.Delta(),
-			IndexBytes:    sh.SizeBytes(),
-			RootBytes:     sh.RootSizeBytes(),
-			FallbackBytes: sh.FallbackSizeBytes(),
-			KeyLo:         lo,
-			KeyHi:         hi,
-		}
-	}
-	return out
-}
+func (ix *ShardedIndex) ShardStats() []Stats { return shardStatsStatic(ix.inner) }
 
 // MarshalBinary serialises the sharded index as a container of static shard
-// blobs (fallbacks excluded, as for Index.MarshalBinary).
+// blobs (fallbacks excluded, as for StaticIndex.MarshalBinary).
 func (ix *ShardedIndex) MarshalBinary() ([]byte, error) { return ix.inner.MarshalBinary() }
 
 // UnmarshalBinary loads a serialised sharded index. Corrupt containers —
 // truncated shards, tampered shard directories, mismatched shard counts —
-// are rejected with an error, never a panic.
+// are rejected with an error wrapping ErrCorruptBlob, never a panic.
+//
+// Deprecated: use polyfit.Open.
 func (ix *ShardedIndex) UnmarshalBinary(data []byte) error {
 	inner := &core.Sharded1D{}
 	if err := inner.UnmarshalBinary(data); err != nil {
@@ -170,25 +123,25 @@ func (ix *ShardedIndex) UnmarshalBinary(data []byte) error {
 // to every shard — including the rebuilding one — keep answering from
 // lock-free snapshots. The error guarantees and their composition are as
 // for ShardedIndex (delta-buffer contributions are exact).
+//
+// Deprecated: build with polyfit.New(spec, polyfit.WithDynamic(),
+// polyfit.WithShards(k)) and use the Index interface plus the Inserter and
+// ShardSnapshotter capabilities.
 type ShardedDynamic struct {
 	inner *core.ShardedDynamic1D
 }
 
 // NewShardedDynamic builds an insertable sharded index of the given
 // aggregate (measures may be nil for Count).
+//
+// Deprecated: use polyfit.New with WithDynamic() and WithShards(k).
 func NewShardedDynamic(agg Agg, keys, measures []float64, opt ShardOptions) (*ShardedDynamic, error) {
-	d, err := opt.delta(agg)
+	ix, err := New(Spec{Agg: agg, Keys: keys, Measures: measures},
+		opt.options(WithDynamic(), WithShards(max(opt.Shards, 1)))...)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewShardedDynamic(agg, keys, measures, opt.Shards, core.Options{
-		Degree: opt.Degree, Delta: d, NoFallback: opt.DisableFallback,
-		Parallelism: opt.Parallelism,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &ShardedDynamic{inner: inner}, nil
+	return &ShardedDynamic{inner: ix.(*shardedDynamicIndex).inner}, nil
 }
 
 // Insert adds a (key, measure) record to the shard owning the key;
@@ -205,40 +158,23 @@ func (d *ShardedDynamic) Query(lq, uq float64) (value float64, found bool, err e
 // composed absolute error bound in Result.Bound (see
 // ShardedIndex.QueryWithBound).
 func (d *ShardedDynamic) QueryWithBound(lq, uq float64) (Result, error) {
-	switch d.inner.Aggregate() {
-	case Count, Sum:
-		v, bound, err := d.inner.RangeSum(lq, uq)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Value: v, Found: true, Bound: bound}, nil
-	default:
-		v, bound, ok, err := d.inner.RangeExtremum(lq, uq)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Value: v, Found: ok, Bound: bound}, nil
-	}
+	return newShardedDynamicIndex(d.inner).Query(Range{Lo: lq, Hi: uq})
 }
 
 // QueryRel answers within the relative error epsRel (see
 // ShardedIndex.QueryRel); buffered inserts participate exactly in both the
 // gate and the fallback.
 func (d *ShardedDynamic) QueryRel(lq, uq, epsRel float64) (Result, error) {
-	switch d.inner.Aggregate() {
-	case Count, Sum:
-		v, bound, exact, err := d.inner.RangeSumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: true, Bound: bound}, err
-	default:
-		v, bound, exact, ok, err := d.inner.RangeExtremumRel(lq, uq, epsRel)
-		return Result{Value: v, Exact: exact, Found: ok, Bound: bound}, err
-	}
+	return newShardedDynamicIndex(d.inner).QueryRel(Range{Lo: lq, Hi: uq}, epsRel)
 }
 
 // QueryBatch answers many ranges in one call, routing each range only to
 // the shards it overlaps; each shard's sub-batch reads one consistent
 // snapshot of that shard.
 func (d *ShardedDynamic) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	if err := validateRanges(ranges...); err != nil {
+		return nil, err
+	}
 	return d.inner.QueryBatch(ranges)
 }
 
@@ -267,51 +203,11 @@ func (d *ShardedDynamic) Len() int { return d.inner.Len() }
 func (d *ShardedDynamic) BufferLen() int { return d.inner.BufferLen() }
 
 // Stats summarises the whole sharded index from per-shard snapshots.
-func (d *ShardedDynamic) Stats() Stats {
-	shards := d.ShardStats()
-	out := Stats{
-		Aggregate: d.inner.Aggregate(),
-		Delta:     d.inner.Delta(),
-		Degree:    shards[0].Degree,
-		Shards:    len(shards),
-		KeyLo:     shards[0].KeyLo,
-		KeyHi:     shards[len(shards)-1].KeyHi,
-	}
-	for _, s := range shards {
-		out.Records += s.Records
-		out.Segments += s.Segments
-		out.IndexBytes += s.IndexBytes
-		out.RootBytes += s.RootBytes
-		out.FallbackBytes += s.FallbackBytes
-		out.BufferLen += s.BufferLen
-	}
-	return out
-}
+func (d *ShardedDynamic) Stats() Stats { return statsShardedDynamic(d.inner) }
 
 // ShardStats reports each shard's structure, in shard order; each entry
 // reads one consistent snapshot of its shard.
-func (d *ShardedDynamic) ShardStats() []Stats {
-	out := make([]Stats, d.inner.NumShards())
-	for i := range out {
-		sh := d.inner.Shard(i)
-		v := sh.View()
-		lo, hi := sh.KeyRange()
-		out[i] = Stats{
-			Aggregate:     v.Base.Aggregate(),
-			Records:       v.Records,
-			Segments:      v.Base.NumSegments(),
-			Degree:        v.Base.Degree(),
-			Delta:         v.Base.Delta(),
-			IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
-			RootBytes:     v.Base.RootSizeBytes(),
-			FallbackBytes: v.Base.FallbackSizeBytes(),
-			BufferLen:     v.BufferLen,
-			KeyLo:         lo,
-			KeyHi:         hi,
-		}
-	}
-	return out
-}
+func (d *ShardedDynamic) ShardStats() []Stats { return shardStatsDynamic(d.inner) }
 
 // MarshalBinary serialises the complete sharded dynamic state as a
 // container of dynamic shard blobs: each shard round-trips exactly as
@@ -325,8 +221,10 @@ func (d *ShardedDynamic) MarshalShard(i int) ([]byte, error) { return d.inner.Ma
 
 // UnmarshalBinary restores a sharded dynamic index from a MarshalBinary
 // blob; every shard restores without re-fitting and the restored index is
-// fully operational. Corrupt containers are rejected with an error, never
-// a panic.
+// fully operational. Corrupt containers are rejected with an error
+// wrapping ErrCorruptBlob, never a panic.
+//
+// Deprecated: use polyfit.Open.
 func (d *ShardedDynamic) UnmarshalBinary(data []byte) error {
 	inner, err := core.RestoreShardedDynamic(data)
 	if err != nil {
@@ -340,16 +238,10 @@ func (d *ShardedDynamic) UnmarshalBinary(data []byte) error {
 // independently recovered per-shard dynamic blobs and the routing bounds —
 // the serving layer's per-shard recovery path. The shards must agree on
 // aggregate and δ and hold key ranges consistent with the bounds.
+//
+// Deprecated: use polyfit.Assemble, which returns the Index interface.
 func AssembleShardedDynamic(bounds []float64, shardBlobs [][]byte) (*ShardedDynamic, error) {
-	shards := make([]*core.Dynamic1D, len(shardBlobs))
-	for i, blob := range shardBlobs {
-		sh, err := core.RestoreDynamic(blob)
-		if err != nil {
-			return nil, err
-		}
-		shards[i] = sh
-	}
-	inner, err := core.AssembleShardedDynamic(bounds, shards)
+	inner, err := assembleShards(bounds, shardBlobs)
 	if err != nil {
 		return nil, err
 	}

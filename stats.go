@@ -1,0 +1,123 @@
+package polyfit
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Stats summarises an index.
+type Stats struct {
+	Aggregate     Agg
+	Records       int
+	Segments      int
+	Degree        int
+	Delta         float64
+	IndexBytes    int // the compact PolyFit structure (plus delta buffer, if dynamic)
+	RootBytes     int // learned-root locate table, included in IndexBytes
+	FallbackBytes int // exact structures for QueryRel (0 if disabled)
+	BufferLen     int // not-yet-merged inserts (always 0 for static indexes)
+	Shards        int // range partitions (0 for unsharded indexes)
+	KeyLo, KeyHi  float64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%v index: %d records → %d deg-%d segments (δ=%g, %dB index, %dB fallback)",
+		s.Aggregate, s.Records, s.Segments, s.Degree, s.Delta, s.IndexBytes, s.FallbackBytes)
+}
+
+// The helpers below are the single source of Stats for each layout; both the
+// Index interface implementations and the deprecated v1 types call them.
+
+func stats1D(ix *core.Index1D) Stats {
+	lo, hi := ix.KeyRange()
+	return Stats{
+		KeyLo:         lo,
+		KeyHi:         hi,
+		Aggregate:     ix.Aggregate(),
+		Records:       ix.Len(),
+		Segments:      ix.NumSegments(),
+		Degree:        ix.Degree(),
+		Delta:         ix.Delta(),
+		IndexBytes:    ix.SizeBytes(),
+		RootBytes:     ix.RootSizeBytes(),
+		FallbackBytes: ix.FallbackSizeBytes(),
+	}
+}
+
+// statsDynamic reports the current structure from one consistent snapshot.
+// IndexBytes includes the full delta-buffer footprint (keys, measures, and
+// prefix aggregates); BufferLen counts the not-yet-merged inserts.
+func statsDynamic(d *core.Dynamic1D) Stats {
+	v := d.View()
+	lo, hi := d.KeyRange()
+	return Stats{
+		KeyLo:         lo,
+		KeyHi:         hi,
+		Aggregate:     v.Base.Aggregate(),
+		Records:       v.Records,
+		Segments:      v.Base.NumSegments(),
+		Degree:        v.Base.Degree(),
+		Delta:         v.Base.Delta(),
+		IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
+		RootBytes:     v.Base.RootSizeBytes(),
+		FallbackBytes: v.Base.FallbackSizeBytes(),
+		BufferLen:     v.BufferLen,
+	}
+}
+
+func statsSharded(s *core.Sharded1D) Stats {
+	lo, hi := s.KeyRange()
+	return Stats{
+		Aggregate:     s.Aggregate(),
+		Records:       s.Len(),
+		Segments:      s.NumSegments(),
+		Degree:        s.Shard(0).Degree(),
+		Delta:         s.Delta(),
+		IndexBytes:    s.SizeBytes(),
+		RootBytes:     s.RootSizeBytes(),
+		FallbackBytes: s.FallbackSizeBytes(),
+		Shards:        s.NumShards(),
+		KeyLo:         lo,
+		KeyHi:         hi,
+	}
+}
+
+func shardStatsStatic(s *core.Sharded1D) []Stats {
+	out := make([]Stats, s.NumShards())
+	for i := range out {
+		out[i] = stats1D(s.Shard(i))
+	}
+	return out
+}
+
+// statsShardedDynamic sums per-shard snapshots; each row is internally
+// consistent even under concurrent inserts.
+func statsShardedDynamic(s *core.ShardedDynamic1D) Stats {
+	shards := shardStatsDynamic(s)
+	out := Stats{
+		Aggregate: s.Aggregate(),
+		Delta:     s.Delta(),
+		Degree:    shards[0].Degree,
+		Shards:    len(shards),
+		KeyLo:     shards[0].KeyLo,
+		KeyHi:     shards[len(shards)-1].KeyHi,
+	}
+	for _, sh := range shards {
+		out.Records += sh.Records
+		out.Segments += sh.Segments
+		out.IndexBytes += sh.IndexBytes
+		out.RootBytes += sh.RootBytes
+		out.FallbackBytes += sh.FallbackBytes
+		out.BufferLen += sh.BufferLen
+	}
+	return out
+}
+
+func shardStatsDynamic(s *core.ShardedDynamic1D) []Stats {
+	out := make([]Stats, s.NumShards())
+	for i := range out {
+		out[i] = statsDynamic(s.Shard(i))
+	}
+	return out
+}
