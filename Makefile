@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke crashtest cover oracle apicheck fmt vet
+.PHONY: test race bench bench-smoke benchdiff crashtest cover oracle apicheck fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -19,6 +19,15 @@ bench:
 # One-iteration pass over every testing.B benchmark (what CI runs).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Quick before/after: re-run the probes (-quick datasets) and diff against
+# the committed baseline snapshot with the in-repo comparator (see
+# cmd/benchdiff — offline-friendly stand-in for benchstat, same delta
+# table). Report-only: quick runs are too noisy to gate on.
+BENCH_BASE ?= BENCH_PR6.json
+benchdiff:
+	$(GO) run ./cmd/polyfit-bench -quick -out /tmp/bench-head.json
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASE) -new /tmp/bench-head.json
 
 # End-to-end crash-recovery check: build polyfit-serve, run it with a
 # -data-dir, acknowledge inserts, SIGKILL it mid-workload, restart, and

@@ -29,6 +29,7 @@ type buildConfig struct {
 	shards      int
 	parallelism int
 	fallback    bool
+	encoding    core.Encoding
 }
 
 // Option customises how New builds an index. Options with non-positive
@@ -80,6 +81,14 @@ func WithParallelism(n int) Option { return func(c *buildConfig) { c.parallelism
 // ErrNoFallback whenever the approximate gate cannot certify the bound.
 func WithFallback(enabled bool) Option { return func(c *buildConfig) { c.fallback = enabled } }
 
+// WithEncoding pins the coefficient encoding instead of letting the build
+// choose (EncAuto, the default). Every encoding preserves the certified δ
+// guarantee: a forced compressed encoding that fails certification falls
+// back to the next heavier one rather than weakening answers. Pin EncRaw to
+// skip certification work at build time, or to keep the index bit-identical
+// to the pre-encoding storage layout.
+func WithEncoding(e Encoding) Option { return func(c *buildConfig) { c.encoding = e } }
+
 // New builds a PolyFit index over spec with the given options — the single
 // construction path for every one-key variant:
 //
@@ -111,6 +120,7 @@ func New(spec Spec, opts ...Option) (Index, error) {
 	copt := core.Options{
 		Degree: cfg.degree, Delta: delta,
 		NoFallback: !cfg.fallback, Parallelism: cfg.parallelism,
+		Encoding: cfg.encoding,
 	}
 	keys, measures := spec.Keys, spec.Measures
 	switch {

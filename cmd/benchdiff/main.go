@@ -1,0 +1,139 @@
+// benchdiff compares two polyfit-bench JSON snapshots row by row and prints
+// a benchstat-style delta table. The container that runs CI has no network
+// access (and our snapshots are JSON, not Go benchmark text), so the
+// comparator is self-contained rather than shelling out to benchstat; the
+// output mirrors its old/new/delta columns.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -old BENCH_PR6.json -new /tmp/bench-head.json
+//
+// With -old omitted, the baseline embedded in -new (polyfit-bench
+// -baseline) is used. -fail makes regressions beyond -threshold exit
+// non-zero; the default is report-only so the CI step stays non-blocking —
+// quick runs on shared runners are too noisy to gate merges on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/polyfit-bench's row schema.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// Snapshot mirrors cmd/polyfit-bench's file schema. Baseline is decoded
+// lazily so a snapshot with an embedded baseline can serve as both sides.
+type Snapshot struct {
+	Schema   string          `json:"schema"`
+	Notes    string          `json:"notes"`
+	Results  []Result        `json:"results"`
+	Baseline json.RawMessage `json:"baseline"`
+}
+
+func load(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "polyfit-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, s.Schema)
+	}
+	return &s, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline snapshot (default: the baseline embedded in -new)")
+	newPath := flag.String("new", "", "snapshot to compare against the baseline")
+	threshold := flag.Float64("threshold", 10, "percent change below which a row counts as unchanged")
+	fail := flag.Bool("fail", false, "exit non-zero when any row regresses beyond the threshold")
+	flag.Parse()
+	if *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base *Snapshot
+	if *oldPath != "" {
+		if base, err = load(*oldPath); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if len(cur.Baseline) == 0 {
+			log.Fatalf("%s embeds no baseline; pass -old", *newPath)
+		}
+		base = &Snapshot{}
+		if err := json.Unmarshal(cur.Baseline, base); err != nil {
+			log.Fatalf("embedded baseline: %v", err)
+		}
+	}
+
+	old := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	names := make([]string, 0, len(cur.Results))
+	seen := make(map[string]bool)
+	for _, r := range cur.Results {
+		names = append(names, r.Name)
+		seen[r.Name] = true
+	}
+	sort.Strings(names)
+	byName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+
+	fmt.Printf("%-50s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, name := range names {
+		nr := byName[name]
+		or, ok := old[name]
+		if !ok {
+			fmt.Printf("%-50s %14s %14.1f %9s\n", name, "—", nr.NsPerOp, "new")
+			continue
+		}
+		pct := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		mark := ""
+		switch {
+		case pct <= -*threshold:
+			mark = "faster"
+		case pct >= *threshold:
+			mark = "SLOWER"
+			regressions++
+		}
+		fmt.Printf("%-50s %14.1f %14.1f %+8.1f%% %s\n", name, or.NsPerOp, nr.NsPerOp, pct, mark)
+	}
+	dropped := 0
+	for _, r := range base.Results {
+		if !seen[r.Name] {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		fmt.Printf("# %d baseline rows have no counterpart in the new snapshot\n", dropped)
+	}
+	if regressions > 0 {
+		fmt.Printf("# %d rows regressed beyond %.0f%%\n", regressions, *threshold)
+		if *fail {
+			os.Exit(1)
+		}
+	}
+}

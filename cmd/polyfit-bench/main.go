@@ -217,6 +217,65 @@ func main() {
 		}
 	}))
 
+	// Coefficient encodings: build cost (serial and parallel), footprint,
+	// and the query paths per forced encoding on the fine COUNT index — the
+	// size/speed tradeoff of the succinct segment store. The unforced rows
+	// above already pay the auto-selection cost (certify-and-compare), so
+	// these rows isolate each encoding's own build and query price.
+	for _, enc := range []core.Encoding{core.EncRaw, core.EncF32, core.EncPacked} {
+		enc := enc
+		encOpt := core.Options{Degree: 2, Delta: 0.5, NoFallback: true, Encoding: enc}
+		for _, w := range []int{1, 4} {
+			w := w
+			results = append(results, measure(fmt.Sprintf("encoding/build_count_n%dk_d0.5_%s/workers%d", nFine/1000, enc, w), func(b *testing.B) {
+				b.ReportAllocs()
+				o := encOpt
+				o.Parallelism = w
+				for i := 0; i < b.N; i++ {
+					if _, err := core.BuildCount(fineKeys, o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+		encIx, err := core.BuildCount(fineKeys, encOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# encoding %-8s: certified %s, %d segments, %d B total (coeff %d B, root %d B)\n",
+			enc, encIx.Encoding(), encIx.NumSegments(), encIx.SizeBytes(),
+			encIx.CoeffSizeBytes(), encIx.RootSizeBytes())
+		results = append(results, measure(fmt.Sprintf("encoding/query_point_%s", enc), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := queries[i&1023]
+				if _, err := encIx.RangeSum(q.L, q.U); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		results = append(results, measure(fmt.Sprintf("encoding/query_batch_%d_%s", len(batchRanges), enc), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := encIx.QueryBatch(batchRanges); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		encSharded, err := core.BuildSharded(core.Count, fineKeys, nil, benchShards, encOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, measure(fmt.Sprintf("encoding/sharded_query_batch_%d_%s", len(batchRanges), enc), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := encSharded.QueryBatch(batchRanges); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
 	// Public builder API: the polyfit.New construction path and the
 	// Index-interface point query, pinning the (intended: negligible)
 	// overhead of the uniform Result contract over the raw core calls.

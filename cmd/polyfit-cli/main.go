@@ -141,8 +141,23 @@ func runStats(args []string) error {
 	}
 	st := ix.Stats()
 	fmt.Println(st)
+	// Size breakdown: segment bounds + coefficient lanes + locate root make
+	// up the compact structure; anything else (delta buffers, segment
+	// extrema, RMQ tables) lands in the remainder line.
+	segBytes := st.IndexBytes - st.CoeffBytes - st.RootBytes
+	fmt.Printf("  encoding:          %s\n", st.Encoding)
+	fmt.Printf("  coefficient lanes: %d B\n", st.CoeffBytes)
+	fmt.Printf("  learned root:      %d B\n", st.RootBytes)
+	fmt.Printf("  segments + rest:   %d B\n", segBytes)
+	if st.FallbackBytes > 0 {
+		fmt.Printf("  exact fallback:    %d B (not serialised)\n", st.FallbackBytes)
+	}
 	if sh, ok := ix.(polyfit.Sharder); ok {
 		fmt.Printf("sharded: %d range partitions\n", sh.NumShards())
+		for i, ss := range sh.ShardStats() {
+			fmt.Printf("  shard %2d: %8d records, %6d segments, %8d B (%s), keys [%g, %g]\n",
+				i, ss.Records, ss.Segments, ss.IndexBytes, ss.Encoding, ss.KeyLo, ss.KeyHi)
+		}
 	}
 	return nil
 }

@@ -36,6 +36,7 @@
 //	polyfit.WithShards(k)       // k-way range partitioning (also Sharder)
 //	polyfit.WithParallelism(n)  // build with n goroutines (identical output)
 //	polyfit.WithFallback(false) // skip the exact structures behind QueryRel
+//	polyfit.WithEncoding(e)     // pin the coefficient encoding (default EncAuto)
 //
 // Capabilities beyond the uniform contract are discovered by assertion:
 //
@@ -179,6 +180,34 @@
 // expected time with zero allocations; its size is reported in
 // Stats.RootBytes and included in Stats.IndexBytes.
 //
+// # Succinct coefficient storage
+//
+// Segments are stored as structure-of-arrays coefficient lanes — one
+// contiguous array per polynomial degree — that Query and QueryBatch
+// evaluate branch-free, and the per-index encoding of those lanes is chosen
+// at build time (WithEncoding, default EncAuto):
+//
+//   - EncRaw: float64 lanes plus explicit per-segment frames; bit-identical
+//     to evaluating the fitted polynomials directly, and the encoding every
+//     index can fall back to.
+//   - EncF32: float32 lanes with float64 segment bounds (frames derived from
+//     the bounds); about half the coefficient bytes.
+//   - EncPacked: segment starts snapped to a uint32 grid over the key span
+//     and coefficients stored as 16- or 32-bit fixed-point values on
+//     per-lane affine grids; roughly a quarter of the raw footprint.
+//     COUNT/SUM only.
+//
+// Compression never weakens the contract: a compressed candidate is adopted
+// only after the full encoded query pipeline (locate, clamp, evaluate)
+// reproduces every fitted sample within the already-certified δ, so every
+// guarantee in this file holds identically for every encoding — the oracle
+// harness re-verifies all encodings against the exact referee. When
+// certification fails (MIN/MAX extrema, negative SUM measures, key spans the
+// grid cannot resolve), the build silently falls back to the next heavier
+// encoding. Stats reports the outcome: Stats.Encoding names the certified
+// encoding ("mixed" for sharded indexes whose shards chose differently) and
+// Stats.CoeffBytes the coefficient-lane footprint inside Stats.IndexBytes.
+//
 // # Two keys
 //
 // NewCount2DIndex builds the Section VI variant: a quadtree of bivariate
@@ -211,6 +240,15 @@
 // behave exactly as on the original, and every query answers identically,
 // bit for bit. Restoring never re-fits. Corrupt or truncated blobs of any
 // format are rejected with an error wrapping ErrCorruptBlob, never a panic.
+//
+// Blob formats are versioned and load backward-compatibly: the coefficient
+// encodings bumped the static format to POL1 v2, the dynamic format to POLD
+// v3, and the sharded container to POLS v2, and every pre-encoding blob
+// (POL1 v1, POLD v2, POLS v1) still loads and answers bit-identically to
+// the index that wrote it — old blobs simply land on the raw encoding. The
+// encoding itself round-trips in the blob, so loading never re-certifies
+// (and never re-fits); learned roots and lookup tables are rebuilt
+// deterministically on load and are not serialised.
 //
 // # Durability contract (serving layer)
 //

@@ -56,7 +56,7 @@ func (ix *Index1D) QueryBatch(ranges []Range) ([]BatchResult, error) {
 	out := make([]BatchResult, len(ranges))
 	switch ix.agg {
 	case Count, Sum:
-		h := len(ix.segLo)
+		h := ix.NumSegments()
 		sorted := h >= minSweepSegments && endpointsAscending(ranges)
 		if sorted || h >= sweepAdvantage*2*len(ranges) {
 			ix.batchSumSweep(ranges, out, sorted)
@@ -182,8 +182,35 @@ type endpoint struct {
 	id int32
 }
 
+// advanceLoQLE is advanceLoLE on the packed encoding's quantized grid: the
+// endpoint is quantized once and every comparison is an exact uint32
+// compare, so the cursor can never disagree with the certified single-query
+// locate through float rounding. Requires loQ[cur] ≤ xq or cur == 0.
+func (ix *Index1D) advanceLoQLE(cur int, xq uint32) int {
+	loQ := ix.loQ
+	h := len(loQ)
+	if cur+1 >= h || loQ[cur+1] > xq {
+		return cur
+	}
+	step := 1
+	for cur+step < h && loQ[cur+step] <= xq {
+		if step >= farJumpStep {
+			return ix.locatePackedQ(xq) // gallop invariant: loQ[cur] ≤ xq, so ≥ 0
+		}
+		step <<= 1
+	}
+	winLo, winHi := cur+step>>1, cur+step
+	if winHi > h {
+		winHi = h
+	}
+	return searchLoQ(loQ, winLo, winHi, xq) - 1
+}
+
 // batchSumSweep evaluates CF at all 2q endpoints in ascending order with a
-// forward-only segment cursor, then differences per range.
+// forward-only segment cursor, then differences per range. Evaluation is
+// split into two phases over the structure-of-arrays store: locate+clamp
+// first (leaving a segment index and normalised key per endpoint), then one
+// branch-free Horner pass per coefficient lane across the whole batch.
 func (ix *Index1D) batchSumSweep(ranges []Range, out []BatchResult, presorted bool) {
 	n := len(ranges)
 	eps := make([]endpoint, 2*n)
@@ -195,25 +222,79 @@ func (ix *Index1D) batchSumSweep(ranges []Range, out []BatchResult, presorted bo
 		sort.Slice(eps, func(a, b int) bool { return eps[a].x < eps[b].x })
 	}
 	cf := make([]float64, 2*n)
+	segs := make([]int32, 0, 2*n)
+	ts := make([]float64, 0, 2*n)
+	ids := make([]int32, 0, 2*n)
 	seg := 0
+	packed := ix.enc == EncPacked
 	for _, e := range eps {
 		x := e.x
 		if x < ix.keyLo {
 			cf[e.id] = 0
 			continue
 		}
-		seg = ix.advanceLoLE(seg, x)
-		if x > ix.segHi[seg] {
-			x = ix.segHi[seg] // CF is constant across gaps and past the domain
+		if packed {
+			seg = ix.advanceLoQLE(seg, ix.quantizeKey(x))
+		} else {
+			seg = ix.advanceLoLE(seg, x)
 		}
-		cf[e.id] = ix.polys[seg].Eval(ix.frames[seg].Normalize(x))
+		if hi := ix.hiAt(seg); x > hi {
+			x = hi // CF is constant across gaps and past the domain
+		}
+		c, hw := ix.frameAt(seg)
+		segs = append(segs, int32(seg))
+		ts = append(ts, (x-c)/hw)
+		ids = append(ids, e.id)
 	}
+	ix.evalCFLanes(segs, ts, ids, cf)
 	for i, r := range ranges {
 		if r.Hi < r.Lo {
 			out[i] = BatchResult{Value: 0, Found: true}
 			continue
 		}
 		out[i] = BatchResult{Value: cf[2*i+1] - cf[2*i], Found: true}
+	}
+}
+
+// evalCFLanes runs Horner lane-by-lane over the located endpoints: for each
+// coefficient lane one tight loop of fused multiply-adds over flat slices,
+// no per-segment pointers and no branches inside the loop. Each encoding's
+// arithmetic matches evalSeg operation for operation, so the batch path is
+// bit-identical to the certified single-query path.
+func (ix *Index1D) evalCFLanes(segs []int32, ts []float64, ids []int32, cf []float64) {
+	acc := make([]float64, len(segs))
+	switch ix.enc {
+	case EncRaw:
+		for j := ix.laneW - 1; j >= 0; j-- {
+			lane := ix.laneF64[j]
+			for i, s := range segs {
+				acc[i] = acc[i]*ts[i] + lane[s]
+			}
+		}
+	case EncF32:
+		for j := ix.laneW - 1; j >= 0; j-- {
+			lane := ix.laneF32[j]
+			for i, s := range segs {
+				acc[i] = acc[i]*ts[i] + float64(lane[s])
+			}
+		}
+	default: // EncPacked
+		for j := ix.laneW - 1; j >= 0; j-- {
+			off, scale := ix.laneOff[j], ix.laneScale[j]
+			if lane := ix.laneU16[j]; lane != nil {
+				for i, s := range segs {
+					acc[i] = acc[i]*ts[i] + off + scale*float64(lane[s])
+				}
+			} else {
+				lane := ix.laneU32[j]
+				for i, s := range segs {
+					acc[i] = acc[i]*ts[i] + off + scale*float64(lane[s])
+				}
+			}
+		}
+	}
+	for i, id := range ids {
+		cf[id] = acc[i]
 	}
 }
 

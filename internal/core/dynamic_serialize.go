@@ -13,18 +13,22 @@ import (
 	"repro/internal/segment"
 )
 
-// Dynamic-index serialization: the versioned v2 on-disk format that makes
+// Dynamic-index serialization: the versioned on-disk format that makes
 // Dynamic1D round-trip. Unlike the static Index1D encoding — which keeps
 // only the O(h) polynomial structure — a dynamic index must come back
 // *dynamic*: able to accept inserts, detect duplicates, merge-rebuild, and
 // (when built with fallbacks) certify relative-error answers. All of that
-// needs the raw data, so the v2 format carries the full state:
+// needs the raw data, so the format carries the full state:
 //
-//	magic "POLD" | version 2 | agg | flags | options (solver backend,
-//	degree, parallelism, δ, rebuild fraction; exp-search and fallback
-//	settings in flags) | raw keys (and measures, except COUNT) | the
-//	sorted delta buffer (keys and measures) | the fitted base index as a
-//	nested Index1D v1 blob
+//	magic "POLD" | version 3 | agg | flags | options (solver backend,
+//	coefficient-encoding mode, degree, parallelism, δ, rebuild fraction;
+//	exp-search and fallback settings in flags) | raw keys (and measures,
+//	except COUNT) | the sorted delta buffer (keys and measures) | the
+//	fitted base index as a nested Index1D blob
+//
+// v3 adds the coefficient-encoding mode byte so merge-rebuilds after a
+// restore keep honouring a forced encoding; v2 blobs (no mode byte, nested
+// POL1 v1 base) still load, defaulting the mode to auto.
 //
 // Restoring never re-fits: the base segments load straight from the nested
 // blob, and only the O(n) exact fallbacks are reconstructed (when the
@@ -34,7 +38,7 @@ import (
 
 const (
 	magicDyn     = uint32(0x504F4C44) // "POLD"
-	dynFormatVer = uint16(2)
+	dynFormatVer = uint16(3)
 
 	dynFlagNoFallback  = 1 << 0
 	dynFlagHasMeasures = 1 << 1
@@ -75,6 +79,7 @@ func (d *Dynamic1D) MarshalBinary() ([]byte, error) {
 	w(uint8(d.agg))
 	w(flags)
 	w(uint8(d.opt.Backend))
+	w(uint8(d.opt.Encoding))
 	w(uint32(d.opt.Degree))
 	w(uint32(max(d.opt.Parallelism, 0)))
 	w(d.opt.Delta)
@@ -110,14 +115,25 @@ func RestoreDynamic(data []byte) (*Dynamic1D, error) {
 		}
 		return nil, fmt.Errorf("%w: magic", ErrBadFormat)
 	}
-	if err := rd(&ver); err != nil || ver != dynFormatVer {
+	if err := rd(&ver); err != nil || (ver != 2 && ver != dynFormatVer) {
 		return nil, fmt.Errorf("%w: dynamic format version", ErrBadFormat)
 	}
-	var aggB, flags, backend uint8
+	var aggB, flags, backend, encMode uint8
 	var degree, par uint32
 	var delta, rebuildFrac float64
 	var n uint64
-	if err := firstErr(rd(&aggB), rd(&flags), rd(&backend), rd(&degree), rd(&par),
+	if err := firstErr(rd(&aggB), rd(&flags), rd(&backend)); err != nil {
+		return nil, fmt.Errorf("%w: dynamic header", ErrBadFormat)
+	}
+	if ver >= 3 {
+		if err := rd(&encMode); err != nil {
+			return nil, fmt.Errorf("%w: dynamic header", ErrBadFormat)
+		}
+		if enc := Encoding(encMode); enc != EncAuto && !enc.valid() {
+			return nil, fmt.Errorf("%w: encoding mode %d", ErrBadFormat, encMode)
+		}
+	}
+	if err := firstErr(rd(&degree), rd(&par),
 		rd(&delta), rd(&rebuildFrac), rd(&n)); err != nil {
 		return nil, fmt.Errorf("%w: dynamic header", ErrBadFormat)
 	}
@@ -220,6 +236,7 @@ func RestoreDynamic(data []byte) (*Dynamic1D, error) {
 	opt := Options{
 		Degree: int(degree), Delta: delta,
 		Backend:     segment.Backend(backend),
+		Encoding:    Encoding(encMode),
 		NoExpSearch: flags&dynFlagNoExpSearch != 0,
 		NoFallback:  flags&dynFlagNoFallback != 0, Parallelism: int(par),
 	}

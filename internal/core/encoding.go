@@ -1,0 +1,590 @@
+package core
+
+// Succinct segment storage. Segments are held as a structure-of-arrays
+// coefficient store: one contiguous lane per polynomial degree (c0[], c1[],
+// …) that locate/CF/QueryBatch walk branch-free, plus the segment
+// boundaries. Three on-disk/in-memory encodings share that shape:
+//
+//   - EncRaw: float64 lanes plus explicit frame lanes. Numerically identical
+//     to the historical array-of-structs layout (padded Horner over zeroed
+//     high lanes evaluates bit-for-bit like the trimmed per-segment
+//     polynomial), and the only encoding that can represent a POL1 v1 blob
+//     losslessly.
+//   - EncF32: float32 coefficient lanes; boundaries stay exact float64 and
+//     frames are derived from them (the fitter always frames a segment onto
+//     its own [Lo, Hi], so nothing is lost).
+//   - EncPacked: fixed-point lanes. Segment starts are quantized onto a
+//     uint32 grid over the key domain, Hi becomes the next segment's start
+//     (CF is constant across gaps, so COUNT/SUM answers keep their bound;
+//     MIN/MAX refuses this encoding — see tryPacked), and each coefficient
+//     lane is stored on its own affine uint16/uint32 grid. The fitted
+//     polynomials are re-expressed in the frame of their quantized
+//     boundaries via poly.ComposeAffine, so decoding needs no re-fit.
+//
+// A compressed encoding is only adopted after certification: the full
+// encoded query pipeline (locate → clamp → evaluate) is re-run over every
+// fitted sample and must stay within the build δ. That keeps Definition 3 —
+// and with it every guarantee of Section V — intact per encoding, which is
+// exactly the adaptive compressed-vs-raw scheme of LeMonHash's
+// PolymorphicPGM. When certification fails (clustered keys colliding on the
+// key grid, residuals already at δ, non-finite coefficients) the build falls
+// back to the next heavier encoding instead of shipping an uncertified
+// index.
+
+import (
+	"math"
+
+	"repro/internal/poly"
+	"repro/internal/segment"
+)
+
+// Encoding identifies how an index stores its fitted coefficients.
+type Encoding uint8
+
+// Encodings, ordered from "choose for me" through heaviest to lightest.
+// EncAuto is only a build option; a built index always reports one of the
+// other three.
+const (
+	EncAuto   Encoding = iota // build: smallest encoding that certifies δ
+	EncRaw                    // float64 lanes, lossless
+	EncF32                    // float32 coefficient lanes
+	EncPacked                 // fixed-point lanes on per-lane affine grids
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncAuto:
+		return "auto"
+	case EncRaw:
+		return "raw"
+	case EncF32:
+		return "float32"
+	case EncPacked:
+		return "packed"
+	default:
+		return "invalid"
+	}
+}
+
+// valid reports whether e can appear in a serialised blob header.
+func (e Encoding) valid() bool { return e == EncRaw || e == EncF32 || e == EncPacked }
+
+// encShaves are the fractions of δ reserved for encoding error when the
+// build re-segments for compression: greedy segmentation drives the fit
+// residual right up to δ, leaving no headroom to quantize, so the
+// compression retry fits at δ·(1−shave) and certifies the encoded pipeline
+// against the original δ. The certified, user-visible δ never changes. The
+// ladder starts light — segment count grows steeply as δ shrinks, so the
+// smallest shave that certifies wins on total bytes — and falls back to a
+// deep shave for noisy data where light headroom is not enough.
+var encShaves = []float64{0.08, 0.25}
+
+// minRefitSegments gates the shaved re-fit: below this the index is already
+// tiny and a second segmentation pass buys nothing worth the build time.
+const minRefitSegments = 64
+
+// maxLanes bounds the coefficient lane count accepted from blobs (the fitter
+// never exceeds degree+1, with the paper's degrees ≤ 8).
+const maxLanes = 64
+
+// --- accessors --------------------------------------------------------------
+
+// loAt returns segment i's (possibly decoded) start boundary.
+func (ix *Index1D) loAt(i int) float64 {
+	if ix.enc == EncPacked {
+		return ix.keyLo + float64(ix.loQ[i])*ix.keyStep
+	}
+	return ix.segLo[i]
+}
+
+// hiAt returns segment i's end boundary. Packed indexes do not store ends:
+// the cumulative function is constant across inter-segment gaps, so the next
+// segment's start (or the domain end for the last segment) clamps
+// identically.
+func (ix *Index1D) hiAt(i int) float64 {
+	if ix.enc == EncPacked {
+		if i+1 < len(ix.loQ) {
+			return ix.keyLo + float64(ix.loQ[i+1])*ix.keyStep
+		}
+		return ix.keyHi
+	}
+	return ix.segHi[i]
+}
+
+// frameAt returns segment i's evaluation frame. Raw keeps the explicit
+// per-segment frame lanes (a POL1 v1 blob may carry arbitrary frames);
+// compressed encodings derive it from the boundaries with exactly the
+// poly.NewFrame formulas.
+func (ix *Index1D) frameAt(i int) (c, hw float64) {
+	if ix.enc == EncRaw {
+		return ix.frCtr[i], ix.frHW[i]
+	}
+	lo, hi := ix.loAt(i), ix.hiAt(i)
+	c = 0.5 * (lo + hi)
+	hw = 0.5 * (hi - lo)
+	if hw <= 0 {
+		hw = 1
+	}
+	return c, hw
+}
+
+// coeffAt decodes the lane-j coefficient of segment i.
+func (ix *Index1D) coeffAt(j, i int) float64 {
+	switch ix.enc {
+	case EncF32:
+		return float64(ix.laneF32[j][i])
+	case EncPacked:
+		var q float64
+		if l := ix.laneU16[j]; l != nil {
+			q = float64(l[i])
+		} else {
+			q = float64(ix.laneU32[j][i])
+		}
+		return ix.laneOff[j] + ix.laneScale[j]*q
+	default:
+		return ix.laneF64[j][i]
+	}
+}
+
+// evalSeg evaluates segment i's polynomial at raw key k: frame-normalise,
+// then Horner straight down the coefficient lanes. The raw branch is
+// bit-identical to the historical FramedPoly evaluation.
+func (ix *Index1D) evalSeg(i int, k float64) float64 {
+	switch ix.enc {
+	case EncRaw:
+		t := (k - ix.frCtr[i]) / ix.frHW[i]
+		acc := 0.0
+		for j := ix.laneW - 1; j >= 0; j-- {
+			acc = acc*t + ix.laneF64[j][i]
+		}
+		return acc
+	case EncF32:
+		lo, hi := ix.segLo[i], ix.segHi[i]
+		c := 0.5 * (lo + hi)
+		hw := 0.5 * (hi - lo)
+		if hw <= 0 {
+			hw = 1
+		}
+		t := (k - c) / hw
+		acc := 0.0
+		for j := ix.laneW - 1; j >= 0; j-- {
+			acc = acc*t + float64(ix.laneF32[j][i])
+		}
+		return acc
+	default: // EncPacked
+		c, hw := ix.frameAt(i)
+		t := (k - c) / hw
+		acc := 0.0
+		for j := ix.laneW - 1; j >= 0; j-- {
+			var q float64
+			if l := ix.laneU16[j]; l != nil {
+				q = float64(l[i])
+			} else {
+				q = float64(ix.laneU32[j][i])
+			}
+			acc = acc*t + ix.laneOff[j] + ix.laneScale[j]*q
+		}
+		return acc
+	}
+}
+
+// framedPolyAt materialises segment i as a FramedPoly for the MIN/MAX
+// boundary-segment maximisation (Eq. 17), which needs root isolation rather
+// than point evaluation. Trailing zero coefficients are trimmed so the
+// root-finding dispatch (quadratic fast path etc.) sees the same polynomial
+// the fitter produced.
+func (ix *Index1D) framedPolyAt(i int) poly.FramedPoly {
+	c, hw := ix.frameAt(i)
+	p := make(poly.Poly, ix.laneW)
+	for j := range p {
+		p[j] = ix.coeffAt(j, i)
+	}
+	return poly.FramedPoly{F: poly.Frame{Center: c, HalfWidth: hw}, P: p.Trim()}
+}
+
+// Encoding returns the coefficient-store encoding the build (or blob) chose.
+func (ix *Index1D) Encoding() Encoding { return ix.enc }
+
+// CoeffSizeBytes reports the footprint of the coefficient lanes alone
+// (included in SizeBytes): the bytes the adaptive encoding actually
+// compresses.
+func (ix *Index1D) CoeffSizeBytes() int {
+	h := ix.NumSegments()
+	switch ix.enc {
+	case EncF32:
+		return 4 * ix.laneW * h
+	case EncPacked:
+		sz := 0
+		for j := 0; j < ix.laneW; j++ {
+			if ix.laneU16[j] != nil {
+				sz += 2 * h
+			} else {
+				sz += 4 * h
+			}
+			sz += 16 // per-lane affine grid (offset + scale)
+		}
+		return sz
+	default:
+		return 8 * ix.laneW * h
+	}
+}
+
+// BoundSizeBytes reports the footprint of the segment boundaries and frames
+// (included in SizeBytes): 32 B/segment raw, 16 B/segment float32 (frames
+// derived), 4 B/segment packed (uint32 grid starts, no ends, no frames).
+func (ix *Index1D) BoundSizeBytes() int {
+	h := ix.NumSegments()
+	switch ix.enc {
+	case EncF32:
+		return 16 * h
+	case EncPacked:
+		return 4*h + 8 // grid starts + key-grid step
+	default:
+		return 32 * h
+	}
+}
+
+// --- build-time adoption and selection --------------------------------------
+
+// adoptRawSegments fills the raw SoA store from freshly fitted segments:
+// boundary arrays, explicit frame lanes, zero-padded coefficient lanes, and
+// the learned root. Every build starts here; selectEncoding may then swap in
+// a certified compressed store.
+func (ix *Index1D) adoptRawSegments(segs []segment.Segment) {
+	h := len(segs)
+	w := 0
+	fits := 0
+	for _, s := range segs {
+		if len(s.Fit.P.P) > w {
+			w = len(s.Fit.P.P)
+		}
+		fits += s.Fit.Iters
+	}
+	ix.enc = EncRaw
+	ix.laneW = w
+	ix.segLo = make([]float64, h)
+	ix.segHi = make([]float64, h)
+	ix.frCtr = make([]float64, h)
+	ix.frHW = make([]float64, h)
+	ix.laneF64 = makeLanesF64(w, h)
+	ix.laneF32, ix.laneU16, ix.laneU32 = nil, nil, nil
+	ix.laneOff, ix.laneScale = nil, nil
+	ix.loQ, ix.keyStep = nil, 0
+	for i, s := range segs {
+		ix.segLo[i] = s.Lo
+		ix.segHi[i] = s.Hi
+		ix.frCtr[i] = s.Fit.P.F.Center
+		ix.frHW[i] = s.Fit.P.F.HalfWidth
+		for j, cv := range s.Fit.P.P {
+			ix.laneF64[j][i] = cv
+		}
+	}
+	ix.buildsFits = fits
+	ix.buildRoot()
+}
+
+func makeLanesF64(w, h int) [][]float64 {
+	lanes := make([][]float64, w)
+	flat := make([]float64, w*h)
+	for j := range lanes {
+		lanes[j] = flat[j*h : (j+1)*h]
+	}
+	return lanes
+}
+
+// selectEncoding picks the coefficient encoding per Options.Encoding.
+// cumulative marks COUNT/SUM indexes (ys = fitted CF samples); extremum
+// indexes pass their internal measure samples. The raw store must already be
+// adopted. Order for EncAuto: packed, float32, raw — smallest certified
+// wins. A forced compressed encoding that cannot certify δ falls back to the
+// next heavier one rather than violating the guarantee.
+func (ix *Index1D) selectEncoding(keys, ys []float64, segs []segment.Segment, opt Options, cumulative bool) {
+	mode := opt.Encoding
+	if mode == EncRaw {
+		return
+	}
+	tryQ := (mode == EncAuto || mode == EncPacked) && cumulative
+	if tryQ {
+		best := ix.tryPacked(keys, ys, segs)
+		if (best == nil || best.hasWideLane()) && len(segs) >= minRefitSegments {
+			// Residuals are at δ with little left for the quantizer: re-segment
+			// with headroom shaved off and certify against the original δ,
+			// keeping whichever certified candidate is smallest overall (the
+			// refit trades segment count for narrower lanes, which only pays
+			// when the direct pack had to fall back to wide grids).
+			for _, shave := range encShaves {
+				shaved, err := segment.Greedy(keys, ys, segment.Config{
+					Degree: opt.Degree, Delta: opt.Delta * (1 - shave),
+					Backend: opt.Backend, NoExpSearch: opt.NoExpSearch,
+					Parallelism: opt.Parallelism,
+				})
+				if err != nil {
+					continue
+				}
+				skel := &Index1D{agg: ix.agg, degree: ix.degree, delta: ix.delta, neg: ix.neg,
+					n: ix.n, keyLo: ix.keyLo, keyHi: ix.keyHi, total: ix.total}
+				skel.adoptRawSegments(shaved)
+				cand := skel.tryPacked(keys, ys, shaved)
+				if cand == nil {
+					continue
+				}
+				cand.buildsFits += ix.buildsFits // account for both passes
+				if best == nil || cand.SizeBytes() < best.SizeBytes() {
+					best = cand
+				}
+				break // a deeper shave only inflates the segment count further
+			}
+		}
+		if best != nil {
+			*ix = *best
+			return
+		}
+	}
+	if mode == EncAuto || mode == EncF32 || mode == EncPacked {
+		ix.tryF32(keys, ys, segs, cumulative)
+	}
+}
+
+// hasWideLane reports whether any packed coefficient lane fell back to the
+// uint32 grid — the signal that a shaved re-fit might buy a smaller index.
+func (ix *Index1D) hasWideLane() bool {
+	for _, l := range ix.laneU32 {
+		if l != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyCF certifies a candidate COUNT/SUM store: the full encoded pipeline
+// (locate → clamp → evaluate) must stay within tol of the fitted cumulative
+// sample at every key. This is Definition 3 re-checked through the encoding,
+// including boundary mis-routing where a sample quantizes into its
+// neighbour's cell. Non-finite results fail the comparison and the
+// candidate.
+func (ix *Index1D) verifyCF(keys, ys []float64, tol float64) bool {
+	for i, k := range keys {
+		if d := math.Abs(ix.CF(k) - ys[i]); !(d <= tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifySegs certifies a candidate store segment-wise: every fitted sample
+// must evaluate within tol of its target through the encoded coefficients.
+// This is the check extremum indexes need — their traversal maximises
+// per-segment polynomials, so Definition 3 per segment is exactly the
+// property Lemma 4 consumes.
+func (ix *Index1D) verifySegs(keys, ys []float64, segs []segment.Segment, tol float64) bool {
+	for i, s := range segs {
+		for j := s.First; j <= s.Last; j++ {
+			if d := math.Abs(ix.evalSeg(i, keys[j]) - ys[j]); !(d <= tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tryF32 attempts the float32 lane encoding on the already-adopted raw
+// store. Boundaries stay exact, so only coefficient rounding is at stake;
+// certification runs the same pipeline the queries will.
+func (ix *Index1D) tryF32(keys, ys []float64, segs []segment.Segment, cumulative bool) bool {
+	h := ix.NumSegments()
+	w := ix.laneW
+	lanes := make([][]float32, w)
+	flat := make([]float32, w*h)
+	for j := range lanes {
+		lanes[j] = flat[j*h : (j+1)*h]
+		for i := 0; i < h; i++ {
+			lanes[j][i] = float32(ix.laneF64[j][i])
+		}
+	}
+	cand := *ix
+	cand.enc = EncF32
+	cand.laneF32 = lanes
+	cand.laneF64 = nil
+	cand.frCtr, cand.frHW = nil, nil
+	ok := false
+	if cumulative {
+		ok = cand.verifyCF(keys, ys, ix.delta)
+	} else {
+		ok = cand.verifySegs(keys, ys, segs, ix.delta)
+	}
+	if !ok {
+		return false
+	}
+	*ix = cand
+	ix.buildRoot() // root reads boundaries only, but keep derived state fresh
+	return true
+}
+
+// tryPacked attempts the fixed-point encoding: uint32 key-grid starts, no
+// stored ends, per-lane affine uint16/uint32 coefficient grids. COUNT/SUM
+// only — the MIN/MAX traversal needs exact boundaries to bound which
+// segments a range overlaps (a quantized boundary could pull a neighbouring
+// segment's extremum into a range that never touches it, breaking the
+// covering side of Lemma 4), and extremum indexes are dominated by their
+// exact per-segment extrema + RMQ anyway.
+func (ix *Index1D) tryPacked(keys, ys []float64, segs []segment.Segment) *Index1D {
+	h := len(segs)
+	if h < 1 || ix.agg == Max || ix.agg == Min || ix.neg {
+		return nil
+	}
+	span := ix.keyHi - ix.keyLo
+	if !(span > 0) || math.IsInf(span, 0) {
+		return nil
+	}
+	step := span / float64(math.MaxUint32)
+	loQ := make([]uint32, h)
+	for i, s := range segs {
+		q := math.Floor((s.Lo - ix.keyLo) / step)
+		if !(q >= 0) {
+			q = 0
+		}
+		if q > math.MaxUint32 {
+			q = math.MaxUint32
+		}
+		loQ[i] = uint32(q)
+		if i > 0 && loQ[i] <= loQ[i-1] {
+			return nil // boundaries collide on the grid (clustered keys)
+		}
+	}
+	// Re-express every fitted polynomial in the frame of its quantized
+	// boundaries (u = α + β·t with the new frame's normalisation), then
+	// collect per-lane value ranges.
+	w := ix.laneW
+	if w == 0 {
+		return nil
+	}
+	vals := makeLanesF64(w, h)
+	for i, s := range segs {
+		lo := ix.keyLo + float64(loQ[i])*step
+		var hi float64
+		if i+1 < h {
+			hi = ix.keyLo + float64(loQ[i+1])*step
+		} else {
+			hi = ix.keyHi
+		}
+		c := 0.5 * (lo + hi)
+		hw := 0.5 * (hi - lo)
+		if hw <= 0 {
+			hw = 1
+		}
+		f := s.Fit.P.F
+		alpha := (c - f.Center) / f.HalfWidth
+		beta := hw / f.HalfWidth
+		p := s.Fit.P.P.ComposeAffine(alpha, beta)
+		if len(p) > w {
+			return nil
+		}
+		for j, cv := range p {
+			if math.IsNaN(cv) || math.IsInf(cv, 0) {
+				return nil
+			}
+			vals[j][i] = cv
+		}
+	}
+	// Per-lane grid widths, decided empirically: start every lane on uint16
+	// (pre-bumping lanes whose grid step alone already exceeds δ — typically
+	// the intercept lane, whose values span the whole cumulative range), and
+	// while certification fails widen the coarsest uint16 lane to uint32.
+	// Certification is the final word on every attempt, so a lane keeps the
+	// narrow grid exactly when the paper's guarantee survives it.
+	wide := make([]bool, w)
+	for j := 0; j < w; j++ {
+		lo, hi := laneRange(vals[j])
+		if !(hi-lo >= 0) || math.IsInf(hi-lo, 0) {
+			return nil
+		}
+		wide[j] = (hi-lo)/65535/2 > ix.delta
+	}
+	for tries := 0; tries <= w; tries++ {
+		cand := ix.packCandidate(loQ, step, vals, wide)
+		if cand.verifyCF(keys, ys, ix.delta) {
+			return cand
+		}
+		worst := -1
+		worstStep := 0.0
+		for j := 0; j < w; j++ {
+			if !wide[j] && cand.laneScale[j] > worstStep {
+				worst, worstStep = j, cand.laneScale[j]
+			}
+		}
+		if worst < 0 {
+			return nil // every lane already uint32 and δ still broken
+		}
+		wide[worst] = true
+	}
+	return nil
+}
+
+// laneRange returns the min and max of one transformed coefficient lane.
+func laneRange(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// packCandidate quantizes the transformed lanes onto affine grids and
+// assembles a packed candidate index; wide[j] selects a uint32 grid for lane
+// j instead of uint16.
+func (ix *Index1D) packCandidate(loQ []uint32, step float64, vals [][]float64, wide []bool) *Index1D {
+	w := len(vals)
+	h := len(loQ)
+	cand := *ix
+	cand.enc = EncPacked
+	cand.loQ = loQ
+	cand.keyStep = step
+	cand.segLo, cand.segHi = nil, nil
+	cand.frCtr, cand.frHW = nil, nil
+	cand.laneF64, cand.laneF32 = nil, nil
+	cand.laneU16 = make([][]uint16, w)
+	cand.laneU32 = make([][]uint32, w)
+	cand.laneOff = make([]float64, w)
+	cand.laneScale = make([]float64, w)
+	for j := 0; j < w; j++ {
+		lo, hi := laneRange(vals[j])
+		cand.laneOff[j] = lo
+		spread := hi - lo
+		if !wide[j] {
+			scale := spread / 65535
+			cand.laneScale[j] = scale
+			lane := make([]uint16, h)
+			for i, v := range vals[j] {
+				lane[i] = uint16(quantIdx(v, lo, scale, 65535))
+			}
+			cand.laneU16[j] = lane
+			continue
+		}
+		scale := spread / float64(math.MaxUint32)
+		cand.laneScale[j] = scale
+		lane := make([]uint32, h)
+		for i, v := range vals[j] {
+			lane[i] = uint32(quantIdx(v, lo, scale, math.MaxUint32))
+		}
+		cand.laneU32[j] = lane
+	}
+	cand.buildRoot()
+	return &cand
+}
+
+// quantIdx maps v onto the affine grid {off + scale·q}, rounding to nearest
+// and clamping into [0, max].
+func quantIdx(v, off, scale float64, max float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	q := math.Round((v - off) / scale)
+	if !(q >= 0) {
+		return 0
+	}
+	if q > max {
+		return max
+	}
+	return q
+}

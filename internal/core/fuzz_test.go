@@ -2,6 +2,9 @@ package core
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -15,6 +18,18 @@ func FuzzUnmarshal1D(f *testing.F) {
 	mx, _ := BuildMax(keys, measures, Options{Delta: 10})
 	blobMax, _ := mx.MarshalBinary()
 	f.Add(blobMax)
+	// Seed every coefficient encoding plus the corruption classes its lanes
+	// add: truncated lane arrays and a tampered encoding-mode byte.
+	bigKeys, _ := genDataset(20000, 92)
+	for _, enc := range []Encoding{EncRaw, EncF32, EncPacked} {
+		eix, _ := BuildCount(bigKeys, Options{Delta: 2, Encoding: enc, NoFallback: true})
+		eb, _ := eix.MarshalBinary()
+		f.Add(eb)
+		f.Add(eb[:len(eb)-len(eb)/3]) // lanes cut mid-array
+		tampered := append([]byte(nil), eb...)
+		tampered[56] ^= 0xFF // encoding-mode byte
+		f.Add(tampered)
+	}
 	f.Add([]byte{})
 	f.Add(blob[:16])
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -33,6 +48,52 @@ func FuzzUnmarshal1D(f *testing.F) {
 		_ = loaded.SizeBytes()
 		_ = loaded.NumSegments()
 	})
+}
+
+// TestWriteEncodingCorpus regenerates the checked-in packed-lane fuzz seeds
+// under testdata/fuzz/FuzzUnmarshal1D (run with CORPUS_WRITE=1 after a format
+// change). Checked-in corpus files replay on every plain `go test` run, so
+// the lane-decoder corruption classes stay covered without -fuzz.
+func TestWriteEncodingCorpus(t *testing.T) {
+	if os.Getenv("CORPUS_WRITE") == "" {
+		t.Skip("set CORPUS_WRITE=1 to regenerate the corpus files")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzUnmarshal1D")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, _ := genDataset(20000, 92)
+	packed, err := BuildCount(keys, Options{Delta: 2, Encoding: EncPacked, NoFallback: true})
+	if err != nil || packed.Encoding() != EncPacked {
+		t.Fatalf("packed build: enc=%v err=%v", packed.Encoding(), err)
+	}
+	pb, _ := packed.MarshalBinary()
+	write("valid-packed-lanes", pb)
+	write("truncated-packed-lanes", pb[:len(pb)-len(pb)/3])
+	tampered := append([]byte(nil), pb...)
+	tampered[56] ^= 0xFF // encoding-mode byte
+	write("tampered-encoding-byte", tampered)
+	badWidth := append([]byte(nil), pb...)
+	badWidth[56+1+2+8+4*packed.NumSegments()] = 3 // first lane width byte
+	write("bad-lane-width", badWidth)
+	badGrid := append([]byte(nil), pb...)
+	for i := 0; i < 8; i++ {
+		badGrid[56+1+2+8+i] = 0xFF // grid starts no longer increasing
+	}
+	write("nonincreasing-grid-starts", badGrid)
+	f32, err := BuildCount(keys, Options{Delta: 2, Encoding: EncF32, NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := f32.MarshalBinary()
+	write("valid-f32-lanes", fb)
+	write("truncated-f32-lanes", fb[:len(fb)-len(fb)/4])
 }
 
 // FuzzUnmarshal2D hardens the recursive quadtree decoder against crafted

@@ -24,7 +24,6 @@ import (
 
 	"repro/internal/artree"
 	"repro/internal/kca"
-	"repro/internal/poly"
 	"repro/internal/segment"
 )
 
@@ -73,6 +72,12 @@ type Options struct {
 	// during construction; values ≤ 1 build serially. The produced index is
 	// identical for every worker count (see segment.Config.Parallelism).
 	Parallelism int
+	// Encoding selects the coefficient-store encoding. The default EncAuto
+	// picks the smallest encoding that re-certifies the build δ through the
+	// encoded query pipeline (packed, then float32, then raw); EncRaw pins
+	// the lossless layout; a forced compressed encoding falls back to the
+	// next heavier one when it cannot certify.
+	Encoding Encoding
 }
 
 func (o Options) withDefaults() Options {
@@ -119,20 +124,47 @@ type Index1D struct {
 	delta  float64
 	neg    bool // MIN is implemented as MAX over negated measures
 
-	// Fitted segments, struct-of-arrays for cache-friendly binary search.
-	segLo  []float64
-	segHi  []float64
-	frames []poly.Frame
-	polys  []poly.Poly
+	// Fitted segments, struct-of-arrays: boundary lanes plus one contiguous
+	// coefficient lane per polynomial degree (see encoding.go). enc selects
+	// which lane family is populated.
+	enc   Encoding
+	segLo []float64 // raw/float32: exact start boundaries
+	segHi []float64 // raw/float32: exact end boundaries
+	frCtr []float64 // raw only: explicit frame centers (POL1 v1 fidelity)
+	frHW  []float64 // raw only: explicit frame half-widths
 
-	// Learned root over segLo (an RMI-style flat interpolation table): for
-	// key k the answer to locate lies in
+	// Packed boundaries: starts quantized onto a uint32 grid over
+	// [keyLo, keyHi]; key = keyLo + keyStep·q. Ends are the next start.
+	loQ     []uint32
+	keyStep float64
+
+	// Coefficient lanes: lane j holds every segment's t^j coefficient.
+	laneW     int         // lanes = max coefficient count (≤ degree+1)
+	laneF64   [][]float64 // EncRaw
+	laneF32   [][]float32 // EncF32
+	laneU16   [][]uint16  // EncPacked: per lane, one of u16/u32 is set
+	laneU32   [][]uint32  // EncPacked
+	laneOff   []float64   // EncPacked: per-lane affine grid offset
+	laneScale []float64   // EncPacked: per-lane affine grid scale
+
+	// Learned root over the segment starts (an RMI-style flat interpolation
+	// table): for key k the answer to locate lies in
 	// [rootTable[b]−1, rootTable[b+1]−1] where b is k's bucket, so a point
 	// lookup costs O(1) expected instead of a binary search. Nil when the
-	// index has a single segment or a degenerate key span.
+	// index has a single segment or a degenerate key span. Packed indexes
+	// bucket in integer grid space (bucket = q >> rootShift) so build and
+	// lookup can never disagree through float rounding.
 	rootTable []int32 // rootTable[b] = #segments whose Lo falls in a bucket < b
-	rootLo    float64 // segLo[0]
+	rootLo    float64 // loAt(0)
 	rootScale float64 // buckets per key unit: (len(rootTable)−1) / span
+	rootShift uint32  // packed: grid cells per bucket = 1 << rootShift
+
+	// Second root level (the recursive-PGM idea): buckets whose windows
+	// outgrow the linear scan get their own small interpolation table, so
+	// clustered key distributions keep O(1)-expected locate instead of
+	// degrading to a windowed binary search.
+	rootSubs     []rootSub
+	rootSubTable []int32
 
 	// MAX/MIN only: exact extremum of each segment + sparse-table RMQ over
 	// them (plays the role of the aggregate tree's internal nodes).
@@ -240,7 +272,8 @@ func buildCumulative(keys, measures []float64, opt Options) (*Index1D, error) {
 		keyHi:  keys[len(keys)-1],
 		total:  run,
 	}
-	ix.adoptSegments(segs)
+	ix.adoptRawSegments(segs)
+	ix.selectEncoding(keys, cf, segs, opt, true)
 	if !opt.NoFallback {
 		arr, err := kca.New(keys, measures)
 		if err != nil {
@@ -276,7 +309,8 @@ func buildExtremum(keys, measures []float64, opt Options, negated bool) (*Index1
 	if negated {
 		ix.agg = Min
 	}
-	ix.adoptSegments(segs)
+	ix.adoptRawSegments(segs)
+	ix.selectEncoding(keys, measures, segs, opt, false)
 	// Exact per-segment maxima (over the internally stored, possibly
 	// negated, measures).
 	ix.segExt = make([]float64, len(segs))
@@ -300,39 +334,44 @@ func buildExtremum(keys, measures []float64, opt Options, negated bool) (*Index1
 	return ix, nil
 }
 
-func (ix *Index1D) adoptSegments(segs []segment.Segment) {
-	h := len(segs)
-	ix.segLo = make([]float64, h)
-	ix.segHi = make([]float64, h)
-	ix.frames = make([]poly.Frame, h)
-	ix.polys = make([]poly.Poly, h)
-	fits := 0
-	for i, s := range segs {
-		ix.segLo[i] = s.Lo
-		ix.segHi[i] = s.Hi
-		ix.frames[i] = s.Fit.P.F
-		ix.polys[i] = s.Fit.P.P
-		fits += s.Fit.Iters
-	}
-	ix.buildsFits = fits
-	ix.buildRoot()
-}
-
 // rootMaxLinear bounds the in-bucket linear scan of the learned root before
-// falling back to a windowed binary search — the escape hatch for
-// pathological key distributions that pile many segments into one bucket.
+// handing the window to the second root level (and, past that, to a
+// windowed binary search — the terminal escape for boundaries closer than
+// float resolution).
 const rootMaxLinear = 16
 
 // rootMaxBuckets caps the root table so its footprint stays a small multiple
 // of the segment array even for huge indexes (int32 buckets: 64 MiB here).
 const rootMaxBuckets = 1 << 24
 
-// buildRoot precomputes the learned root: a flat interpolation table over
-// segLo with ~2 buckets per segment, giving locate an O(1) expected path.
+// rootSub is one second-level root: a private interpolation table over the
+// segment starts of a single over-full level-1 bucket. Raw/float32 indexes
+// interpolate in key space (lo, scale — same formula as level 1); packed
+// indexes shift in grid space (subShift).
+type rootSub struct {
+	bucket   int32 // level-1 bucket this table serves
+	off      int32 // start of the nb+1 entries in rootSubTable
+	nb       int32 // sub-bucket count (power of two)
+	lo       float64
+	scale    float64
+	subShift uint32
+}
+
+// buildRoot precomputes the learned root over the segment starts: a flat
+// interpolation table with ~2 buckets per segment (raw/float32; the packed
+// encoding halves bucket density to stay inside its byte budget, leaning on
+// the second level instead), plus second-level tables for buckets that
+// clustered distributions overfill.
 func (ix *Index1D) buildRoot() {
-	h := len(ix.segLo)
+	h := ix.NumSegments()
 	ix.rootTable = nil
+	ix.rootSubs, ix.rootSubTable = nil, nil
+	ix.rootShift = 0
 	if h < 2 {
+		return
+	}
+	if ix.enc == EncPacked {
+		ix.buildRootPacked()
 		return
 	}
 	span := ix.segLo[h-1] - ix.segLo[0]
@@ -357,6 +396,107 @@ func (ix *Index1D) buildRoot() {
 		table[t] = int32(seg)
 	}
 	ix.rootTable = table
+	ix.buildRootSubs()
+}
+
+// buildRootSubs adds the second root level: every level-1 bucket whose
+// locate window exceeds the linear-scan budget gets its own interpolation
+// table over just its segments. One indirection replaces the former
+// windowed binary search, so a pathological distribution (all boundaries
+// piled into a sliver of the key span) locates in O(1) expected again.
+func (ix *Index1D) buildRootSubs() {
+	table := ix.rootTable
+	b := len(table) - 1
+	for bb := 0; bb < b; bb++ {
+		first, next := int(table[bb]), int(table[bb+1])
+		if next-first <= rootMaxLinear {
+			continue
+		}
+		lo := ix.segLo[first]
+		span := ix.segLo[next-1] - lo
+		if !(span > 0) || math.IsInf(span, 0) {
+			continue // boundaries below float resolution: binary search
+		}
+		cnt := next - first
+		nb := 1
+		for nb < 2*cnt && nb < rootMaxBuckets {
+			nb <<= 1
+		}
+		scale := float64(nb) / span
+		sub := make([]int32, nb+1)
+		seg := first
+		for t := 1; t <= nb; t++ {
+			for seg < next && subBucketAt(ix.segLo[seg], lo, scale, nb) < t {
+				seg++
+			}
+			sub[t] = int32(seg)
+		}
+		sub[0] = int32(first)
+		ix.rootSubs = append(ix.rootSubs, rootSub{
+			bucket: int32(bb), off: int32(len(ix.rootSubTable)), nb: int32(nb),
+			lo: lo, scale: scale,
+		})
+		ix.rootSubTable = append(ix.rootSubTable, sub...)
+	}
+}
+
+// buildRootPacked is the packed-encoding root: buckets are grid cells
+// shifted down (bucket = q >> rootShift), so bucketing is exact integer
+// arithmetic shared verbatim between build and lookup. Bucket density is
+// ~1 per 4 segments (vs 2–4 per segment for raw) to hold the root at about
+// a byte per segment; the second level catches locally dense patches.
+func (ix *Index1D) buildRootPacked() {
+	h := len(ix.loQ)
+	target := h / 4
+	if target < 1 {
+		target = 1
+	}
+	b := 1
+	shift := uint32(32)
+	for b < target && b < rootMaxBuckets {
+		b <<= 1
+		shift--
+	}
+	ix.rootShift = shift
+	table := make([]int32, b+1)
+	seg := 0
+	for t := 1; t <= b; t++ {
+		for seg < h && int(ix.loQ[seg]>>shift) < t {
+			seg++
+		}
+		table[t] = int32(seg)
+	}
+	ix.rootTable = table
+	for bb := 0; bb < b; bb++ {
+		first, next := int(table[bb]), int(table[bb+1])
+		if next-first <= rootMaxLinear {
+			continue
+		}
+		// Split the bucket's cells finer: aim for ~2 sub-buckets per segment,
+		// bounded by the cell count (starts are distinct grid cells, so
+		// subShift = 0 always separates them).
+		cnt := next - first
+		subShift := shift
+		for subShift > 0 && 1<<(shift-subShift) < 2*cnt {
+			subShift--
+		}
+		nb := 1 << (shift - subShift)
+		base := uint32(bb) << shift
+		sub := make([]int32, nb+1)
+		seg := first
+		for t := 1; t <= nb; t++ {
+			for seg < next && int((ix.loQ[seg]-base)>>subShift) < t {
+				seg++
+			}
+			sub[t] = int32(seg)
+		}
+		sub[0] = int32(first)
+		ix.rootSubs = append(ix.rootSubs, rootSub{
+			bucket: int32(bb), off: int32(len(ix.rootSubTable)), nb: int32(nb),
+			subShift: subShift,
+		})
+		ix.rootSubTable = append(ix.rootSubTable, sub...)
+	}
 }
 
 // rootBucketAt maps a key (≥ rootLo) onto one of b buckets. Monotone
@@ -372,11 +512,47 @@ func (ix *Index1D) rootBucketAt(k float64, b int) int {
 	return bb
 }
 
+// subBucketAt is rootBucketAt for a second-level table.
+func subBucketAt(k, lo, scale float64, nb int) int {
+	sb := int((k - lo) * scale)
+	if sb < 0 {
+		return 0
+	}
+	if sb >= nb {
+		return nb - 1
+	}
+	return sb
+}
+
+// findRootSub returns the second-level table of bucket bb, if one exists
+// (binary search; the sub list is tiny — only over-full buckets carry one).
+func (ix *Index1D) findRootSub(bb int) *rootSub {
+	subs := ix.rootSubs
+	lo, hi := 0, len(subs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(subs[mid].bucket) < bb {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(subs) && int(subs[lo].bucket) == bb {
+		return &subs[lo]
+	}
+	return nil
+}
+
 // locateLE returns the last segment index whose Lo ≤ k, or −1 when k
 // precedes every segment. This is the primitive behind locate, maxInternal
-// and the batch sweeps; with the learned root it costs O(1) expected, with a
-// windowed binary-search fallback for over-full buckets.
+// and the batch sweeps; with the learned root it costs O(1) expected —
+// over-full buckets recurse into the second root level, and only windows
+// still too dense for it (boundaries below float resolution) fall back to a
+// windowed binary search.
 func (ix *Index1D) locateLE(k float64) int {
+	if ix.enc == EncPacked {
+		return ix.locateLEPacked(k)
+	}
 	h := len(ix.segLo)
 	if k < ix.segLo[0] {
 		return -1
@@ -400,12 +576,108 @@ func (ix *Index1D) locateLE(k float64) int {
 		lo = 0
 	}
 	if hi-lo > rootMaxLinear {
-		// Pathological bucket: binary search the window (invariant:
-		// segLo[lo] ≤ k, and the answer is ≤ hi).
-		return lo + sort.Search(hi-lo, func(j int) bool { return ix.segLo[lo+1+j] > k })
+		if sub := ix.findRootSub(bb); sub != nil {
+			sb := subBucketAt(k, sub.lo, sub.scale, int(sub.nb))
+			lo2 := int(ix.rootSubTable[int(sub.off)+sb]) - 1
+			hi2 := int(ix.rootSubTable[int(sub.off)+sb+1]) - 1
+			if lo2 > lo {
+				lo = lo2
+			}
+			if hi2 < hi {
+				hi = hi2
+			}
+		}
+		if hi-lo > rootMaxLinear {
+			// Terminal escape: binary search the window (invariant:
+			// segLo[lo] ≤ k, and the answer is ≤ hi).
+			return lo + sort.Search(hi-lo, func(j int) bool { return ix.segLo[lo+1+j] > k })
+		}
 	}
 	for lo < hi && ix.segLo[lo+1] <= k {
 		lo++
+	}
+	return lo
+}
+
+// quantizeKey maps a raw key onto the packed key grid with the same floor
+// the boundary quantization used; out-of-range and NaN clamp into the grid.
+func (ix *Index1D) quantizeKey(k float64) uint32 {
+	q := math.Floor((k - ix.keyLo) / ix.keyStep)
+	if !(q > 0) {
+		return 0
+	}
+	if q > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(q)
+}
+
+// locateLEPacked is locateLE for the packed encoding: the query key is
+// quantized once, then every comparison — root bucketing included — happens
+// in exact integer grid space, so certification at build time and the
+// query path can never diverge through float rounding.
+func (ix *Index1D) locateLEPacked(k float64) int {
+	if !(k >= ix.keyLo) {
+		// Below the key domain (or NaN): precedes every segment unless the
+		// first segment starts at the grid origin and k is inside the domain,
+		// which the check above already excluded.
+		return -1
+	}
+	return ix.locatePackedQ(ix.quantizeKey(k))
+}
+
+// locatePackedQ resolves a quantized key against the grid starts.
+func (ix *Index1D) locatePackedQ(kq uint32) int {
+	h := len(ix.loQ)
+	if kq < ix.loQ[0] {
+		return -1
+	}
+	if kq >= ix.loQ[h-1] {
+		return h - 1
+	}
+	table := ix.rootTable
+	if table == nil {
+		return searchLoQ(ix.loQ, 0, h, kq) - 1
+	}
+	bb := int(kq >> ix.rootShift)
+	lo := int(table[bb]) - 1
+	hi := int(table[bb+1]) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi-lo > rootMaxLinear {
+		if sub := ix.findRootSub(bb); sub != nil {
+			sb := int((kq - uint32(bb)<<ix.rootShift) >> sub.subShift)
+			lo2 := int(ix.rootSubTable[int(sub.off)+sb]) - 1
+			hi2 := int(ix.rootSubTable[int(sub.off)+sb+1]) - 1
+			if lo2 > lo {
+				lo = lo2
+			}
+			if hi2 < hi {
+				hi = hi2
+			}
+		}
+		if hi-lo > rootMaxLinear {
+			return searchLoQ(ix.loQ, lo+1, hi+1, kq) - 1
+		}
+	}
+	loQ := ix.loQ
+	for lo < hi && loQ[lo+1] <= kq {
+		lo++
+	}
+	return lo
+}
+
+// searchLoQ returns the first index in [lo, hi) whose grid start exceeds kq
+// (hi if none) — sort.Search specialised to the uint32 lane.
+func searchLoQ(loQ []uint32, lo, hi int, kq uint32) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if loQ[mid] <= kq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
 	return lo
 }
@@ -473,6 +745,15 @@ func (ix *Index1D) Locate(k float64) int { return ix.locate(k) }
 // (a binary search over the segment boundaries). Kept exported so
 // equivalence tests and the benchmark harness can compare the two paths.
 func (ix *Index1D) LocateBinary(k float64) int {
+	if ix.enc == EncPacked {
+		if !(k >= ix.keyLo) {
+			return 0
+		}
+		if i := searchLoQ(ix.loQ, 0, len(ix.loQ), ix.quantizeKey(k)) - 1; i > 0 {
+			return i
+		}
+		return 0
+	}
 	i := sort.SearchFloat64s(ix.segLo, k)
 	// SearchFloat64s finds the first Lo ≥ k.
 	if i < len(ix.segLo) && ix.segLo[i] == k {
@@ -493,10 +774,10 @@ func (ix *Index1D) CF(k float64) float64 {
 		return 0
 	}
 	i := ix.locate(k)
-	if k > ix.segHi[i] {
-		k = ix.segHi[i]
+	if hi := ix.hiAt(i); k > hi {
+		k = hi
 	}
-	return ix.polys[i].Eval(ix.frames[i].Normalize(k))
+	return ix.evalSeg(i, k)
 }
 
 // RangeSum answers an approximate range SUM/COUNT query over (lq, uq]
@@ -599,7 +880,7 @@ func (ix *Index1D) segPolyMax(i int, lq, uq float64) float64 {
 	if hi < lo {
 		return math.Inf(-1)
 	}
-	fp := poly.FramedPoly{F: ix.frames[i], P: ix.polys[i]}
+	fp := ix.framedPolyAt(i)
 	v, _ := fp.MaxOnInterval(lo, hi)
 	if bound := ix.segExt[i] + ix.delta; v > bound {
 		v = bound
@@ -652,7 +933,12 @@ func (ix *Index1D) Degree() int { return ix.degree }
 func (ix *Index1D) Delta() float64 { return ix.delta }
 
 // NumSegments returns h, the number of fitted polynomials.
-func (ix *Index1D) NumSegments() int { return len(ix.segLo) }
+func (ix *Index1D) NumSegments() int {
+	if ix.enc == EncPacked {
+		return len(ix.loQ)
+	}
+	return len(ix.segLo)
+}
 
 // Len returns the number of indexed records.
 func (ix *Index1D) Len() int { return ix.n }
@@ -664,15 +950,13 @@ func (ix *Index1D) KeyRange() (lo, hi float64) { return ix.keyLo, ix.keyHi }
 func (ix *Index1D) Total() float64 { return ix.total }
 
 // SizeBytes reports the memory footprint of the PolyFit structure itself:
-// segment boundaries, frames, coefficients, the learned-root table, and
-// (for MIN/MAX) the segment extrema and RMQ table. Exact-fallback structures
-// are reported separately by FallbackSizeBytes since Problem-1
-// configurations do not carry them.
+// segment boundaries (or their quantized grid starts), coefficient lanes in
+// whatever encoding the build certified, the learned-root tables, and (for
+// MIN/MAX) the segment extrema and RMQ table. Exact-fallback structures are
+// reported separately by FallbackSizeBytes since Problem-1 configurations
+// do not carry them.
 func (ix *Index1D) SizeBytes() int {
-	sz := 0
-	for i := range ix.polys {
-		sz += 16 /*lo,hi*/ + 16 /*frame*/ + 8*len(ix.polys[i])
-	}
+	sz := ix.BoundSizeBytes() + ix.CoeffSizeBytes()
 	sz += 8 * len(ix.segExt)
 	for _, row := range ix.rmq {
 		sz += 8 * len(row)
@@ -680,15 +964,19 @@ func (ix *Index1D) SizeBytes() int {
 	return sz + ix.RootSizeBytes()
 }
 
-// RootSizeBytes reports the footprint of the learned root that accelerates
-// segment location: the int32 bucket table plus its two float64 parameters.
+// RootSizeBytes reports the footprint of the two-level learned root that
+// accelerates segment location: the level-1 int32 bucket table, its
+// parameters, and any second-level tables built for over-full buckets.
 // Included in SizeBytes; broken out so size/accuracy trade-off reports stay
 // honest about where the bytes go.
 func (ix *Index1D) RootSizeBytes() int {
 	if ix.rootTable == nil {
 		return 0
 	}
-	return 4*len(ix.rootTable) + 16
+	sz := 4*len(ix.rootTable) + 16
+	sz += 4 * len(ix.rootSubTable)
+	sz += 32 * len(ix.rootSubs) // bucket/off/nb + interpolation params
+	return sz
 }
 
 // FallbackSizeBytes reports the memory of the exact structures used for

@@ -59,7 +59,10 @@ func TestLocateMatchesBinary(t *testing.T) {
 
 	for name, keys := range datasets {
 		for _, delta := range []float64{2, 20} {
-			ix := buildCountOver(t, keys, Options{Degree: 2, Delta: delta, NoFallback: true})
+			// EncRaw pinned: the probes below read the raw boundary arrays
+			// directly. TestLocatePackedMatchesReference covers the packed
+			// locate path.
+			ix := buildCountOver(t, keys, Options{Degree: 2, Delta: delta, NoFallback: true, Encoding: EncRaw})
 			lo, hi := keys[0], keys[len(keys)-1]
 			span := hi - lo
 			probes := make([]float64, 0, 5000)
@@ -104,7 +107,7 @@ func TestLocateEdgeCases(t *testing.T) {
 		k += rng.Float64() + 0.1
 		keys = append(keys, k)
 	}
-	ix := buildCountOver(t, keys, Options{Degree: 2, Delta: 2, NoFallback: true})
+	ix := buildCountOver(t, keys, Options{Degree: 2, Delta: 2, NoFallback: true, Encoding: EncRaw})
 	h := ix.NumSegments()
 	if h < 3 {
 		t.Fatalf("want a multi-segment index, got h=%d", h)
@@ -139,7 +142,7 @@ func TestLocateEdgeCases(t *testing.T) {
 
 	// Single-segment index: everything resolves to segment 0 and the root
 	// table is skipped.
-	one := buildCountOver(t, []float64{1, 2, 3, 4, 5}, Options{Degree: 2, Delta: 100, NoFallback: true})
+	one := buildCountOver(t, []float64{1, 2, 3, 4, 5}, Options{Degree: 2, Delta: 100, NoFallback: true, Encoding: EncRaw})
 	if one.NumSegments() != 1 {
 		t.Fatalf("want single segment, got %d", one.NumSegments())
 	}
@@ -199,10 +202,7 @@ func TestRootSizeAccounting(t *testing.T) {
 	if rb <= 0 {
 		t.Fatal("multi-segment index should carry a root table")
 	}
-	segOnly := 0
-	for i := range ix.polys {
-		segOnly += 32 + 8*len(ix.polys[i])
-	}
+	segOnly := ix.BoundSizeBytes() + ix.CoeffSizeBytes()
 	if got := ix.SizeBytes(); got != segOnly+rb {
 		t.Fatalf("SizeBytes = %d, want segments %d + root %d", got, segOnly, rb)
 	}

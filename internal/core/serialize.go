@@ -22,6 +22,12 @@ const (
 	magic1D   = uint32(0x504F4C31) // "POL1"
 	magic2D   = uint32(0x504F4C32) // "POL2"
 	formatVer = uint16(1)
+
+	// formatVer1D is the current POL1 version. v2 stores the
+	// structure-of-arrays coefficient store with its encoding tag; v1 blobs
+	// (per-segment frame + trimmed coefficients) still load, landing on the
+	// raw encoding with bit-identical answers.
+	formatVer1D = uint16(2)
 )
 
 // ErrBadFormat reports a corrupted or incompatible serialised index.
@@ -65,12 +71,14 @@ func DetectBlob(data []byte) BlobKind {
 	}
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler for the 1D index.
+// MarshalBinary implements encoding.BinaryMarshaler for the 1D index. The
+// blob records the coefficient store in whatever encoding the build
+// certified (POL1 v2), so loading never re-fits and never re-certifies.
 func (ix *Index1D) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
 	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
 	w(magic1D)
-	w(formatVer)
+	w(formatVer1D)
 	w(uint8(ix.agg))
 	w(uint8(btoi(ix.neg)))
 	w(uint32(ix.degree))
@@ -79,17 +87,43 @@ func (ix *Index1D) MarshalBinary() ([]byte, error) {
 	w(ix.keyLo)
 	w(ix.keyHi)
 	w(ix.total)
-	h := len(ix.segLo)
+	h := ix.NumSegments()
 	w(uint32(h))
-	for i := 0; i < h; i++ {
-		w(ix.segLo[i])
-		w(ix.segHi[i])
-		w(ix.frames[i].Center)
-		w(ix.frames[i].HalfWidth)
-		w(uint16(len(ix.polys[i])))
-		for _, c := range ix.polys[i] {
-			w(c)
+	w(uint8(ix.enc))
+	w(uint16(ix.laneW))
+	switch ix.enc {
+	case EncRaw:
+		w(ix.segLo)
+		w(ix.segHi)
+		w(ix.frCtr)
+		w(ix.frHW)
+		for j := 0; j < ix.laneW; j++ {
+			w(ix.laneF64[j])
 		}
+	case EncF32:
+		w(ix.segLo)
+		w(ix.segHi)
+		for j := 0; j < ix.laneW; j++ {
+			w(ix.laneF32[j])
+		}
+	case EncPacked:
+		w(ix.keyStep)
+		w(ix.loQ)
+		for j := 0; j < ix.laneW; j++ {
+			if lane := ix.laneU16[j]; lane != nil {
+				w(uint8(2))
+				w(ix.laneOff[j])
+				w(ix.laneScale[j])
+				w(lane)
+			} else {
+				w(uint8(4))
+				w(ix.laneOff[j])
+				w(ix.laneScale[j])
+				w(ix.laneU32[j])
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: cannot marshal encoding %v", ix.enc)
 	}
 	w(uint8(btoi(ix.segExt != nil)))
 	for _, v := range ix.segExt {
@@ -98,8 +132,24 @@ func (ix *Index1D) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// need reports whether the reader still holds at least n bytes — checked
+// before every slice allocation so a truncated blob errors instead of
+// over-allocating or silently short-reading.
+func need(r *bytes.Reader, n int) bool { return int64(r.Len()) >= int64(n) }
+
+func readF64s(r *bytes.Reader, h int) ([]float64, error) {
+	if !need(r, 8*h) {
+		return nil, ErrBadFormat
+	}
+	s := make([]float64, h)
+	return s, binary.Read(r, binary.LittleEndian, s)
+}
+
 // UnmarshalBinary implements encoding.BinaryUnmarshaler for the 1D index.
-// The loaded index has no exact fallback (see package comment above).
+// Both POL1 versions load: v2 restores the encoded store verbatim, v1 (the
+// pre-SoA array-of-structs layout) lands on the raw encoding and answers
+// bit-identically to the index that wrote it. The loaded index has no exact
+// fallback (see package comment above).
 func (ix *Index1D) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
 	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
@@ -111,7 +161,7 @@ func (ix *Index1D) UnmarshalBinary(data []byte) error {
 		}
 		return fmt.Errorf("%w: magic", ErrBadFormat)
 	}
-	if err := rd(&ver); err != nil || ver != formatVer {
+	if err := rd(&ver); err != nil || (ver != 1 && ver != formatVer1D) {
 		return fmt.Errorf("%w: version", ErrBadFormat)
 	}
 	var agg, neg uint8
@@ -132,28 +182,25 @@ func (ix *Index1D) UnmarshalBinary(data []byte) error {
 	if err := rd(&h); err != nil {
 		return fmt.Errorf("%w: segment count", ErrBadFormat)
 	}
-	// Each segment occupies at least 34 bytes (lo, hi, frame, coeff count);
-	// reject counts the blob cannot possibly hold before allocating.
-	if h == 0 || h > uint32(math.MaxInt32) || int64(h) > int64(len(data))/34+1 {
+	// Reject counts the blob cannot possibly hold before allocating (the
+	// tightest layout, packed, still needs 4 bytes of grid start per segment).
+	if h == 0 || h > uint32(math.MaxInt32) || int64(h) > int64(len(data))/4+1 {
 		return fmt.Errorf("%w: %d segments", ErrBadFormat, h)
 	}
-	ix.segLo = make([]float64, h)
-	ix.segHi = make([]float64, h)
-	ix.frames = make([]poly.Frame, h)
-	ix.polys = make([]poly.Poly, h)
-	for i := uint32(0); i < h; i++ {
-		var nc uint16
-		if err := firstErr(rd(&ix.segLo[i]), rd(&ix.segHi[i]),
-			rd(&ix.frames[i].Center), rd(&ix.frames[i].HalfWidth), rd(&nc)); err != nil {
-			return fmt.Errorf("%w: segment %d", ErrBadFormat, i)
-		}
-		p := make(poly.Poly, nc)
-		for j := range p {
-			if err := rd(&p[j]); err != nil {
-				return fmt.Errorf("%w: coeffs of segment %d", ErrBadFormat, i)
-			}
-		}
-		ix.polys[i] = p
+	// Reset the store to a clean slate; the version-specific reader below
+	// fills exactly the lanes its encoding owns.
+	ix.segLo, ix.segHi, ix.frCtr, ix.frHW = nil, nil, nil, nil
+	ix.loQ, ix.keyStep = nil, 0
+	ix.laneF64, ix.laneF32, ix.laneU16, ix.laneU32 = nil, nil, nil, nil
+	ix.laneOff, ix.laneScale = nil, nil
+	var err error
+	if ver == 1 {
+		err = ix.readSegmentsV1(r, int(h))
+	} else {
+		err = ix.readSegmentsV2(r, int(h))
+	}
+	if err != nil {
+		return err
 	}
 	ix.buildRoot() // the learned root is derived state, rebuilt on load
 	var hasExt uint8
@@ -163,16 +210,172 @@ func (ix *Index1D) UnmarshalBinary(data []byte) error {
 	ix.segExt = nil
 	ix.rmq = nil
 	if hasExt != 0 {
-		ix.segExt = make([]float64, h)
-		for i := range ix.segExt {
-			if err := rd(&ix.segExt[i]); err != nil {
-				return fmt.Errorf("%w: extrema", ErrBadFormat)
-			}
+		if ix.segExt, err = readF64s(r, int(h)); err != nil {
+			return fmt.Errorf("%w: extrema", ErrBadFormat)
 		}
 		ix.rmq = buildSparseTable(ix.segExt)
 	}
 	ix.exactCF = nil
 	ix.exactExt = nil
+	return nil
+}
+
+// readSegmentsV1 loads the historical array-of-structs layout (per-segment
+// frame + trimmed coefficient list) into the raw SoA store.
+func (ix *Index1D) readSegmentsV1(r *bytes.Reader, h int) error {
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	// Each v1 segment occupies at least 34 bytes (lo, hi, frame, coeff count).
+	if !need(r, 34*h) {
+		return fmt.Errorf("%w: %d segments", ErrBadFormat, h)
+	}
+	ix.enc = EncRaw
+	ix.segLo = make([]float64, h)
+	ix.segHi = make([]float64, h)
+	ix.frCtr = make([]float64, h)
+	ix.frHW = make([]float64, h)
+	polys := make([]poly.Poly, h)
+	w := 0
+	for i := 0; i < h; i++ {
+		var nc uint16
+		if err := firstErr(rd(&ix.segLo[i]), rd(&ix.segHi[i]),
+			rd(&ix.frCtr[i]), rd(&ix.frHW[i]), rd(&nc)); err != nil {
+			return fmt.Errorf("%w: segment %d", ErrBadFormat, i)
+		}
+		p := make(poly.Poly, nc)
+		for j := range p {
+			if err := rd(&p[j]); err != nil {
+				return fmt.Errorf("%w: coeffs of segment %d", ErrBadFormat, i)
+			}
+		}
+		polys[i] = p
+		if int(nc) > w {
+			w = int(nc)
+		}
+	}
+	if w > maxLanes {
+		return fmt.Errorf("%w: %d coefficient lanes", ErrBadFormat, w)
+	}
+	ix.laneW = w
+	ix.laneF64 = makeLanesF64(w, h)
+	for i, p := range polys {
+		for j, c := range p {
+			ix.laneF64[j][i] = c
+		}
+	}
+	return nil
+}
+
+// readSegmentsV2 loads the SoA coefficient store in its recorded encoding,
+// validating the encoding tag, lane count, and every section length so a
+// truncated or tampered blob errors instead of panicking or mis-decoding.
+func (ix *Index1D) readSegmentsV2(r *bytes.Reader, h int) error {
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var enc uint8
+	var laneW uint16
+	if err := firstErr(rd(&enc), rd(&laneW)); err != nil {
+		return fmt.Errorf("%w: store header", ErrBadFormat)
+	}
+	ix.enc = Encoding(enc)
+	if !ix.enc.valid() {
+		return fmt.Errorf("%w: encoding %d", ErrBadFormat, enc)
+	}
+	if int(laneW) > maxLanes {
+		return fmt.Errorf("%w: %d coefficient lanes", ErrBadFormat, laneW)
+	}
+	w := int(laneW)
+	ix.laneW = w
+	var err error
+	switch ix.enc {
+	case EncRaw:
+		if ix.segLo, err = readF64s(r, h); err == nil {
+			if ix.segHi, err = readF64s(r, h); err == nil {
+				if ix.frCtr, err = readF64s(r, h); err == nil {
+					ix.frHW, err = readF64s(r, h)
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%w: segment bounds", ErrBadFormat)
+		}
+		ix.laneF64 = makeLanesF64(w, h)
+		for j := 0; j < w; j++ {
+			if !need(r, 8*h) {
+				return fmt.Errorf("%w: coefficient lane %d", ErrBadFormat, j)
+			}
+			if err := rd(ix.laneF64[j]); err != nil {
+				return fmt.Errorf("%w: coefficient lane %d", ErrBadFormat, j)
+			}
+		}
+	case EncF32:
+		if ix.segLo, err = readF64s(r, h); err == nil {
+			ix.segHi, err = readF64s(r, h)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: segment bounds", ErrBadFormat)
+		}
+		if !need(r, 4*w*h) {
+			return fmt.Errorf("%w: coefficient lanes", ErrBadFormat)
+		}
+		ix.laneF32 = make([][]float32, w)
+		flat := make([]float32, w*h)
+		for j := 0; j < w; j++ {
+			ix.laneF32[j] = flat[j*h : (j+1)*h]
+			if err := rd(ix.laneF32[j]); err != nil {
+				return fmt.Errorf("%w: coefficient lane %d", ErrBadFormat, j)
+			}
+		}
+	case EncPacked:
+		if err := rd(&ix.keyStep); err != nil {
+			return fmt.Errorf("%w: key grid", ErrBadFormat)
+		}
+		if !(ix.keyStep > 0) || math.IsInf(ix.keyStep, 0) {
+			return fmt.Errorf("%w: key grid step %g", ErrBadFormat, ix.keyStep)
+		}
+		if !need(r, 4*h) {
+			return fmt.Errorf("%w: grid starts", ErrBadFormat)
+		}
+		ix.loQ = make([]uint32, h)
+		if err := rd(ix.loQ); err != nil {
+			return fmt.Errorf("%w: grid starts", ErrBadFormat)
+		}
+		for i := 1; i < h; i++ {
+			if ix.loQ[i] <= ix.loQ[i-1] {
+				return fmt.Errorf("%w: grid starts not increasing", ErrBadFormat)
+			}
+		}
+		ix.laneU16 = make([][]uint16, w)
+		ix.laneU32 = make([][]uint32, w)
+		ix.laneOff = make([]float64, w)
+		ix.laneScale = make([]float64, w)
+		for j := 0; j < w; j++ {
+			var width uint8
+			if err := firstErr(rd(&width), rd(&ix.laneOff[j]), rd(&ix.laneScale[j])); err != nil {
+				return fmt.Errorf("%w: lane %d grid", ErrBadFormat, j)
+			}
+			switch width {
+			case 2:
+				if !need(r, 2*h) {
+					return fmt.Errorf("%w: lane %d values", ErrBadFormat, j)
+				}
+				lane := make([]uint16, h)
+				if err := rd(lane); err != nil {
+					return fmt.Errorf("%w: lane %d values", ErrBadFormat, j)
+				}
+				ix.laneU16[j] = lane
+			case 4:
+				if !need(r, 4*h) {
+					return fmt.Errorf("%w: lane %d values", ErrBadFormat, j)
+				}
+				lane := make([]uint32, h)
+				if err := rd(lane); err != nil {
+					return fmt.Errorf("%w: lane %d values", ErrBadFormat, j)
+				}
+				ix.laneU32[j] = lane
+			default:
+				return fmt.Errorf("%w: lane %d width %d", ErrBadFormat, j, width)
+			}
+		}
+	}
 	return nil
 }
 

@@ -11,20 +11,23 @@ import (
 // Sharded-index serialization: the POLS container wraps K nested shard
 // blobs behind a shard directory. The layout is
 //
-//	magic "POLS" | version 1 | kind (static|dynamic) | agg | K uint32 |
+//	magic "POLS" | version 2 | kind (static|dynamic) | agg | K uint32 |
 //	bounds (K−1 float64) | K × (uint64 length + shard blob)
 //
-// where static containers nest Index1D v1 ("POL1") blobs and dynamic
-// containers nest Dynamic1D v2 ("POLD") blobs — so a sharded dynamic blob
+// where static containers nest Index1D ("POL1") blobs and dynamic
+// containers nest Dynamic1D ("POLD") blobs — so a sharded dynamic blob
 // round-trips everything its shards do: options, raw data, delta buffers,
-// fitted bases. Decoding validates the directory (shard count, bound
-// ordering, per-shard length) and the cross-shard invariants (uniform
-// aggregate and δ, key ranges consistent with the routing bounds) before
-// returning; corrupt, truncated, or mismatched blobs error, never panic.
+// fitted bases, and (v2) per-shard coefficient encodings. The container
+// layout is identical across versions — v2 exists because its nested blobs
+// may use the POL1 v2 / POLD v3 formats — and v1 blobs still load.
+// Decoding validates the directory (shard count, bound ordering, per-shard
+// length) and the cross-shard invariants (uniform aggregate and δ, key
+// ranges consistent with the routing bounds) before returning; corrupt,
+// truncated, or mismatched blobs error, never panic.
 
 const (
 	magicSharded     = uint32(0x504F4C53) // "POLS"
-	shardedFormatVer = uint16(1)
+	shardedFormatVer = uint16(2)
 
 	shardKindStatic  = uint8(0)
 	shardKindDynamic = uint8(1)
@@ -42,7 +45,7 @@ func shardedHeader(r *bytes.Reader, data []byte) (kind uint8, agg Agg, bounds []
 		}
 		return 0, 0, nil, fmt.Errorf("%w: magic", ErrBadFormat)
 	}
-	if err := rd(&ver); err != nil || ver != shardedFormatVer {
+	if err := rd(&ver); err != nil || (ver != 1 && ver != shardedFormatVer) {
 		return 0, 0, nil, fmt.Errorf("%w: sharded format version", ErrBadFormat)
 	}
 	var aggB uint8

@@ -246,6 +246,91 @@ func TestDifferentialGuarantee(t *testing.T) {
 	}
 }
 
+// TestDifferentialEncodingSweep re-runs the accuracy contract for every
+// forced coefficient encoding × aggregate × distribution: compressing the
+// lanes must never weaken the certified bound. A forced encoding the build
+// cannot certify falls back to a heavier one (packed always does for
+// MIN/MAX), so the achieved encoding is logged — the guarantee must hold
+// either way. Raw-lane bit-identity with the pre-refactor per-segment
+// layout is pinned separately in core (TestRawLanesMatchAoSEvaluation).
+func TestDifferentialEncodingSweep(t *testing.T) {
+	seed := harnessSeed(t)
+	for _, dist := range Distributions {
+		keys, measures := dist.Gen(diffN, seed)
+		o, err := New(keys, measures)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", dist.Name, err)
+		}
+		for _, agg := range []core.Agg{core.Count, core.Sum, core.Max, core.Min} {
+			for _, enc := range []core.Encoding{core.EncRaw, core.EncF32, core.EncPacked} {
+				agg, enc := agg, enc
+				t.Run(dist.Name+"/"+agg.String()+"/"+enc.String(), func(t *testing.T) {
+					opt := core.Options{
+						Delta: core.DeltaForAbs(agg, diffEpsAbs), NoFallback: true, Encoding: enc,
+					}
+					ix, err := buildStatic(agg, keys, measures, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := ix.Encoding(); got != enc {
+						t.Logf("requested %v, certified %v", enc, got)
+					}
+					rng := rand.New(rand.NewSource(seed ^ int64(agg)<<8 ^ int64(enc)<<16))
+					for q := 0; q < diffQueries/2; q++ {
+						i, j := rng.Intn(len(keys)), rng.Intn(len(keys))
+						if i > j {
+							i, j = j, i
+						}
+						lq, uq := keys[i], keys[j]
+						if q%50 == 0 {
+							lq, uq = keys[0]-1e6, keys[len(keys)-1]+1e6
+						}
+						switch agg {
+						case core.Count, core.Sum:
+							est, err := ix.RangeSum(lq, uq)
+							if err != nil {
+								t.Fatal(err)
+							}
+							exact := o.Count(lq, uq)
+							if agg == core.Sum {
+								exact = o.Sum(lq, uq)
+							}
+							if slack := 1e-9 * (1 + math.Abs(exact)); math.Abs(est-exact) > diffEpsAbs+slack {
+								t.Fatalf("%v/%v (%g,%g]: |%g − %g| = %g > εabs %g",
+									agg, enc, lq, uq, est, exact, math.Abs(est-exact), diffEpsAbs)
+							}
+						case core.Max, core.Min:
+							est, ok, err := ix.RangeExtremum(lq, uq)
+							if err != nil {
+								t.Fatal(err)
+							}
+							exact, eok := o.Max(lq, uq)
+							if agg == core.Min {
+								exact, eok = o.Min(lq, uq)
+							}
+							if ok != eok {
+								t.Fatalf("%v/%v [%g,%g]: found=%v, oracle found=%v", agg, enc, lq, uq, ok, eok)
+							}
+							if !ok {
+								continue
+							}
+							estM, exactM := est, exact
+							if agg == core.Min {
+								estM, exactM = -est, -exact
+							}
+							slack := 1e-9 * (1 + math.Abs(exact))
+							if estM < exactM-diffEpsAbs-slack || estM > exactM+2*diffEpsAbs+slack {
+								t.Fatalf("%v/%v [%g,%g]: exact %g vs est %g ± %g",
+									agg, enc, lq, uq, exact, est, diffEpsAbs)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestDifferentialAfterRebuild re-runs the guarantee for dynamic subjects
 // after a full merge-rebuild, when every key (including the inserted ones)
 // is a fitted sample and therefore a covered workload endpoint.

@@ -113,6 +113,24 @@ func (p Poly) Clone() Poly {
 	return append(Poly(nil), p...)
 }
 
+// ComposeAffine returns q(t) = p(a + b·t): the polynomial re-expressed under
+// the affine change of variable u = a + b·t. The degree never grows, so a
+// fitted segment can be re-framed (e.g. onto quantized boundaries) without
+// re-fitting. Built by Horner over the coefficient list: q := q·(a+b·t) + cᵢ.
+func (p Poly) ComposeAffine(a, b float64) Poly {
+	q := make(Poly, 0, len(p))
+	for i := len(p) - 1; i >= 0; i-- {
+		// q = q*(a + b·t), in place with one extra slot.
+		q = append(q, 0)
+		for k := len(q) - 1; k >= 1; k-- {
+			q[k] = a*q[k] + b*q[k-1]
+		}
+		q[0] = a * q[0]
+		q[0] += p[i]
+	}
+	return q.Trim()
+}
+
 // String renders the polynomial in human-readable form, e.g.
 // "1.5 + 2x - 0.25x^3".
 func (p Poly) String() string {

@@ -174,8 +174,10 @@ type StatsResponse struct {
 	Degree        int     `json:"degree"`
 	Delta         float64 `json:"delta"`
 	IndexBytes    int     `json:"index_bytes"`
-	RootBytes     int     `json:"root_bytes"` // learned-root table, included in index_bytes
+	CoeffBytes    int     `json:"coeff_bytes"` // coefficient lanes, included in index_bytes
+	RootBytes     int     `json:"root_bytes"`  // learned-root tables, included in index_bytes
 	FallbackBytes int     `json:"fallback_bytes"`
+	Encoding      string  `json:"encoding"` // "raw", "float32", "packed", or "mixed"
 	BufferLen     int     `json:"buffer_len,omitempty"`
 
 	// Sharding (only for sharded indexes): the shard count and one stats
@@ -198,6 +200,7 @@ type ShardStats struct {
 	Records    int     `json:"records"`
 	Segments   int     `json:"segments"`
 	IndexBytes int     `json:"index_bytes"`
+	Encoding   string  `json:"encoding"`
 	BufferLen  int     `json:"buffer_len,omitempty"`
 	KeyLo      float64 `json:"key_lo"`
 	KeyHi      float64 `json:"key_hi"`
@@ -645,8 +648,10 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 		Degree:        st.Degree,
 		Delta:         st.Delta,
 		IndexBytes:    st.IndexBytes,
+		CoeffBytes:    st.CoeffBytes,
 		RootBytes:     st.RootBytes,
 		FallbackBytes: st.FallbackBytes,
+		Encoding:      st.Encoding,
 		BufferLen:     st.BufferLen,
 		Shards:        st.Shards,
 	}
@@ -657,6 +662,7 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 				Records:    ss.Records,
 				Segments:   ss.Segments,
 				IndexBytes: ss.IndexBytes,
+				Encoding:   ss.Encoding,
 				BufferLen:  ss.BufferLen,
 				KeyLo:      ss.KeyLo,
 				KeyHi:      ss.KeyHi,

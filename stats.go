@@ -13,11 +13,13 @@ type Stats struct {
 	Segments      int
 	Degree        int
 	Delta         float64
-	IndexBytes    int // the compact PolyFit structure (plus delta buffer, if dynamic)
-	RootBytes     int // learned-root locate table, included in IndexBytes
-	FallbackBytes int // exact structures for QueryRel (0 if disabled)
-	BufferLen     int // not-yet-merged inserts (always 0 for static indexes)
-	Shards        int // range partitions (0 for unsharded indexes)
+	IndexBytes    int    // the compact PolyFit structure (plus delta buffer, if dynamic)
+	CoeffBytes    int    // coefficient lanes alone, included in IndexBytes
+	RootBytes     int    // learned-root locate tables, included in IndexBytes
+	FallbackBytes int    // exact structures for QueryRel (0 if disabled)
+	Encoding      string // coefficient encoding: "raw", "float32", "packed", or "mixed"
+	BufferLen     int    // not-yet-merged inserts (always 0 for static indexes)
+	Shards        int    // range partitions (0 for unsharded indexes)
 	KeyLo, KeyHi  float64
 }
 
@@ -40,8 +42,10 @@ func stats1D(ix *core.Index1D) Stats {
 		Degree:        ix.Degree(),
 		Delta:         ix.Delta(),
 		IndexBytes:    ix.SizeBytes(),
+		CoeffBytes:    ix.CoeffSizeBytes(),
 		RootBytes:     ix.RootSizeBytes(),
 		FallbackBytes: ix.FallbackSizeBytes(),
+		Encoding:      ix.Encoding().String(),
 	}
 }
 
@@ -60,15 +64,17 @@ func statsDynamic(d *core.Dynamic1D) Stats {
 		Degree:        v.Base.Degree(),
 		Delta:         v.Base.Delta(),
 		IndexBytes:    v.Base.SizeBytes() + v.BufferBytes,
+		CoeffBytes:    v.Base.CoeffSizeBytes(),
 		RootBytes:     v.Base.RootSizeBytes(),
 		FallbackBytes: v.Base.FallbackSizeBytes(),
+		Encoding:      v.Base.Encoding().String(),
 		BufferLen:     v.BufferLen,
 	}
 }
 
 func statsSharded(s *core.Sharded1D) Stats {
 	lo, hi := s.KeyRange()
-	return Stats{
+	out := Stats{
 		Aggregate:     s.Aggregate(),
 		Records:       s.Len(),
 		Segments:      s.NumSegments(),
@@ -81,6 +87,25 @@ func statsSharded(s *core.Sharded1D) Stats {
 		KeyLo:         lo,
 		KeyHi:         hi,
 	}
+	for i := 0; i < s.NumShards(); i++ {
+		out.CoeffBytes += s.Shard(i).CoeffSizeBytes()
+	}
+	out.Encoding = mergedEncoding(shardStatsStatic(s))
+	return out
+}
+
+// mergedEncoding reports the container-level coefficient encoding: the
+// shards' encoding when uniform, "mixed" when the per-shard choice diverged
+// (each shard certifies independently, so heterogeneity is expected on
+// non-uniform data).
+func mergedEncoding(shards []Stats) string {
+	enc := shards[0].Encoding
+	for _, sh := range shards[1:] {
+		if sh.Encoding != enc {
+			return "mixed"
+		}
+	}
+	return enc
 }
 
 func shardStatsStatic(s *core.Sharded1D) []Stats {
@@ -107,10 +132,12 @@ func statsShardedDynamic(s *core.ShardedDynamic1D) Stats {
 		out.Records += sh.Records
 		out.Segments += sh.Segments
 		out.IndexBytes += sh.IndexBytes
+		out.CoeffBytes += sh.CoeffBytes
 		out.RootBytes += sh.RootBytes
 		out.FallbackBytes += sh.FallbackBytes
 		out.BufferLen += sh.BufferLen
 	}
+	out.Encoding = mergedEncoding(shards)
 	return out
 }
 
