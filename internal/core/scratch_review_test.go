@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/poly"
+	"repro/internal/segment"
+)
+
+// TestScratchSubRootOverflow hand-crafts segments whose starts cluster in a
+// sliver of one root bucket, then probes a key in the same bucket but far
+// above the cluster: (k - sub.lo) * sub.scale overflows int64 in
+// subBucketAt.
+func TestScratchSubRootOverflow(t *testing.T) {
+	// 100 segments with starts spaced 1e-300 apart near 0, then the key span
+	// stretched to 1.0 by the last segment.
+	segs := make([]segment.Segment, 0, 101)
+	for i := 0; i < 100; i++ {
+		lo := float64(i) * 1e-300
+		hi := lo + 0.5e-300
+		segs = append(segs, segment.Segment{
+			Lo: lo, Hi: hi,
+			Fit: segment.FitResult{P: poly.FramedPoly{
+				F: poly.Frame{Center: lo, HalfWidth: 1},
+				P: poly.Poly{float64(i)},
+			}},
+		})
+	}
+	segs = append(segs, segment.Segment{
+		Lo: 1.0, Hi: 1.0,
+		Fit: segment.FitResult{P: poly.FramedPoly{
+			F: poly.Frame{Center: 1, HalfWidth: 1},
+			P: poly.Poly{100},
+		}},
+	})
+	ix := &Index1D{agg: Count, degree: 0, delta: 1, n: 101, keyLo: 0, keyHi: 1}
+	ix.adoptRawSegments(segs)
+	if len(ix.rootSubs) == 0 {
+		t.Fatalf("expected a second-level root table (clustered bucket); got none")
+	}
+	// Probe keys inside bucket 0 but far above the clustered segment starts.
+	for _, k := range []float64{1e-30, 1e-10, 1e-7} {
+		got := ix.locateLE(k)
+		want := ix.LocateBinary(k)
+		if got != want {
+			t.Errorf("locateLE(%g) = %d, want %d", k, got, want)
+		}
+	}
+}
