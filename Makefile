@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke benchdiff crashtest cover oracle apicheck fmt vet
+.PHONY: test race bench bench-smoke benchdiff crashtest chaos cover oracle apicheck fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -24,7 +24,7 @@ bench-smoke:
 # the committed baseline snapshot with the in-repo comparator (see
 # cmd/benchdiff — offline-friendly stand-in for benchstat, same delta
 # table). Report-only: quick runs are too noisy to gate on.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR7.json
 benchdiff:
 	$(GO) run ./cmd/polyfit-bench -quick -out /tmp/bench-head.json
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASE) -new /tmp/bench-head.json
@@ -34,6 +34,15 @@ benchdiff:
 # assert every acknowledged insert is still answered.
 crashtest:
 	$(GO) run ./cmd/polyfit-crashtest
+
+# Chaos matrix: the crash-recovery check repeated under seeded faultfs
+# schedules (failed writes, short writes, failed fsyncs, failed renames)
+# injected into the server's data dir. Deterministic — each schedule has a
+# fixed seed. Asserts the server keeps answering 200 under injection,
+# degradation is reported in /v1/stats, and zero durable-acknowledged
+# inserts are lost across SIGKILL + recovery.
+chaos:
+	$(GO) run ./cmd/polyfit-crashtest -chaos
 
 # Per-package coverage floor for the accuracy-critical packages
 # (internal/core, internal/segment, internal/server fail under 75%).

@@ -8,21 +8,40 @@
 // Usage:
 //
 //	go run ./cmd/polyfit-bench [-out BENCH.json] [-quick] [-baseline FILE]
+//	                           [-load] [-load-only] [-load-dur 2s]
 //
 // -quick shrinks the datasets for a fast smoke run (CI uses the go test
 // bench smoke instead; this flag is for local iteration). -baseline embeds
 // a previous snapshot's results under "baseline" so one file carries the
 // before/after pair.
+//
+// -load adds a closed-loop load-generator section: an in-process
+// internal/server instance (real HTTP via httptest, admission limits
+// deliberately capped at GOMAXPROCS executing + 2×GOMAXPROCS queued) is
+// driven by N closed-loop workers — each issues a query, waits for the
+// answer, immediately issues the next — for a fixed wall-clock window per
+// point. Each point records delivered throughput, p50/p99 latency of
+// successful queries, and the shed rate (fraction answered 429 by
+// admission control), so the overload-control behavior of the serving
+// layer is pinned next to the microbenchmarks. -load-only skips the
+// microbenchmark probes and runs just the load sweep.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,6 +51,7 @@ import (
 	"repro/internal/minimax"
 	"repro/internal/persist"
 	"repro/internal/poly"
+	"repro/internal/server"
 )
 
 // Result is one benchmark measurement.
@@ -43,16 +63,34 @@ type Result struct {
 	N           int     `json:"n"` // iterations the measurement averaged over
 }
 
+// LoadPoint is one closed-loop load-generator measurement: `workers`
+// clients in a request-response loop against the serving layer for
+// `duration`, with the admission limits capped so overload is reachable.
+type LoadPoint struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	DurationMS float64 `json:"duration_ms"`
+	Requests   int64   `json:"requests"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"` // 429s from admission control
+	Errors     int64   `json:"errors"`
+	Throughput float64 `json:"throughput_qps"` // successful queries per second
+	P50us      float64 `json:"p50_us"`         // latency of successful queries
+	P99us      float64 `json:"p99_us"`
+	ShedRate   float64 `json:"shed_rate"` // shed / requests
+}
+
 // Snapshot is the file format.
 type Snapshot struct {
-	Schema     string   `json:"schema"`
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	NumCPU     int      `json:"num_cpu"`
-	GoMaxProcs int      `json:"go_max_procs"`
-	Notes      string   `json:"notes,omitempty"`
-	Results    []Result `json:"results"`
-	Baseline   any      `json:"baseline,omitempty"`
+	Schema     string      `json:"schema"`
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Notes      string      `json:"notes,omitempty"`
+	Results    []Result    `json:"results"`
+	Load       []LoadPoint `json:"load,omitempty"`
+	Baseline   any         `json:"baseline,omitempty"`
 }
 
 func measure(name string, f func(b *testing.B)) Result {
@@ -74,10 +112,61 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink datasets for a fast smoke run")
 	baseline := flag.String("baseline", "", "previous snapshot to embed under \"baseline\"")
 	notes := flag.String("notes", "", "free-form notes recorded in the snapshot")
+	load := flag.Bool("load", false, "also run the closed-loop serving load sweep")
+	loadOnly := flag.Bool("load-only", false, "run only the load sweep, skipping the microbenchmark probes")
+	loadDur := flag.Duration("load-dur", 2*time.Second, "wall-clock window per load point")
 	flag.Parse()
 
+	var results []Result
+	if !*loadOnly {
+		results = microBenchmarks(*quick)
+	}
+	var loadPoints []LoadPoint
+	if *load || *loadOnly {
+		dur := *loadDur
+		if *quick && dur > 300*time.Millisecond {
+			dur = 300 * time.Millisecond
+		}
+		loadPoints = runLoad(*quick, dur)
+	}
+
+	snap := Snapshot{
+		Schema:     "polyfit-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Notes:      *notes,
+		Results:    results,
+		Load:       loadPoints,
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("read baseline: %v", err)
+		}
+		var b any
+		if err := json.Unmarshal(raw, &b); err != nil {
+			log.Fatalf("parse baseline: %v", err)
+		}
+		snap.Baseline = b
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results, %d load points)\n", *out, len(results), len(loadPoints))
+}
+
+// microBenchmarks runs the testing.Benchmark probe suite and returns the
+// measurements.
+func microBenchmarks(quick bool) []Result {
 	nBuild, nFine := 20_000, 200_000
-	if *quick {
+	if quick {
 		nBuild, nFine = 2_000, 10_000
 	}
 	buildKeys := data.GenTweet(nBuild, 7)
@@ -399,33 +488,181 @@ func main() {
 		}
 	}))
 
-	snap := Snapshot{
-		Schema:     "polyfit-bench/v1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Notes:      *notes,
-		Results:    results,
+	return results
+}
+
+// runLoad drives an in-process serving instance with closed-loop workers
+// over real HTTP and measures delivered throughput, successful-query
+// latency quantiles, and the shed rate per worker count. The admission
+// limits are pinned low (GOMAXPROCS executing, 2×GOMAXPROCS queued) so
+// the sweep actually crosses from underload into overload: the low worker
+// counts characterize latency, the high ones characterize shedding.
+func runLoad(quick bool, dur time.Duration) []LoadPoint {
+	n := 200_000
+	if quick {
+		n = 20_000
 	}
-	if *baseline != "" {
-		raw, err := os.ReadFile(*baseline)
-		if err != nil {
-			log.Fatalf("read baseline: %v", err)
-		}
-		var b any
-		if err := json.Unmarshal(raw, &b); err != nil {
-			log.Fatalf("parse baseline: %v", err)
-		}
-		snap.Baseline = b
-	}
-	raw, err := json.MarshalIndent(snap, "", "  ")
+	keys := data.GenTweet(n, 7)
+	qs := data.RangeQueriesFromKeys(keys, 1024, 9)
+
+	procs := runtime.GOMAXPROCS(0)
+	srv, err := server.NewDurable(server.Config{
+		MaxConcurrentQueries: procs,
+		MaxQueuedQueries:     2 * procs,
+		Logf:                 func(string, ...any) {},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	raw = append(raw, '\n')
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+	defer srv.Close() //nolint:errcheck
+	// Sharded on purpose: scatter-gather parks the admission-slot holder on
+	// the gather channel, so under a closed-loop flood the slot is genuinely
+	// contended and the queue/shed path is exercised even on small machines.
+	if _, err := srv.Create(server.CreateRequest{
+		Name: "bench", Agg: "count", Keys: keys, EpsAbs: 100, Shards: 4,
+	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConns = 512
+		tr.MaxIdleConnsPerHost = 512
+	}
+	url := ts.URL + "/v1/indexes/bench/query"
+
+	// Pre-marshal distinct query bodies: 1024 different ranges so the
+	// single-flight coalescer sees a realistic mix, not one query repeated
+	// (which would collapse the whole sweep onto a handful of executions).
+	bodies := make([][]byte, len(qs))
+	for i, q := range qs {
+		bodies[i] = fmt.Appendf(nil, `{"lo":%g,"hi":%g}`, q.L, q.U)
+	}
+
+	var points []LoadPoint
+	for _, workers := range []int{1, 4, 16, 64, 256} {
+		p := runLoadPoint(client, "load/closed_loop", url, bodies, workers, dur)
+		points = append(points, p)
+		fmt.Printf("%-32s %10.0f q/s  p50 %8.1fµs  p99 %8.1fµs  shed %5.1f%%  (%d req, %d err)\n",
+			p.Name, p.Throughput, p.P50us, p.P99us, 100*p.ShedRate, p.Requests, p.Errors)
+	}
+
+	// Overload sweep: heavy batch requests (64Ki ranges ≈ 10ms of execution
+	// each) hold the admission slot long enough that concurrent arrivals
+	// genuinely contend for it — even on a single-CPU machine, where
+	// sub-millisecond point queries run to completion between scheduler
+	// preemptions and the queue never fills. This is the sweep that pins a
+	// non-trivial shed rate: the slots and queue saturate, and the server's
+	// answer to the excess is a fast 429, not an unbounded pile-up.
+	nRanges := 1 << 16
+	if quick {
+		nRanges = 1 << 14
+	}
+	batchURL := ts.URL + "/v1/indexes/bench/batch"
+	batchBodies := make([][]byte, 4)
+	for v := range batchBodies {
+		var buf bytes.Buffer
+		buf.WriteString(`{"ranges":[`)
+		for i := 0; i < nRanges; i++ {
+			q := qs[(i*7+v*131)%len(qs)]
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, `{"lo":%g,"hi":%g}`, q.L, q.U)
+		}
+		buf.WriteString(`]}`)
+		batchBodies[v] = buf.Bytes()
+	}
+	for _, workers := range []int{16, 64} {
+		p := runLoadPoint(client, fmt.Sprintf("load/overload_batch%d", nRanges), batchURL, batchBodies, workers, dur)
+		points = append(points, p)
+		fmt.Printf("%-32s %10.0f q/s  p50 %8.1fµs  p99 %8.1fµs  shed %5.1f%%  (%d req, %d err)\n",
+			p.Name, p.Throughput, p.P50us, p.P99us, 100*p.ShedRate, p.Requests, p.Errors)
+	}
+	return points
+}
+
+func runLoadPoint(client *http.Client, name, url string, bodies [][]byte, workers int, dur time.Duration) LoadPoint {
+	var ok, shed, errs atomic.Int64
+	latCh := make(chan []float64, workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]float64, 0, 4096)
+			i := w * 131 // offset each worker's walk so they don't march in lockstep
+			for {
+				select {
+				case <-stop:
+					latCh <- lats
+					return
+				default:
+				}
+				body := bodies[i%len(bodies)]
+				i++
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				el := float64(time.Since(t0).Nanoseconds()) / 1e3
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()              //nolint:errcheck
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					lats = append(lats, el)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []float64
+	for w := 0; w < workers; w++ {
+		all = append(all, <-latCh...)
+	}
+	sort.Float64s(all)
+	total := ok.Load() + shed.Load() + errs.Load()
+	p := LoadPoint{
+		Name:       fmt.Sprintf("%s/workers%d", name, workers),
+		Workers:    workers,
+		DurationMS: float64(elapsed.Nanoseconds()) / 1e6,
+		Requests:   total,
+		OK:         ok.Load(),
+		Shed:       shed.Load(),
+		Errors:     errs.Load(),
+		Throughput: float64(ok.Load()) / elapsed.Seconds(),
+		P50us:      percentile(all, 50),
+		P99us:      percentile(all, 99),
+	}
+	if total > 0 {
+		p.ShedRate = float64(shed.Load()) / float64(total)
+	}
+	return p
+}
+
+// percentile reads the p-th percentile (nearest-rank) from an ascending
+// slice; 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }

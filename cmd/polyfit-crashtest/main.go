@@ -9,7 +9,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/polyfit-crashtest [-n 400] [-keep] [-serve-bin PATH]
+//	go run ./cmd/polyfit-crashtest [-n 400] [-keep] [-serve-bin PATH] [-chaos]
+//
+// With -chaos it additionally runs the fault-injection matrix (`make
+// chaos`): for each seeded faultfs schedule — failed writes, short writes,
+// failed fsyncs, failed renames — the server runs with the fault schedule
+// active while inserts stream at it. The server must keep serving (every
+// insert and query answers 200, never hangs), must record the degradation
+// in /v1/stats when WAL appends fail (those inserts answer durable:false),
+// and after a SIGKILL and a faultless restart every insert acknowledged
+// durable:true must be present. The schedules are deterministic: the same
+// seeds fail the same operations on every run.
 //
 // Exit status 0 means every acknowledged insert survived.
 package main
@@ -18,6 +28,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -48,6 +59,7 @@ func main() {
 	n := flag.Int("n", 400, "inserts to acknowledge before the kill")
 	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
 	serveBin := flag.String("serve-bin", "", "prebuilt polyfit-serve binary (default: build it)")
+	chaos := flag.Bool("chaos", false, "run the fault-injection matrix instead of the plain crash test")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -67,6 +79,11 @@ func main() {
 		build := exec.Command("go", "build", "-o", bin, "./cmd/polyfit-serve")
 		build.Stdout, build.Stderr = os.Stdout, os.Stderr
 		must(build.Run(), "build polyfit-serve")
+	}
+
+	if *chaos {
+		runChaos(bin, scratch, *n)
+		return
 	}
 
 	addr := freeAddr()
@@ -135,11 +152,160 @@ func main() {
 		len(acked), stats.Records)
 }
 
+// --- chaos mode -------------------------------------------------------------
+
+// chaosCase is one seeded faultfs schedule of the matrix. Seeds are fixed
+// so every run injects faults at exactly the same operations.
+type chaosCase struct {
+	schedule string
+	seed     int64
+}
+
+// serverStats is the slice of GET /v1/stats the chaos harness checks.
+type serverStats struct {
+	DegradedIndexes   int   `json:"degraded_indexes"`
+	PersistErrors     int64 `json:"persist_errors"`
+	NonDurableInserts int64 `json:"non_durable_inserts"`
+}
+
+func runChaos(bin, scratch string, n int) {
+	cases := []chaosCase{
+		{"write@20-70", 7},  // EIO on data-dir writes 20..69
+		{"short@20-70", 11}, // torn half-writes 20..69
+		{"sync@10-45", 13},  // fsync failures 10..44
+		{"rename:0.5", 17},  // half of all atomic-commit renames fail (seeded)
+	}
+	for _, c := range cases {
+		runChaosCase(bin, scratch, n, c)
+	}
+	log.Printf("CHAOS PASS: %d schedules, zero durable-acknowledged inserts lost", len(cases))
+}
+
+func runChaosCase(bin, scratch string, n int, c chaosCase) {
+	log.Printf("--- chaos schedule %q seed %d ---", c.schedule, c.seed)
+	dataDir := filepath.Join(scratch, fmt.Sprintf("chaos-%d", c.seed))
+	addr := freeAddr()
+	base := "http://" + addr
+
+	proc := startFaulty(bin, addr, dataDir, c.schedule, c.seed)
+	waitHealthy(base)
+
+	// Create may land inside the fault window (its own snapshot and WAL
+	// writes are injected too); retry — under faults the contract is
+	// degraded service, never a wedged server.
+	created := false
+	for attempt := 0; attempt < 12 && !created; attempt++ {
+		created = postStatus(base, "/v1/indexes", map[string]any{
+			"name": "chaos", "agg": "count", "dynamic": true,
+			"keys": seq(0, 5000), "eps_abs": 100,
+		}, nil) == http.StatusCreated
+		if !created {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !created {
+		log.Fatalf("chaos %q: index never created (12 attempts)", c.schedule)
+	}
+
+	// Insert workload under injection. Every insert must be answered 200 —
+	// a sick disk degrades durability (durable:false), it never blocks or
+	// errors the serving path. Only durable:true acknowledgements carry
+	// the crash-survival guarantee.
+	durable := make([]float64, 0, n)
+	nonDurable := 0
+	for i := 0; i < n; i++ {
+		k := 1e7 + float64(i)
+		var resp insertResponse
+		status := postStatus(base, "/v1/indexes/chaos/insert",
+			map[string]any{"records": []record{{Key: k, Measure: 1}}}, &resp)
+		if status != http.StatusOK || resp.Inserted != 1 {
+			log.Fatalf("chaos %q: insert %d not acknowledged (status %d, %+v) — serving must survive faults",
+				c.schedule, i, status, resp)
+		}
+		if resp.Durable {
+			durable = append(durable, k)
+		} else {
+			nonDurable++
+		}
+		if i%16 == 0 {
+			// The query path must keep answering while the disk misbehaves.
+			var q queryResponse
+			if status := postStatus(base, "/v1/indexes/chaos/query",
+				map[string]any{"lo": 0, "hi": 5000}, &q); status != http.StatusOK {
+				log.Fatalf("chaos %q: query during faults: status %d", c.schedule, status)
+			}
+		}
+	}
+
+	var stats serverStats
+	getJSON(base+"/v1/stats", &stats)
+	log.Printf("chaos %q: %d durable acks, %d non-durable; stats: degraded_indexes=%d persist_errors=%d non_durable_inserts=%d",
+		c.schedule, len(durable), nonDurable, stats.DegradedIndexes, stats.PersistErrors, stats.NonDurableInserts)
+	if nonDurable > 0 && stats.NonDurableInserts == 0 {
+		log.Fatalf("chaos %q: %d non-durable acknowledgements but /v1/stats recorded none", c.schedule, nonDurable)
+	}
+	if nonDurable > 0 && stats.PersistErrors == 0 {
+		log.Fatalf("chaos %q: degradation happened but persist_errors is 0", c.schedule)
+	}
+
+	must(proc.Process.Kill(), "kill")
+	proc.Wait() //nolint:errcheck
+
+	// Faultless restart: recovery must surface every durable-acknowledged
+	// insert, whether it reached disk via the WAL, a snapshot, or both
+	// (idempotent replay sorts out the overlap).
+	proc2 := start(bin, addr, dataDir)
+	defer func() {
+		proc2.Process.Kill() //nolint:errcheck
+		proc2.Wait()         //nolint:errcheck
+	}()
+	waitHealthy(base)
+	lost := 0
+	for _, k := range durable {
+		var q queryResponse
+		postJSON(base, "/v1/indexes/chaos/query",
+			map[string]any{"lo": k - 0.5, "hi": k, "eps_rel": 0.01}, &q)
+		if !q.Exact || q.Value != 1 {
+			lost++
+			if lost <= 5 {
+				log.Printf("LOST durable-acknowledged insert %g (exact=%v value=%g)", k, q.Exact, q.Value)
+			}
+		}
+	}
+	if lost > 0 {
+		log.Fatalf("FAIL: chaos %q: %d/%d durable-acknowledged inserts lost after SIGKILL", c.schedule, lost, len(durable))
+	}
+	log.Printf("chaos %q: all %d durable-acknowledged inserts survived SIGKILL + faultless recovery", c.schedule, len(durable))
+}
+
 func start(bin, addr, dataDir string) *exec.Cmd {
 	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir, "-snapshot-interval", "150ms")
 	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 	must(cmd.Start(), "start polyfit-serve")
 	return cmd
+}
+
+func startFaulty(bin, addr, dataDir, schedule string, seed int64) *exec.Cmd {
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir, "-snapshot-interval", "150ms",
+		"-fault-schedule", schedule, "-fault-seed", fmt.Sprint(seed))
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	must(cmd.Start(), "start polyfit-serve (faulty)")
+	return cmd
+}
+
+// postStatus is postJSON without the fatal-on-error-status behavior: chaos
+// rounds need to observe failure statuses, not die on them. Transport
+// errors are still fatal (the server must never stop answering).
+func postStatus(base, path string, body, out any) int {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	must(err, "POST "+path)
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		must(json.Unmarshal(payload, out), "decode "+path)
+	}
+	return resp.StatusCode
 }
 
 func freeAddr() string {

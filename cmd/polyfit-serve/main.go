@@ -10,6 +10,7 @@
 // Usage:
 //
 //	polyfit-serve [-addr :8080] [-demo 200000] [-demo-shards K] [-data-dir DIR] [-snapshot-interval 15s]
+//	              [-drain-timeout 10s] [-fault-schedule ""] [-fault-seed 1]
 //
 // With -data-dir the server is durable: every index is snapshotted to DIR,
 // acknowledged inserts are fsynced to a per-index write-ahead log before
@@ -17,6 +18,17 @@
 // — so a crash (SIGKILL included) loses nothing that was acknowledged. The
 // background snapshotter folds the log into a fresh snapshot every
 // -snapshot-interval.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests for up to -drain-timeout, then snapshots and closes —
+// so a graceful stop never abandons acknowledged work mid-request.
+//
+// -fault-schedule runs the data dir behind the fault-injection filesystem
+// (internal/faultfs) for chaos testing: e.g. "write@20-70" fails writes 20
+// through 69, "sync:0.1" fails 10% of fsyncs (seeded by -fault-seed).
+// Failed WAL appends degrade the index to snapshot-only durability
+// (inserts answer durable:false) instead of blocking; /v1/stats records
+// the degradation. Never use it outside testing.
 //
 // With -demo N the server starts with two preloaded indexes built over N
 // synthetic records each — "tweet" (dynamic COUNT over latitudes, εabs=100)
@@ -44,6 +56,8 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/faultfs"
+	"repro/internal/persist"
 	"repro/internal/server"
 )
 
@@ -53,12 +67,24 @@ func main() {
 	demoShards := flag.Int("demo-shards", 0, "build the demo indexes with this many range-partitioned shards (≤1 = unsharded)")
 	dataDir := flag.String("data-dir", "", "directory for snapshots and insert WALs (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 15*time.Second, "background snapshot period (requires -data-dir; <0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+	faultSchedule := flag.String("fault-schedule", "", "faultfs injection schedule for the data dir, e.g. write@20-70 or sync:0.1 (testing only)")
+	faultSeed := flag.Int64("fault-seed", 1, "PRNG seed for probabilistic -fault-schedule rules")
 	flag.Parse()
 
+	var fsys persist.FS
+	if *faultSchedule != "" {
+		var err error
+		if fsys, err = faultfs.New(persist.OSFS(), *faultSchedule, *faultSeed); err != nil {
+			log.Fatalf("fault schedule: %v", err)
+		}
+		log.Printf("FAULT INJECTION ACTIVE: schedule %q seed %d", *faultSchedule, *faultSeed)
+	}
 	srv, err := server.NewDurable(server.Config{
 		DataDir:          *dataDir,
 		SnapshotInterval: *snapInterval,
 		Logf:             log.Printf,
+		FS:               fsys,
 	})
 	if err != nil {
 		log.Fatalf("open data dir %q: %v", *dataDir, err)
@@ -91,10 +117,19 @@ func main() {
 
 	<-ctx.Done()
 	log.Print("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Ordered teardown: (1) stop accepting new connections and let the
+	// in-flight ones finish (http.Server.Shutdown), (2) drain the handler
+	// layer under the same deadline — new requests get 503 + Retry-After
+	// while started ones complete, (3) only then the final snapshot and
+	// WAL teardown, so Close never races a request that could still
+	// acknowledge work.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		log.Printf("drain: %v", err)
 	}
 	// Final snapshot + WAL handle release; recovery after a graceful stop
 	// then replays nothing.

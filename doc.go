@@ -264,6 +264,39 @@
 // its snapshot re-applies nothing), truncates torn final records, and
 // skips — reports, never crashes on — corrupt files.
 //
+// # Robustness contract (serving layer)
+//
+// The serving layer is built to stay predictable when its environment is
+// not — under overload, slow queries, and failing storage:
+//
+//   - Deadlines: every query and batch runs under a context deadline (a
+//     server default, overridable per request) that is honored through the
+//     sharded scatter-gather; an expired deadline answers 504, it never
+//     leaves work running unobserved.
+//   - Admission control: at most a configured number of queries execute
+//     concurrently, a bounded number more may queue, and everything beyond
+//     that is shed immediately with 429 + Retry-After — the decision is
+//     lock-free, so an overloaded server says "try later" in microseconds
+//     instead of timing everyone out. Inserts are never gated.
+//   - Coalescing: identical concurrent queries (same index, same data
+//     generation, same range and tolerance) collapse onto one execution;
+//     followers repeat the leader's byte-identical response without
+//     consuming admission slots.
+//   - Fault degradation: a failed WAL append (after bounded retries) never
+//     fails or blocks the insert — the index degrades to snapshot-only
+//     durability, the response says "durable": false, an immediate
+//     snapshot is scheduled, and a later successful snapshot heals the
+//     index back to full WAL durability. Acknowledged-durable inserts
+//     survive SIGKILL under every fault schedule the chaos harness injects
+//     (make chaos).
+//   - Graceful shutdown drains: stop accepting, finish in-flight requests
+//     under a deadline, then snapshot and close — never the reverse order.
+//
+// A panic in a handler is recovered to a 500 (and counted) rather than
+// taking the process down. All of it is observable in /v1/stats: in-flight,
+// queued, shed, coalesced, timed-out, recovered panics, degraded indexes,
+// persist errors, and non-durable inserts.
+//
 // Everything in this module — the minimax fitting stack (exchange algorithm
 // and a revised dual simplex over LP (9)), greedy segmentation with
 // exponential search, the exact baselines (prefix arrays, aggregate trees,

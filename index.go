@@ -1,6 +1,7 @@
 package polyfit
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -287,6 +288,13 @@ type shardedCore interface {
 	RangeExtremumRel(lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error)
 	QueryBatch(ranges []Range) ([]core.BatchResult, error)
 	ShardsTouched(lq, uq float64) int
+	// Context-honoring variants: the scatter-gather abandons untouched
+	// shards when ctx expires (see ContextQuerier).
+	RangeSumCtx(ctx context.Context, lq, uq float64) (val, bound float64, err error)
+	RangeExtremumCtx(ctx context.Context, lq, uq float64) (val, bound float64, ok bool, err error)
+	RangeSumRelCtx(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, usedExact bool, err error)
+	RangeExtremumRelCtx(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error)
+	QueryBatchCtx(ctx context.Context, ranges []Range) ([]core.BatchResult, error)
 }
 
 // shardedQueries is the Query/QueryRel/QueryBatch adapter shared by the

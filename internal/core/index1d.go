@@ -502,26 +502,32 @@ func (ix *Index1D) buildRootPacked() {
 // rootBucketAt maps a key (≥ rootLo) onto one of b buckets. Monotone
 // non-decreasing in k, which is all the correctness argument needs.
 func (ix *Index1D) rootBucketAt(k float64, b int) int {
-	bb := int((k - ix.rootLo) * ix.rootScale)
-	if bb < 0 {
+	// Clamp in the float domain: converting a product beyond int64 range
+	// (possible when the bucket scale is huge — clustered key spans) is
+	// undefined and lands at MinInt64 on amd64, which would alias to
+	// bucket 0 instead of the top bucket.
+	f := (k - ix.rootLo) * ix.rootScale
+	if !(f >= 0) { // negative or NaN
 		return 0
 	}
-	if bb >= b {
+	if f >= float64(b) {
 		return b - 1
 	}
-	return bb
+	return int(f)
 }
 
-// subBucketAt is rootBucketAt for a second-level table.
+// subBucketAt is rootBucketAt for a second-level table, with the same
+// float-domain clamping (the sub scales are the extreme ones: a sub table
+// exists precisely because its bucket's key span is tiny).
 func subBucketAt(k, lo, scale float64, nb int) int {
-	sb := int((k - lo) * scale)
-	if sb < 0 {
+	f := (k - lo) * scale
+	if !(f >= 0) { // negative or NaN
 		return 0
 	}
-	if sb >= nb {
+	if f >= float64(nb) {
 		return nb - 1
 	}
-	return sb
+	return int(f)
 }
 
 // findRootSub returns the second-level table of bucket bb, if one exists

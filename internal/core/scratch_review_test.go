@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/minimax"
 	"repro/internal/poly"
 	"repro/internal/segment"
 )
@@ -20,7 +21,7 @@ func TestScratchSubRootOverflow(t *testing.T) {
 		hi := lo + 0.5e-300
 		segs = append(segs, segment.Segment{
 			Lo: lo, Hi: hi,
-			Fit: segment.FitResult{P: poly.FramedPoly{
+			Fit: minimax.Fit1D{P: poly.FramedPoly{
 				F: poly.Frame{Center: lo, HalfWidth: 1},
 				P: poly.Poly{float64(i)},
 			}},
@@ -28,7 +29,7 @@ func TestScratchSubRootOverflow(t *testing.T) {
 	}
 	segs = append(segs, segment.Segment{
 		Lo: 1.0, Hi: 1.0,
-		Fit: segment.FitResult{P: poly.FramedPoly{
+		Fit: minimax.Fit1D{P: poly.FramedPoly{
 			F: poly.Frame{Center: 1, HalfWidth: 1},
 			P: poly.Poly{100},
 		}},

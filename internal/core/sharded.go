@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -91,27 +92,41 @@ func shardSpan(bounds []float64, lq, uq float64) (a, b int) {
 	return a, b
 }
 
-// gather runs f(i) for every shard index in [a, b] — serially when the
+// gatherCtx runs f(i) for every shard index in [a, b] — serially when the
 // window is small or the process has a single CPU (goroutine fan-out is
 // pure overhead then), on one goroutine per shard otherwise. f must write
 // only to its own slot of whatever output it fills.
-func gather(a, b int, f func(i int)) {
+//
+// A cancelled or expired ctx makes the remaining shards abandon their work:
+// the serial path stops between shards, the parallel path skips f in every
+// worker that has not started yet (a shard query already running finishes —
+// individual per-shard queries are sub-microsecond, so there is nothing
+// worth interrupting inside them). Returns ctx.Err() if the gather was cut
+// short; the partial output must then be discarded.
+func gatherCtx(ctx context.Context, a, b int, f func(i int)) error {
 	m := b - a + 1
 	if m <= gatherSerialMax || runtime.GOMAXPROCS(0) == 1 {
 		for i := a; i <= b; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f(i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	wg.Add(m)
 	for i := a; i <= b; i++ {
 		go func(i int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			f(i)
 		}(i)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // sumBound is the composed absolute-error bound for a COUNT/SUM answer
@@ -123,11 +138,20 @@ func sumBound(delta float64, m int) float64 { return 2 * delta * float64(m) }
 // answer is deterministic). The returned bound is the composed absolute
 // error guarantee 2δ·m for the m touched shards.
 func (s *shardSet) RangeSum(lq, uq float64) (val, bound float64, err error) {
+	return s.RangeSumCtx(context.Background(), lq, uq)
+}
+
+// RangeSumCtx is RangeSum honoring cancellation: an expired ctx stops the
+// scatter-gather between shards and reports ctx.Err().
+func (s *shardSet) RangeSumCtx(ctx context.Context, lq, uq float64) (val, bound float64, err error) {
 	if s.agg != Sum && s.agg != Count {
 		return 0, 0, ErrWrongAgg
 	}
 	if uq < lq {
 		return 0, 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
 	a, b := shardSpan(s.bounds, lq, uq)
 	if a == b {
@@ -137,9 +161,11 @@ func (s *shardSet) RangeSum(lq, uq float64) (val, bound float64, err error) {
 		return v, sumBound(s.delta, 1), err
 	}
 	vals := make([]float64, b-a+1)
-	gather(a, b, func(i int) {
+	if err := gatherCtx(ctx, a, b, func(i int) {
 		vals[i-a], _ = s.qs[i].RangeSum(lq, uq)
-	})
+	}); err != nil {
+		return 0, 0, err
+	}
 	total := 0.0
 	for _, v := range vals {
 		total += v
@@ -152,11 +178,20 @@ func (s *shardSet) RangeSum(lq, uq float64) (val, bound float64, err error) {
 // with the shard count (each shard answer is within δ of its shard's true
 // extremum, and max/min of such values stays within δ of the true answer).
 func (s *shardSet) RangeExtremum(lq, uq float64) (val, bound float64, ok bool, err error) {
+	return s.RangeExtremumCtx(context.Background(), lq, uq)
+}
+
+// RangeExtremumCtx is RangeExtremum honoring cancellation, as
+// RangeSumCtx.
+func (s *shardSet) RangeExtremumCtx(ctx context.Context, lq, uq float64) (val, bound float64, ok bool, err error) {
 	if s.agg != Max && s.agg != Min {
 		return 0, 0, false, ErrWrongAgg
 	}
 	if uq < lq {
 		return 0, s.delta, false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, false, err
 	}
 	a, b := shardSpan(s.bounds, lq, uq)
 	if a == b {
@@ -165,9 +200,11 @@ func (s *shardSet) RangeExtremum(lq, uq float64) (val, bound float64, ok bool, e
 	}
 	vals := make([]float64, b-a+1)
 	oks := make([]bool, b-a+1)
-	gather(a, b, func(i int) {
+	if err := gatherCtx(ctx, a, b, func(i int) {
 		vals[i-a], oks[i-a], _ = s.qs[i].RangeExtremum(lq, uq)
-	})
+	}); err != nil {
+		return 0, 0, false, err
+	}
 	best, found := 0.0, false
 	for i, v := range vals {
 		best, found, _ = combineExtrema(s.agg, best, found, v, oks[i])
@@ -180,14 +217,27 @@ func (s *shardSet) RangeExtremum(lq, uq float64) (val, bound float64, ok bool, e
 // through each shard's amortised batch path, and the partial aggregates
 // are merged in shard order. Results are returned in input order.
 func (s *shardSet) QueryBatch(ranges []Range) ([]BatchResult, error) {
+	return s.QueryBatchCtx(context.Background(), ranges)
+}
+
+// QueryBatchCtx is QueryBatch honoring cancellation: per-shard sub-batches
+// that have not started when ctx expires are abandoned and ctx.Err() is
+// reported.
+func (s *shardSet) QueryBatchCtx(ctx context.Context, ranges []Range) ([]BatchResult, error) {
 	if s.agg < Count || s.agg > Max {
 		return nil, ErrWrongAgg
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if len(s.qs) == 1 {
 		return s.qs[0].QueryBatch(ranges)
 	}
 	subs, slots := shardBatch(s.bounds, len(s.qs), ranges)
 	results, err := gatherBatch(subs, func(i int, sub []Range) ([]BatchResult, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return s.qs[i].QueryBatch(sub)
 	})
 	if err != nil {
@@ -201,7 +251,7 @@ func (s *shardSet) QueryBatch(ranges []Range) ([]BatchResult, error) {
 // the composed bound. pass reports a certified approximate answer;
 // otherwise the caller must consult its exact fallbacks over the returned
 // shard window.
-func (s *shardSet) relGateSum(lq, uq, epsRel float64) (val, bound float64, pass, empty bool, a, b int, err error) {
+func (s *shardSet) relGateSum(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, pass, empty bool, a, b int, err error) {
 	if s.agg != Sum && s.agg != Count {
 		return 0, 0, false, false, 0, 0, ErrWrongAgg
 	}
@@ -211,7 +261,7 @@ func (s *shardSet) relGateSum(lq, uq, epsRel float64) (val, bound float64, pass,
 	if uq < lq {
 		return 0, 0, false, true, 0, 0, nil
 	}
-	est, bnd, err := s.RangeSum(lq, uq)
+	est, bnd, err := s.RangeSumCtx(ctx, lq, uq)
 	if err != nil {
 		return 0, 0, false, false, 0, 0, err
 	}
@@ -221,14 +271,14 @@ func (s *shardSet) relGateSum(lq, uq, epsRel float64) (val, bound float64, pass,
 
 // relGateExtremum mirrors relGateSum for MIN/MAX (Lemma 5 applied to the
 // combined estimate).
-func (s *shardSet) relGateExtremum(lq, uq, epsRel float64) (val float64, pass, ok, empty bool, a, b int, err error) {
+func (s *shardSet) relGateExtremum(ctx context.Context, lq, uq, epsRel float64) (val float64, pass, ok, empty bool, a, b int, err error) {
 	if s.agg != Max && s.agg != Min {
 		return 0, false, false, false, 0, 0, ErrWrongAgg
 	}
 	if epsRel <= 0 {
 		return 0, false, false, false, 0, 0, fmt.Errorf("%w: non-positive relative error %g", ErrInvalidRange, epsRel)
 	}
-	v, _, got, err := s.RangeExtremum(lq, uq)
+	v, _, got, err := s.RangeExtremumCtx(ctx, lq, uq)
 	if err != nil {
 		return 0, false, false, false, 0, 0, err
 	}
@@ -441,7 +491,13 @@ func BuildSharded(agg Agg, keys, measures []float64, shards int, opt Options) (*
 // The returned bound is the composed 2δ·m for certified approximate
 // answers and 0 when the exact path answered.
 func (s *Sharded1D) RangeSumRel(lq, uq, epsRel float64) (val, bound float64, usedExact bool, err error) {
-	est, bnd, pass, empty, a, b, err := s.relGateSum(lq, uq, epsRel)
+	return s.RangeSumRelCtx(context.Background(), lq, uq, epsRel)
+}
+
+// RangeSumRelCtx is RangeSumRel honoring cancellation across both the
+// approximate gather and the per-shard exact fallback sweep.
+func (s *Sharded1D) RangeSumRelCtx(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, usedExact bool, err error) {
+	est, bnd, pass, empty, a, b, err := s.relGateSum(ctx, lq, uq, epsRel)
 	if err != nil || empty {
 		return 0, 0, false, err
 	}
@@ -450,6 +506,9 @@ func (s *Sharded1D) RangeSumRel(lq, uq, epsRel float64) (val, bound float64, use
 	}
 	exact := 0.0
 	for i := a; i <= b; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, false, err
+		}
 		if s.shards[i].exactCF == nil {
 			return 0, 0, false, ErrNoFallback
 		}
@@ -464,7 +523,13 @@ func (s *Sharded1D) RangeSumRel(lq, uq, epsRel float64) (val, bound float64, use
 // The returned bound is δ for certified approximate answers and 0 when
 // the exact path answered.
 func (s *Sharded1D) RangeExtremumRel(lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error) {
-	est, pass, got, empty, a, b, err := s.relGateExtremum(lq, uq, epsRel)
+	return s.RangeExtremumRelCtx(context.Background(), lq, uq, epsRel)
+}
+
+// RangeExtremumRelCtx is RangeExtremumRel honoring cancellation, as
+// RangeSumRelCtx.
+func (s *Sharded1D) RangeExtremumRelCtx(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error) {
+	est, pass, got, empty, a, b, err := s.relGateExtremum(ctx, lq, uq, epsRel)
 	if err != nil || empty {
 		return 0, 0, false, false, err
 	}
@@ -473,6 +538,9 @@ func (s *Sharded1D) RangeExtremumRel(lq, uq, epsRel float64) (val, bound float64
 	}
 	best, found := 0.0, false
 	for i := a; i <= b; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, false, false, err
+		}
 		sh := s.shards[i]
 		if sh.exactExt == nil {
 			return 0, 0, false, false, ErrNoFallback
@@ -647,7 +715,13 @@ func (s *ShardedDynamic1D) Insert(key, measure float64) error {
 // paths (which fold in each shard's delta buffer exactly).
 // The returned bound mirrors Sharded1D.RangeSumRel.
 func (s *ShardedDynamic1D) RangeSumRel(lq, uq, epsRel float64) (val, bound float64, usedExact bool, err error) {
-	est, bnd, pass, empty, a, b, err := s.relGateSum(lq, uq, epsRel)
+	return s.RangeSumRelCtx(context.Background(), lq, uq, epsRel)
+}
+
+// RangeSumRelCtx is RangeSumRel honoring cancellation across both the
+// approximate gather and the per-shard exact fallback sweep.
+func (s *ShardedDynamic1D) RangeSumRelCtx(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, usedExact bool, err error) {
+	est, bnd, pass, empty, a, b, err := s.relGateSum(ctx, lq, uq, epsRel)
 	if err != nil || empty {
 		return 0, 0, false, err
 	}
@@ -656,6 +730,9 @@ func (s *ShardedDynamic1D) RangeSumRel(lq, uq, epsRel float64) (val, bound float
 	}
 	exact := 0.0
 	for i := a; i <= b; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, false, err
+		}
 		st := s.shards[i].state.Load()
 		if st.base.exactCF == nil {
 			return 0, 0, false, ErrNoFallback
@@ -670,7 +747,13 @@ func (s *ShardedDynamic1D) RangeSumRel(lq, uq, epsRel float64) (val, bound float
 // shard's exact buffer extremum) answer.
 // The returned bound mirrors Sharded1D.RangeExtremumRel.
 func (s *ShardedDynamic1D) RangeExtremumRel(lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error) {
-	est, pass, got, empty, a, b, err := s.relGateExtremum(lq, uq, epsRel)
+	return s.RangeExtremumRelCtx(context.Background(), lq, uq, epsRel)
+}
+
+// RangeExtremumRelCtx is RangeExtremumRel honoring cancellation, as
+// RangeSumRelCtx.
+func (s *ShardedDynamic1D) RangeExtremumRelCtx(ctx context.Context, lq, uq, epsRel float64) (val, bound float64, usedExact, ok bool, err error) {
+	est, pass, got, empty, a, b, err := s.relGateExtremum(ctx, lq, uq, epsRel)
 	if err != nil || empty {
 		return 0, 0, false, false, err
 	}
@@ -679,6 +762,9 @@ func (s *ShardedDynamic1D) RangeExtremumRel(lq, uq, epsRel float64) (val, bound 
 	}
 	best, found := 0.0, false
 	for i := a; i <= b; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, false, false, err
+		}
 		st := s.shards[i].state.Load()
 		if st.base.exactExt == nil {
 			return 0, 0, false, false, ErrNoFallback
@@ -729,6 +815,18 @@ func (s *ShardedDynamic1D) Len() int {
 		n += sh.Len()
 	}
 	return n
+}
+
+// Generation returns the summed mutation counter of all shards. Each
+// shard's counter only ever increases, so the sum is monotonic: any insert
+// or rebuild anywhere in the sharded index moves it, which is exactly the
+// invalidation property coalescing and caching need.
+func (s *ShardedDynamic1D) Generation() uint64 {
+	var g uint64
+	for _, sh := range s.shards {
+		g += sh.Generation()
+	}
+	return g
 }
 
 // BufferLen returns the total not-yet-merged insert count across shards.

@@ -1,0 +1,286 @@
+// Package faultfs is a fault-injecting implementation of persist.FS for
+// chaos testing the durability layer. It wraps a real filesystem and
+// injects the partial-failure modes disks actually produce — EIO on write,
+// short writes, failed fsync, failed rename — according to a deterministic
+// seeded schedule, so every chaos run is replayable.
+//
+// Schedule grammar (comma-separated terms):
+//
+//	kind:p      probabilistic — each op of that kind fails with probability p
+//	            (seeded PRNG, deterministic for a given seed and op order)
+//	kind@lo-hi  deterministic window — ops lo..hi-1 of that kind's counter
+//	            all fail; ops outside the window pass through
+//
+// Kinds: "write" (EIO, alias "eio"), "short" (short write: half the bytes
+// land, io.ErrShortWrite returned), "sync" (fsync fails after data may have
+// reached the page cache, alias "fsync"), "rename" (the rename fails and
+// the source file is left behind — the orphan-temp artefact of a torn
+// commit; the destination is never half-written, matching POSIX atomic
+// rename). "write" and "short" share one op counter (both are Write-call
+// faults); "sync" and "rename" each have their own.
+//
+// Example: "write@20-70,sync:0.05" — write calls 20..69 return EIO, and
+// every fsync fails with probability 5%.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/persist"
+)
+
+// ErrInjected marks every fault this package injects; callers can
+// errors.Is against it to distinguish injected failures from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Rule is one term of a fault schedule.
+type Rule struct {
+	Kind string  // "write", "short", "sync", "rename"
+	P    float64 // probabilistic failure rate; 0 means window-only
+	Lo   int64   // deterministic op window [Lo, Hi); Hi 0 means no window
+	Hi   int64
+}
+
+// Stats counts operations seen and faults injected, for assertions and the
+// chaos harness report.
+type Stats struct {
+	WriteOps  int64
+	SyncOps   int64
+	RenameOps int64
+
+	InjectedWrites  int64
+	InjectedShorts  int64
+	InjectedSyncs   int64
+	InjectedRenames int64
+}
+
+// Injected returns the total number of injected faults of any kind.
+func (s Stats) Injected() int64 {
+	return s.InjectedWrites + s.InjectedShorts + s.InjectedSyncs + s.InjectedRenames
+}
+
+// FS wraps an inner persist.FS with seeded fault injection. It is safe for
+// concurrent use; the op counters make deterministic window schedules
+// reproducible as long as the op order itself is deterministic.
+type FS struct {
+	inner persist.FS
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []Rule
+	writeOp int64 // shared counter for write+short rules
+	syncOp  int64
+	renOp   int64
+	stats   Stats
+}
+
+// New wraps inner (nil means the real disk) with the given schedule and
+// seed. An empty schedule injects nothing.
+func New(inner persist.FS, schedule string, seed int64) (*FS, error) {
+	rules, err := ParseSchedule(schedule)
+	if err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = persist.OSFS()
+	}
+	return &FS{inner: inner, rng: rand.New(rand.NewSource(seed)), rules: rules}, nil
+}
+
+// ParseSchedule parses the schedule grammar described in the package
+// comment.
+func ParseSchedule(schedule string) ([]Rule, error) {
+	var rules []Rule
+	for _, term := range strings.Split(schedule, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		var r Rule
+		switch {
+		case strings.Contains(term, ":"):
+			kind, rate, _ := strings.Cut(term, ":")
+			p, err := strconv.ParseFloat(rate, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faultfs: bad rate in %q", term)
+			}
+			r = Rule{Kind: kind, P: p}
+		case strings.Contains(term, "@"):
+			kind, window, _ := strings.Cut(term, "@")
+			lo, hi, ok := strings.Cut(window, "-")
+			if !ok {
+				return nil, fmt.Errorf("faultfs: bad window in %q (want kind@lo-hi)", term)
+			}
+			l, err1 := strconv.ParseInt(lo, 10, 64)
+			h, err2 := strconv.ParseInt(hi, 10, 64)
+			if err1 != nil || err2 != nil || l < 0 || h <= l {
+				return nil, fmt.Errorf("faultfs: bad window in %q", term)
+			}
+			r = Rule{Kind: kind, Lo: l, Hi: h}
+		default:
+			return nil, fmt.Errorf("faultfs: bad term %q (want kind:p or kind@lo-hi)", term)
+		}
+		switch r.Kind {
+		case "eio":
+			r.Kind = "write"
+		case "fsync":
+			r.Kind = "sync"
+		case "write", "short", "sync", "rename":
+		default:
+			return nil, fmt.Errorf("faultfs: unknown fault kind %q", r.Kind)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// Stats returns a snapshot of the op and injection counters.
+func (f *FS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// fire reports whether rule r triggers for op number n of its counter.
+func (f *FS) fireLocked(r Rule, n int64) bool {
+	if r.Hi > 0 {
+		return n >= r.Lo && n < r.Hi
+	}
+	return r.P > 0 && f.rng.Float64() < r.P
+}
+
+// decideWrite consumes one write-class op and returns the injected kind
+// ("write" or "short") or "".
+func (f *FS) decideWrite() (string, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.writeOp
+	f.writeOp++
+	f.stats.WriteOps++
+	for _, r := range f.rules {
+		if r.Kind != "write" && r.Kind != "short" {
+			continue
+		}
+		if f.fireLocked(r, n) {
+			if r.Kind == "write" {
+				f.stats.InjectedWrites++
+			} else {
+				f.stats.InjectedShorts++
+			}
+			return r.Kind, n
+		}
+	}
+	return "", n
+}
+
+func (f *FS) decideSync() (bool, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.syncOp
+	f.syncOp++
+	f.stats.SyncOps++
+	for _, r := range f.rules {
+		if r.Kind == "sync" && f.fireLocked(r, n) {
+			f.stats.InjectedSyncs++
+			return true, n
+		}
+	}
+	return false, n
+}
+
+func (f *FS) decideRename() (bool, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.renOp
+	f.renOp++
+	f.stats.RenameOps++
+	for _, r := range f.rules {
+		if r.Kind == "rename" && f.fireLocked(r, n) {
+			f.stats.InjectedRenames++
+			return true, n
+		}
+	}
+	return false, n
+}
+
+// --- persist.FS implementation ---------------------------------------------
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FS) ReadFile(path string) ([]byte, error)         { return f.inner.ReadFile(path) }
+func (f *FS) ReadDir(path string) ([]os.DirEntry, error)   { return f.inner.ReadDir(path) }
+func (f *FS) Stat(path string) (os.FileInfo, error)        { return f.inner.Stat(path) }
+func (f *FS) Remove(path string) error                     { return f.inner.Remove(path) }
+func (f *FS) RemoveAll(path string) error                  { return f.inner.RemoveAll(path) }
+func (f *FS) Truncate(path string, size int64) error       { return f.inner.Truncate(path, size) }
+func (f *FS) SyncDir(dir string) error                     { return f.inner.SyncDir(dir) }
+
+func (f *FS) ReadAt(path string, p []byte, off int64) (int, error) {
+	return f.inner.ReadAt(path, p, off)
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	if fire, n := f.decideRename(); fire {
+		// The commit never happens: the destination keeps its old content
+		// and the source (typically a temp file) is left behind as debris.
+		return fmt.Errorf("%w: rename %s (rename op %d)", ErrInjected, oldPath, n)
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (persist.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) OpenFile(path string, flag int, perm os.FileMode) (persist.File, error) {
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// faultFile wraps a writable file with write/sync injection.
+type faultFile struct {
+	fs    *FS
+	inner persist.File
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	switch kind, n := ff.fs.decideWrite(); kind {
+	case "write":
+		return 0, fmt.Errorf("%w: EIO on %s (write op %d)", ErrInjected, ff.inner.Name(), n)
+	case "short":
+		// Half the bytes actually land on disk before the failure — the
+		// torn-append artefact WAL repair must truncate away.
+		half := len(p) / 2
+		if half > 0 {
+			if _, err := ff.inner.Write(p[:half]); err != nil {
+				return 0, err
+			}
+		}
+		return half, fmt.Errorf("%w: short write on %s (write op %d): %v",
+			ErrInjected, ff.inner.Name(), n, io.ErrShortWrite)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if fire, n := ff.fs.decideSync(); fire {
+		return fmt.Errorf("%w: fsync %s (sync op %d)", ErrInjected, ff.inner.Name(), n)
+	}
+	return ff.inner.Sync()
+}

@@ -1,0 +1,122 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// FS is the set of filesystem operations the persist layer performs. The
+// default implementation is the real disk (OSFS); tests and the chaos
+// harness substitute a fault-injecting implementation (internal/faultfs)
+// to exercise EIO, short writes, fsync failure, and failed renames without
+// touching kernel machinery.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]os.DirEntry, error)
+	Stat(path string) (os.FileInfo, error)
+	// CreateTemp creates a new temp file in dir (pattern as os.CreateTemp)
+	// open for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// ReadAt reads len(p) bytes from the file at path starting at off.
+	ReadAt(path string, p []byte, off int64) (int, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory itself so a completed rename survives a
+	// crash.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file surface persist needs: sequential writes, an
+// fsync barrier, and the name for the later rename.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// osFS is the real disk.
+type osFS struct{}
+
+// OSFS returns the default FS backed by the os package.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+func (osFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
+func (osFS) Rename(oldPath, newPath string) error         { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) Truncate(path string, size int64) error       { return os.Truncate(path, size) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (osFS) ReadAt(path string, p []byte, off int64) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.ReadAt(p, off)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("persist: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// RetryPolicy bounds how persistently the store retries a failed write
+// before declaring it degraded. Attempt n sleeps Backoff<<(n-1) first, so
+// the default (3 attempts, 2ms base) costs at most ~10ms of backoff — a
+// transient blip is absorbed, a sick disk cannot stall serving.
+type RetryPolicy struct {
+	Attempts int           // total attempts, minimum 1
+	Backoff  time.Duration // base sleep before the first retry, doubled each retry
+}
+
+// DefaultRetry is the store's retry policy unless overridden.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond}
+
+func (p RetryPolicy) norm() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	return p
+}
+
+// run invokes f up to p.Attempts times with exponential backoff, returning
+// nil on the first success or the last error.
+func (p RetryPolicy) run(f func() error) error {
+	p = p.norm()
+	var err error
+	for a := 0; a < p.Attempts; a++ {
+		if a > 0 && p.Backoff > 0 {
+			time.Sleep(p.Backoff << (a - 1))
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

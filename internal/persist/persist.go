@@ -32,7 +32,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -74,22 +73,41 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Store manages the on-disk layout of one data directory.
 type Store struct {
-	dir string
+	dir   string
+	fs    FS
+	retry RetryPolicy
 }
 
-// Open creates (if needed) and returns the store rooted at dir.
+// Open creates (if needed) and returns the store rooted at dir, backed by
+// the real disk.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open with an explicit filesystem; a nil fsys means the real
+// disk. The chaos harness passes a fault-injecting FS here.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("persist: empty data dir")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: open data dir: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys, retry: DefaultRetry}, nil
 }
 
 // Dir returns the root data directory.
 func (s *Store) Dir() string { return s.dir }
+
+// FS returns the filesystem the store operates on.
+func (s *Store) FS() FS { return s.fs }
+
+// SetRetryPolicy overrides the write retry policy (tests shrink the
+// backoff; Attempts below 1 is clamped to 1).
+func (s *Store) SetRetryPolicy(p RetryPolicy) { s.retry = p.norm() }
 
 // encodeName maps an index name onto a filesystem-safe directory name,
 // reversibly. Plain names keep a readable "i-" form; anything else is
@@ -138,7 +156,7 @@ func (s *Store) WALPath(name string) string {
 // List returns the names of all indexes present in the store, in directory
 // order.
 func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("persist: list data dir: %w", err)
 	}
@@ -156,7 +174,7 @@ func (s *Store) List() ([]string, error) {
 
 // Remove deletes every file of the given index.
 func (s *Store) Remove(name string) error {
-	if err := os.RemoveAll(s.IndexDir(name)); err != nil {
+	if err := s.fs.RemoveAll(s.IndexDir(name)); err != nil {
 		return fmt.Errorf("persist: remove %q: %w", name, err)
 	}
 	return nil
@@ -164,10 +182,11 @@ func (s *Store) Remove(name string) error {
 
 // WriteSnapshot atomically replaces the index's snapshot with the given
 // blob. On return the snapshot is durable: the bytes and the rename are
-// both fsynced.
+// both fsynced. Transient write failures are retried per the store's
+// RetryPolicy (each attempt starts over with a fresh temp file).
 func (s *Store) WriteSnapshot(name string, blob []byte) error {
 	dir := s.IndexDir(name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("persist: snapshot dir: %w", err)
 	}
 	header := make([]byte, snapHeaderSize)
@@ -175,19 +194,20 @@ func (s *Store) WriteSnapshot(name string, blob []byte) error {
 	binary.LittleEndian.PutUint16(header[4:], snapVersion)
 	binary.LittleEndian.PutUint64(header[8:], uint64(len(blob)))
 	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(blob, crcTable))
-	return writeFileAtomic(filepath.Join(dir, snapshotFile), header, blob)
+	path := filepath.Join(dir, snapshotFile)
+	return s.retry.run(func() error { return writeFileAtomic(s.fs, path, header, blob) })
 }
 
 // ReadSnapshot loads and validates the index's snapshot, returning the
 // original blob. A missing snapshot reports os.ErrNotExist; a damaged one
 // reports ErrCorrupt with detail.
 func (s *Store) ReadSnapshot(name string) ([]byte, error) {
-	return readSnapshotFile(s.SnapshotPath(name))
+	return readSnapshotFile(s.fs, s.SnapshotPath(name))
 }
 
 // readSnapshotFile loads and validates one snapshot envelope.
-func readSnapshotFile(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+func readSnapshotFile(fsys FS, path string) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +272,7 @@ func (s *Store) WriteShardManifest(name string, m ShardManifest) error {
 		return fmt.Errorf("persist: manifest has %d bounds for %d shards", len(m.Bounds), m.Shards)
 	}
 	dir := s.IndexDir(name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("persist: manifest dir: %w", err)
 	}
 	payload := make([]byte, 4+8*len(m.Bounds))
@@ -265,14 +285,15 @@ func (s *Store) WriteShardManifest(name string, m ShardManifest) error {
 	binary.LittleEndian.PutUint16(header[4:], manifestVersion)
 	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(payload, crcTable))
-	return writeFileAtomic(filepath.Join(dir, shardManifestFile), header, payload)
+	path := filepath.Join(dir, shardManifestFile)
+	return s.retry.run(func() error { return writeFileAtomic(s.fs, path, header, payload) })
 }
 
 // ReadShardManifest loads and validates the index's shard manifest. A
 // missing manifest (the index is not sharded) reports os.ErrNotExist; a
 // damaged one reports ErrCorrupt.
 func (s *Store) ReadShardManifest(name string) (ShardManifest, error) {
-	data, err := os.ReadFile(s.ShardManifestPath(name))
+	data, err := s.fs.ReadFile(s.ShardManifestPath(name))
 	if err != nil {
 		return ShardManifest{}, err
 	}
@@ -319,7 +340,7 @@ func (s *Store) ReadShardManifest(name string) (ShardManifest, error) {
 // checksummed envelope as WriteSnapshot).
 func (s *Store) WriteShardSnapshot(name string, i int, blob []byte) error {
 	dir := s.IndexDir(name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("persist: shard snapshot dir: %w", err)
 	}
 	header := make([]byte, snapHeaderSize)
@@ -327,12 +348,13 @@ func (s *Store) WriteShardSnapshot(name string, i int, blob []byte) error {
 	binary.LittleEndian.PutUint16(header[4:], snapVersion)
 	binary.LittleEndian.PutUint64(header[8:], uint64(len(blob)))
 	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(blob, crcTable))
-	return writeFileAtomic(filepath.Join(dir, shardSnapshotFile(i)), header, blob)
+	path := filepath.Join(dir, shardSnapshotFile(i))
+	return s.retry.run(func() error { return writeFileAtomic(s.fs, path, header, blob) })
 }
 
 // ReadShardSnapshot loads and validates shard i's snapshot.
 func (s *Store) ReadShardSnapshot(name string, i int) ([]byte, error) {
-	return readSnapshotFile(s.ShardSnapshotPath(name, i))
+	return readSnapshotFile(s.fs, s.ShardSnapshotPath(name, i))
 }
 
 // RemoveShardFiles deletes the manifest and every per-shard file of the
@@ -350,11 +372,11 @@ func (s *Store) RemoveShardFiles(name string) error {
 // is listed, not probed.
 func (s *Store) RemoveShardFilesFrom(name string, from int) error {
 	if from <= 0 {
-		if err := os.Remove(s.ShardManifestPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := s.fs.Remove(s.ShardManifestPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("persist: remove manifest: %w", err)
 		}
 	}
-	entries, err := os.ReadDir(s.IndexDir(name))
+	entries, err := s.fs.ReadDir(s.IndexDir(name))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil
@@ -374,7 +396,7 @@ func (s *Store) RemoveShardFilesFrom(name string, from int) error {
 		if err != nil || n < from {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.IndexDir(name), e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := s.fs.Remove(filepath.Join(s.IndexDir(name), e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("persist: remove %s: %w", e.Name(), err)
 		}
 	}
@@ -387,7 +409,7 @@ func (s *Store) RemoveShardFilesFrom(name string, from int) error {
 // committing the new manifest, so no crash point can replay a dead
 // index's records into the restored one.
 func (s *Store) RemoveShardWALFiles(name string) error {
-	entries, err := os.ReadDir(s.IndexDir(name))
+	entries, err := s.fs.ReadDir(s.IndexDir(name))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil
@@ -396,7 +418,7 @@ func (s *Store) RemoveShardWALFiles(name string) error {
 	}
 	for _, e := range entries {
 		if strings.HasPrefix(e.Name(), "shard-") && strings.HasSuffix(e.Name(), ".wal.pf") {
-			if err := os.Remove(filepath.Join(s.IndexDir(name), e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := s.fs.Remove(filepath.Join(s.IndexDir(name), e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
 				return fmt.Errorf("persist: remove %s: %w", e.Name(), err)
 			}
 		}
@@ -406,17 +428,19 @@ func (s *Store) RemoveShardWALFiles(name string) error {
 
 // writeFileAtomic writes the chunks to a temp file in path's directory,
 // fsyncs it, renames it over path, and fsyncs the directory so the rename
-// itself survives a crash.
-func writeFileAtomic(path string, chunks ...[]byte) error {
+// itself survives a crash. On any failure the temp file is removed
+// (best-effort) and the destination is untouched, so the whole operation
+// can simply be retried.
+func writeFileAtomic(fsys FS, path string, chunks ...[]byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	for _, c := range chunks {
@@ -430,21 +454,9 @@ func writeFileAtomic(path string, chunks ...[]byte) error {
 	if err := tmp.Close(); err != nil {
 		return cleanup(fmt.Errorf("persist: close: %w", err))
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("persist: rename: %w", err)
 	}
-	return syncDir(dir)
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("persist: open dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("persist: fsync dir: %w", err)
-	}
-	return nil
+	return fsys.SyncDir(dir)
 }

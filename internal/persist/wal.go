@@ -31,21 +31,43 @@ type Record struct {
 
 // WAL is an append-only, fsync-on-append log of acknowledged inserts for
 // one index. It is safe for concurrent use.
+//
+// Failed appends are retried with backoff; between attempts any partial
+// bytes of the failed write are truncated away so the on-disk log never
+// carries garbage mid-file. If even that repair truncate fails, the WAL
+// marks itself sick and refuses further appends until Reset rewrites it —
+// the caller degrades to non-durable acks rather than blocking on a disk
+// that cannot be trusted.
 type WAL struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	size int64 // header + records, maintained to avoid a stat per append
+	mu    sync.Mutex
+	path  string
+	fsys  FS
+	retry RetryPolicy
+	f     File
+	size  int64 // header + records, maintained to avoid a stat per append
+	sick  bool  // repair truncate failed; on-disk tail state unknown
 }
 
-// OpenWAL opens (creating if absent) the WAL at path and returns the valid
+// OpenWAL opens (creating if absent) the WAL at path on the real disk. See
+// openWALFS.
+func OpenWAL(path string) (w *WAL, recovered []Record, droppedBytes int, err error) {
+	return openWALFS(path, OSFS(), DefaultRetry)
+}
+
+// OpenWAL opens the WAL at path through the store's filesystem and retry
+// policy; paths normally come from the store's own WALPath/ShardWALPath.
+func (s *Store) OpenWAL(path string) (w *WAL, recovered []Record, droppedBytes int, err error) {
+	return openWALFS(path, s.fs, s.retry)
+}
+
+// openWALFS opens (creating if absent) the WAL at path and returns the valid
 // records already in it. A torn or checksum-failing tail is truncated away
 // so appends resume from the last clean record boundary; the number of
 // dropped bytes is returned for reporting. A corrupt header makes the whole
 // log unreadable and is reported as ErrCorrupt — the caller decides whether
 // to set the file aside and start fresh.
-func OpenWAL(path string) (w *WAL, recovered []Record, droppedBytes int, err error) {
-	data, err := os.ReadFile(path)
+func openWALFS(path string, fsys FS, retry RetryPolicy) (w *WAL, recovered []Record, droppedBytes int, err error) {
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		data = nil
 	} else if err != nil {
@@ -75,16 +97,17 @@ func OpenWAL(path string) (w *WAL, recovered []Record, droppedBytes int, err err
 		}
 		droppedBytes = len(body) - valid
 		if droppedBytes > 0 {
-			if err := os.Truncate(path, int64(walHeaderSize+valid)); err != nil {
+			if err := fsys.Truncate(path, int64(walHeaderSize+valid)); err != nil {
 				return nil, nil, 0, fmt.Errorf("persist: truncate torn wal tail: %w", err)
 			}
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("persist: open wal: %w", err)
 	}
-	w = &WAL{path: path, f: f, size: int64(walHeaderSize + len(recovered)*walRecordSize)}
+	w = &WAL{path: path, fsys: fsys, retry: retry.norm(), f: f,
+		size: int64(walHeaderSize + len(recovered)*walRecordSize)}
 	if fresh {
 		header := make([]byte, walHeaderSize)
 		binary.LittleEndian.PutUint32(header[0:], walMagic)
@@ -103,7 +126,9 @@ func OpenWAL(path string) (w *WAL, recovered []Record, droppedBytes int, err err
 
 // Append writes the records and fsyncs once. When Append returns nil the
 // records are durable — callers acknowledge the corresponding inserts only
-// after that.
+// after that. Transient failures are retried per the retry policy after
+// truncating away any partially written bytes, so a retried (or later)
+// append always starts at a clean record boundary.
 func (w *WAL) Append(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -120,13 +145,73 @@ func (w *WAL) Append(recs []Record) error {
 	if w.f == nil {
 		return fmt.Errorf("persist: wal %s is closed", w.path)
 	}
-	if _, err := w.f.Write(buf); err != nil {
+	if w.sick {
+		return fmt.Errorf("persist: wal %s is sick (unrepaired append failure)", w.path)
+	}
+	var err error
+	err = w.retry.run(func() error {
+		werr := w.writeAndSyncLocked(buf)
+		if werr == nil {
+			return nil
+		}
+		// Drop whatever partial bytes the failed attempt may have left so
+		// the next write (retry or future append) lands on a record
+		// boundary. O_APPEND writes resume at the new end of file.
+		if terr := w.fsys.Truncate(w.path, w.size); terr != nil {
+			w.sick = true
+			return fmt.Errorf("%v; repair truncate: %w", werr, terr)
+		}
+		return werr
+	})
+	if err != nil {
 		return fmt.Errorf("persist: wal append: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("persist: wal fsync: %w", err)
-	}
 	w.size += int64(len(buf))
+	return nil
+}
+
+func (w *WAL) writeAndSyncLocked(buf []byte) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Sick reports whether the WAL has refused appends after a failed repair.
+// A sick WAL heals only through Reset.
+func (w *WAL) Sick() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sick
+}
+
+// Reset atomically rewrites the log as an empty (header-only) file and
+// clears the sick flag. Callers use it after a snapshot has made every
+// applied record durable through other means, so dropping the log —
+// whatever state its tail is in — loses nothing.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: wal %s is closed", w.path)
+	}
+	header := make([]byte, walHeaderSize)
+	binary.LittleEndian.PutUint32(header[0:], walMagic)
+	binary.LittleEndian.PutUint16(header[4:], walVersion)
+	if err := w.retry.run(func() error {
+		return writeFileAtomic(w.fsys, w.path, header)
+	}); err != nil {
+		return err
+	}
+	w.f.Close()
+	f, err := w.fsys.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.f = nil
+		return fmt.Errorf("persist: reopen wal after reset: %w", err)
+	}
+	w.f = f
+	w.size = walHeaderSize
+	w.sick = false
 	return nil
 }
 
@@ -165,25 +250,21 @@ func (w *WAL) TruncateTo(cut int64) error {
 	}
 	tail := make([]byte, w.size-cut)
 	if len(tail) > 0 {
-		rf, err := os.Open(w.path)
-		if err != nil {
-			return fmt.Errorf("persist: reopen wal: %w", err)
-		}
-		_, err = rf.ReadAt(tail, cut)
-		rf.Close()
-		if err != nil {
+		if _, err := w.fsys.ReadAt(w.path, tail, cut); err != nil {
 			return fmt.Errorf("persist: read wal tail: %w", err)
 		}
 	}
 	header := make([]byte, walHeaderSize)
 	binary.LittleEndian.PutUint32(header[0:], walMagic)
 	binary.LittleEndian.PutUint16(header[4:], walVersion)
-	if err := writeFileAtomic(w.path, header, tail); err != nil {
+	if err := w.retry.run(func() error {
+		return writeFileAtomic(w.fsys, w.path, header, tail)
+	}); err != nil {
 		return err
 	}
 	// The old descriptor now points at the unlinked file; reopen the new one.
 	w.f.Close()
-	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fsys.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		w.f = nil
 		return fmt.Errorf("persist: reopen wal after truncate: %w", err)
@@ -209,4 +290,9 @@ func (w *WAL) Close() error {
 // so a fresh log can be started while keeping the bytes for inspection.
 func SetAside(path string) error {
 	return os.Rename(path, path+".corrupt")
+}
+
+// SetAside is the store-filesystem variant of the package-level SetAside.
+func (s *Store) SetAside(path string) error {
+	return s.fs.Rename(path, path+".corrupt")
 }

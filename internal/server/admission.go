@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	polyfit "repro"
+)
+
+// Overload control for the query path (admission.go): a bounded admission
+// queue in front of a concurrency limit, plus single-flight coalescing of
+// identical in-flight queries. Inserts and admin operations are never
+// gated — shedding reads to protect writes is the point, not the other
+// way around.
+//
+//   - At most MaxConcurrentQueries queries execute at once; up to
+//     MaxQueuedQueries more wait for a slot. Beyond that the request is
+//     shed immediately (HTTP 429 + Retry-After) instead of queueing
+//     unboundedly — under overload the server answers "try later" in
+//     microseconds rather than timing everyone out.
+//   - Identical concurrent queries — same index, same data generation,
+//     same range, same eps_rel — collapse onto one execution: one leader
+//     takes an admission slot and runs the query, followers wait on the
+//     leader and repeat its byte-identical response without consuming
+//     slots. The generation in the key makes invalidation structural: an
+//     insert bumps it, so post-insert arrivals never join a stale flight.
+
+// errShed reports a query rejected by admission control because both the
+// executing slots and the wait queue were full.
+var errShed = errors.New("server overloaded: query queue is full")
+
+// admission is the bounded queue + concurrency limit. acquire is designed
+// so the shed decision is lock-free and immediate: a full queue is
+// detected with one atomic add, never by waiting.
+type admission struct {
+	sem      chan struct{} // buffered to the concurrency limit
+	maxQueue int64
+	queued   atomic.Int64 // waiters currently queued for a slot
+	shed     atomic.Int64 // requests rejected with errShed
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{sem: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// acquire takes an execution slot, queueing up to the configured depth.
+// It returns errShed without blocking when the queue is full, or ctx's
+// error if the deadline expires while queued. A nil return must be paired
+// with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return errShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+// testHookQueryDelay, when non-nil, runs in the query leader after its
+// admission slot is acquired and before the query executes. Tests use it
+// to hold a leader in place so concurrent identical queries provably
+// coalesce behind it (and so the queue provably fills).
+var testHookQueryDelay func()
+
+// flightKey identifies one logical query for coalescing. The entry
+// pointer (not the name) scopes the flight to one registered index
+// instance — a restore under the same name changes the pointer — and gen
+// is the index's mutation counter, so any successful insert or rebuild
+// moves later arrivals onto a fresh flight.
+type flightKey struct {
+	e      *entry
+	gen    uint64
+	lo, hi float64
+	epsRel float64
+}
+
+// flightCall is one in-flight execution; followers wait on done and then
+// read the outcome fields (written once, before close).
+type flightCall struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// flightGroup is a hand-rolled singleflight keyed by flightKey.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flightCall
+}
+
+// do executes fn once per key among concurrent callers. The first caller
+// (leader) runs fn and broadcasts its outcome; the rest (followers) block
+// until the leader finishes and return the exact same status and body
+// bytes. leader reports which role this caller played. waiting is a gauge
+// of followers currently blocked, observable while a flight is open.
+func (g *flightGroup) do(key flightKey, waiting *atomic.Int64, fn func() (int, []byte)) (status int, body []byte, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[flightKey]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		waiting.Add(1)
+		<-c.done
+		waiting.Add(-1)
+		return c.status, c.body, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// The flight MUST resolve even if fn panics (the panic then continues
+	// up to the ServeHTTP recovery middleware): leaving the key in the map
+	// with done never closed would hang every later identical query.
+	defer func() {
+		if c.status == 0 { // fn panicked before producing an outcome
+			c.status, c.body = jsonBody(http.StatusInternalServerError,
+				errorResponse{Error: "internal error (panic recovered)"})
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.status, c.body = fn()
+	return c.status, c.body, true
+}
+
+// generationOf reads the entry's data generation for the flight key.
+// Static indexes are immutable: every read observes the same data, so a
+// constant 0 coalesces them forever, which is exactly right.
+func generationOf(e *entry) uint64 {
+	if g, ok := e.ix.(polyfit.Generational); ok {
+		return g.Generation()
+	}
+	return 0
+}

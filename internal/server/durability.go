@@ -2,11 +2,11 @@ package server
 
 import (
 	"encoding/base64"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	polyfit "repro"
@@ -47,6 +47,28 @@ type Config struct {
 	SnapshotInterval time.Duration
 	// Logf receives recovery and snapshotter diagnostics (default: discard).
 	Logf func(format string, args ...any)
+
+	// FS overrides the filesystem the data dir is accessed through
+	// (default: the real OS filesystem). Fault-injection harnesses pass a
+	// faultfs.FS here to exercise the degradation paths.
+	FS persist.FS
+	// Retry overrides the persistence retry policy (zero value selects
+	// persist.DefaultRetry). Transient write/fsync failures are retried
+	// with exponential backoff before a persistence operation is declared
+	// failed and the degradation machinery engages.
+	Retry persist.RetryPolicy
+
+	// MaxConcurrentQueries bounds simultaneously executing query/batch
+	// requests (default 4×GOMAXPROCS). MaxQueuedQueries bounds how many
+	// more may wait for a slot (default 4× the concurrency limit); beyond
+	// that, queries are shed with 429 + Retry-After. Inserts and admin
+	// requests are never gated.
+	MaxConcurrentQueries int
+	MaxQueuedQueries     int
+	// DefaultQueryTimeout is the query deadline applied when a request
+	// carries no timeout_ms (default 5s; negative disables the default
+	// deadline). An expired deadline abandons the query and answers 504.
+	DefaultQueryTimeout time.Duration
 }
 
 // RecoverySummary reports what a durable server found in its data dir at
@@ -78,12 +100,28 @@ func NewDurable(cfg Config) (*Server, error) {
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
+	s.defaultTimeout = cfg.DefaultQueryTimeout
+	if s.defaultTimeout == 0 {
+		s.defaultTimeout = 5 * time.Second
+	}
+	maxConc := cfg.MaxConcurrentQueries
+	if maxConc <= 0 {
+		maxConc = 4 * runtime.GOMAXPROCS(0)
+	}
+	maxQueue := cfg.MaxQueuedQueries
+	if maxQueue <= 0 {
+		maxQueue = 4 * maxConc
+	}
+	s.adm = newAdmission(maxConc, maxQueue)
 	if cfg.DataDir == "" {
 		return s, nil
 	}
-	store, err := persist.Open(cfg.DataDir)
+	store, err := persist.OpenFS(cfg.DataDir, cfg.FS)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Retry != (persist.RetryPolicy{}) {
+		store.SetRetryPolicy(cfg.Retry)
 	}
 	s.store = store
 	if err := s.recover(); err != nil {
@@ -167,21 +205,21 @@ func (s *Server) recoverIndex(name string) (e *entry, replayed, skipped int64, t
 	if e.ins == nil {
 		// Static indexes never log inserts; a WAL here would be a bug, not
 		// data, so just report it.
-		if _, statErr := os.Stat(s.store.WALPath(name)); statErr == nil {
+		if _, statErr := s.store.FS().Stat(s.store.WALPath(name)); statErr == nil {
 			s.logf("polyfit-serve: ignoring unexpected WAL for static index %q", name)
 		}
 		return e, 0, 0, 0, nil
 	}
-	wal, recs, dropped, err := persist.OpenWAL(s.store.WALPath(name))
+	wal, recs, dropped, err := s.store.OpenWAL(s.store.WALPath(name))
 	if err != nil {
 		if errors.Is(err, persist.ErrCorrupt) {
 			// The log is unreadable; the snapshot is still consistent, so
 			// recover to it, set the bad log aside, and start a fresh one.
 			s.logf("polyfit-serve: WAL for %q is corrupt (%v); recovering to last snapshot", name, err)
-			if err := persist.SetAside(s.store.WALPath(name)); err != nil {
+			if err := s.store.SetAside(s.store.WALPath(name)); err != nil {
 				return nil, 0, 0, 0, err
 			}
-			if wal, recs, dropped, err = persist.OpenWAL(s.store.WALPath(name)); err != nil {
+			if wal, recs, dropped, err = s.store.OpenWAL(s.store.WALPath(name)); err != nil {
 				return nil, 0, 0, 0, err
 			}
 		} else {
@@ -239,7 +277,7 @@ func (s *Server) recoverShardedIndex(name string, man persist.ShardManifest) (e 
 		}
 	}
 	for i := range wals {
-		wal, recs, dropped, werr := persist.OpenWAL(s.store.ShardWALPath(name, i))
+		wal, recs, dropped, werr := s.store.OpenWAL(s.store.ShardWALPath(name, i))
 		if werr != nil {
 			if !errors.Is(werr, persist.ErrCorrupt) {
 				closeAll()
@@ -250,11 +288,11 @@ func (s *Server) recoverShardedIndex(name string, man persist.ShardManifest) (e 
 			// aside, and start a fresh one. The other shards' logs still
 			// replay — shard recovery is independent.
 			s.logf("polyfit-serve: WAL for %q shard %d is corrupt (%v); recovering shard to last snapshot", name, i, werr)
-			if err := persist.SetAside(s.store.ShardWALPath(name, i)); err != nil {
+			if err := s.store.SetAside(s.store.ShardWALPath(name, i)); err != nil {
 				closeAll()
 				return nil, 0, 0, 0, err
 			}
-			if wal, recs, dropped, werr = persist.OpenWAL(s.store.ShardWALPath(name, i)); werr != nil {
+			if wal, recs, dropped, werr = s.store.OpenWAL(s.store.ShardWALPath(name, i)); werr != nil {
 				closeAll()
 				return nil, 0, 0, 0, werr
 			}
@@ -369,6 +407,20 @@ func (s *Server) snapshotEntry(name string, e *entry) error {
 	// Clear the force flag before reading the cut: a failure signalled
 	// after this point re-sets it and the next cycle snapshots again.
 	e.forceSnap.Store(false)
+	// A degraded entry has acknowledged inserts that never reached the WAL
+	// (the log was sick when they arrived). This snapshot covers them —
+	// marshalling happens after they were applied — so on success the WAL
+	// is RESET (rewritten empty, file handle reopened) rather than
+	// prefix-truncated, and the degradation clears: the disk proved itself
+	// writable again. While degraded, inserts skip the log, so no record
+	// can race into the WAL between the cut and the reset.
+	degraded := e.degraded.Load()
+	persistFail := func(err error) error {
+		e.forceSnap.Store(true)
+		e.persistErrors.Add(1)
+		s.persistErrors.Add(1)
+		return err
+	}
 	if e.shd != nil {
 		// Sharded: one snapshot + log-prefix drop per shard, each with its
 		// own cut taken before its shard is marshalled — the same "applied
@@ -380,16 +432,24 @@ func (s *Server) snapshotEntry(name string, e *entry) error {
 			}
 			blob, err := e.shd.MarshalShard(i)
 			if err != nil {
-				return fmt.Errorf("marshal %q shard %d: %w", name, i, err)
+				return persistFail(fmt.Errorf("marshal %q shard %d: %w", name, i, err))
 			}
 			if err := s.store.WriteShardSnapshot(name, i, blob); err != nil {
-				return err
+				return persistFail(err)
 			}
 			if i < len(e.shardWALs) && e.shardWALs[i] != nil {
-				if err := e.shardWALs[i].TruncateTo(cut); err != nil {
-					return err
+				if degraded {
+					if err := e.shardWALs[i].Reset(); err != nil {
+						return persistFail(fmt.Errorf("reset %q shard %d WAL: %w", name, i, err))
+					}
+				} else if err := e.shardWALs[i].TruncateTo(cut); err != nil {
+					return persistFail(err)
 				}
 			}
+		}
+		if degraded {
+			e.degraded.Store(false)
+			s.logf("polyfit-serve: %q healed: snapshot persisted the non-durable inserts and the WALs were reset", name)
 		}
 		e.snapshots.Add(1)
 		e.lastSnapUnix.Store(time.Now().Unix())
@@ -402,15 +462,23 @@ func (s *Server) snapshotEntry(name string, e *entry) error {
 	}
 	blob, err := e.ix.MarshalBinary()
 	if err != nil {
-		return fmt.Errorf("marshal %q: %w", name, err)
+		return persistFail(fmt.Errorf("marshal %q: %w", name, err))
 	}
 	if err := s.store.WriteSnapshot(name, blob); err != nil {
-		return err
+		return persistFail(err)
 	}
 	if e.wal != nil {
-		if err := e.wal.TruncateTo(cut); err != nil {
-			return err
+		if degraded {
+			if err := e.wal.Reset(); err != nil {
+				return persistFail(fmt.Errorf("reset %q WAL: %w", name, err))
+			}
+		} else if err := e.wal.TruncateTo(cut); err != nil {
+			return persistFail(err)
 		}
+	}
+	if degraded {
+		e.degraded.Store(false)
+		s.logf("polyfit-serve: %q healed: snapshot persisted the non-durable inserts and the WAL was reset", name)
 	}
 	e.snapshots.Add(1)
 	e.lastSnapUnix.Store(time.Now().Unix())
@@ -448,7 +516,7 @@ func (s *Server) persistNew(name string, e *entry) error {
 		}
 		wals := make([]*persist.WAL, k)
 		for i := range wals {
-			wal, err := openFreshWAL(s.store.ShardWALPath(name, i))
+			wal, err := s.openFreshWAL(s.store.ShardWALPath(name, i))
 			if err != nil {
 				for _, w := range wals {
 					if w != nil {
@@ -474,7 +542,7 @@ func (s *Server) persistNew(name string, e *entry) error {
 		return err
 	}
 	if e.ins != nil {
-		wal, err := openFreshWAL(s.store.WALPath(name))
+		wal, err := s.openFreshWAL(s.store.WALPath(name))
 		if err != nil {
 			s.store.Remove(name) //nolint:errcheck
 			return err
@@ -492,8 +560,8 @@ func (s *Server) persistNew(name string, e *entry) error {
 // earlier same-named index (e.g. one whose recovery was skipped as corrupt
 // and whose name was then reused) and replaying them into the new index on
 // the next boot would insert records it never acknowledged.
-func openFreshWAL(path string) (*persist.WAL, error) {
-	wal, stale, _, err := persist.OpenWAL(path)
+func (s *Server) openFreshWAL(path string) (*persist.WAL, error) {
+	wal, stale, _, err := s.store.OpenWAL(path)
 	if err != nil {
 		return nil, err
 	}
@@ -534,6 +602,9 @@ func (s *Server) dropPersisted(name string, e *entry) error {
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		// Refuse new requests from here on; callers wanting in-flight work
+		// to finish first should Drain before Close.
+		s.draining.Store(true)
 		if s.stop != nil {
 			close(s.stop)
 			<-s.done
@@ -573,8 +644,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RestoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	raw, err := base64.StdEncoding.DecodeString(req.Blob)
@@ -645,12 +715,12 @@ func (s *Server) persistRestore(name string, raw []byte, e, old *entry) error {
 		// the truncate and the close above (or was left by an earlier
 		// same-named index): those records belong to the replaced index,
 		// not the restored one.
-		wal, err := openFreshWAL(walPath)
+		wal, err := s.openFreshWAL(walPath)
 		if err != nil {
 			return err
 		}
 		e.wal = wal
-	} else if err := os.Remove(walPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+	} else if err := s.store.FS().Remove(walPath); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
 	e.snapshots.Add(1)
@@ -685,7 +755,7 @@ func (s *Server) persistRestoreSharded(name string, e, old *entry) error {
 	if err := s.store.RemoveShardWALFiles(name); err != nil {
 		return err
 	}
-	if err := os.Remove(s.store.WALPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := s.store.FS().Remove(s.store.WALPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
 	if err := s.store.WriteShardManifest(name, persist.ShardManifest{Shards: k, Bounds: e.shd.Bounds()}); err != nil {
@@ -693,7 +763,7 @@ func (s *Server) persistRestoreSharded(name string, e, old *entry) error {
 	}
 	// Recovery now follows the manifest: drop the plain snapshot and any
 	// shard snapshots beyond the new count.
-	if err := os.Remove(s.store.SnapshotPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := s.store.FS().Remove(s.store.SnapshotPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
 	if err := s.store.RemoveShardFilesFrom(name, k); err != nil {
@@ -701,7 +771,7 @@ func (s *Server) persistRestoreSharded(name string, e, old *entry) error {
 	}
 	wals := make([]*persist.WAL, k)
 	for i := range wals {
-		wal, err := openFreshWAL(s.store.ShardWALPath(name, i))
+		wal, err := s.openFreshWAL(s.store.ShardWALPath(name, i))
 		if err != nil {
 			for _, w := range wals {
 				if w != nil {
@@ -757,6 +827,25 @@ type ServerStats struct {
 	ReplayedInserts    int64  `json:"replayed_inserts"`
 	CorruptSkipped     int    `json:"corrupt_skipped,omitempty"`
 	TornWALBytes       int    `json:"torn_wal_bytes,omitempty"`
+
+	// Request-lifecycle counters (admission control, coalescing, deadlines,
+	// panic recovery — see admission.go). InFlight/QueuedQueries/
+	// CoalesceWaiting are point-in-time gauges; the rest are cumulative.
+	InFlight         int64 `json:"in_flight"`
+	QueuedQueries    int64 `json:"queued_queries"`
+	ShedQueries      int64 `json:"shed_queries"`
+	CoalescedQueries int64 `json:"coalesced_queries"`
+	CoalesceWaiting  int64 `json:"coalesce_waiting,omitempty"`
+	TimedOutQueries  int64 `json:"timed_out_queries"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+
+	// Degradation counters: indexes currently serving with a sick WAL, the
+	// total failed persistence operations, and inserts acknowledged
+	// without the durability guarantee.
+	DegradedIndexes   int   `json:"degraded_indexes"`
+	PersistErrors     int64 `json:"persist_errors"`
+	NonDurableInserts int64 `json:"non_durable_inserts"`
+
 	// PerIndexShards maps each sharded index to its per-shard stats rows,
 	// so one /v1/stats round trip shows the whole shard fleet.
 	PerIndexShards map[string][]ShardStats `json:"per_index_shards,omitempty"`
@@ -770,9 +859,13 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		e    *entry
 	}
 	var sharded []shardedIx
+	degradedIndexes := 0
 	for name, e := range s.indexes {
 		if _, ok := e.ix.(polyfit.Sharder); ok {
 			sharded = append(sharded, shardedIx{name, e})
+		}
+		if e.degraded.Load() {
+			degradedIndexes++
 		}
 	}
 	s.mu.RUnlock()
@@ -785,6 +878,16 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		ReplayedInserts:    s.recovery.ReplayedInserts,
 		CorruptSkipped:     s.recovery.CorruptSkipped,
 		TornWALBytes:       s.recovery.TornWALBytes,
+		InFlight:           s.httpInFlight.Load(),
+		QueuedQueries:      s.adm.queued.Load(),
+		ShedQueries:        s.adm.shed.Load(),
+		CoalescedQueries:   s.coalesced.Load(),
+		CoalesceWaiting:    s.coalesceWait.Load(),
+		TimedOutQueries:    s.timedOut.Load(),
+		PanicsRecovered:    s.panics.Load(),
+		DegradedIndexes:    degradedIndexes,
+		PersistErrors:      s.persistErrors.Load(),
+		NonDurableInserts:  s.nonDurableIns.Load(),
 	}
 	for _, sx := range sharded {
 		rows := s.statsOf(sx.name, sx.e).ShardStats

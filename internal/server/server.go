@@ -14,6 +14,17 @@
 // write-ahead log before the response goes out, and the registry is
 // recovered on boot (see durability.go for the full contract).
 //
+// The server is also overload- and fault-safe: every query runs under a
+// deadline (per-request timeout_ms or the server default) and reports 504
+// when it expires; a bounded admission queue sheds excess queries with
+// 429 + Retry-After instead of queueing unboundedly; identical concurrent
+// queries coalesce onto one execution (see admission.go); request bodies
+// are capped per route (413); handler panics are recovered to a 500; and
+// Drain stops new work while in-flight requests finish. When the disk
+// goes bad, inserts degrade to acknowledged-but-not-durable (200 with
+// durable:false) rather than blocking or failing — the forced-snapshot
+// path persists them as soon as the disk heals (see durability.go).
+//
 // # Endpoints
 //
 //	GET    /healthz                       liveness probe
@@ -31,23 +42,34 @@
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	polyfit "repro"
 	"repro/internal/persist"
 )
 
-// maxBodyBytes caps request bodies (datasets of a few million float keys
-// fit comfortably; anything larger should be loaded server-side).
-const maxBodyBytes = 512 << 20
+// Per-route request body caps. Create and restore carry whole datasets or
+// index blobs (datasets of a few million float keys fit comfortably;
+// anything larger should be loaded server-side); insert batches are
+// bounded streams; query and batch bodies are small JSON. A body over its
+// route's cap is answered with a structured 413.
+const (
+	maxBodyBytes   = 512 << 20 // create, restore, and default
+	maxInsertBytes = 64 << 20
+	maxBatchBytes  = 32 << 20
+	maxQueryBytes  = 1 << 20
+)
 
 type entry struct {
 	// ix is the uniform query surface: every variant — static, dynamic,
@@ -73,6 +95,16 @@ type entry struct {
 	// append failed, so records that are only in memory still reach disk on
 	// the next snapshotter cycle.
 	forceSnap atomic.Bool
+	// degraded marks the entry's persistence as sick: a WAL append failed
+	// (even after retries), so inserts are acknowledged with durable:false
+	// and skip the log until a successful snapshot heals it (the snapshot
+	// covers the unlogged records, and the WAL is reset underneath it).
+	degraded atomic.Bool
+	// persistErrors counts failed persistence operations for this index;
+	// nonDurable counts inserts acknowledged without the durability
+	// guarantee while degraded.
+	persistErrors atomic.Int64
+	nonDurable    atomic.Int64
 }
 
 // newEntry wraps an index, discovering its optional capabilities once.
@@ -104,6 +136,19 @@ type Server struct {
 	snapshotsWritten atomic.Int64
 	walAppended      atomic.Int64
 	recovery         RecoverySummary
+
+	// Overload control (see admission.go) and request-lifecycle state.
+	adm            *admission
+	flight         flightGroup
+	defaultTimeout time.Duration
+	draining       atomic.Bool  // Drain/Close called: new requests get 503
+	httpInFlight   atomic.Int64 // requests currently inside ServeHTTP
+	coalesced      atomic.Int64 // queries answered from another query's flight
+	coalesceWait   atomic.Int64 // gauge: followers blocked on a leader right now
+	timedOut       atomic.Int64 // queries cut off by deadline or client cancel
+	panics         atomic.Int64 // handler panics recovered to a 500
+	persistErrors  atomic.Int64 // failed persistence operations, server-wide
+	nonDurableIns  atomic.Int64 // inserts acknowledged durable:false, server-wide
 }
 
 // New returns a ready-to-serve in-memory Server with an empty registry.
@@ -132,9 +177,51 @@ func newServer() *Server {
 	return s
 }
 
+// ServeHTTP wraps the mux with the request-lifecycle middleware: draining
+// servers turn new requests away with a 503 + Retry-After (in-flight ones
+// finish — Drain waits on the gauge incremented here), and a panicking
+// handler is recovered to a 500 instead of tearing down the connection
+// (and, under http.Server, the whole goroutine's request).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+		return
+	}
+	s.httpInFlight.Add(1)
+	defer s.httpInFlight.Add(-1)
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("polyfit-serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			writeError(w, http.StatusInternalServerError, errors.New("internal error (panic recovered)"))
+		}
+	}()
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops accepting new requests (503 + Retry-After) and waits until
+// every in-flight request has finished, or ctx expires. Call it between
+// closing the listener and Close, so acknowledged work completes before
+// durability teardown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpInFlight.Load() == 0 {
+		return nil
+	}
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d requests still in flight: %w", s.httpInFlight.Load(), ctx.Err())
+		case <-t.C:
+			if s.httpInFlight.Load() == 0 {
+				return nil
+			}
+		}
+	}
 }
 
 // --- wire types -------------------------------------------------------------
@@ -192,6 +279,14 @@ type StatsResponse struct {
 	WALRecords       int64 `json:"wal_records,omitempty"`        // acknowledged inserts not yet in a snapshot
 	WALBytes         int64 `json:"wal_bytes,omitempty"`
 	ReplayedInserts  int64 `json:"replayed_inserts,omitempty"` // WAL inserts replayed at boot
+
+	// Degradation counters (durable servers): PersistDegraded is true while
+	// the index's WAL is sick and inserts are acknowledged durable:false;
+	// the counters record how often persistence failed and how many inserts
+	// were acknowledged without the durability guarantee.
+	PersistDegraded   bool  `json:"persist_degraded,omitempty"`
+	PersistErrors     int64 `json:"persist_errors,omitempty"`
+	NonDurableInserts int64 `json:"non_durable_inserts,omitempty"`
 }
 
 // ShardStats is one shard's row in a sharded index's StatsResponse.
@@ -211,11 +306,14 @@ type ShardStats struct {
 }
 
 // QueryRequest answers one range; EpsRel > 0 requests the relative-error
-// (Problem 2) path.
+// (Problem 2) path. TimeoutMS > 0 overrides the server's default query
+// deadline for this request; when the deadline expires the query is
+// abandoned and answered with 504.
 type QueryRequest struct {
-	Lo     float64 `json:"lo"`
-	Hi     float64 `json:"hi"`
-	EpsRel float64 `json:"eps_rel,omitempty"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	EpsRel    float64 `json:"eps_rel,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 }
 
 // QueryResponse is the answer to a QueryRequest.
@@ -231,9 +329,10 @@ type QueryResponse struct {
 }
 
 // BatchRequest answers many ranges in one round trip via the amortised
-// QueryBatch hot path.
+// QueryBatch hot path. TimeoutMS behaves as in QueryRequest.
 type BatchRequest struct {
-	Ranges []RangeJSON `json:"ranges"`
+	Ranges    []RangeJSON `json:"ranges"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
 }
 
 // RangeJSON is one interval of a batch.
@@ -261,11 +360,16 @@ type Record struct {
 // InsertResponse reports per-record outcomes: Inserted counts successes,
 // Errors holds the first few rejection messages (e.g. duplicate keys).
 // Durable is true when the inserted records were fsynced to the write-ahead
-// log before this response was sent.
+// log before this response was sent. Degraded is true when the index's
+// persistence is sick (a WAL write failed): the inserts are applied and
+// acknowledged, but will only reach disk with the next successful
+// snapshot — durability-sensitive clients should treat durable:false as
+// "retry later or fsync externally".
 type InsertResponse struct {
 	Inserted int      `json:"inserted"`
 	Rejected int      `json:"rejected"`
 	Durable  bool     `json:"durable,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
 	Errors   []string `json:"errors,omitempty"`
 }
 
@@ -319,8 +423,7 @@ func (s *Server) Create(req CreateRequest) (StatsResponse, error) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	st, err := s.Create(req)
@@ -450,33 +553,99 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// queryContext derives the execution context for one query: the request's
+// timeout_ms if set, else the server default (DefaultQueryTimeout). Either
+// way it inherits the client-disconnect cancellation of r.Context().
+func (s *Server) queryContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// admissionFailure maps an acquire error to a response: shed → 429 (the
+// Retry-After header is added by writeRaw), deadline-while-queued → 504.
+func (s *Server) admissionFailure(err error) (int, []byte) {
+	if errors.Is(err, errShed) {
+		return jsonBody(http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	}
+	s.timedOut.Add(1)
+	return jsonBody(http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("query deadline expired while queued: %v", err)})
+}
+
+// queryFailure maps a query-execution error to a response body.
+func (s *Server) queryFailure(err error) (int, []byte) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.timedOut.Add(1)
+		return jsonBody(http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("query abandoned: %v", err)})
+	}
+	return jsonBody(queryErrStatus(err), errorResponse{Error: err.Error()})
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	_, e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBytes)
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.EpsRel < 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("non-positive relative error %g", req.EpsRel))
 		return
 	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	// Coalesce identical concurrent queries: the generation in the key is
+	// read before joining, so a query that arrives after an insert never
+	// shares a pre-insert flight. Only the leader consumes an admission
+	// slot; followers repeat its bytes.
+	key := flightKey{e: e, gen: generationOf(e), lo: req.Lo, hi: req.Hi, epsRel: req.EpsRel}
+	status, body, leader := s.flight.do(key, &s.coalesceWait, func() (int, []byte) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return s.admissionFailure(err)
+		}
+		defer s.adm.release()
+		if testHookQueryDelay != nil {
+			testHookQueryDelay()
+		}
+		return s.execQuery(ctx, e, req)
+	})
+	if !leader {
+		s.coalesced.Add(1)
+	}
+	writeRaw(w, status, body)
+}
+
+// execQuery runs one range query under ctx, preferring the context-aware
+// surface when the index provides it (every index polyfit.New builds
+// does). The marshalled body — not the decoded struct — is what coalesced
+// followers share, so identical queries return bitwise-identical bytes.
+func (s *Server) execQuery(ctx context.Context, e *entry, req QueryRequest) (int, []byte) {
 	r2 := polyfit.Range{Lo: req.Lo, Hi: req.Hi}
 	var res polyfit.Result
 	var err error
-	if req.EpsRel > 0 {
+	cq, _ := e.ix.(polyfit.ContextQuerier)
+	switch {
+	case req.EpsRel > 0 && cq != nil:
+		res, err = cq.QueryRelContext(ctx, r2, req.EpsRel)
+	case req.EpsRel > 0:
 		res, err = e.ix.QueryRel(r2, req.EpsRel)
-	} else {
+	case cq != nil:
+		res, err = cq.QueryContext(ctx, r2)
+	default:
 		res, err = e.ix.Query(r2)
 	}
 	if err != nil {
-		writeError(w, queryErrStatus(err), err)
-		return
+		return s.queryFailure(err)
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact, Bound: res.Bound})
+	return jsonBody(http.StatusOK, QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact, Bound: res.Bound})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -484,18 +653,40 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
+	}
+	ctx, cancel := s.queryContext(r, req.TimeoutMS)
+	defer cancel()
+	// Batches take one admission slot for the whole request (they are the
+	// amortised path — per-range slots would serialise them pointlessly)
+	// and are not coalesced: two identical batches are far rarer than two
+	// identical point queries, and the key would have to hash every range.
+	if err := s.adm.acquire(ctx); err != nil {
+		status, body := s.admissionFailure(err)
+		writeRaw(w, status, body)
+		return
+	}
+	defer s.adm.release()
+	if testHookQueryDelay != nil {
+		testHookQueryDelay()
 	}
 	ranges := make([]polyfit.Range, len(req.Ranges))
 	for i, rr := range req.Ranges {
 		ranges[i] = polyfit.Range{Lo: rr.Lo, Hi: rr.Hi}
 	}
-	results, err := e.ix.QueryBatch(ranges)
+	var results []polyfit.Result
+	var err error
+	if cq, ok := e.ix.(polyfit.ContextQuerier); ok {
+		results, err = cq.QueryBatchContext(ctx, ranges)
+	} else {
+		results, err = e.ix.QueryBatch(ranges)
+	}
 	if err != nil {
-		writeError(w, queryErrStatus(err), err)
+		status, body := s.queryFailure(err)
+		writeRaw(w, status, body)
 		return
 	}
 	out := BatchResponse{Results: make([]QueryResponse, len(results))}
@@ -514,11 +705,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("index %q is static; build it with dynamic=true to insert", name))
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxInsertBytes)
 	var req InsertRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
+	// While degraded, skip the WAL entirely: its file is sick, and the
+	// records are already marked for the forced-snapshot path. Serving
+	// never blocks on (or retries against) a disk known to be bad.
+	degraded := e.degraded.Load()
 	insert := e.ins.Insert
 	resp := InsertResponse{}
 	var accepted []persist.Record          // plain dynamic: one log
@@ -545,40 +740,57 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	// Durability barrier: acknowledged inserts must be fsynced in the WAL
 	// (each shard's own WAL, for sharded indexes) before the 200 goes out.
-	// On a log failure the records are applied in memory but their
-	// durability cannot be promised — report the failure instead of
-	// acknowledging.
-	logged := int64(0)
-	logFailed := func(err error) {
-		// The records are in memory but not on disk; flag the entry so
-		// the next snapshot cycle persists them even though the WAL has
-		// nothing new (a retried insert would be rejected as duplicate).
+	// A log failure (the WAL layer already retried with backoff) degrades
+	// rather than fails: the records are applied and acknowledged with
+	// durable:false, the entry is flagged for a forced snapshot — the only
+	// remaining path to disk (a retried insert would be rejected as
+	// duplicate) — and later inserts skip the sick log until a successful
+	// snapshot heals it. The insert path never blocks on a bad disk.
+	walFailed := func(err error) {
+		degraded = true
+		e.degraded.Store(true)
 		e.forceSnap.Store(true)
-		s.logf("polyfit-serve: WAL append for %q: %v", name, err)
-		writeError(w, http.StatusInternalServerError,
-			fmt.Errorf("inserts applied but not durable: %w", err))
+		e.persistErrors.Add(1)
+		s.persistErrors.Add(1)
+		s.logf("polyfit-serve: WAL append for %q failed, degrading to snapshot-only durability: %v", name, err)
 	}
-	if len(accepted) > 0 {
+	logged := int64(0)
+	if !degraded && len(accepted) > 0 {
 		if err := e.wal.Append(accepted); err != nil {
-			logFailed(err)
-			return
+			walFailed(err)
+		} else {
+			logged += int64(len(accepted))
 		}
-		logged += int64(len(accepted))
 	}
-	for sh, recs := range acceptedByShard {
-		if len(recs) == 0 {
-			continue
+	if !degraded {
+		for sh, recs := range acceptedByShard {
+			if len(recs) == 0 {
+				continue
+			}
+			if err := e.shardWALs[sh].Append(recs); err != nil {
+				walFailed(fmt.Errorf("shard %d: %w", sh, err))
+				break
+			}
+			logged += int64(len(recs))
 		}
-		if err := e.shardWALs[sh].Append(recs); err != nil {
-			logFailed(fmt.Errorf("shard %d: %w", sh, err))
-			return
+	}
+	if degraded {
+		// Re-arm the forced snapshot on every degraded insert: a snapshot
+		// may be concurrently clearing the flag, and these records must be
+		// covered by the next one.
+		e.forceSnap.Store(true)
+		resp.Degraded = true
+		if n := int64(resp.Inserted); n > 0 {
+			e.nonDurable.Add(n)
+			s.nonDurableIns.Add(n)
 		}
-		logged += int64(len(recs))
 	}
 	if logged > 0 {
 		s.walAppended.Add(logged)
-		resp.Durable = true
 	}
+	// Durable only when every accepted record reached a log in this
+	// request (in-memory servers have no logs and promise nothing).
+	resp.Durable = !degraded && logged > 0
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -679,6 +891,9 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 		out.Snapshots = e.snapshots.Load()
 		out.LastSnapshotUnix = e.lastSnapUnix.Load()
 		out.ReplayedInserts = e.replayed
+		out.PersistDegraded = e.degraded.Load()
+		out.PersistErrors = e.persistErrors.Load()
+		out.NonDurableInserts = e.nonDurable.Load()
 		if e.wal != nil {
 			out.WALRecords = e.wal.Records()
 			out.WALBytes = e.wal.Size()
@@ -708,4 +923,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeJSON decodes the request body into v, answering a structured 413
+// when the route's MaxBytesReader cap was hit and a 400 for anything else.
+// It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit for this endpoint", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// jsonBody marshals v once into the bytes a response (and every coalesced
+// follower of it) will carry. Marshalling QueryResponse cannot fail; a
+// trailing newline matches writeJSON's encoder output.
+func jsonBody(status int, v any) (int, []byte) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return http.StatusInternalServerError, []byte(`{"error":"encode response"}` + "\n")
+	}
+	return status, append(b, '\n')
+}
+
+// writeRaw writes a pre-marshalled JSON body, attaching Retry-After to
+// backpressure statuses so well-behaved clients pace their retries.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck
 }
