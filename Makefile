@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke benchdiff crashtest chaos cover oracle apicheck fmt vet
+.PHONY: test race bench bench-smoke benchdiff crashtest chaos cover oracle apicheck lint fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -62,6 +62,13 @@ oracle:
 apicheck:
 	$(GO) build ./examples/...
 	$(GO) test -run TestAPISurface . -count=1
+
+# Project-specific static analysis (cmd/polyfit-lint): atomic/plain access
+# mixing, "guarded by" mutex annotations, Result.Bound certification,
+# sentinel error wrapping, //polyfit:nofloat purity, and Sync/Close
+# durability hygiene. Blocking — exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/polyfit-lint .
 
 fmt:
 	gofmt -w .

@@ -463,7 +463,9 @@ func microBenchmarks(quick bool) []Result {
 	if err := wal.Append(walRecs); err != nil {
 		log.Fatal(err)
 	}
-	wal.Close() //nolint:errcheck
+	if err := wal.Close(); err != nil {
+		log.Fatal(err)
+	}
 	results = append(results, measure(fmt.Sprintf("persist/recover_n%dk_wal512", nFine/1000), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -484,7 +486,9 @@ func microBenchmarks(quick bool) []Result {
 					b.Fatal(err)
 				}
 			}
-			w.Close() //nolint:errcheck
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}))
 

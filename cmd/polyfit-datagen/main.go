@@ -26,13 +26,14 @@ func main() {
 	flag.Parse()
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		var cerr error
+		f, cerr = os.Create(*out)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "error:", cerr)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 
@@ -53,6 +54,11 @@ func main() {
 		err = data.WriteCSV2D(w, xs, ys)
 	default:
 		err = fmt.Errorf("unknown dataset %q (want hki, tweet or osm)", *dataset)
+	}
+	if err == nil && f != nil {
+		// A failed close can mean the last buffered CSV rows never reached
+		// disk, so it is an error like any other.
+		err = f.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -1,0 +1,90 @@
+// Command polyfit-lint runs the project-specific static-analysis suite
+// (internal/lint) over the module and reports invariant violations:
+// atomic/plain access mixing, unguarded access to annotated fields,
+// Result values returned without a certified Bound, unclassifiable errors
+// on exported paths, float contamination of //polyfit:nofloat functions,
+// and unchecked Sync/Close on write-opened files.
+//
+// Usage:
+//
+//	polyfit-lint [-json] [-only atomicmix,lockguard] [dir]
+//
+// dir defaults to the current directory; the enclosing module is analyzed.
+// Exit status is 1 when any finding survives //lint:ignore suppression,
+// 2 on operational failure (parse error, type error, no module).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "polyfit-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	m, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polyfit-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(m, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "polyfit-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "polyfit-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -53,7 +53,16 @@
 // All failures wrap the package's sentinel errors — ErrEmptyKeys,
 // ErrUnsortedKeys, ErrBadOptions, ErrAggMismatch, ErrInvalidRange,
 // ErrNoFallback, ErrDuplicateKey, ErrCorruptBlob — so callers classify
-// them with errors.Is instead of matching message text.
+// them with errors.Is instead of matching message text. This contract is
+// machine-enforced: the project's static-analysis suite (internal/lint,
+// run blocking in CI as `make lint`) flags any exported error path that
+// constructs an error wrapping no sentinel. The same suite enforces the
+// module's other unwritten rules — no plain access of atomically-accessed
+// fields, "// guarded by <mu>" field annotations, Result.Bound set on
+// every non-error return (//polyfit:exact opts out), float-free
+// //polyfit:nofloat functions, and error-checked Sync/Close on
+// write-opened files — with per-line exceptions via
+// "//lint:ignore <analyzer> reason".
 //
 // # Migrating from the v1 API
 //

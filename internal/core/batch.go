@@ -186,6 +186,8 @@ type endpoint struct {
 // endpoint is quantized once and every comparison is an exact uint32
 // compare, so the cursor can never disagree with the certified single-query
 // locate through float rounding. Requires loQ[cur] ≤ xq or cur == 0.
+//
+//polyfit:nofloat
 func (ix *Index1D) advanceLoQLE(cur int, xq uint32) int {
 	loQ := ix.loQ
 	h := len(loQ)

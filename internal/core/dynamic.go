@@ -42,7 +42,7 @@ type Dynamic1D struct {
 
 	// mu serialises mutators and guards rebuilds. Queries never take it.
 	mu       sync.RWMutex
-	rebuilds int
+	rebuilds int // guarded by mu
 
 	// gen counts successful mutations (inserts and rebuilds). It is the
 	// cache/coalescing invalidation token of the serving layer: two reads
@@ -81,6 +81,7 @@ func NewDynamic(agg Agg, keys, measures []float64, opt Options) (*Dynamic1D, err
 		return nil, err
 	}
 	d.state.Store(st)
+	//lint:ignore lockguard d is still private to this constructor; no other goroutine can hold a reference yet
 	d.rebuilds = 1
 	return d, nil
 }
@@ -163,10 +164,10 @@ func (d *Dynamic1D) Insert(key, measure float64) error {
 	// extrema the same way. Reject both up front, mirroring the strictly-
 	// increasing-finite-keys contract the static build enforces.
 	if math.IsNaN(key) || math.IsInf(key, 0) {
-		return fmt.Errorf("core: non-finite insert key %g (keys must be finite, as at build time)", key)
+		return fmt.Errorf("%w: non-finite key %g (keys must be finite, as at build time)", ErrInvalidRecord, key)
 	}
 	if math.IsNaN(measure) {
-		return fmt.Errorf("core: NaN measure for insert key %g", key)
+		return fmt.Errorf("%w: NaN measure for key %g", ErrInvalidRecord, key)
 	}
 	if d.agg == Count {
 		measure = 1

@@ -254,6 +254,7 @@ func RestoreDynamic(data []byte) (*Dynamic1D, error) {
 		st.bufPre = prefixSums(bufVals)
 	}
 	d.state.Store(st)
+	//lint:ignore lockguard d is still private to this restore function; no other goroutine can hold a reference yet
 	d.rebuilds = 1
 	return d, nil
 }

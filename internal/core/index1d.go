@@ -16,7 +16,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -97,25 +96,6 @@ func DeltaForAbs(agg Agg, epsAbs float64) float64 {
 		return epsAbs
 	}
 }
-
-// Errors returned by build and query entry points. Every failure path wraps
-// one of these with %w, so callers (and the public polyfit package, which
-// re-exports them as its sentinel set) can classify errors with errors.Is
-// without matching message text.
-var (
-	ErrEmptyDataset = errors.New("core: empty dataset")
-	ErrUnsortedKeys = errors.New("core: keys must be strictly increasing")
-	ErrWrongAgg     = errors.New("core: query does not match index aggregate")
-	// ErrInvalidRange reports a query argument the index cannot interpret:
-	// NaN range endpoints, NaN rectangle coordinates, or a non-positive
-	// relative error.
-	ErrInvalidRange = errors.New("core: invalid query range")
-	ErrNoFallback   = errors.New("core: relative query needs exact fallback (built with NoFallback)")
-	// ErrDuplicateKey reports an Insert whose key is already present. WAL
-	// replay matches it to tell "already applied" (skip, idempotent) from a
-	// genuine replay failure (which must fail recovery, not lose data).
-	ErrDuplicateKey = errors.New("core: duplicate key")
-)
 
 // Index1D is a PolyFit index over a single key (Sections IV–V).
 type Index1D struct {
@@ -235,7 +215,7 @@ func validateKeys(keys, measures []float64) error {
 		return ErrEmptyDataset
 	}
 	if len(keys) != len(measures) {
-		return fmt.Errorf("core: %d keys, %d measures", len(keys), len(measures))
+		return fmt.Errorf("%w: %d keys, %d measures", ErrLengthMismatch, len(keys), len(measures))
 	}
 	for i := 1; i < len(keys); i++ {
 		if keys[i] <= keys[i-1] {
@@ -632,7 +612,12 @@ func (ix *Index1D) locateLEPacked(k float64) int {
 	return ix.locatePackedQ(ix.quantizeKey(k))
 }
 
-// locatePackedQ resolves a quantized key against the grid starts.
+// locatePackedQ resolves a quantized key against the grid starts. The
+// entire walk — root bucket, grid-shift sub-bucket, gallop, binary search —
+// stays in integer grid space so the segment a key buckets into at query
+// time is bit-for-bit the one build-time certification assigned it.
+//
+//polyfit:nofloat
 func (ix *Index1D) locatePackedQ(kq uint32) int {
 	h := len(ix.loQ)
 	if kq < ix.loQ[0] {
@@ -676,6 +661,8 @@ func (ix *Index1D) locatePackedQ(kq uint32) int {
 
 // searchLoQ returns the first index in [lo, hi) whose grid start exceeds kq
 // (hi if none) — sort.Search specialised to the uint32 lane.
+//
+//polyfit:nofloat
 func searchLoQ(loQ []uint32, lo, hi int, kq uint32) int {
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)

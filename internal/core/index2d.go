@@ -59,7 +59,7 @@ func BuildCount2D(xs, ys []float64, opt Options2D) (*Index2D, error) {
 // Weights must be non-negative for the relative-error guarantee.
 func BuildSum2D(xs, ys, ws []float64, opt Options2D) (*Index2D, error) {
 	if len(ws) != len(xs) {
-		return nil, fmt.Errorf("core: %d xs, %d weights", len(xs), len(ws))
+		return nil, fmt.Errorf("%w: %d xs, %d weights", ErrLengthMismatch, len(xs), len(ws))
 	}
 	return buildWeighted2D(xs, ys, ws, opt)
 }

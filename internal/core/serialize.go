@@ -3,7 +3,6 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
@@ -29,9 +28,6 @@ const (
 	// raw encoding with bit-identical answers.
 	formatVer1D = uint16(2)
 )
-
-// ErrBadFormat reports a corrupted or incompatible serialised index.
-var ErrBadFormat = errors.New("core: bad serialized index format")
 
 // BlobKind identifies which index type produced a serialised blob.
 type BlobKind int
@@ -123,7 +119,7 @@ func (ix *Index1D) MarshalBinary() ([]byte, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("core: cannot marshal encoding %v", ix.enc)
+		return nil, fmt.Errorf("%w: cannot marshal encoding %v", ErrBadFormat, ix.enc)
 	}
 	w(uint8(btoi(ix.segExt != nil)))
 	for _, v := range ix.segExt {

@@ -800,7 +800,7 @@ func (s *ShardedDynamic1D) Rebuild() error {
 // are untouched and their queries and inserts proceed undisturbed.
 func (s *ShardedDynamic1D) RebuildShard(i int) error {
 	if i < 0 || i >= len(s.shards) {
-		return fmt.Errorf("core: shard %d out of range [0,%d)", i, len(s.shards))
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrShardOutOfRange, i, len(s.shards))
 	}
 	return s.shards[i].Rebuild()
 }

@@ -181,7 +181,7 @@ func (s *ShardedDynamic1D) MarshalBinary() ([]byte, error) {
 // unit of the serving layer's per-shard snapshots.
 func (s *ShardedDynamic1D) MarshalShard(i int) ([]byte, error) {
 	if i < 0 || i >= len(s.shards) {
-		return nil, fmt.Errorf("core: shard %d out of range [0,%d)", i, len(s.shards))
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrShardOutOfRange, i, len(s.shards))
 	}
 	return s.shards[i].MarshalBinary()
 }

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the all-or-nothing rule of sync/atomic: a memory
+// location accessed atomically anywhere in the module must be accessed
+// atomically everywhere. Two shapes are covered:
+//
+//   - Function-style atomics: if any call passes &x.f (or &v) to a
+//     sync/atomic function, every other read or write of that field or
+//     package variable is flagged. A plain load of an atomically-written
+//     counter is a data race the compiler happily accepts and -race only
+//     catches under the right interleaving.
+//
+//   - Typed atomics (atomic.Int64, atomic.Pointer[T], ...): the value may
+//     only be used as a method-call receiver or have its address taken.
+//     Assigning over it (s.ctr = atomic.Int64{}) or copying it out is a
+//     plain access to the underlying word and is flagged. This is what
+//     keeps the dynamic index's snapshot-swap pointer and every server
+//     counter honest.
+//
+// Composite-literal field keys are exempt: initialization before the
+// value is shared is the documented construction idiom.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be plainly read or written",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic function-name prefixes whose first
+// argument is the address of the word being operated on.
+func isAtomicFunc(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "And", "Or", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicTypes are the typed atomics of sync/atomic.
+func isAtomicType(t types.Type) bool {
+	pkg, name, ok := namedPathName(t)
+	if !ok || pkg != "sync/atomic" {
+		return false
+	}
+	switch name {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+func runAtomicMix(m *Module) []Diagnostic {
+	// Pass A: collect every location that is the target of a sync/atomic
+	// function call, module-wide, and sanction those occurrences.
+	atomicKeys := map[string]token.Position{} // key -> first atomic-use site
+	sanctioned := map[token.Pos]bool{}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn, ok := stdCall(pkg.Info, call, "sync/atomic")
+				if !ok || !isAtomicFunc(fn) {
+					return true
+				}
+				target := unwrapAddr(pkg.Info, call.Args[0])
+				if target == nil {
+					return true
+				}
+				if key := accessKey(pkg.Info, target); key != "" {
+					if _, seen := atomicKeys[key]; !seen {
+						atomicKeys[key] = m.Fset.Position(call.Pos())
+					}
+					sanctioned[target.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			inspectParents(f, func(n ast.Node, parents []ast.Node) {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					// Mixed plain access of a function-style atomic target.
+					if key := accessKey(info, n); key != "" && !sanctioned[n.Pos()] {
+						if first, ok := atomicKeys[key]; ok {
+							diags = append(diags, Diagnostic{
+								Analyzer: "atomicmix",
+								Pos:      m.Fset.Position(n.Pos()),
+								Message: fmt.Sprintf("plain access of %s, which is accessed atomically at %s:%d — use sync/atomic here too",
+									exprString(n), first.Filename, first.Line),
+							})
+						}
+					}
+					// Typed atomic used as a value (IsValue excludes the many
+					// places "atomic.Int64" appears as a type expression).
+					if tv, ok := info.Types[ast.Expr(n)]; ok && tv.IsValue() && isAtomicType(tv.Type) {
+						if d := typedAtomicMisuse(m, n, parents); d != nil {
+							diags = append(diags, *d)
+						}
+					}
+				case *ast.Ident:
+					if skipIdent(n, parents) {
+						return
+					}
+					v, ok := info.Uses[n].(*types.Var)
+					if !ok || v.IsField() {
+						return
+					}
+					if key := varKey(v); !sanctioned[n.Pos()] {
+						if first, ok := atomicKeys[key]; ok {
+							diags = append(diags, Diagnostic{
+								Analyzer: "atomicmix",
+								Pos:      m.Fset.Position(n.Pos()),
+								Message: fmt.Sprintf("plain access of %s, which is accessed atomically at %s:%d — use sync/atomic here too",
+									n.Name, first.Filename, first.Line),
+							})
+						}
+					}
+				}
+			})
+		}
+	}
+	return diags
+}
+
+// typedAtomicMisuse reports how a typed-atomic value is being used outside
+// its methods, or nil if the use is sanctioned (method receiver, address
+// taken, or an inner link of a longer selector chain).
+func typedAtomicMisuse(m *Module, n *ast.SelectorExpr, parents []ast.Node) *Diagnostic {
+	if len(parents) == 0 {
+		return nil
+	}
+	flag := func(what string) *Diagnostic {
+		return &Diagnostic{
+			Analyzer: "atomicmix",
+			Pos:      m.Fset.Position(n.Pos()),
+			Message: fmt.Sprintf("%s of atomic field %s — typed atomics must only be used through their methods",
+				what, exprString(n)),
+		}
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.SelectorExpr:
+		// x.ctr.Load(): n is the X of a method selection — fine.
+		if p.X == n {
+			return nil
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return nil // &x.ctr handed to something that will use it atomically
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(n) {
+				return flag("plain write")
+			}
+		}
+		return flag("value copy")
+	case *ast.ParenExpr:
+		return nil // inner node; the parenthesized expr is re-checked itself
+	}
+	return flag("value copy")
+}
+
+// unwrapAddr digs the addressed location out of an atomic call's first
+// argument: &x.f, (*unsafe.Pointer)(unsafe.Pointer(&x.f)), (&x.f), ...
+// Returns the SelectorExpr or Ident naming the location, or nil.
+func unwrapAddr(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.CallExpr:
+			// Type conversion (the unsafe.Pointer dance); real calls don't
+			// yield addressable atomic targets.
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr, *ast.Ident:
+			return x.(ast.Expr)
+		default:
+			return nil
+		}
+	}
+}
+
+// accessKey returns the module-wide identity key of the location an
+// expression names: struct fields by (package, type, field), package-level
+// variables by (package, name), locals by declaration position. Returns ""
+// for expressions that are not stable locations (map/slice elements, ...).
+func accessKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return fieldKey(sel.Recv(), v)
+			}
+			return ""
+		}
+		// Qualified package-level variable (pkg.Var).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			return varKey(v)
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() {
+			return varKey(v)
+		}
+	}
+	return ""
+}
+
+// skipIdent filters identifier occurrences that are not value accesses:
+// selector components (handled at the SelectorExpr level), composite
+// literal field keys, and declaration names.
+func skipIdent(n *ast.Ident, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return true
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.SelectorExpr:
+		return true // either pkg qualifier or field name; both handled above
+	case *ast.KeyValueExpr:
+		if p.Key == ast.Expr(n) {
+			return true
+		}
+	case *ast.Field, *ast.ValueSpec, *ast.FuncDecl, *ast.TypeSpec, *ast.ImportSpec:
+		return true
+	}
+	return false
+}

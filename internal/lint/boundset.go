@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BoundSet enforces the bound-certification contract: every function whose
+// signature returns a Result (any named struct type called Result with a
+// Bound field — polyfit.Result today, and any future package-local clone)
+// must establish Bound on every non-error return path. The paper's (ε,δ)
+// guarantee is only worth something if the code reporting it can be
+// trusted, so "I forgot to set the bound" must be a CI failure, not a
+// silently-zero field a caller mistakes for an exact answer.
+//
+// A return path satisfies the check when it returns
+//
+//   - a composite literal with an explicit Bound key (or all fields
+//     positional),
+//   - the result of a call (delegation: the callee is itself checked where
+//     it is defined), or
+//   - a variable that is assigned a Bound (v.Bound = ..., or v built from
+//     a qualifying composite/call) somewhere in the function.
+//
+// Returns whose final value is a non-nil error expression are error paths
+// and exempt: the Result there is dead by convention. Functions that
+// legitimately return zero bounds everywhere document it with a
+// //polyfit:exact directive, which turns the check off for that function.
+var BoundSet = &Analyzer{
+	Name: "boundset",
+	Doc:  "functions returning Result must assign Bound on all non-error return paths",
+	Run:  runBoundSet,
+}
+
+// isResultType reports whether t is (a pointer to) a named struct type
+// called Result carrying a Bound field.
+func isResultType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Result" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Bound" {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundSet(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		funcDecls(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			diags = append(diags, checkBoundSet(m, pkg, fd)...)
+		})
+	}
+	return diags
+}
+
+func checkBoundSet(m *Module, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	info := pkg.Info
+	if fd.Type.Results == nil {
+		return nil
+	}
+	// Positions (flattened) of Result-typed results, and named result objs.
+	var resultIdx []int
+	var named []types.Object
+	idx := 0
+	for _, field := range fd.Type.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		isRes := false
+		if tv, ok := info.Types[field.Type]; ok {
+			isRes = isResultType(tv.Type)
+		}
+		for i := 0; i < n; i++ {
+			if isRes {
+				resultIdx = append(resultIdx, idx)
+				if len(field.Names) > 0 {
+					named = append(named, info.Defs[field.Names[i]])
+				}
+			}
+			idx++
+		}
+	}
+	numResults := idx
+	if len(resultIdx) == 0 {
+		return nil
+	}
+	if hasDirective(fd, "polyfit:exact") {
+		return nil
+	}
+
+	// Pass 1: variables whose Bound is established somewhere in the body.
+	bounded := map[types.Object]bool{}
+	markIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				bounded[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			// v.Bound = ...
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Bound" {
+				markIdent(sel.X)
+			}
+		}
+		// v = Result{...Bound...} / v, err = query(...)
+		if len(as.Rhs) == 1 {
+			if establishesBound(info, as.Rhs[0]) {
+				for _, lhs := range as.Lhs {
+					if tv, ok := info.Types[lhs]; ok && isResultType(tv.Type) {
+						markIdent(lhs)
+					}
+				}
+			}
+		} else {
+			for i, rhs := range as.Rhs {
+				if i < len(as.Lhs) && establishesBound(info, rhs) {
+					markIdent(as.Lhs[i])
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: check each return of THIS function (function literals have
+	// their own signatures and are out of scope for the directive-based
+	// contract — their Results come from helpers that are checked).
+	var diags []Diagnostic
+	flag := func(n ast.Node, what string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "boundset",
+			Pos:      m.Fset.Position(n.Pos()),
+			Message: fmt.Sprintf("%s returns Result without establishing Bound on this path (%s) — set Bound, or annotate the function //polyfit:exact",
+				fd.Name.Name, what),
+		})
+	}
+	inspectParents(fd.Body, func(n ast.Node, parents []ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || insideFuncLit(parents) {
+			return
+		}
+		if len(ret.Results) == 0 {
+			// Naked return: the named result must have been bounded.
+			for _, obj := range named {
+				if obj != nil && !bounded[obj] {
+					flag(ret, "naked return of "+obj.Name())
+				}
+			}
+			return
+		}
+		if len(ret.Results) != numResults {
+			return // single call expr spanning all results: delegation
+		}
+		if isErrorPath(info, ret.Results[len(ret.Results)-1]) {
+			return
+		}
+		for _, i := range resultIdx {
+			e := unparen(ret.Results[i])
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = unparen(u.X)
+			}
+			switch e := e.(type) {
+			case *ast.CompositeLit:
+				if !compositeSetsBound(info, e) {
+					flag(e, "composite literal without Bound")
+				}
+			case *ast.Ident:
+				obj := info.ObjectOf(e)
+				if obj != nil && !bounded[obj] {
+					flag(e, "variable "+e.Name+" never has Bound assigned")
+				}
+			}
+			// Calls, selectors, index expressions: conservatively accepted —
+			// the producing function is checked at its own definition.
+		}
+	})
+	return diags
+}
+
+// establishesBound reports whether an assigned RHS value arrives with its
+// Bound already certified: any call result, or a composite literal that
+// sets Bound.
+func establishesBound(info *types.Info, e ast.Expr) bool {
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = unparen(u.X)
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.CompositeLit:
+		return compositeSetsBound(info, e)
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.TypeAssertExpr:
+		return true // copied from an already-certified value
+	}
+	return false
+}
+
+// compositeSetsBound reports whether a Result composite literal supplies
+// Bound: explicitly by key, or implicitly by being fully positional.
+func compositeSetsBound(info *types.Info, cl *ast.CompositeLit) bool {
+	if !isCompositeOfResult(info, cl) {
+		return true // not a Result literal (e.g. a slice of them); out of scope here
+	}
+	keyed := false
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Bound" {
+				return true
+			}
+		}
+	}
+	if !keyed && len(cl.Elts) > 0 {
+		// Positional literals must name every field to compile.
+		return true
+	}
+	return false
+}
+
+func isCompositeOfResult(info *types.Info, cl *ast.CompositeLit) bool {
+	tv, ok := info.Types[ast.Expr(cl)]
+	return ok && isResultType(tv.Type)
+}
+
+// isErrorPath reports whether the final returned expression is a non-nil
+// error — the convention for "the other results are dead".
+func isErrorPath(info *types.Info, last ast.Expr) bool {
+	tv, ok := info.Types[last]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return false
+	}
+	if id, ok := unparen(last).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+func insideFuncLit(parents []ast.Node) bool {
+	for _, p := range parents {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the sentinel-error contract in packages that have
+// committed to it: any package with an errors.go file declaring Err*
+// sentinels promises callers they can classify every failure with
+// errors.Is instead of matching message text. Inside such a package,
+// exported error-returning functions (and exported methods — including
+// those on unexported types, which is how the public Index interface is
+// implemented) must not construct unclassifiable errors:
+//
+//   - errors.New inside a function body is flagged: the dynamic error it
+//     creates matches no sentinel (package-level sentinel definitions in
+//     errors.go are declarations, not function bodies, and are exempt).
+//   - fmt.Errorf whose format string has no %w verb is flagged: it
+//     discards whatever classification the cause carried.
+//
+// Packages without an errors.go sentinel file are out of scope until they
+// declare one — the contract is opt-in but, once opted in, total.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "exported error paths in sentinel-declaring packages must wrap a sentinel with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !declaresSentinels(m, pkg) {
+			continue
+		}
+		funcDecls(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if !fd.Name.IsExported() || !returnsError(pkg, fd) {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := stdCall(pkg.Info, call, "errors"); ok && name == "New" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "errwrap",
+						Pos:      m.Fset.Position(call.Pos()),
+						Message:  fmt.Sprintf("errors.New in exported %s — wrap a sentinel from errors.go with %%w so callers can errors.Is it", fd.Name.Name),
+					})
+				}
+				if name, ok := stdCall(pkg.Info, call, "fmt"); ok && name == "Errorf" && len(call.Args) > 0 {
+					if lit, ok := unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if format, err := strconv.Unquote(lit.Value); err == nil && !strings.Contains(format, "%w") {
+							diags = append(diags, Diagnostic{
+								Analyzer: "errwrap",
+								Pos:      m.Fset.Position(call.Pos()),
+								Message:  fmt.Sprintf("fmt.Errorf without %%w in exported %s — wrap a sentinel from errors.go so the error stays classifiable", fd.Name.Name),
+							})
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+	return diags
+}
+
+// declaresSentinels reports whether the package has an errors.go file with
+// at least one package-level Err* variable.
+func declaresSentinels(m *Module, pkg *Package) bool {
+	for _, f := range pkg.Files {
+		if filepath.Base(m.Fset.Position(f.Pos()).Filename) != "errors.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Err") {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// returnsError reports whether any result of the function is of type error.
+func returnsError(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if tv, ok := pkg.Info.Types[field.Type]; ok {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFree enforces //polyfit:nofloat function annotations: the packed
+// encoding's locate path (locatePackedQ, the grid-shift second-level
+// subs, the integer gallop) must stay entirely in integer grid space, so
+// the segment a key buckets into at query time is bit-for-bit the segment
+// the build-time certification assigned it — a single float rounding
+// difference between the two would silently void the certified δ.
+//
+// Inside an annotated function every float literal, every use of a
+// float-typed variable/field, every conversion to a float type, and every
+// call returning a float is flagged. (A call taking float arguments is
+// caught through the argument expressions themselves.)
+var FloatFree = &Analyzer{
+	Name: "floatfree",
+	Doc:  "//polyfit:nofloat functions must contain no float ops, literals, or conversions",
+	Run:  runFloatFree,
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatFree(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		info := pkg.Info
+		funcDecls(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if !hasDirective(fd, "polyfit:nofloat") {
+				return
+			}
+			flag := func(n ast.Node, what string) {
+				diags = append(diags, Diagnostic{
+					Analyzer: "floatfree",
+					Pos:      m.Fset.Position(n.Pos()),
+					Message:  fmt.Sprintf("%s in //polyfit:nofloat function %s", what, fd.Name.Name),
+				})
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BasicLit:
+					if n.Kind == token.FLOAT {
+						flag(n, "float literal "+n.Value)
+					}
+				case *ast.Ident:
+					if obj := info.Uses[n]; obj != nil {
+						if _, isVar := obj.(*types.Var); isVar && isFloatType(obj.Type()) {
+							flag(n, "use of float variable "+n.Name)
+						}
+						if c, isConst := obj.(*types.Const); isConst && isFloatType(c.Type()) {
+							flag(n, "use of float constant "+n.Name)
+						}
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal && isFloatType(sel.Obj().Type()) {
+						flag(n, "access of float field "+exprString(n))
+						return false // the base expression is not itself a float use
+					}
+				case *ast.CallExpr:
+					if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+						if isFloatType(tv.Type) {
+							flag(n, "conversion to float "+exprString(n.Fun))
+						}
+						return true
+					}
+					if tv, ok := info.Types[ast.Expr(n)]; ok && isFloatType(tv.Type) {
+						flag(n, "call returning float "+exprString(n.Fun))
+					}
+				}
+				return true
+			})
+		})
+	}
+	return diags
+}

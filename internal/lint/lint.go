@@ -1,0 +1,385 @@
+// Package lint is the project-specific static-analysis suite behind
+// cmd/polyfit-lint. It mechanically enforces the load-bearing invariants
+// that no compiler checks and that -race and the oracle harness only catch
+// probabilistically:
+//
+//   - atomicmix: a field accessed through sync/atomic anywhere in the
+//     module must never be plainly read or written elsewhere, and a field
+//     of an atomic.* type must only be touched through its methods — the
+//     lock-free snapshot-swap pointer and every server counter stay
+//     race-free by construction.
+//   - lockguard: a field annotated "// guarded by <mu>" is only accessed
+//     while that mutex is held (intra-procedural; a function whose doc
+//     says "callers hold <mu>" is checked under that assumption).
+//   - boundset: every function returning a Result must assign its Bound
+//     on all non-error return paths unless annotated //polyfit:exact —
+//     the paper's (ε,δ)-guarantee is only as trustworthy as the code that
+//     reports it.
+//   - errwrap: in packages that declare sentinel errors in an errors.go
+//     file, exported error-returning functions must wrap a sentinel with
+//     %w — naked errors.New and unwrapped fmt.Errorf are flagged.
+//   - floatfree: a function annotated //polyfit:nofloat must contain no
+//     float operations, literals, or conversions, so the packed
+//     encoding's build-time certification and query-time bucketing can
+//     never diverge through float rounding.
+//   - syncclose: write-opened files must have their Sync and Close error
+//     results checked (module-wide), and in internal/persist a written
+//     file must be fsynced before the rename/ack that makes it durable.
+//
+// Findings are suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] reason
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: an ignore without one is itself reported.
+//
+// The suite is stdlib-only (go/parser, go/ast, go/types); the loader
+// resolves imports through compiled export data the go command already
+// maintains (see load.go). Test files are not analyzed: the invariants
+// live in production code.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is one type-checked, comment-preserving package of the module.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module is the full unit of analysis: every non-test package, one shared
+// FileSet, one consistent type universe.
+type Module struct {
+	Dir  string // module root (where go.mod lives)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Analyzer is one named invariant check. Run sees the whole module, so
+// cross-package checks (atomicmix) and per-package ones use one shape.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Diagnostic
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		LockGuard,
+		BoundSet,
+		ErrWrap,
+		FloatFree,
+		SyncClose,
+	}
+}
+
+// Run executes the given analyzers over the module, applies //lint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed suppressions (no reason) are reported as findings themselves.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup, bad := collectIgnores(m, known)
+	var out []Diagnostic
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		for _, d := range a.Run(m) {
+			if !sup.covers(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// --- //lint:ignore suppressions ---------------------------------------------
+
+// suppressions maps analyzer name -> file -> set of suppressed lines.
+type suppressions map[string]map[string]map[int]bool
+
+func (s suppressions) add(analyzer, file string, line int) {
+	byFile := s[analyzer]
+	if byFile == nil {
+		byFile = make(map[string]map[int]bool)
+		s[analyzer] = byFile
+	}
+	lines := byFile[file]
+	if lines == nil {
+		lines = make(map[int]bool)
+		byFile[file] = lines
+	}
+	lines[line] = true
+}
+
+func (s suppressions) covers(analyzer string, pos token.Position) bool {
+	return s[analyzer][pos.Filename][pos.Line]
+}
+
+// collectIgnores scans every comment for "//lint:ignore <names> reason"
+// directives. A directive suppresses the named analyzers on its own line
+// and on the line directly below it (the usual "comment above the
+// statement" placement). Directives missing a reason or naming an unknown
+// analyzer are returned as findings so broken suppressions cannot silently
+// disable checks.
+func collectIgnores(m *Module, known map[string]bool) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:ignore: need \"//lint:ignore <analyzer>[,<analyzer>] reason\"",
+						})
+						continue
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						if !known[name] {
+							bad = append(bad, Diagnostic{
+								Analyzer: "lint",
+								Pos:      pos,
+								Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+							})
+							continue
+						}
+						sup.add(name, pos.Filename, pos.Line)
+						sup.add(name, pos.Filename, pos.Line+1)
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// --- annotation + AST helpers ------------------------------------------------
+
+// hasDirective reports whether the function's doc comment carries the
+// given machine-readable directive (e.g. "polyfit:nofloat"). Directives
+// are written as their own "//polyfit:..." comment line, no space after
+// the slashes, matching the go:build / go:generate convention.
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+directive)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedBy returns the mutex name a struct field is annotated with
+// ("// guarded by <mu>" in its doc or trailing line comment), or "".
+func guardedBy(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if mm := guardedByRe.FindStringSubmatch(cg.Text()); mm != nil {
+			return mm[1]
+		}
+	}
+	return ""
+}
+
+var callersHoldRe = regexp.MustCompile(`[Cc]allers?\b[^.]*\bhold\w*\s+(?:\w+\.)?(\w+)`)
+
+// callersHold returns the mutex name a function's doc comment declares as
+// held on entry ("Callers hold d.mu", "caller must hold mu", ...), or "".
+func callersHold(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	if mm := callersHoldRe.FindStringSubmatch(fd.Doc.Text()); mm != nil {
+		return mm[1]
+	}
+	return ""
+}
+
+// fieldKey identifies a struct field across packages by name rather than
+// object identity: objects imported through export data are distinct from
+// the ones created by source type-checking, so identity cannot be used
+// module-wide.
+func fieldKey(recv types.Type, field *types.Var) string {
+	for {
+		p, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		obj := named.Obj()
+		pkg := ""
+		if obj.Pkg() != nil {
+			pkg = obj.Pkg().Path()
+		}
+		return pkg + "." + obj.Name() + "." + field.Name()
+	}
+	// Anonymous struct: fall back to the field's declaration position,
+	// unique within one load.
+	return fmt.Sprintf("anon@%d.%s", field.Pos(), field.Name())
+}
+
+// varKey identifies a package-level variable by path, a local by position.
+func varKey(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return fmt.Sprintf("local@%d.%s", v.Pos(), v.Name())
+}
+
+// exprKey renders the base expression of a selector chain as a stable
+// string ("d", "s.inner"), resolving the root identifier to its object so
+// shadowing cannot alias two different bases. Returns "" for bases that
+// are not identifier/selector chains (calls, index expressions, ...).
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("%s@%d", e.Name, obj.Pos())
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(info, e.X)
+	case *ast.StarExpr:
+		return exprKey(info, e.X)
+	default:
+		return ""
+	}
+}
+
+// pkgOf resolves a qualified identifier's package: for `atomic.AddInt64`,
+// pkgOf(info, "atomic" ident) returns "sync/atomic".
+func pkgPathOf(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// stdCall matches a call of the form pkg.Fn(...) where pkg resolves to
+// pkgPath, returning the function name.
+func stdCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pkgPathOf(info, id) != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// deref strips pointers.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// namedPathName returns (package path, type name) of a named type, after
+// stripping pointers; ok is false for unnamed types.
+func namedPathName(t types.Type) (string, string, bool) {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	obj := named.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg, obj.Name(), true
+}
+
+// inspectParents walks the AST in source order invoking fn with each node
+// and its ancestor stack (innermost last).
+func inspectParents(root ast.Node, fn func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pkg *Package, fn func(file *ast.File, fd *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// exprString renders an expression compactly for messages.
+func exprString(e ast.Expr) string { return types.ExprString(e) }

@@ -1,0 +1,198 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean is the suite's own acceptance bar: the shipped tree must
+// carry zero findings. Any reintroduced violation fails here (and in the
+// blocking `make lint` CI step) with the exact diagnostic.
+func TestRepoIsClean(t *testing.T) {
+	m, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, d := range lint.Run(m, lint.Analyzers()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestAnalyzerFixtures checks every analyzer against its golden fixtures:
+// each `// want "regex"` comment in testdata/src/<name>/... must be matched
+// by a finding on that line, and no finding may appear on a line without a
+// matching want. The clean fixture packages double as regression tests for
+// the sanctioned idioms (and for //lint:ignore suppression).
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			runFixture(t, a)
+		})
+	}
+}
+
+func runFixture(t *testing.T, a *lint.Analyzer) {
+	rel := filepath.Join("internal", "lint", "testdata", "src", a.Name)
+	dirs := []string{filepath.Join(rel, "bad"), filepath.Join(rel, "clean")}
+	m, err := lint.LoadPackages(".", dirs)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	wants := fixtureWants(t, m.Dir, dirs)
+	matched := map[*want]bool{}
+	for _, d := range lint.Run(m, []*lint.Analyzer{a}) {
+		k := posKey{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// fixtureWants scans the fixture sources for `// want "regex"` comments.
+func fixtureWants(t *testing.T, moduleRoot string, dirs []string) map[posKey][]*want {
+	wants := map[posKey][]*want{}
+	for _, dir := range dirs {
+		abs := filepath.Join(moduleRoot, dir)
+		ents, err := os.ReadDir(abs)
+		if err != nil {
+			t.Fatalf("read fixture dir: %v", err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(abs, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				mm := wantRe.FindStringSubmatch(line)
+				if mm == nil {
+					continue
+				}
+				re, err := regexp.Compile(mm[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				k := posKey{path, i + 1}
+				wants[k] = append(wants[k], &want{re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("fixtures declare no wants — bad fixture must seed at least one")
+	}
+	return wants
+}
+
+// TestSuppressionHygiene checks that broken //lint:ignore directives are
+// themselves findings: a missing reason and an unknown analyzer name must
+// not silently disable checks.
+func TestSuppressionHygiene(t *testing.T) {
+	dir := t.TempDir()
+	src := `package broken
+
+import "sync/atomic"
+
+var n int64
+
+func inc() { atomic.AddInt64(&n, 1) }
+
+func bad() int64 {
+	//lint:ignore atomicmix
+	return n
+}
+
+func worse() int64 {
+	//lint:ignore nosuchanalyzer because reasons
+	return n
+}
+`
+	// The fixture loader resolves packages relative to the module root, so
+	// materialize the broken package inside it.
+	m, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("load module for root discovery: %v", err)
+	}
+	rel, err := filepath.Rel(m.Dir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		// TempDir is outside the module; fall back to a scratch dir inside
+		// this package's testdata tree.
+		scratch := filepath.Join(m.Dir, "internal", "lint", "testdata", "scratch-broken")
+		if err := os.MkdirAll(scratch, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		defer os.RemoveAll(scratch)
+		dir = scratch
+		rel, _ = filepath.Rel(m.Dir, dir)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := lint.LoadPackages(".", []string{rel})
+	if err != nil {
+		t.Fatalf("load broken fixture: %v", err)
+	}
+	diags := lint.Run(fm, lint.Analyzers())
+	var saw []string
+	for _, d := range diags {
+		saw = append(saw, fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
+	}
+	find := func(sub string) bool {
+		for _, s := range saw {
+			if strings.Contains(s, sub) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find("malformed //lint:ignore") {
+		t.Errorf("reason-less ignore not reported; diagnostics: %v", saw)
+	}
+	if !find("unknown analyzer") {
+		t.Errorf("unknown-analyzer ignore not reported; diagnostics: %v", saw)
+	}
+	// The reason-less directive must not have suppressed the finding it sat
+	// on, and the unknown name never could.
+	plain := 0
+	for _, d := range diags {
+		if d.Analyzer == "atomicmix" {
+			plain++
+		}
+	}
+	if plain != 2 {
+		t.Errorf("want 2 surviving atomicmix findings under broken ignores, got %d; diagnostics: %v", plain, saw)
+	}
+}

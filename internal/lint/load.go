@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loader type-checks the module from source using only the standard
+// library: imports — stdlib and module-internal alike — are resolved
+// through the compiled export data the go command already maintains in its
+// build cache ("go list -export"), so no third-party loader and no network
+// are involved. Each package's syntax is then type-checked from source
+// with full comment and position information, which is what the analyzers
+// need (export data has no comments, so annotations are only visible on
+// the package being analyzed — all annotated fields and functions are
+// package-internal, making this exact, not approximate).
+
+// LoadModule loads every non-test package of the module containing dir.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	return load(root, modPath, dirs, func(rel string) string {
+		if rel == "." {
+			return modPath
+		}
+		return modPath + "/" + filepath.ToSlash(rel)
+	})
+}
+
+// LoadPackages loads the given package directories (relative to the module
+// root) as standalone packages with synthetic import paths — the fixture
+// harness's entry point, so testdata packages can be analyzed without
+// being part of the module build.
+func LoadPackages(dir string, pkgDirs []string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return load(root, modPath, pkgDirs, func(rel string) string {
+		return "fixture/" + filepath.ToSlash(rel)
+	})
+}
+
+func load(root, modPath string, dirs []string, importPath func(rel string) string) (*Module, error) {
+	fset := token.NewFileSet()
+	type parsed struct {
+		path  string
+		files []*ast.File
+	}
+	var pkgs []parsed
+	imports := map[string]bool{}
+	for _, rel := range dirs {
+		files, err := parseDir(fset, filepath.Join(root, rel))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+					imports[p] = true
+				}
+			}
+		}
+		pkgs = append(pkgs, parsed{path: importPath(rel), files: files})
+	}
+	exports, err := exportData(root, imports)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	m := &Module{Dir: root, Path: modPath, Fset: fset}
+	for _, p := range pkgs {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", p.path, err)
+		}
+		m.Pkgs = append(m.Pkgs, &Package{
+			Path: p.path, Fset: fset, Files: p.files, Pkg: tpkg, Info: info,
+		})
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// packageDirs lists every directory under root holding non-test Go files,
+// skipping testdata, vendor, hidden, and underscore-prefixed trees — the
+// same exclusions the go tool applies to ./... patterns.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				dirs = append(dirs, rel)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// parseDir parses every non-test Go file in dir, with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// exportData asks the go command for the compiled export data of the given
+// import paths and their transitive dependencies. The "unsafe" pseudo-
+// package needs no data (go/types models it natively), and paths internal
+// to the module being analyzed resolve through the same mechanism — the
+// go command builds them on demand and caches the result.
+func exportData(root string, imports map[string]bool) (map[string]string, error) {
+	args := []string{"list", "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}"}
+	var paths []string
+	for p := range imports {
+		if p != "unsafe" {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	sort.Strings(paths)
+	cmd := exec.Command("go", append(args, paths...)...)
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.Output()
+	if err != nil {
+		detail := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("lint: go list -export: %w%s", err, detail)
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		if p, f, ok := strings.Cut(strings.TrimSpace(line), "="); ok && f != "" {
+			exports[p] = f
+		}
+	}
+	return exports, nil
+}

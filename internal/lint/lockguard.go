@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockGuard enforces "// guarded by <mu>" field annotations: every access
+// of an annotated field must happen while the named mutex (on the same
+// receiver chain) is held. The analysis is intra-procedural and walks each
+// function in source order, counting Lock/RLock and Unlock/RUnlock calls
+// on the annotated mutex; a deferred Unlock keeps the lock held to the end
+// of the function, and a function whose doc comment says "callers hold
+// <mu>" (any phrasing matching that verb) is analyzed with the receiver's
+// mutex pre-held — the convention the codebase already uses for *Locked
+// helpers.
+//
+// Known approximations, chosen to favor false negatives over false
+// positives in a blocking CI check: a Lock inside a conditional branch is
+// treated as held for the rest of the function, and function literals
+// inherit the lock state at their position (they are usually invoked
+// synchronously under the lock; a literal that escapes to a goroutine
+// should not touch guarded fields anyway).
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated \"guarded by <mu>\" are only accessed with that mutex held",
+	Run:  runLockGuard,
+}
+
+func runLockGuard(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		guarded := collectGuarded(pkg)
+		if len(guarded) == 0 {
+			continue
+		}
+		funcDecls(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			diags = append(diags, checkLockGuard(m, pkg, fd, guarded)...)
+		})
+	}
+	return diags
+}
+
+// collectGuarded maps fieldKey -> mutex name for every annotated field.
+func collectGuarded(pkg *Package) map[string]string {
+	guarded := map[string]string{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardedBy(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[fieldKey(tn.Type(), v)] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func checkLockGuard(m *Module, pkg *Package, fd *ast.FuncDecl, guarded map[string]string) []Diagnostic {
+	info := pkg.Info
+	held := map[string]int{} // "<baseKey>.<mu>" -> acquisition depth
+
+	// "Callers hold <mu>": the receiver's mutex is held on entry. For a
+	// plain function the annotation refers to a package-level or otherwise
+	// unqualified mutex (base key "").
+	if mu := callersHold(fd); mu != "" {
+		base := ""
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			name := fd.Recv.List[0].Names[0]
+			if obj := info.Defs[name]; obj != nil {
+				base = fmt.Sprintf("%s@%d", name.Name, obj.Pos())
+			}
+		}
+		held[base+"."+mu]++
+	}
+
+	// lockTarget decomposes mu.Lock() / base.mu.Lock() receivers.
+	lockTarget := func(x ast.Expr) (string, bool) {
+		switch x := x.(type) {
+		case *ast.SelectorExpr:
+			base := exprKey(info, x.X)
+			if base == "" {
+				return "", false
+			}
+			return base + "." + x.Sel.Name, true
+		case *ast.Ident:
+			return "." + x.Name, true
+		}
+		return "", false
+	}
+
+	var diags []Diagnostic
+	inspectParents(fd.Body, func(n ast.Node, parents []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if key, ok := lockTarget(sel.X); ok {
+					held[key]++
+				}
+			case "Unlock", "RUnlock":
+				if len(parents) > 0 {
+					if _, isDefer := parents[len(parents)-1].(*ast.DeferStmt); isDefer {
+						return // releases at return; held for the rest of the body
+					}
+				}
+				if key, ok := lockTarget(sel.X); ok {
+					held[key]--
+				}
+			}
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[n]
+			if !ok {
+				return
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok || !v.IsField() {
+				return
+			}
+			mu, ok := guarded[fieldKey(sel.Recv(), v)]
+			if !ok {
+				return
+			}
+			base := exprKey(info, n.X)
+			if held[base+"."+mu] > 0 || held["."+mu] > 0 {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "lockguard",
+				Pos:      m.Fset.Position(n.Pos()),
+				Message: fmt.Sprintf("%s is guarded by %s, which is not held here (lock it, or document \"callers hold %s\")",
+					exprString(n), mu, mu),
+			})
+		}
+	})
+	return diags
+}

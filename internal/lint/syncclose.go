@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SyncClose enforces the durability hygiene around write-opened files —
+// the bugs it hunts are the quiet kind where data is acknowledged and
+// then lost because an error result went into the void:
+//
+//   - Rule 1 (module-wide): a statement-level f.Sync() or f.Close() on a
+//     file-typed value discards the one error the kernel uses to report
+//     that your bytes did not make it. Both must be error-checked.
+//
+//   - Rule 2 (module-wide): a write-opened file (os.Create, CreateTemp,
+//     or OpenFile with a writing flag — on the real os package or the
+//     persist.FS seam alike) whose only Close is a bare `defer f.Close()`
+//     never has its Close checked at all. A deferred Close is fine as the
+//     error-path cleanup idiom, but only next to an explicit error-checked
+//     Close on the happy path.
+//
+//   - Rule 3 (persist packages only): a write-opened file that is written
+//     (f.Write/f.WriteString) must also be Synced in the same function —
+//     in the durability layer, close-without-fsync before the rename/ack
+//     is exactly the crash window the snapshot+WAL design exists to close.
+//
+// "File-typed" means *os.File or any named interface with both
+// `Sync() error` and `Close() error` (persist.File and the fault-injection
+// wrappers). Types with Close alone (HTTP bodies, listeners, WALs) are out
+// of scope — their Close semantics are not durability-bearing.
+var SyncClose = &Analyzer{
+	Name: "syncclose",
+	Doc:  "write-opened files must have error-checked Sync and Close",
+	Run:  runSyncClose,
+}
+
+// isFileLike reports whether t is *os.File or an interface with
+// Sync() error and Close() error.
+func isFileLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if pkg, name, ok := namedPathName(t); ok && pkg == "os" && name == "File" {
+		return true
+	}
+	iface, ok := deref(t).Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasSync, hasClose := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Sync":
+			hasSync = true
+		case "Close":
+			hasClose = true
+		}
+	}
+	return hasSync && hasClose
+}
+
+func runSyncClose(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		inPersist := pkg.Pkg.Name() == "persist"
+		funcDecls(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			diags = append(diags, checkSyncClose(m, pkg, fd, inPersist)...)
+		})
+	}
+	return diags
+}
+
+func checkSyncClose(m *Module, pkg *Package, fd *ast.FuncDecl, inPersist bool) []Diagnostic {
+	info := pkg.Info
+
+	// Survey pass: write-opened locals, plus per-variable usage facts.
+	writeOpened := map[types.Object]ast.Node{} // obj -> open site
+	written := map[types.Object]bool{}         // f.Write / f.WriteString called
+	synced := map[types.Object]bool{}          // f.Sync called (any form)
+	checkedClose := map[types.Object]bool{}    // f.Close with its error consumed
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isWriteOpen(call) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && isFileLike(obj.Type()) {
+					writeOpened[obj] = as
+				}
+			}
+		}
+		return true
+	})
+	receiverObj := func(call *ast.CallExpr) (types.Object, string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil, "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return nil, sel.Sel.Name, true
+		}
+		return info.ObjectOf(id), sel.Sel.Name, true
+	}
+	inspectParents(fd.Body, func(n ast.Node, parents []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		obj, method, ok := receiverObj(call)
+		if !ok || obj == nil {
+			return
+		}
+		switch method {
+		case "Write", "WriteString":
+			written[obj] = true
+		case "Sync":
+			synced[obj] = true
+		case "Close":
+			if len(parents) > 0 {
+				switch parents[len(parents)-1].(type) {
+				case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+					return
+				}
+			}
+			checkedClose[obj] = true
+		}
+	})
+
+	var diags []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "syncclose",
+			Pos:      m.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Rule 1: statement-level Sync/Close on any file-like value.
+	inspectParents(fd.Body, func(n ast.Node, parents []ast.Node) {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+			return
+		}
+		if tv, ok := info.Types[sel.X]; ok && isFileLike(tv.Type) {
+			flag(call, "%s discards the error from %s on a file — check it (a failed %s means the bytes may not be durable)",
+				exprString(call.Fun), sel.Sel.Name, sel.Sel.Name)
+		}
+	})
+
+	// Rule 2: write-opened file whose Close is only ever deferred bare.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, isWrite := writeOpened[obj]; isWrite && !checkedClose[obj] {
+			flag(def, "write-opened file %s is closed only by this bare defer — its Close error is never checked; close explicitly and check, keeping the defer for error-path cleanup",
+				id.Name)
+		}
+		return true
+	})
+
+	// Rule 3 (persist only): written but never fsynced.
+	if inPersist {
+		for obj, site := range writeOpened {
+			if written[obj] && !synced[obj] {
+				flag(site, "write-opened file %s is written but never Synced in this function — fsync before the rename/ack that makes it durable",
+					obj.Name())
+			}
+		}
+	}
+	return diags
+}
+
+// isWriteOpen matches calls that open a file for writing: Create and
+// CreateTemp by name (os or any FS seam), and OpenFile whose flags mention
+// a writing mode.
+func isWriteOpen(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	switch name {
+	case "Create", "CreateTemp":
+		return true
+	case "OpenFile":
+		if len(call.Args) >= 2 {
+			flags := exprString(call.Args[1])
+			for _, w := range []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"} {
+				if strings.Contains(flags, w) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

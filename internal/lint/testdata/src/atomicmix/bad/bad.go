@@ -1,0 +1,37 @@
+// Package atomicmixbad seeds every violation shape the atomicmix analyzer
+// must catch: plain access of function-style atomic targets (field and
+// package variable) and non-method use of typed atomics.
+package atomicmixbad
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	ctr  atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want "plain access of c.hits"
+}
+
+func (c *counters) reset() {
+	c.ctr = atomic.Int64{} // want "plain write of atomic field"
+}
+
+func (c *counters) snapshot() atomic.Int64 {
+	return c.ctr // want "value copy of atomic field"
+}
+
+var generation uint64
+
+func bumpGen() {
+	atomic.AddUint64(&generation, 1)
+}
+
+func readGen() uint64 {
+	return generation // want "plain access of generation"
+}

@@ -1,0 +1,45 @@
+// Package atomicmixclean shows the sanctioned uses the atomicmix analyzer
+// must accept: typed atomics through their methods, address-taking, and a
+// //lint:ignore suppression with a reason.
+package atomicmixclean
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+}
+
+func (c *counters) bump() {
+	c.hits.Add(1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits.Load()
+}
+
+func watch(p *atomic.Int64) int64 {
+	return p.Load()
+}
+
+func (c *counters) watchSelf() int64 {
+	return watch(&c.hits)
+}
+
+var generation atomic.Uint64
+
+func gen() uint64 {
+	return generation.Load()
+}
+
+type legacy struct {
+	raw int64
+}
+
+func (l *legacy) inc() {
+	atomic.AddInt64(&l.raw, 1)
+}
+
+func (l *legacy) drain() int64 {
+	//lint:ignore atomicmix read happens after all writer goroutines have joined
+	return l.raw
+}

@@ -1,0 +1,17 @@
+// Package boundsetbad seeds Result returns that never establish Bound: a
+// composite literal missing the field and a variable never assigned one.
+package boundsetbad
+
+type Result struct {
+	Value float64
+	Bound float64
+}
+
+func lookup(k float64) Result {
+	if k < 0 {
+		return Result{Value: 0} // want "composite literal without Bound"
+	}
+	var r Result
+	r.Value = k
+	return r // want "variable r never has Bound assigned"
+}

@@ -1,0 +1,41 @@
+// Package boundsetclean shows the sanctioned shapes: explicit Bound keys,
+// Bound assigned before return, error-path returns with a dead Result,
+// delegation to a checked helper, and a //polyfit:exact opt-out.
+package boundsetclean
+
+import "errors"
+
+type Result struct {
+	Value float64
+	Bound float64
+}
+
+var errNegative = errors.New("boundsetclean: negative key")
+
+func lookup(k float64) Result {
+	if k < 0 {
+		return Result{Value: 0, Bound: 1}
+	}
+	var r Result
+	r.Value = k
+	r.Bound = 0.5
+	return r
+}
+
+func lookupErr(k float64) (Result, error) {
+	if k < 0 {
+		return Result{}, errNegative
+	}
+	return Result{Value: k, Bound: 1}, nil
+}
+
+func delegate(k float64) Result {
+	return lookup(k)
+}
+
+// exactLookup answers exactly; a zero Bound is the honest value.
+//
+//polyfit:exact
+func exactLookup(k float64) Result {
+	return Result{Value: k}
+}

@@ -1,0 +1,18 @@
+// Package errwrapbad declares a sentinel in errors.go and then constructs
+// unclassifiable errors on an exported path — both shapes errwrap flags.
+package errwrapbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Do(x int) error {
+	if x < 0 {
+		return errors.New("negative input") // want "errors.New in exported Do"
+	}
+	if x > 10 {
+		return fmt.Errorf("too big: %d", x) // want "fmt.Errorf without %w in exported Do"
+	}
+	return nil
+}

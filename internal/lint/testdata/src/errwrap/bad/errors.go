@@ -1,0 +1,7 @@
+package errwrapbad
+
+import "errors"
+
+// ErrBad is the package's classification sentinel; declaring it here opts
+// the package into the errwrap contract.
+var ErrBad = errors.New("errwrapbad: bad input")

@@ -1,0 +1,18 @@
+// Package errwrapclean wraps its sentinel with %w on the exported path;
+// unexported helpers remain free to build internal detail errors.
+package errwrapclean
+
+import "fmt"
+
+func Do(x int) error {
+	if x < 0 {
+		return fmt.Errorf("%w: %d", ErrBad, x)
+	}
+	return nil
+}
+
+func helper(x int) error {
+	return fmt.Errorf("helper detail: %d", x)
+}
+
+var _ = helper

@@ -1,0 +1,6 @@
+package errwrapclean
+
+import "errors"
+
+// ErrBad is the package's classification sentinel.
+var ErrBad = errors.New("errwrapclean: bad input")

@@ -1,0 +1,18 @@
+// Package floatfreebad seeds float contamination inside //polyfit:nofloat
+// functions: float parameters used, conversions, and literals.
+package floatfreebad
+
+// locate maps a key onto the grid but leaks through float arithmetic.
+//
+//polyfit:nofloat
+func locate(key float64, lo float64, step float64) uint32 {
+	g := (key - lo) / step // want "use of float variable"
+	return uint32(g)       // want "use of float variable"
+}
+
+// half rounds via floats instead of integer shifts.
+//
+//polyfit:nofloat
+func half(n int) int {
+	return int(float64(n) * 0.5) // want "conversion to float|float literal"
+}

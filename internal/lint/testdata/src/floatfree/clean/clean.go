@@ -1,0 +1,24 @@
+// Package floatfreeclean keeps its annotated function entirely on the
+// integer grid; float code outside the directive is not checked.
+package floatfreeclean
+
+// locate is sort.Search specialised to the uint32 lane — pure integers.
+//
+//polyfit:nofloat
+func locate(q uint32, cells []uint32) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cells[mid] <= q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// quantize is float code outside the directive — out of scope.
+func quantize(key, lo, step float64) uint32 {
+	return uint32((key - lo) / step)
+}

@@ -1,0 +1,21 @@
+// Package lockguardbad seeds accesses of a "guarded by mu" field without
+// the mutex held: never locked, and after an explicit unlock.
+package lockguardbad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) read() int {
+	return b.n // want "b.n is guarded by mu"
+}
+
+func (b *box) useAfterUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.n = 0 // want "b.n is guarded by mu"
+}

@@ -1,0 +1,34 @@
+// Package lockguardclean shows the sanctioned access patterns: lock with
+// deferred unlock, explicit lock/unlock bracketing, and a helper whose doc
+// declares "callers hold" the mutex.
+package lockguardclean
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) set(v int) {
+	b.mu.Lock()
+	b.n = v
+	b.mu.Unlock()
+}
+
+// incLocked bumps the counter. Callers hold b.mu.
+func (b *box) incLocked() {
+	b.n++
+}
+
+func (b *box) viaHelper() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.incLocked()
+}

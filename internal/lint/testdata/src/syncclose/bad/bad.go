@@ -1,0 +1,30 @@
+// Package persist is a fixture mimicking the durability layer; the package
+// name opts it into rule 3 (a written file must be fsynced). It seeds all
+// three syncclose violations: discarded Sync/Close errors, a bare deferred
+// Close as the only close, and write-without-fsync.
+package persist
+
+import "os"
+
+func writeBare(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Sync()  // want "discards the error from Sync"
+	f.Close() // want "discards the error from Close"
+	return nil
+}
+
+func writeDeferred(path string, b []byte) error {
+	f, err := os.Create(path) // want "written but never Synced"
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "closed only by this bare defer"
+	_, err = f.Write(b)
+	return err
+}

@@ -1,0 +1,25 @@
+// Package persist (clean half) shows the snapshot-write idiom the real
+// durability layer uses: write, fsync, explicit checked Close, with the
+// deferred Close kept as error-path cleanup.
+package persist
+
+import "os"
+
+func writeDurable(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readAll(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -64,11 +64,6 @@ const (
 	maxManifestShards = 1 << 12
 )
 
-// ErrCorrupt reports a snapshot or WAL file that failed structural or
-// checksum validation. Callers are expected to treat it as "this file is
-// unusable", not as a crash.
-var ErrCorrupt = errors.New("persist: corrupt file")
-
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Store manages the on-disk layout of one data directory.
@@ -88,7 +83,7 @@ func Open(dir string) (*Store, error) {
 // disk. The chaos harness passes a fault-injecting FS here.
 func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
-		return nil, errors.New("persist: empty data dir")
+		return nil, fmt.Errorf("%w: empty data dir", ErrInvalidArgument)
 	}
 	if fsys == nil {
 		fsys = OSFS()
@@ -266,10 +261,10 @@ func (s *Store) ShardWALPath(name string, i int) string {
 // that flips recovery onto the sharded path.
 func (s *Store) WriteShardManifest(name string, m ShardManifest) error {
 	if m.Shards < 1 || m.Shards > maxManifestShards {
-		return fmt.Errorf("persist: manifest shard count %d", m.Shards)
+		return fmt.Errorf("%w: manifest shard count %d", ErrInvalidArgument, m.Shards)
 	}
 	if len(m.Bounds) != m.Shards-1 {
-		return fmt.Errorf("persist: manifest has %d bounds for %d shards", len(m.Bounds), m.Shards)
+		return fmt.Errorf("%w: manifest has %d bounds for %d shards", ErrInvalidArgument, len(m.Bounds), m.Shards)
 	}
 	dir := s.IndexDir(name)
 	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
@@ -439,6 +434,7 @@ func writeFileAtomic(fsys FS, path string, chunks ...[]byte) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func(err error) error {
+		//lint:ignore syncclose the operation already failed and the temp file is removed next; joining a second (sometimes double-) close error would only mask the cause
 		tmp.Close()
 		fsys.Remove(tmpName)
 		return err

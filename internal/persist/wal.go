@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -113,12 +114,10 @@ func openWALFS(path string, fsys FS, retry RetryPolicy) (w *WAL, recovered []Rec
 		binary.LittleEndian.PutUint32(header[0:], walMagic)
 		binary.LittleEndian.PutUint16(header[4:], walVersion)
 		if _, err := f.Write(header); err != nil {
-			f.Close()
-			return nil, nil, 0, fmt.Errorf("persist: write wal header: %w", err)
+			return nil, nil, 0, errors.Join(fmt.Errorf("persist: write wal header: %w", err), f.Close())
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, 0, fmt.Errorf("persist: fsync wal header: %w", err)
+			return nil, nil, 0, errors.Join(fmt.Errorf("persist: fsync wal header: %w", err), f.Close())
 		}
 	}
 	return w, recovered, droppedBytes, nil
@@ -143,10 +142,10 @@ func (w *WAL) Append(recs []Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
-		return fmt.Errorf("persist: wal %s is closed", w.path)
+		return fmt.Errorf("%w: %s", ErrClosed, w.path)
 	}
 	if w.sick {
-		return fmt.Errorf("persist: wal %s is sick (unrepaired append failure)", w.path)
+		return fmt.Errorf("%w: %s", ErrSick, w.path)
 	}
 	var err error
 	err = w.retry.run(func() error {
@@ -193,7 +192,7 @@ func (w *WAL) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
-		return fmt.Errorf("persist: wal %s is closed", w.path)
+		return fmt.Errorf("%w: %s", ErrClosed, w.path)
 	}
 	header := make([]byte, walHeaderSize)
 	binary.LittleEndian.PutUint32(header[0:], walMagic)
@@ -203,6 +202,7 @@ func (w *WAL) Reset() error {
 	}); err != nil {
 		return err
 	}
+	//lint:ignore syncclose the old descriptor points at the file writeFileAtomic already unlinked; its close error cannot affect durability
 	w.f.Close()
 	f, err := w.fsys.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -240,10 +240,10 @@ func (w *WAL) TruncateTo(cut int64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
-		return fmt.Errorf("persist: wal %s is closed", w.path)
+		return fmt.Errorf("%w: %s", ErrClosed, w.path)
 	}
 	if cut < walHeaderSize || cut > w.size || (cut-walHeaderSize)%walRecordSize != 0 {
-		return fmt.Errorf("persist: bad wal cut %d (size %d)", cut, w.size)
+		return fmt.Errorf("%w: bad wal cut %d (size %d)", ErrInvalidArgument, cut, w.size)
 	}
 	if cut == walHeaderSize {
 		return nil // nothing covered; keep everything
@@ -263,6 +263,7 @@ func (w *WAL) TruncateTo(cut int64) error {
 		return err
 	}
 	// The old descriptor now points at the unlinked file; reopen the new one.
+	//lint:ignore syncclose closing an unlinked descriptor; the replacement file was already fsynced by writeFileAtomic
 	w.f.Close()
 	f, err := w.fsys.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

@@ -162,7 +162,9 @@ func (s *Server) recover() error {
 			s.logf("polyfit-serve: skipping index %q: %v", name, err)
 			continue
 		}
+		s.mu.Lock()
 		s.indexes[name] = e
+		s.mu.Unlock()
 		s.recovery.Indexes++
 		if e.ins != nil {
 			s.recovery.Dynamic++

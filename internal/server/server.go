@@ -118,7 +118,7 @@ func newEntry(ix polyfit.Index) *entry {
 // Server is an http.Handler serving a registry of named PolyFit indexes.
 type Server struct {
 	mu      sync.RWMutex
-	indexes map[string]*entry
+	indexes map[string]*entry // guarded by mu
 	mux     *http.ServeMux
 
 	// adminMu serialises registry admin (create/delete/restore) with the
