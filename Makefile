@@ -9,9 +9,9 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark snapshot: runs the core performance probes and writes
-# BENCH_PR2.json (see cmd/polyfit-bench). Pass BASELINE=path to embed a
+# BENCH_PR9.json (see cmd/polyfit-bench). Pass BASELINE=path to embed a
 # previous snapshot for a before/after pair.
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR9.json
 BASELINE ?=
 bench:
 	$(GO) run ./cmd/polyfit-bench -out $(BENCH_OUT) $(if $(BASELINE),-baseline $(BASELINE))
@@ -24,7 +24,7 @@ bench-smoke:
 # the committed baseline snapshot with the in-repo comparator (see
 # cmd/benchdiff — offline-friendly stand-in for benchstat, same delta
 # table). Report-only: quick runs are too noisy to gate on.
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR9.json
 benchdiff:
 	$(GO) run ./cmd/polyfit-bench -quick -out /tmp/bench-head.json
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASE) -new /tmp/bench-head.json

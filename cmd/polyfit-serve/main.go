@@ -10,7 +10,13 @@
 // Usage:
 //
 //	polyfit-serve [-addr :8080] [-demo 200000] [-demo-shards K] [-data-dir DIR] [-snapshot-interval 15s]
-//	              [-drain-timeout 10s] [-fault-schedule ""] [-fault-seed 1]
+//	              [-drain-timeout 10s] [-fault-schedule ""] [-fault-seed 1] [-cache-bytes 0]
+//
+// With -cache-bytes N the server keeps up to N bytes of completed query
+// responses — certified error bound included — and serves repeats straight
+// from memory. Cached entries are keyed by the index's data generation, so
+// an insert or rebuild structurally invalidates them; a stale answer is
+// never served (see internal/server for the full argument).
 //
 // With -data-dir the server is durable: every index is snapshotted to DIR,
 // acknowledged inserts are fsynced to a per-index write-ahead log before
@@ -70,6 +76,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
 	faultSchedule := flag.String("fault-schedule", "", "faultfs injection schedule for the data dir, e.g. write@20-70 or sync:0.1 (testing only)")
 	faultSeed := flag.Int64("fault-seed", 1, "PRNG seed for probabilistic -fault-schedule rules")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget; cached responses keep their certified bounds and invalidate by data generation (0 = disabled)")
 	flag.Parse()
 
 	var fsys persist.FS
@@ -85,6 +92,7 @@ func main() {
 		SnapshotInterval: *snapInterval,
 		Logf:             log.Printf,
 		FS:               fsys,
+		CacheBytes:       *cacheBytes,
 	})
 	if err != nil {
 		log.Fatalf("open data dir %q: %v", *dataDir, err)

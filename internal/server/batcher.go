@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"sync"
+
+	polyfit "repro"
+)
+
+// Batched admission (batcher.go): point queries that have to wait for an
+// admission slot are collected per (index entry, data generation), and
+// when one of them finally wins a slot it executes the whole group as a
+// single QueryBatch sorted sweep — one index traversal, one slot — then
+// fans the per-range results back out, each waiter getting its own
+// certified Bound. Queue depth stops being pure latency: under overload,
+// the deeper the queue, the more queries each traversal amortises.
+//
+// Grouping by generation keeps the semantics identical to solo execution:
+// every waiter in a group observes exactly the data its own arrival
+// generation promised (QueryBatch reads one snapshot), and the response
+// bytes are the same QueryResponse encoding the solo path produces, so
+// coalescing, caching, and batching all interoperate on one body format.
+//
+// Two query shapes never batch and take the plain blocking path instead:
+// relative-error queries (QueryBatch has no eps_rel variant) and ranges
+// with NaN endpoints (one NaN range fails the whole batch with
+// ErrInvalidRange — it must fail alone).
+
+// batchKey groups queued point queries that may legally share one sweep.
+type batchKey struct {
+	e   *entry
+	gen uint64
+}
+
+// batchWaiter is one queued point query. The waiter blocks in
+// acquireAbortable with done as its abort channel; whoever claims the
+// waiter writes the outcome fields and closes done (write-before-close
+// publishes them). retry asks the waiter to re-enter the queue because
+// its sweeper's context died before producing an answer.
+type batchWaiter struct {
+	rng    polyfit.Range
+	done   chan struct{}
+	status int
+	body   []byte
+	retry  bool
+}
+
+// deliver publishes the waiter's response and wakes it.
+func (w *batchWaiter) deliver(status int, body []byte) {
+	w.status, w.body = status, body
+	close(w.done)
+}
+
+// sendBack wakes the waiter with no result, telling it to rejoin the
+// queue under its own context.
+func (w *batchWaiter) sendBack() {
+	w.retry = true
+	close(w.done)
+}
+
+// queryBatcher holds the groups of currently-queued point queries.
+type queryBatcher struct {
+	mu     sync.Mutex
+	groups map[batchKey][]*batchWaiter // guarded by mu
+}
+
+// join registers w as queued under key.
+func (b *queryBatcher) join(key batchKey, w *batchWaiter) {
+	b.mu.Lock()
+	if b.groups == nil {
+		b.groups = make(map[batchKey][]*batchWaiter)
+	}
+	b.groups[key] = append(b.groups[key], w)
+	b.mu.Unlock()
+}
+
+// leave withdraws w from key's group, reporting whether it was still
+// there. false means a sweep claimed w first: its done channel WILL be
+// closed, so the caller must collect the outcome instead of abandoning.
+func (b *queryBatcher) leave(key batchKey, w *batchWaiter) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ws := b.groups[key]
+	for i, x := range ws {
+		if x != w {
+			continue
+		}
+		ws[i] = ws[len(ws)-1]
+		ws = ws[:len(ws)-1]
+		if len(ws) == 0 {
+			delete(b.groups, key)
+		} else {
+			b.groups[key] = ws
+		}
+		return true
+	}
+	return false
+}
+
+// take claims the entire group queued under key (leaving the map empty
+// for later arrivals) and reports whether self was still in it — false
+// means a concurrent sweep already claimed self, and anything returned
+// here joined after that sweep's cut.
+func (b *queryBatcher) take(key batchKey, self *batchWaiter) ([]*batchWaiter, bool) {
+	b.mu.Lock()
+	ws := b.groups[key]
+	delete(b.groups, key)
+	b.mu.Unlock()
+	for _, x := range ws {
+		if x == self {
+			return ws, true
+		}
+	}
+	return ws, false
+}
+
+// pointQuery executes one point query under admission control. It is the
+// flight leader's body in handleQuery: cache and coalescing have already
+// missed by the time it runs.
+func (s *Server) pointQuery(ctx context.Context, e *entry, req QueryRequest, key flightKey) (int, []byte) {
+	// Fast path: a slot is free right now — no queueing, nothing to batch.
+	if s.adm.tryAcquire() {
+		defer s.adm.release()
+		runQueryDelayHooks(ctx)
+		return s.execQuery(ctx, e, req)
+	}
+	// Shapes a group sweep cannot express wait solo (see file comment).
+	if req.EpsRel > 0 || math.IsNaN(req.Lo) || math.IsNaN(req.Hi) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return s.admissionFailure(err)
+		}
+		defer s.adm.release()
+		runQueryDelayHooks(ctx)
+		return s.execQuery(ctx, e, req)
+	}
+	return s.batchedQuery(ctx, e, req, key)
+}
+
+// batchedQuery queues the query for a group sweep: join the (entry, gen)
+// group, then wait for whichever comes first — a slot of our own (we
+// sweep the group), another waiter's sweep claiming us (we collect its
+// answer), the queue overflowing, or our context dying.
+func (s *Server) batchedQuery(ctx context.Context, e *entry, req QueryRequest, key flightKey) (int, []byte) {
+	bk := batchKey{e: e, gen: key.gen}
+	for {
+		w := &batchWaiter{rng: polyfit.Range{Lo: req.Lo, Hi: req.Hi}, done: make(chan struct{})}
+		s.batcher.join(bk, w)
+		err := s.adm.acquireAbortable(ctx, w.done)
+		switch {
+		case err == nil:
+			// We hold a slot: claim the whole group and sweep it.
+			group, selfIn := s.batcher.take(bk, w)
+			if selfIn {
+				return func() (int, []byte) {
+					defer s.adm.release() // even if the sweep (or a test hook) panics
+					if len(group) == 1 {
+						// Alone in the queue after all: plain solo execution.
+						runQueryDelayHooks(ctx)
+						return s.execQuery(ctx, e, req)
+					}
+					s.sweepGroup(ctx, e, group, w)
+					// sweepGroup always delivers to self — success, failure,
+					// or our own ctx error — never a sendBack.
+					return w.status, w.body
+				}()
+			}
+			// A concurrent sweep claimed us between the slot grant and the
+			// take. Anything in group joined after that cut — sweep it under
+			// the slot we hold rather than making it wait for another — then
+			// collect our own answer from our claimer.
+			func() {
+				defer s.adm.release()
+				if len(group) > 0 {
+					s.sweepGroup(ctx, e, group, nil)
+				}
+			}()
+			if st, body, ok := s.collect(ctx, w); ok {
+				return st, body
+			}
+			continue
+
+		case errors.Is(err, errAborted):
+			// Claimed and answered (or sent back) by another waiter's sweep.
+			if w.retry {
+				continue
+			}
+			return w.status, w.body
+
+		case errors.Is(err, errShed):
+			if s.batcher.leave(bk, w) {
+				s.adm.shed.Add(1)
+				return s.admissionFailure(errShed)
+			}
+			// A sweep claimed us just as the queue overflowed: we are part
+			// of it, so collect its answer — the waiter ends 200, not 429.
+			if st, body, ok := s.collect(ctx, w); ok {
+				return st, body
+			}
+			continue
+
+		default: // our own ctx died while queued
+			if s.batcher.leave(bk, w) {
+				return s.admissionFailure(err)
+			}
+			if st, body, ok := s.collect(ctx, w); ok {
+				return st, body
+			}
+			continue
+		}
+	}
+}
+
+// collect waits for a claimed waiter's outcome: the claiming sweep always
+// closes done eventually, but our own context stays the cutoff — a dead
+// claimer must not hold this request past its deadline. ok=false means
+// the sweep sent the waiter back to requeue.
+func (s *Server) collect(ctx context.Context, w *batchWaiter) (int, []byte, bool) {
+	select {
+	case <-w.done:
+		if w.retry {
+			return 0, nil, false
+		}
+		return w.status, w.body, true
+	case <-ctx.Done():
+		st, body := s.cancelFailure(ctx.Err(), "while queued")
+		return st, body, true
+	}
+}
+
+// sweepGroup executes one claimed group as a single QueryBatch sorted
+// sweep under the admission slot the caller holds, and delivers each
+// waiter its own per-range result. self is the caller's waiter when it is
+// part of the group (nil when sweeping late joiners on behalf of others).
+//
+// Failure discipline: a context error is the CALLER's deadline, not the
+// group's — self takes the failure and everyone else is sent back to the
+// queue to run under their own deadlines. Any other error (unreachable
+// for the shapes admitted here — NaN ranges never batch) is delivered to
+// the whole group, and a panic delivers a 500 to every unanswered waiter
+// before propagating to the ServeHTTP recovery middleware.
+func (s *Server) sweepGroup(ctx context.Context, e *entry, group []*batchWaiter, self *batchWaiter) {
+	s.batchedGroups.Add(1)
+	s.batchedQueries.Add(int64(len(group)))
+	defer func() {
+		if p := recover(); p != nil {
+			st, body := jsonBody(http.StatusInternalServerError,
+				errorResponse{Error: "internal error (panic recovered)"})
+			for _, w := range group {
+				if w.status == 0 && !w.retry {
+					w.deliver(st, body)
+				}
+			}
+			panic(p)
+		}
+	}()
+	runQueryDelayHooks(ctx)
+	ranges := make([]polyfit.Range, len(group))
+	for i, w := range group {
+		ranges[i] = w.rng
+	}
+	s.executed.Add(1)
+	var results []polyfit.Result
+	var err error
+	if cq, ok := e.ix.(polyfit.ContextQuerier); ok {
+		results, err = cq.QueryBatchContext(ctx, ranges)
+	} else {
+		results, err = e.ix.QueryBatch(ranges)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			for _, w := range group {
+				if w == self {
+					w.deliver(s.cancelFailure(err, "during a group sweep"))
+				} else {
+					w.sendBack()
+				}
+			}
+			return
+		}
+		st, body := s.queryFailure(err)
+		for _, w := range group {
+			w.deliver(st, body)
+		}
+		return
+	}
+	for i, w := range group {
+		res := results[i]
+		w.deliver(jsonBody(http.StatusOK,
+			QueryResponse{Value: res.Value, Found: res.Found, Exact: res.Exact, Bound: res.Bound}))
+	}
+}

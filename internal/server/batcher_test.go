@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestQueuedPointQueriesSweepAsOneBatch is the acceptance check for
+// batched admission: distinct point queries that pile up in the queue
+// behind a held leader execute as ONE QueryBatch sweep under a single
+// admission slot (counter-verified), and each waiter's response carries
+// its own per-range certified Bound — bitwise-identical to what a solo
+// query of the same range returns.
+func TestQueuedPointQueriesSweepAsOneBatch(t *testing.T) {
+	s, ts := overloadServer(t, 1, 8)
+	entered, release := holdQueries(t)
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	codes := make([]int, waiters+1)
+	bodies := make([][]byte, waiters+1)
+	query := func(i int, lo float64) {
+		defer wg.Done()
+		codes[i], bodies[i] = rawQueryBody(t, ts, "ix", lo, 400+lo)
+	}
+	wg.Add(1)
+	go query(0, 0)
+	<-entered // the leader holds the only slot, parked before its traversal
+	executedBefore := s.executed.Load()
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go query(i, float64(i)) // distinct ranges: no coalescing, all queue
+	}
+	waitFor(t, "all waiters queued", func() bool { return s.adm.queued.Load() == waiters })
+
+	close(release)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("query %d: status %d, want 200", i, code)
+		}
+	}
+	// Exactly two traversals happened after the quiesce point: the held
+	// leader's own solo query, and ONE group sweep answering all four
+	// queued waiters.
+	if got := s.executed.Load() - executedBefore; got != 2 {
+		t.Errorf("executed %d traversals, want 2 (leader solo + one group sweep)", got)
+	}
+	if got := s.batchedGroups.Load(); got != 1 {
+		t.Errorf("batched_groups = %d, want 1", got)
+	}
+	if got := s.batchedQueries.Load(); got != waiters {
+		t.Errorf("batched_queries = %d, want %d", got, waiters)
+	}
+
+	// Per-range bounds intact: each swept response is bitwise-identical to
+	// a solo query of the same range (the server is idle now, so these
+	// control re-queries take the solo fast path).
+	for i := 1; i <= waiters; i++ {
+		st, solo := rawQueryBody(t, ts, "ix", float64(i), 400+float64(i))
+		if st != http.StatusOK {
+			t.Fatalf("solo control query %d: status %d", i, st)
+		}
+		if !bytes.Equal(bodies[i], solo) {
+			t.Errorf("swept response %d differs from solo: %q vs %q", i, bodies[i], solo)
+		}
+	}
+}
+
+// TestCoalescedFollowerHonorsOwnDeadline is the regression test for the
+// coalescing-deadline bug: a follower waiting on a slow leader used to
+// block on the flight's done channel with no context select, so its own
+// timeout_ms was silently ignored. It must answer 504 on its own
+// deadline while the leader keeps executing, and the coalesce_waiting
+// gauge must come back down.
+func TestCoalescedFollowerHonorsOwnDeadline(t *testing.T) {
+	s, ts := overloadServer(t, 8, 8)
+	entered, release := holdQueries(t)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderCode int
+	go func() {
+		defer wg.Done()
+		resp := post(t, ts, "/v1/indexes/ix/query", QueryRequest{Lo: 10, Hi: 300}, nil)
+		leaderCode = resp.StatusCode
+	}()
+	<-entered // leader is executing, held by the hook
+
+	var e errorResponse
+	resp := post(t, ts, "/v1/indexes/ix/query", QueryRequest{Lo: 10, Hi: 300, TimeoutMS: 25}, &e)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("short-deadline follower: got %d (%s), want 504", resp.StatusCode, e.Error)
+	}
+	if got := s.timedOut.Load(); got != 1 {
+		t.Errorf("timed_out = %d, want 1", got)
+	}
+	waitFor(t, "coalesce_waiting back to zero", func() bool { return s.coalesceWait.Load() == 0 })
+
+	close(release)
+	wg.Wait()
+	if leaderCode != http.StatusOK {
+		t.Errorf("leader: got %d, want 200 (follower's deadline must not kill the flight)", leaderCode)
+	}
+}
+
+// TestDeadlineWhileQueuedAnswers504 pins the queued-arm of the deadline
+// contract: a query whose deadline expires while waiting for a slot
+// answers 504 and counts timed_out, not canceled.
+func TestDeadlineWhileQueuedAnswers504(t *testing.T) {
+	s, ts := overloadServer(t, 1, 4)
+	entered, release := holdQueries(t)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts, "/v1/indexes/ix/query", QueryRequest{Lo: 0, Hi: 400}, nil)
+	}()
+	<-entered // slot held
+
+	var e errorResponse
+	resp := post(t, ts, "/v1/indexes/ix/query", QueryRequest{Lo: 1, Hi: 400, TimeoutMS: 25}, &e)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued query past deadline: got %d (%s), want 504", resp.StatusCode, e.Error)
+	}
+	if got, canc := s.timedOut.Load(), s.canceled.Load(); got != 1 || canc != 0 {
+		t.Errorf("counters = {timed_out:%d canceled:%d}, want {1, 0}", got, canc)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestClientDisconnectCounts499 is the regression test for the
+// canceled-vs-deadline bug: a client hanging up used to be folded into
+// timed_out as a 504. It must instead count canceled_queries (499-style)
+// — tested both while queued and mid-execution.
+func TestClientDisconnectCounts499(t *testing.T) {
+	t.Run("while queued", func(t *testing.T) {
+		s, ts := overloadServer(t, 1, 4)
+		entered, release := holdQueries(t)
+		defer close(release)
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(t, ts, "/v1/indexes/ix/query", QueryRequest{Lo: 0, Hi: 400}, nil)
+		}()
+		<-entered // slot held: the next query will queue
+
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/indexes/ix/query", bytes.NewReader([]byte(`{"lo": 1, "hi": 400}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			_, derr := ts.Client().Do(req)
+			errc <- derr
+		}()
+		waitFor(t, "disconnecting query queued", func() bool { return s.adm.queued.Load() == 1 })
+		cancel() // client hangs up while queued
+		if derr := <-errc; derr == nil {
+			t.Fatal("canceled request unexpectedly completed")
+		}
+		waitFor(t, "canceled counter", func() bool { return s.canceled.Load() == 1 })
+		if got := s.timedOut.Load(); got != 0 {
+			t.Errorf("client disconnect inflated timed_out: %d, want 0", got)
+		}
+	})
+
+	t.Run("mid-execution", func(t *testing.T) {
+		s, ts := overloadServer(t, 4, 4)
+		// Park the executing query until its own request context dies — the
+		// context-aware hook makes "client hangs up mid-execution" exact:
+		// the index traversal provably starts after the disconnect landed.
+		executing := make(chan struct{})
+		testHookQueryDelayCtx = func(ctx context.Context) {
+			close(executing)
+			<-ctx.Done()
+		}
+		t.Cleanup(func() { testHookQueryDelayCtx = nil })
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/indexes/ix/query", bytes.NewReader([]byte(`{"lo": 0, "hi": 400}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			_, derr := ts.Client().Do(req)
+			errc <- derr
+		}()
+		<-executing // the query holds a slot, about to traverse
+		cancel()    // client hangs up; the hook releases once the server sees it
+		if derr := <-errc; derr == nil {
+			t.Fatal("canceled request unexpectedly completed")
+		}
+		waitFor(t, "canceled counter", func() bool { return s.canceled.Load() == 1 })
+		if got := s.timedOut.Load(); got != 0 {
+			t.Errorf("client disconnect inflated timed_out: %d, want 0", got)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Result cache (cache.go): completed point and relative-error queries are
+// kept as their full marshalled response bodies — certified Bound
+// included — and repeated queries are served straight from memory with
+// zero index traversal. The cache key is the coalescer's flightKey:
+// (entry pointer, data generation, range, eps_rel). That makes
+// invalidation structural rather than temporal:
+//
+//   - A successful insert or rebuild bumps the index's generation, so
+//     every later arrival computes a different key and misses; the old
+//     generation's bodies become unreachable and age out of the LRU.
+//   - A restore (or delete + recreate) registers a new *entry, changing
+//     the pointer component the same way (delete and restore also purge
+//     eagerly, so dead entries don't squat on the byte budget).
+//   - Static indexes never mutate: generation is the constant 0 and their
+//     answers cache until evicted, which is exactly right.
+//
+// A cached body was marshalled by a leader that read its generation
+// BEFORE executing, so the data it reflects is at least as new as the
+// generation it is filed under — a hit can serve a fresher answer than
+// the cached generation, never a staler one. Serving a stale answer is
+// impossible by construction, not by timeout tuning.
+//
+// The store is a sharded LRU bounded by a byte budget (Config.CacheBytes,
+// default 0 = disabled): each shard owns a hash slice of the key space
+// under its own mutex, so concurrent hits on different keys don't contend
+// on one lock. Only HTTP 200 bodies are cached — errors, sheds, and
+// timeouts always re-execute.
+
+// cacheShardCount is the fixed number of LRU shards. 16 keeps lock
+// contention negligible at the serving layer's admission-bounded
+// concurrency while wasting at most 15 partially-filled tails.
+const cacheShardCount = 16
+
+// cacheItemOverhead approximates the per-item bookkeeping bytes beyond
+// the body itself (key, list pointers, map bucket share), charged against
+// the byte budget so cache_bytes tracks real memory, not just payload.
+const cacheItemOverhead = 160
+
+// cacheItem is one cached response in a shard's LRU list.
+type cacheItem struct {
+	key        flightKey
+	body       []byte
+	size       int64
+	prev, next *cacheItem
+}
+
+// cacheShard is one LRU partition: a map for lookup and an intrusive
+// doubly-linked list ordered most- to least-recently used.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[flightKey]*cacheItem // guarded by mu
+	head  *cacheItem               // guarded by mu; most recently used
+	tail  *cacheItem               // guarded by mu; least recently used, next eviction victim
+	bytes int64                    // guarded by mu
+}
+
+// resultCache is the server-wide bounded response cache.
+type resultCache struct {
+	shardCap int64 // byte budget per shard
+	shards   [cacheShardCount]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64 // current total across shards
+}
+
+// newResultCache returns a cache bounded to roughly capacity bytes
+// (bodies + per-item overhead), split evenly across the shards.
+func newResultCache(capacity int64) *resultCache {
+	c := &resultCache{shardCap: capacity / cacheShardCount}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.items = make(map[flightKey]*cacheItem)
+		sh.mu.Unlock()
+	}
+	return c
+}
+
+// capacity reports the total byte budget.
+func (c *resultCache) capacity() int64 { return c.shardCap * cacheShardCount }
+
+// shardOf hashes the key onto a shard. The entry pointer is deliberately
+// left out (pointers don't hash portably without unsafe); generation and
+// range bits alone spread keys well, and correctness never depends on the
+// shard choice — only key equality does.
+func (c *resultCache) shardOf(key flightKey) *cacheShard {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, v := range [4]uint64{
+		key.gen,
+		math.Float64bits(key.lo),
+		math.Float64bits(key.hi),
+		math.Float64bits(key.epsRel),
+	} {
+		h ^= v
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return &c.shards[h%cacheShardCount]
+}
+
+// get returns the cached body for key, marking it most recently used.
+// The returned slice is shared and must not be mutated (response bodies
+// never are — writeRaw only reads).
+func (c *resultCache) get(key flightKey) ([]byte, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	it, ok := sh.items[key]
+	if ok {
+		sh.moveToFront(it)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return it.body, true
+}
+
+// put stores a 200 body under key, evicting least-recently-used items
+// until the shard fits its budget again. Bodies too large for a whole
+// shard are not cached at all. The entry's cache-byte gauge moves with
+// every insert and eviction so per-index stats stay accurate.
+func (c *resultCache) put(key flightKey, body []byte) {
+	size := int64(len(body)) + cacheItemOverhead
+	if size > c.shardCap {
+		return
+	}
+	sh := c.shardOf(key)
+	var freed []*cacheItem
+	sh.mu.Lock()
+	if old, ok := sh.items[key]; ok {
+		// A follower that timed out and retried after the generation moved
+		// back, or a re-population race: replace in place.
+		sh.unlink(old)
+		delete(sh.items, key)
+		sh.bytes -= old.size
+		freed = append(freed, old)
+	}
+	it := &cacheItem{key: key, body: body, size: size}
+	sh.items[key] = it
+	sh.pushFront(it)
+	sh.bytes += size
+	for sh.bytes > c.shardCap && sh.tail != nil {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.items, victim.key)
+		sh.bytes -= victim.size
+		freed = append(freed, victim)
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+	delta := size
+	for _, v := range freed {
+		delta -= v.size
+		v.key.e.cacheBytes.Add(-v.size)
+	}
+	c.bytes.Add(delta)
+	key.e.cacheBytes.Add(size)
+}
+
+// purgeEntry drops every cached body belonging to e — called when an
+// index is deleted or replaced by a restore, so retired entries release
+// their share of the byte budget immediately instead of aging out.
+func (c *resultCache) purgeEntry(e *entry) {
+	var total int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, it := range sh.items {
+			if key.e != e {
+				continue
+			}
+			sh.unlink(it)
+			delete(sh.items, key)
+			sh.bytes -= it.size
+			total += it.size
+		}
+		sh.mu.Unlock()
+	}
+	if total != 0 {
+		c.bytes.Add(-total)
+		e.cacheBytes.Add(-total)
+	}
+}
+
+// --- intrusive LRU list ----------------------------------------------------
+
+// pushFront links it as most recently used; callers hold mu.
+func (sh *cacheShard) pushFront(it *cacheItem) {
+	it.prev = nil
+	it.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = it
+	}
+	sh.head = it
+	if sh.tail == nil {
+		sh.tail = it
+	}
+}
+
+// unlink removes it from the LRU list; callers hold mu.
+func (sh *cacheShard) unlink(it *cacheItem) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		sh.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		sh.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+}
+
+// moveToFront marks it most recently used; callers hold mu.
+func (sh *cacheShard) moveToFront(it *cacheItem) {
+	if sh.head == it {
+		return
+	}
+	sh.unlink(it)
+	sh.pushFront(it)
+}

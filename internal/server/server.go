@@ -105,6 +105,13 @@ type entry struct {
 	// guarantee while degraded.
 	persistErrors atomic.Int64
 	nonDurable    atomic.Int64
+
+	// Result-cache accounting for this index (always zero on servers with
+	// the cache disabled): hits and misses against this entry's cached
+	// bodies, and the bytes they currently occupy (see cache.go).
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheBytes  atomic.Int64
 }
 
 // newEntry wraps an index, discovering its optional capabilities once.
@@ -137,15 +144,22 @@ type Server struct {
 	walAppended      atomic.Int64
 	recovery         RecoverySummary
 
-	// Overload control (see admission.go) and request-lifecycle state.
+	// Overload control (see admission.go), result cache (cache.go), and
+	// batched admission (batcher.go), plus request-lifecycle state.
 	adm            *admission
 	flight         flightGroup
+	cache          *resultCache // nil when Config.CacheBytes == 0 (cache off)
+	batcher        queryBatcher
 	defaultTimeout time.Duration
 	draining       atomic.Bool  // Drain/Close called: new requests get 503
 	httpInFlight   atomic.Int64 // requests currently inside ServeHTTP
 	coalesced      atomic.Int64 // queries answered from another query's flight
 	coalesceWait   atomic.Int64 // gauge: followers blocked on a leader right now
-	timedOut       atomic.Int64 // queries cut off by deadline or client cancel
+	timedOut       atomic.Int64 // queries that ran out of deadline (504)
+	canceled       atomic.Int64 // queries abandoned by client disconnect (499)
+	executed       atomic.Int64 // index traversals: solo queries, batches, group sweeps
+	batchedGroups  atomic.Int64 // queued point-query groups executed as one sweep
+	batchedQueries atomic.Int64 // point queries claimed by a group sweep
 	panics         atomic.Int64 // handler panics recovered to a 500
 	persistErrors  atomic.Int64 // failed persistence operations, server-wide
 	nonDurableIns  atomic.Int64 // inserts acknowledged durable:false, server-wide
@@ -287,6 +301,13 @@ type StatsResponse struct {
 	PersistDegraded   bool  `json:"persist_degraded,omitempty"`
 	PersistErrors     int64 `json:"persist_errors,omitempty"`
 	NonDurableInserts int64 `json:"non_durable_inserts,omitempty"`
+
+	// Result-cache counters (only on servers with Config.CacheBytes > 0):
+	// hits and misses against this index's cached responses, and the bytes
+	// they currently occupy in the shared cache budget.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+	CacheBytes  int64 `json:"cache_bytes,omitempty"`
 }
 
 // ShardStats is one shard's row in a sharded index's StatsResponse.
@@ -540,6 +561,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	var dropErr error
 	if ok {
 		dropErr = s.dropPersisted(name, e)
+		if s.cache != nil {
+			// Release the dead entry's cached bodies now instead of letting
+			// them squat on the byte budget until they age out (the entry
+			// pointer in the key already makes them unreachable).
+			s.cache.purgeEntry(e)
+		}
 	}
 	s.adminMu.Unlock()
 	if !ok {
@@ -567,21 +594,42 @@ func (s *Server) queryContext(r *http.Request, timeoutMS int64) (context.Context
 	return context.WithTimeout(r.Context(), d)
 }
 
+// statusClientClosedRequest is the nginx-convention status for a request
+// whose client disconnected before the response was ready. net/http has
+// no named constant for it.
+const statusClientClosedRequest = 499
+
+// cancelFailure maps a dead query context to a response, distinguishing
+// the two ways it dies: the deadline genuinely expired (504, counted in
+// timed_out) versus the client hung up first (499, counted in
+// canceled_queries). Folding disconnects into timed_out would inflate
+// the timeout signal operators alert on — a disconnect storm is a client
+// problem, an expiry storm is a serving-latency problem.
+func (s *Server) cancelFailure(err error, during string) (int, []byte) {
+	if errors.Is(err, context.Canceled) {
+		s.canceled.Add(1)
+		return jsonBody(statusClientClosedRequest,
+			errorResponse{Error: fmt.Sprintf("client closed request %s: %v", during, err)})
+	}
+	s.timedOut.Add(1)
+	return jsonBody(http.StatusGatewayTimeout,
+		errorResponse{Error: fmt.Sprintf("query deadline expired %s: %v", during, err)})
+}
+
 // admissionFailure maps an acquire error to a response: shed → 429 (the
-// Retry-After header is added by writeRaw), deadline-while-queued → 504.
+// Retry-After header is added by writeRaw), context death while queued →
+// 504 or 499 per cancelFailure.
 func (s *Server) admissionFailure(err error) (int, []byte) {
 	if errors.Is(err, errShed) {
 		return jsonBody(http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	}
-	s.timedOut.Add(1)
-	return jsonBody(http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("query deadline expired while queued: %v", err)})
+	return s.cancelFailure(err, "while queued")
 }
 
 // queryFailure maps a query-execution error to a response body.
 func (s *Server) queryFailure(err error) (int, []byte) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		s.timedOut.Add(1)
-		return jsonBody(http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("query abandoned: %v", err)})
+		return s.cancelFailure(err, "during execution")
 	}
 	return jsonBody(queryErrStatus(err), errorResponse{Error: err.Error()})
 }
@@ -602,23 +650,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r, req.TimeoutMS)
 	defer cancel()
-	// Coalesce identical concurrent queries: the generation in the key is
-	// read before joining, so a query that arrives after an insert never
-	// shares a pre-insert flight. Only the leader consumes an admission
-	// slot; followers repeat its bytes.
+	// The query path is cache → coalesce → admit → execute. The flight key
+	// doubles as the cache key: the generation in it is read before any of
+	// the three stages, so a query that arrives after an insert never
+	// shares a pre-insert flight — and never hits a pre-insert cache line.
 	key := flightKey{e: e, gen: generationOf(e), lo: req.Lo, hi: req.Hi, epsRel: req.EpsRel}
-	status, body, leader := s.flight.do(key, &s.coalesceWait, func() (int, []byte) {
-		if err := s.adm.acquire(ctx); err != nil {
-			return s.admissionFailure(err)
+	if s.cache != nil {
+		if body, ok := s.cache.get(key); ok {
+			e.cacheHits.Add(1)
+			writeRaw(w, http.StatusOK, body)
+			return
 		}
-		defer s.adm.release()
-		if testHookQueryDelay != nil {
-			testHookQueryDelay()
-		}
-		return s.execQuery(ctx, e, req)
+		e.cacheMisses.Add(1)
+	}
+	// Coalesce identical concurrent queries. Only the leader proceeds to
+	// admission; followers repeat its bytes — or abandon the wait when
+	// their own context dies first (ferr), which is their deadline, not
+	// the leader's.
+	status, body, leader, ferr := s.flight.do(ctx, key, &s.coalesceWait, func() (int, []byte) {
+		return s.pointQuery(ctx, e, req, key)
 	})
+	if ferr != nil {
+		status, body = s.cancelFailure(ferr, "waiting on a coalesced query")
+		writeRaw(w, status, body)
+		return
+	}
 	if !leader {
 		s.coalesced.Add(1)
+	}
+	if leader && status == http.StatusOK && s.cache != nil {
+		s.cache.put(key, body)
 	}
 	writeRaw(w, status, body)
 }
@@ -628,6 +689,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // does). The marshalled body — not the decoded struct — is what coalesced
 // followers share, so identical queries return bitwise-identical bytes.
 func (s *Server) execQuery(ctx context.Context, e *entry, req QueryRequest) (int, []byte) {
+	s.executed.Add(1)
 	r2 := polyfit.Range{Lo: req.Lo, Hi: req.Hi}
 	var res polyfit.Result
 	var err error
@@ -670,13 +732,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release()
-	if testHookQueryDelay != nil {
-		testHookQueryDelay()
-	}
+	runQueryDelayHooks(ctx)
 	ranges := make([]polyfit.Range, len(req.Ranges))
 	for i, rr := range req.Ranges {
 		ranges[i] = polyfit.Range{Lo: rr.Lo, Hi: rr.Hi}
 	}
+	s.executed.Add(1)
 	var results []polyfit.Result
 	var err error
 	if cq, ok := e.ix.(polyfit.ContextQuerier); ok {
@@ -885,6 +946,11 @@ func (s *Server) statsOf(name string, e *entry) StatsResponse {
 			}
 			out.ShardStats = append(out.ShardStats, row)
 		}
+	}
+	if s.cache != nil {
+		out.CacheHits = e.cacheHits.Load()
+		out.CacheMisses = e.cacheMisses.Load()
+		out.CacheBytes = e.cacheBytes.Load()
 	}
 	if s.store != nil {
 		out.Durable = true
