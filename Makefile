@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race bench bench-smoke benchdiff crashtest chaos cover oracle apicheck lint fmt vet
+.PHONY: test race bench bench-smoke benchdiff crashtest chaos cluster cover oracle apicheck lint fmt vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -9,9 +9,9 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark snapshot: runs the core performance probes and writes
-# BENCH_PR9.json (see cmd/polyfit-bench). Pass BASELINE=path to embed a
+# BENCH_PR10.json (see cmd/polyfit-bench). Pass BASELINE=path to embed a
 # previous snapshot for a before/after pair.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 BASELINE ?=
 bench:
 	$(GO) run ./cmd/polyfit-bench -out $(BENCH_OUT) $(if $(BASELINE),-baseline $(BASELINE))
@@ -24,7 +24,7 @@ bench-smoke:
 # the committed baseline snapshot with the in-repo comparator (see
 # cmd/benchdiff — offline-friendly stand-in for benchstat, same delta
 # table). Report-only: quick runs are too noisy to gate on.
-BENCH_BASE ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR10.json
 benchdiff:
 	$(GO) run ./cmd/polyfit-bench -quick -out /tmp/bench-head.json
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASE) -new /tmp/bench-head.json
@@ -43,6 +43,16 @@ crashtest:
 # inserts are lost across SIGKILL + recovery.
 chaos:
 	$(GO) run ./cmd/polyfit-crashtest -chaos
+
+# Replicated-tier scenario: durable leader + two -join followers + -route
+# router as four separate processes. Streams single-writer inserts through
+# the router, SIGKILLs a follower and then the leader, restarts each, and
+# asserts continuous router availability (every read answers 200 with any
+# single node down), zero durable-acknowledged-insert loss across the
+# leader kill, mid-stream follower rejoin, and byte-identical follower
+# answers at the acked watermark.
+cluster:
+	$(GO) run ./cmd/polyfit-crashtest -cluster
 
 # Per-package coverage floor for the accuracy-critical packages
 # (internal/core, internal/segment, internal/server fail under 75%).

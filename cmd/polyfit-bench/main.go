@@ -53,6 +53,7 @@ import (
 	"time"
 
 	polyfit "repro"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/minimax"
@@ -92,6 +93,16 @@ type LoadPoint struct {
 	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 	BatchedQueries int64   `json:"batched_queries,omitempty"`
 	BatchedGroups  int64   `json:"batched_groups,omitempty"`
+
+	// Cluster sweep extras (zero unless the point ran through the
+	// replication router): replica count behind the router, hedge counters
+	// over the window, and follower staleness quantiles sampled while the
+	// point ran (only the churn row samples them).
+	Replicas       int     `json:"replicas,omitempty"`
+	HedgedRequests int64   `json:"hedged_requests,omitempty"`
+	HedgeWins      int64   `json:"hedge_wins,omitempty"`
+	StalenessP50MS float64 `json:"staleness_p50_ms,omitempty"`
+	StalenessMaxMS float64 `json:"staleness_max_ms,omitempty"`
 }
 
 // Snapshot is the file format.
@@ -601,7 +612,182 @@ func runLoad(quick bool, dur time.Duration) []LoadPoint {
 	}
 
 	points = append(points, runRepeatLoad(keys, qs, dur)...)
+	points = append(points, runClusterLoad(keys, qs, dur)...)
 	return points
+}
+
+// runClusterLoad is the replicated-tier sweep: an in-process leader, two
+// WAL-streaming followers, and the hedged scatter-gather router (see
+// internal/cluster), all over real HTTP. The rows pin what replication
+// buys and costs: read latency through the router with 1 replica vs 3,
+// hedged vs unhedged tail latency over the same 3 replicas, and how stale
+// the followers actually run while a single-writer insert churn streams
+// at the leader.
+func runClusterLoad(keys []float64, qs []data.RangeQuery, dur time.Duration) []LoadPoint {
+	bodies := make([][]byte, len(qs))
+	for i, q := range qs {
+		bodies[i] = fmt.Appendf(nil, `{"lo":%g,"hi":%g}`, q.L, q.U)
+	}
+
+	// Durable leader: followers join from its snapshot and stream its WALs.
+	dir, err := os.MkdirTemp("", "polyfit-bench-cluster-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	leader, err := server.NewDurable(server.Config{
+		DataDir:          dir,
+		SnapshotInterval: -1,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lts := httptest.NewServer(leader)
+	defer func() { lts.Close(); leader.Close() }() //nolint:errcheck
+	if _, err := leader.Create(server.CreateRequest{
+		Name: "bench", Agg: "count", Keys: keys, EpsAbs: 100, Dynamic: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	var fts []*httptest.Server
+	for i := 0; i < 2; i++ {
+		f, err := server.NewDurable(server.Config{
+			Join:             lts.URL,
+			ReplPollInterval: 2 * time.Millisecond,
+			ReplWait:         50 * time.Millisecond,
+			SnapshotInterval: -1,
+			Logf:             func(string, ...any) {},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(f)
+		defer func() { ts.Close(); f.Close() }() //nolint:errcheck
+		fts = append(fts, ts)
+	}
+	// Let both followers finish their initial snapshot join before any row
+	// measures: a router read served mid-join would measure the join, not
+	// the steady state.
+	for _, ts := range fts {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			st := fetchServerStats(ts.Client(), ts.URL)
+			if len(st.AckWatermark) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("follower %s never joined", ts.URL)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	routed := func(name string, replicas []string, hedge time.Duration, workers int, churn bool) LoadPoint {
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Replicas:      replicas,
+			HedgeDelay:    hedge,
+			ProbeInterval: 20 * time.Millisecond,
+			Logf:          func(string, ...any) {},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rts := httptest.NewServer(rt)
+		defer func() { rts.Close(); rt.Close() }()
+		client := rts.Client()
+		if tr, ok := client.Transport.(*http.Transport); ok {
+			tr.MaxIdleConns = 512
+			tr.MaxIdleConnsPerHost = 512
+		}
+
+		// Churn rows run a single-writer insert stream at the leader (the
+		// replication determinism contract wants exactly one writer) and
+		// sample the followers' reported staleness while the queries run.
+		stopChurn := make(chan struct{})
+		var churnWG sync.WaitGroup
+		staleCh := make(chan []float64, 1)
+		if churn {
+			churnWG.Add(1)
+			go func() {
+				defer churnWG.Done()
+				lc := lts.Client()
+				for i := 0; ; i++ {
+					select {
+					case <-stopChurn:
+						return
+					default:
+					}
+					body := fmt.Appendf(nil, `{"records":[{"key":%g,"measure":1}]}`, 9e9+float64(i))
+					resp, err := lc.Post(lts.URL+"/v1/indexes/bench/insert", "application/json",
+						bytes.NewReader(body))
+					if err != nil {
+						continue
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()              //nolint:errcheck
+				}
+			}()
+			churnWG.Add(1)
+			go func() {
+				defer churnWG.Done()
+				var samples []float64
+				tick := time.NewTicker(10 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopChurn:
+						staleCh <- samples
+						return
+					case <-tick.C:
+						for _, ts := range fts {
+							st := fetchServerStats(ts.Client(), ts.URL)
+							samples = append(samples, float64(st.StalenessMS))
+						}
+					}
+				}
+			}()
+		}
+
+		p := runLoadPoint(client, name, rts.URL+"/v1/indexes/bench/query", bodies, workers, dur)
+		if churn {
+			close(stopChurn)
+			churnWG.Wait()
+			samples := <-staleCh
+			sort.Float64s(samples)
+			p.StalenessP50MS = percentile(samples, 50)
+			p.StalenessMaxMS = percentile(samples, 100)
+		}
+		p.Replicas = len(replicas)
+
+		var rst struct {
+			HedgedRequests int64 `json:"hedged_requests"`
+			HedgeWins      int64 `json:"hedge_wins"`
+		}
+		resp, err := client.Get(rts.URL + "/v1/stats")
+		if err != nil {
+			log.Fatalf("router stats: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rst); err != nil {
+			log.Fatalf("decode router stats: %v", err)
+		}
+		resp.Body.Close() //nolint:errcheck
+		p.HedgedRequests = rst.HedgedRequests
+		p.HedgeWins = rst.HedgeWins
+		fmt.Printf("%-32s %10.0f q/s  p50 %8.1fµs  p99 %8.1fµs  hedged %d (won %d)  staleness p50 %.0fms max %.0fms\n",
+			p.Name, p.Throughput, p.P50us, p.P99us, p.HedgedRequests, p.HedgeWins,
+			p.StalenessP50MS, p.StalenessMaxMS)
+		return p
+	}
+
+	all := []string{lts.URL, fts[0].URL, fts[1].URL}
+	return []LoadPoint{
+		routed("cluster/router_1replica", []string{lts.URL}, 2*time.Millisecond, 16, false),
+		routed("cluster/router_3replicas_hedged", all, 2*time.Millisecond, 16, false),
+		routed("cluster/router_3replicas_unhedged", all, -1, 16, false),
+		routed("cluster/staleness_under_churn", all, 2*time.Millisecond, 16, true),
+	}
 }
 
 // runRepeatLoad is the repeat-heavy sweep: workers draw from the same 1024

@@ -13,12 +13,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	polyfit "repro"
 	"repro/internal/data"
+	"repro/internal/persist"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "wal":
+		err = runWAL(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -45,10 +49,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `polyfit-cli <build|stats|query> [flags]
+	fmt.Fprintln(os.Stderr, `polyfit-cli <build|stats|query|wal> [flags]
   build: -in data.csv -agg count|sum|min|max -eps E [-degree D] [-shards K] -out idx.pfi
   stats: -index idx.pfi
-  query: -index idx.pfi -l L -u U  (or ad hoc: -in data.csv -agg A -eps E -l L -u U)`)
+  query: -index idx.pfi -l L -u U  (or ad hoc: -in data.csv -agg A -eps E -l L -u U)
+  wal:   -file data/<index>.wal [-tail N] [-json]  (inspect a write-ahead log)`)
 }
 
 // aggOf parses the command-line aggregate name.
@@ -196,5 +201,61 @@ func runQuery(args []string) error {
 	}
 	st := ix.Stats()
 	fmt.Printf("%v over (%g, %g] ≈ %g ± %g (certified bound)\n", st.Aggregate, *l, *u, res.Value, res.Bound)
+	return nil
+}
+
+// runWAL inspects a write-ahead log file: header validity, intact record
+// count, torn tail bytes, and the last few records with their sequence
+// numbers relative to the file start (the replication stream offsets are
+// this numbering plus the leader's truncated-away origin).
+func runWAL(args []string) error {
+	fs := flag.NewFlagSet("wal", flag.ExitOnError)
+	file := fs.String("file", "", "WAL file to inspect (e.g. data/<index>.wal)")
+	tail := fs.Int("tail", 10, "records to print from the end (0 = none, -1 = all)")
+	asJSON := fs.Bool("json", false, "machine-readable output")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("wal: need -file")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	recs, torn, err := persist.DecodeWALFile(data)
+	if err != nil {
+		return fmt.Errorf("wal %s: %w", *file, err)
+	}
+	first := 0
+	if *tail >= 0 && len(recs) > *tail {
+		first = len(recs) - *tail
+	}
+	if *asJSON {
+		type walRecord struct {
+			Seq     int     `json:"seq"`
+			Key     float64 `json:"key"`
+			Measure float64 `json:"measure"`
+		}
+		out := struct {
+			File      string      `json:"file"`
+			Bytes     int         `json:"bytes"`
+			Records   int         `json:"records"`
+			TornBytes int         `json:"torn_bytes"`
+			Tail      []walRecord `json:"tail,omitempty"`
+		}{File: *file, Bytes: len(data), Records: len(recs), TornBytes: torn}
+		for i := first; i < len(recs); i++ {
+			out.Tail = append(out.Tail, walRecord{Seq: i, Key: recs[i].Key, Measure: recs[i].Measure})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&out)
+	}
+	fmt.Printf("%s: %d bytes, %d records", *file, len(data), len(recs))
+	if torn > 0 {
+		fmt.Printf(", %d torn trailing bytes (dropped on recovery)", torn)
+	}
+	fmt.Println()
+	for i := first; i < len(recs); i++ {
+		fmt.Printf("  [%d] key=%g measure=%g\n", i, recs[i].Key, recs[i].Measure)
+	}
 	return nil
 }

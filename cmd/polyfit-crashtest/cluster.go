@@ -1,0 +1,308 @@
+package main
+
+// Cluster mode (`make cluster`): a three-node replicated tier — durable
+// leader, two in-memory followers — behind the hedged scatter-gather
+// router, driven through kill -9 of a follower and of the leader. The
+// assertions mirror the replication tier's contract:
+//
+//   - availability: queries through the router answer 200 during both
+//     kills (the hedge/failover path absorbs the dead replica; no 5xx
+//     burst beyond the in-flight attempt that discovers the corpse);
+//   - durability: after the leader is SIGKILLed and restarted over its
+//     data dir, every insert the router acknowledged durable:true is
+//     present — replication must not weaken the single-node guarantee;
+//   - convergence: a follower killed and restarted rejoins mid-stream,
+//     and once the followers report the leader's end sequences their
+//     query responses are byte-identical to the leader's;
+//   - write fencing: followers answer writes 409 with the leader's URL
+//     in X-Polyfit-Leader.
+//
+// The insert stream runs from a single goroutine: the determinism
+// contract (follower state = snapshot + record stream) pins the
+// leader's WAL order to its apply order only when one writer drives the
+// index — exactly how the replication protocol is meant to be used.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+func startFollower(bin, addr, leaderURL string) *exec.Cmd {
+	cmd := exec.Command(bin, "-addr", addr, "-join", leaderURL)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	must(cmd.Start(), "start follower")
+	return cmd
+}
+
+func startRouter(bin, addr, replicas string) *exec.Cmd {
+	cmd := exec.Command(bin, "-addr", addr, "-route", replicas,
+		"-probe-interval", "50ms", "-hedge-delay", "2ms")
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	must(cmd.Start(), "start router")
+	return cmd
+}
+
+// dropIdleConns discards the default client's pooled keep-alive
+// connections: after a kill -9 and a rebind of the same address, a pooled
+// connection to the old process answers the next request with EOF.
+func dropIdleConns() {
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// clusterStatus is the slice of GET /v1/cluster/status the harness reads.
+type clusterStatus struct {
+	Epoch   int64 `json:"epoch"`
+	Indexes []struct {
+		Name string  `json:"name"`
+		Seqs []int64 `json:"seqs"`
+	} `json:"indexes"`
+}
+
+// followerStats is the slice of a follower's GET /v1/stats the harness
+// reads.
+type followerStats struct {
+	Role         string             `json:"role"`
+	StalenessMS  int64              `json:"staleness_ms"`
+	AckWatermark map[string][]int64 `json:"ack_watermark"`
+}
+
+// waitCaughtUp blocks until the follower's applied watermark reaches the
+// leader's end sequences for index name.
+func waitCaughtUp(leaderURL, followerURL, name string) {
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		var ls clusterStatus
+		getJSON(leaderURL+"/v1/cluster/status", &ls)
+		var fs followerStats
+		getJSON(followerURL+"/v1/stats", &fs)
+		for _, ix := range ls.Indexes {
+			if ix.Name != name {
+				continue
+			}
+			wm, ok := fs.AckWatermark[name]
+			if ok && len(wm) == len(ix.Seqs) {
+				caught := true
+				for i := range wm {
+					if wm[i] < ix.Seqs[i] {
+						caught = false
+					}
+				}
+				if caught {
+					return
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	log.Fatalf("follower %s never caught up with %s on %q", followerURL, leaderURL, name)
+}
+
+// rawQueryBytes returns the raw response body of a query — the unit of the
+// bitwise-identity comparison between leader and follower.
+func rawQueryBytes(base, name, body string) []byte {
+	resp, err := http.Post(base+"/v1/indexes/"+name+"/query", "application/json",
+		bytes.NewReader([]byte(body)))
+	must(err, "query "+base)
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	must(err, "read query "+base)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("query %s on %s: %d %s", body, base, resp.StatusCode, payload)
+	}
+	return payload
+}
+
+// assertAvailability runs qn queries through the router and requires every
+// one to answer 200 — the hedge/failover path must absorb a dead replica
+// without surfacing errors to clients.
+func assertAvailability(routerURL, phase string, qn int) {
+	for i := 0; i < qn; i++ {
+		raw, _ := json.Marshal(map[string]any{"lo": 0.0, "hi": 1e12})
+		resp, err := http.Post(routerURL+"/v1/indexes/crash/query", "application/json",
+			bytes.NewReader(raw))
+		must(err, "router query ("+phase+")")
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("FAIL: router query %d/%d during %s: %d %s", i+1, qn, phase, resp.StatusCode, body)
+		}
+	}
+}
+
+func runCluster(bin, scratch string, n int) {
+	dataDir := filepath.Join(scratch, "cluster-data")
+	leaderAddr, f1Addr, f2Addr, routerAddr := freeAddr(), freeAddr(), freeAddr(), freeAddr()
+	leaderURL := "http://" + leaderAddr
+	f1URL, f2URL := "http://"+f1Addr, "http://"+f2Addr
+	routerURL := "http://" + routerAddr
+	replicas := leaderURL + "," + f1URL + "," + f2URL
+
+	leader := start(bin, leaderAddr, dataDir)
+	defer func() { leader.Process.Kill(); leader.Wait() }() //nolint:errcheck
+	waitHealthy(leaderURL)
+	f1 := startFollower(bin, f1Addr, leaderURL)
+	defer func() { f1.Process.Kill(); f1.Wait() }() //nolint:errcheck
+	f2 := startFollower(bin, f2Addr, leaderURL)
+	defer func() { f2.Process.Kill(); f2.Wait() }() //nolint:errcheck
+	waitHealthy(f1URL)
+	waitHealthy(f2URL)
+	router := startRouter(bin, routerAddr, replicas)
+	defer func() { router.Process.Kill(); router.Wait() }() //nolint:errcheck
+	waitHealthy(routerURL)
+
+	// The create goes through the router: a write, forwarded to the leader.
+	post(routerURL, "/v1/indexes", map[string]any{
+		"name": "crash", "agg": "count", "dynamic": true,
+		"keys": seq(0, 5000), "eps_abs": 100,
+	})
+
+	// Single-writer insert stream through the router. Only responses
+	// acknowledged durable:true count as acked; anything else is retried
+	// (idempotently — a duplicate rejection means the key is in).
+	acked := make([]float64, 0, n)
+	nextKey := 1e7
+	insertOne := func(phase string) {
+		k := nextKey
+		nextKey++
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			var resp insertResponse
+			code := postStatus(routerURL, "/v1/indexes/crash/insert",
+				map[string]any{"records": []record{{Key: k, Measure: 1}}}, &resp)
+			if code == http.StatusOK && resp.Inserted == 1 {
+				if !resp.Durable {
+					log.Fatalf("insert %g during %s: accepted but not durable", k, phase)
+				}
+				acked = append(acked, k)
+				return
+			}
+			if code == http.StatusOK {
+				// Duplicate from a retried ambiguous attempt: present, and
+				// its first (lost) response was the durable one.
+				acked = append(acked, k)
+				return
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("insert %g during %s: status %d, never acknowledged", k, phase, code)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	third := n / 3
+	for i := 0; i < third; i++ {
+		insertOne("steady state")
+	}
+	assertAvailability(routerURL, "steady state", 30)
+	waitCaughtUp(leaderURL, f1URL, "crash")
+	waitCaughtUp(leaderURL, f2URL, "crash")
+
+	// Write fencing: a follower refuses writes and names the leader.
+	raw, _ := json.Marshal(map[string]any{"records": []record{{Key: 5, Measure: 1}}})
+	resp, err := http.Post(f1URL+"/v1/indexes/crash/insert", "application/json", bytes.NewReader(raw))
+	must(err, "follower insert probe")
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get("X-Polyfit-Leader") != leaderURL {
+		log.Fatalf("FAIL: follower write fencing: status %d, leader hint %q",
+			resp.StatusCode, resp.Header.Get("X-Polyfit-Leader"))
+	}
+	log.Printf("phase 1 ok: %d inserts acked, followers caught up, writes fenced", len(acked))
+
+	// Phase 2: kill -9 a follower mid-stream. The router must stay fully
+	// available, and the restarted follower must rejoin mid-stream.
+	must(f1.Process.Kill(), "kill follower")
+	f1.Wait() //nolint:errcheck
+	dropIdleConns()
+	assertAvailability(routerURL, "follower down", 30)
+	for i := 0; i < third; i++ {
+		insertOne("follower down")
+	}
+	f1 = startFollower(bin, f1Addr, leaderURL)
+	defer func() { f1.Process.Kill(); f1.Wait() }() //nolint:errcheck
+	waitHealthy(f1URL)
+	waitCaughtUp(leaderURL, f1URL, "crash")
+	log.Printf("phase 2 ok: follower survived kill -9 and rejoined mid-stream (%d acked)", len(acked))
+
+	// Phase 3: kill -9 the leader. Reads keep answering from the
+	// followers; the restarted leader must hold every acked insert.
+	must(leader.Process.Kill(), "kill leader")
+	leader.Wait() //nolint:errcheck
+	dropIdleConns()
+	assertAvailability(routerURL, "leader down", 30)
+	leader = start(bin, leaderAddr, dataDir)
+	defer func() { leader.Process.Kill(); leader.Wait() }() //nolint:errcheck
+	waitHealthy(leaderURL)
+	dropIdleConns()
+	for i := 0; i < n-2*third; i++ {
+		insertOne("leader restarted")
+	}
+	waitCaughtUp(leaderURL, f1URL, "crash")
+	waitCaughtUp(leaderURL, f2URL, "crash")
+	log.Printf("phase 3 ok: leader survived kill -9, inserts resumed (%d acked)", len(acked))
+
+	// Zero durable-acknowledged-insert loss, verified on the leader with
+	// the exact-fallback probe (width-0.5 window holds exactly one key).
+	lost := 0
+	for _, k := range acked {
+		var q queryResponse
+		postJSON(leaderURL, "/v1/indexes/crash/query",
+			map[string]any{"lo": k - 0.5, "hi": k, "eps_rel": 0.01}, &q)
+		if !q.Exact || q.Value != 1 {
+			lost++
+			if lost <= 5 {
+				log.Printf("LOST acknowledged insert %g (exact=%v value=%g)", k, q.Exact, q.Value)
+			}
+		}
+	}
+	if lost > 0 {
+		log.Fatalf("FAIL: %d/%d acknowledged inserts lost across leader kill -9", lost, len(acked))
+	}
+
+	// Bitwise identity at the acked watermark: the followers report the
+	// leader's end sequences, so their answers must be byte-identical.
+	for _, body := range []string{
+		`{"lo":0,"hi":1e12}`,
+		fmt.Sprintf(`{"lo":%g,"hi":%g}`, 1e7-0.5, nextKey-1),
+		`{"lo":100,"hi":4000,"eps_rel":0.05}`,
+	} {
+		want := rawQueryBytes(leaderURL, "crash", body)
+		for _, fURL := range []string{f1URL, f2URL} {
+			if got := rawQueryBytes(fURL, "crash", body); !bytes.Equal(got, want) {
+				log.Fatalf("FAIL: follower %s answers %s with %s, leader %s", fURL, body, got, want)
+			}
+		}
+	}
+
+	var rst struct {
+		Role           string `json:"role"`
+		HedgedRequests int64  `json:"hedged_requests"`
+		HedgeWins      int64  `json:"hedge_wins"`
+		Replicas       []struct {
+			Healthy bool `json:"healthy"`
+		} `json:"replicas"`
+	}
+	getJSON(routerURL+"/v1/stats", &rst)
+	healthy := 0
+	for _, r := range rst.Replicas {
+		if r.Healthy {
+			healthy++
+		}
+	}
+	if rst.Role != "router" || healthy != 3 {
+		log.Fatalf("FAIL: router stats after recovery: role=%q healthy=%d/3", rst.Role, healthy)
+	}
+	log.Printf("PASS: cluster survived follower and leader kill -9 with zero acked-insert loss; "+
+		"%d acked, followers byte-identical at watermark, router hedged %d requests (%d hedge wins)",
+		len(acked), rst.HedgedRequests, rst.HedgeWins)
+}

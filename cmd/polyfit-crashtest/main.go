@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/polyfit-crashtest [-n 400] [-keep] [-serve-bin PATH] [-chaos]
+//	go run ./cmd/polyfit-crashtest [-n 400] [-keep] [-serve-bin PATH] [-chaos] [-cluster]
 //
 // With -chaos it additionally runs the fault-injection matrix (`make
 // chaos`): for each seeded faultfs schedule — failed writes, short writes,
@@ -20,6 +20,16 @@
 // and after a SIGKILL and a faultless restart every insert acknowledged
 // durable:true must be present. The schedules are deterministic: the same
 // seeds fail the same operations on every run.
+//
+// With -cluster it runs the replicated-tier scenario (`make cluster`)
+// instead: a durable leader, two -join followers, and a -route router as
+// four separate processes. A single-writer insert stream runs through the
+// router while a follower and then the leader are SIGKILLed and
+// restarted. The run fails if the router ever answers a read with a
+// non-200 while any single node is down, if any durable-acknowledged
+// insert is missing after the leader restart, or if a follower that
+// reports the leader's watermark answers a query with different bytes
+// than the leader.
 //
 // Exit status 0 means every acknowledged insert survived.
 package main
@@ -60,6 +70,7 @@ func main() {
 	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
 	serveBin := flag.String("serve-bin", "", "prebuilt polyfit-serve binary (default: build it)")
 	chaos := flag.Bool("chaos", false, "run the fault-injection matrix instead of the plain crash test")
+	clusterMode := flag.Bool("cluster", false, "run the replicated-tier scenario (leader + 2 followers + router, kill -9 of each role) instead of the plain crash test")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -83,6 +94,10 @@ func main() {
 
 	if *chaos {
 		runChaos(bin, scratch, *n)
+		return
+	}
+	if *clusterMode {
+		runCluster(bin, scratch, *n)
 		return
 	}
 

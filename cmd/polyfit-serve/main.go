@@ -11,6 +11,8 @@
 //
 //	polyfit-serve [-addr :8080] [-demo 200000] [-demo-shards K] [-data-dir DIR] [-snapshot-interval 15s]
 //	              [-drain-timeout 10s] [-fault-schedule ""] [-fault-seed 1] [-cache-bytes 0]
+//	polyfit-serve -join http://leader:8080 [-addr :8081] [-advertise URL]     # read replica
+//	polyfit-serve -route http://n1:8080,http://n2:8081 [-hedge-delay 2ms]     # router
 //
 // With -cache-bytes N the server keeps up to N bytes of completed query
 // responses — certified error bound included — and serves repeats straight
@@ -28,6 +30,19 @@
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests for up to -drain-timeout, then snapshots and closes —
 // so a graceful stop never abandons acknowledged work mid-request.
+//
+// With -join the process is a read replica: it mirrors the leader's
+// registry in memory (snapshot + WAL streaming, see internal/cluster),
+// serves reads at a reported staleness, and answers writes with 409 plus
+// an X-Polyfit-Leader redirect hint. -join is mutually exclusive with
+// -data-dir — the leader owns the durable state.
+//
+// With -route the process is a router over a replica set: reads fan out
+// over healthy replicas with hedged requests (a second attempt fires
+// after -hedge-delay; first definitive answer wins, the loser is
+// canceled), gated by each request's max_staleness_ms; writes forward to
+// the leader. /v1/stats reports per-replica health and the hedge
+// counters.
 //
 // -fault-schedule runs the data dir behind the fault-injection filesystem
 // (internal/faultfs) for chaos testing: e.g. "write@20-70" fails writes 20
@@ -58,9 +73,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/faultfs"
 	"repro/internal/persist"
@@ -77,7 +94,21 @@ func main() {
 	faultSchedule := flag.String("fault-schedule", "", "faultfs injection schedule for the data dir, e.g. write@20-70 or sync:0.1 (testing only)")
 	faultSeed := flag.Int64("fault-seed", 1, "PRNG seed for probabilistic -fault-schedule rules")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget; cached responses keep their certified bounds and invalidate by data generation (0 = disabled)")
+	join := flag.String("join", "", "leader base URL to replicate from (follower mode, in-memory; mutually exclusive with -data-dir)")
+	advertise := flag.String("advertise", "", "URL this node reports to peers (default derived from -addr)")
+	route := flag.String("route", "", "comma-separated replica base URLs: run as a hedged scatter-gather router instead of a server")
+	hedgeDelay := flag.Duration("hedge-delay", 2*time.Millisecond, "router: delay before hedging a read to the next-fastest replica (<0 disables)")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "router: replica health-probe period")
+	maxStaleness := flag.Duration("max-staleness", 0, "router: default read staleness gate when a request has no max_staleness_ms (0 = none)")
 	flag.Parse()
+
+	if *advertise == "" {
+		*advertise = deriveAdvertise(*addr)
+	}
+	if *route != "" {
+		runRouter(*addr, *route, *hedgeDelay, *probeInterval, *maxStaleness, *drainTimeout)
+		return
+	}
 
 	var fsys persist.FS
 	if *faultSchedule != "" {
@@ -93,6 +124,8 @@ func main() {
 		Logf:             log.Printf,
 		FS:               fsys,
 		CacheBytes:       *cacheBytes,
+		Join:             *join,
+		Advertise:        *advertise,
 	})
 	if err != nil {
 		log.Fatalf("open data dir %q: %v", *dataDir, err)
@@ -101,6 +134,9 @@ func main() {
 		// The recovery log line: what came back, what was replayed, what was
 		// skipped as corrupt, and how long boot-time recovery took.
 		log.Printf("durable mode: data dir %s; %s", *dataDir, srv.Recovery())
+	}
+	if *join != "" {
+		log.Printf("follower mode: replicating from %s as %s", *join, *advertise)
 	}
 	if *demo > 0 {
 		if err := preload(srv, *demo, *demoShards); err != nil {
@@ -174,4 +210,45 @@ func preload(srv *server.Server, n, shards int) error {
 		}
 	}
 	return nil
+}
+
+// deriveAdvertise turns a listen address into a URL peers can reach: a
+// bare ":8080" becomes "http://127.0.0.1:8080" (single-host clusters —
+// multi-host deployments must pass -advertise explicitly).
+func deriveAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// runRouter serves the hedged scatter-gather router until SIGINT/SIGTERM.
+func runRouter(addr, route string, hedgeDelay, probeInterval, maxStaleness, drainTimeout time.Duration) {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:      strings.Split(route, ","),
+		HedgeDelay:    hedgeDelay,
+		ProbeInterval: probeInterval,
+		MaxStaleness:  maxStaleness,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("router: %v", err)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		log.Printf("polyfit-serve routing %s on %s", route, addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	<-ctx.Done()
+	log.Print("router shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	rt.Close()
 }

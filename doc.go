@@ -320,6 +320,51 @@
 // hits/misses/evictions/bytes, recovered panics, degraded indexes, persist
 // errors, and non-durable inserts.
 //
+// # Distributed serving contract (replication tier)
+//
+// internal/cluster extends the single durable server into a replicated
+// tier — read replicas, a hedged scatter-gather router, and multi-process
+// shard placement — under a deliberately asymmetric design: one leader
+// owns the data dir and the write path, and everything else is derived
+// state that can be killed and rebuilt from it. The contract:
+//
+//   - Replication is WAL streaming. A follower (polyfit-serve -join) boots
+//     each index from the leader's snapshot blob and then applies the
+//     leader's WAL records — the same fsynced, CRC-protected records the
+//     durability contract above is built on — in leader order, framed in
+//     a tail protocol keyed by (epoch, instance). Any coordinate mismatch
+//     makes the follower resync from a fresh snapshot rather than apply
+//     records to the wrong base.
+//   - Determinism, not quorum, is the correctness story: a dynamic
+//     index's state is a pure function of snapshot + ordered insert
+//     stream, so a caught-up follower answers every query byte-for-byte
+//     identically to the leader. This holds under a single writer (the
+//     intended deployment); the replication tests assert raw-byte
+//     response equality under -race.
+//   - Followers are read-only: writes answer 409 Conflict with the
+//     leader's URL in X-Polyfit-Leader. Reads carry an explicit staleness
+//     label (staleness_ms in /v1/stats), and the leader truncates a WAL
+//     only past the slowest live follower's acknowledged watermark, so a
+//     lagging follower never finds its tail missing.
+//   - The router (polyfit-serve -route) forwards writes to the leader and
+//     fans reads over healthy replicas with hedged requests: fastest
+//     replica first, a second attempt after -hedge-delay, first
+//     definitive answer wins, loser canceled; errors fail over
+//     immediately. A request's max_staleness_ms restricts candidates to
+//     replicas fresh enough to serve it — exhausting the candidates
+//     answers 503, never silently-stale data.
+//   - Placement (cluster.Split / cluster.Deploy) regroups a sharded
+//     index's POLS container into per-node sub-indexes with disjoint key
+//     ownership; the router partitions inserts by cut key and merges
+//     query partials with the same bound composition the in-process
+//     sharded index uses, so Result.Bound stays a certified over-estimate
+//     across process boundaries.
+//
+// The tier inherits the durability contract unchanged: kill -9 any single
+// node and the router keeps answering reads; kill -9 the leader and every
+// durable-acknowledged insert is still answered after restart. CI enforces
+// this end-to-end (make cluster).
+//
 // Everything in this module — the minimax fitting stack (exchange algorithm
 // and a revised dual simplex over LP (9)), greedy segmentation with
 // exponential search, the exact baselines (prefix arrays, aggregate trees,

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client speaks the replication protocol to one node. Followers use it to
+// join and stream; the router uses Status for health and staleness
+// probes; tests drive it directly.
+type Client struct {
+	// Base is the node's base URL ("http://127.0.0.1:8080").
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient). Tail
+	// long-polls, so its timeout must exceed the wait parameter; Client
+	// applies per-call contexts rather than transport timeouts.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Status fetches the node's replication status.
+func (c *Client) Status(ctx context.Context) (*NodeStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: status %s: %s", c.Base, resp.Status)
+	}
+	var st NodeStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("cluster: decode status: %w", err)
+	}
+	return &st, nil
+}
+
+// Snapshot fetches the named index's current snapshot blob and the
+// replication coordinates it covers. The sequence vector is read by the
+// leader before the blob is marshalled, so the blob is guaranteed to
+// contain every record below it — a tail started at Seqs replays at most
+// idempotent duplicates.
+func (c *Client) Snapshot(ctx context.Context, name string) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathSnapshot+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: snapshot %s/%s: %s", c.Base, name, resp.Status)
+	}
+	epoch, err := strconv.ParseInt(resp.Header.Get("X-Polyfit-Epoch"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot %s/%s: bad epoch header: %w", c.Base, name, err)
+	}
+	instance, err := strconv.ParseUint(resp.Header.Get("X-Polyfit-Instance"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot %s/%s: bad instance header: %w", c.Base, name, err)
+	}
+	seqs, err := ParseSeqs(resp.Header.Get("X-Polyfit-Seqs"))
+	if err != nil {
+		return nil, err
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<31))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot %s/%s: read body: %w", c.Base, name, err)
+	}
+	return &Snapshot{Epoch: epoch, Instance: instance, Seqs: seqs, Blob: blob}, nil
+}
+
+// Tail polls the named index's WAL tails from the given sequence vector.
+// The from vector doubles as the follower's acknowledgement: the leader
+// records that this follower has applied everything below it and holds
+// WAL truncation back accordingly. With wait > 0 the leader long-polls,
+// holding the request open until new records arrive or the wait expires
+// (an empty frame set is a valid, caught-up response).
+//
+// ErrResync means the window is gone — epoch or instance changed, or the
+// leader truncated past from — and the follower must restart from
+// Snapshot.
+func (c *Client) Tail(ctx context.Context, name, follower string, epoch int64, instance uint64, from []int64, wait time.Duration) (*Tail, error) {
+	q := url.Values{
+		"follower": {follower},
+		"epoch":    {strconv.FormatInt(epoch, 10)},
+		"instance": {strconv.FormatUint(instance, 10)},
+		"from":     {FormatSeqs(from)},
+	}
+	if wait > 0 {
+		q.Set("wait_ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	u := c.Base + PathTail + url.PathEscape(name) + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode == http.StatusGone {
+		return nil, fmt.Errorf("%w (%s/%s)", ErrResync, c.Base, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: tail %s/%s: %s", c.Base, name, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<31))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tail %s/%s: read body: %w", c.Base, name, err)
+	}
+	return UnmarshalTail(data)
+}

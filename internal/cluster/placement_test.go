@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	polyfit "repro"
+)
+
+// buildSharded makes a sharded dynamic SUM index over n records with
+// integer measures (so split-and-merge sums are exact floats).
+func buildSharded(t *testing.T, n, shards int) (polyfit.Index, []float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]float64, n)
+	measures := make([]float64, n)
+	k := 0.0
+	for i := range keys {
+		k += 1 + float64(rng.Intn(5))
+		keys[i] = k
+		measures[i] = float64(1 + rng.Intn(100))
+	}
+	ix, err := polyfit.New(polyfit.Spec{Agg: polyfit.Sum, Keys: keys, Measures: measures},
+		polyfit.WithMaxError(500), polyfit.WithDynamic(), polyfit.WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, keys, measures
+}
+
+func TestSplitPreservesAnswers(t *testing.T) {
+	ix, keys, _ := buildSharded(t, 4000, 8)
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 2, 3, 8} {
+		parts, cuts, err := Split(blob, nodes)
+		if err != nil {
+			t.Fatalf("split into %d: %v", nodes, err)
+		}
+		if len(parts) != nodes || len(cuts) != nodes-1 {
+			t.Fatalf("split into %d: %d parts, %d cuts", nodes, len(parts), len(cuts))
+		}
+		// Each part reopens as a standalone index; merged partial sums over
+		// disjoint key ownership must reproduce the unsplit answer exactly.
+		opened := make([]polyfit.Index, nodes)
+		for i, p := range parts {
+			if opened[i], err = polyfit.Open(p); err != nil {
+				t.Fatalf("open part %d of %d: %v", i, nodes, err)
+			}
+		}
+		rng := rand.New(rand.NewSource(11))
+		for q := 0; q < 50; q++ {
+			lo := keys[rng.Intn(len(keys))] - 0.5
+			hi := lo + float64(rng.Intn(4000))
+			want, err := ix.Query(polyfit.Range{Lo: lo, Hi: hi})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got, bound float64
+			for _, part := range opened {
+				r, err := part.Query(polyfit.Range{Lo: lo, Hi: hi})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got += r.Value
+				bound += r.Bound
+			}
+			diff := got - want.Value
+			if diff < 0 {
+				diff = -diff
+			}
+			// Partial answers come from the same per-shard fits; regrouping
+			// them across nodes only re-associates the float summation, so
+			// the merged value may drift by ulps but nothing more.
+			tol := 1e-9 * (1 + want.Value)
+			if diff > tol {
+				t.Fatalf("nodes=%d (%g,%g]: split sum %g, unsplit %g", nodes, lo, hi, got, want.Value)
+			}
+			// The merged bound can only be looser: every shard the unsplit
+			// query touches is touched inside its part, and a part may count
+			// an extra boundary shard whose clipped contribution is empty.
+			if bound < want.Bound {
+				t.Fatalf("nodes=%d (%g,%g]: split bound %g below unsplit %g", nodes, lo, hi, bound, want.Bound)
+			}
+		}
+	}
+}
+
+func TestSplitRejectsBadInputs(t *testing.T) {
+	ix, _, _ := buildSharded(t, 500, 4)
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Split(blob, 0); err == nil {
+		t.Fatal("0 nodes must fail")
+	}
+	if _, _, err := Split(blob, 5); err == nil {
+		t.Fatal("more nodes than shards must fail")
+	}
+	if _, _, err := Split([]byte("junk"), 2); err == nil {
+		t.Fatal("junk blob must fail")
+	}
+}
+
+func TestPlacedNodeOf(t *testing.T) {
+	p := &PlacedIndex{Cuts: []float64{10, 20}, Nodes: []string{"a", "b", "c"}}
+	for _, tc := range []struct {
+		k    float64
+		want int
+	}{{5, 0}, {9.999, 0}, {10, 1}, {15, 1}, {20, 2}, {1e9, 2}} {
+		if got := p.nodeOf(tc.k); got != tc.want {
+			t.Errorf("nodeOf(%g) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestMergeAnswers(t *testing.T) {
+	sum := mergeAnswers("sum", []queryAnswer{
+		{Value: 10, Found: true, Bound: 2},
+		{Found: false},
+		{Value: 5, Found: true, Bound: 1},
+	})
+	if sum.Value != 15 || sum.Bound != 3 || !sum.Found {
+		t.Fatalf("sum merge: %+v", sum)
+	}
+	min := mergeAnswers("min", []queryAnswer{
+		{Value: 10, Found: true, Bound: 2},
+		{Value: 5, Found: true, Bound: 1},
+	})
+	if min.Value != 5 || min.Bound != 2 || !min.Found {
+		t.Fatalf("min merge: %+v", min)
+	}
+	max := mergeAnswers("max", []queryAnswer{
+		{Value: 10, Found: true, Bound: 2},
+		{Value: 50, Found: true, Bound: 7},
+	})
+	if max.Value != 50 || max.Bound != 7 {
+		t.Fatalf("max merge: %+v", max)
+	}
+	empty := mergeAnswers("sum", []queryAnswer{{Found: false}, {Found: false}})
+	if empty.Found || empty.Value != 0 {
+		t.Fatalf("empty merge: %+v", empty)
+	}
+	exact := mergeAnswers("sum", []queryAnswer{
+		{Value: 1, Found: true, Exact: true},
+		{Value: 2, Found: true, Exact: false},
+	})
+	if exact.Exact {
+		t.Fatalf("mixed exactness must not report exact: %+v", exact)
+	}
+}

@@ -1,0 +1,258 @@
+// Package cluster implements the replicated serving tier: the wire
+// protocol a leader uses to stream per-index WAL tails to read replicas,
+// the HTTP client followers (and tests) drive it with, a hedged
+// scatter-gather router that fans queries over healthy replicas, and
+// shard placement that splits one sharded index across processes using
+// the POLS container as the transfer format.
+//
+// # Replication model
+//
+// Every dynamic index on the leader is a set of logical record streams,
+// one per write-ahead log (one stream for a plain dynamic index, one per
+// shard for a sharded one). Records are numbered by a per-stream sequence
+// that counts every record ever appended since the stream began; the WAL
+// file holds the suffix of the stream starting at the leader's stream
+// origin (records below it were folded into a snapshot and truncated
+// away). A follower joins by fetching the latest snapshot blob together
+// with the sequence vector it covers, restoring it (bit-identical — no
+// re-fitting), and then replaying the tail from that vector.
+//
+// Sequence numbers are only meaningful within one (epoch, instance)
+// incarnation of an index: epoch identifies a leader boot, instance one
+// registration of the index (a restore, an explicit rebuild, or a WAL
+// reset after degradation starts a new incarnation). When either changes
+// the leader answers tails with 410 Gone and the follower falls back to a
+// fresh snapshot — safe at-least-once delivery, because replay is
+// idempotent (duplicate keys are rejected exactly).
+//
+// The follower's tail cursor doubles as its acknowledgement: asking for
+// records from sequence s promises every record below s has been applied.
+// The leader tracks the slowest live follower per stream and holds WAL
+// truncation back to that watermark, so a replica can always catch up
+// from the log it has already been promised.
+//
+// # Wire format
+//
+// Control messages (status, snapshot metadata) are small JSON; record
+// payloads reuse the WAL's 20-byte CRC-protected record encoding verbatim
+// (persist.MarshalRecords), framed per stream with a length prefix. A
+// torn or bit-flipped frame fails the CRC and the poll is retried — the
+// transport needs no trust.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/persist"
+)
+
+// HTTP paths of the replication endpoints a leader serves (and a router
+// probes). Snapshot and tail take the index name as the final path
+// element.
+const (
+	PathStatus   = "/v1/cluster/status"
+	PathSnapshot = "/v1/cluster/snapshot/"
+	PathTail     = "/v1/cluster/wal/"
+)
+
+// ErrResync reports that the requested tail window is gone (epoch or
+// instance changed, or the sequence fell below the leader's stream
+// origin): the follower must refetch the snapshot and restart the tail
+// from the vector it reports. Mapped to HTTP 410 on the wire.
+var ErrResync = errors.New("cluster: tail unavailable, resync from snapshot")
+
+// ErrBadFrame reports a malformed or corrupt tail payload.
+var ErrBadFrame = errors.New("cluster: bad tail frame")
+
+// NodeStatus is the JSON body of GET /v1/cluster/status: the node's role
+// and one row per index with the sequence vector a follower needs to
+// decide whether it is caught up.
+type NodeStatus struct {
+	Role      string `json:"role"`  // "leader" | "follower"
+	Epoch     int64  `json:"epoch"` // leader boot identifier (unix nanos)
+	Advertise string `json:"advertise,omitempty"`
+	Leader    string `json:"leader,omitempty"` // follower only: the URL it replicates from
+	// StalenessMS is how far behind the node's reads may be: 0 on a
+	// leader, milliseconds since the last fully-caught-up poll on a
+	// follower.
+	StalenessMS int64         `json:"staleness_ms"`
+	Indexes     []IndexStatus `json:"indexes"`
+}
+
+// IndexStatus is one index's replication row in a NodeStatus.
+type IndexStatus struct {
+	Name     string `json:"name"`
+	Dynamic  bool   `json:"dynamic"`
+	Instance uint64 `json:"instance"`
+	// Seqs is the per-stream end sequence (next record to be assigned),
+	// one per WAL: length 1 for a plain dynamic index, the shard count
+	// for a sharded one, empty for a static index (snapshot-only).
+	Seqs []int64 `json:"seqs,omitempty"`
+}
+
+// Snapshot is a fetched snapshot blob plus the replication coordinates it
+// covers: restoring Blob yields the index state at (or after) Seqs, so a
+// tail started there replays at most duplicates, never misses a record.
+type Snapshot struct {
+	Epoch    int64
+	Instance uint64
+	Seqs     []int64
+	Blob     []byte
+}
+
+// TailFrame is one stream's chunk of a tail response: records
+// [From, From+len(Records)) of stream Log, plus the leader's current end
+// sequence so the follower can see its remaining lag.
+type TailFrame struct {
+	Log     int
+	From    int64
+	End     int64
+	Records []persist.Record
+}
+
+// Tail is a decoded tail response.
+type Tail struct {
+	Epoch    int64
+	Instance uint64
+	Frames   []TailFrame
+}
+
+// CaughtUp reports whether every frame reached its leader-side end.
+func (t *Tail) CaughtUp() bool {
+	for _, f := range t.Frames {
+		if f.From+int64(len(f.Records)) < f.End {
+			return false
+		}
+	}
+	return true
+}
+
+// Tail binary framing: a fixed preamble, then one length-prefixed frame
+// per stream. All integers little-endian.
+//
+//	preamble: magic "PFRP" (4) | version u16 | nframes u16 | epoch u64 | instance u64
+//	frame:    log u32 | from u64 | end u64 | nbytes u32 | nbytes of 20B records
+const (
+	tailMagic    = 0x50465250 // "PFRP"
+	tailVersion  = 1
+	tailPreamble = 4 + 2 + 2 + 8 + 8
+	frameHeader  = 4 + 8 + 8 + 4
+)
+
+// MarshalBinary encodes the tail for the wire. Record payloads carry the
+// WAL's own CRC-protected encoding, so corruption in transit is detected
+// on decode.
+func (t *Tail) MarshalBinary() []byte {
+	n := tailPreamble
+	payloads := make([][]byte, len(t.Frames))
+	for i, f := range t.Frames {
+		payloads[i] = persist.MarshalRecords(f.Records)
+		n += frameHeader + len(payloads[i])
+	}
+	buf := make([]byte, 0, n)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], tailMagic)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint16(tmp[:2], tailVersion)
+	buf = append(buf, tmp[:2]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(t.Frames)))
+	buf = append(buf, tmp[:2]...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(t.Epoch))
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], t.Instance)
+	buf = append(buf, tmp[:]...)
+	for i, f := range t.Frames {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(f.Log))
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(f.From))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint64(tmp[:], uint64(f.End))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(payloads[i])))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, payloads[i]...)
+	}
+	return buf
+}
+
+// UnmarshalTail decodes a tail response, verifying the preamble and every
+// record's CRC.
+func UnmarshalTail(data []byte) (*Tail, error) {
+	if len(data) < tailPreamble {
+		return nil, fmt.Errorf("%w: %d-byte payload shorter than the preamble", ErrBadFrame, len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != tailMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != tailVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
+	}
+	nframes := int(binary.LittleEndian.Uint16(data[6:]))
+	t := &Tail{
+		Epoch:    int64(binary.LittleEndian.Uint64(data[8:])),
+		Instance: binary.LittleEndian.Uint64(data[16:]),
+		Frames:   make([]TailFrame, 0, nframes),
+	}
+	rest := data[tailPreamble:]
+	for i := 0; i < nframes; i++ {
+		if len(rest) < frameHeader {
+			return nil, fmt.Errorf("%w: truncated frame header %d", ErrBadFrame, i)
+		}
+		f := TailFrame{
+			Log:  int(binary.LittleEndian.Uint32(rest[0:])),
+			From: int64(binary.LittleEndian.Uint64(rest[4:])),
+			End:  int64(binary.LittleEndian.Uint64(rest[12:])),
+		}
+		nbytes := int(binary.LittleEndian.Uint32(rest[20:]))
+		rest = rest[frameHeader:]
+		if len(rest) < nbytes {
+			return nil, fmt.Errorf("%w: frame %d wants %d bytes, %d left", ErrBadFrame, i, nbytes, len(rest))
+		}
+		recs, err := persist.UnmarshalRecords(rest[:nbytes])
+		if err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrBadFrame, i, err)
+		}
+		f.Records = recs
+		rest = rest[nbytes:]
+		t.Frames = append(t.Frames, f)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return t, nil
+}
+
+// FormatSeqs renders a sequence vector for a query parameter or header
+// ("3,17,0"); ParseSeqs reverses it.
+func FormatSeqs(seqs []int64) string {
+	out := make([]byte, 0, len(seqs)*4)
+	for i, s := range seqs {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendInt(out, s, 10)
+	}
+	return string(out)
+}
+
+// ParseSeqs parses a comma-separated sequence vector. An empty string is
+// an empty vector.
+func ParseSeqs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad sequence vector %q", ErrBadFrame, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

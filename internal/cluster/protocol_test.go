@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+func TestTailRoundTrip(t *testing.T) {
+	in := &Tail{
+		Epoch:    1234567,
+		Instance: 42,
+		Frames: []TailFrame{
+			{Log: 0, From: 10, End: 13, Records: []persist.Record{
+				{Key: 1, Measure: 2}, {Key: 3, Measure: 4}, {Key: 5, Measure: 6},
+			}},
+			{Log: 3, From: 0, End: 0, Records: nil},
+		},
+	}
+	out, err := UnmarshalTail(in.MarshalBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch || out.Instance != in.Instance || len(out.Frames) != len(in.Frames) {
+		t.Fatalf("preamble mismatch: %+v", out)
+	}
+	for i, f := range out.Frames {
+		want := in.Frames[i]
+		if f.Log != want.Log || f.From != want.From || f.End != want.End || len(f.Records) != len(want.Records) {
+			t.Fatalf("frame %d: got %+v want %+v", i, f, want)
+		}
+		for j, r := range f.Records {
+			if r != want.Records[j] {
+				t.Fatalf("frame %d record %d: got %+v want %+v", i, j, r, want.Records[j])
+			}
+		}
+	}
+	if !in.CaughtUp() {
+		t.Fatal("every frame reaches End, CaughtUp must be true")
+	}
+	in.Frames[0].End = 20
+	if in.CaughtUp() {
+		t.Fatal("frame 0 short of End, CaughtUp must be false")
+	}
+}
+
+func TestUnmarshalTailRejectsCorruption(t *testing.T) {
+	in := &Tail{Epoch: 9, Instance: 1, Frames: []TailFrame{
+		{Log: 0, From: 0, End: 2, Records: []persist.Record{{Key: 1, Measure: 1}, {Key: 2, Measure: 2}}},
+	}}
+	good := in.MarshalBinary()
+
+	cases := map[string]func([]byte) []byte{
+		"truncated preamble": func(b []byte) []byte { return b[:10] },
+		"bad magic":          func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad version":        func(b []byte) []byte { b[4] = 99; return b },
+		"truncated frame":    func(b []byte) []byte { return b[:len(b)-5] },
+		"flipped record bit": func(b []byte) []byte { b[len(b)-3] ^= 0x01; return b },
+		"trailing garbage":   func(b []byte) []byte { return append(b, 0xAB) },
+	}
+	for name, corrupt := range cases {
+		b := corrupt(append([]byte(nil), good...))
+		if _, err := UnmarshalTail(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestSeqsFormatRoundTrip(t *testing.T) {
+	for _, seqs := range [][]int64{nil, {0}, {3, 17, 0}, {1 << 40, 7}} {
+		got, err := ParseSeqs(FormatSeqs(seqs))
+		if err != nil {
+			t.Fatalf("%v: %v", seqs, err)
+		}
+		if len(got) != len(seqs) {
+			t.Fatalf("%v: round-tripped to %v", seqs, got)
+		}
+		for i := range got {
+			if got[i] != seqs[i] {
+				t.Fatalf("%v: round-tripped to %v", seqs, got)
+			}
+		}
+	}
+	if _, err := ParseSeqs("3,x"); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad vector: got %v, want ErrBadFrame", err)
+	}
+}

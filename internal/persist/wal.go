@@ -30,6 +30,84 @@ type Record struct {
 	Measure float64
 }
 
+// Exported sizes of the WAL wire format. The 20-byte CRC'd record encoding
+// doubles as the replication wire format (internal/cluster streams WAL
+// tails verbatim), so the arithmetic between byte offsets and record
+// sequence numbers is public.
+const (
+	WALHeaderSize = walHeaderSize
+	WALRecordSize = walRecordSize
+)
+
+// MarshalRecords encodes records in the WAL wire format: 20 bytes each —
+// key float64 | measure float64 | crc32c(key, measure) — little endian.
+// The same bytes are valid as a WAL body suffix and as a replication
+// stream payload.
+func MarshalRecords(recs []Record) []byte {
+	buf := make([]byte, len(recs)*walRecordSize)
+	for i, r := range recs {
+		b := buf[i*walRecordSize:]
+		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(r.Key))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.Measure))
+		binary.LittleEndian.PutUint32(b[16:], crc32.Checksum(b[:16], crcTable))
+	}
+	return buf
+}
+
+// UnmarshalRecords decodes a complete wire payload produced by
+// MarshalRecords. Unlike decodeRecords (which tolerates a torn tail — the
+// normal crash artefact of an append-only file), a wire payload arrives
+// over a reliable transport, so a partial record or checksum failure is
+// corruption: the whole payload is rejected with ErrCorrupt.
+func UnmarshalRecords(data []byte) ([]Record, error) {
+	if len(data)%walRecordSize != 0 {
+		return nil, fmt.Errorf("%w: record payload of %d bytes is not a record multiple", ErrCorrupt, len(data))
+	}
+	recs, valid := decodeRecords(data)
+	if valid != len(data) {
+		return nil, fmt.Errorf("%w: record checksum mismatch at byte %d", ErrCorrupt, valid)
+	}
+	return recs, nil
+}
+
+// DecodeWALFile parses a complete WAL file image without touching any
+// disk state: it validates the header and decodes every intact record,
+// reporting how many trailing bytes are torn (short or checksum-failing).
+// The read-only counterpart of OpenWAL's recovery, for offline inspection
+// (polyfit-cli wal). An empty image is a valid empty log.
+func DecodeWALFile(data []byte) (recs []Record, tornBytes int, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < walHeaderSize || binary.LittleEndian.Uint32(data[0:]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: wal header", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != walVersion {
+		return nil, 0, fmt.Errorf("%w: wal version %d", ErrCorrupt, v)
+	}
+	body := data[walHeaderSize:]
+	recs, valid := decodeRecords(body)
+	return recs, len(body) - valid, nil
+}
+
+// decodeRecords reads consecutive CRC-checked records from data, stopping
+// at the first torn or checksum-failing one, and returns the records plus
+// how many bytes were valid.
+func decodeRecords(data []byte) (recs []Record, valid int) {
+	for valid+walRecordSize <= len(data) {
+		rec := data[valid : valid+walRecordSize]
+		if crc32.Checksum(rec[:16], crcTable) != binary.LittleEndian.Uint32(rec[16:]) {
+			break
+		}
+		recs = append(recs, Record{
+			Key:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
+			Measure: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+		})
+		valid += walRecordSize
+	}
+	return recs, valid
+}
+
 // WAL is an append-only, fsync-on-append log of acknowledged inserts for
 // one index. It is safe for concurrent use.
 //
@@ -84,18 +162,8 @@ func openWALFS(path string, fsys FS, retry RetryPolicy) (w *WAL, recovered []Rec
 			return nil, nil, 0, fmt.Errorf("%w: wal version %d", ErrCorrupt, v)
 		}
 		body := data[walHeaderSize:]
-		valid := 0
-		for valid+walRecordSize <= len(body) {
-			rec := body[valid : valid+walRecordSize]
-			if crc32.Checksum(rec[:16], crcTable) != binary.LittleEndian.Uint32(rec[16:]) {
-				break
-			}
-			recovered = append(recovered, Record{
-				Key:     math.Float64frombits(binary.LittleEndian.Uint64(rec[0:])),
-				Measure: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
-			})
-			valid += walRecordSize
-		}
+		var valid int
+		recovered, valid = decodeRecords(body)
 		droppedBytes = len(body) - valid
 		if droppedBytes > 0 {
 			if err := fsys.Truncate(path, int64(walHeaderSize+valid)); err != nil {
@@ -132,13 +200,7 @@ func (w *WAL) Append(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	buf := make([]byte, len(recs)*walRecordSize)
-	for i, r := range recs {
-		b := buf[i*walRecordSize:]
-		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(r.Key))
-		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.Measure))
-		binary.LittleEndian.PutUint32(b[16:], crc32.Checksum(b[:16], crcTable))
-	}
+	buf := MarshalRecords(recs)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -213,6 +275,43 @@ func (w *WAL) Reset() error {
 	w.size = walHeaderSize
 	w.sick = false
 	return nil
+}
+
+// ReadFrom reads the records between the byte offset and the current end
+// of the log, returning them together with the offset one past the last
+// record read (the cursor for the next call). Offsets are record
+// boundaries: WALHeaderSize is the start of the log, and any previously
+// returned next offset (or Size()) is valid. Every record below Size() was
+// fsynced before its insert was acknowledged, so a ReadFrom tail is safe
+// to replicate — it can never contain an unacknowledged record.
+//
+// The read holds the WAL lock, so it observes a consistent file: a
+// concurrent Append lands entirely before or entirely after the tail.
+// Callers coordinating with TruncateTo (which rewrites offsets) must
+// serialise externally — see the serving layer's replication state.
+func (w *WAL) ReadFrom(offset int64) (recs []Record, next int64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil, 0, fmt.Errorf("%w: %s", ErrClosed, w.path)
+	}
+	if offset < walHeaderSize || offset > w.size || (offset-walHeaderSize)%walRecordSize != 0 {
+		return nil, 0, fmt.Errorf("%w: bad wal read offset %d (size %d)", ErrInvalidArgument, offset, w.size)
+	}
+	if offset == w.size {
+		return nil, offset, nil
+	}
+	buf := make([]byte, w.size-offset)
+	if _, err := w.fsys.ReadAt(w.path, buf, offset); err != nil {
+		return nil, 0, fmt.Errorf("persist: read wal tail: %w", err)
+	}
+	recs, valid := decodeRecords(buf)
+	if valid != len(buf) {
+		// Below w.size every record was written and fsynced before the append
+		// returned; a checksum failure here means the file rotted underneath.
+		return nil, 0, fmt.Errorf("%w: wal record checksum at offset %d", ErrCorrupt, offset+int64(valid))
+	}
+	return recs, w.size, nil
 }
 
 // Size returns the current file size (header included). The value is a

@@ -170,3 +170,109 @@ func TestWALBadCutRejected(t *testing.T) {
 		}
 	}
 }
+
+func TestWALReadFrom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	want := []Record{{1, 1}, {2, 4}, {3, 9}, {4, 16}}
+	if err := w.Append(want[:2]); err != nil {
+		t.Fatal(err)
+	}
+	cursor := int64(WALHeaderSize)
+	recs, next, err := w.ReadFrom(cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != want[0] || recs[1] != want[1] {
+		t.Fatalf("ReadFrom(start) = %+v, want %+v", recs, want[:2])
+	}
+	if next != WALHeaderSize+2*WALRecordSize {
+		t.Fatalf("next = %d, want %d", next, WALHeaderSize+2*WALRecordSize)
+	}
+	// An exhausted cursor returns no records and the same offset.
+	recs, again, err := w.ReadFrom(next)
+	if err != nil || len(recs) != 0 || again != next {
+		t.Fatalf("ReadFrom(end) = %+v next %d err %v", recs, again, err)
+	}
+	// New appends show up from the old cursor.
+	if err := w.Append(want[2:]); err != nil {
+		t.Fatal(err)
+	}
+	recs, next2, err := w.ReadFrom(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != want[2] || recs[1] != want[3] {
+		t.Fatalf("ReadFrom(tail) = %+v, want %+v", recs, want[2:])
+	}
+	if next2 != w.Size() {
+		t.Fatalf("next = %d, want size %d", next2, w.Size())
+	}
+}
+
+func TestWALReadFromBadOffsets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}})
+	for _, off := range []int64{-1, 0, WALHeaderSize + 1, w.Size() + WALRecordSize} {
+		if _, _, err := w.ReadFrom(off); !errors.Is(err, ErrInvalidArgument) {
+			t.Errorf("ReadFrom(%d) err = %v, want ErrInvalidArgument", off, err)
+		}
+	}
+	w.Close()
+	if _, _, err := w.ReadFrom(WALHeaderSize); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadFrom on closed wal: %v, want ErrClosed", err)
+	}
+}
+
+func TestWALReadFromAfterTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.pf")
+	w, _, _ := openWAL(t, path)
+	w.Append([]Record{{1, 1}, {2, 2}})
+	cut := w.Size()
+	w.Append([]Record{{3, 3}})
+	if err := w.TruncateTo(cut); err != nil {
+		t.Fatal(err)
+	}
+	// After a truncation the log restarts at the header: the surviving tail
+	// reads back from WALHeaderSize.
+	recs, next, err := w.ReadFrom(WALHeaderSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != (Record{3, 3}) || next != w.Size() {
+		t.Fatalf("post-truncate tail = %+v next %d", recs, next)
+	}
+}
+
+func TestMarshalUnmarshalRecords(t *testing.T) {
+	want := []Record{{1.5, -2.5}, {0, 0}, {1e300, -1e-300}}
+	wire := MarshalRecords(want)
+	if len(wire) != len(want)*WALRecordSize {
+		t.Fatalf("wire length %d, want %d", len(wire), len(want)*WALRecordSize)
+	}
+	got, err := UnmarshalRecords(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if recs, err := UnmarshalRecords(nil); err != nil || len(recs) != 0 {
+		t.Fatalf("empty payload: %v %v", recs, err)
+	}
+	// A wire payload is all-or-nothing: partial records and bit flips reject.
+	if _, err := UnmarshalRecords(wire[:len(wire)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("partial payload err = %v, want ErrCorrupt", err)
+	}
+	flipped := append([]byte(nil), wire...)
+	flipped[WALRecordSize+4] ^= 0x40
+	if _, err := UnmarshalRecords(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload err = %v, want ErrCorrupt", err)
+	}
+}

@@ -77,6 +77,28 @@ type Config struct {
 	// rebuild bumps the generation. 0 (the default) disables the cache;
 	// the budget covers response bodies plus per-item overhead.
 	CacheBytes int64
+
+	// Join turns the server into a read replica of the leader at this
+	// base URL (see follower.go): the registry is mirrored from the
+	// leader's snapshots + WAL streams, reads are served locally at a
+	// reported staleness, and writes are rejected with 409 + a Leader
+	// hint header. Mutually exclusive with DataDir — the leader owns the
+	// durable state; followers replicate in memory and re-join on
+	// restart.
+	Join string
+	// Advertise is this node's public base URL: followers use it as
+	// their ack-table identity, leaders report it in cluster status.
+	Advertise string
+	// ReplPollInterval is the follower's idle delay between sync cycles
+	// (default 25ms); ReplWait the long-poll budget it requests per WAL
+	// tail (default 200ms, capped server-side at 5s).
+	ReplPollInterval time.Duration
+	ReplWait         time.Duration
+	// FollowerTTL bounds how long a silent follower's acknowledgement
+	// keeps pinning WAL truncation on the leader (default 30s). A
+	// follower that returns after expiry simply re-joins from a
+	// snapshot.
+	FollowerTTL time.Duration
 }
 
 // RecoverySummary reports what a durable server found in its data dir at
@@ -103,10 +125,19 @@ func (r RecoverySummary) String() string {
 // durability contract above. With an empty DataDir it behaves exactly like
 // New and never returns an error.
 func NewDurable(cfg Config) (*Server, error) {
+	if cfg.Join != "" && cfg.DataDir != "" {
+		return nil, errors.New("server: Join and DataDir are mutually exclusive — the leader owns the durable state, followers replicate in memory")
+	}
 	s := newServer()
 	s.logf = cfg.Logf
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
+	}
+	s.epoch = time.Now().UnixNano()
+	s.advertise = cfg.Advertise
+	s.followerTTL = cfg.FollowerTTL
+	if s.followerTTL <= 0 {
+		s.followerTTL = 30 * time.Second
 	}
 	s.defaultTimeout = cfg.DefaultQueryTimeout
 	if s.defaultTimeout == 0 {
@@ -125,6 +156,10 @@ func NewDurable(cfg Config) (*Server, error) {
 		s.cache = newResultCache(cfg.CacheBytes)
 	}
 	if cfg.DataDir == "" {
+		if cfg.Join != "" {
+			s.follower = newFollower(s, cfg)
+			go s.follower.run()
+		}
 		return s, nil
 	}
 	store, err := persist.OpenFS(cfg.DataDir, cfg.FS)
@@ -173,6 +208,7 @@ func (s *Server) recover() error {
 			s.logf("polyfit-serve: skipping index %q: %v", name, err)
 			continue
 		}
+		s.initRepl(e)
 		s.mu.Lock()
 		s.indexes[name] = e
 		s.mu.Unlock()
@@ -455,13 +491,16 @@ func (s *Server) snapshotEntry(name string, e *entry) error {
 					if err := e.shardWALs[i].Reset(); err != nil {
 						return persistFail(fmt.Errorf("reset %q shard %d WAL: %w", name, i, err))
 					}
-				} else if err := e.shardWALs[i].TruncateTo(cut); err != nil {
+				} else if err := s.truncateGated(name, e, i, e.shardWALs[i], cut); err != nil {
 					return persistFail(err)
 				}
 			}
 		}
 		if degraded {
 			e.degraded.Store(false)
+			// The reset logs no longer carry the records this snapshot
+			// absorbed; followers must re-join from it.
+			s.bumpInstance(e)
 			s.logf("polyfit-serve: %q healed: snapshot persisted the non-durable inserts and the WALs were reset", name)
 		}
 		e.snapshots.Add(1)
@@ -485,12 +524,15 @@ func (s *Server) snapshotEntry(name string, e *entry) error {
 			if err := e.wal.Reset(); err != nil {
 				return persistFail(fmt.Errorf("reset %q WAL: %w", name, err))
 			}
-		} else if err := e.wal.TruncateTo(cut); err != nil {
+		} else if err := s.truncateGated(name, e, 0, e.wal, cut); err != nil {
 			return persistFail(err)
 		}
 	}
 	if degraded {
 		e.degraded.Store(false)
+		// The reset log no longer carries the records this snapshot
+		// absorbed; followers must re-join from it.
+		s.bumpInstance(e)
 		s.logf("polyfit-serve: %q healed: snapshot persisted the non-durable inserts and the WAL was reset", name)
 	}
 	e.snapshots.Add(1)
@@ -618,6 +660,9 @@ func (s *Server) Close() error {
 		// Refuse new requests from here on; callers wanting in-flight work
 		// to finish first should Drain before Close.
 		s.draining.Store(true)
+		if s.follower != nil {
+			s.follower.close()
+		}
 		if s.stop != nil {
 			close(s.stop)
 			<-s.done
@@ -651,6 +696,9 @@ type RestoreRequest struct {
 // the blob is persisted (and any previous WAL dropped) before the request
 // is acknowledged.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	name := r.PathValue("name")
 	if name == "" {
 		writeError(w, http.StatusBadRequest, errors.New("name is required"))
@@ -687,6 +735,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.initRepl(e)
 	s.mu.Lock()
 	s.indexes[name] = e
 	s.mu.Unlock()
@@ -891,6 +940,20 @@ type ServerStats struct {
 	// PerIndexShards maps each sharded index to its per-shard stats rows,
 	// so one /v1/stats round trip shows the whole shard fleet.
 	PerIndexShards map[string][]ShardStats `json:"per_index_shards,omitempty"`
+
+	// Replication (see replication.go / follower.go). Role is "leader"
+	// (the default, even with no followers attached) or "follower".
+	// Leaders list every follower's acknowledged watermark; followers
+	// report the leader they stream from, how stale their reads may be
+	// (milliseconds since the last fully-caught-up poll), the sequence
+	// vector they have applied per index, and their join/apply counters.
+	Role          string             `json:"role"`
+	Leader        string             `json:"leader,omitempty"`
+	StalenessMS   int64              `json:"staleness_ms,omitempty"`
+	AckWatermark  map[string][]int64 `json:"ack_watermark,omitempty"`
+	Followers     []FollowerStat     `json:"followers,omitempty"`
+	SnapshotSyncs int64              `json:"snapshot_syncs,omitempty"`
+	ReplApplied   int64              `json:"repl_applied_records,omitempty"`
 }
 
 func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
@@ -934,6 +997,17 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		DegradedIndexes:    degradedIndexes,
 		PersistErrors:      s.persistErrors.Load(),
 		NonDurableInserts:  s.nonDurableIns.Load(),
+		Role:               "leader",
+	}
+	if s.follower != nil {
+		st.Role = "follower"
+		st.Leader = s.follower.leader
+		st.StalenessMS = s.follower.stalenessMS()
+		st.AckWatermark = s.follower.watermark()
+		st.SnapshotSyncs = s.follower.synced.Load()
+		st.ReplApplied = s.follower.applied.Load()
+	} else {
+		st.Followers = s.acks.stats(s.followerTTL)
 	}
 	for _, sx := range sharded {
 		rows := s.statsOf(sx.name, sx.e).ShardStats

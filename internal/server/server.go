@@ -112,6 +112,11 @@ type entry struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	cacheBytes  atomic.Int64
+
+	// Leader-side replication coordinates: the incarnation of this
+	// entry's sequence space and the per-WAL stream origins (see
+	// replication.go).
+	repl replState
 }
 
 // newEntry wraps an index, discovering its optional capabilities once.
@@ -163,6 +168,18 @@ type Server struct {
 	panics         atomic.Int64 // handler panics recovered to a 500
 	persistErrors  atomic.Int64 // failed persistence operations, server-wide
 	nonDurableIns  atomic.Int64 // inserts acknowledged durable:false, server-wide
+
+	// Replication (see replication.go and follower.go): epoch identifies
+	// this boot in the wire protocol, instanceSeq hands out per-entry
+	// incarnations, acks is the leader's follower-watermark table, and
+	// follower is non-nil when this server replicates from a leader
+	// (Config.Join).
+	epoch       int64
+	advertise   string
+	instanceSeq atomic.Uint64
+	acks        replAcks
+	followerTTL time.Duration
+	follower    *follower
 }
 
 // New returns a ready-to-serve in-memory Server with an empty registry.
@@ -188,6 +205,11 @@ func newServer() *Server {
 	s.mux.HandleFunc("POST /v1/indexes/{name}/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("GET /v1/indexes/{name}/marshal", s.handleMarshal)
 	s.mux.HandleFunc("POST /v1/indexes/{name}/restore", s.handleRestore)
+	// Replication endpoints (paths match internal/cluster's client — see
+	// replication.go): node status, snapshot join, and WAL tail streaming.
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("GET /v1/cluster/snapshot/{name}", s.handleClusterSnapshot)
+	s.mux.HandleFunc("GET /v1/cluster/wal/{name}", s.handleClusterTail)
 	return s
 }
 
@@ -436,6 +458,7 @@ func (s *Server) Create(req CreateRequest) (StatsResponse, error) {
 	if err := s.persistNew(req.Name, e); err != nil {
 		return StatsResponse{}, fmt.Errorf("persist %q: %w", req.Name, err)
 	}
+	s.initRepl(e)
 	s.mu.Lock()
 	s.indexes[req.Name] = e
 	s.mu.Unlock()
@@ -443,6 +466,9 @@ func (s *Server) Create(req CreateRequest) (StatsResponse, error) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req CreateRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -552,6 +578,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	name := r.PathValue("name")
 	s.adminMu.Lock()
 	s.mu.Lock()
@@ -758,6 +787,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	name, e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -856,6 +888,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	name, e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -876,6 +911,10 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// An explicit rebuild re-fits the base at a point followers cannot
+	// reproduce from the record stream alone; start a new incarnation so
+	// they re-join from the post-rebuild snapshot.
+	s.bumpInstance(e)
 	writeJSON(w, http.StatusOK, s.statsOf(name, e))
 }
 
